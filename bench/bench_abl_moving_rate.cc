@@ -1,0 +1,46 @@
+// Ablation: the moving_rate (alpha) hyper-parameter of SEASGD (§III-A).
+//
+// alpha scales the elastic pull between local and global weights (eqs. 5-7).
+// Too small: workers barely share knowledge.  Too large: the elastic force
+// destabilises exploration.  The paper trains with alpha = 0.2.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+int main() {
+  using namespace shmcaffe;
+  const int scale = bench::bench_scale();
+  bench::print_header("Ablation — moving_rate (alpha) sweep",
+                      "SEASGD stability vs the elastic averaging rate (paper default 0.2)");
+
+  common::TextTable table({"moving_rate", "final accuracy", "final loss"});
+  for (double alpha : {0.05, 0.1, 0.2, 0.5, 0.9}) {
+    core::DistTrainOptions options;
+    options.model_family = "mlp";
+    options.workers = 8;
+    options.input = dl::ModelInputSpec{1, 12, 12, 8};
+    options.train_data.channels = 1;
+    options.train_data.height = 12;
+    options.train_data.width = 12;
+    options.train_data.classes = 8;
+    options.train_data.size = 2048UL * static_cast<std::size_t>(scale);
+    options.train_data.noise_stddev = 0.4;
+    options.test_data = options.train_data;
+    options.test_data.size = 512;
+    options.test_data.seed = 0x7e57;
+    options.batch_size = 16;
+    options.epochs = 4;
+    options.solver.base_lr = 0.05;
+    options.moving_rate = alpha;
+    const core::TrainResult result = core::train_shmcaffe(options);
+    table.add_row({common::format_fixed(alpha, 2),
+                   common::format_percent(result.final_accuracy),
+                   common::format_fixed(result.final_loss, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Extension: update-rule comparison from the paper's related work (§II).
+//
+// The paper motivates SEASGD against classic asynchronous SGD ("EASGD ...
+// performs better than the Downpour SGD by reducing the delay time of
+// global weight updating") and against synchronous SGD ("the synchronous
+// method has a large aggregation overhead").  This bench trains the same
+// model/data with all three update rules at 8 workers:
+//
+//   SSGD      — MPI-Allreduce synchronous SGD (MPICaffe)
+//   Downpour  — classic parameter server, gradient push / weight fetch
+//   SEASGD    — ShmCaffe-A elastic averaging over the SMB
+#include <cstdio>
+#include <string>
+
+#include "baselines/async_ps.h"
+#include "baselines/functional_ssgd.h"
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace {
+
+using namespace shmcaffe;
+
+core::DistTrainOptions make_options(int scale) {
+  core::DistTrainOptions options;
+  options.model_family = "mlp";
+  options.workers = 8;
+  options.input = dl::ModelInputSpec{1, 12, 12, 8};
+  options.train_data.channels = 1;
+  options.train_data.height = 12;
+  options.train_data.width = 12;
+  options.train_data.classes = 8;
+  options.train_data.size = 4096UL * static_cast<std::size_t>(scale);
+  options.train_data.noise_stddev = 0.4;
+  options.test_data = options.train_data;
+  options.test_data.size = 512;
+  options.test_data.seed = 0x7e57;
+  options.batch_size = 16;
+  options.epochs = 8;
+  options.solver.base_lr = 0.05;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = bench::bench_scale();
+  bench::print_header("Extension — update rules: SSGD vs Downpour ASGD vs SEASGD",
+                      "same model, data and budget; 8 workers");
+
+  const core::DistTrainOptions base = make_options(scale);
+  const core::TrainResult ssgd =
+      baselines::train_ssgd(base, baselines::SsgdTransport::kMpiAllReduce);
+
+  common::TextTable table({"rule", "comm interval", "final accuracy", "final loss"});
+  table.add_row({"SSGD (allreduce)", "1", common::format_percent(ssgd.final_accuracy),
+                 common::format_fixed(ssgd.final_loss, 3)});
+  // The asynchronous rules trade accuracy for communication sparsity in
+  // different ways: sweep how often each worker talks to the shared state.
+  for (int interval : {1, 4, 8}) {
+    baselines::DownpourOptions downpour;
+    downpour.fetch_interval = interval;
+    downpour.push_interval = interval;
+    const core::TrainResult dp = baselines::train_downpour(base, downpour);
+    table.add_row({"Downpour ASGD", std::to_string(interval),
+                   common::format_percent(dp.final_accuracy),
+                   common::format_fixed(dp.final_loss, 3)});
+  }
+  for (int interval : {1, 4, 8}) {
+    core::DistTrainOptions options = base;
+    options.update_interval = interval;
+    const core::TrainResult se = core::train_shmcaffe(options);
+    table.add_row({"SEASGD (ShmCaffe-A)", std::to_string(interval),
+                   common::format_percent(se.final_accuracy),
+                   common::format_fixed(se.final_loss, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nobserved: SSGD is the accuracy ceiling and every rule loses accuracy as\n"
+      "exchanges get sparser.  At this toy scale (hundreds of iterations per\n"
+      "worker) Downpour's direct gradient application degrades more slowly than\n"
+      "elastic averaging; the EASGD-over-Downpour advantage the paper cites\n"
+      "(reduced update delay, better long-horizon exploration) needs training\n"
+      "budgets orders of magnitude longer than this bench runs — see the\n"
+      "scale-substitution notes in EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table II + Fig. 9: Inception-v1 training time (15 epochs) and scalability
+// of the four platforms at 1 / 8 / 16 GPUs.
+//
+// The paper's headline: ShmCaffe trains 10.1x faster than Caffe and 2.8x
+// faster than Caffe-MPI at 16 GPUs.  Times come from the timed platform
+// models; a 15-epoch run is iterations_per_worker(K) iterations of the
+// simulated mean iteration time.
+#include <cstdio>
+#include <string>
+
+#include "baselines/sim_platforms.h"
+#include "bench/bench_util.h"
+#include "cluster/model_profiles.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/sim_shmcaffe.h"
+
+namespace {
+
+using namespace shmcaffe;
+
+SimTime training_time(SimTime mean_iteration, int workers) {
+  const cluster::TrainingRun run;
+  return mean_iteration * run.iterations_per_worker(workers);
+}
+
+SimTime shmcaffe_iteration(int workers) {
+  core::SimShmCaffeOptions options;
+  options.workers = workers;
+  // The paper's ShmCaffe rows use hybrid SGD (§IV-C) on 4-GPU nodes.
+  options.group_size = workers >= 4 ? 4 : 1;
+  options.iterations = 300;
+  return core::simulate_shmcaffe(options).mean_iteration();
+}
+
+SimTime platform_iteration(const char* name, int workers) {
+  baselines::SimPlatformOptions options;
+  options.workers = workers;
+  options.iterations = 300;
+  const std::string platform(name);
+  if (platform == "caffe") return baselines::simulate_caffe(options).mean_iteration();
+  if (platform == "caffe_mpi") return baselines::simulate_caffe_mpi(options).mean_iteration();
+  return baselines::simulate_mpicaffe(options).mean_iteration();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table II + Fig. 9 — Inception-v1 training time (15 epochs) & scalability",
+      "paper anchors: Caffe 22:59 / 8:39 / 9:53 (1/8/16 GPUs);\n"
+      "ShmCaffe 10.1x faster than Caffe and 2.8x faster than Caffe-MPI at 16 GPUs");
+
+  struct Row {
+    std::string name;
+    SimTime t1 = 0, t8 = 0, t16 = 0;
+  };
+  Row caffe{"Caffe", training_time(platform_iteration("caffe", 1), 1),
+            training_time(platform_iteration("caffe", 8), 8),
+            training_time(platform_iteration("caffe", 16), 16)};
+  Row caffe_mpi{"Caffe-MPI", 0, training_time(platform_iteration("caffe_mpi", 8), 8),
+                training_time(platform_iteration("caffe_mpi", 16), 16)};
+  Row mpicaffe{"MPICaffe", 0, training_time(platform_iteration("mpicaffe", 8), 8),
+               training_time(platform_iteration("mpicaffe", 16), 16)};
+  Row shmcaffe{"ShmCaffe", 0, training_time(shmcaffe_iteration(8), 8),
+               training_time(shmcaffe_iteration(16), 16)};
+
+  const double base = static_cast<double>(caffe.t1);
+  auto fmt_time = [](SimTime t) {
+    return t == 0 ? std::string("-") : common::format_hours_minutes(t);
+  };
+  auto fmt_scal = [base](SimTime t) {
+    return t == 0 ? std::string("-") : common::format_fixed(base / static_cast<double>(t), 1);
+  };
+
+  common::TextTable table({"platform", "1 GPU", "8 GPUs", "16 GPUs", "scal. @8", "scal. @16"});
+  for (const Row& row : {caffe, caffe_mpi, mpicaffe, shmcaffe}) {
+    table.add_row({row.name, fmt_time(row.t1), fmt_time(row.t8), fmt_time(row.t16),
+                   fmt_scal(row.t8), fmt_scal(row.t16)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double vs_caffe = base / static_cast<double>(shmcaffe.t16);
+  const double vs_caffe_mpi =
+      static_cast<double>(caffe_mpi.t16) / static_cast<double>(shmcaffe.t16);
+  std::printf("\nheadline: ShmCaffe(16) is %.1fx faster than Caffe (paper: 10.1x)\n",
+              vs_caffe);
+  std::printf("          ShmCaffe(16) is %.1fx faster than Caffe-MPI(16) (paper: 2.8x)\n",
+              vs_caffe_mpi);
+  return 0;
+}

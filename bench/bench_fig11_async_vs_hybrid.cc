@@ -1,0 +1,116 @@
+// Fig. 11: test accuracy and loss — ShmCaffe-A vs ShmCaffe-H as the worker
+// count scales 1 -> 16.
+//
+// Paper: pure asynchronous SEASGD (ShmCaffe-A) slowly loses accuracy as
+// workers grow — 5.7% below the 1-GPU baseline at 16 — while hybrid SGD
+// (ShmCaffe-H, sync groups of the node size) stays within 0.9-2.2% of it.
+//
+// Scaled-down note (see EXPERIMENTS.md): at this repository's toy scale
+// each of 16 workers performs a few hundred iterations instead of the
+// paper's 20,000, which *amplifies* asynchrony damage.  The MLP family
+// degrades gracefully and reproduces the paper's shape; the CNN families
+// collapse outright under pure ASGD at 8+ toy-scale workers — a stronger
+// version of the same phenomenon — so this bench reports the MLP sweep as
+// the Fig. 11 reproduction and adds a mini-Inception A-vs-H contrast at 16
+// workers showing the hybrid rescue.
+//
+// Hybrid grouping follows the paper's Table III: 4 GPUs = 2 nodes x 2,
+// 8/16 GPUs = nodes of 4.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/trainer.h"
+
+namespace {
+
+using namespace shmcaffe;
+
+core::DistTrainOptions make_options(const std::string& family, int workers, int group_size,
+                                    int scale) {
+  core::DistTrainOptions options;
+  options.model_family = family;
+  options.workers = workers;
+  options.group_size = group_size;
+  options.input = dl::ModelInputSpec{1, 12, 12, 8};
+  options.train_data.channels = 1;
+  options.train_data.height = 12;
+  options.train_data.width = 12;
+  options.train_data.classes = 8;
+  options.train_data.size = 4096UL * static_cast<std::size_t>(scale);
+  options.train_data.noise_stddev = 0.4;
+  options.test_data = options.train_data;
+  options.test_data.size = 512;
+  options.test_data.seed = 0x7e57;
+  options.batch_size = 16;
+  options.epochs = 10;
+  options.solver.base_lr = 0.05;
+  options.moving_rate = 0.2;
+  options.update_interval = 1;
+  return options;
+}
+
+int hybrid_group(int workers) {
+  if (workers >= 8) return 4;  // paper: 2x4 and 4x4 node layouts
+  if (workers == 4) return 2;  // paper: 2 nodes x 2 GPUs
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = bench::bench_scale();
+  bench::print_header(
+      "Fig. 11 — ShmCaffe-A vs ShmCaffe-H accuracy/loss vs workers",
+      "paper: A degrades as workers grow (-5.7% at 16); H stays within ~2% of 1 GPU");
+
+  common::TextTable table({"mode", "workers", "groups", "final accuracy", "final loss"});
+  double baseline_accuracy = 0.0;
+  double a16 = 0.0;
+  double h16 = 0.0;
+  for (int workers : {1, 2, 4, 8, 16}) {
+    const core::TrainResult a =
+        core::train_shmcaffe(make_options("mlp", workers, 1, scale));
+    table.add_row({"ShmCaffe-A", std::to_string(workers), std::to_string(workers),
+                   common::format_percent(a.final_accuracy),
+                   common::format_fixed(a.final_loss, 3)});
+    if (workers == 1) baseline_accuracy = a.final_accuracy;
+    if (workers == 16) a16 = a.final_accuracy;
+    if (workers >= 4) {
+      const int group = hybrid_group(workers);
+      const core::TrainResult h =
+          core::train_shmcaffe(make_options("mlp", workers, group, scale));
+      table.add_row({"ShmCaffe-H", std::to_string(workers),
+                     std::to_string(workers / group),
+                     common::format_percent(h.final_accuracy),
+                     common::format_fixed(h.final_loss, 3)});
+      if (workers == 16) h16 = h.final_accuracy;
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n1-GPU baseline accuracy: %s\n",
+              common::format_percent(baseline_accuracy).c_str());
+  std::printf("ShmCaffe-A @16: %+.1f%% vs baseline (paper: -5.7%%)\n",
+              100.0 * (a16 - baseline_accuracy));
+  std::printf("ShmCaffe-H @16: %+.1f%% vs baseline (paper: -0.9..-2.2%%)\n\n",
+              100.0 * (h16 - baseline_accuracy));
+
+  // The CNN contrast: at toy scale, pure async collapses where hybrid holds.
+  const core::TrainResult cnn_a =
+      core::train_shmcaffe(make_options("mini_inception", 16, 1, scale));
+  const core::TrainResult cnn_h =
+      core::train_shmcaffe(make_options("mini_inception", 16, 4, scale));
+  common::TextTable cnn({"mini-Inception @16", "final accuracy", "final loss"});
+  cnn.add_row({"ShmCaffe-A", common::format_percent(cnn_a.final_accuracy),
+               common::format_fixed(cnn_a.final_loss, 3)});
+  cnn.add_row({"ShmCaffe-H (4x4)", common::format_percent(cnn_h.final_accuracy),
+               common::format_fixed(cnn_h.final_loss, 3)});
+  std::printf("%s", cnn.render().c_str());
+  std::printf("\nscaled-down amplification: with ~%d iterations per worker (vs the\n"
+              "paper's ~20,000) pure ASGD cannot keep CNN replicas in one basin;\n"
+              "the hybrid's intra-group averaging restores convergence.\n",
+              static_cast<int>(10 * 4096 * scale / 16 / 16));
+  return 0;
+}

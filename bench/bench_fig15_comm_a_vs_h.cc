@@ -1,0 +1,45 @@
+// Fig. 15: communication-time comparison, ShmCaffe-A vs ShmCaffe-H, per
+// model at 8 and 16 GPUs (hybrid groups of 4, per the paper's testbed).
+//
+// Paper anchors: at 8 GPUs the two modes are close for small models;
+// ShmCaffe-H wins increasingly as the parameter size grows and as the
+// cluster scales out, so H beats A on every model at 16 GPUs.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "cluster/model_profiles.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/sim_shmcaffe.h"
+
+int main() {
+  using namespace shmcaffe;
+
+  bench::print_header("Fig. 15 — communication time: ShmCaffe-A vs ShmCaffe-H",
+                      "per model at 8 and 16 GPUs (hybrid = groups of 4)");
+
+  common::TextTable table({"model", "GPUs", "comm (A)", "comm (H)", "H speedup"});
+  for (const cluster::ModelProfile& model : cluster::all_profiles()) {
+    for (int workers : {8, 16}) {
+      core::SimShmCaffeOptions options;
+      options.model = model.kind;
+      options.workers = workers;
+      options.iterations = 200;
+      options.group_size = 1;
+      const SimTime comm_a = core::simulate_shmcaffe(options).mean_comm;
+      options.group_size = 4;
+      const SimTime comm_h = core::simulate_shmcaffe(options).mean_comm;
+      table.add_row({model.name, std::to_string(workers), common::format_duration(comm_a),
+                     common::format_duration(comm_h),
+                     common::format_fixed(static_cast<double>(comm_a) /
+                                              static_cast<double>(comm_h),
+                                          2) +
+                         "x"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper anchor: ShmCaffe-H's advantage grows with model size and scale;\n"
+              "all models iterate faster under H at 16 GPUs.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Micro-benchmarks of the functional communication substrates: MiniMPI ring
+// allreduce, star exchanges and the SMB exchange path, on real threads.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "coll/nccl.h"
+#include "core/seasgd_math.h"
+#include "minimpi/minimpi.h"
+#include "smb/server.h"
+
+namespace {
+
+using namespace shmcaffe;
+
+void BM_RingAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto elements = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    minimpi::Context context(ranks);
+    std::vector<std::thread> threads;
+    for (int r = 0; r < ranks; ++r) {
+      threads.emplace_back([&context, r, elements] {
+        minimpi::Endpoint ep = context.endpoint(r);
+        std::vector<float> data(elements, static_cast<float>(r));
+        for (int round = 0; round < 8; ++round) ep.allreduce_sum(data);
+        benchmark::DoNotOptimize(data.data());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetBytesProcessed(state.iterations() * 8 *
+                          static_cast<std::int64_t>(elements * sizeof(float) * ranks));
+}
+BENCHMARK(BM_RingAllreduce)->Args({2, 1 << 14})->Args({4, 1 << 14})->Args({4, 1 << 17});
+
+void BM_NcclStyleGroupAllreduce(benchmark::State& state) {
+  const int devices = static_cast<int>(state.range(0));
+  constexpr std::size_t kElements = 1 << 15;
+  for (auto _ : state) {
+    coll::DeviceGroup group(devices);
+    std::vector<std::thread> threads;
+    for (int d = 0; d < devices; ++d) {
+      threads.emplace_back([&group, d] {
+        coll::Communicator comm = group.communicator(d);
+        std::vector<float> grad(kElements, 1.0F);
+        for (int round = 0; round < 8; ++round) comm.all_reduce_mean(grad);
+        benchmark::DoNotOptimize(grad.data());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+}
+BENCHMARK(BM_NcclStyleGroupAllreduce)->Arg(2)->Arg(4);
+
+void BM_SeasgdFullExchange(benchmark::State& state) {
+  // One worker's complete exchange against a live SMB server: read W_g,
+  // elastic update, write dW, server-side accumulate.
+  const auto elements = static_cast<std::size_t>(state.range(0));
+  smb::SmbServer server;
+  const smb::Handle global = server.create_floats(1, elements);
+  const smb::Handle delta_seg = server.create_floats(2, elements);
+  std::vector<float> local(elements, 1.0F);
+  std::vector<float> global_copy(elements);
+  std::vector<float> delta(elements);
+  for (auto _ : state) {
+    server.read(global, global_copy);
+    core::elastic_exchange(local, global_copy, 0.2F, delta);
+    server.write(delta_seg, delta);
+    server.accumulate(delta_seg, global);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(elements * sizeof(float) * 4));
+}
+BENCHMARK(BM_SeasgdFullExchange)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

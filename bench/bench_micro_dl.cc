@@ -1,0 +1,106 @@
+// Micro-benchmarks of the mini-Caffe compute kernels (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dl/layers.h"
+#include "dl/models.h"
+#include "dl/param_vector.h"
+#include "dl/solver.h"
+
+namespace {
+
+using namespace shmcaffe;
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  dl::Conv2d conv("c", channels, channels, 3, 1, 1);
+  common::Rng rng(1);
+  conv.init_params(rng);
+  dl::Tensor x({8, channels, 16, 16});
+  for (float& v : x.span()) v = static_cast<float>(rng.uniform(-1, 1));
+  dl::Tensor top;
+  conv.setup({&x}, top);
+  for (auto _ : state) {
+    conv.forward({&x}, top, true);
+    benchmark::DoNotOptimize(top.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(top.size()));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  dl::Conv2d conv("c", channels, channels, 3, 1, 1);
+  common::Rng rng(1);
+  conv.init_params(rng);
+  dl::Tensor x({8, channels, 16, 16});
+  for (float& v : x.span()) v = static_cast<float>(rng.uniform(-1, 1));
+  dl::Tensor top;
+  conv.setup({&x}, top);
+  conv.forward({&x}, top, true);
+  dl::Tensor top_grad;
+  top_grad.reshape(top.shape());
+  top_grad.fill(0.01F);
+  dl::Tensor x_grad;
+  x_grad.reshape(x.shape());
+  std::vector<dl::Tensor*> bottom_grads{&x_grad};
+  for (auto _ : state) {
+    conv.backward({&x}, top, top_grad, bottom_grads);
+    benchmark::DoNotOptimize(x_grad.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_FullyConnectedForward(benchmark::State& state) {
+  const int features = static_cast<int>(state.range(0));
+  dl::FullyConnected fc("f", features, features);
+  common::Rng rng(1);
+  fc.init_params(rng);
+  dl::Tensor x({32, features});
+  for (float& v : x.span()) v = static_cast<float>(rng.uniform(-1, 1));
+  dl::Tensor top;
+  fc.setup({&x}, top);
+  for (auto _ : state) {
+    fc.forward({&x}, top, true);
+    benchmark::DoNotOptimize(top.data());
+  }
+}
+BENCHMARK(BM_FullyConnectedForward)->Arg(128)->Arg(512);
+
+void BM_MiniInceptionIteration(benchmark::State& state) {
+  common::Rng rng(2);
+  dl::Net net = dl::make_mini_inception({3, 16, 16, 8});
+  net.init_params(rng);
+  net.input("data").reshape({16, 3, 16, 16});
+  for (float& v : net.input("data").span()) v = static_cast<float>(rng.uniform(-1, 1));
+  net.input("label").reshape({16});
+  dl::SgdSolver solver(net, {});
+  for (auto _ : state) {
+    (void)net.forward(true);
+    net.backward();
+    solver.step();
+  }
+}
+BENCHMARK(BM_MiniInceptionIteration);
+
+void BM_SeasgdExchangeMath(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<float> local(count, 1.0F);
+  std::vector<float> global(count, 0.5F);
+  std::vector<float> delta(count);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const float d = 0.2F * (local[i] - global[i]);
+      delta[i] = d;
+      local[i] -= d;
+    }
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count * sizeof(float) * 2));
+}
+BENCHMARK(BM_SeasgdExchangeMath)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

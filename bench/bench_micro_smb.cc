@@ -1,0 +1,99 @@
+// Micro-benchmarks of the functional SMB server and the simulation engine.
+#include <benchmark/benchmark.h>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "smb/server.h"
+
+namespace {
+
+using namespace shmcaffe;
+
+void BM_SmbWrite(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  smb::SmbServer server;
+  const smb::Handle handle = server.create_floats(1, count);
+  std::vector<float> data(count, 1.0F);
+  for (auto _ : state) {
+    server.write(handle, data);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count * sizeof(float)));
+}
+BENCHMARK(BM_SmbWrite)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SmbRead(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  smb::SmbServer server;
+  const smb::Handle handle = server.create_floats(1, count);
+  std::vector<float> data(count);
+  for (auto _ : state) {
+    server.read(handle, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count * sizeof(float)));
+}
+BENCHMARK(BM_SmbRead)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_SmbAccumulate(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  smb::SmbServer server;
+  const smb::Handle global = server.create_floats(1, count);
+  const smb::Handle delta = server.create_floats(2, count);
+  server.write(delta, std::vector<float>(count, 0.001F));
+  for (auto _ : state) {
+    server.accumulate(delta, global);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count * sizeof(float)));
+}
+BENCHMARK(BM_SmbAccumulate)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_SmbCounterFetchAdd(benchmark::State& state) {
+  smb::SmbServer server;
+  const smb::Handle handle = server.create_counters(1, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.fetch_add(handle, 0, 1));
+  }
+}
+BENCHMARK(BM_SmbCounterFetchAdd);
+
+void BM_SimEngineEventThroughput(benchmark::State& state) {
+  // Events dispatched per second: two processes ping-ponging delays.
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int p = 0; p < 4; ++p) {
+      sim.spawn([](sim::Simulation& s) -> sim::Task<> {
+        for (int i = 0; i < 1000; ++i) co_await s.delay(1);
+      }(sim));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_SimEngineEventThroughput);
+
+void BM_SimSemaphoreHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Semaphore sem(sim, 1);
+    for (int p = 0; p < 8; ++p) {
+      sim.spawn([](sim::Simulation& s, sim::Semaphore& sm) -> sim::Task<> {
+        for (int i = 0; i < 250; ++i) {
+          co_await sm.acquire();
+          co_await s.delay(1);
+          sm.release();
+        }
+      }(sim, sem));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SimSemaphoreHandoff);
+
+}  // namespace
+
+BENCHMARK_MAIN();

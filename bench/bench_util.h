@@ -1,0 +1,31 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace shmcaffe::bench {
+
+/// SHMCAFFE_BENCH_SCALE multiplies the workload of the functional
+/// (real-training) benches: 1 = quick smoke-scale run (default), larger
+/// values train longer for higher-fidelity curves.
+inline int bench_scale() {
+  const char* env = std::getenv("SHMCAFFE_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const int value = std::atoi(env);
+  return value >= 1 ? value : 1;
+}
+
+inline void print_header(const char* artefact, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artefact);
+  std::printf("%s\n", description);
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+}  // namespace shmcaffe::bench

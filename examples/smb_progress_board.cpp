@@ -1,0 +1,88 @@
+// Using the Soft Memory Box API directly.
+//
+// This example exercises the SMB surface the way §III-B/E of the paper
+// describes, without any deep learning on top:
+//
+//   1. a "master" creates a float segment and a counter segment,
+//   2. "slave" threads attach by SHM key, write private increment segments
+//      and ask the server to accumulate them into the global buffer,
+//   3. everyone publishes progress on the shared board, and all threads
+//      align their termination on the average-progress criterion,
+//   4. update notifications (segment versions) let a monitor thread react
+//      to global-buffer changes without polling the data.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/progress_board.h"
+#include "smb/server.h"
+
+int main() {
+  using namespace shmcaffe;
+
+  smb::SmbServer server;
+  constexpr smb::ShmKey kGlobalKey = 100;
+  constexpr smb::ShmKey kBoardKey = 200;
+  constexpr std::size_t kElements = 1 << 16;
+  constexpr int kWorkers = 4;
+  constexpr std::int64_t kTargetRounds = 50;
+
+  // Master: create the shared global buffer and the progress board.
+  const smb::Handle global = server.create_floats(kGlobalKey, kElements);
+  core::ProgressBoard board(server, kBoardKey, kWorkers, /*create=*/true);
+
+  // Monitor: wait on version notifications at absolute thresholds (the
+  // board guarantees at least kWorkers * kTargetRounds accumulates).
+  std::thread monitor([&server, global] {
+    for (int report = 1; report <= 4; ++report) {
+      const std::uint64_t version =
+          server.wait_version_at_least(global, static_cast<std::uint64_t>(report) * 50);
+      std::vector<float> probe(1);
+      server.read(global, probe);
+      std::printf("[monitor] global version %llu, first element %.1f\n",
+                  static_cast<unsigned long long>(version), probe[0]);
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&server, w] {
+      // Slaves attach by the SHM key the master published.
+      const smb::Handle shared = server.attach_floats(kGlobalKey);
+      core::ProgressBoard my_board(server, kBoardKey, kWorkers, /*create=*/false);
+      const smb::Handle delta =
+          server.create_floats(1000 + static_cast<smb::ShmKey>(w), kElements);
+
+      const std::vector<float> ones(kElements, 1.0F);
+      std::int64_t round = 0;
+      bool stop = false;
+      while (!stop) {
+        server.write(delta, ones);           // stage the increment...
+        server.accumulate(delta, shared);    // ...and fold it into the global
+        ++round;
+        stop = my_board.should_stop(core::TerminationCriterion::kAverageIterations, w,
+                                    round, kTargetRounds);
+      }
+      std::printf("[worker %d] stopped after %lld rounds\n", w,
+                  static_cast<long long>(round));
+      server.release(delta);
+      server.release(shared);
+      my_board.release();
+    });
+  }
+  for (auto& t : workers) t.join();
+  monitor.join();
+
+  // Every accumulate added exactly 1.0 to every element.
+  std::vector<float> result(1);
+  server.read(global, result);
+  const smb::SmbServerStats stats = server.stats();
+  std::printf("total accumulates: %llu, global[0] = %.1f\n",
+              static_cast<unsigned long long>(stats.accumulates), result[0]);
+  std::printf("board: min=%lld max=%lld mean=%.1f (termination aligned)\n",
+              static_cast<long long>(board.min_iterations()),
+              static_cast<long long>(board.max_iterations()), board.mean_iterations());
+  board.release();
+  server.release(global);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Classic asynchronous parameter server and Downpour-style ASGD.
+//
+// The paper's related work (§II) contrasts ShmCaffe's *passive* shared
+// buffer with the classic *active* parameter server: "the parameter server
+// allocates a memory area for storing global parameters in its own local
+// memory, updates global parameters with parameters sent periodically from
+// slave workers and then distributes the updated global parameters".  The
+// SMB deliberately provides no update logic — only buffers and accumulate.
+//
+// This module implements the classic design so the two philosophies can be
+// compared on equal footing:
+//   * ParameterServer — holds W, applies W -= lr * g per gradient push
+//     (exclusively), serves weight pulls;
+//   * train_downpour — Downpour SGD (DistBelief): every worker fetches W
+//     every n_fetch iterations, pushes accumulated gradients every n_push
+//     iterations, and otherwise trains its local replica.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+
+namespace shmcaffe::baselines {
+
+class ParameterServer {
+ public:
+  explicit ParameterServer(std::size_t count);
+
+  [[nodiscard]] std::size_t size() const { return weights_.size(); }
+
+  /// Seeds the global weights (master, once).
+  void initialize(std::span<const float> weights);
+
+  /// Copies the current global weights into `dst`.
+  void pull(std::span<float> dst) const;
+
+  /// Applies W -= lr * gradients, exclusively.
+  void push_gradient(std::span<const float> gradients, float lr);
+
+  [[nodiscard]] std::uint64_t update_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<float> weights_;
+  std::uint64_t updates_ = 0;
+};
+
+struct DownpourOptions {
+  int fetch_interval = 1;  ///< n_fetch: pull W every this many iterations
+  int push_interval = 1;   ///< n_push: push gradients every this many iterations
+};
+
+/// Downpour-style asynchronous SGD over a classic parameter server.
+core::TrainResult train_downpour(const core::DistTrainOptions& options,
+                                 DownpourOptions downpour = {});
+
+}  // namespace shmcaffe::baselines

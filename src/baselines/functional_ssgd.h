@@ -1,0 +1,28 @@
+// Functional synchronous-SGD baseline platforms.
+//
+// All three baselines of the paper's §IV-C are synchronous data-parallel SGD
+// differing only in their parameter-exchange transport:
+//
+//  * kNcclAllReduce — BVLC Caffe's multi-GPU path: ncclAllReduce of the
+//    gradients inside one process (our coll::DeviceGroup).
+//  * kMpiStar — Inspur Caffe-MPI v1.0: slaves MPI_Send gradients to the
+//    master, the master averages them, updates the master weights, and
+//    MPI_Sends the updated weights back (star topology; slaves adopt the
+//    master's weights and keep no optimiser state of their own).
+//  * kMpiAllReduce — "MPICaffe": MPI_Allreduce of the gradients; every rank
+//    applies the identical solver update.
+//
+// Mathematically all three compute the same update from the same effective
+// batch, so their convergence curves must coincide (a property the test
+// suite checks); they differ only in systems behaviour.
+#pragma once
+
+#include "core/config.h"
+
+namespace shmcaffe::baselines {
+
+enum class SsgdTransport { kNcclAllReduce, kMpiStar, kMpiAllReduce };
+
+core::TrainResult train_ssgd(const core::DistTrainOptions& options, SsgdTransport transport);
+
+}  // namespace shmcaffe::baselines

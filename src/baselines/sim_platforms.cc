@@ -1,0 +1,181 @@
+#include "baselines/sim_platforms.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "coll/pcie_model.h"
+#include "minimpi/sim_mpi.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+
+namespace shmcaffe::baselines {
+namespace {
+
+void validate(const SimPlatformOptions& options) {
+  if (options.workers < 1) throw std::invalid_argument("workers must be >= 1");
+  if (options.iterations < 1) throw std::invalid_argument("iterations must be >= 1");
+}
+
+/// Mean of the per-worker compute samples; comm for a synchronous platform
+/// is everything else in the iteration.
+struct SyncIterationAccounting {
+  SimTime comp_sum = 0;  // sum over workers and iterations of own compute
+  SimTime iter_sum = 0;  // sum over iterations of the full iteration time
+
+  void add(const std::vector<SimTime>& comps, SimTime iteration_time) {
+    for (SimTime c : comps) comp_sum += c;
+    iter_sum += iteration_time * static_cast<SimTime>(comps.size());
+  }
+
+  [[nodiscard]] cluster::PlatformTiming finish(int workers, std::int64_t iterations,
+                                               SimTime makespan) const {
+    cluster::PlatformTiming timing;
+    const auto denom = static_cast<std::int64_t>(workers) * iterations;
+    timing.mean_comp = comp_sum / denom;
+    timing.mean_comm = iter_sum / denom - timing.mean_comp;
+    timing.makespan = makespan;
+    timing.iterations = iterations;
+    return timing;
+  }
+};
+
+}  // namespace
+
+cluster::PlatformTiming simulate_caffe(const SimPlatformOptions& options) {
+  validate(options);
+  const cluster::ModelProfile& model = cluster::profile(options.model);
+  const cluster::TestbedSpec& spec = options.testbed;
+  const coll::PcieModel pcie{spec.pcie_bus_bandwidth, 20 * units::kMicrosecond};
+  common::Rng rng(options.seed);
+
+  const int k = options.workers;
+  SyncIterationAccounting acc;
+  SimTime makespan = 0;
+  std::vector<SimTime> comps(static_cast<std::size_t>(k));
+  for (std::int64_t it = 0; it < options.iterations; ++it) {
+    for (SimTime& c : comps) c = options.jitter.sample(rng, model.comp_time);
+    const SimTime comp_max = *std::max_element(comps.begin(), comps.end());
+    SimTime iteration = comp_max;
+    if (k > 1) {
+      iteration += pcie.ring_allreduce_time(k, model.param_bytes);
+      iteration += spec.caffe_feed_per_gpu * k;
+      iteration += spec.caffe_bus_contention * k * k;
+    }
+    acc.add(comps, iteration);
+    makespan += iteration;
+  }
+  return acc.finish(k, options.iterations, makespan);
+}
+
+cluster::PlatformTiming simulate_caffe_mpi(const SimPlatformOptions& options) {
+  validate(options);
+  const cluster::ModelProfile& model = cluster::profile(options.model);
+  const cluster::TestbedSpec& spec = options.testbed;
+  const int k = options.workers;
+  common::Rng rng(options.seed);
+
+  sim::Simulation sim;
+  net::FabricOptions fabric_options;
+  fabric_options.efficiency = spec.fabric_efficiency;
+  net::Fabric fabric(sim, fabric_options);
+
+  // Slaves have full-rate HCAs; all parameter traffic funnels through the
+  // master's CPU staging pipeline (Caffe-MPI v1.0 moves gradients through
+  // host memory without GPUDirect).
+  std::vector<net::Fabric::Endpoint> endpoints;
+  for (int r = 0; r < k; ++r) {
+    endpoints.push_back(fabric.add_endpoint("rank" + std::to_string(r), spec.hca_bandwidth));
+  }
+  const net::LinkId staging = fabric.add_link("master-staging", spec.mpi_stream_bandwidth);
+
+  SyncIterationAccounting acc;
+  std::vector<SimTime> comps(static_cast<std::size_t>(k));
+  const SimTime host_copy =
+      units::transfer_time(model.param_bytes, spec.host_copy_bandwidth);
+
+  sim.spawn([](sim::Simulation& s, net::Fabric& f, const SimPlatformOptions& opts,
+               const cluster::ModelProfile& m, const cluster::TestbedSpec& sp,
+               std::vector<net::Fabric::Endpoint>& eps, net::LinkId stage,
+               common::Rng& r, std::vector<SimTime>& comps, SimTime hcopy,
+               SyncIterationAccounting& acc) -> sim::Task<> {
+    const int n = static_cast<int>(eps.size());
+    for (std::int64_t it = 0; it < opts.iterations; ++it) {
+      const SimTime iter_start = s.now();
+      for (SimTime& c : comps) c = opts.jitter.sample(r, m.comp_time);
+      const SimTime comp_max = *std::max_element(comps.begin(), comps.end());
+      co_await s.delay(comp_max + hcopy);  // all GPUs compute; stage to host
+
+      // Gather: every slave streams its gradients through the master's
+      // staging link (concurrent flows; the link is the bottleneck).
+      std::vector<sim::Task<void>> gather;
+      for (int slave = 1; slave < n; ++slave) {
+        gather.push_back(f.transfer(eps[static_cast<std::size_t>(slave)].tx, stage,
+                                    m.param_bytes));
+      }
+      co_await sim::when_all(s, std::move(gather));
+      // Master averages all gradients on the CPU and applies the update.
+      co_await s.delay(units::transfer_time(m.param_bytes * n, sp.cpu_reduce_bandwidth));
+      // Scatter the refreshed master weights.
+      std::vector<sim::Task<void>> scatter;
+      for (int slave = 1; slave < n; ++slave) {
+        scatter.push_back(f.transfer(stage, eps[static_cast<std::size_t>(slave)].rx,
+                                     m.param_bytes));
+      }
+      co_await sim::when_all(s, std::move(scatter));
+      co_await s.delay(hcopy);  // slaves stage the weights back to the GPU
+
+      acc.add(comps, s.now() - iter_start);
+    }
+  }(sim, fabric, options, model, spec, endpoints, staging, rng, comps, host_copy, acc));
+  sim.run();
+  return acc.finish(k, options.iterations, sim.now());
+}
+
+cluster::PlatformTiming simulate_mpicaffe(const SimPlatformOptions& options) {
+  validate(options);
+  const cluster::ModelProfile& model = cluster::profile(options.model);
+  const cluster::TestbedSpec& spec = options.testbed;
+  const int k = options.workers;
+  common::Rng rng(options.seed);
+
+  sim::Simulation sim;
+  net::FabricOptions fabric_options;
+  fabric_options.efficiency = spec.fabric_efficiency;
+  net::Fabric fabric(sim, fabric_options);
+
+  // Each rank's allreduce traffic is bounded by its host staging rate.
+  std::vector<net::Fabric::Endpoint> endpoints;
+  for (int r = 0; r < k; ++r) {
+    endpoints.push_back(
+        fabric.add_endpoint("rank" + std::to_string(r), spec.mpi_stream_bandwidth));
+  }
+  minimpi::SimGroupOps group(sim, fabric, endpoints);
+
+  SyncIterationAccounting acc;
+  std::vector<SimTime> comps(static_cast<std::size_t>(k));
+  const SimTime host_copy =
+      units::transfer_time(model.param_bytes, spec.host_copy_bandwidth);
+  const SimTime step_sync =
+      k > 1 ? spec.allreduce_step_latency * 2 * (k - 1) : 0;
+
+  sim.spawn([](sim::Simulation& s, const SimPlatformOptions& opts,
+               const cluster::ModelProfile& m, minimpi::SimGroupOps& g, common::Rng& r,
+               std::vector<SimTime>& comps, SimTime hcopy, SimTime sync,
+               SyncIterationAccounting& acc) -> sim::Task<> {
+    for (std::int64_t it = 0; it < opts.iterations; ++it) {
+      const SimTime iter_start = s.now();
+      for (SimTime& c : comps) c = opts.jitter.sample(r, m.comp_time);
+      const SimTime comp_max = *std::max_element(comps.begin(), comps.end());
+      co_await s.delay(comp_max + hcopy);
+      co_await g.ring_allreduce(m.param_bytes);
+      co_await s.delay(sync + hcopy);
+      acc.add(comps, s.now() - iter_start);
+    }
+  }(sim, options, model, group, rng, comps, host_copy, step_sync, acc));
+  sim.run();
+  return acc.finish(k, options.iterations, sim.now());
+}
+
+}  // namespace shmcaffe::baselines

@@ -1,0 +1,38 @@
+// Timed models of the baseline platforms (for the Fig. 9/10 benches).
+//
+//  * simulate_caffe — BVLC Caffe 1.0 on one node with K GPUs: synchronous
+//    NCCL allreduce over PCIe plus the calibrated serial data-layer and
+//    PCIe-contention overheads that explain the paper's poor Caffe scaling
+//    (2.7x on 8 GPUs, 2.3x on 16; Table II).
+//  * simulate_caffe_mpi — Inspur Caffe-MPI v1.0 star: slaves stream
+//    gradients through the master's CPU staging path, the master averages
+//    on the CPU and streams updated weights back.
+//  * simulate_mpicaffe — MPI_Allreduce SSGD: host-staged ring allreduce
+//    with per-step synchronisation latency.
+//
+// All synchronous platforms pay max-over-workers computation time per
+// iteration (the straggler effect §III-E attributes to shared buses, file
+// systems and networks) — that, not raw bandwidth, is the largest part of
+// why the paper's ShmCaffe wins.
+#pragma once
+
+#include "cluster/jitter.h"
+#include "cluster/model_profiles.h"
+#include "cluster/platform_result.h"
+
+namespace shmcaffe::baselines {
+
+struct SimPlatformOptions {
+  cluster::ModelKind model = cluster::ModelKind::kInceptionV1;
+  int workers = 8;
+  std::int64_t iterations = 200;
+  cluster::TestbedSpec testbed;
+  cluster::ComputeJitter jitter;
+  std::uint64_t seed = 0x5b;
+};
+
+cluster::PlatformTiming simulate_caffe(const SimPlatformOptions& options);
+cluster::PlatformTiming simulate_caffe_mpi(const SimPlatformOptions& options);
+cluster::PlatformTiming simulate_mpicaffe(const SimPlatformOptions& options);
+
+}  // namespace shmcaffe::baselines

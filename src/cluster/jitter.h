@@ -1,0 +1,51 @@
+// Per-iteration GPU computation-time jitter.
+//
+// The paper (§III-E): "deviations in computation time between deep learning
+// workers will occur ... because workers share the system bus, file system
+// I/O, and network bandwidth."  These deviations are what make synchronous
+// SGD pay max-over-workers per iteration while SEASGD pays only the mean —
+// the core of the paper's speed story — so the timing simulation samples
+// them explicitly.
+//
+// Model: with probability `slow_probability` an iteration suffers a
+// transient slowdown uniform in [slow_min, slow_max] (fractions of the base
+// time).  The multiplier is mean-centred so the *average* iteration time
+// equals the profiled compute time (the profiles were measured as means).
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace shmcaffe::cluster {
+
+struct ComputeJitter {
+  double slow_probability = 0.25;
+  double slow_min = 0.3;
+  double slow_max = 1.5;
+
+  [[nodiscard]] double mean_extra() const {
+    return slow_probability * 0.5 * (slow_min + slow_max);
+  }
+
+  /// A multiplicative factor with mean 1.0.
+  [[nodiscard]] double sample_multiplier(common::Rng& rng) const {
+    double extra = 0.0;
+    if (rng.chance(slow_probability)) extra = rng.uniform(slow_min, slow_max);
+    return std::max(0.5, 1.0 + extra - mean_extra());
+  }
+
+  [[nodiscard]] SimTime sample(common::Rng& rng, SimTime base) const {
+    return static_cast<SimTime>(static_cast<double>(base) * sample_multiplier(rng));
+  }
+
+  /// max over `k` independent samples (a synchronous group's iteration).
+  [[nodiscard]] SimTime sample_max(common::Rng& rng, SimTime base, int k) const {
+    SimTime worst = 0;
+    for (int i = 0; i < k; ++i) worst = std::max(worst, sample(rng, base));
+    return worst;
+  }
+};
+
+}  // namespace shmcaffe::cluster

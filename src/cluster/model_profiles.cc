@@ -1,0 +1,32 @@
+#include "cluster/model_profiles.h"
+
+#include <stdexcept>
+
+namespace shmcaffe::cluster {
+namespace {
+
+using shmcaffe::units::from_millis;
+
+const std::vector<ModelProfile>& table() {
+  static const std::vector<ModelProfile> kProfiles = {
+      {ModelKind::kInceptionV1, "inception_v1", 27'900'000, from_millis(257.0)},
+      {ModelKind::kResNet50, "resnet_50", 55'800'000, from_millis(225.0)},
+      {ModelKind::kInceptionResnetV2, "inception_resnet_v2", 214'000'000,
+       from_millis(443.0)},
+      {ModelKind::kVgg16, "vgg16", 553'000'000, from_millis(194.9)},
+  };
+  return kProfiles;
+}
+
+}  // namespace
+
+const ModelProfile& profile(ModelKind kind) {
+  for (const ModelProfile& p : table()) {
+    if (p.kind == kind) return p;
+  }
+  throw std::invalid_argument("unknown model kind");
+}
+
+const std::vector<ModelProfile>& all_profiles() { return table(); }
+
+}  // namespace shmcaffe::cluster

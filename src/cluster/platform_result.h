@@ -1,0 +1,29 @@
+// Common result type of the timed platform models.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace shmcaffe::cluster {
+
+/// Per-iteration timing breakdown averaged over workers and iterations.
+/// `comm` is the non-hidden communication time — everything in an iteration
+/// that is not the worker's own minibatch computation (transfer time,
+/// blocked-on-lock time, and synchronous waiting for peers), exactly how the
+/// paper measures "communication time ... not overlapped with the
+/// computation time" (§IV-E).
+struct PlatformTiming {
+  SimTime mean_comp = 0;
+  SimTime mean_comm = 0;
+  [[nodiscard]] SimTime mean_iteration() const { return mean_comp + mean_comm; }
+  /// Fraction of the iteration spent communicating.
+  [[nodiscard]] double comm_ratio() const {
+    const SimTime iter = mean_iteration();
+    return iter > 0 ? static_cast<double>(mean_comm) / static_cast<double>(iter) : 0.0;
+  }
+  SimTime makespan = 0;          ///< whole simulated run
+  std::int64_t iterations = 0;   ///< per worker
+};
+
+}  // namespace shmcaffe::cluster

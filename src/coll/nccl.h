@@ -1,0 +1,78 @@
+// NCCL-like intra-node collectives.
+//
+// The paper's hybrid SGD aggregates gradients inside a node with
+// ncclAllReduce and broadcasts the root's refreshed weights with ncclBcast
+// (§III-D).  Functionally these are ring collectives among the node's GPU
+// worker threads; this module provides exactly that surface:
+//
+//   coll::DeviceGroup group(4);                  // one per node
+//   // on each worker thread d:
+//   auto comm = group.communicator(d);
+//   comm.all_reduce_sum(grad_span);              // ncclAllReduce(..., ncclSum)
+//   comm.broadcast(0, weight_span);              // ncclBcast from the root
+//
+// The implementation runs a ring over an internal MiniMPI context — the
+// algorithms (and their tests) are shared rather than duplicated.
+// The timing twin for the simulation is the PCIe model in pcie_model.h.
+#pragma once
+
+#include <span>
+
+#include "minimpi/minimpi.h"
+
+namespace shmcaffe::coll {
+
+class Communicator;
+
+/// One group of devices (GPUs) inside a node.
+class DeviceGroup {
+ public:
+  explicit DeviceGroup(int device_count) : context_(device_count) {}
+
+  [[nodiscard]] int device_count() const { return context_.size(); }
+  [[nodiscard]] Communicator communicator(int device);
+
+ private:
+  minimpi::Context context_;
+};
+
+/// A device's handle into its group; one per worker thread.
+class Communicator {
+ public:
+  Communicator() = default;
+
+  [[nodiscard]] int device() const { return endpoint_.rank(); }
+  [[nodiscard]] int device_count() const { return endpoint_.size(); }
+
+  /// ncclAllReduce(sum): elementwise sum across the group, in place.
+  void all_reduce_sum(std::span<float> data) { endpoint_.allreduce_sum(data); }
+
+  /// All-reduce then divide by the group size (gradient averaging).
+  void all_reduce_mean(std::span<float> data);
+
+  /// ncclBcast: root's buffer replaces everyone's.
+  void broadcast(int root, std::span<float> data) { endpoint_.broadcast(root, data); }
+
+  /// ncclReduce(sum) to the root.
+  void reduce_sum(int root, std::span<float> data) { endpoint_.reduce_sum(root, data); }
+
+  /// Group-wide barrier (used around phase changes in tests and trainers).
+  void barrier() { endpoint_.barrier(); }
+
+ private:
+  friend class DeviceGroup;
+  explicit Communicator(minimpi::Endpoint endpoint) : endpoint_(endpoint) {}
+  minimpi::Endpoint endpoint_;
+};
+
+inline Communicator DeviceGroup::communicator(int device) {
+  return Communicator(context_.endpoint(device));
+}
+
+inline void Communicator::all_reduce_mean(std::span<float> data) {
+  all_reduce_sum(data);
+  const float inv = 1.0F / static_cast<float>(device_count());
+  for (float& v : data) v *= inv;
+}
+
+}  // namespace shmcaffe::coll

@@ -1,0 +1,55 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace shmcaffe::common {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogStatement::LogStatement(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_threshold() && level != LogLevel::Off), level_(level) {
+  if (enabled_) {
+    stream_ << '[' << level_name(level) << "] " << basename_of(file) << ':' << line << ": ";
+  }
+}
+
+LogStatement::~LogStatement() {
+  if (!enabled_) return;
+  stream_ << '\n';
+  const std::string text = stream_.str();
+  std::scoped_lock lock(g_sink_mutex);
+  std::fwrite(text.data(), 1, text.size(), stderr);
+}
+
+}  // namespace internal
+}  // namespace shmcaffe::common

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// Thread-safe (a single global mutex serialises sink writes), printf-free,
+// and silent by default at Debug level so tests stay quiet.  Usage:
+//
+//   SHM_LOG(Info) << "worker " << rank << " finished epoch " << epoch;
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace shmcaffe::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns/sets the global threshold; messages below it are dropped.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace internal {
+
+/// One in-flight log statement; flushes on destruction.
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, const char* file, int line);
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement();
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace shmcaffe::common
+
+#define SHM_LOG(severity)                                              \
+  ::shmcaffe::common::internal::LogStatement(                          \
+      ::shmcaffe::common::LogLevel::severity, __FILE__, __LINE__)

@@ -1,0 +1,63 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace shmcaffe::common {
+namespace {
+
+std::string printf_string(const char* fmt, double a) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, a);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bandwidth(double bytes_per_second) {
+  if (bytes_per_second >= 1e9) return printf_string("%.2f GB/s", bytes_per_second / 1e9);
+  if (bytes_per_second >= 1e6) return printf_string("%.1f MB/s", bytes_per_second / 1e6);
+  if (bytes_per_second >= 1e3) return printf_string("%.1f KB/s", bytes_per_second / 1e3);
+  return printf_string("%.0f B/s", bytes_per_second);
+}
+
+std::string format_bytes(std::int64_t bytes) {
+  const auto b = static_cast<double>(bytes);
+  if (b >= 1e9) return printf_string("%.2f GB", b / 1e9);
+  if (b >= 1e6) return printf_string("%.1f MB", b / 1e6);
+  if (b >= 1e3) return printf_string("%.1f KB", b / 1e3);
+  return printf_string("%.0f B", b);
+}
+
+std::string format_duration(SimTime ns) {
+  const auto t = static_cast<double>(ns);
+  if (t >= 60e9) {
+    return format_hours_minutes(ns);
+  }
+  if (t >= 1e9) return printf_string("%.2f s", t / 1e9);
+  if (t >= 1e6) return printf_string("%.1f ms", t / 1e6);
+  if (t >= 1e3) return printf_string("%.1f us", t / 1e3);
+  return printf_string("%.0f ns", t);
+}
+
+std::string format_hours_minutes(SimTime ns) {
+  const auto total_minutes =
+      static_cast<std::int64_t>(std::llround(static_cast<double>(ns) / 60e9));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld:%02lld",
+                static_cast<long long>(total_minutes / 60),
+                static_cast<long long>(total_minutes % 60));
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char fmt[8];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", decimals);
+  return printf_string(fmt, value);
+}
+
+std::string format_percent(double fraction) {
+  return printf_string("%.1f%%", fraction * 100.0);
+}
+
+}  // namespace shmcaffe::common

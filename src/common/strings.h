@@ -1,0 +1,29 @@
+// Formatting helpers for human-readable bench/report output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace shmcaffe::common {
+
+/// "1.5 GB/s", "840 MB/s", ...
+[[nodiscard]] std::string format_bandwidth(double bytes_per_second);
+
+/// "214.0 MB", "1.0 GB", "512 B", ...
+[[nodiscard]] std::string format_bytes(std::int64_t bytes);
+
+/// "257.3 ms", "1.2 s", "47 us", ...
+[[nodiscard]] std::string format_duration(SimTime ns);
+
+/// "22:59" style hours:minutes, as the paper's Table II reports.
+[[nodiscard]] std::string format_hours_minutes(SimTime ns);
+
+/// Fixed-precision double, e.g. format_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// "26.0%" style percentage with one decimal.
+[[nodiscard]] std::string format_percent(double fraction);
+
+}  // namespace shmcaffe::common

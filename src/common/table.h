@@ -1,0 +1,29 @@
+// Aligned plain-text table printer.  Every bench that reproduces one of the
+// paper's tables/figures renders its rows through this so the output reads
+// like the published table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace shmcaffe::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace shmcaffe::common

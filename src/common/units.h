@@ -1,0 +1,52 @@
+// Byte and time unit helpers shared across the project.
+//
+// All simulated time in this project is kept in integral nanoseconds
+// (SimTime) so that the discrete-event simulation is exactly deterministic;
+// floating-point seconds are used only at reporting boundaries.
+#pragma once
+
+#include <cstdint>
+
+namespace shmcaffe {
+
+/// Simulated time in nanoseconds.
+using SimTime = std::int64_t;
+
+namespace units {
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+inline constexpr std::int64_t kKB = 1000;
+inline constexpr std::int64_t kMB = 1000 * kKB;
+inline constexpr std::int64_t kGB = 1000 * kMB;
+
+/// Converts nanoseconds to (floating) seconds for reporting.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+
+/// Converts nanoseconds to (floating) milliseconds for reporting.
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Converts floating seconds to integral nanoseconds (rounded).
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts floating milliseconds to integral nanoseconds (rounded).
+constexpr SimTime from_millis(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+/// Time to move `bytes` at `bytes_per_second`, rounded up to a whole ns.
+constexpr SimTime transfer_time(std::int64_t bytes, double bytes_per_second) {
+  const double secs = static_cast<double>(bytes) / bytes_per_second;
+  return static_cast<SimTime>(secs * static_cast<double>(kSecond) + 0.999999);
+}
+
+}  // namespace units
+}  // namespace shmcaffe

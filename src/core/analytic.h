@@ -1,0 +1,43 @@
+// Equation (8): the paper's closed-form SEASGD iteration-time model.
+//
+//   T_iter = max[T_comp, (T_wwi + T_ugw)] + T_rgw + T_ulw
+//
+// This is the contention-free single-worker prediction; the discrete-event
+// simulation generalises it with bandwidth sharing, accumulate serialisation
+// and jitter.  An ablation bench cross-checks the two (they must agree for
+// one worker with jitter disabled).
+#pragma once
+
+#include <algorithm>
+
+#include "cluster/model_profiles.h"
+
+namespace shmcaffe::core {
+
+struct AnalyticIteration {
+  SimTime t_comp = 0;  ///< forward + backward + local solver update
+  SimTime t_rgw = 0;   ///< reading the global weight
+  SimTime t_ulw = 0;   ///< updating the local weight from the global copy
+  SimTime t_wwi = 0;   ///< writing the weight increment (overlapped)
+  SimTime t_ugw = 0;   ///< server-side global accumulate (overlapped)
+
+  [[nodiscard]] SimTime iteration() const {
+    return std::max(t_comp, t_wwi + t_ugw) + t_rgw + t_ulw;
+  }
+  [[nodiscard]] SimTime communication() const { return iteration() - t_comp; }
+};
+
+/// Contention-free eq. (8) terms for one worker of `model` on `spec`.
+inline AnalyticIteration analytic_seasgd_iteration(const cluster::ModelProfile& model,
+                                                   const cluster::TestbedSpec& spec) {
+  AnalyticIteration result;
+  result.t_comp = model.comp_time;
+  const double wire = spec.hca_bandwidth * spec.fabric_efficiency;
+  result.t_rgw = units::transfer_time(model.param_bytes, wire);
+  result.t_wwi = units::transfer_time(model.param_bytes, wire);
+  result.t_ugw = units::transfer_time(model.param_bytes, spec.smb_accumulate_bandwidth);
+  result.t_ulw = units::transfer_time(model.param_bytes, spec.gpu_update_bandwidth);
+  return result;
+}
+
+}  // namespace shmcaffe::core

@@ -1,0 +1,94 @@
+// Shared configuration of the functional distributed-training experiments
+// (ShmCaffe and the baseline platforms).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/synth_dataset.h"
+#include "dl/models.h"
+#include "dl/solver.h"
+
+namespace shmcaffe::core {
+
+/// How workers align their termination (§III-E).
+enum class TerminationCriterion {
+  kMasterFinishes,      ///< everyone stops when the master reaches its target
+  kFirstFinisher,       ///< everyone stops when any worker reaches its target
+  kAverageIterations,   ///< stop when the mean iteration count reaches the target
+};
+
+struct DistTrainOptions {
+  int workers = 4;
+  /// Workers per node group for hybrid SGD; 1 means every worker is its own
+  /// group (pure SEASGD).
+  int group_size = 1;
+  int batch_size = 32;
+  int epochs = 6;  ///< data-parallel epochs over the whole training set
+
+  std::string model_family = "mini_inception";
+  dl::ModelInputSpec input;
+  data::SynthDatasetOptions train_data;
+  data::SynthDatasetOptions test_data;
+
+  dl::SolverOptions solver;
+  /// ShmCaffe hyper-parameters (§III-A): the paper's defaults.
+  double moving_rate = 0.2;
+  int update_interval = 1;
+  /// Number of SMB servers sharding the global buffer (the paper's future
+  /// work §V); 1 = the paper's evaluated configuration.
+  int smb_servers = 1;
+
+  TerminationCriterion termination = TerminationCriterion::kAverageIterations;
+  /// Bound on how many iterations a worker may run ahead of the slowest one
+  /// (enforced through the shared progress board).  The paper's workers are
+  /// identical GPUs that naturally stay within ~1 iteration of each other;
+  /// on an oversubscribed CPU the OS scheduler would otherwise let one
+  /// thread race dozens of iterations ahead, producing staleness the real
+  /// system never sees.  0 disables the bound (free-running threads).
+  int max_iteration_skew = 4;
+  std::uint64_t seed = 0x5eedc0de;
+  /// Prefetch queue depth (the paper prefetches 10 minibatches).
+  std::size_t prefetch_depth = 4;
+
+  DistTrainOptions() {
+    train_data.size = 2048;
+    test_data.size = 512;
+    test_data.seed = 0x7e57;
+    solver.base_lr = 0.05;
+    solver.momentum = 0.9;
+    solver.lr_policy = dl::LrPolicy::kStep;
+    solver.gamma = 0.1;
+    solver.step_size = 1 << 30;  // trainers overwrite with 4-epoch steps
+  }
+};
+
+/// One point of a training curve (evaluated on the shared/global weights).
+struct EpochMetrics {
+  int epoch = 0;
+  double test_loss = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Per-worker timing/throughput telemetry of a functional training run —
+/// the software counterpart of the paper's per-iteration computation vs
+/// communication breakdown.
+struct WorkerStats {
+  std::int64_t iterations = 0;
+  std::int64_t exchanges = 0;        ///< SEASGD exchanges performed
+  double train_seconds = 0.0;        ///< forward + backward + solver
+  double exchange_seconds = 0.0;     ///< SEASGD exchange incl. T.A5 blocking
+  double collective_seconds = 0.0;   ///< intra-group allreduce/broadcast
+  double data_wait_seconds = 0.0;    ///< blocked on the prefetcher
+};
+
+struct TrainResult {
+  std::vector<EpochMetrics> curve;
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+  std::vector<std::int64_t> iterations_per_worker;
+  std::vector<WorkerStats> worker_stats;
+  double wall_seconds = 0.0;
+};
+
+}  // namespace shmcaffe::core

@@ -1,0 +1,35 @@
+#include "core/evaluate.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace shmcaffe::core {
+
+EvalResult evaluate(dl::Net& net, const data::SynthImageDataset& dataset, int batch_size) {
+  EvalResult result;
+  std::vector<std::size_t> indices(dataset.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  std::size_t done = 0;
+  while (done < indices.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(static_cast<std::size_t>(batch_size), indices.size() - done);
+    dataset.fill_batch(std::span<const std::size_t>(indices.data() + done, take),
+                       net.input("data"), net.input("label"));
+    const dl::Tensor& loss = net.forward(/*train=*/false);
+    loss_sum += static_cast<double>(loss[0]) * static_cast<double>(take);
+    const std::vector<int> predicted = dl::argmax_rows(net.blob("logits"));
+    for (std::size_t i = 0; i < take; ++i) {
+      correct += predicted[i] == static_cast<int>(net.input("label")[i]);
+    }
+    done += take;
+  }
+  result.samples = done;
+  result.loss = loss_sum / static_cast<double>(done);
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(done);
+  return result;
+}
+
+}  // namespace shmcaffe::core

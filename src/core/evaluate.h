@@ -1,0 +1,20 @@
+// Model evaluation on a held-out dataset.
+#pragma once
+
+#include "data/synth_dataset.h"
+#include "dl/net.h"
+
+namespace shmcaffe::core {
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;  ///< top-1, in [0,1]
+  std::size_t samples = 0;
+};
+
+/// Runs the whole dataset through the net in eval mode (batched) and returns
+/// mean loss and top-1 accuracy.  The net's "data"/"label" inputs are reused.
+EvalResult evaluate(dl::Net& net, const data::SynthImageDataset& dataset,
+                    int batch_size = 64);
+
+}  // namespace shmcaffe::core

@@ -1,0 +1,86 @@
+#include "core/progress_board.h"
+
+namespace shmcaffe::core {
+
+namespace {
+// Slot layout: [0, workers) per-worker iteration counts; slot `workers` is
+// the stop flag.
+}  // namespace
+
+ProgressBoard::ProgressBoard(smb::SmbServer& server, smb::ShmKey key, int workers,
+                             bool create)
+    : server_(&server), workers_(workers) {
+  const auto slots = static_cast<std::size_t>(workers) + 1;
+  handle_ = create ? server.create_counters(key, slots) : server.attach_counters(key, slots);
+}
+
+void ProgressBoard::report(int worker, std::int64_t iterations) {
+  server_->store(handle_, static_cast<std::size_t>(worker), iterations);
+}
+
+std::int64_t ProgressBoard::iterations_of(int worker) const {
+  return server_->load(handle_, static_cast<std::size_t>(worker));
+}
+
+std::int64_t ProgressBoard::min_iterations() const {
+  std::int64_t result = iterations_of(0);
+  for (int w = 1; w < workers_; ++w) result = std::min(result, iterations_of(w));
+  return result;
+}
+
+std::int64_t ProgressBoard::max_iterations() const {
+  std::int64_t result = iterations_of(0);
+  for (int w = 1; w < workers_; ++w) result = std::max(result, iterations_of(w));
+  return result;
+}
+
+double ProgressBoard::mean_iterations() const {
+  std::int64_t sum = 0;
+  for (int w = 0; w < workers_; ++w) sum += iterations_of(w);
+  return static_cast<double>(sum) / workers_;
+}
+
+void ProgressBoard::raise_stop() {
+  server_->store(handle_, static_cast<std::size_t>(workers_), 1);
+}
+
+bool ProgressBoard::stop_raised() const {
+  return server_->load(handle_, static_cast<std::size_t>(workers_)) != 0;
+}
+
+bool ProgressBoard::should_stop(TerminationCriterion criterion, int worker,
+                                std::int64_t my_iterations,
+                                std::int64_t target_iterations) {
+  report(worker, my_iterations);
+  if (stop_raised()) return true;
+  switch (criterion) {
+    case TerminationCriterion::kMasterFinishes:
+      if (worker == 0 && my_iterations >= target_iterations) {
+        raise_stop();
+        return true;
+      }
+      return false;
+    case TerminationCriterion::kFirstFinisher:
+      if (my_iterations >= target_iterations) {
+        raise_stop();
+        return true;
+      }
+      return false;
+    case TerminationCriterion::kAverageIterations:
+      if (mean_iterations() >= static_cast<double>(target_iterations)) {
+        raise_stop();
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void ProgressBoard::release() {
+  if (server_ != nullptr && handle_.valid()) {
+    server_->release(handle_);
+    handle_ = smb::Handle{};
+  }
+}
+
+}  // namespace shmcaffe::core

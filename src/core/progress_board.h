@@ -1,0 +1,51 @@
+// Shared training-progress board over SMB counters (§III-E).
+//
+// BVLC Caffe stops after a fixed iteration count, so asynchronous workers
+// with computation-speed deviations finish at different times while still
+// occupying their GPUs.  ShmCaffe publishes every worker's completed
+// iteration count in an SMB counter segment; workers consult it each
+// iteration and align their termination by one of three criteria:
+//   1. everyone stops when the master worker reaches its target,
+//   2. everyone stops as soon as the first worker reaches its target,
+//   3. everyone stops when the average iteration count reaches the target.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "smb/server.h"
+
+namespace shmcaffe::core {
+
+class ProgressBoard {
+ public:
+  /// Master constructs with create=true; slaves attach with create=false.
+  ProgressBoard(smb::SmbServer& server, smb::ShmKey key, int workers, bool create);
+
+  /// Publishes `iterations` completed by `worker`.
+  void report(int worker, std::int64_t iterations);
+
+  [[nodiscard]] std::int64_t iterations_of(int worker) const;
+  [[nodiscard]] std::int64_t min_iterations() const;
+  [[nodiscard]] std::int64_t max_iterations() const;
+  [[nodiscard]] double mean_iterations() const;
+
+  /// Raises the global stop flag (idempotent).
+  void raise_stop();
+  [[nodiscard]] bool stop_raised() const;
+
+  /// Evaluates the termination rule for `worker` having completed
+  /// `my_iterations` of `target_iterations`; raises the stop flag when the
+  /// rule fires.  Returns true if the worker should stop now.
+  bool should_stop(TerminationCriterion criterion, int worker, std::int64_t my_iterations,
+                   std::int64_t target_iterations);
+
+  void release();
+
+ private:
+  smb::SmbServer* server_;
+  smb::Handle handle_;
+  int workers_;
+};
+
+}  // namespace shmcaffe::core

@@ -1,0 +1,46 @@
+// SEASGD update algebra — equations (2)–(7) of the paper.
+//
+// Local solver step (eq. 2) is the ordinary SGD update and lives in
+// dl::SgdSolver.  The elastic-averaging exchange is:
+//
+//   dW_x  = alpha * (W'_x - W_g)      (5)  weight increment
+//   W''_x = W'_x - dW_x               (6)  local weight update
+//   W'_g  = W_g + dW_x                (7)  global accumulate (SMB side)
+//
+// These helpers operate on flat float spans (the SMB segment layout) and are
+// shared by the functional trainers; (7) is performed by the SMB server's
+// accumulate operation.
+#pragma once
+
+#include <cassert>
+#include <span>
+
+namespace shmcaffe::core {
+
+/// Computes the weight increment dW = alpha * (local - global)   (eq. 5).
+inline void weight_increment(std::span<const float> local, std::span<const float> global,
+                             float alpha, std::span<float> delta) {
+  assert(local.size() == global.size() && local.size() == delta.size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    delta[i] = alpha * (local[i] - global[i]);
+  }
+}
+
+/// Applies the local update  W'' = W' - dW   (eq. 6).
+inline void apply_increment_locally(std::span<float> local, std::span<const float> delta) {
+  assert(local.size() == delta.size());
+  for (std::size_t i = 0; i < local.size(); ++i) local[i] -= delta[i];
+}
+
+/// Fused (5)+(6): computes delta and updates local in one pass.
+inline void elastic_exchange(std::span<float> local, std::span<const float> global,
+                             float alpha, std::span<float> delta) {
+  assert(local.size() == global.size() && local.size() == delta.size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const float d = alpha * (local[i] - global[i]);
+    delta[i] = d;
+    local[i] -= d;
+  }
+}
+
+}  // namespace shmcaffe::core

@@ -1,0 +1,82 @@
+#include "core/sharded_buffer.h"
+
+#include <stdexcept>
+
+namespace shmcaffe::core {
+
+ShardedBuffer ShardedBuffer::build(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
+                                   std::size_t total, bool create) {
+  if (servers.empty()) throw std::invalid_argument("ShardedBuffer: no servers");
+  if (total == 0) throw std::invalid_argument("ShardedBuffer: empty buffer");
+  if (total < servers.size()) {
+    throw std::invalid_argument("ShardedBuffer: fewer elements than servers");
+  }
+  ShardedBuffer buffer;
+  buffer.total_ = total;
+  const std::size_t base = total / servers.size();
+  const std::size_t extra = total % servers.size();
+  std::size_t offset = 0;
+  try {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      Shard shard;
+      shard.server = servers[i];
+      shard.offset = offset;
+      shard.count = base + (i < extra ? 1 : 0);
+      shard.handle = create ? servers[i]->create_floats(key, shard.count)
+                            : servers[i]->attach_floats(key, shard.count);
+      offset += shard.count;
+      buffer.shards_.push_back(shard);
+    }
+  } catch (...) {
+    // Exception safety: a partial create/attach (e.g. attaching while the
+    // creator is still setting up later shards) must not leak references.
+    buffer.release();
+    throw;
+  }
+  return buffer;
+}
+
+ShardedBuffer ShardedBuffer::create(std::span<smb::SmbServer* const> servers,
+                                    smb::ShmKey key, std::size_t total) {
+  return build(servers, key, total, /*create=*/true);
+}
+
+ShardedBuffer ShardedBuffer::attach(std::span<smb::SmbServer* const> servers,
+                                    smb::ShmKey key, std::size_t total) {
+  return build(servers, key, total, /*create=*/false);
+}
+
+void ShardedBuffer::read(std::span<float> dst) const {
+  if (dst.size() != total_) throw std::invalid_argument("ShardedBuffer::read size mismatch");
+  for (const Shard& shard : shards_) {
+    shard.server->read(shard.handle, dst.subspan(shard.offset, shard.count));
+  }
+}
+
+void ShardedBuffer::write(std::span<const float> src) {
+  if (src.size() != total_) throw std::invalid_argument("ShardedBuffer::write size mismatch");
+  for (const Shard& shard : shards_) {
+    shard.server->write(shard.handle, src.subspan(shard.offset, shard.count));
+  }
+}
+
+void ShardedBuffer::accumulate_into(ShardedBuffer& dst) const {
+  if (dst.total_ != total_ || dst.shards_.size() != shards_.size()) {
+    throw std::invalid_argument("ShardedBuffer::accumulate_into sharding mismatch");
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].server != dst.shards_[i].server ||
+        shards_[i].count != dst.shards_[i].count) {
+      throw std::invalid_argument("ShardedBuffer::accumulate_into sharding mismatch");
+    }
+    shards_[i].server->accumulate(shards_[i].handle, dst.shards_[i].handle);
+  }
+}
+
+void ShardedBuffer::release() {
+  for (Shard& shard : shards_) shard.server->release(shard.handle);
+  shards_.clear();
+  total_ = 0;
+}
+
+}  // namespace shmcaffe::core

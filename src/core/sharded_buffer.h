@@ -1,0 +1,64 @@
+// A logical float buffer sharded across multiple SMB servers.
+//
+// The paper's concluding future work: "improve the performance of the SMB
+// framework by using multiple SMB servers."  ShardedBuffer implements the
+// data-plane side functionally: one logical parameter buffer of `total`
+// elements is split into near-equal contiguous shards, one per server;
+// reads/writes fan out to every shard, and accumulate_into() runs the
+// server-side accumulate per shard (each server serialises only its own
+// shard's updates, which is exactly where the bandwidth/accumulate win
+// comes from).  With a single server it degenerates to a plain segment.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "smb/server.h"
+
+namespace shmcaffe::core {
+
+class ShardedBuffer {
+ public:
+  ShardedBuffer() = default;
+
+  /// Creates per-server segments under `key` (same key on every server).
+  static ShardedBuffer create(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
+                              std::size_t total);
+
+  /// Attaches to segments previously created under `key`.
+  static ShardedBuffer attach(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
+                              std::size_t total);
+
+  [[nodiscard]] std::size_t size() const { return total_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] bool valid() const { return !shards_.empty(); }
+
+  /// Reads the whole logical buffer (dst.size() == size()).
+  void read(std::span<float> dst) const;
+
+  /// Writes the whole logical buffer (src.size() == size()).
+  void write(std::span<const float> src);
+
+  /// Server-side accumulate of this buffer into `dst`, shard by shard.
+  /// Both buffers must have identical sharding (same servers, same size).
+  void accumulate_into(ShardedBuffer& dst) const;
+
+  /// Releases every shard; the buffer becomes invalid.
+  void release();
+
+ private:
+  struct Shard {
+    smb::SmbServer* server = nullptr;
+    smb::Handle handle;
+    std::size_t offset = 0;
+    std::size_t count = 0;
+  };
+
+  static ShardedBuffer build(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
+                             std::size_t total, bool create);
+
+  std::vector<Shard> shards_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace shmcaffe::core

@@ -1,0 +1,233 @@
+#include "core/sim_shmcaffe.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "coll/pcie_model.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "smb/sim_smb.h"
+
+namespace shmcaffe::core {
+namespace {
+
+struct GroupStats {
+  SimTime comp = 0;
+  SimTime comm = 0;
+};
+
+/// One group's endpoint on one SMB server (the global buffer is sharded
+/// across servers; shard i holds `bytes` of W_g and of this group's dW).
+struct ShardEndpoint {
+  smb::SimSmbClient* client = nullptr;
+  smb::Handle global;
+  smb::Handle delta;
+  std::int64_t bytes = 0;
+};
+
+sim::Task<void> read_global(sim::Simulation& sim, std::vector<ShardEndpoint>& shards) {
+  std::vector<sim::Task<void>> reads;
+  reads.reserve(shards.size());
+  for (ShardEndpoint& shard : shards) {
+    reads.push_back(shard.client->read(shard.global, shard.bytes));
+  }
+  co_await sim::when_all(sim, std::move(reads));
+}
+
+sim::Task<void> flush_increment(sim::Simulation& sim, std::vector<ShardEndpoint>& shards) {
+  auto flush_one = [](ShardEndpoint& shard) -> sim::Task<void> {
+    co_await shard.client->write(shard.delta, shard.bytes);        // T.A1: T_wwi
+    co_await shard.client->accumulate(shard.delta, shard.global);  // T.A2-4: T_ugw
+  };
+  std::vector<sim::Task<void>> flushes;
+  flushes.reserve(shards.size());
+  for (ShardEndpoint& shard : shards) flushes.push_back(flush_one(shard));
+  co_await sim::when_all(sim, std::move(flushes));
+}
+
+/// The Fig. 6 update thread of one group root.
+sim::Task<void> update_thread(sim::Simulation& sim, std::vector<ShardEndpoint>& shards,
+                              sim::Semaphore& wake, sim::SimMutex& exchange_mutex,
+                              bool& stopping) {
+  for (;;) {
+    co_await wake.acquire();
+    if (stopping) co_return;
+    sim::SimLock lock = co_await exchange_mutex.scoped_lock();
+    co_await flush_increment(sim, shards);
+  }
+}
+
+sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& options,
+                             std::vector<ShardEndpoint> shards, int group,
+                             int total_groups, GroupStats& stats) {
+  const cluster::ModelProfile& model = cluster::profile(options.model);
+  const cluster::TestbedSpec& spec = options.testbed;
+  const coll::PcieModel pcie{spec.pcie_bus_bandwidth, 20 * units::kMicrosecond};
+  const int s = options.group_size;
+  common::Rng rng = common::Rng(options.seed).fork(static_cast<std::uint64_t>(group) + 1);
+
+  // T_ulw: elementwise local-weight update from the global copy.
+  const SimTime t_ulw = units::transfer_time(model.param_bytes, spec.gpu_update_bandwidth);
+
+  sim::Semaphore wake(sim, 0);
+  sim::SimMutex exchange_mutex(sim);
+  bool stopping = false;
+  sim::JoinHandle updater =
+      sim.spawn(update_thread(sim, shards, wake, exchange_mutex, stopping));
+
+  // A single group has nobody to share with: the paper's "(S#, A0)" rows
+  // are plain synchronous SGD with no SMB exchange, and one ShmCaffe worker
+  // degenerates to standalone Caffe.
+  const bool use_smb = total_groups > 1;
+
+  std::vector<SimTime> member_comps(static_cast<std::size_t>(s));
+  for (std::int64_t it = 0; it < options.iterations; ++it) {
+    const bool sharing = use_smb && it % options.update_interval == 0;
+    const SimTime iter_start = sim.now();
+    if (sharing) {
+      // Mutually exclusive with the update thread; a still-running previous
+      // flush blocks us here (the paper's T.A5 wait).
+      {
+        sim::SimLock lock = co_await exchange_mutex.scoped_lock();
+        co_await read_global(sim, shards);  // T1: T_rgw
+        co_await sim.delay(t_ulw);          // T2: T_ulw
+        if (!options.overlap_update) {
+          // Ablation: flush the increment inline instead of overlapping.
+          co_await flush_increment(sim, shards);
+        }
+      }
+      if (options.overlap_update) wake.release();  // T3
+    }
+
+    // T4 + T5: the group's computation; a synchronous group proceeds when
+    // its slowest member finishes (members' idle waits count as comm).
+    SimTime comp_max = 0;
+    for (SimTime& c : member_comps) {
+      c = options.jitter.sample(rng, model.comp_time);
+      comp_max = std::max(comp_max, c);
+    }
+    co_await sim.delay(comp_max);
+
+    if (s > 1) {
+      // Hybrid: intra-node gradient allreduce before the local update and
+      // the root's broadcast of refreshed weights after the exchange.
+      const SimTime intra = pcie.ring_allreduce_time(s, model.param_bytes) +
+                            (sharing ? pcie.broadcast_time(s, model.param_bytes) : 0);
+      co_await sim.delay(intra);
+    }
+
+    // Per-member accounting, matching how the paper measures: computation
+    // is the member's own minibatch time; communication is everything else
+    // in the iteration (transfers, lock waits, straggler waits).
+    const SimTime iter_time = sim.now() - iter_start;
+    for (SimTime c : member_comps) {
+      stats.comp += c;
+      stats.comm += iter_time - c;
+    }
+  }
+
+  stopping = true;
+  wake.release();
+  co_await updater;
+}
+
+}  // namespace
+
+cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
+  if (options.workers < 1 || options.group_size < 1 ||
+      options.workers % options.group_size != 0) {
+    throw std::invalid_argument("workers must be a multiple of group_size");
+  }
+  if (options.smb_servers < 1) throw std::invalid_argument("smb_servers must be >= 1");
+  const int groups = options.workers / options.group_size;
+  const int nservers = options.smb_servers;
+  const cluster::ModelProfile& model = cluster::profile(options.model);
+  const cluster::TestbedSpec& spec = options.testbed;
+
+  sim::Simulation sim;
+  net::FabricOptions fabric_options;
+  fabric_options.efficiency = spec.fabric_efficiency;
+  net::Fabric fabric(sim, fabric_options);
+
+  smb::SimSmbOptions smb_options;
+  smb_options.server_bandwidth = spec.hca_bandwidth;
+  smb_options.accumulate_bandwidth = spec.smb_accumulate_bandwidth;
+  std::vector<std::unique_ptr<smb::SimSmbServer>> servers;
+  for (int n = 0; n < nservers; ++n) {
+    servers.push_back(std::make_unique<smb::SimSmbServer>(sim, fabric, smb_options));
+    servers.back()->start();
+  }
+
+  // Shard the parameter buffer evenly across the servers.
+  auto shard_bytes = [&](int server) {
+    const std::int64_t base = model.param_bytes / nservers;
+    return base + (server < model.param_bytes % nservers ? 1 : 0);
+  };
+
+  // One client per (group, server); each group exchanges all its shards in
+  // parallel.  The parallel shard streams still share the node's single
+  // HCA, so each stream is capped at hca_bandwidth / nservers.
+  const double stream_bandwidth =
+      std::min(spec.smb_client_stream_bandwidth, spec.hca_bandwidth / nservers);
+  std::vector<std::vector<std::unique_ptr<smb::SimSmbClient>>> clients(
+      static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    for (int n = 0; n < nservers; ++n) {
+      clients[static_cast<std::size_t>(g)].push_back(std::make_unique<smb::SimSmbClient>(
+          *servers[static_cast<std::size_t>(n)],
+          "group" + std::to_string(g) + ".srv" + std::to_string(n), stream_bandwidth));
+    }
+  }
+
+  // Master (group 0) creates the global shards; every group then creates
+  // its private delta shards.
+  std::vector<std::vector<ShardEndpoint>> endpoints(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    endpoints[static_cast<std::size_t>(g)].resize(static_cast<std::size_t>(nservers));
+  }
+  sim.spawn([](std::vector<std::vector<std::unique_ptr<smb::SimSmbClient>>>& cl,
+               std::vector<std::vector<ShardEndpoint>>& eps, int ngroups, int nsrv,
+               auto bytes_of) -> sim::Task<> {
+    for (int n = 0; n < nsrv; ++n) {
+      const std::int64_t bytes = bytes_of(n);
+      smb::Handle global;
+      for (int g = 0; g < ngroups; ++g) {
+        auto& client = *cl[static_cast<std::size_t>(g)][static_cast<std::size_t>(n)];
+        if (g == 0) global = co_await client.create(1, bytes);
+        ShardEndpoint& ep = eps[static_cast<std::size_t>(g)][static_cast<std::size_t>(n)];
+        ep.client = &client;
+        ep.global = global;
+        ep.delta = co_await client.create(1000 + static_cast<smb::ShmKey>(g), bytes);
+        ep.bytes = bytes;
+      }
+    }
+  }(clients, endpoints, groups, nservers, shard_bytes));
+  sim.run();
+
+  std::vector<GroupStats> stats(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    sim.spawn(group_worker(sim, options, endpoints[static_cast<std::size_t>(g)], g, groups,
+                           stats[static_cast<std::size_t>(g)]));
+  }
+  const SimTime start = sim.now();
+  sim.run();
+
+  cluster::PlatformTiming result;
+  result.iterations = options.iterations;
+  result.makespan = sim.now() - start;
+  SimTime comp_sum = 0;
+  SimTime comm_sum = 0;
+  for (const GroupStats& s : stats) {
+    comp_sum += s.comp;
+    comm_sum += s.comm;
+  }
+  const auto denom = static_cast<std::int64_t>(options.workers) * options.iterations;
+  result.mean_comp = comp_sum / denom;
+  result.mean_comm = comm_sum / denom;
+  return result;
+}
+
+}  // namespace shmcaffe::core

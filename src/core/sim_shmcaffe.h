@@ -1,0 +1,48 @@
+// Timed ShmCaffe model (ShmCaffe-A and ShmCaffe-H) over the simulated SMB.
+//
+// One simulated process per worker *group* (a synchronous group behaves as a
+// single super-worker: its members march in lockstep, so only the group's
+// aggregate timing matters).  Each group iteration replays Fig. 6:
+//
+//   [block until previous increment flushed]            -> counted as comm
+//   T1  read W_g from the SMB server                    -> comm
+//   T2  update local weight (P bytes at GPU rate)       -> comm
+//   T3  wake the update thread, which overlaps:
+//         T.A1 write dW to the group's RSM segment
+//         T.A2-4 exclusive server-side accumulate
+//   T4+T5  compute (max over the group's members' jittered times)  -> comp
+//   [hybrid only] intra-node ncclAllReduce + root broadcast        -> comm
+//
+// update_interval > 1 skips the exchange on non-sharing iterations.
+#pragma once
+
+#include "cluster/jitter.h"
+#include "cluster/model_profiles.h"
+#include "cluster/platform_result.h"
+
+namespace shmcaffe::core {
+
+struct SimShmCaffeOptions {
+  cluster::ModelKind model = cluster::ModelKind::kInceptionV1;
+  int workers = 8;               ///< total GPUs
+  int group_size = 1;            ///< S per group; 1 = pure SEASGD (ShmCaffe-A)
+  int update_interval = 1;
+  /// Number of SMB servers sharding the global weight buffer — the paper's
+  /// stated future work ("improve the performance of the SMB framework by
+  /// using multiple SMB servers").  Each server holds param_bytes/N of W_g
+  /// and dW_x; a worker exchanges with all servers in parallel.
+  int smb_servers = 1;
+  std::int64_t iterations = 200; ///< per group (measurement window)
+  /// Fig. 6's design: the weight-increment write and global accumulate run
+  /// on a separate update thread, hidden behind computation.  false = the
+  /// ablation where the main thread performs them inline.
+  bool overlap_update = true;
+  cluster::TestbedSpec testbed;
+  cluster::ComputeJitter jitter;
+  std::uint64_t seed = 0x51;
+};
+
+/// Runs the timed model and returns the per-iteration breakdown.
+cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options);
+
+}  // namespace shmcaffe::core

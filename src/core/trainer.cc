@@ -1,0 +1,369 @@
+#include "core/trainer.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "coll/nccl.h"
+#include "core/evaluate.h"
+#include "core/progress_board.h"
+#include "core/seasgd_math.h"
+#include "core/sharded_buffer.h"
+#include "data/loader.h"
+#include "dl/param_vector.h"
+#include "minimpi/minimpi.h"
+#include "smb/server.h"
+
+namespace shmcaffe::core {
+namespace {
+
+constexpr smb::ShmKey kProgressKeyOffset = 1'000'000;
+
+/// The Fig. 6 update-thread state: one per group root.
+struct ExchangeState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool pending = false;  // a weight increment awaits flushing to the SMB
+  bool stopping = false;
+  std::vector<float> delta;
+};
+
+struct WorkerShared {
+  const DistTrainOptions* options = nullptr;
+  const data::SynthImageDataset* train_set = nullptr;
+  std::vector<smb::SmbServer*> servers;  // shard the global buffer (>= 1)
+  minimpi::Context* mpi = nullptr;
+  std::vector<std::unique_ptr<coll::DeviceGroup>>* groups = nullptr;
+  std::int64_t target_iterations = 0;
+  int lr_step_iterations = 0;
+  smb::ShmKey base_key = 0;
+  std::atomic<std::int64_t> total_iterations{0};
+  std::vector<std::int64_t> final_iterations;  // one slot per worker
+  std::vector<WorkerStats> worker_stats;       // one slot per worker
+};
+
+/// Adds the elapsed seconds since `from` to `sink` and resets `from`.
+class SegmentTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+  void charge(double& sink) {
+    const Clock::time_point now = Clock::now();
+    sink += std::chrono::duration<double>(now - mark_).count();
+    mark_ = now;
+  }
+  void reset() { mark_ = Clock::now(); }
+
+ private:
+  Clock::time_point mark_ = Clock::now();
+};
+
+void run_worker(WorkerShared& shared, int worker) {
+  const DistTrainOptions& options = *shared.options;
+  const int group_size = options.group_size;
+  const int group_index = worker / group_size;
+  const int local_rank = worker % group_size;
+  const bool is_root = local_rank == 0;
+  const bool is_async = group_size == 1;
+
+  minimpi::Endpoint mpi = shared.mpi->endpoint(worker);
+  coll::Communicator comm =
+      (*shared.groups)[static_cast<std::size_t>(group_index)]->communicator(local_rank);
+
+  dl::Net net = dl::make_model(options.model_family, options.input);
+  const std::size_t param_count = net.param_count();
+
+  // --- Fig. 2 initialisation: the master creates the global-weight segment
+  // and the progress board, then broadcasts the SHM key over MPI.
+  smb::ShmKey shm_key = 0;
+  ShardedBuffer global;
+  std::unique_ptr<ProgressBoard> board;
+  smb::SmbServer& board_server = *shared.servers.front();
+  if (worker == 0) {
+    shm_key = shared.base_key;
+    global = ShardedBuffer::create(shared.servers, shm_key, param_count);
+    board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
+                                            options.workers, /*create=*/true);
+    common::Rng init_rng(options.seed);
+    net.init_params(init_rng);
+    std::vector<float> init(param_count);
+    dl::copy_params_to(net, init);
+    global.write(init);
+  }
+  mpi.broadcast_value(0, shm_key);
+  if (worker != 0) {
+    global = ShardedBuffer::attach(shared.servers, shm_key, param_count);
+    board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
+                                            options.workers, /*create=*/false);
+  }
+  // Every group root owns a private weight-increment buffer (Fig. 5: the
+  // dW_x buffers are not shared among other workers).
+  ShardedBuffer delta_buffer;
+  if (is_root) {
+    delta_buffer = ShardedBuffer::create(
+        shared.servers, shm_key + 1 + static_cast<smb::ShmKey>(worker), param_count);
+  }
+  mpi.barrier();
+
+  // Everyone adopts the initial global weights before training.
+  std::vector<float> local(param_count);
+  std::vector<float> global_copy(param_count);
+  global.read(local);
+  dl::copy_params_from(net, local);
+
+  dl::SolverOptions solver_options = options.solver;
+  solver_options.step_size = shared.lr_step_iterations;
+  dl::SgdSolver solver(net, solver_options);
+
+  data::Prefetcher prefetcher(
+      data::ShardedLoader(*shared.train_set, worker, options.workers, options.batch_size,
+                          options.seed ^ 0xda7aULL),
+      options.prefetch_depth);
+
+  // --- Fig. 6 update thread (group roots only).
+  ExchangeState exchange;
+  exchange.delta.resize(param_count);
+  std::thread update_thread;
+  if (is_root) {
+    update_thread = std::thread([&exchange, &delta_buffer, &global] {
+      std::unique_lock lock(exchange.mutex);
+      for (;;) {
+        exchange.cv.wait(lock, [&] { return exchange.pending || exchange.stopping; });
+        if (!exchange.pending) return;  // stopping with nothing pending
+        // T.A1: store the weight increment in this worker's RSM segments.
+        delta_buffer.write(exchange.delta);
+        // T.A2-T.A4: exclusive server-side global accumulate (eq. 7),
+        // shard by shard across the SMB servers.
+        delta_buffer.accumulate_into(global);
+        exchange.pending = false;
+        exchange.cv.notify_all();  // T.A5: wake a blocked main thread
+      }
+    });
+  }
+
+  WorkerStats& stats = shared.worker_stats[static_cast<std::size_t>(worker)];
+  const float alpha = static_cast<float>(options.moving_rate);
+  auto seasgd_exchange = [&] {
+    ++stats.exchanges;
+    // T1/T2 must be mutually exclusive with the update thread's T.A1-T.A4:
+    // block here until the previous increment has been flushed.
+    std::unique_lock lock(exchange.mutex);
+    exchange.cv.wait(lock, [&] { return !exchange.pending; });
+    global.read(global_copy);                                     // T1
+    dl::copy_params_to(net, local);
+    elastic_exchange(local, global_copy, alpha, exchange.delta);  // T2: eqs. (5)+(6)
+    dl::copy_params_from(net, local);
+    exchange.pending = true;  // T3: hand the increment to the update thread
+    lock.unlock();
+    exchange.cv.notify_all();
+  };
+
+  std::vector<float> grads(group_size > 1 ? param_count : 0);
+  std::vector<float> vote(1);
+  std::int64_t iteration = 0;
+  bool stop = false;
+  while (!stop) {
+    // Homogeneous-GPU pacing: do not run further ahead of the slowest
+    // worker than the configured skew (see DistTrainOptions).
+    if (options.max_iteration_skew > 0) {
+      while (!board->stop_raised() &&
+             iteration - board->min_iterations() >
+                 static_cast<std::int64_t>(options.max_iteration_skew)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+
+    const bool sharing = iteration % options.update_interval == 0;
+    SegmentTimer timer;
+
+    // ShmCaffe-A reads the global weight at the start of every iteration;
+    // the paper deliberately does not hide T_rgw behind computation, to
+    // avoid training on stale parameters.
+    if (is_async && sharing) {
+      seasgd_exchange();
+      timer.charge(stats.exchange_seconds);
+    }
+
+    data::Batch batch = prefetcher.next();
+    timer.charge(stats.data_wait_seconds);
+    net.input("data") = std::move(batch.data);
+    net.input("label") = std::move(batch.labels);
+    (void)net.forward(/*train=*/true);
+    net.backward();
+    timer.charge(stats.train_seconds);
+
+    if (group_size > 1) {
+      // Hybrid: intra-group synchronous SGD (ncclAllReduce of gradients).
+      dl::copy_grads_to(net, grads);
+      comm.all_reduce_mean(grads);
+      dl::copy_grads_from(net, grads);
+      timer.charge(stats.collective_seconds);
+    }
+    solver.step();  // eq. (2)
+    timer.charge(stats.train_seconds);
+
+    if (!is_async && sharing) {
+      // Hybrid §III-D: the root exchanges with the SMB server, then
+      // broadcasts the refreshed weights to its group.
+      if (is_root) {
+        seasgd_exchange();
+        dl::copy_params_to(net, local);
+        timer.charge(stats.exchange_seconds);
+      }
+      comm.broadcast(0, local);
+      if (!is_root) dl::copy_params_from(net, local);
+      timer.charge(stats.collective_seconds);
+    }
+
+    ++iteration;
+    shared.total_iterations.fetch_add(1, std::memory_order_relaxed);
+
+    // §III-E: aligned termination via the shared progress board.  The group
+    // root takes the decision; synchronous members follow it so the group
+    // never diverges.
+    if (is_root) {
+      vote[0] = board->should_stop(options.termination, worker, iteration,
+                                   shared.target_iterations)
+                    ? 1.0F
+                    : 0.0F;
+    } else {
+      board->report(worker, iteration);
+    }
+    if (group_size > 1) comm.broadcast(0, vote);
+    stop = vote[0] != 0.0F;
+  }
+
+  shared.final_iterations[static_cast<std::size_t>(worker)] = iteration;
+  stats.iterations = iteration;
+
+  if (is_root) {
+    {
+      std::scoped_lock lock(exchange.mutex);
+      exchange.stopping = true;
+    }
+    exchange.cv.notify_all();
+    update_thread.join();
+    delta_buffer.release();
+  }
+  board->release();
+  global.release();
+}
+
+}  // namespace
+
+TrainResult train_shmcaffe(const DistTrainOptions& options) {
+  if (options.workers < 1) throw std::invalid_argument("workers must be >= 1");
+  if (options.group_size < 1 || options.workers % options.group_size != 0) {
+    throw std::invalid_argument("group_size must divide workers");
+  }
+  if (options.update_interval < 1) {
+    throw std::invalid_argument("update_interval must be >= 1");
+  }
+
+  if (options.smb_servers < 1) throw std::invalid_argument("smb_servers must be >= 1");
+  const data::SynthImageDataset train_set(options.train_data);
+  const data::SynthImageDataset test_set(options.test_data);
+
+  std::vector<std::unique_ptr<smb::SmbServer>> servers;
+  for (int n = 0; n < options.smb_servers; ++n) {
+    servers.push_back(std::make_unique<smb::SmbServer>());
+  }
+  minimpi::Context mpi(options.workers);
+  std::vector<std::unique_ptr<coll::DeviceGroup>> groups;
+  for (int g = 0; g < options.workers / options.group_size; ++g) {
+    groups.push_back(std::make_unique<coll::DeviceGroup>(options.group_size));
+  }
+
+  WorkerShared shared;
+  shared.options = &options;
+  shared.train_set = &train_set;
+  for (const auto& server : servers) shared.servers.push_back(server.get());
+  shared.mpi = &mpi;
+  shared.groups = &groups;
+  shared.base_key = (options.seed | 1) & 0x7fffffff;
+  shared.final_iterations.assign(static_cast<std::size_t>(options.workers), 0);
+  shared.worker_stats.assign(static_cast<std::size_t>(options.workers), WorkerStats{});
+
+  const std::int64_t iters_per_epoch_total =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(train_set.size()) /
+                                    options.batch_size);
+  const std::int64_t per_worker_per_epoch =
+      std::max<std::int64_t>(1, iters_per_epoch_total / options.workers);
+  shared.target_iterations = per_worker_per_epoch * options.epochs;
+  shared.lr_step_iterations =
+      std::max<int>(1, static_cast<int>(per_worker_per_epoch) * 4);  // 4-epoch LR steps
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) {
+    threads.emplace_back([&shared, w] { run_worker(shared, w); });
+  }
+  std::atomic<bool> joined{false};
+  std::thread joiner([&threads, &joined] {
+    for (auto& t : threads) t.join();
+    joined = true;
+  });
+
+  // Orchestrator: snapshot and evaluate the global weights at
+  // epoch-equivalent boundaries (total iterations across all workers).
+  TrainResult result;
+  dl::Net eval_net = dl::make_model(options.model_family, options.input);
+  ShardedBuffer global;
+  for (;;) {
+    try {
+      global = ShardedBuffer::attach(shared.servers, shared.base_key,
+                                     eval_net.param_count());
+      break;
+    } catch (const smb::SmbError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::vector<float> snapshot(global.size());
+
+  const std::int64_t total_target =
+      shared.target_iterations * static_cast<std::int64_t>(options.workers);
+  const std::int64_t per_epoch_total =
+      std::max<std::int64_t>(1, total_target / options.epochs);
+  int next_epoch = 1;
+  auto catch_up_evals = [&] {
+    const std::int64_t done = shared.total_iterations.load(std::memory_order_relaxed);
+    while (next_epoch < options.epochs &&
+           done >= static_cast<std::int64_t>(next_epoch) * per_epoch_total) {
+      global.read(snapshot);
+      dl::copy_params_from(eval_net, snapshot);
+      const EvalResult eval = evaluate(eval_net, test_set);
+      result.curve.push_back(EpochMetrics{next_epoch, eval.loss, eval.accuracy});
+      ++next_epoch;
+    }
+  };
+  while (!joined.load(std::memory_order_acquire)) {
+    catch_up_evals();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  joiner.join();
+  catch_up_evals();
+
+  global.read(snapshot);
+  dl::copy_params_from(eval_net, snapshot);
+  const EvalResult final_eval = evaluate(eval_net, test_set);
+  result.final_accuracy = final_eval.accuracy;
+  result.final_loss = final_eval.loss;
+  if (result.curve.empty() || result.curve.back().epoch < options.epochs) {
+    result.curve.push_back(
+        EpochMetrics{options.epochs, final_eval.loss, final_eval.accuracy});
+  }
+  global.release();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  result.iterations_per_worker = shared.final_iterations;
+  result.worker_stats = std::move(shared.worker_stats);
+  return result;
+}
+
+}  // namespace shmcaffe::core

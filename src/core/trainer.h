@@ -1,0 +1,33 @@
+// Functional ShmCaffe distributed trainer.
+//
+// Implements the paper's training system with real OS threads, a real SMB
+// server (smb::SmbServer), MiniMPI initialisation and NCCL-style intra-group
+// collectives:
+//
+//  * ShmCaffe-A (options.group_size == 1): every worker runs SEASGD against
+//    the shared global-weight segment, with the Fig. 6 two-thread protocol —
+//    the main thread reads W_g and updates the local weight at iteration
+//    start; a separate update thread overlaps the weight-increment write and
+//    the server-side accumulate with the minibatch computation; the two are
+//    mutually exclusive via a per-worker lock.
+//  * ShmCaffe-H (options.group_size > 1): workers in the same group run
+//    synchronous SGD (ncclAllReduce gradient averaging), and only the group
+//    root exchanges elastically with the SMB server, broadcasting refreshed
+//    weights to its group (§III-D).
+//
+// Initialisation follows Fig. 2: MPI rank 0 creates the segments, publishes
+// the SHM key over MPI broadcast, initialises W_g, and every worker attaches
+// and adopts the global weights before training.  Termination is aligned
+// through the shared progress board (§III-E).
+#pragma once
+
+#include "core/config.h"
+
+namespace shmcaffe::core {
+
+/// Runs distributed training; blocks until all workers finish.  The curve is
+/// evaluated on the *global* weights at each epoch-equivalent boundary
+/// (total iterations across workers).
+TrainResult train_shmcaffe(const DistTrainOptions& options);
+
+}  // namespace shmcaffe::core

@@ -1,0 +1,82 @@
+#include "data/loader.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace shmcaffe::data {
+
+ShardedLoader::ShardedLoader(const SynthImageDataset& dataset, int worker, int worker_count,
+                             int batch_size, std::uint64_t shuffle_seed)
+    : dataset_(&dataset), batch_size_(batch_size), shuffle_seed_(shuffle_seed) {
+  if (worker < 0 || worker >= worker_count) {
+    throw std::invalid_argument("ShardedLoader: worker out of range");
+  }
+  if (batch_size < 1) throw std::invalid_argument("ShardedLoader: batch_size must be >= 1");
+  for (std::size_t i = static_cast<std::size_t>(worker); i < dataset.size();
+       i += static_cast<std::size_t>(worker_count)) {
+    shard_.push_back(i);
+  }
+  if (shard_.size() < static_cast<std::size_t>(batch_size)) {
+    throw std::invalid_argument("ShardedLoader: shard smaller than one batch");
+  }
+  shuffle_for_epoch();
+}
+
+void ShardedLoader::shuffle_for_epoch() {
+  common::Rng rng = common::Rng(shuffle_seed_).fork(static_cast<std::uint64_t>(epoch_));
+  rng.shuffle(shard_);
+  cursor_ = 0;
+}
+
+void ShardedLoader::next(Batch& batch) {
+  if (cursor_ + static_cast<std::size_t>(batch_size_) > shard_.size()) {
+    ++epoch_;
+    shuffle_for_epoch();
+  }
+  batch.epoch = epoch_;
+  dataset_->fill_batch(
+      std::span<const std::size_t>(shard_.data() + cursor_,
+                                   static_cast<std::size_t>(batch_size_)),
+      batch.data, batch.labels);
+  cursor_ += static_cast<std::size_t>(batch_size_);
+}
+
+Prefetcher::Prefetcher(ShardedLoader loader, std::size_t depth)
+    : loader_(std::move(loader)), depth_(depth == 0 ? 1 : depth) {
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  producer_.join();
+}
+
+void Prefetcher::producer_loop() {
+  for (;;) {
+    Batch batch;
+    loader_.next(batch);
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return queue_.size() < depth_ || stopping_; });
+    if (stopping_) return;
+    queue_.push_back(std::move(batch));
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+}
+
+Batch Prefetcher::next() {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [this] { return !queue_.empty(); });
+  Batch batch = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return batch;
+}
+
+}  // namespace shmcaffe::data

@@ -1,0 +1,87 @@
+// Sharded minibatch loading with background prefetch.
+//
+// ShardedLoader partitions a dataset across workers without duplication
+// (round-robin by index), reshuffles its shard every epoch with a
+// deterministic per-(seed, epoch) permutation, and emits fixed-size
+// minibatches.  Prefetcher wraps a loader in a producer thread with a
+// bounded queue — the paper's platforms prefetch 10 minibatches to hide
+// data-feeding latency (§IV-C).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synth_dataset.h"
+#include "dl/tensor.h"
+
+namespace shmcaffe::data {
+
+struct Batch {
+  dl::Tensor data;
+  dl::Tensor labels;
+  int epoch = 0;
+  [[nodiscard]] int size() const { return data.empty() ? 0 : data.dim(0); }
+};
+
+class ShardedLoader {
+ public:
+  /// `worker` in [0, worker_count); the shard is every worker_count-th index.
+  ShardedLoader(const SynthImageDataset& dataset, int worker, int worker_count,
+                int batch_size, std::uint64_t shuffle_seed = 0x5eed);
+
+  /// Samples in this worker's shard.
+  [[nodiscard]] std::size_t shard_size() const { return shard_.size(); }
+  /// Full minibatches per epoch (a trailing partial batch is dropped, as
+  /// Caffe's data layer does).
+  [[nodiscard]] std::size_t batches_per_epoch() const { return shard_.size() / batch_size_; }
+  [[nodiscard]] int batch_size() const { return batch_size_; }
+  [[nodiscard]] int epoch() const { return epoch_; }
+
+  /// Fills the next minibatch, advancing (and reshuffling at) epoch
+  /// boundaries.
+  void next(Batch& batch);
+
+ private:
+  void shuffle_for_epoch();
+
+  const SynthImageDataset* dataset_;
+  int batch_size_;
+  std::uint64_t shuffle_seed_;
+  std::vector<std::size_t> shard_;
+  std::size_t cursor_ = 0;
+  int epoch_ = 0;
+};
+
+/// Background-thread prefetcher over a ShardedLoader.
+class Prefetcher {
+ public:
+  Prefetcher(ShardedLoader loader, std::size_t depth = 10);
+  ~Prefetcher();
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Blocks until a prefetched batch is available.
+  Batch next();
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+ private:
+  void producer_loop();
+
+  ShardedLoader loader_;
+  std::size_t depth_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Batch> queue_;
+  bool stopping_ = false;
+  std::thread producer_;
+};
+
+}  // namespace shmcaffe::data

@@ -1,0 +1,55 @@
+// In-memory key-value record store with an LMDB-style flavour, plus the
+// sample codec used to serialise dataset entries.
+//
+// The paper converts ImageNet to LMDB before training; this store plays
+// that role for the synthetic dataset: `write_dataset` freezes a
+// SynthImageDataset into records (sorted keys, zero-padded decimal index,
+// exactly how Caffe's convert_imageset names entries), and readers fetch
+// records by key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/synth_dataset.h"
+
+namespace shmcaffe::data {
+
+class RecordStore {
+ public:
+  /// Inserts a record; returns false if the key already exists.
+  bool put(std::string key, std::vector<std::byte> value);
+
+  /// Returns the record's bytes, or nullopt if absent.
+  [[nodiscard]] std::optional<std::span<const std::byte>> get(const std::string& key) const;
+
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+  [[nodiscard]] std::int64_t total_bytes() const { return total_bytes_; }
+
+  /// All keys in lexicographic order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::vector<std::byte>> records_;
+  std::int64_t total_bytes_ = 0;
+};
+
+/// Serialises one (image, label) sample.  Format: u32 magic, i32 label,
+/// u32 count, then count raw floats.
+std::vector<std::byte> encode_sample(std::span<const float> image, int label);
+
+/// Decodes; returns false on malformed input.
+bool decode_sample(std::span<const std::byte> record, std::vector<float>& image, int& label);
+
+/// Zero-padded decimal record key for sample `index` (Caffe convention).
+std::string record_key(std::size_t index);
+
+/// Freezes the whole dataset into the store.  Returns records written.
+std::size_t write_dataset(const SynthImageDataset& dataset, RecordStore& store);
+
+}  // namespace shmcaffe::data

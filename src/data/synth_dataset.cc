@@ -1,0 +1,108 @@
+#include "data/synth_dataset.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace shmcaffe::data {
+namespace {
+
+/// Base intensity of pattern family `cls` at pixel (y, x), in [-1, 1].
+/// `phase_y`, `phase_x` jitter the geometry per sample; `freq` the scale.
+float pattern_value(int cls, int y, int x, int height, int width, double phase_y,
+                    double phase_x, double freq) {
+  const double fy = (y + phase_y) * freq;
+  const double fx = (x + phase_x) * freq;
+  const double cy = height / 2.0 + phase_y;
+  const double cx = width / 2.0 + phase_x;
+  const double dy = y - cy;
+  const double dx = x - cx;
+  const double radius = std::sqrt(dy * dy + dx * dx);
+  switch (cls) {
+    case 0:  // horizontal stripes
+      return static_cast<float>(std::sin(fy));
+    case 1:  // vertical stripes
+      return static_cast<float>(std::sin(fx));
+    case 2:  // diagonal stripes
+      return static_cast<float>(std::sin((fy + fx) * 0.7071));
+    case 3:  // checkerboard
+      return static_cast<float>(std::sin(fy) * std::sin(fx));
+    case 4:  // concentric rings
+      return static_cast<float>(std::sin(radius * freq * 2.0));
+    case 5:  // centred blob
+      return static_cast<float>(2.0 * std::exp(-radius * radius / (0.08 * height * width)) -
+                                1.0);
+    case 6:  // corner-to-corner gradient
+      return static_cast<float>((static_cast<double>(y) / height +
+                                 static_cast<double>(x) / width) -
+                                1.0);
+    case 7: {  // axis-aligned cross
+      const bool on_cross = std::abs(dy) < height / 6.0 || std::abs(dx) < width / 6.0;
+      return on_cross ? 1.0F : -1.0F;
+    }
+    default:
+      return 0.0F;
+  }
+}
+
+}  // namespace
+
+SynthImageDataset::SynthImageDataset(SynthDatasetOptions options) : options_(options) {
+  if (options_.classes < 2 || options_.classes > 8) {
+    throw std::invalid_argument("SynthImageDataset supports 2..8 classes");
+  }
+  if (options_.size == 0 || options_.channels < 1 || options_.height < 4 ||
+      options_.width < 4) {
+    throw std::invalid_argument("SynthImageDataset: invalid geometry");
+  }
+}
+
+int SynthImageDataset::label(std::size_t index) const {
+  assert(index < options_.size);
+  return static_cast<int>(index % static_cast<std::size_t>(options_.classes));
+}
+
+void SynthImageDataset::materialize(std::size_t index, std::span<float> image) const {
+  assert(index < options_.size);
+  if (image.size() != image_elements()) {
+    throw std::invalid_argument("materialize: wrong image buffer size");
+  }
+  const int cls = label(index);
+  common::Rng rng = common::Rng(options_.seed).fork(index * 2654435761ULL + 1);
+
+  // Per-sample geometric and photometric jitter.
+  const double phase_y = rng.uniform(0.0, 4.0);
+  const double phase_x = rng.uniform(0.0, 4.0);
+  const double freq = rng.uniform(0.9, 1.25) * (2.0 * M_PI / 8.0);
+  const double amplitude = rng.uniform(0.7, 1.0);
+
+  for (int c = 0; c < options_.channels; ++c) {
+    const double tint = rng.uniform(0.8, 1.2);
+    for (int y = 0; y < options_.height; ++y) {
+      for (int x = 0; x < options_.width; ++x) {
+        const std::size_t at =
+            (static_cast<std::size_t>(c) * options_.height + y) * options_.width + x;
+        const double base = pattern_value(cls, y, x, options_.height, options_.width,
+                                          phase_y, phase_x, freq);
+        image[at] = static_cast<float>(amplitude * tint * base +
+                                       rng.normal(0.0, options_.noise_stddev));
+      }
+    }
+  }
+}
+
+void SynthImageDataset::fill_batch(std::span<const std::size_t> indices, dl::Tensor& data,
+                                   dl::Tensor& labels) const {
+  const int batch = static_cast<int>(indices.size());
+  data.reshape({batch, options_.channels, options_.height, options_.width});
+  labels.reshape({batch});
+  const std::size_t stride = image_elements();
+  for (int n = 0; n < batch; ++n) {
+    const std::size_t index = indices[static_cast<std::size_t>(n)];
+    materialize(index,
+                std::span<float>(data.data() + static_cast<std::size_t>(n) * stride, stride));
+    labels[static_cast<std::size_t>(n)] = static_cast<float>(label(index));
+  }
+}
+
+}  // namespace shmcaffe::data

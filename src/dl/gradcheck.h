@@ -1,0 +1,93 @@
+// Numerical gradient checking for nets (test utility).
+//
+// For a sample of parameters, compares the analytic gradient produced by
+// backward() against the central finite difference of the loss.  Inputs and
+// labels must already be loaded into the net.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "dl/net.h"
+
+namespace shmcaffe::dl {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::size_t checked = 0;
+  /// Per-check relative errors (for quantile-based assertions: in deep ReLU
+  /// nets a few samples legitimately straddle activation kinks and blow up
+  /// the max, while a genuinely wrong gradient corrupts most samples).
+  std::vector<double> rel_errors;
+
+  /// q-th quantile of the per-check relative errors (q in [0,1]).
+  [[nodiscard]] double rel_error_quantile(double q) const {
+    if (rel_errors.empty()) return 0.0;
+    std::vector<double> sorted = rel_errors;
+    std::sort(sorted.begin(), sorted.end());
+    const auto index = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+    return sorted[index];
+  }
+};
+
+/// Checks up to `max_checks` randomly-chosen parameters with step `epsilon`.
+/// Nets must be deterministic across forward calls (no dropout, or dropout
+/// probability 0).
+///
+/// `denominator_floor` bounds the relative-error denominator from below:
+/// fp32 forward passes give the central difference an absolute noise floor
+/// of ~1e-4/epsilon, so gradients much smaller than the floor are judged on
+/// absolute rather than relative error.  Keep epsilon small (~1e-3): larger
+/// steps cross ReLU kinks and corrupt the numeric estimate.
+inline GradCheckResult check_gradients(Net& net, double epsilon, std::size_t max_checks,
+                                       common::Rng& rng,
+                                       double denominator_floor = 0.02) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  net.zero_param_grads();
+  (void)net.forward(/*train=*/true);
+  net.backward();
+
+  const auto params = net.params();
+  std::size_t total = 0;
+  for (ParamBlob* blob : params) total += blob->value.size();
+
+  for (std::size_t check = 0; check < max_checks; ++check) {
+    const std::size_t flat = rng.next_below(total);
+    // Locate the blob and element.
+    std::size_t offset = 0;
+    ParamBlob* blob = nullptr;
+    std::size_t index = 0;
+    for (ParamBlob* candidate : params) {
+      if (flat < offset + candidate->value.size()) {
+        blob = candidate;
+        index = flat - offset;
+        break;
+      }
+      offset += candidate->value.size();
+    }
+    const float saved = blob->value[index];
+    blob->value[index] = saved + static_cast<float>(epsilon);
+    const double loss_plus = net.forward(true)[0];
+    blob->value[index] = saved - static_cast<float>(epsilon);
+    const double loss_minus = net.forward(true)[0];
+    blob->value[index] = saved;
+
+    const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    const double analytic = blob->grad[index];
+    const double abs_error = std::abs(numeric - analytic);
+    const double denom = std::max({std::abs(numeric), std::abs(analytic), denominator_floor});
+    result.max_abs_error = std::max(result.max_abs_error, abs_error);
+    result.max_rel_error = std::max(result.max_rel_error, abs_error / denom);
+    result.rel_errors.push_back(abs_error / denom);
+    ++result.checked;
+  }
+  return result;
+}
+
+}  // namespace shmcaffe::dl

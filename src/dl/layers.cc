@@ -1,0 +1,620 @@
+#include "dl/layers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace shmcaffe::dl {
+namespace {
+
+void check(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+int conv_out_extent(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/// MSRA (He) initialisation for ReLU networks.
+void msra_fill(Tensor& t, std::size_t fan_in, common::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& v : t.span()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+}  // namespace
+
+// --- Conv2d ---------------------------------------------------------------
+
+Conv2d::Conv2d(std::string name, int in_channels, int out_channels, int kernel, int stride,
+               int pad, ConvEngine engine)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      engine_(engine) {
+  check(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 && pad >= 0,
+        "Conv2d: invalid geometry");
+  weight_.name = Layer::name() + ".weight";
+  weight_.reshape({out_channels_, in_channels_, kernel_, kernel_});
+  bias_.name = Layer::name() + ".bias";
+  bias_.reshape({out_channels_});
+}
+
+void Conv2d::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(bottoms.size() == 1, "Conv2d: expects one bottom");
+  const Tensor& x = *bottoms[0];
+  check(x.rank() == 4, "Conv2d: bottom must be NCHW");
+  check(x.c() == in_channels_, "Conv2d: channel mismatch");
+  const int oh = conv_out_extent(x.h(), kernel_, stride_, pad_);
+  const int ow = conv_out_extent(x.w(), kernel_, stride_, pad_);
+  check(oh > 0 && ow > 0, "Conv2d: output would be empty");
+  top.reshape({x.n(), out_channels_, oh, ow});
+}
+
+void Conv2d::init_params(common::Rng& rng) {
+  msra_fill(weight_.value,
+            static_cast<std::size_t>(in_channels_) * kernel_ * kernel_, rng);
+  if (init_scale_ != 1.0) {
+    for (float& v : weight_.value.span()) v *= static_cast<float>(init_scale_);
+  }
+  bias_.value.zero();
+}
+
+void Conv2d::forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool /*train*/) {
+  if (engine_ == ConvEngine::kIm2colGemm) {
+    forward_gemm(*bottoms[0], top);
+  } else {
+    forward_direct(*bottoms[0], top);
+  }
+}
+
+void Conv2d::forward_direct(const Tensor& x, Tensor& top) {
+  const int oh = top.h();
+  const int ow = top.w();
+  for (int n = 0; n < x.n(); ++n) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float b = bias_.value[static_cast<std::size_t>(oc)];
+      for (int y = 0; y < oh; ++y) {
+        for (int xo = 0; xo < ow; ++xo) {
+          float acc = b;
+          for (int ic = 0; ic < in_channels_; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const int iy = y * stride_ + ky - pad_;
+              if (iy < 0 || iy >= x.h()) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const int ix = xo * stride_ + kx - pad_;
+                if (ix < 0 || ix >= x.w()) continue;
+                acc += weight_.value.at(oc, ic, ky, kx) * x.at(n, ic, iy, ix);
+              }
+            }
+          }
+          top.at(n, oc, y, xo) = acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                      const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) {
+  if (engine_ == ConvEngine::kIm2colGemm) {
+    backward_gemm(*bottoms[0], top, top_grad, bottom_grads[0]);
+  } else {
+    backward_direct(*bottoms[0], top, top_grad, bottom_grads[0]);
+  }
+}
+
+void Conv2d::backward_direct(const Tensor& x, const Tensor& top, const Tensor& top_grad,
+                             Tensor* dx) {
+  const int oh = top.h();
+  const int ow = top.w();
+  for (int n = 0; n < x.n(); ++n) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      for (int y = 0; y < oh; ++y) {
+        for (int xo = 0; xo < ow; ++xo) {
+          const float g = top_grad.at(n, oc, y, xo);
+          if (g == 0.0F) continue;
+          bias_.grad[static_cast<std::size_t>(oc)] += g;
+          for (int ic = 0; ic < in_channels_; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const int iy = y * stride_ + ky - pad_;
+              if (iy < 0 || iy >= x.h()) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const int ix = xo * stride_ + kx - pad_;
+                if (ix < 0 || ix >= x.w()) continue;
+                weight_.grad.at(oc, ic, ky, kx) += g * x.at(n, ic, iy, ix);
+                if (dx != nullptr) {
+                  dx->at(n, ic, iy, ix) += g * weight_.value.at(oc, ic, ky, kx);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::im2col(const Tensor& x, int sample, int oh, int ow) {
+  // col_ layout: rows = (ic, ky, kx), columns = (y, xo).
+  const int columns = oh * ow;
+  col_.assign(static_cast<std::size_t>(in_channels_) * kernel_ * kernel_ * columns, 0.0F);
+  std::size_t row = 0;
+  for (int ic = 0; ic < in_channels_; ++ic) {
+    for (int ky = 0; ky < kernel_; ++ky) {
+      for (int kx = 0; kx < kernel_; ++kx, ++row) {
+        float* dst = col_.data() + row * static_cast<std::size_t>(columns);
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * stride_ + ky - pad_;
+          if (iy < 0 || iy >= x.h()) {
+            dst += ow;
+            continue;
+          }
+          for (int xo = 0; xo < ow; ++xo, ++dst) {
+            const int ix = xo * stride_ + kx - pad_;
+            if (ix >= 0 && ix < x.w()) *dst = x.at(sample, ic, iy, ix);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::forward_gemm(const Tensor& x, Tensor& top) {
+  const int oh = top.h();
+  const int ow = top.w();
+  const int columns = oh * ow;
+  const int kk = in_channels_ * kernel_ * kernel_;
+  const float* w = weight_.value.data();  // [OC, kk]
+  for (int n = 0; n < x.n(); ++n) {
+    im2col(x, n, oh, ow);
+    float* out = top.data() +
+                 static_cast<std::size_t>(n) * out_channels_ * columns;
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      float* orow = out + static_cast<std::size_t>(oc) * columns;
+      std::fill(orow, orow + columns, bias_.value[static_cast<std::size_t>(oc)]);
+      const float* wrow = w + static_cast<std::size_t>(oc) * kk;
+      for (int r = 0; r < kk; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0F) continue;
+        const float* crow = col_.data() + static_cast<std::size_t>(r) * columns;
+        for (int cidx = 0; cidx < columns; ++cidx) orow[cidx] += wv * crow[cidx];
+      }
+    }
+  }
+}
+
+void Conv2d::backward_gemm(const Tensor& x, const Tensor& top, const Tensor& top_grad,
+                           Tensor* dx) {
+  const int oh = top.h();
+  const int ow = top.w();
+  const int columns = oh * ow;
+  const int kk = in_channels_ * kernel_ * kernel_;
+  const float* w = weight_.value.data();
+  float* dw = weight_.grad.data();
+  std::vector<float> dcol(static_cast<std::size_t>(kk) * columns);
+
+  for (int n = 0; n < x.n(); ++n) {
+    im2col(x, n, oh, ow);
+    const float* gout = top_grad.data() +
+                        static_cast<std::size_t>(n) * out_channels_ * columns;
+    // dW += dY . col^T ; db += row-sums(dY) ; dcol = W^T . dY
+    std::fill(dcol.begin(), dcol.end(), 0.0F);
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* grow = gout + static_cast<std::size_t>(oc) * columns;
+      float bias_acc = 0.0F;
+      for (int cidx = 0; cidx < columns; ++cidx) bias_acc += grow[cidx];
+      bias_.grad[static_cast<std::size_t>(oc)] += bias_acc;
+      float* dwrow = dw + static_cast<std::size_t>(oc) * kk;
+      const float* wrow = w + static_cast<std::size_t>(oc) * kk;
+      for (int r = 0; r < kk; ++r) {
+        const float* crow = col_.data() + static_cast<std::size_t>(r) * columns;
+        float acc = 0.0F;
+        for (int cidx = 0; cidx < columns; ++cidx) acc += grow[cidx] * crow[cidx];
+        dwrow[r] += acc;
+        if (dx != nullptr) {
+          const float wv = wrow[r];
+          if (wv != 0.0F) {
+            float* drow = dcol.data() + static_cast<std::size_t>(r) * columns;
+            for (int cidx = 0; cidx < columns; ++cidx) drow[cidx] += wv * grow[cidx];
+          }
+        }
+      }
+    }
+    if (dx == nullptr) continue;
+    // col2im: scatter-add dcol back into dx.
+    std::size_t row = 0;
+    for (int ic = 0; ic < in_channels_; ++ic) {
+      for (int ky = 0; ky < kernel_; ++ky) {
+        for (int kx = 0; kx < kernel_; ++kx, ++row) {
+          const float* drow = dcol.data() + row * static_cast<std::size_t>(columns);
+          for (int y = 0; y < oh; ++y) {
+            const int iy = y * stride_ + ky - pad_;
+            if (iy < 0 || iy >= x.h()) continue;
+            for (int xo = 0; xo < ow; ++xo) {
+              const int ix = xo * stride_ + kx - pad_;
+              if (ix >= 0 && ix < x.w()) {
+                dx->at(n, ic, iy, ix) += drow[y * ow + xo];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- Relu -------------------------------------------------------------------
+
+void Relu::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(bottoms.size() == 1, "Relu: expects one bottom");
+  top.reshape(bottoms[0]->shape());
+}
+
+void Relu::forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool /*train*/) {
+  const Tensor& x = *bottoms[0];
+  for (std::size_t i = 0; i < x.size(); ++i) top[i] = x[i] > 0.0F ? x[i] : 0.0F;
+}
+
+void Relu::backward(const std::vector<const Tensor*>& bottoms, const Tensor& /*top*/,
+                    const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) {
+  const Tensor& x = *bottoms[0];
+  Tensor* dx = bottom_grads[0];
+  if (dx == nullptr) return;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0F) (*dx)[i] += top_grad[i];
+  }
+}
+
+// --- MaxPool2d ---------------------------------------------------------------
+
+MaxPool2d::MaxPool2d(std::string name, int kernel, int stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {
+  check(kernel > 0 && stride > 0, "MaxPool2d: invalid geometry");
+}
+
+void MaxPool2d::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(bottoms.size() == 1, "MaxPool2d: expects one bottom");
+  const Tensor& x = *bottoms[0];
+  check(x.rank() == 4, "MaxPool2d: bottom must be NCHW");
+  const int oh = conv_out_extent(x.h(), kernel_, stride_, 0);
+  const int ow = conv_out_extent(x.w(), kernel_, stride_, 0);
+  check(oh > 0 && ow > 0, "MaxPool2d: output would be empty");
+  top.reshape({x.n(), x.c(), oh, ow});
+}
+
+void MaxPool2d::forward(const std::vector<const Tensor*>& bottoms, Tensor& top,
+                        bool /*train*/) {
+  const Tensor& x = *bottoms[0];
+  argmax_.assign(top.size(), 0);
+  std::size_t out_index = 0;
+  for (int n = 0; n < x.n(); ++n) {
+    for (int c = 0; c < x.c(); ++c) {
+      for (int y = 0; y < top.h(); ++y) {
+        for (int xo = 0; xo < top.w(); ++xo) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::uint32_t best_index = 0;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = y * stride_ + ky;
+            if (iy >= x.h()) break;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = xo * stride_ + kx;
+              if (ix >= x.w()) break;
+              const float v = x.at(n, c, iy, ix);
+              if (v > best) {
+                best = v;
+                best_index = static_cast<std::uint32_t>(
+                    ((static_cast<std::size_t>(n) * x.c() + c) * x.h() + iy) * x.w() + ix);
+              }
+            }
+          }
+          top[out_index] = best;
+          argmax_[out_index] = best_index;
+          ++out_index;
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2d::backward(const std::vector<const Tensor*>& /*bottoms*/, const Tensor& top,
+                         const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) {
+  Tensor* dx = bottom_grads[0];
+  if (dx == nullptr) return;
+  assert(argmax_.size() == top.size());
+  (void)top;
+  for (std::size_t i = 0; i < top_grad.size(); ++i) {
+    (*dx)[argmax_[i]] += top_grad[i];
+  }
+}
+
+// --- GlobalAvgPool ----------------------------------------------------------
+
+void GlobalAvgPool::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(bottoms.size() == 1, "GlobalAvgPool: expects one bottom");
+  const Tensor& x = *bottoms[0];
+  check(x.rank() == 4, "GlobalAvgPool: bottom must be NCHW");
+  top.reshape({x.n(), x.c(), 1, 1});
+}
+
+void GlobalAvgPool::forward(const std::vector<const Tensor*>& bottoms, Tensor& top,
+                            bool /*train*/) {
+  const Tensor& x = *bottoms[0];
+  const float inv = 1.0F / static_cast<float>(x.h() * x.w());
+  for (int n = 0; n < x.n(); ++n) {
+    for (int c = 0; c < x.c(); ++c) {
+      float acc = 0.0F;
+      for (int y = 0; y < x.h(); ++y) {
+        for (int xo = 0; xo < x.w(); ++xo) acc += x.at(n, c, y, xo);
+      }
+      top.at(n, c, 0, 0) = acc * inv;
+    }
+  }
+}
+
+void GlobalAvgPool::backward(const std::vector<const Tensor*>& bottoms, const Tensor& /*top*/,
+                             const Tensor& top_grad,
+                             const std::vector<Tensor*>& bottom_grads) {
+  const Tensor& x = *bottoms[0];
+  Tensor* dx = bottom_grads[0];
+  if (dx == nullptr) return;
+  const float inv = 1.0F / static_cast<float>(x.h() * x.w());
+  for (int n = 0; n < x.n(); ++n) {
+    for (int c = 0; c < x.c(); ++c) {
+      const float g = top_grad.at(n, c, 0, 0) * inv;
+      for (int y = 0; y < x.h(); ++y) {
+        for (int xo = 0; xo < x.w(); ++xo) dx->at(n, c, y, xo) += g;
+      }
+    }
+  }
+}
+
+// --- FullyConnected ----------------------------------------------------------
+
+FullyConnected::FullyConnected(std::string name, int in_features, int out_features)
+    : Layer(std::move(name)), in_features_(in_features), out_features_(out_features) {
+  check(in_features > 0 && out_features > 0, "FullyConnected: invalid sizes");
+  weight_.name = Layer::name() + ".weight";
+  weight_.reshape({out_features_, in_features_});
+  bias_.name = Layer::name() + ".bias";
+  bias_.reshape({out_features_});
+}
+
+void FullyConnected::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(bottoms.size() == 1, "FullyConnected: expects one bottom");
+  const Tensor& x = *bottoms[0];
+  check(x.rank() >= 2, "FullyConnected: bottom needs a batch axis");
+  const auto features = static_cast<int>(x.size()) / x.dim(0);
+  check(features == in_features_, "FullyConnected: feature count mismatch");
+  top.reshape({x.dim(0), out_features_});
+}
+
+void FullyConnected::init_params(common::Rng& rng) {
+  msra_fill(weight_.value, static_cast<std::size_t>(in_features_), rng);
+  bias_.value.zero();
+}
+
+void FullyConnected::forward(const std::vector<const Tensor*>& bottoms, Tensor& top,
+                             bool /*train*/) {
+  const Tensor& x = *bottoms[0];
+  const int batch = x.dim(0);
+  const float* in = x.data();
+  float* out = top.data();
+  const float* w = weight_.value.data();
+  for (int n = 0; n < batch; ++n) {
+    const float* xn = in + static_cast<std::size_t>(n) * in_features_;
+    float* yn = out + static_cast<std::size_t>(n) * out_features_;
+    for (int o = 0; o < out_features_; ++o) {
+      const float* wrow = w + static_cast<std::size_t>(o) * in_features_;
+      float acc = bias_.value[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_features_; ++i) acc += wrow[i] * xn[i];
+      yn[o] = acc;
+    }
+  }
+}
+
+void FullyConnected::backward(const std::vector<const Tensor*>& bottoms, const Tensor& /*top*/,
+                              const Tensor& top_grad,
+                              const std::vector<Tensor*>& bottom_grads) {
+  const Tensor& x = *bottoms[0];
+  Tensor* dx = bottom_grads[0];
+  const int batch = x.dim(0);
+  const float* in = x.data();
+  const float* w = weight_.value.data();
+  float* dw = weight_.grad.data();
+  for (int n = 0; n < batch; ++n) {
+    const float* xn = in + static_cast<std::size_t>(n) * in_features_;
+    const float* gn = top_grad.data() + static_cast<std::size_t>(n) * out_features_;
+    for (int o = 0; o < out_features_; ++o) {
+      const float g = gn[o];
+      if (g == 0.0F) continue;
+      bias_.grad[static_cast<std::size_t>(o)] += g;
+      float* dwrow = dw + static_cast<std::size_t>(o) * in_features_;
+      for (int i = 0; i < in_features_; ++i) dwrow[i] += g * xn[i];
+      if (dx != nullptr) {
+        float* dxn = dx->data() + static_cast<std::size_t>(n) * in_features_;
+        const float* wrow = w + static_cast<std::size_t>(o) * in_features_;
+        for (int i = 0; i < in_features_; ++i) dxn[i] += g * wrow[i];
+      }
+    }
+  }
+}
+
+// --- Dropout ------------------------------------------------------------------
+
+Dropout::Dropout(std::string name, double drop_probability, std::uint64_t seed)
+    : Layer(std::move(name)), drop_probability_(drop_probability), rng_(seed) {
+  check(drop_probability >= 0.0 && drop_probability < 1.0, "Dropout: p must be in [0,1)");
+}
+
+void Dropout::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(bottoms.size() == 1, "Dropout: expects one bottom");
+  top.reshape(bottoms[0]->shape());
+}
+
+void Dropout::forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) {
+  const Tensor& x = *bottoms[0];
+  if (!train || drop_probability_ == 0.0) {
+    std::copy(x.span().begin(), x.span().end(), top.span().begin());
+    mask_.assign(x.size(), 1.0F);
+    return;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - drop_probability_));
+  mask_.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mask_[i] = rng_.chance(drop_probability_) ? 0.0F : keep_scale;
+    top[i] = x[i] * mask_[i];
+  }
+}
+
+void Dropout::backward(const std::vector<const Tensor*>& /*bottoms*/, const Tensor& /*top*/,
+                       const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) {
+  Tensor* dx = bottom_grads[0];
+  if (dx == nullptr) return;
+  assert(mask_.size() == top_grad.size());
+  for (std::size_t i = 0; i < top_grad.size(); ++i) (*dx)[i] += top_grad[i] * mask_[i];
+}
+
+// --- Concat --------------------------------------------------------------------
+
+void Concat::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(!bottoms.empty(), "Concat: needs at least one bottom");
+  const Tensor& first = *bottoms[0];
+  check(first.rank() == 4, "Concat: bottoms must be NCHW");
+  int channels = 0;
+  for (const Tensor* b : bottoms) {
+    check(b->rank() == 4 && b->n() == first.n() && b->h() == first.h() && b->w() == first.w(),
+          "Concat: mismatched bottom geometry");
+    channels += b->c();
+  }
+  top.reshape({first.n(), channels, first.h(), first.w()});
+}
+
+void Concat::forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool /*train*/) {
+  const int n_total = top.n();
+  for (int n = 0; n < n_total; ++n) {
+    int c_off = 0;
+    for (const Tensor* b : bottoms) {
+      for (int c = 0; c < b->c(); ++c) {
+        for (int y = 0; y < b->h(); ++y) {
+          for (int x = 0; x < b->w(); ++x) {
+            top.at(n, c_off + c, y, x) = b->at(n, c, y, x);
+          }
+        }
+      }
+      c_off += b->c();
+    }
+  }
+}
+
+void Concat::backward(const std::vector<const Tensor*>& bottoms, const Tensor& /*top*/,
+                      const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) {
+  const int n_total = top_grad.n();
+  for (int n = 0; n < n_total; ++n) {
+    int c_off = 0;
+    for (std::size_t bi = 0; bi < bottoms.size(); ++bi) {
+      const Tensor& b = *bottoms[bi];
+      Tensor* dx = bottom_grads[bi];
+      if (dx != nullptr) {
+        for (int c = 0; c < b.c(); ++c) {
+          for (int y = 0; y < b.h(); ++y) {
+            for (int x = 0; x < b.w(); ++x) {
+              dx->at(n, c, y, x) += top_grad.at(n, c_off + c, y, x);
+            }
+          }
+        }
+      }
+      c_off += b.c();
+    }
+  }
+}
+
+// --- EltwiseAdd -------------------------------------------------------------------
+
+void EltwiseAdd::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(bottoms.size() >= 2, "EltwiseAdd: needs at least two bottoms");
+  for (const Tensor* b : bottoms) {
+    check(b->same_shape(*bottoms[0]), "EltwiseAdd: mismatched shapes");
+  }
+  top.reshape(bottoms[0]->shape());
+}
+
+void EltwiseAdd::forward(const std::vector<const Tensor*>& bottoms, Tensor& top,
+                         bool /*train*/) {
+  top.zero();
+  for (const Tensor* b : bottoms) {
+    for (std::size_t i = 0; i < top.size(); ++i) top[i] += (*b)[i];
+  }
+}
+
+void EltwiseAdd::backward(const std::vector<const Tensor*>& /*bottoms*/, const Tensor& /*top*/,
+                          const Tensor& top_grad,
+                          const std::vector<Tensor*>& bottom_grads) {
+  for (Tensor* dx : bottom_grads) {
+    if (dx == nullptr) continue;
+    for (std::size_t i = 0; i < top_grad.size(); ++i) (*dx)[i] += top_grad[i];
+  }
+}
+
+// --- SoftmaxCrossEntropy ------------------------------------------------------------
+
+void SoftmaxCrossEntropy::setup(const std::vector<const Tensor*>& bottoms, Tensor& top) {
+  check(bottoms.size() == 2, "SoftmaxCrossEntropy: expects {logits, labels}");
+  const Tensor& logits = *bottoms[0];
+  const Tensor& labels = *bottoms[1];
+  check(logits.rank() == 2, "SoftmaxCrossEntropy: logits must be [N,K]");
+  check(labels.size() == static_cast<std::size_t>(logits.dim(0)),
+        "SoftmaxCrossEntropy: one label per sample");
+  top.reshape({1});
+}
+
+void SoftmaxCrossEntropy::forward(const std::vector<const Tensor*>& bottoms, Tensor& top,
+                                  bool /*train*/) {
+  const Tensor& logits = *bottoms[0];
+  const Tensor& labels = *bottoms[1];
+  const int batch = logits.dim(0);
+  const int classes = logits.dim(1);
+  probs_.reshape({batch, classes});
+  double loss = 0.0;
+  for (int n = 0; n < batch; ++n) {
+    const float* row = logits.data() + static_cast<std::size_t>(n) * classes;
+    float* prow = probs_.data() + static_cast<std::size_t>(n) * classes;
+    const float maxv = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (int k = 0; k < classes; ++k) {
+      prow[k] = std::exp(row[k] - maxv);
+      denom += prow[k];
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (int k = 0; k < classes; ++k) prow[k] *= inv;
+    const int label = static_cast<int>(labels[static_cast<std::size_t>(n)]);
+    check(label >= 0 && label < classes, "SoftmaxCrossEntropy: label out of range");
+    loss -= std::log(std::max(static_cast<double>(prow[label]), 1e-12));
+  }
+  top[0] = static_cast<float>(loss / batch);
+}
+
+void SoftmaxCrossEntropy::backward(const std::vector<const Tensor*>& bottoms,
+                                   const Tensor& /*top*/, const Tensor& top_grad,
+                                   const std::vector<Tensor*>& bottom_grads) {
+  const Tensor& labels = *bottoms[1];
+  Tensor* dlogits = bottom_grads[0];
+  if (dlogits == nullptr) return;
+  const int batch = probs_.dim(0);
+  const int classes = probs_.dim(1);
+  const float scale = top_grad[0] / static_cast<float>(batch);
+  for (int n = 0; n < batch; ++n) {
+    const float* prow = probs_.data() + static_cast<std::size_t>(n) * classes;
+    float* grow = dlogits->data() + static_cast<std::size_t>(n) * classes;
+    const int label = static_cast<int>(labels[static_cast<std::size_t>(n)]);
+    for (int k = 0; k < classes; ++k) {
+      grow[k] += scale * (prow[k] - (k == label ? 1.0F : 0.0F));
+    }
+  }
+}
+
+}  // namespace shmcaffe::dl

@@ -1,0 +1,167 @@
+// Concrete layers of the mini-Caffe library: convolution, pooling,
+// activations, inner product, dropout, concat, residual add, and the fused
+// softmax-cross-entropy loss.  All shapes are NCHW; FullyConnected flattens
+// per sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dl/layer.h"
+
+namespace shmcaffe::dl {
+
+/// Convolution compute engine: kDirect is the straightforward reference
+/// implementation; kIm2colGemm lowers each sample to a column matrix and
+/// runs the convolution as a matrix product (Caffe's strategy) — several
+/// times faster on CPU and bit-compatible in shape, equivalent numerically
+/// up to float association.
+enum class ConvEngine { kDirect, kIm2colGemm };
+
+/// 2-D convolution with square kernel, stride and zero padding.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::string name, int in_channels, int out_channels, int kernel, int stride = 1,
+         int pad = 0, ConvEngine engine = ConvEngine::kIm2colGemm);
+
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+  std::vector<ParamBlob*> params() override { return {&weight_, &bias_}; }
+  void init_params(common::Rng& rng) override;
+
+  /// Multiplies the MSRA initialisation's standard deviation.  0 zero-
+  /// initialises the layer — used for the last convolution of residual
+  /// branches so residual blocks start as identities and deep stacks train
+  /// stably without normalisation.
+  void set_init_scale(double scale) { init_scale_ = scale; }
+
+ private:
+  void forward_direct(const Tensor& x, Tensor& top);
+  void backward_direct(const Tensor& x, const Tensor& top, const Tensor& top_grad,
+                       Tensor* dx);
+  void forward_gemm(const Tensor& x, Tensor& top);
+  void backward_gemm(const Tensor& x, const Tensor& top, const Tensor& top_grad, Tensor* dx);
+  void im2col(const Tensor& x, int sample, int oh, int ow);
+
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  ConvEngine engine_;
+  double init_scale_ = 1.0;
+  ParamBlob weight_;          // [out, in, k, k]
+  ParamBlob bias_;            // [out]
+  std::vector<float> col_;    // im2col scratch: [in*k*k, oh*ow]
+};
+
+/// Rectified linear unit, y = max(0, x).
+class Relu final : public Layer {
+ public:
+  explicit Relu(std::string name) : Layer(std::move(name)) {}
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+};
+
+/// Max pooling with square window.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::string name, int kernel, int stride);
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+
+ private:
+  int kernel_;
+  int stride_;
+  std::vector<std::uint32_t> argmax_;  // flat bottom index per top element
+};
+
+/// Global average pooling: [N,C,H,W] -> [N,C,1,1].
+class GlobalAvgPool final : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+};
+
+/// Inner product (fully connected): flattens each sample to a feature vector.
+class FullyConnected final : public Layer {
+ public:
+  FullyConnected(std::string name, int in_features, int out_features);
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+  std::vector<ParamBlob*> params() override { return {&weight_, &bias_}; }
+  void init_params(common::Rng& rng) override;
+
+ private:
+  int in_features_;
+  int out_features_;
+  ParamBlob weight_;  // [out, in]
+  ParamBlob bias_;    // [out]
+};
+
+/// Inverted dropout; identity at evaluation time.
+class Dropout final : public Layer {
+ public:
+  Dropout(std::string name, double drop_probability, std::uint64_t seed = 0x0d20);
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+
+ private:
+  double drop_probability_;
+  common::Rng rng_;
+  std::vector<float> mask_;  // scale factor per element of the last forward
+};
+
+/// Channel-axis concatenation of rank-4 tensors with equal N, H, W.
+class Concat final : public Layer {
+ public:
+  explicit Concat(std::string name) : Layer(std::move(name)) {}
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+};
+
+/// Elementwise sum of equal-shaped bottoms (residual connections).
+class EltwiseAdd final : public Layer {
+ public:
+  explicit EltwiseAdd(std::string name) : Layer(std::move(name)) {}
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+};
+
+/// Fused softmax + cross-entropy loss.
+/// Bottoms: {logits [N,K], labels [N] (class index stored as float)}.
+/// Top: [1] holding the mean loss.  Backward ignores any incoming top_grad
+/// scale other than using it as a multiplier (the net passes 1).
+class SoftmaxCrossEntropy final : public Layer {
+ public:
+  explicit SoftmaxCrossEntropy(std::string name) : Layer(std::move(name)) {}
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+
+  /// Per-sample class probabilities of the last forward ([N,K]).
+  [[nodiscard]] const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+};
+
+}  // namespace shmcaffe::dl

@@ -1,0 +1,76 @@
+// Normalisation and extra pooling layers: batch normalisation, local
+// response normalisation (GoogLeNet's LRN), and windowed average pooling.
+#pragma once
+
+#include "dl/layer.h"
+
+namespace shmcaffe::dl {
+
+/// Spatial batch normalisation over NCHW (per-channel statistics across
+/// N, H, W) with learnable scale/shift.  Training uses batch statistics and
+/// maintains exponential running averages; evaluation uses the running
+/// averages.  The running statistics are non-learnable ParamBlobs, so they
+/// are shared/serialised with the model but skipped by the solver.
+class BatchNorm final : public Layer {
+ public:
+  BatchNorm(std::string name, int channels, double momentum = 0.9, double epsilon = 1e-5);
+
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+  std::vector<ParamBlob*> params() override {
+    return {&scale_, &shift_, &running_mean_, &running_var_};
+  }
+  void init_params(common::Rng& rng) override;
+
+ private:
+  int channels_;
+  double momentum_;
+  double epsilon_;
+  ParamBlob scale_;         // gamma [C]
+  ParamBlob shift_;         // beta [C]
+  ParamBlob running_mean_;  // [C], non-learnable
+  ParamBlob running_var_;   // [C], non-learnable
+  // Cached from the last training forward (for backward).
+  std::vector<float> batch_mean_;
+  std::vector<float> batch_inv_std_;
+  Tensor normalized_;  // x-hat
+};
+
+/// Across-channel local response normalisation (Caffe/AlexNet/GoogLeNet):
+///   y_i = x_i / (k + alpha/n * sum_{j in window(i)} x_j^2)^beta
+class Lrn final : public Layer {
+ public:
+  Lrn(std::string name, int local_size = 5, double alpha = 1e-4, double beta = 0.75,
+      double k = 1.0);
+
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+
+ private:
+  int local_size_;
+  double alpha_;
+  double beta_;
+  double k_;
+  Tensor denom_;  // cached (k + alpha/n * window sum) per element
+};
+
+/// Windowed average pooling (square window).
+class AvgPool2d final : public Layer {
+ public:
+  AvgPool2d(std::string name, int kernel, int stride);
+
+  void setup(const std::vector<const Tensor*>& bottoms, Tensor& top) override;
+  void forward(const std::vector<const Tensor*>& bottoms, Tensor& top, bool train) override;
+  void backward(const std::vector<const Tensor*>& bottoms, const Tensor& top,
+                const Tensor& top_grad, const std::vector<Tensor*>& bottom_grads) override;
+
+ private:
+  int kernel_;
+  int stride_;
+};
+
+}  // namespace shmcaffe::dl

@@ -1,0 +1,191 @@
+#include "dl/models.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "dl/layers.h"
+#include "dl/layers_norm.h"
+
+namespace shmcaffe::dl {
+namespace {
+
+void add_io(Net& net) {
+  net.add_input("data");
+  net.add_input("label");
+}
+
+void add_loss(Net& net) {
+  net.add(std::make_unique<SoftmaxCrossEntropy>("loss"), {"logits", "label"}, "loss");
+}
+
+/// conv + relu pair; returns the relu output blob name.
+std::string conv_relu(Net& net, const std::string& name, const std::string& bottom, int in_c,
+                      int out_c, int kernel, int stride, int pad) {
+  net.add(std::make_unique<Conv2d>(name, in_c, out_c, kernel, stride, pad), {bottom}, name);
+  const std::string out = name + "_relu";
+  net.add(std::make_unique<Relu>(out), {name}, out);
+  return out;
+}
+
+}  // namespace
+
+Net make_mlp(const ModelInputSpec& spec, int hidden) {
+  Net net("mlp");
+  add_io(net);
+  const int in_features = spec.channels * spec.height * spec.width;
+  net.add(std::make_unique<FullyConnected>("fc1", in_features, hidden), {"data"}, "fc1");
+  net.add(std::make_unique<Relu>("relu1"), {"fc1"}, "relu1");
+  net.add(std::make_unique<FullyConnected>("fc2", hidden, hidden / 2), {"relu1"}, "fc2");
+  net.add(std::make_unique<Relu>("relu2"), {"fc2"}, "relu2");
+  net.add(std::make_unique<FullyConnected>("logits", hidden / 2, spec.classes), {"relu2"},
+          "logits");
+  add_loss(net);
+  return net;
+}
+
+Net make_mini_vgg(const ModelInputSpec& spec) {
+  Net net("mini_vgg");
+  add_io(net);
+  std::string x = conv_relu(net, "conv1_1", "data", spec.channels, 16, 3, 1, 1);
+  x = conv_relu(net, "conv1_2", x, 16, 16, 3, 1, 1);
+  net.add(std::make_unique<MaxPool2d>("pool1", 2, 2), {x}, "pool1");
+  x = conv_relu(net, "conv2_1", "pool1", 16, 32, 3, 1, 1);
+  x = conv_relu(net, "conv2_2", x, 32, 32, 3, 1, 1);
+  net.add(std::make_unique<MaxPool2d>("pool2", 2, 2), {x}, "pool2");
+  // VGG's signature: a large fully-connected head.
+  const int flat = 32 * (spec.height / 4) * (spec.width / 4);
+  net.add(std::make_unique<FullyConnected>("fc1", flat, 128), {"pool2"}, "fc1");
+  net.add(std::make_unique<Relu>("fc1_relu"), {"fc1"}, "fc1_relu");
+  net.add(std::make_unique<Dropout>("drop1", 0.5), {"fc1_relu"}, "drop1");
+  net.add(std::make_unique<FullyConnected>("logits", 128, spec.classes), {"drop1"}, "logits");
+  add_loss(net);
+  return net;
+}
+
+namespace {
+
+/// Inception block: branches 1x1, 1x1->3x3, 1x1->3x3->3x3, concatenated.
+/// Returns the concat blob name and writes the output channel count.
+std::string inception_block(Net& net, const std::string& prefix, const std::string& bottom,
+                            int in_c, int b1, int b3_reduce, int b3, int b5_reduce, int b5,
+                            int* out_channels) {
+  const std::string br1 = conv_relu(net, prefix + "_1x1", bottom, in_c, b1, 1, 1, 0);
+  std::string br3 = conv_relu(net, prefix + "_3x3_reduce", bottom, in_c, b3_reduce, 1, 1, 0);
+  br3 = conv_relu(net, prefix + "_3x3", br3, b3_reduce, b3, 3, 1, 1);
+  std::string br5 = conv_relu(net, prefix + "_5x5_reduce", bottom, in_c, b5_reduce, 1, 1, 0);
+  br5 = conv_relu(net, prefix + "_5x5_a", br5, b5_reduce, b5, 3, 1, 1);
+  br5 = conv_relu(net, prefix + "_5x5_b", br5, b5, b5, 3, 1, 1);
+  const std::string out = prefix + "_concat";
+  net.add(std::make_unique<Concat>(out), {br1, br3, br5}, out);
+  *out_channels = b1 + b3 + b5;
+  return out;
+}
+
+}  // namespace
+
+Net make_mini_inception(const ModelInputSpec& spec) {
+  Net net("mini_inception");
+  add_io(net);
+  const std::string stem = conv_relu(net, "stem", "data", spec.channels, 16, 3, 1, 1);
+  net.add(std::make_unique<MaxPool2d>("stem_pool", 2, 2), {stem}, "stem_pool");
+  int channels = 0;
+  std::string x = inception_block(net, "incept1", "stem_pool", 16, 8, 8, 12, 4, 8, &channels);
+  std::string y = inception_block(net, "incept2", x, channels, 12, 8, 16, 4, 8, &channels);
+  net.add(std::make_unique<GlobalAvgPool>("gap"), {y}, "gap");
+  net.add(std::make_unique<FullyConnected>("logits", channels, spec.classes), {"gap"},
+          "logits");
+  add_loss(net);
+  return net;
+}
+
+namespace {
+
+/// Residual block: conv-relu-conv, identity shortcut, relu.  The branch's
+/// last convolution is zero-initialised so the block starts as an identity.
+std::string residual_block(Net& net, const std::string& prefix, const std::string& bottom,
+                           int channels) {
+  const std::string a = conv_relu(net, prefix + "_a", bottom, channels, channels, 3, 1, 1);
+  const std::string b = prefix + "_b";
+  auto branch_out = std::make_unique<Conv2d>(b, channels, channels, 3, 1, 1);
+  branch_out->set_init_scale(0.0);
+  net.add(std::move(branch_out), {a}, b);
+  const std::string sum = prefix + "_add";
+  net.add(std::make_unique<EltwiseAdd>(sum), {bottom, b}, sum);
+  const std::string out = prefix + "_relu";
+  net.add(std::make_unique<Relu>(out), {sum}, out);
+  return out;
+}
+
+}  // namespace
+
+Net make_mini_resnet(const ModelInputSpec& spec) {
+  Net net("mini_resnet");
+  add_io(net);
+  const std::string stem = conv_relu(net, "stem", "data", spec.channels, 16, 3, 1, 1);
+  std::string x = residual_block(net, "res1", stem, 16);
+  net.add(std::make_unique<MaxPool2d>("pool1", 2, 2), {x}, "pool1");
+  x = residual_block(net, "res2", "pool1", 16);
+  x = residual_block(net, "res3", x, 16);
+  net.add(std::make_unique<GlobalAvgPool>("gap"), {x}, "gap");
+  net.add(std::make_unique<FullyConnected>("logits", 16, spec.classes), {"gap"}, "logits");
+  add_loss(net);
+  return net;
+}
+
+namespace {
+
+/// Inception-residual block: inception branches, a linear 1x1 projection
+/// back to `channels`, an identity shortcut, and a trailing ReLU.
+std::string inception_residual_block(Net& net, const std::string& prefix,
+                                     const std::string& bottom, int channels) {
+  const int b1 = channels / 2;
+  const int b3r = channels / 4;
+  const int b3 = channels / 2;
+  const std::string br1 = conv_relu(net, prefix + "_1x1", bottom, channels, b1, 1, 1, 0);
+  std::string br3 = conv_relu(net, prefix + "_3x3_reduce", bottom, channels, b3r, 1, 1, 0);
+  br3 = conv_relu(net, prefix + "_3x3", br3, b3r, b3, 3, 1, 1);
+  const std::string cat = prefix + "_concat";
+  net.add(std::make_unique<Concat>(cat), {br1, br3}, cat);
+  const std::string proj = prefix + "_proj";
+  auto projection = std::make_unique<Conv2d>(proj, b1 + b3, channels, 1, 1, 0);
+  projection->set_init_scale(0.0);  // identity-at-init residual branch
+  net.add(std::move(projection), {cat}, proj);
+  const std::string sum = prefix + "_add";
+  net.add(std::make_unique<EltwiseAdd>(sum), {bottom, proj}, sum);
+  const std::string out = prefix + "_relu";
+  net.add(std::make_unique<Relu>(out), {sum}, out);
+  return out;
+}
+
+}  // namespace
+
+Net make_mini_inception_resnet(const ModelInputSpec& spec) {
+  Net net("mini_inception_resnet");
+  add_io(net);
+  constexpr int kStemChannels = 16;
+  net.add(std::make_unique<Conv2d>("stem", spec.channels, kStemChannels, 3, 1, 1), {"data"},
+          "stem");
+  net.add(std::make_unique<BatchNorm>("stem_bn", kStemChannels), {"stem"}, "stem_bn");
+  net.add(std::make_unique<Relu>("stem_relu"), {"stem_bn"}, "stem_relu");
+  net.add(std::make_unique<Lrn>("stem_lrn", 5), {"stem_relu"}, "stem_lrn");
+  net.add(std::make_unique<MaxPool2d>("stem_pool", 2, 2), {"stem_lrn"}, "stem_pool");
+  std::string x = inception_residual_block(net, "incres1", "stem_pool", kStemChannels);
+  x = inception_residual_block(net, "incres2", x, kStemChannels);
+  net.add(std::make_unique<AvgPool2d>("tail_pool", 2, 2), {x}, "tail_pool");
+  net.add(std::make_unique<GlobalAvgPool>("gap"), {"tail_pool"}, "gap");
+  net.add(std::make_unique<FullyConnected>("logits", kStemChannels, spec.classes), {"gap"},
+          "logits");
+  add_loss(net);
+  return net;
+}
+
+Net make_model(const std::string& family, const ModelInputSpec& spec) {
+  if (family == "mlp") return make_mlp(spec);
+  if (family == "mini_vgg") return make_mini_vgg(spec);
+  if (family == "mini_inception") return make_mini_inception(spec);
+  if (family == "mini_resnet") return make_mini_resnet(spec);
+  if (family == "mini_inception_resnet") return make_mini_inception_resnet(spec);
+  throw std::invalid_argument("unknown model family: " + family);
+}
+
+}  // namespace shmcaffe::dl

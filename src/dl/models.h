@@ -1,0 +1,49 @@
+// Model zoo: miniature versions of the paper's four CNN families, sized for
+// the synthetic dataset (NxCx16x16 inputs by default).
+//
+// Functional convergence experiments train these; the *real* models'
+// parameter sizes and iteration times enter the timing simulation as cost
+// profiles in src/cluster (see cluster/model_profiles.h).
+//
+// Every model has external inputs "data" ([N,C,H,W]) and "label" ([N]),
+// exposes its class scores as blob "logits", and ends in a
+// SoftmaxCrossEntropy layer producing the scalar blob "loss".
+#pragma once
+
+#include <string>
+
+#include "dl/net.h"
+
+namespace shmcaffe::dl {
+
+struct ModelInputSpec {
+  int channels = 3;
+  int height = 16;
+  int width = 16;
+  int classes = 8;
+};
+
+/// Two-hidden-layer perceptron (smoke tests and fast unit tests).
+Net make_mlp(const ModelInputSpec& spec, int hidden = 64);
+
+/// VGG-style stack: parameter-heavy (large FC head), moderate compute.
+Net make_mini_vgg(const ModelInputSpec& spec);
+
+/// GoogLeNet/Inception-v1-style: two inception blocks (1x1 / 1x1-3x3 /
+/// 1x1-3x3-3x3 branches), global average pooling; parameter-light.
+Net make_mini_inception(const ModelInputSpec& spec);
+
+/// ResNet-style: residual blocks with identity shortcuts.
+Net make_mini_resnet(const ModelInputSpec& spec);
+
+/// Inception-ResNet-v2-style: inception blocks inside residual connections,
+/// with batch normalisation in the stem and LRN after it (the paper's
+/// fourth and largest CNN family).
+Net make_mini_inception_resnet(const ModelInputSpec& spec);
+
+/// Factory by family name: "mlp", "mini_vgg", "mini_inception",
+/// "mini_resnet", "mini_inception_resnet".  Throws std::invalid_argument
+/// for unknown names.
+Net make_model(const std::string& family, const ModelInputSpec& spec);
+
+}  // namespace shmcaffe::dl

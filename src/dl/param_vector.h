@@ -1,0 +1,89 @@
+// Flat-vector views over a net's parameters and gradients.
+//
+// The distributed trainers treat the whole parameter set as one contiguous
+// float buffer (the layout of the SMB weight segments); these helpers copy
+// between that layout and the net's per-layer ParamBlobs in deterministic
+// (layer-insertion) order.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dl/net.h"
+
+namespace shmcaffe::dl {
+
+/// Copies every parameter value into `dst` (dst.size() == net.param_count()).
+inline void copy_params_to(Net& net, std::span<float> dst) {
+  std::size_t offset = 0;
+  for (ParamBlob* blob : net.params()) {
+    const auto src = blob->value.span();
+    if (offset + src.size() > dst.size()) {
+      throw std::invalid_argument("copy_params_to: destination too small");
+    }
+    std::copy(src.begin(), src.end(), dst.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += src.size();
+  }
+  if (offset != dst.size()) {
+    throw std::invalid_argument("copy_params_to: destination size mismatch");
+  }
+}
+
+/// Overwrites every parameter value from `src`.
+inline void copy_params_from(Net& net, std::span<const float> src) {
+  std::size_t offset = 0;
+  for (ParamBlob* blob : net.params()) {
+    auto dst = blob->value.span();
+    if (offset + dst.size() > src.size()) {
+      throw std::invalid_argument("copy_params_from: source too small");
+    }
+    std::copy_n(src.begin() + static_cast<std::ptrdiff_t>(offset), dst.size(), dst.begin());
+    offset += dst.size();
+  }
+  if (offset != src.size()) {
+    throw std::invalid_argument("copy_params_from: source size mismatch");
+  }
+}
+
+/// Copies every parameter gradient into `dst`.
+inline void copy_grads_to(Net& net, std::span<float> dst) {
+  std::size_t offset = 0;
+  for (ParamBlob* blob : net.params()) {
+    const auto src = blob->grad.span();
+    if (offset + src.size() > dst.size()) {
+      throw std::invalid_argument("copy_grads_to: destination too small");
+    }
+    std::copy(src.begin(), src.end(), dst.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += src.size();
+  }
+  if (offset != dst.size()) {
+    throw std::invalid_argument("copy_grads_to: destination size mismatch");
+  }
+}
+
+/// Overwrites every parameter gradient from `src`.
+inline void copy_grads_from(Net& net, std::span<const float> src) {
+  std::size_t offset = 0;
+  for (ParamBlob* blob : net.params()) {
+    auto dst = blob->grad.span();
+    if (offset + dst.size() > src.size()) {
+      throw std::invalid_argument("copy_grads_from: source too small");
+    }
+    std::copy_n(src.begin() + static_cast<std::ptrdiff_t>(offset), dst.size(), dst.begin());
+    offset += dst.size();
+  }
+  if (offset != src.size()) {
+    throw std::invalid_argument("copy_grads_from: source size mismatch");
+  }
+}
+
+/// Snapshot of all parameters as a fresh vector.
+inline std::vector<float> params_snapshot(Net& net) {
+  std::vector<float> flat(net.param_count());
+  copy_params_to(net, flat);
+  return flat;
+}
+
+}  // namespace shmcaffe::dl

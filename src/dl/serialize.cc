@@ -1,0 +1,106 @@
+#include "dl/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace shmcaffe::dl {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31'4d'43'53;  // "SCM1"
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* begin = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), begin, begin + sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::byte>& in) {
+  if (in.size() < sizeof(T)) throw std::invalid_argument("snapshot truncated");
+  T value;
+  std::memcpy(&value, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::byte> save_snapshot(Net& net) {
+  const auto params = net.params();
+  std::vector<std::byte> out;
+  append_pod(out, kMagic);
+  append_pod(out, static_cast<std::uint32_t>(params.size()));
+  for (ParamBlob* blob : params) {
+    append_pod(out, static_cast<std::uint32_t>(blob->name.size()));
+    const auto* name = reinterpret_cast<const std::byte*>(blob->name.data());
+    out.insert(out.end(), name, name + blob->name.size());
+    append_pod(out, static_cast<std::uint32_t>(blob->value.rank()));
+    for (std::size_t axis = 0; axis < blob->value.rank(); ++axis) {
+      append_pod(out, static_cast<std::int32_t>(blob->value.dim(axis)));
+    }
+    const auto* data = reinterpret_cast<const std::byte*>(blob->value.data());
+    out.insert(out.end(), data, data + blob->value.size() * sizeof(float));
+  }
+  return out;
+}
+
+void load_snapshot(Net& net, std::span<const std::byte> snapshot) {
+  if (read_pod<std::uint32_t>(snapshot) != kMagic) {
+    throw std::invalid_argument("snapshot: bad magic");
+  }
+  const auto params = net.params();
+  const auto blob_count = read_pod<std::uint32_t>(snapshot);
+  if (blob_count != params.size()) {
+    throw std::invalid_argument("snapshot: parameter blob count mismatch");
+  }
+  for (ParamBlob* blob : params) {
+    const auto name_length = read_pod<std::uint32_t>(snapshot);
+    if (snapshot.size() < name_length) throw std::invalid_argument("snapshot truncated");
+    const std::string name(reinterpret_cast<const char*>(snapshot.data()), name_length);
+    snapshot = snapshot.subspan(name_length);
+    if (name != blob->name) {
+      throw std::invalid_argument("snapshot: blob name mismatch: expected '" + blob->name +
+                                  "', found '" + name + "'");
+    }
+    const auto rank = read_pod<std::uint32_t>(snapshot);
+    if (rank != blob->value.rank()) {
+      throw std::invalid_argument("snapshot: rank mismatch for " + name);
+    }
+    for (std::size_t axis = 0; axis < rank; ++axis) {
+      if (read_pod<std::int32_t>(snapshot) != blob->value.dim(axis)) {
+        throw std::invalid_argument("snapshot: shape mismatch for " + name);
+      }
+    }
+    const std::size_t bytes = blob->value.size() * sizeof(float);
+    if (snapshot.size() < bytes) throw std::invalid_argument("snapshot truncated");
+    std::memcpy(blob->value.data(), snapshot.data(), bytes);
+    snapshot = snapshot.subspan(bytes);
+  }
+  if (!snapshot.empty()) {
+    throw std::invalid_argument("snapshot: trailing bytes");
+  }
+}
+
+void save_snapshot_file(Net& net, const std::string& path) {
+  const std::vector<std::byte> data = save_snapshot(net);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void load_snapshot_file(Net& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw std::runtime_error("read failed: " + path);
+  load_snapshot(net, data);
+}
+
+}  // namespace shmcaffe::dl

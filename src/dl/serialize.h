@@ -1,0 +1,32 @@
+// Model snapshot (de)serialisation — the mini-Caffe counterpart of Caffe's
+// .caffemodel files.
+//
+// Format (little-endian):
+//   u32 magic "SCM1", u32 blob_count,
+//   per blob: u32 name_length, name bytes, u32 rank, i32 dims..., f32 data...
+//
+// Loading validates that blob names and shapes match the target net's
+// parameters (same architecture), so snapshots cannot be silently applied to
+// a different model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dl/net.h"
+
+namespace shmcaffe::dl {
+
+/// Serialises all parameter values of `net`.
+std::vector<std::byte> save_snapshot(Net& net);
+
+/// Restores parameter values; throws std::invalid_argument on a malformed
+/// or mismatching snapshot.
+void load_snapshot(Net& net, std::span<const std::byte> snapshot);
+
+/// Convenience: file round-trip.  Throws std::runtime_error on I/O errors.
+void save_snapshot_file(Net& net, const std::string& path);
+void load_snapshot_file(Net& net, const std::string& path);
+
+}  // namespace shmcaffe::dl

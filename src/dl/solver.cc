@@ -1,0 +1,73 @@
+#include "dl/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace shmcaffe::dl {
+
+SgdSolver::SgdSolver(Net& net, SolverOptions options) : net_(&net), options_(options) {
+  if (options_.base_lr <= 0.0) throw std::invalid_argument("base_lr must be positive");
+  if (options_.momentum < 0.0 || options_.momentum >= 1.0) {
+    throw std::invalid_argument("momentum must be in [0,1)");
+  }
+  for (ParamBlob* blob : net_->params()) {
+    Tensor v;
+    v.reshape(blob->value.shape());
+    momentum_.push_back(std::move(v));
+  }
+}
+
+double SgdSolver::learning_rate(int iteration) const {
+  const SolverOptions& o = options_;
+  switch (o.lr_policy) {
+    case LrPolicy::kFixed:
+      return o.base_lr;
+    case LrPolicy::kStep:
+      return o.base_lr * std::pow(o.gamma, iteration / o.step_size);
+    case LrPolicy::kMultiStep: {
+      int passed = 0;
+      for (int boundary : o.step_values) {
+        if (iteration >= boundary) ++passed;
+      }
+      return o.base_lr * std::pow(o.gamma, passed);
+    }
+    case LrPolicy::kExp:
+      return o.base_lr * std::pow(o.gamma, iteration);
+    case LrPolicy::kInv:
+      return o.base_lr * std::pow(1.0 + o.gamma * iteration, -o.power);
+    case LrPolicy::kPoly: {
+      const double frac = std::min(1.0, static_cast<double>(iteration) / o.max_iter);
+      return o.base_lr * std::pow(1.0 - frac, o.power);
+    }
+  }
+  return o.base_lr;
+}
+
+void SgdSolver::apply_update(double lr) {
+  const auto params = net_->params();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    ParamBlob& blob = *params[p];
+    if (!blob.learnable) continue;  // state blobs (BN running stats)
+    Tensor& vel = momentum_[p];
+    const auto mu = static_cast<float>(options_.momentum);
+    const auto rate = static_cast<float>(lr);
+    const auto decay = static_cast<float>(options_.weight_decay);
+    float* w = blob.value.data();
+    const float* g = blob.grad.data();
+    float* v = vel.data();
+    const std::size_t count = blob.value.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      v[i] = mu * v[i] + rate * (g[i] + decay * w[i]);
+      w[i] -= v[i];
+    }
+  }
+}
+
+void SgdSolver::step() {
+  apply_update(learning_rate(iteration_));
+  net_->zero_param_grads();
+  ++iteration_;
+}
+
+}  // namespace shmcaffe::dl

@@ -1,0 +1,96 @@
+// Dense float tensor (NCHW for images), the data type of the mini-Caffe
+// library.  Contiguous row-major storage, explicit shapes, no view/stride
+// machinery — layers index directly.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace shmcaffe::dl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape) { reshape(std::move(shape)); }
+
+  void reshape(std::vector<int> shape) {
+    shape_ = std::move(shape);
+    std::size_t total = 1;
+    for (int d : shape_) {
+      assert(d > 0);
+      total *= static_cast<std::size_t>(d);
+    }
+    data_.assign(shape_.empty() ? 0 : total, 0.0F);
+  }
+
+  /// Reshape preserving contents; the element count must match.
+  void reshape_keep(std::vector<int> shape) {
+    std::size_t total = 1;
+    for (int d : shape) total *= static_cast<std::size_t>(d);
+    assert(total == data_.size());
+    shape_ = std::move(shape);
+  }
+
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] int dim(std::size_t axis) const {
+    assert(axis < shape_.size());
+    return shape_[axis];
+  }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  // NCHW accessors (valid for rank-4 tensors).
+  [[nodiscard]] int n() const { return dim(0); }
+  [[nodiscard]] int c() const { return dim(1); }
+  [[nodiscard]] int h() const { return dim(2); }
+  [[nodiscard]] int w() const { return dim(3); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> span() { return data_; }
+  [[nodiscard]] std::span<const float> span() const { return data_; }
+
+  [[nodiscard]] float& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  [[nodiscard]] float operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// Element (n, c, h, w) of a rank-4 tensor.
+  [[nodiscard]] float& at(int in, int ic, int ih, int iw) {
+    return data_[offset(in, ic, ih, iw)];
+  }
+  [[nodiscard]] float at(int in, int ic, int ih, int iw) const {
+    return data_[offset(in, ic, ih, iw)];
+  }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void zero() { fill(0.0F); }
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  [[nodiscard]] std::size_t offset(int in, int ic, int ih, int iw) const {
+    assert(rank() == 4);
+    assert(in >= 0 && in < n() && ic >= 0 && ic < c());
+    assert(ih >= 0 && ih < h() && iw >= 0 && iw < w());
+    return ((static_cast<std::size_t>(in) * static_cast<std::size_t>(c()) +
+             static_cast<std::size_t>(ic)) *
+                static_cast<std::size_t>(h()) +
+            static_cast<std::size_t>(ih)) *
+               static_cast<std::size_t>(w()) +
+           static_cast<std::size_t>(iw);
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace shmcaffe::dl

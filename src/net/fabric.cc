@@ -1,0 +1,227 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace shmcaffe::net {
+
+struct Fabric::Link {
+  LinkStats stats;
+  double data_rate_bps = 0.0;  // capacity * efficiency
+  sim::Semaphore fifo_gate;    // used only by the kFifoSerial discipline
+  std::size_t active_flows = 0;
+
+  Link(sim::Simulation& sim, std::string name, double capacity)
+      : fifo_gate(sim, 1) {
+    stats.name = std::move(name);
+    stats.capacity_bps = capacity;
+  }
+};
+
+struct Fabric::Flow {
+  std::vector<std::size_t> links;
+  double remaining_bytes = 0.0;
+  double rate_bps = 0.0;
+  bool rate_fixed = false;  // scratch for the water-filling pass
+  sim::Event done;
+
+  Flow(sim::Simulation& sim, std::vector<std::size_t> path, double bytes)
+      : links(std::move(path)), remaining_bytes(bytes), done(sim) {}
+};
+
+Fabric::Fabric(sim::Simulation& sim, FabricOptions options)
+    : sim_(&sim), options_(options) {
+  assert(options_.efficiency > 0.0 && options_.efficiency <= 1.0);
+}
+
+Fabric::~Fabric() = default;
+
+LinkId Fabric::add_link(std::string name, double capacity_bytes_per_sec) {
+  assert(capacity_bytes_per_sec > 0.0);
+  auto link = std::make_unique<Link>(*sim_, std::move(name), capacity_bytes_per_sec);
+  link->data_rate_bps = capacity_bytes_per_sec * options_.efficiency;
+  links_.push_back(std::move(link));
+  return LinkId{links_.size() - 1};
+}
+
+Fabric::Endpoint Fabric::add_endpoint(const std::string& name, double capacity_bytes_per_sec) {
+  return Endpoint{add_link(name + ".tx", capacity_bytes_per_sec),
+                  add_link(name + ".rx", capacity_bytes_per_sec)};
+}
+
+const LinkStats& Fabric::stats(LinkId link) const {
+  assert(link.valid() && link.index < links_.size());
+  return links_[link.index]->stats;
+}
+
+sim::Task<void> Fabric::transfer(LinkId a, std::int64_t bytes) {
+  return transfer(std::vector<LinkId>{a}, bytes);
+}
+
+sim::Task<void> Fabric::transfer(LinkId a, LinkId b, std::int64_t bytes) {
+  return transfer(std::vector<LinkId>{a, b}, bytes);
+}
+
+sim::Task<void> Fabric::transfer(LinkId a, LinkId b, LinkId c, std::int64_t bytes) {
+  return transfer(std::vector<LinkId>{a, b, c}, bytes);
+}
+
+sim::Task<void> Fabric::transfer(std::vector<LinkId> path, std::int64_t bytes) {
+  assert(!path.empty());
+  assert(bytes >= 0);
+  for (LinkId id : path) {
+    assert(id.valid() && id.index < links_.size());
+    Link& link = *links_[id.index];
+    link.stats.bytes_carried += bytes;
+    link.stats.transfers += 1;
+  }
+  if (options_.sharing == SharingModel::kFifoSerial) {
+    return transfer_fifo(std::move(path), bytes);
+  }
+  return transfer_fair(std::move(path), bytes);
+}
+
+sim::Task<void> Fabric::transfer_fair(std::vector<LinkId> path, std::int64_t bytes) {
+  co_await sim_->delay(options_.message_latency);
+  if (bytes == 0) co_return;
+
+  std::vector<std::size_t> indices;
+  indices.reserve(path.size());
+  for (LinkId id : path) indices.push_back(id.index);
+
+  Flow flow(*sim_, std::move(indices), static_cast<double>(bytes));
+  add_flow(&flow);
+  co_await flow.done.wait();
+}
+
+sim::Task<void> Fabric::transfer_fifo(std::vector<LinkId> path, std::int64_t bytes) {
+  co_await sim_->delay(options_.message_latency);
+  if (bytes == 0) co_return;
+  // Store-and-forward: occupy each link exclusively, in path order.
+  for (LinkId id : path) {
+    Link& link = *links_[id.index];
+    co_await link.fifo_gate.acquire();
+    co_await sim_->delay(units::transfer_time(bytes, link.data_rate_bps));
+    link.fifo_gate.release();
+  }
+}
+
+void Fabric::add_flow(Flow* flow) {
+  settle_progress();
+  flows_.push_back(flow);
+  for (std::size_t idx : flow->links) links_[idx]->active_flows += 1;
+  reschedule();
+}
+
+void Fabric::remove_flow(Flow* flow) {
+  auto it = std::find(flows_.begin(), flows_.end(), flow);
+  assert(it != flows_.end());
+  flows_.erase(it);
+  for (std::size_t idx : flow->links) links_[idx]->active_flows -= 1;
+}
+
+void Fabric::settle_progress() {
+  const SimTime now = sim_->now();
+  const double dt = units::to_seconds(now - last_settle_);
+  last_settle_ = now;
+  if (dt <= 0.0) return;
+  for (Flow* flow : flows_) {
+    flow->remaining_bytes -= flow->rate_bps * dt;
+  }
+}
+
+void Fabric::recompute_rates() {
+  // Max-min fair allocation (progressive water filling).  Repeatedly find
+  // the most constrained link, fix the fair share of its unfixed flows, and
+  // remove that capacity from the system.
+  for (Flow* flow : flows_) {
+    flow->rate_fixed = false;
+    flow->rate_bps = 0.0;
+  }
+  std::vector<double> residual(links_.size());
+  std::vector<std::size_t> unfixed(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    residual[i] = links_[i]->data_rate_bps;
+    unfixed[i] = 0;
+  }
+  for (Flow* flow : flows_) {
+    for (std::size_t idx : flow->links) unfixed[idx] += 1;
+  }
+
+  std::size_t remaining_flows = flows_.size();
+  while (remaining_flows > 0) {
+    double min_share = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (unfixed[i] == 0) continue;
+      min_share = std::min(min_share, residual[i] / static_cast<double>(unfixed[i]));
+    }
+    assert(std::isfinite(min_share));
+    // Fix every unfixed flow that crosses a bottleneck link at min_share.
+    bool fixed_any = false;
+    for (Flow* flow : flows_) {
+      if (flow->rate_fixed) continue;
+      bool bottlenecked = false;
+      for (std::size_t idx : flow->links) {
+        if (unfixed[idx] > 0 &&
+            residual[idx] / static_cast<double>(unfixed[idx]) <= min_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      flow->rate_fixed = true;
+      flow->rate_bps = min_share;
+      fixed_any = true;
+      --remaining_flows;
+      for (std::size_t idx : flow->links) {
+        residual[idx] -= min_share;
+        if (residual[idx] < 0.0) residual[idx] = 0.0;
+        unfixed[idx] -= 1;
+      }
+    }
+    assert(fixed_any && "water-filling must make progress");
+    if (!fixed_any) break;  // defensive: avoid an infinite loop in release builds
+  }
+}
+
+void Fabric::reschedule() {
+  // Complete flows that have drained (tolerate sub-byte residue from the
+  // floating-point progress integration).
+  std::vector<Flow*> finished;
+  for (Flow* flow : flows_) {
+    if (flow->remaining_bytes <= 0.5) finished.push_back(flow);
+  }
+  for (Flow* flow : finished) {
+    remove_flow(flow);
+    flow->done.set();
+  }
+
+  recompute_rates();
+
+  if (flows_.empty()) {
+    ++timer_token_;  // invalidate any armed timer
+    return;
+  }
+
+  double min_eta_sec = std::numeric_limits<double>::infinity();
+  for (Flow* flow : flows_) {
+    assert(flow->rate_bps > 0.0);
+    min_eta_sec = std::min(min_eta_sec, flow->remaining_bytes / flow->rate_bps);
+  }
+  const SimTime eta = std::max<SimTime>(1, units::from_seconds(min_eta_sec));
+  arm_timer(sim_->now() + eta);
+}
+
+void Fabric::arm_timer(SimTime at) {
+  const std::uint64_t token = ++timer_token_;
+  sim_->spawn([](Fabric* fabric, SimTime fire_at, std::uint64_t tok) -> sim::Task<void> {
+    co_await fabric->sim_->delay(fire_at - fabric->sim_->now());
+    if (tok != fabric->timer_token_) co_return;  // superseded
+    fabric->settle_progress();
+    fabric->reschedule();
+  }(this, at, token));
+}
+
+}  // namespace shmcaffe::net

@@ -1,0 +1,93 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace shmcaffe::sim {
+
+namespace detail {
+
+std::coroutine_handle<> RootCoro::FinalAwaiter::await_suspend(Handle h) const noexcept {
+  Simulation* sim = h.promise().sim;
+  sim->unregister_root(h.address());
+  h.destroy();
+  return std::noop_coroutine();
+}
+
+void RootCoro::promise_type::unhandled_exception() noexcept {
+  // The spawn wrapper catches everything into ProcessState; an exception
+  // reaching the root promise means the wrapper itself is broken.
+  std::abort();
+}
+
+namespace {
+
+RootCoro run_root(Task<void> body, std::shared_ptr<ProcessState> state) {
+  try {
+    co_await std::move(body);
+  } catch (...) {
+    state->exception = std::current_exception();
+  }
+  state->done = true;
+  for (std::coroutine_handle<> joiner : std::exchange(state->joiners, {})) {
+    state->sim->schedule_now(joiner);
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+void JoinHandle::rethrow() const {
+  assert(done());
+  if (state_->exception) std::rethrow_exception(state_->exception);
+}
+
+Simulation::~Simulation() {
+  // Destroy still-suspended processes.  Copy first: destroying a root frame
+  // never re-enters the registry (only the final awaiter unregisters, and we
+  // are not resuming anything here).
+  const std::unordered_set<void*> roots = live_roots_;
+  for (void* address : roots) {
+    detail::RootCoro::Handle::from_address(address).destroy();
+  }
+}
+
+JoinHandle Simulation::spawn(Task<void> body) {
+  auto state = std::make_shared<detail::ProcessState>();
+  state->sim = this;
+  detail::RootCoro root = detail::run_root(std::move(body), state);
+  root.handle.promise().sim = this;
+  live_roots_.insert(root.handle.address());
+  schedule_now(root.handle);
+  return JoinHandle(std::move(state));
+}
+
+void Simulation::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(QueueEntry{t, next_seq_++, h});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  const QueueEntry entry = queue_.top();
+  queue_.pop();
+  assert(entry.time >= now_);
+  now_ = entry.time;
+  ++events_dispatched_;
+  entry.handle.resume();
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace shmcaffe::sim

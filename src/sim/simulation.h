@@ -1,0 +1,177 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a virtual clock and an event queue of coroutine handles.
+// Simulated processes are spawned as root coroutines (`spawn`) and advance
+// exclusively by awaiting: `co_await sim.delay(ns)`, or the primitives in
+// sync.h.  The run loop is strictly deterministic: events fire in
+// (time, insertion-sequence) order, so a given program produces the same
+// trace on every run.
+//
+// Lifetime protocol: the Simulation must outlive nothing — it is destroyed
+// last.  Destroying it cancels (destroys) any still-suspended root process
+// frames.  Sync primitives hand wake-ups to the queue instead of resuming
+// inline, which keeps resume stacks shallow and wake order deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace shmcaffe::sim {
+
+class Simulation;
+
+namespace detail {
+
+/// Shared completion record of a spawned process.
+struct ProcessState {
+  Simulation* sim = nullptr;
+  bool done = false;
+  std::exception_ptr exception;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+/// Fire-and-forget root coroutine; its frame is destroyed by its own final
+/// awaiter (after unregistering from the simulation's live-root set).
+struct RootCoro {
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) const noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    Simulation* sim = nullptr;
+
+    RootCoro get_return_object() { return RootCoro{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept;  // roots swallow into ProcessState; terminate otherwise
+  };
+
+  Handle handle;
+};
+
+}  // namespace detail
+
+/// Join/result handle for a spawned process; awaitable from other processes.
+/// Discardable: spawn() is frequently fire-and-forget.
+class JoinHandle {
+ public:
+  JoinHandle() = default;
+
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+
+  /// Rethrows the process's escaped exception, if any.  Requires done().
+  void rethrow() const;
+
+  [[nodiscard]] bool failed() const { return state_ && state_->exception != nullptr; }
+
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      detail::ProcessState* state;
+      bool await_ready() const noexcept { return state->done; }
+      void await_suspend(std::coroutine_handle<> h) const { state->joiners.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{state_.get()};
+  }
+
+ private:
+  friend class Simulation;
+  explicit JoinHandle(std::shared_ptr<detail::ProcessState> state) : state_(std::move(state)) {}
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Starts `body` as a root process at the current time (queued FIFO).
+  JoinHandle spawn(Task<void> body);
+
+  /// Awaitable that resumes the caller `dt` nanoseconds later (dt >= 0).
+  auto delay(SimTime dt) {
+    struct Awaiter {
+      Simulation* sim;
+      SimTime at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const { sim->schedule_at(at, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, now_ + (dt > 0 ? dt : 0)};
+  }
+
+  /// Queue a handle to resume at an absolute time (>= now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+
+  /// Queue a handle to resume at the current time, after already-queued
+  /// same-time events.
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Runs one event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains.  Processes still suspended afterwards are
+  /// blocked on primitives nobody will signal (deadlocked or abandoned).
+  void run();
+
+  /// Runs events with time <= t, then sets the clock to t.
+  void run_until(SimTime t);
+
+  /// Number of root processes not yet finished.
+  [[nodiscard]] std::size_t live_process_count() const { return live_roots_.size(); }
+
+  /// Total events dispatched so far (for engine micro-benchmarks).
+  [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  friend struct detail::RootCoro::FinalAwaiter;
+
+  void unregister_root(void* address) { live_roots_.erase(address); }
+
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const QueueEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_set<void*> live_roots_;
+};
+
+/// Runs all tasks as concurrent processes and completes when every one has
+/// finished; the first captured exception (in task order) is rethrown.
+inline Task<void> when_all(Simulation& sim, std::vector<Task<void>> tasks) {
+  std::vector<JoinHandle> handles;
+  handles.reserve(tasks.size());
+  for (Task<void>& task : tasks) handles.push_back(sim.spawn(std::move(task)));
+  for (const JoinHandle& handle : handles) {
+    co_await handle;
+    handle.rethrow();
+  }
+}
+
+}  // namespace shmcaffe::sim

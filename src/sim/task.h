@@ -1,0 +1,141 @@
+// Lazy coroutine task used by every simulated process.
+//
+// Task<T> is a single-consumer lazy coroutine: creating one does not run any
+// code; `co_await`-ing it starts the child and transfers control back to the
+// awaiting coroutine when the child completes (symmetric transfer, so deep
+// call chains do not grow the native stack).  Ownership of the coroutine
+// frame sits in the Task object, so destroying a parent frame releases the
+// whole child chain.
+//
+// Tasks must be awaited at most once and only as rvalues:
+//   sim::Task<int> child();
+//   int v = co_await child();
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace shmcaffe::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromise;
+
+/// At child completion, resume whoever awaited it (or no-op for detached
+/// completion, which Task never produces but keeps the awaiter total).
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+    std::coroutine_handle<> continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  TaskFinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+
+  T take_value() {
+    if (exception) std::rethrow_exception(exception);
+    assert(value.has_value());
+    return std::move(*value);
+  }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object();
+  void return_void() noexcept {}
+
+  void take_value() {
+    if (exception) std::rethrow_exception(exception);
+  }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        child.promise().continuation = awaiting;
+        return child;  // start the child now
+      }
+      T await_resume() { return child.promise().take_value(); }
+    };
+    assert(handle_ && "co_await on a moved-from or spent Task");
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend struct detail::TaskPromise<T>;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+}  // namespace shmcaffe::sim

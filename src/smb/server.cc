@@ -1,0 +1,250 @@
+#include "smb/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace shmcaffe::smb {
+
+SmbServer::SmbServer(SmbServerOptions options) : options_(options) {
+  if (options_.capacity_bytes <= 0) {
+    throw SmbError("SMB server capacity must be positive");
+  }
+}
+
+std::int64_t SmbServer::footprint(const Segment& segment) {
+  if (segment.kind == Kind::kFloats) {
+    return static_cast<std::int64_t>(segment.floats.size() * sizeof(float));
+  }
+  return static_cast<std::int64_t>(segment.counters.size() * sizeof(std::int64_t));
+}
+
+Handle SmbServer::create_segment(ShmKey key, std::size_t count, Kind kind) {
+  if (count == 0) throw SmbError("segment size must be positive");
+  auto segment = std::make_shared<Segment>();
+  segment->key = key;
+  segment->kind = kind;
+  if (kind == Kind::kFloats) {
+    segment->floats.assign(count, 0.0F);
+  } else {
+    segment->counters = std::vector<std::atomic<std::int64_t>>(count);
+  }
+  segment->refcount = 1;
+
+  std::unique_lock lock(table_mutex_);
+  if (key_to_access_.contains(key)) {
+    throw SmbError("SHM key already exists: " + std::to_string(key));
+  }
+  const std::int64_t bytes = footprint(*segment);
+  if (stats_.bytes_in_use + bytes > options_.capacity_bytes) {
+    throw SmbError("SMB server out of granted memory");
+  }
+  const std::uint64_t access_key = next_access_key_++;
+  by_access_key_.emplace(access_key, std::move(segment));
+  key_to_access_.emplace(key, access_key);
+  stats_.bytes_in_use += bytes;
+  stats_.creates += 1;
+  return Handle{access_key};
+}
+
+Handle SmbServer::attach_segment(ShmKey key, std::size_t count, Kind kind) {
+  std::unique_lock lock(table_mutex_);
+  const auto it = key_to_access_.find(key);
+  if (it == key_to_access_.end()) {
+    throw SmbError("no segment with SHM key " + std::to_string(key));
+  }
+  const std::shared_ptr<Segment>& segment = by_access_key_.at(it->second);
+  if (segment->kind != kind) {
+    throw SmbError("segment kind mismatch for SHM key " + std::to_string(key));
+  }
+  const std::size_t actual =
+      kind == Kind::kFloats ? segment->floats.size() : segment->counters.size();
+  if (count != 0 && count != actual) {
+    throw SmbError("segment size mismatch: requested " + std::to_string(count) +
+                   ", exists with " + std::to_string(actual));
+  }
+  segment->refcount += 1;
+  stats_.attaches += 1;
+  return Handle{it->second};
+}
+
+Handle SmbServer::create_floats(ShmKey key, std::size_t count) {
+  return create_segment(key, count, Kind::kFloats);
+}
+
+Handle SmbServer::attach_floats(ShmKey key, std::size_t count) {
+  return attach_segment(key, count, Kind::kFloats);
+}
+
+Handle SmbServer::create_counters(ShmKey key, std::size_t count) {
+  return create_segment(key, count, Kind::kCounters);
+}
+
+Handle SmbServer::attach_counters(ShmKey key, std::size_t count) {
+  return attach_segment(key, count, Kind::kCounters);
+}
+
+void SmbServer::release(Handle handle) {
+  std::unique_lock lock(table_mutex_);
+  const auto it = by_access_key_.find(handle.access_key);
+  if (it == by_access_key_.end()) {
+    throw SmbError("release of unknown access key");
+  }
+  Segment& segment = *it->second;
+  assert(segment.refcount > 0);
+  segment.refcount -= 1;
+  if (segment.refcount == 0) {
+    stats_.bytes_in_use -= footprint(segment);
+    key_to_access_.erase(segment.key);
+    by_access_key_.erase(it);
+  }
+}
+
+std::shared_ptr<SmbServer::Segment> SmbServer::find(Handle handle) const {
+  std::shared_lock lock(table_mutex_);
+  const auto it = by_access_key_.find(handle.access_key);
+  if (it == by_access_key_.end()) {
+    throw SmbError("unknown access key " + std::to_string(handle.access_key));
+  }
+  return it->second;
+}
+
+std::shared_ptr<SmbServer::Segment> SmbServer::find(Handle handle, Kind kind) const {
+  std::shared_ptr<Segment> segment = find(handle);
+  if (segment->kind != kind) {
+    throw SmbError("operation not valid for this segment kind");
+  }
+  return segment;
+}
+
+std::size_t SmbServer::size(Handle handle) const {
+  const std::shared_ptr<Segment> segment = find(handle);
+  return segment->kind == Kind::kFloats ? segment->floats.size() : segment->counters.size();
+}
+
+void SmbServer::read(Handle handle, std::span<float> dst, std::size_t offset) const {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
+  std::scoped_lock lock(segment->data_mutex);
+  if (offset + dst.size() > segment->floats.size()) {
+    throw SmbError("read out of segment bounds");
+  }
+  std::copy_n(segment->floats.begin() + static_cast<std::ptrdiff_t>(offset), dst.size(),
+              dst.begin());
+  std::unique_lock table(table_mutex_);
+  stats_.reads += 1;
+  stats_.bytes_read += static_cast<std::int64_t>(dst.size() * sizeof(float));
+}
+
+void SmbServer::write(Handle handle, std::span<const float> src, std::size_t offset) {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
+  {
+    std::scoped_lock lock(segment->data_mutex);
+    if (offset + src.size() > segment->floats.size()) {
+      throw SmbError("write out of segment bounds");
+    }
+    std::copy_n(src.begin(), src.size(),
+                segment->floats.begin() + static_cast<std::ptrdiff_t>(offset));
+    segment->version += 1;
+  }
+  segment->version_cv.notify_all();
+  std::unique_lock table(table_mutex_);
+  stats_.writes += 1;
+  stats_.bytes_written += static_cast<std::int64_t>(src.size() * sizeof(float));
+}
+
+void SmbServer::accumulate(Handle src, Handle dst) {
+  if (src == dst) throw SmbError("accumulate requires distinct segments");
+  const std::shared_ptr<Segment> s = find(src, Kind::kFloats);
+  const std::shared_ptr<Segment> d = find(dst, Kind::kFloats);
+  {
+    std::scoped_lock lock(s->data_mutex, d->data_mutex);
+    if (s->floats.size() != d->floats.size()) {
+      throw SmbError("accumulate requires equal segment sizes");
+    }
+    for (std::size_t i = 0; i < d->floats.size(); ++i) d->floats[i] += s->floats[i];
+    d->version += 1;
+  }
+  d->version_cv.notify_all();
+  std::unique_lock table(table_mutex_);
+  stats_.accumulates += 1;
+}
+
+void SmbServer::copy_segment(Handle src, Handle dst) {
+  if (src == dst) return;
+  const std::shared_ptr<Segment> s = find(src, Kind::kFloats);
+  const std::shared_ptr<Segment> d = find(dst, Kind::kFloats);
+  {
+    std::scoped_lock lock(s->data_mutex, d->data_mutex);
+    if (s->floats.size() != d->floats.size()) {
+      throw SmbError("copy requires equal segment sizes");
+    }
+    std::copy(s->floats.begin(), s->floats.end(), d->floats.begin());
+    d->version += 1;
+  }
+  d->version_cv.notify_all();
+}
+
+std::int64_t SmbServer::load(Handle handle, std::size_t index) const {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kCounters);
+  if (index >= segment->counters.size()) throw SmbError("counter index out of bounds");
+  return segment->counters[index].load(std::memory_order_seq_cst);
+}
+
+void SmbServer::store(Handle handle, std::size_t index, std::int64_t value) {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kCounters);
+  if (index >= segment->counters.size()) throw SmbError("counter index out of bounds");
+  segment->counters[index].store(value, std::memory_order_seq_cst);
+}
+
+std::int64_t SmbServer::fetch_add(Handle handle, std::size_t index, std::int64_t delta) {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kCounters);
+  if (index >= segment->counters.size()) throw SmbError("counter index out of bounds");
+  return segment->counters[index].fetch_add(delta, std::memory_order_seq_cst);
+}
+
+std::int64_t SmbServer::min_value(Handle handle) const {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kCounters);
+  std::int64_t result = std::numeric_limits<std::int64_t>::max();
+  for (const auto& counter : segment->counters) {
+    result = std::min(result, counter.load(std::memory_order_seq_cst));
+  }
+  return result;
+}
+
+std::int64_t SmbServer::max_value(Handle handle) const {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kCounters);
+  std::int64_t result = std::numeric_limits<std::int64_t>::min();
+  for (const auto& counter : segment->counters) {
+    result = std::max(result, counter.load(std::memory_order_seq_cst));
+  }
+  return result;
+}
+
+std::int64_t SmbServer::sum(Handle handle) const {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kCounters);
+  std::int64_t result = 0;
+  for (const auto& counter : segment->counters) {
+    result += counter.load(std::memory_order_seq_cst);
+  }
+  return result;
+}
+
+std::uint64_t SmbServer::version(Handle handle) const {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
+  std::scoped_lock lock(segment->data_mutex);
+  return segment->version;
+}
+
+std::uint64_t SmbServer::wait_version_at_least(Handle handle, std::uint64_t min_version) const {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
+  std::unique_lock lock(segment->data_mutex);
+  segment->version_cv.wait(lock, [&] { return segment->version >= min_version; });
+  return segment->version;
+}
+
+SmbServerStats SmbServer::stats() const {
+  std::shared_lock lock(table_mutex_);
+  return stats_;
+}
+
+}  // namespace shmcaffe::smb

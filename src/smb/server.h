@@ -1,0 +1,160 @@
+// Functional Soft Memory Box (SMB) server.
+//
+// The SMB is the paper's replacement for a parameter server: a passive
+// remote shared-memory service.  It provides (§III-B):
+//   * creation of named remote shared memory (RSM) segments under an SHM key
+//   * allocation (attach) of an existing segment by other workers
+//   * read / write of segment contents
+//   * server-side accumulation between segments (the only "compute" the SMB
+//     offers; the paper uses it for the global-weight update, eq. (7))
+//   * update notification (version counters workers can wait on)
+//
+// This variant holds real memory and is safe for concurrent use from many OS
+// threads — it is what the functional distributed-training experiments talk
+// to.  A timing twin over the simulated RDMA stack lives in sim_smb.h.
+//
+// Two segment kinds exist:
+//   * float segments    — DNN parameter buffers (read/write/accumulate)
+//   * counter segments  — int64 slots with atomic ops, used for the shared
+//                         training-progress board (§III-E)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace shmcaffe::smb {
+
+/// Application-chosen name of a segment (the "SHM key" the master worker
+/// broadcasts to slaves in Fig. 2).
+using ShmKey = std::uint64_t;
+
+/// Server-issued access key for an attached segment (stands in for the
+/// InfiniBand remote key of the real system).
+struct Handle {
+  std::uint64_t access_key = 0;
+  [[nodiscard]] bool valid() const { return access_key != 0; }
+  friend bool operator==(const Handle&, const Handle&) = default;
+};
+
+class SmbError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SmbServerOptions {
+  /// Total granted memory of the memory node (the paper's memory server has
+  /// 256 GB; tests use small values to exercise exhaustion).
+  std::int64_t capacity_bytes = 8LL << 30;
+};
+
+/// Cumulative operation statistics (for reports and tests).
+struct SmbServerStats {
+  std::uint64_t creates = 0;
+  std::uint64_t attaches = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t accumulates = 0;
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  std::int64_t bytes_in_use = 0;
+};
+
+class SmbServer {
+ public:
+  explicit SmbServer(SmbServerOptions options = {});
+  SmbServer(const SmbServer&) = delete;
+  SmbServer& operator=(const SmbServer&) = delete;
+
+  // --- segment lifecycle -------------------------------------------------
+
+  /// Creates a float segment of `count` elements under `key`.
+  /// Fails if the key exists or capacity would be exceeded.
+  Handle create_floats(ShmKey key, std::size_t count);
+
+  /// Attaches to an existing float segment; `count` (if nonzero) must match.
+  Handle attach_floats(ShmKey key, std::size_t count = 0);
+
+  /// Creates a counter segment of `count` int64 slots (zero-initialised).
+  Handle create_counters(ShmKey key, std::size_t count);
+
+  Handle attach_counters(ShmKey key, std::size_t count = 0);
+
+  /// Drops one reference; the segment is freed when the creator and all
+  /// attachments released it.
+  void release(Handle handle);
+
+  /// Elements in the segment.
+  [[nodiscard]] std::size_t size(Handle handle) const;
+
+  // --- float segment data path -------------------------------------------
+
+  void read(Handle handle, std::span<float> dst, std::size_t offset = 0) const;
+  void write(Handle handle, std::span<const float> src, std::size_t offset = 0);
+
+  /// Server-side accumulate: dst[i] += src[i] for the full (equal) lengths.
+  /// Requests against the same destination are processed exclusively
+  /// (paper §III-G, step T.A3).
+  void accumulate(Handle src, Handle dst);
+
+  /// Overwrite-style accumulate used for initialisation: dst[i] = src[i].
+  void copy_segment(Handle src, Handle dst);
+
+  // --- counter segment ops -----------------------------------------------
+
+  [[nodiscard]] std::int64_t load(Handle handle, std::size_t index) const;
+  void store(Handle handle, std::size_t index, std::int64_t value);
+  std::int64_t fetch_add(Handle handle, std::size_t index, std::int64_t delta);
+  /// Snapshot reductions over the whole counter segment (progress criteria).
+  [[nodiscard]] std::int64_t min_value(Handle handle) const;
+  [[nodiscard]] std::int64_t max_value(Handle handle) const;
+  [[nodiscard]] std::int64_t sum(Handle handle) const;
+
+  // --- update notification -------------------------------------------------
+
+  /// Monotone version, bumped by every write/accumulate/copy to the segment.
+  [[nodiscard]] std::uint64_t version(Handle handle) const;
+
+  /// Blocks until version(handle) >= min_version; returns the version seen.
+  std::uint64_t wait_version_at_least(Handle handle, std::uint64_t min_version) const;
+
+  [[nodiscard]] SmbServerStats stats() const;
+  [[nodiscard]] std::int64_t capacity_bytes() const { return options_.capacity_bytes; }
+
+ private:
+  enum class Kind { kFloats, kCounters };
+
+  struct Segment {
+    ShmKey key = 0;
+    Kind kind = Kind::kFloats;
+    std::vector<float> floats;
+    std::vector<std::atomic<std::int64_t>> counters;
+    int refcount = 0;
+    std::uint64_t version = 0;
+    mutable std::mutex data_mutex;          // guards floats + version
+    mutable std::condition_variable_any version_cv;
+  };
+
+  Handle create_segment(ShmKey key, std::size_t count, Kind kind);
+  Handle attach_segment(ShmKey key, std::size_t count, Kind kind);
+  [[nodiscard]] std::shared_ptr<Segment> find(Handle handle) const;
+  [[nodiscard]] std::shared_ptr<Segment> find(Handle handle, Kind kind) const;
+  static std::int64_t footprint(const Segment& segment);
+
+  SmbServerOptions options_;
+  mutable std::shared_mutex table_mutex_;  // guards the maps + stats + ids
+  std::unordered_map<std::uint64_t, std::shared_ptr<Segment>> by_access_key_;
+  std::unordered_map<ShmKey, std::uint64_t> key_to_access_;  // canonical access key
+  std::uint64_t next_access_key_ = 1;
+  mutable SmbServerStats stats_;
+};
+
+}  // namespace shmcaffe::smb

@@ -1,0 +1,105 @@
+// Tests for the classic parameter server and Downpour ASGD baseline.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "baselines/async_ps.h"
+
+namespace shmcaffe::baselines {
+namespace {
+
+TEST(ParameterServer, InitializeAndPull) {
+  ParameterServer server(4);
+  const std::vector<float> init{1, 2, 3, 4};
+  server.initialize(init);
+  std::vector<float> out(4);
+  server.pull(out);
+  EXPECT_EQ(out, init);
+  EXPECT_EQ(server.update_count(), 0u);
+}
+
+TEST(ParameterServer, PushAppliesScaledGradient) {
+  ParameterServer server(3);
+  server.initialize(std::vector<float>{1, 1, 1});
+  server.push_gradient(std::vector<float>{1, 2, -1}, 0.5F);
+  std::vector<float> out(3);
+  server.pull(out);
+  EXPECT_EQ(out, (std::vector<float>{0.5F, 0.0F, 1.5F}));
+  EXPECT_EQ(server.update_count(), 1u);
+}
+
+TEST(ParameterServer, SizeMismatchesThrow) {
+  ParameterServer server(3);
+  std::vector<float> wrong(4);
+  EXPECT_THROW(server.initialize(wrong), std::invalid_argument);
+  EXPECT_THROW(server.pull(wrong), std::invalid_argument);
+  EXPECT_THROW(server.push_gradient(wrong, 0.1F), std::invalid_argument);
+  EXPECT_THROW(ParameterServer(0), std::invalid_argument);
+}
+
+TEST(ParameterServer, ConcurrentPushesAllApply) {
+  ParameterServer server(16);
+  server.initialize(std::vector<float>(16, 0.0F));
+  constexpr int kThreads = 8;
+  constexpr int kPushes = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server] {
+      const std::vector<float> grad(16, -1.0F);  // W -= lr * (-1) = +lr
+      for (int i = 0; i < kPushes; ++i) server.push_gradient(grad, 1.0F);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(server.update_count(), static_cast<std::uint64_t>(kThreads) * kPushes);
+  std::vector<float> out(16);
+  server.pull(out);
+  for (float v : out) EXPECT_FLOAT_EQ(v, kThreads * kPushes);
+}
+
+core::DistTrainOptions tiny_options(int workers) {
+  core::DistTrainOptions options;
+  options.model_family = "mlp";
+  options.workers = workers;
+  options.input = dl::ModelInputSpec{1, 12, 12, 6};
+  options.train_data.channels = 1;
+  options.train_data.height = 12;
+  options.train_data.width = 12;
+  options.train_data.classes = 6;
+  options.train_data.size = 1536;
+  options.train_data.noise_stddev = 0.25;
+  options.test_data = options.train_data;
+  options.test_data.size = 384;
+  options.test_data.seed = 0x7e57;
+  options.batch_size = 16;
+  options.epochs = 4;
+  return options;
+}
+
+TEST(Downpour, SingleWorkerLearns) {
+  const core::TrainResult result = train_downpour(tiny_options(1));
+  EXPECT_GT(result.final_accuracy, 0.85);
+  EXPECT_EQ(result.curve.back().epoch, 4);
+}
+
+TEST(Downpour, ManyWorkersLearn) {
+  const core::TrainResult result = train_downpour(tiny_options(4));
+  EXPECT_GT(result.final_accuracy, 0.8);
+}
+
+TEST(Downpour, SparseCommunicationStillConverges) {
+  DownpourOptions downpour;
+  downpour.fetch_interval = 4;
+  downpour.push_interval = 4;
+  const core::TrainResult result = train_downpour(tiny_options(4), downpour);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(Downpour, InvalidOptionsThrow) {
+  DownpourOptions bad;
+  bad.fetch_interval = 0;
+  EXPECT_THROW(train_downpour(tiny_options(2), bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmcaffe::baselines

@@ -1,0 +1,147 @@
+// Tests for the baseline platforms: the three functional SSGD transports
+// (correctness + mutual equivalence) and the timed Caffe / Caffe-MPI /
+// MPICaffe models against the paper's Table II anchors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/functional_ssgd.h"
+#include "baselines/sim_platforms.h"
+#include "cluster/model_profiles.h"
+
+namespace shmcaffe::baselines {
+namespace {
+
+core::DistTrainOptions small_options(int workers) {
+  core::DistTrainOptions options;
+  options.model_family = "mlp";
+  options.workers = workers;
+  options.input = dl::ModelInputSpec{1, 12, 12, 6};
+  options.train_data.channels = 1;
+  options.train_data.height = 12;
+  options.train_data.width = 12;
+  options.train_data.classes = 6;
+  options.train_data.size = 1536;
+  options.train_data.noise_stddev = 0.25;
+  options.test_data = options.train_data;
+  options.test_data.size = 384;
+  options.test_data.seed = 0x7e57;
+  options.batch_size = 16;
+  options.epochs = 4;
+  return options;
+}
+
+class Transports : public ::testing::TestWithParam<SsgdTransport> {};
+
+TEST_P(Transports, LearnsTheSyntheticTask) {
+  const core::TrainResult result = train_ssgd(small_options(4), GetParam());
+  EXPECT_GT(result.final_accuracy, 0.8);
+  EXPECT_EQ(result.curve.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Transports,
+                         ::testing::Values(SsgdTransport::kNcclAllReduce,
+                                           SsgdTransport::kMpiStar,
+                                           SsgdTransport::kMpiAllReduce),
+                         [](const ::testing::TestParamInfo<SsgdTransport>& info) {
+                           switch (info.param) {
+                             case SsgdTransport::kNcclAllReduce: return "nccl";
+                             case SsgdTransport::kMpiStar: return "star";
+                             case SsgdTransport::kMpiAllReduce: return "allreduce";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Transports, AllThreeComputeTheSameTrainingTrajectory) {
+  // Same seed, same shards: the three transports implement the same maths,
+  // so their final models must agree up to floating-point association noise.
+  const core::TrainResult nccl = train_ssgd(small_options(4), SsgdTransport::kNcclAllReduce);
+  const core::TrainResult star = train_ssgd(small_options(4), SsgdTransport::kMpiStar);
+  const core::TrainResult ring = train_ssgd(small_options(4), SsgdTransport::kMpiAllReduce);
+  EXPECT_NEAR(nccl.final_accuracy, star.final_accuracy, 0.08);
+  EXPECT_NEAR(nccl.final_accuracy, ring.final_accuracy, 0.08);
+  EXPECT_NEAR(nccl.final_loss, star.final_loss, 0.25);
+  ASSERT_EQ(nccl.curve.size(), star.curve.size());
+  for (std::size_t e = 0; e < nccl.curve.size(); ++e) {
+    EXPECT_NEAR(nccl.curve[e].test_loss, star.curve[e].test_loss, 0.3) << "epoch " << e;
+  }
+}
+
+TEST(Transports, SingleWorkerMatchesSequentialSgd) {
+  const core::TrainResult result = train_ssgd(small_options(1), SsgdTransport::kNcclAllReduce);
+  EXPECT_GT(result.final_accuracy, 0.85);
+}
+
+// --- timed platform models (Table II anchors) ---
+
+SimPlatformOptions timing_options(int workers) {
+  SimPlatformOptions options;
+  options.workers = workers;
+  options.iterations = 250;
+  return options;
+}
+
+TEST(SimCaffe, SingleGpuIterationMatchesProfile) {
+  const auto timing = simulate_caffe(timing_options(1));
+  const SimTime comp = cluster::profile(cluster::ModelKind::kInceptionV1).comp_time;
+  EXPECT_NEAR(static_cast<double>(timing.mean_iteration()), static_cast<double>(comp),
+              static_cast<double>(comp) * 0.1);
+  EXPECT_EQ(timing.mean_comm, 0);
+}
+
+TEST(SimCaffe, TableTwoScalability) {
+  // Paper Table II: Caffe reaches only ~2.7x on 8 GPUs and ~2.3x on 16.
+  const auto one = simulate_caffe(timing_options(1));
+  const auto eight = simulate_caffe(timing_options(8));
+  const auto sixteen = simulate_caffe(timing_options(16));
+  const double speedup8 = 8.0 * static_cast<double>(one.mean_iteration()) /
+                          static_cast<double>(eight.mean_iteration());
+  const double speedup16 = 16.0 * static_cast<double>(one.mean_iteration()) /
+                           static_cast<double>(sixteen.mean_iteration());
+  EXPECT_NEAR(speedup8, 2.7, 0.5);
+  EXPECT_NEAR(speedup16, 2.3, 0.5);
+  EXPECT_GT(speedup8, speedup16);  // Caffe scales *backwards* past 8 GPUs
+}
+
+TEST(SimCaffeMpi, StarCommunicationDominatesAtScale) {
+  const auto eight = simulate_caffe_mpi(timing_options(8));
+  const auto sixteen = simulate_caffe_mpi(timing_options(16));
+  EXPECT_GT(sixteen.mean_comm, eight.mean_comm);
+  EXPECT_GT(sixteen.mean_comm, sixteen.mean_comp);  // comm-bound at 16
+}
+
+TEST(SimMpiCaffe, AllreduceBeatsStar) {
+  const auto star = simulate_caffe_mpi(timing_options(16));
+  const auto ring = simulate_mpicaffe(timing_options(16));
+  EXPECT_LT(ring.mean_comm, star.mean_comm);
+  EXPECT_LT(ring.mean_iteration(), star.mean_iteration());
+}
+
+TEST(SimPlatforms, SynchronousPlatformsPayStragglerTax) {
+  // With jitter on, mean comm of a synchronous platform includes waiting
+  // for the slowest worker; with jitter off it is transfer time only.
+  SimPlatformOptions with_jitter = timing_options(8);
+  SimPlatformOptions without = timing_options(8);
+  without.jitter.slow_probability = 0.0;
+  const auto jittered = simulate_mpicaffe(with_jitter);
+  const auto calm = simulate_mpicaffe(without);
+  EXPECT_GT(jittered.mean_comm, calm.mean_comm);
+}
+
+TEST(SimPlatforms, DeterministicForSameSeed) {
+  const auto a = simulate_caffe_mpi(timing_options(8));
+  const auto b = simulate_caffe_mpi(timing_options(8));
+  EXPECT_EQ(a.mean_comm, b.mean_comm);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(SimPlatforms, InvalidOptionsThrow) {
+  SimPlatformOptions bad = timing_options(0);
+  EXPECT_THROW((void)simulate_caffe(bad), std::invalid_argument);
+  bad = timing_options(2);
+  bad.iterations = 0;
+  EXPECT_THROW((void)simulate_mpicaffe(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmcaffe::baselines

@@ -1,0 +1,113 @@
+// Tests for the NCCL-like device-group collectives and the PCIe cost model.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "coll/nccl.h"
+#include "coll/pcie_model.h"
+#include "common/units.h"
+
+namespace shmcaffe::coll {
+namespace {
+
+template <typename Body>
+void run_group(int devices, Body body) {
+  DeviceGroup group(devices);
+  std::vector<std::thread> threads;
+  for (int d = 0; d < devices; ++d) {
+    threads.emplace_back([&group, d, &body] { body(group.communicator(d)); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(DeviceGroup, AllReduceSumAcrossDevices) {
+  for (int k : {1, 2, 4}) {
+    run_group(k, [k](Communicator comm) {
+      std::vector<float> grad(10, static_cast<float>(comm.device() + 1));
+      comm.all_reduce_sum(grad);
+      const float expected = static_cast<float>(k * (k + 1)) / 2.0F;
+      for (float v : grad) EXPECT_FLOAT_EQ(v, expected);
+    });
+  }
+}
+
+TEST(DeviceGroup, AllReduceMeanAveragesGradients) {
+  run_group(4, [](Communicator comm) {
+    std::vector<float> grad(5, static_cast<float>(comm.device()));  // 0,1,2,3
+    comm.all_reduce_mean(grad);
+    for (float v : grad) EXPECT_FLOAT_EQ(v, 1.5F);
+  });
+}
+
+TEST(DeviceGroup, BroadcastFromRoot) {
+  run_group(3, [](Communicator comm) {
+    std::vector<float> weights(4, comm.device() == 0 ? 7.0F : 0.0F);
+    comm.broadcast(0, weights);
+    for (float v : weights) EXPECT_FLOAT_EQ(v, 7.0F);
+  });
+}
+
+TEST(DeviceGroup, ReduceSumToRoot) {
+  run_group(4, [](Communicator comm) {
+    std::vector<float> grad(2, 1.0F);
+    comm.reduce_sum(0, grad);
+    if (comm.device() == 0) {
+      for (float v : grad) EXPECT_FLOAT_EQ(v, 4.0F);
+    }
+  });
+}
+
+TEST(DeviceGroup, RepeatedIterationsStayConsistent) {
+  // The hybrid trainer calls allreduce + broadcast every iteration.
+  run_group(4, [](Communicator comm) {
+    for (int iter = 0; iter < 30; ++iter) {
+      std::vector<float> grad(16, 1.0F);
+      comm.all_reduce_mean(grad);
+      for (float v : grad) ASSERT_FLOAT_EQ(v, 1.0F);
+      std::vector<float> w(16, comm.device() == 0 ? static_cast<float>(iter) : -1.0F);
+      comm.broadcast(0, w);
+      for (float v : w) ASSERT_FLOAT_EQ(v, static_cast<float>(iter));
+    }
+  });
+}
+
+TEST(PcieModel, SingleDeviceOrEmptyBufferIsFree) {
+  const PcieModel model;
+  EXPECT_EQ(model.ring_allreduce_time(1, 1 << 20), 0);
+  EXPECT_EQ(model.ring_allreduce_time(4, 0), 0);
+  EXPECT_EQ(model.broadcast_time(1, 1 << 20), 0);
+}
+
+TEST(PcieModel, AllreduceApproachesTwoBusTransfersAsKGrows) {
+  PcieModel model;
+  model.bus_bandwidth = 10e9;
+  model.hop_latency = 0;
+  const std::int64_t bytes = 100'000'000;  // 10 ms at bus rate
+  const SimTime t2 = model.ring_allreduce_time(2, bytes);
+  const SimTime t8 = model.ring_allreduce_time(8, bytes);
+  EXPECT_NEAR(static_cast<double>(t2), 10.0 * units::kMillisecond, 1e4);   // 2*(1/2)
+  EXPECT_NEAR(static_cast<double>(t8), 17.5 * units::kMillisecond, 1e4);   // 2*(7/8)
+  EXPECT_LT(t2, t8);
+}
+
+TEST(PcieModel, HopLatencyScalesWithSteps) {
+  PcieModel model;
+  model.bus_bandwidth = 10e9;
+  model.hop_latency = 10 * units::kMicrosecond;
+  const SimTime with_data = model.ring_allreduce_time(4, 1);
+  // 2*(4-1) hops of 10 us dominate a 1-byte payload.
+  EXPECT_GE(with_data, 60 * units::kMicrosecond);
+  EXPECT_LT(with_data, 61 * units::kMicrosecond);
+}
+
+TEST(PcieModel, BroadcastIsHalfOfAllreduceData) {
+  PcieModel model;
+  model.hop_latency = 0;
+  const std::int64_t bytes = 80'000'000;
+  EXPECT_NEAR(static_cast<double>(model.broadcast_time(4, bytes)) * 2.0,
+              static_cast<double>(model.ring_allreduce_time(4, bytes)), 1e4);
+}
+
+}  // namespace
+}  // namespace shmcaffe::coll

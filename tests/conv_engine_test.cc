@@ -1,0 +1,109 @@
+// Equivalence tests between the direct and im2col+GEMM convolution engines:
+// identical configurations must produce matching outputs and gradients
+// across a parameter sweep of geometries.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "dl/layers.h"
+
+namespace shmcaffe::dl {
+namespace {
+
+struct Geometry {
+  int batch;
+  int in_channels;
+  int out_channels;
+  int height;
+  int width;
+  int kernel;
+  int stride;
+  int pad;
+};
+
+class ConvEngines : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(ConvEngines, ForwardAndBackwardAgree) {
+  const Geometry g = GetParam();
+  Conv2d direct("d", g.in_channels, g.out_channels, g.kernel, g.stride, g.pad,
+                ConvEngine::kDirect);
+  Conv2d gemm("g", g.in_channels, g.out_channels, g.kernel, g.stride, g.pad,
+              ConvEngine::kIm2colGemm);
+
+  common::Rng rng(31);
+  direct.init_params(rng);
+  // Copy the exact same weights into the GEMM instance.
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto src = direct.params()[p]->value.span();
+    auto dst = gemm.params()[p]->value.span();
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+
+  Tensor x({g.batch, g.in_channels, g.height, g.width});
+  for (float& v : x.span()) v = static_cast<float>(rng.uniform(-1, 1));
+
+  Tensor top_direct;
+  Tensor top_gemm;
+  direct.setup({&x}, top_direct);
+  gemm.setup({&x}, top_gemm);
+  ASSERT_EQ(top_direct.shape(), top_gemm.shape());
+  direct.forward({&x}, top_direct, true);
+  gemm.forward({&x}, top_gemm, true);
+  for (std::size_t i = 0; i < top_direct.size(); ++i) {
+    ASSERT_NEAR(top_direct[i], top_gemm[i], 1e-4F) << "forward element " << i;
+  }
+
+  Tensor top_grad;
+  top_grad.reshape(top_direct.shape());
+  for (float& v : top_grad.span()) v = static_cast<float>(rng.uniform(-1, 1));
+  Tensor dx_direct;
+  dx_direct.reshape(x.shape());
+  Tensor dx_gemm;
+  dx_gemm.reshape(x.shape());
+  std::vector<Tensor*> grads_direct{&dx_direct};
+  std::vector<Tensor*> grads_gemm{&dx_gemm};
+  direct.backward({&x}, top_direct, top_grad, grads_direct);
+  gemm.backward({&x}, top_gemm, top_grad, grads_gemm);
+
+  for (std::size_t i = 0; i < dx_direct.size(); ++i) {
+    ASSERT_NEAR(dx_direct[i], dx_gemm[i], 1e-3F) << "dx element " << i;
+  }
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto gd = direct.params()[p]->grad.span();
+    const auto gg = gemm.params()[p]->grad.span();
+    for (std::size_t i = 0; i < gd.size(); ++i) {
+      ASSERT_NEAR(gd[i], gg[i], 2e-3F) << "param " << p << " grad " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvEngines,
+    ::testing::Values(Geometry{1, 1, 1, 5, 5, 3, 1, 1},     // minimal
+                      Geometry{2, 3, 8, 12, 12, 3, 1, 1},   // typical model layer
+                      Geometry{3, 4, 6, 9, 7, 3, 2, 1},     // strided, non-square
+                      Geometry{2, 8, 4, 8, 8, 1, 1, 0},     // 1x1 projection
+                      Geometry{1, 2, 2, 11, 11, 5, 2, 2},   // big kernel, stride 2
+                      Geometry{2, 3, 5, 6, 6, 3, 3, 0}));   // stride == kernel
+
+TEST(ConvEngines, NullBottomGradSupportedByBoth) {
+  for (ConvEngine engine : {ConvEngine::kDirect, ConvEngine::kIm2colGemm}) {
+    Conv2d conv("c", 2, 3, 3, 1, 1, engine);
+    common::Rng rng(5);
+    conv.init_params(rng);
+    Tensor x({1, 2, 6, 6});
+    for (float& v : x.span()) v = static_cast<float>(rng.uniform(-1, 1));
+    Tensor top;
+    conv.setup({&x}, top);
+    conv.forward({&x}, top, true);
+    Tensor top_grad;
+    top_grad.reshape(top.shape());
+    top_grad.fill(0.1F);
+    std::vector<Tensor*> grads{nullptr};
+    EXPECT_NO_THROW(conv.backward({&x}, top, top_grad, grads));
+  }
+}
+
+}  // namespace
+}  // namespace shmcaffe::dl

@@ -1,0 +1,67 @@
+// End-to-end numerical gradient checks through every deterministic model
+// family — the strongest whole-net correctness statement the library makes:
+// conv (GEMM engine), pooling, concat, residual adds, batch norm and LRN all
+// compose into analytically-correct gradients.
+//
+// mini_vgg is excluded: its dropout draws fresh masks per forward pass, so
+// central differences are not well-defined for it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "dl/gradcheck.h"
+#include "dl/models.h"
+
+namespace shmcaffe::dl {
+namespace {
+
+class ModelGradCheck : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelGradCheck, WholeModelAnalyticMatchesNumeric) {
+  common::Rng rng(2026);
+  ModelInputSpec spec;
+  spec.channels = 2;
+  spec.height = 8;
+  spec.width = 8;
+  spec.classes = 4;
+  Net net = make_model(GetParam(), spec);
+  net.init_params(rng);
+  // The residual families zero-initialise their branch-output convolutions,
+  // which parks downstream ReLU inputs exactly at the kink (sum == bottom,
+  // and bottom contains exact zeros from earlier ReLUs); central differences
+  // are ill-defined there.  Nudge every learnable parameter off zero so the
+  // check is well-posed.
+  for (ParamBlob* blob : net.params()) {
+    if (!blob->learnable) continue;
+    for (float& v : blob->value.span()) v += static_cast<float>(rng.uniform(-0.05, 0.05));
+  }
+
+  Tensor& data = net.input("data");
+  data.reshape({2, spec.channels, spec.height, spec.width});
+  for (float& v : data.span()) v = static_cast<float>(rng.uniform(-1, 1));
+  Tensor& labels = net.input("label");
+  labels.reshape({2});
+  for (float& v : labels.span()) {
+    v = static_cast<float>(rng.uniform_int(0, spec.classes - 1));
+  }
+
+  const GradCheckResult result = check_gradients(net, 1e-3, 80, rng);
+  EXPECT_EQ(result.checked, 80u);
+  // Quantile assertions: a wrong gradient corrupts most samples; a handful
+  // of large errors are expected kink-straddling artifacts of deep ReLU
+  // stacks under finite differences.
+  EXPECT_LT(result.rel_error_quantile(0.5), 0.01) << GetParam();
+  EXPECT_LT(result.rel_error_quantile(0.9), 0.05) << GetParam();
+  EXPECT_LT(result.max_rel_error, 0.5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ModelGradCheck,
+                         ::testing::Values("mlp", "mini_inception", "mini_resnet",
+                                           "mini_inception_resnet"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace shmcaffe::dl

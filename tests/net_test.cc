@@ -1,0 +1,272 @@
+// Tests for the fabric model: single-flow timing, max-min fairness,
+// bottleneck sharing, FIFO ablation, and conservation properties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+
+namespace shmcaffe::net {
+namespace {
+
+using shmcaffe::units::kMicrosecond;
+using shmcaffe::units::kMillisecond;
+using shmcaffe::units::kSecond;
+
+FabricOptions exact_options(SharingModel sharing = SharingModel::kMaxMinFair) {
+  FabricOptions opts;
+  opts.sharing = sharing;
+  opts.message_latency = 0;
+  opts.efficiency = 1.0;
+  return opts;
+}
+
+TEST(Fabric, SingleFlowTakesBytesOverCapacity) {
+  sim::Simulation sim;
+  Fabric fabric(sim, exact_options());
+  const LinkId tx = fabric.add_link("tx", 1e9);  // 1 GB/s
+  const LinkId rx = fabric.add_link("rx", 1e9);
+  SimTime finished = -1;
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId a, LinkId b, SimTime& out) -> sim::Task<> {
+    co_await f.transfer(a, b, 1'000'000);  // 1 MB at 1 GB/s = 1 ms
+    out = s.now();
+  }(sim, fabric, tx, rx, finished));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(finished), 1.0 * kMillisecond, 1000.0);
+}
+
+TEST(Fabric, MessageLatencyIsAdded) {
+  sim::Simulation sim;
+  FabricOptions opts = exact_options();
+  opts.message_latency = 5 * kMicrosecond;
+  Fabric fabric(sim, opts);
+  const LinkId link = fabric.add_link("l", 1e9);
+  SimTime finished = -1;
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out) -> sim::Task<> {
+    co_await f.transfer(l, 1'000'000);
+    out = s.now();
+  }(sim, fabric, link, finished));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(finished), 1.0 * kMillisecond + 5.0 * kMicrosecond, 1000.0);
+}
+
+TEST(Fabric, ZeroByteTransferPaysOnlyLatency) {
+  sim::Simulation sim;
+  FabricOptions opts = exact_options();
+  opts.message_latency = 3 * kMicrosecond;
+  Fabric fabric(sim, opts);
+  const LinkId link = fabric.add_link("l", 1e9);
+  SimTime finished = -1;
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out) -> sim::Task<> {
+    co_await f.transfer(l, 0);
+    out = s.now();
+  }(sim, fabric, link, finished));
+  sim.run();
+  EXPECT_EQ(finished, 3 * kMicrosecond);
+}
+
+TEST(Fabric, TwoEqualFlowsShareALinkFairly) {
+  sim::Simulation sim;
+  Fabric fabric(sim, exact_options());
+  const LinkId shared = fabric.add_link("shared", 1e9);
+  std::vector<SimTime> done(2, -1);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out) -> sim::Task<> {
+      co_await f.transfer(l, 1'000'000);
+      out = s.now();
+    }(sim, fabric, shared, done[i]));
+  }
+  sim.run();
+  // Each gets 0.5 GB/s: both finish at ~2 ms.
+  EXPECT_NEAR(static_cast<double>(done[0]), 2.0 * kMillisecond, 10'000.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), 2.0 * kMillisecond, 10'000.0);
+}
+
+TEST(Fabric, LateArrivalSlowsExistingFlow) {
+  sim::Simulation sim;
+  Fabric fabric(sim, exact_options());
+  const LinkId shared = fabric.add_link("shared", 1e9);
+  SimTime first_done = -1;
+  SimTime second_done = -1;
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out) -> sim::Task<> {
+    co_await f.transfer(l, 2'000'000);
+    out = s.now();
+  }(sim, fabric, shared, first_done));
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out) -> sim::Task<> {
+    co_await s.delay(1 * kMillisecond);  // first flow is halfway through
+    co_await f.transfer(l, 1'000'000);
+    out = s.now();
+  }(sim, fabric, shared, second_done));
+  sim.run();
+  // t in [0,1ms): flow1 alone at 1 GB/s, moves 1 MB (1 MB left).
+  // t in [1,3ms): both at 0.5 GB/s; both have 1 MB left -> finish at 3 ms.
+  EXPECT_NEAR(static_cast<double>(first_done), 3.0 * kMillisecond, 10'000.0);
+  EXPECT_NEAR(static_cast<double>(second_done), 3.0 * kMillisecond, 10'000.0);
+}
+
+TEST(Fabric, MaxMinRespectsPerFlowBottleneck) {
+  // Flow A crosses a slow private link and the shared link; flow B only the
+  // shared link.  A is capped at 0.25 GB/s; B should get the leftover
+  // 0.75 GB/s of the shared link (max-min), not the 0.5 GB/s equal split.
+  sim::Simulation sim;
+  Fabric fabric(sim, exact_options());
+  const LinkId slow = fabric.add_link("slow", 0.25e9);
+  const LinkId shared = fabric.add_link("shared", 1e9);
+  SimTime a_done = -1;
+  SimTime b_done = -1;
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l1, LinkId l2, SimTime& out) -> sim::Task<> {
+    co_await f.transfer(l1, l2, 1'000'000);
+    out = s.now();
+  }(sim, fabric, slow, shared, a_done));
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out) -> sim::Task<> {
+    co_await f.transfer(l, 3'000'000);
+    out = s.now();
+  }(sim, fabric, shared, b_done));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(a_done), 4.0 * kMillisecond, 20'000.0);  // 1MB @ 0.25GB/s
+  EXPECT_NEAR(static_cast<double>(b_done), 4.0 * kMillisecond, 20'000.0);  // 3MB @ 0.75GB/s
+}
+
+TEST(Fabric, ManyFlowsConserveAggregateBandwidth) {
+  // N flows through one link: total bytes / makespan == link capacity.
+  for (int n : {1, 3, 8, 16}) {
+    sim::Simulation sim;
+    Fabric fabric(sim, exact_options());
+    const LinkId shared = fabric.add_link("shared", 2e9);
+    const std::int64_t per_flow = 4'000'000;
+    sim::JoinHandle last;
+    for (int i = 0; i < n; ++i) {
+      last = sim.spawn([](Fabric& f, LinkId l, std::int64_t b) -> sim::Task<> {
+        co_await f.transfer(l, b);
+      }(fabric, shared, per_flow));
+    }
+    sim.run();
+    const double makespan = shmcaffe::units::to_seconds(sim.now());
+    const double aggregate = static_cast<double>(n) * per_flow / makespan;
+    EXPECT_NEAR(aggregate, 2e9, 2e7) << "n=" << n;
+  }
+}
+
+TEST(Fabric, EfficiencyScalesDataRate) {
+  sim::Simulation sim;
+  FabricOptions opts = exact_options();
+  opts.efficiency = 0.5;
+  Fabric fabric(sim, opts);
+  const LinkId link = fabric.add_link("l", 1e9);
+  sim.spawn([](Fabric& f, LinkId l) -> sim::Task<> {
+    co_await f.transfer(l, 1'000'000);
+  }(fabric, link));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(sim.now()), 2.0 * kMillisecond, 10'000.0);
+}
+
+TEST(Fabric, FifoSerialisesTransfers) {
+  sim::Simulation sim;
+  Fabric fabric(sim, exact_options(SharingModel::kFifoSerial));
+  const LinkId shared = fabric.add_link("shared", 1e9);
+  std::vector<SimTime> done(3, -1);
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out) -> sim::Task<> {
+      co_await f.transfer(l, 1'000'000);
+      out = s.now();
+    }(sim, fabric, shared, done[i]));
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(done[0]), 1.0 * kMillisecond, 2000.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), 2.0 * kMillisecond, 2000.0);
+  EXPECT_NEAR(static_cast<double>(done[2]), 3.0 * kMillisecond, 2000.0);
+}
+
+TEST(Fabric, FairAndFifoSameMakespanDifferentCompletions) {
+  // Work conservation: with identical flows the makespan matches, but FIFO
+  // finishes them one by one while max-min finishes them together.
+  auto run = [](SharingModel model) {
+    sim::Simulation sim;
+    Fabric fabric(sim, exact_options(model));
+    const LinkId shared = fabric.add_link("shared", 1e9);
+    std::vector<SimTime> done(4, -1);
+    for (int i = 0; i < 4; ++i) {
+      sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out) -> sim::Task<> {
+        co_await f.transfer(l, 1'000'000);
+        out = s.now();
+      }(sim, fabric, shared, done[i]));
+    }
+    sim.run();
+    return std::pair{sim.now(), done};
+  };
+  auto [fair_end, fair_done] = run(SharingModel::kMaxMinFair);
+  auto [fifo_end, fifo_done] = run(SharingModel::kFifoSerial);
+  EXPECT_NEAR(static_cast<double>(fair_end), static_cast<double>(fifo_end), 10'000.0);
+  EXPECT_LT(fifo_done[0], fair_done[0]);  // FIFO's first flow finishes earlier
+}
+
+TEST(Fabric, StatsAccumulateBytesAndTransfers) {
+  sim::Simulation sim;
+  Fabric fabric(sim, exact_options());
+  const LinkId link = fabric.add_link("l", 1e9);
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn([](Fabric& f, LinkId l) -> sim::Task<> {
+      co_await f.transfer(l, 1000);
+    }(fabric, link));
+  }
+  sim.run();
+  EXPECT_EQ(fabric.stats(link).bytes_carried, 5000);
+  EXPECT_EQ(fabric.stats(link).transfers, 5);
+  EXPECT_EQ(fabric.active_flow_count(), 0u);
+}
+
+TEST(Fabric, EndpointCreatesTxRxPair) {
+  sim::Simulation sim;
+  Fabric fabric(sim, exact_options());
+  const Fabric::Endpoint ep = fabric.add_endpoint("hca0", 7e9);
+  EXPECT_TRUE(ep.tx.valid());
+  EXPECT_TRUE(ep.rx.valid());
+  EXPECT_EQ(fabric.stats(ep.tx).name, "hca0.tx");
+  EXPECT_EQ(fabric.stats(ep.rx).name, "hca0.rx");
+  EXPECT_DOUBLE_EQ(fabric.stats(ep.tx).capacity_bps, 7e9);
+}
+
+TEST(Fabric, DuplexFlowsDoNotContend) {
+  // One flow outbound and one inbound through the same endpoint should both
+  // run at full rate (full-duplex links).
+  sim::Simulation sim;
+  Fabric fabric(sim, exact_options());
+  const Fabric::Endpoint server = fabric.add_endpoint("server", 1e9);
+  const Fabric::Endpoint client = fabric.add_endpoint("client", 1e9);
+  std::vector<SimTime> done(2, -1);
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId a, LinkId b, SimTime& out) -> sim::Task<> {
+    co_await f.transfer(a, b, 1'000'000);
+    out = s.now();
+  }(sim, fabric, client.tx, server.rx, done[0]));
+  sim.spawn([](sim::Simulation& s, Fabric& f, LinkId a, LinkId b, SimTime& out) -> sim::Task<> {
+    co_await f.transfer(a, b, 1'000'000);
+    out = s.now();
+  }(sim, fabric, server.tx, client.rx, done[1]));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(done[0]), 1.0 * kMillisecond, 10'000.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), 1.0 * kMillisecond, 10'000.0);
+}
+
+TEST(Fabric, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Simulation sim;
+    Fabric fabric(sim, exact_options());
+    const LinkId shared = fabric.add_link("shared", 1e9);
+    std::vector<SimTime> done(6, -1);
+    for (int i = 0; i < 6; ++i) {
+      sim.spawn([](sim::Simulation& s, Fabric& f, LinkId l, SimTime& out, int id) -> sim::Task<> {
+        co_await s.delay(id * 100);
+        co_await f.transfer(l, 500'000 + id * 1000);
+        out = s.now();
+      }(sim, fabric, shared, done[i], i));
+    }
+    sim.run();
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace shmcaffe::net

@@ -1,0 +1,307 @@
+// Property-based tests: randomised workloads checked against first-principle
+// invariants rather than hand-computed expectations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "smb/server.h"
+
+namespace shmcaffe {
+namespace {
+
+using shmcaffe::units::kMillisecond;
+
+// ---------------------------------------------------------------------------
+// Fabric properties under random flow sets.
+// ---------------------------------------------------------------------------
+
+struct RandomFlowCase {
+  std::uint64_t seed;
+};
+
+class FabricProperties : public ::testing::TestWithParam<RandomFlowCase> {};
+
+TEST_P(FabricProperties, RandomFlowsRespectConservationAndCapacity) {
+  common::Rng rng(GetParam().seed);
+  sim::Simulation sim;
+  net::FabricOptions options;
+  options.message_latency = 0;
+  options.efficiency = 1.0;
+  net::Fabric fabric(sim, options);
+
+  // Random topology: 3-6 links with random capacities.
+  const int link_count = static_cast<int>(rng.uniform_int(3, 6));
+  std::vector<net::LinkId> links;
+  std::vector<double> capacities;
+  for (int l = 0; l < link_count; ++l) {
+    const double cap = rng.uniform(0.5e9, 4e9);
+    links.push_back(fabric.add_link("l" + std::to_string(l), cap));
+    capacities.push_back(cap);
+  }
+
+  // Random flows: each crosses 1-2 distinct links, random size, random start.
+  struct FlowSpec {
+    std::vector<net::LinkId> path;
+    std::int64_t bytes;
+    SimTime start;
+    SimTime finished = -1;
+  };
+  const int flow_count = static_cast<int>(rng.uniform_int(4, 12));
+  std::vector<FlowSpec> flows(static_cast<std::size_t>(flow_count));
+  for (FlowSpec& flow : flows) {
+    const int first = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(link_count)));
+    flow.path.push_back(links[static_cast<std::size_t>(first)]);
+    if (rng.chance(0.5) && link_count > 1) {
+      int second = first;
+      while (second == first) {
+        second = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(link_count)));
+      }
+      flow.path.push_back(links[static_cast<std::size_t>(second)]);
+    }
+    flow.bytes = rng.uniform_int(100'000, 5'000'000);
+    flow.start = rng.uniform_int(0, 2 * kMillisecond);
+  }
+
+  for (FlowSpec& flow : flows) {
+    sim.spawn([](sim::Simulation& s, net::Fabric& f, FlowSpec& spec) -> sim::Task<> {
+      co_await s.delay(spec.start);
+      co_await f.transfer(spec.path, spec.bytes);
+      spec.finished = s.now();
+    }(sim, fabric, flow));
+  }
+  sim.run();
+
+  // P1: every flow completes.
+  for (const FlowSpec& flow : flows) ASSERT_GE(flow.finished, flow.start);
+
+  // P2: no flow beats the physics: finish >= start + bytes / min path capacity.
+  for (const FlowSpec& flow : flows) {
+    double min_cap = 1e18;
+    for (net::LinkId id : flow.path) {
+      min_cap = std::min(min_cap, fabric.stats(id).capacity_bps);
+    }
+    const SimTime physical_floor = units::transfer_time(flow.bytes, min_cap);
+    EXPECT_GE(flow.finished - flow.start, physical_floor - 1000)
+        << "flow finished faster than its bottleneck allows";
+  }
+
+  // P3: per-link throughput never exceeds capacity over the run.
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    const auto& stats = fabric.stats(links[l]);
+    const double elapsed = units::to_seconds(sim.now());
+    if (elapsed > 0) {
+      EXPECT_LE(static_cast<double>(stats.bytes_carried) / elapsed,
+                capacities[l] * 1.001)
+          << "link " << l << " exceeded capacity";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricProperties,
+                         ::testing::Values(RandomFlowCase{1}, RandomFlowCase{2},
+                                           RandomFlowCase{3}, RandomFlowCase{4},
+                                           RandomFlowCase{5}, RandomFlowCase{6},
+                                           RandomFlowCase{7}, RandomFlowCase{8}));
+
+TEST(FabricProperties, FifoAndFairDeliverSameTotalBytes) {
+  for (std::uint64_t seed : {10ULL, 11ULL, 12ULL}) {
+    std::map<net::SharingModel, SimTime> makespans;
+    for (net::SharingModel model :
+         {net::SharingModel::kMaxMinFair, net::SharingModel::kFifoSerial}) {
+      common::Rng rng(seed);
+      sim::Simulation sim;
+      net::FabricOptions options;
+      options.message_latency = 0;
+      options.efficiency = 1.0;
+      options.sharing = model;
+      net::Fabric fabric(sim, options);
+      const net::LinkId link = fabric.add_link("shared", 1e9);
+      for (int f = 0; f < 6; ++f) {
+        const std::int64_t bytes = rng.uniform_int(500'000, 2'000'000);
+        sim.spawn([](net::Fabric& fb, net::LinkId l, std::int64_t b) -> sim::Task<> {
+          co_await fb.transfer(l, b);
+        }(fabric, link, bytes));
+      }
+      sim.run();
+      makespans[model] = sim.now();
+    }
+    // Work conservation: one busy link serving the same total bytes finishes
+    // at the same time under both disciplines (all flows start at t=0).
+    EXPECT_NEAR(static_cast<double>(makespans[net::SharingModel::kMaxMinFair]),
+                static_cast<double>(makespans[net::SharingModel::kFifoSerial]),
+                static_cast<double>(makespans[net::SharingModel::kFifoSerial]) * 0.01);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation engine properties under random task graphs.
+// ---------------------------------------------------------------------------
+
+TEST(SimulationProperties, RandomDelayGraphMatchesAnalyticSchedule) {
+  // N processes each perform a random sequence of delays; the engine must
+  // finish each exactly at the sum of its delays, regardless of interleaving.
+  for (std::uint64_t seed : {21ULL, 22ULL, 23ULL, 24ULL}) {
+    common::Rng rng(seed);
+    sim::Simulation sim;
+    const int procs = static_cast<int>(rng.uniform_int(2, 10));
+    std::vector<SimTime> expected(static_cast<std::size_t>(procs), 0);
+    std::vector<SimTime> actual(static_cast<std::size_t>(procs), -1);
+    for (int p = 0; p < procs; ++p) {
+      std::vector<SimTime> delays;
+      const int steps = static_cast<int>(rng.uniform_int(1, 20));
+      for (int s = 0; s < steps; ++s) {
+        const SimTime d = rng.uniform_int(0, 1000);
+        delays.push_back(d);
+        expected[static_cast<std::size_t>(p)] += d;
+      }
+      sim.spawn([](sim::Simulation& s, std::vector<SimTime> ds, SimTime& out) -> sim::Task<> {
+        for (SimTime d : ds) co_await s.delay(d);
+        out = s.now();
+      }(sim, std::move(delays), actual[static_cast<std::size_t>(p)]));
+    }
+    sim.run();
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(SimulationProperties, SemaphorePipelineNeverExceedsCapacityAndIsWorkConserving) {
+  for (std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+    common::Rng rng(seed);
+    sim::Simulation sim;
+    const int capacity = static_cast<int>(rng.uniform_int(1, 4));
+    sim::Semaphore sem(sim, capacity);
+    const int jobs = static_cast<int>(rng.uniform_int(5, 25));
+    SimTime total_service = 0;
+    int active = 0;
+    int peak = 0;
+    for (int j = 0; j < jobs; ++j) {
+      const SimTime service = rng.uniform_int(1, 500);
+      total_service += service;
+      sim.spawn([](sim::Simulation& s, sim::Semaphore& sm, SimTime sv, int& act, int& pk)
+                    -> sim::Task<> {
+        co_await sm.acquire();
+        ++act;
+        pk = std::max(pk, act);
+        co_await s.delay(sv);
+        --act;
+        sm.release();
+      }(sim, sem, service, active, peak));
+    }
+    sim.run();
+    EXPECT_LE(peak, capacity);
+    // Work conservation: makespan >= total_service / capacity, and the
+    // server is never idle while jobs wait (single batch arrival), so
+    // makespan <= total_service (capacity 1 gives equality).
+    EXPECT_GE(sim.now() * capacity, total_service);
+    EXPECT_LE(sim.now(), total_service);
+  }
+}
+
+TEST(SimulationProperties, BarrierRoundsAreTotallyOrdered) {
+  // Under random per-round delays, no party may enter round r+1 before
+  // every party has finished round r.
+  for (std::uint64_t seed : {41ULL, 42ULL}) {
+    common::Rng rng(seed);
+    sim::Simulation sim;
+    const int parties = static_cast<int>(rng.uniform_int(2, 6));
+    constexpr int kRounds = 15;
+    sim::Barrier barrier(sim, static_cast<std::size_t>(parties));
+    std::vector<int> round_of(static_cast<std::size_t>(parties), 0);
+    bool violated = false;
+    for (int p = 0; p < parties; ++p) {
+      const std::uint64_t salt = rng.next_u64();
+      sim.spawn([](sim::Simulation& s, sim::Barrier& b, std::vector<int>& rounds, int id,
+                   std::uint64_t sd, bool& bad) -> sim::Task<> {
+        common::Rng local(sd);
+        for (int r = 0; r < kRounds; ++r) {
+          co_await s.delay(local.uniform_int(1, 300));
+          rounds[static_cast<std::size_t>(id)] = r;
+          // Everyone must be in round >= r - 1 relative to us... after the
+          // barrier, everyone must have reached round r.
+          co_await b.arrive_and_wait();
+          for (int other : rounds) {
+            if (other < r) bad = true;
+          }
+        }
+      }(sim, barrier, round_of, p, salt, violated));
+    }
+    sim.run();
+    EXPECT_FALSE(violated);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SMB server properties under random operation sequences.
+// ---------------------------------------------------------------------------
+
+TEST(SmbProperties, RandomOperationSequenceMatchesReferenceModel) {
+  // Drive the SMB server with a random op sequence and mirror every op on a
+  // plain in-memory reference; contents must match throughout.
+  for (std::uint64_t seed : {51ULL, 52ULL, 53ULL, 54ULL}) {
+    common::Rng rng(seed);
+    smb::SmbServer server;
+    std::map<int, smb::Handle> handles;
+    std::map<int, std::vector<float>> reference;
+    int next_key = 1;
+
+    for (int step = 0; step < 300; ++step) {
+      const int action = static_cast<int>(rng.uniform_int(0, 4));
+      if (action == 0 || handles.empty()) {  // create
+        const std::size_t count = static_cast<std::size_t>(rng.uniform_int(1, 64));
+        const int key = next_key++;
+        handles[key] = server.create_floats(static_cast<smb::ShmKey>(key), count);
+        reference[key] = std::vector<float>(count, 0.0F);
+        continue;
+      }
+      // Pick a random existing segment.
+      auto pick = [&] {
+        auto it = handles.begin();
+        std::advance(it, static_cast<long>(rng.next_below(handles.size())));
+        return it->first;
+      };
+      const int key = pick();
+      const std::size_t count = reference[key].size();
+      if (action == 1) {  // write random data
+        std::vector<float> data(count);
+        for (float& v : data) v = static_cast<float>(rng.uniform(-8, 8));
+        server.write(handles[key], data);
+        reference[key] = data;
+      } else if (action == 2) {  // read and compare
+        std::vector<float> out(count);
+        server.read(handles[key], out);
+        ASSERT_EQ(out, reference[key]) << "step " << step;
+      } else if (action == 3) {  // accumulate into a same-sized segment
+        for (const auto& [other_key, other_data] : reference) {
+          if (other_key != key && other_data.size() == count) {
+            server.accumulate(handles[key], handles[other_key]);
+            for (std::size_t i = 0; i < count; ++i) {
+              reference[other_key][i] += reference[key][i];
+            }
+            break;
+          }
+        }
+      } else {  // release + recreate under a fresh key keeps table coherent
+        server.release(handles[key]);
+        handles.erase(key);
+        reference.erase(key);
+      }
+    }
+    // Final sweep: everything still matches.
+    for (const auto& [key, data] : reference) {
+      std::vector<float> out(data.size());
+      server.read(handles.at(key), out);
+      EXPECT_EQ(out, data);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shmcaffe

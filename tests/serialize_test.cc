@@ -1,0 +1,74 @@
+// Tests for model snapshot (de)serialisation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "dl/models.h"
+#include "dl/param_vector.h"
+#include "dl/serialize.h"
+
+namespace shmcaffe::dl {
+namespace {
+
+Net make_trained_net(std::uint64_t seed) {
+  common::Rng rng(seed);
+  Net net = make_mini_resnet({3, 16, 16, 8});
+  net.init_params(rng);
+  return net;
+}
+
+TEST(Serialize, RoundTripsExactly) {
+  Net source = make_trained_net(1);
+  Net target = make_trained_net(2);
+  const std::vector<float> expected = params_snapshot(source);
+  ASSERT_NE(expected, params_snapshot(target));
+
+  const std::vector<std::byte> blob = save_snapshot(source);
+  load_snapshot(target, blob);
+  EXPECT_EQ(params_snapshot(target), expected);
+}
+
+TEST(Serialize, RejectsDifferentArchitecture) {
+  Net source = make_trained_net(1);
+  const std::vector<std::byte> blob = save_snapshot(source);
+  common::Rng rng(3);
+  Net other = make_mini_inception({3, 16, 16, 8});
+  other.init_params(rng);
+  EXPECT_THROW(load_snapshot(other, blob), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsCorruptMagicAndTruncation) {
+  Net source = make_trained_net(1);
+  Net target = make_trained_net(2);
+  std::vector<std::byte> blob = save_snapshot(source);
+  std::vector<std::byte> bad_magic = blob;
+  bad_magic[0] = std::byte{0xFF};
+  EXPECT_THROW(load_snapshot(target, bad_magic), std::invalid_argument);
+  std::vector<std::byte> truncated(blob.begin(), blob.end() - 5);
+  EXPECT_THROW(load_snapshot(target, truncated), std::invalid_argument);
+  std::vector<std::byte> trailing = blob;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW(load_snapshot(target, trailing), std::invalid_argument);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Net source = make_trained_net(1);
+  Net target = make_trained_net(2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "shmcaffe_snapshot_test.bin").string();
+  save_snapshot_file(source, path);
+  load_snapshot_file(target, path);
+  EXPECT_EQ(params_snapshot(target), params_snapshot(source));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Net net = make_trained_net(1);
+  EXPECT_THROW(load_snapshot_file(net, "/nonexistent/dir/snapshot.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shmcaffe::dl

@@ -1,0 +1,181 @@
+// Tests for ShardedBuffer (multi-SMB-server future work) and for training
+// with a sharded global buffer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_buffer.h"
+#include "core/trainer.h"
+
+namespace shmcaffe::core {
+namespace {
+
+struct Servers {
+  std::vector<std::unique_ptr<smb::SmbServer>> owned;
+  std::vector<smb::SmbServer*> ptrs;
+
+  explicit Servers(int n) {
+    for (int i = 0; i < n; ++i) {
+      owned.push_back(std::make_unique<smb::SmbServer>());
+      ptrs.push_back(owned.back().get());
+    }
+  }
+};
+
+TEST(ShardedBuffer, SingleServerDegeneratesToPlainSegment) {
+  Servers rig(1);
+  ShardedBuffer buffer = ShardedBuffer::create(rig.ptrs, 1, 100);
+  EXPECT_EQ(buffer.size(), 100u);
+  EXPECT_EQ(buffer.shard_count(), 1u);
+  std::vector<float> data(100);
+  std::iota(data.begin(), data.end(), 0.0F);
+  buffer.write(data);
+  std::vector<float> out(100);
+  buffer.read(out);
+  EXPECT_EQ(out, data);
+  buffer.release();
+  EXPECT_FALSE(buffer.valid());
+}
+
+class ShardCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardCounts, RoundTripsAcrossUnevenShards) {
+  const int n = GetParam();
+  Servers rig(n);
+  constexpr std::size_t kTotal = 103;  // deliberately not divisible
+  ShardedBuffer buffer = ShardedBuffer::create(rig.ptrs, 7, kTotal);
+  EXPECT_EQ(buffer.shard_count(), static_cast<std::size_t>(n));
+  std::vector<float> data(kTotal);
+  std::iota(data.begin(), data.end(), 1.0F);
+  buffer.write(data);
+  std::vector<float> out(kTotal, 0.0F);
+  buffer.read(out);
+  EXPECT_EQ(out, data);
+  // Every server holds at least one shard of sensible size.
+  std::int64_t used = 0;
+  for (smb::SmbServer* server : rig.ptrs) used += server->stats().bytes_in_use;
+  EXPECT_EQ(used, static_cast<std::int64_t>(kTotal * sizeof(float)));
+  buffer.release();
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ShardCounts, ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(ShardedBuffer, AttachSeesCreatorsData) {
+  Servers rig(3);
+  ShardedBuffer creator = ShardedBuffer::create(rig.ptrs, 9, 64);
+  std::vector<float> data(64, 4.5F);
+  creator.write(data);
+  ShardedBuffer attached = ShardedBuffer::attach(rig.ptrs, 9, 64);
+  std::vector<float> out(64);
+  attached.read(out);
+  EXPECT_EQ(out, data);
+  attached.release();
+  creator.release();
+}
+
+TEST(ShardedBuffer, AccumulateIntoAddsShardwise) {
+  Servers rig(2);
+  ShardedBuffer global = ShardedBuffer::create(rig.ptrs, 1, 10);
+  ShardedBuffer delta = ShardedBuffer::create(rig.ptrs, 2, 10);
+  std::vector<float> base(10, 1.0F);
+  std::vector<float> inc(10);
+  std::iota(inc.begin(), inc.end(), 0.0F);
+  global.write(base);
+  delta.write(inc);
+  delta.accumulate_into(global);
+  delta.accumulate_into(global);
+  std::vector<float> out(10);
+  global.read(out);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(out[i], 1.0F + 2.0F * static_cast<float>(i));
+  }
+  delta.release();
+  global.release();
+}
+
+TEST(ShardedBuffer, MismatchedShardingRejected) {
+  Servers rig(2);
+  ShardedBuffer a = ShardedBuffer::create(rig.ptrs, 1, 10);
+  ShardedBuffer b = ShardedBuffer::create(rig.ptrs, 2, 12);
+  EXPECT_THROW(a.accumulate_into(b), std::invalid_argument);
+  std::vector<float> wrong(11);
+  EXPECT_THROW(a.read(wrong), std::invalid_argument);
+  EXPECT_THROW(a.write(wrong), std::invalid_argument);
+  a.release();
+  b.release();
+}
+
+TEST(ShardedBuffer, InvalidConstructionRejected) {
+  Servers rig(4);
+  EXPECT_THROW((void)ShardedBuffer::create({}, 1, 10), std::invalid_argument);
+  EXPECT_THROW((void)ShardedBuffer::create(rig.ptrs, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)ShardedBuffer::create(rig.ptrs, 1, 3), std::invalid_argument);
+  EXPECT_THROW((void)ShardedBuffer::attach(rig.ptrs, 404, 16), smb::SmbError);
+}
+
+TEST(ShardedBuffer, PartialAttachFailureLeaksNoReferences) {
+  // The key exists on server 0 only: attach acquires shard 0, fails on
+  // shard 1, and must release shard 0 on the way out.
+  Servers rig(2);
+  const smb::Handle half = rig.ptrs[0]->create_floats(5, 8);
+  EXPECT_THROW((void)ShardedBuffer::attach(rig.ptrs, 5, 16), smb::SmbError);
+  // Only the creator's reference remains: releasing it frees the segment.
+  rig.ptrs[0]->release(half);
+  EXPECT_THROW((void)rig.ptrs[0]->attach_floats(5), smb::SmbError);
+}
+
+TEST(ShardedBuffer, ConcurrentAccumulatesStayExact) {
+  Servers rig(3);
+  constexpr std::size_t kCount = 300;
+  ShardedBuffer global = ShardedBuffer::create(rig.ptrs, 1, kCount);
+  constexpr int kWorkers = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&rig, w] {
+      ShardedBuffer mine =
+          ShardedBuffer::create(rig.ptrs, 100 + static_cast<smb::ShmKey>(w), kCount);
+      ShardedBuffer shared = ShardedBuffer::attach(rig.ptrs, 1, kCount);
+      const std::vector<float> inc(kCount, static_cast<float>(w + 1));
+      for (int round = 0; round < kRounds; ++round) {
+        mine.write(inc);
+        mine.accumulate_into(shared);
+      }
+      mine.release();
+      shared.release();
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<float> out(kCount);
+  global.read(out);
+  const float expected = kRounds * (kWorkers * (kWorkers + 1) / 2);
+  for (float v : out) EXPECT_EQ(v, expected);
+  global.release();
+}
+
+TEST(TrainShmCaffe, ConvergesWithMultipleSmbServers) {
+  DistTrainOptions options;
+  options.model_family = "mlp";
+  options.workers = 4;
+  options.smb_servers = 3;
+  options.input = dl::ModelInputSpec{1, 12, 12, 6};
+  options.train_data.channels = 1;
+  options.train_data.height = 12;
+  options.train_data.width = 12;
+  options.train_data.classes = 6;
+  options.train_data.size = 1536;
+  options.train_data.noise_stddev = 0.25;
+  options.test_data = options.train_data;
+  options.test_data.size = 384;
+  options.test_data.seed = 0x7e57;
+  options.batch_size = 16;
+  options.epochs = 5;
+  const TrainResult result = train_shmcaffe(options);
+  EXPECT_GT(result.final_accuracy, 0.8);
+}
+
+}  // namespace
+}  // namespace shmcaffe::core

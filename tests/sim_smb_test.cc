@@ -1,0 +1,261 @@
+// Tests for the simulated-time Soft Memory Box: protocol correctness,
+// timing of reads/writes/accumulates, serialisation of accumulates per
+// destination, and aggregate-bandwidth behaviour (the Fig. 7 mechanism).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+#include "smb/sim_smb.h"
+
+namespace shmcaffe::smb {
+namespace {
+
+using shmcaffe::units::kMicrosecond;
+using shmcaffe::units::kMillisecond;
+using shmcaffe::units::kSecond;
+
+struct Rig {
+  sim::Simulation sim;
+  net::Fabric fabric;
+  SimSmbServer server;
+
+  explicit Rig(SimSmbOptions smb_opts = ideal_smb(), net::FabricOptions fab_opts = ideal_fabric())
+      : fabric(sim, fab_opts), server(sim, fabric, smb_opts) {
+    server.start();
+  }
+
+  static SimSmbOptions ideal_smb() {
+    SimSmbOptions opts;
+    opts.op_overhead = 0;
+    opts.control_service_time = 0;
+    return opts;
+  }
+  static net::FabricOptions ideal_fabric() {
+    net::FabricOptions opts;
+    opts.message_latency = 0;
+    opts.efficiency = 1.0;
+    return opts;
+  }
+};
+
+TEST(SimSmb, CreateThenAttachSharesSegment) {
+  Rig rig;
+  SimSmbClient master(rig.server, "w0", 7e9);
+  SimSmbClient slave(rig.server, "w1", 7e9);
+  Handle master_handle;
+  Handle slave_handle;
+  rig.sim.spawn([](SimSmbClient& m, SimSmbClient& s, Handle& mh, Handle& sh) -> sim::Task<> {
+    mh = co_await m.create(42, 1 << 20);
+    sh = co_await s.attach(42);
+  }(master, slave, master_handle, slave_handle));
+  rig.sim.run();
+  EXPECT_TRUE(master_handle.valid());
+  EXPECT_EQ(master_handle, slave_handle);
+}
+
+TEST(SimSmb, AttachUnknownKeyFails) {
+  Rig rig;
+  SimSmbClient client(rig.server, "w0", 7e9);
+  bool threw = false;
+  rig.sim.spawn([](SimSmbClient& c, bool& out) -> sim::Task<> {
+    try {
+      (void)co_await c.attach(999);
+    } catch (const SmbError&) {
+      out = true;
+    }
+  }(client, threw));
+  rig.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(SimSmb, DuplicateCreateFails) {
+  Rig rig;
+  SimSmbClient client(rig.server, "w0", 7e9);
+  bool threw = false;
+  rig.sim.spawn([](SimSmbClient& c, bool& out) -> sim::Task<> {
+    (void)co_await c.create(1, 4096);
+    try {
+      (void)co_await c.create(1, 4096);
+    } catch (const SmbError&) {
+      out = true;
+    }
+  }(client, threw));
+  rig.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(SimSmb, ReadAndWriteTimingMatchServerBandwidth) {
+  Rig rig;
+  SimSmbClient client(rig.server, "w0", 7e9);
+  SimTime write_took = 0;
+  SimTime read_took = 0;
+  rig.sim.spawn([](sim::Simulation& s, SimSmbClient& c, SimTime& wt, SimTime& rt) -> sim::Task<> {
+    const Handle h = co_await c.create(1, 700'000'000);
+    SimTime t0 = s.now();
+    co_await c.write(h, 700'000'000);  // 0.7 GB at 7 GB/s = 100 ms
+    wt = s.now() - t0;
+    t0 = s.now();
+    co_await c.read(h, 700'000'000);
+    rt = s.now() - t0;
+  }(rig.sim, client, write_took, read_took));
+  rig.sim.run();
+  EXPECT_NEAR(static_cast<double>(write_took), 100.0 * kMillisecond, 0.5 * kMillisecond);
+  EXPECT_NEAR(static_cast<double>(read_took), 100.0 * kMillisecond, 0.5 * kMillisecond);
+}
+
+TEST(SimSmb, OutOfBoundsAccessThrows) {
+  Rig rig;
+  SimSmbClient client(rig.server, "w0", 7e9);
+  bool threw = false;
+  rig.sim.spawn([](SimSmbClient& c, bool& out) -> sim::Task<> {
+    const Handle h = co_await c.create(1, 1000);
+    try {
+      co_await c.read(h, 500, 600);
+    } catch (const rdma::AccessError&) {
+      out = true;
+    }
+  }(client, threw));
+  rig.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(SimSmb, OpOverheadCharged) {
+  SimSmbOptions opts = Rig::ideal_smb();
+  opts.op_overhead = 100 * kMicrosecond;
+  Rig rig(opts);
+  SimSmbClient client(rig.server, "w0", 7e9);
+  SimTime took = 0;
+  rig.sim.spawn([](sim::Simulation& s, SimSmbClient& c, SimTime& out) -> sim::Task<> {
+    const Handle h = co_await c.create(1, 7000);
+    const SimTime t0 = s.now();
+    co_await c.write(h, 7000);  // 1 us of data + 100 us overhead
+    out = s.now() - t0;
+  }(rig.sim, client, took));
+  rig.sim.run();
+  EXPECT_NEAR(static_cast<double>(took), 101.0 * kMicrosecond, 1.0 * kMicrosecond);
+}
+
+TEST(SimSmb, AccumulateCostsBytesOverAccumulateBandwidth) {
+  SimSmbOptions opts = Rig::ideal_smb();
+  opts.accumulate_bandwidth = 5e9;
+  Rig rig(opts);
+  SimSmbClient client(rig.server, "w0", 7e9);
+  SimTime took = 0;
+  rig.sim.spawn([](sim::Simulation& s, SimSmbClient& c, SimTime& out) -> sim::Task<> {
+    const Handle global = co_await c.create(1, 500'000'000);
+    const Handle delta = co_await c.create(2, 500'000'000);
+    const SimTime t0 = s.now();
+    co_await c.accumulate(delta, global);  // 0.5 GB at 5 GB/s = 100 ms
+    out = s.now() - t0;
+  }(rig.sim, client, took));
+  rig.sim.run();
+  EXPECT_NEAR(static_cast<double>(took), 100.0 * kMillisecond, 0.5 * kMillisecond);
+  EXPECT_EQ(rig.server.accumulates_served(), 1u);
+}
+
+TEST(SimSmb, AccumulatesToSameDestinationSerialise) {
+  SimSmbOptions opts = Rig::ideal_smb();
+  opts.accumulate_bandwidth = 1e9;
+  Rig rig(opts);
+  constexpr int kWorkers = 4;
+  constexpr std::int64_t kBytes = 100'000'000;  // 100 ms each at 1 GB/s
+  std::vector<std::unique_ptr<SimSmbClient>> clients;
+  for (int i = 0; i < kWorkers; ++i) {
+    clients.push_back(std::make_unique<SimSmbClient>(rig.server, "w" + std::to_string(i), 7e9));
+  }
+  Handle global;
+  sim::Event ready(rig.sim);
+  rig.sim.spawn([](SimSmbClient& c, Handle& g, sim::Event& ev) -> sim::Task<> {
+    g = co_await c.create(1, kBytes);
+    ev.set();
+  }(*clients[0], global, ready));
+  for (int i = 0; i < kWorkers; ++i) {
+    rig.sim.spawn([](sim::Simulation&, SimSmbClient& c, Handle& g, sim::Event& ev, int id)
+                      -> sim::Task<> {
+      co_await ev.wait();
+      const Handle mine = co_await c.create(100 + static_cast<ShmKey>(id), kBytes);
+      co_await c.accumulate(mine, g);
+    }(rig.sim, *clients[i], global, ready, i));
+  }
+  rig.sim.run();
+  // 4 accumulates x 100 ms, strictly serialised on the destination gate.
+  EXPECT_GE(rig.sim.now(), 400 * kMillisecond);
+  EXPECT_EQ(rig.server.accumulates_served(), 4u);
+}
+
+TEST(SimSmb, AggregateDataPathSharedByReadsAndWrites) {
+  // With the aggregate server constraint, a concurrent read and write each
+  // get half the server bandwidth; in full-duplex mode they do not contend.
+  auto run = [](bool aggregate) {
+    SimSmbOptions opts = Rig::ideal_smb();
+    opts.aggregate_data_path = aggregate;
+    Rig rig(opts);
+    SimSmbClient a(rig.server, "a", 7e9);
+    SimSmbClient b(rig.server, "b", 7e9);
+    Handle ha;
+    rig.sim.spawn([](SimSmbClient& c, Handle& h) -> sim::Task<> {
+      h = co_await c.create(1, 700'000'000);
+    }(a, ha));
+    rig.sim.run();  // finish setup
+    rig.sim.spawn([](SimSmbClient& c, Handle& h) -> sim::Task<> {
+      co_await c.read(h, 700'000'000);
+    }(a, ha));
+    rig.sim.spawn([](SimSmbClient& c, Handle& h) -> sim::Task<> {
+      co_await c.write(h, 700'000'000);
+    }(b, ha));
+    const SimTime start = rig.sim.now();
+    rig.sim.run();
+    return rig.sim.now() - start;
+  };
+  const SimTime shared = run(true);
+  const SimTime duplex = run(false);
+  EXPECT_NEAR(static_cast<double>(shared), 200.0 * kMillisecond, 2.0 * kMillisecond);
+  EXPECT_NEAR(static_cast<double>(duplex), 100.0 * kMillisecond, 2.0 * kMillisecond);
+}
+
+TEST(SimSmb, ManyClientsSaturateNearServerBandwidth) {
+  // The Fig. 7 mechanism: with per-op overhead, few clients cannot keep the
+  // pipe full; many clients saturate it.
+  auto aggregate_bandwidth = [](int nclients) {
+    SimSmbOptions opts;  // default overheads
+    net::FabricOptions fab;
+    fab.efficiency = 0.957;
+    Rig rig(opts, fab);
+    std::vector<std::unique_ptr<SimSmbClient>> clients;
+    for (int i = 0; i < nclients; ++i) {
+      clients.push_back(
+          std::make_unique<SimSmbClient>(rig.server, "w" + std::to_string(i), 7e9));
+    }
+    constexpr std::int64_t kChunk = 1 << 20;
+    constexpr int kOps = 40;
+    for (int i = 0; i < nclients; ++i) {
+      rig.sim.spawn([](SimSmbClient& c, int id) -> sim::Task<> {
+        const Handle h = co_await c.create(static_cast<ShmKey>(id), kChunk);
+        for (int op = 0; op < kOps; ++op) {
+          if (op % 2 == 0) {
+            co_await c.write(h, kChunk);
+          } else {
+            co_await c.read(h, kChunk);
+          }
+        }
+      }(*clients[i], i));
+    }
+    rig.sim.run();
+    const double total_bytes = static_cast<double>(nclients) * kOps * kChunk;
+    return total_bytes / units::to_seconds(rig.sim.now());
+  };
+  const double bw2 = aggregate_bandwidth(2);
+  const double bw8 = aggregate_bandwidth(8);
+  const double bw16 = aggregate_bandwidth(16);
+  EXPECT_LT(bw2, 0.8 * 7e9);         // few clients cannot saturate
+  EXPECT_GT(bw8, bw2);               // monotone increase
+  EXPECT_GT(bw16, 0.9 * 6.7e9);      // saturates near the paper's 6.7 GB/s
+  EXPECT_LT(bw16, 7e9);              // never exceeds the HCA
+}
+
+}  // namespace
+}  // namespace shmcaffe::smb

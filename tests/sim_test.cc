@@ -1,0 +1,443 @@
+// Tests for the discrete-event simulation engine: clock semantics,
+// determinism, task composition, and every sync primitive.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace shmcaffe::sim {
+namespace {
+
+using shmcaffe::units::kMicrosecond;
+using shmcaffe::units::kMillisecond;
+using shmcaffe::units::kSecond;
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulation, DelayAdvancesClock) {
+  Simulation sim;
+  SimTime observed = -1;
+  sim.spawn([](Simulation& s, SimTime& out) -> Task<> {
+    co_await s.delay(5 * kMillisecond);
+    out = s.now();
+  }(sim, observed));
+  sim.run();
+  EXPECT_EQ(observed, 5 * kMillisecond);
+}
+
+TEST(Simulation, ZeroAndNegativeDelaysResumeAtCurrentTime) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.spawn([](Simulation& s, std::vector<SimTime>& out) -> Task<> {
+    co_await s.delay(0);
+    out.push_back(s.now());
+    co_await s.delay(-100);  // clamped
+    out.push_back(s.now());
+  }(sim, times));
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 0);
+  EXPECT_EQ(times[1], 0);
+}
+
+TEST(Simulation, SameTimeEventsRunInSpawnOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn([](std::vector<int>& out, int id) -> Task<> {
+      out.push_back(id);
+      co_return;
+    }(order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Simulation, InterleavesByTimestamp) {
+  Simulation sim;
+  std::vector<std::string> trace;
+  auto proc = [](Simulation& s, std::vector<std::string>& out, std::string name,
+                 SimTime period, int reps) -> Task<> {
+    for (int i = 0; i < reps; ++i) {
+      co_await s.delay(period);
+      out.push_back(name + std::to_string(i));
+    }
+  };
+  sim.spawn(proc(sim, trace, "a", 10, 3));
+  sim.spawn(proc(sim, trace, "b", 15, 2));
+  sim.run();
+  // At t=30 both a2 and b1 are due; b1 was queued earlier (at t=15) so it
+  // wins the deterministic (time, sequence) tie-break.
+  EXPECT_EQ(trace, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2"}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, NestedTaskCallsReturnValues) {
+  Simulation sim;
+  int result = 0;
+  auto leaf = [](Simulation& s, int x) -> Task<int> {
+    co_await s.delay(1);
+    co_return x * 2;
+  };
+  auto mid = [&leaf](Simulation& s, int x) -> Task<int> {
+    const int a = co_await leaf(s, x);
+    const int b = co_await leaf(s, x + 1);
+    co_return a + b;
+  };
+  sim.spawn([](Simulation& s, auto& midfn, int& out) -> Task<> {
+    out = co_await midfn(s, 10);
+  }(sim, mid, result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(sim.now(), 2);
+}
+
+TEST(Simulation, JoinHandleReportsCompletion) {
+  Simulation sim;
+  JoinHandle h = sim.spawn([](Simulation& s) -> Task<> { co_await s.delay(7); }(sim));
+  EXPECT_FALSE(h.done());
+  sim.run();
+  EXPECT_TRUE(h.done());
+  EXPECT_FALSE(h.failed());
+}
+
+TEST(Simulation, JoinHandleAwaitableFromAnotherProcess) {
+  Simulation sim;
+  SimTime joined_at = -1;
+  JoinHandle worker = sim.spawn([](Simulation& s) -> Task<> { co_await s.delay(100); }(sim));
+  sim.spawn([](Simulation& s, JoinHandle h, SimTime& out) -> Task<> {
+    co_await h;
+    out = s.now();
+  }(sim, worker, joined_at));
+  sim.run();
+  EXPECT_EQ(joined_at, 100);
+}
+
+TEST(Simulation, ExceptionsAreCapturedPerProcess) {
+  Simulation sim;
+  JoinHandle bad = sim.spawn([](Simulation& s) -> Task<> {
+    co_await s.delay(1);
+    throw std::runtime_error("boom");
+  }(sim));
+  JoinHandle good = sim.spawn([](Simulation& s) -> Task<> { co_await s.delay(2); }(sim));
+  sim.run();
+  EXPECT_TRUE(bad.done());
+  EXPECT_TRUE(bad.failed());
+  EXPECT_THROW(bad.rethrow(), std::runtime_error);
+  EXPECT_TRUE(good.done());
+  EXPECT_FALSE(good.failed());
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  int ticks = 0;
+  sim.spawn([](Simulation& s, int& count) -> Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await s.delay(10);
+      ++count;
+    }
+  }(sim, ticks));
+  sim.run_until(35);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(sim.now(), 35);
+  sim.run();
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(Simulation, DestroyingSimulationCancelsSuspendedProcesses) {
+  bool destroyed = false;
+  struct Flag {
+    bool* value;
+    ~Flag() { *value = true; }
+  };
+  {
+    Simulation sim;
+    sim.spawn([](Simulation& s, bool* out) -> Task<> {
+      Flag flag{out};
+      co_await s.delay(kSecond);
+      co_await s.delay(kSecond);  // never reached
+    }(sim, &destroyed));
+    sim.run_until(kMillisecond);
+    EXPECT_FALSE(destroyed);
+    EXPECT_EQ(sim.live_process_count(), 1u);
+  }
+  EXPECT_TRUE(destroyed);  // frame (and its locals) destroyed with the sim
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<int> order;
+    Semaphore sem(sim, 2);
+    for (int i = 0; i < 6; ++i) {
+      sim.spawn([](Simulation& s, Semaphore& sm, std::vector<int>& out, int id) -> Task<> {
+        co_await sm.acquire();
+        co_await s.delay(10 + id);
+        out.push_back(id);
+        sm.release();
+      }(sim, sem, order, i));
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --- Event ---
+
+TEST(Event, WaitBlocksUntilSet) {
+  Simulation sim;
+  Event ev(sim);
+  SimTime woke_at = -1;
+  sim.spawn([](Simulation& s, Event& e, SimTime& out) -> Task<> {
+    co_await e.wait();
+    out = s.now();
+  }(sim, ev, woke_at));
+  sim.spawn([](Simulation& s, Event& e) -> Task<> {
+    co_await s.delay(50);
+    e.set();
+  }(sim, ev));
+  sim.run();
+  EXPECT_EQ(woke_at, 50);
+}
+
+TEST(Event, WaitCompletesImmediatelyWhenAlreadySet) {
+  Simulation sim;
+  Event ev(sim);
+  ev.set();
+  SimTime woke_at = -1;
+  sim.spawn([](Simulation& s, Event& e, SimTime& out) -> Task<> {
+    co_await e.wait();
+    out = s.now();
+  }(sim, ev, woke_at));
+  sim.run();
+  EXPECT_EQ(woke_at, 0);
+}
+
+TEST(Event, SetWakesAllWaiters) {
+  Simulation sim;
+  Event ev(sim);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn([](Event& e, int& count) -> Task<> {
+      co_await e.wait();
+      ++count;
+    }(ev, woken));
+  }
+  sim.spawn([](Simulation& s, Event& e) -> Task<> {
+    co_await s.delay(1);
+    e.set();
+  }(sim, ev));
+  sim.run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(Event, ResetMakesSubsequentWaitsBlock) {
+  Simulation sim;
+  Event ev(sim);
+  ev.set();
+  ev.reset();
+  bool woke = false;
+  sim.spawn([](Event& e, bool& out) -> Task<> {
+    co_await e.wait();
+    out = true;
+  }(ev, woke));
+  sim.run();
+  EXPECT_FALSE(woke);  // nobody sets it again: process stays blocked
+  EXPECT_EQ(sim.live_process_count(), 1u);
+}
+
+// --- Semaphore ---
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulation sim;
+  Semaphore sem(sim, 3);
+  int active = 0;
+  int peak = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.spawn([](Simulation& s, Semaphore& sm, int& act, int& pk) -> Task<> {
+      co_await sm.acquire();
+      ++act;
+      pk = std::max(pk, act);
+      co_await s.delay(10);
+      --act;
+      sm.release();
+    }(sim, sem, active, peak));
+  }
+  sim.run();
+  EXPECT_EQ(peak, 3);
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(sem.available(), 3);
+}
+
+TEST(Semaphore, FifoHandoff) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Simulation& s, Semaphore& sm, std::vector<int>& out, int id) -> Task<> {
+      co_await sm.acquire();
+      out.push_back(id);
+      co_await s.delay(5);
+      sm.release();
+    }(sim, sem, order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Semaphore, BulkReleaseWakesMultipleWaiters) {
+  Simulation sim;
+  Semaphore sem(sim, 0);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Semaphore& sm, int& count) -> Task<> {
+      co_await sm.acquire();
+      ++count;
+    }(sem, woken));
+  }
+  sim.spawn([](Simulation& s, Semaphore& sm) -> Task<> {
+    co_await s.delay(1);
+    sm.release(5);
+  }(sim, sem));
+  sim.run();
+  EXPECT_EQ(woken, 3);
+  EXPECT_EQ(sem.available(), 2);  // 5 released, 3 consumed by waiters
+}
+
+// --- SimMutex ---
+
+TEST(SimMutex, MutualExclusion) {
+  Simulation sim;
+  SimMutex mutex(sim);
+  bool inside = false;
+  bool violation = false;
+  for (int i = 0; i < 6; ++i) {
+    sim.spawn([](Simulation& s, SimMutex& m, bool& in, bool& bad) -> Task<> {
+      SimLock lock = co_await m.scoped_lock();
+      if (in) bad = true;
+      in = true;
+      co_await s.delay(7);
+      in = false;
+    }(sim, mutex, inside, violation));
+  }
+  sim.run();
+  EXPECT_FALSE(violation);
+  EXPECT_FALSE(mutex.is_locked());
+  EXPECT_EQ(sim.now(), 42);  // strictly serialised: 6 * 7
+}
+
+TEST(SimMutex, LockReleasesOnScopeExitEvenWithEarlyReturn) {
+  Simulation sim;
+  SimMutex mutex(sim);
+  sim.spawn([](Simulation& s, SimMutex& m) -> Task<> {
+    {
+      SimLock lock = co_await m.scoped_lock();
+      co_await s.delay(1);
+    }
+    co_return;
+  }(sim, mutex));
+  sim.run();
+  EXPECT_FALSE(mutex.is_locked());
+}
+
+// --- Barrier ---
+
+TEST(Barrier, ReleasesAllPartiesTogether) {
+  Simulation sim;
+  Barrier barrier(sim, 4);
+  std::vector<SimTime> release_times;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Simulation& s, Barrier& b, std::vector<SimTime>& out, int id) -> Task<> {
+      co_await s.delay(10 * (id + 1));  // staggered arrivals
+      co_await b.arrive_and_wait();
+      out.push_back(s.now());
+    }(sim, barrier, release_times, i));
+  }
+  sim.run();
+  ASSERT_EQ(release_times.size(), 4u);
+  for (SimTime t : release_times) EXPECT_EQ(t, 40);  // all at the last arrival
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Simulation sim;
+  Barrier barrier(sim, 2);
+  int rounds_completed = 0;
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Simulation& s, Barrier& b, int& done, int id) -> Task<> {
+      for (int round = 0; round < 3; ++round) {
+        co_await s.delay(id + 1);
+        co_await b.arrive_and_wait();
+      }
+      ++done;
+    }(sim, barrier, rounds_completed, i));
+  }
+  sim.run();
+  EXPECT_EQ(rounds_completed, 2);
+}
+
+// --- Channel ---
+
+TEST(Channel, FifoDelivery) {
+  Simulation sim;
+  Channel<int> chan(sim, 4);
+  std::vector<int> received;
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await c.push(i);
+      co_await s.delay(1);
+    }
+  }(sim, chan));
+  sim.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<> {
+    for (int i = 0; i < 10; ++i) out.push_back(co_await c.pop());
+  }(chan, received));
+  sim.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Channel, PushBlocksWhenFull) {
+  Simulation sim;
+  Channel<int> chan(sim, 2);
+  SimTime third_push_at = -1;
+  sim.spawn([](Simulation& s, Channel<int>& c, SimTime& out) -> Task<> {
+    co_await c.push(1);
+    co_await c.push(2);
+    co_await c.push(3);  // blocks until consumer pops at t=100
+    out = s.now();
+  }(sim, chan, third_push_at));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(100);
+    (void)co_await c.pop();
+  }(sim, chan));
+  sim.run();
+  EXPECT_EQ(third_push_at, 100);
+}
+
+TEST(Channel, PopBlocksWhenEmpty) {
+  Simulation sim;
+  Channel<int> chan(sim, 2);
+  SimTime popped_at = -1;
+  int value = 0;
+  sim.spawn([](Simulation& s, Channel<int>& c, SimTime& at, int& v) -> Task<> {
+    v = co_await c.pop();
+    at = s.now();
+  }(sim, chan, popped_at, value));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(30);
+    co_await c.push(99);
+  }(sim, chan));
+  sim.run();
+  EXPECT_EQ(popped_at, 30);
+  EXPECT_EQ(value, 99);
+}
+
+}  // namespace
+}  // namespace shmcaffe::sim
