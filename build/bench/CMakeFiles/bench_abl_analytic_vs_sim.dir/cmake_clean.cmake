@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_analytic_vs_sim.dir/bench_abl_analytic_vs_sim.cc.o"
+  "CMakeFiles/bench_abl_analytic_vs_sim.dir/bench_abl_analytic_vs_sim.cc.o.d"
+  "bench_abl_analytic_vs_sim"
+  "bench_abl_analytic_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_analytic_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

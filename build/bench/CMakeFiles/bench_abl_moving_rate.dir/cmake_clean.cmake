@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_moving_rate.dir/bench_abl_moving_rate.cc.o"
+  "CMakeFiles/bench_abl_moving_rate.dir/bench_abl_moving_rate.cc.o.d"
+  "bench_abl_moving_rate"
+  "bench_abl_moving_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_moving_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_overlap.dir/bench_abl_overlap.cc.o"
+  "CMakeFiles/bench_abl_overlap.dir/bench_abl_overlap.cc.o.d"
+  "bench_abl_overlap"
+  "bench_abl_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

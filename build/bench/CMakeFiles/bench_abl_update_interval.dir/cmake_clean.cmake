@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_update_interval.dir/bench_abl_update_interval.cc.o"
+  "CMakeFiles/bench_abl_update_interval.dir/bench_abl_update_interval.cc.o.d"
+  "bench_abl_update_interval"
+  "bench_abl_update_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_update_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_model_zoo.dir/bench_ext_model_zoo.cc.o"
+  "CMakeFiles/bench_ext_model_zoo.dir/bench_ext_model_zoo.cc.o.d"
+  "bench_ext_model_zoo"
+  "bench_ext_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

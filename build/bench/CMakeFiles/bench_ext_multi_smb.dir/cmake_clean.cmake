@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_smb.dir/bench_ext_multi_smb.cc.o"
+  "CMakeFiles/bench_ext_multi_smb.dir/bench_ext_multi_smb.cc.o.d"
+  "bench_ext_multi_smb"
+  "bench_ext_multi_smb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_smb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_update_rules.dir/bench_ext_update_rules.cc.o"
+  "CMakeFiles/bench_ext_update_rules.dir/bench_ext_update_rules.cc.o.d"
+  "bench_ext_update_rules"
+  "bench_ext_update_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_update_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_comp_comm.dir/bench_fig10_comp_comm.cc.o"
+  "CMakeFiles/bench_fig10_comp_comm.dir/bench_fig10_comp_comm.cc.o.d"
+  "bench_fig10_comp_comm"
+  "bench_fig10_comp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_comp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_table5_shmcaffe_a.dir/bench_fig12_table5_shmcaffe_a.cc.o"
+  "CMakeFiles/bench_fig12_table5_shmcaffe_a.dir/bench_fig12_table5_shmcaffe_a.cc.o.d"
+  "bench_fig12_table5_shmcaffe_a"
+  "bench_fig12_table5_shmcaffe_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_table5_shmcaffe_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

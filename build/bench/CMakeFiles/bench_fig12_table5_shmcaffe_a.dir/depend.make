@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_table5_shmcaffe_a.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_table6_shmcaffe_h.dir/bench_fig14_table6_shmcaffe_h.cc.o"
+  "CMakeFiles/bench_fig14_table6_shmcaffe_h.dir/bench_fig14_table6_shmcaffe_h.cc.o.d"
+  "bench_fig14_table6_shmcaffe_h"
+  "bench_fig14_table6_shmcaffe_h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_table6_shmcaffe_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig14_table6_shmcaffe_h.
+# This may be replaced when dependencies are built.

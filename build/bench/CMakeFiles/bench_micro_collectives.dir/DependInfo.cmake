@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_collectives.cc" "bench/CMakeFiles/bench_micro_collectives.dir/bench_micro_collectives.cc.o" "gcc" "bench/CMakeFiles/bench_micro_collectives.dir/bench_micro_collectives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/shm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/shm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/shm_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/shm_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/smb/CMakeFiles/shm_smb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/shm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/shm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dl.dir/bench_micro_dl.cc.o"
+  "CMakeFiles/bench_micro_dl.dir/bench_micro_dl.cc.o.d"
+  "bench_micro_dl"
+  "bench_micro_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_smb.dir/bench_micro_smb.cc.o"
+  "CMakeFiles/bench_micro_smb.dir/bench_micro_smb.cc.o.d"
+  "bench_micro_smb"
+  "bench_micro_smb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_smb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

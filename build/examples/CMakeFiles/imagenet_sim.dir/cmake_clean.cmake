@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imagenet_sim.dir/imagenet_sim.cpp.o"
+  "CMakeFiles/imagenet_sim.dir/imagenet_sim.cpp.o.d"
+  "imagenet_sim"
+  "imagenet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imagenet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

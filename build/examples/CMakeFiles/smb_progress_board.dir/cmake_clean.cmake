@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smb_progress_board.dir/smb_progress_board.cpp.o"
+  "CMakeFiles/smb_progress_board.dir/smb_progress_board.cpp.o.d"
+  "smb_progress_board"
+  "smb_progress_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smb_progress_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

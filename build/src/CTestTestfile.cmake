@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("rdma")
+subdirs("smb")
+subdirs("minimpi")
+subdirs("coll")
+subdirs("dl")
+subdirs("data")
+subdirs("cluster")
+subdirs("core")
+subdirs("baselines")

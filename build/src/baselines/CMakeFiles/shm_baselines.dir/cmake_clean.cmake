@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_baselines.dir/async_ps.cc.o"
+  "CMakeFiles/shm_baselines.dir/async_ps.cc.o.d"
+  "CMakeFiles/shm_baselines.dir/functional_ssgd.cc.o"
+  "CMakeFiles/shm_baselines.dir/functional_ssgd.cc.o.d"
+  "CMakeFiles/shm_baselines.dir/sim_platforms.cc.o"
+  "CMakeFiles/shm_baselines.dir/sim_platforms.cc.o.d"
+  "libshm_baselines.a"
+  "libshm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

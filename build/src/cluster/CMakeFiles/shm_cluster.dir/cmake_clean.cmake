@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_cluster.dir/model_profiles.cc.o"
+  "CMakeFiles/shm_cluster.dir/model_profiles.cc.o.d"
+  "libshm_cluster.a"
+  "libshm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

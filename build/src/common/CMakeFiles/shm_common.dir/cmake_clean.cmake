@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_common.dir/log.cc.o"
+  "CMakeFiles/shm_common.dir/log.cc.o.d"
+  "CMakeFiles/shm_common.dir/rng.cc.o"
+  "CMakeFiles/shm_common.dir/rng.cc.o.d"
+  "CMakeFiles/shm_common.dir/stats.cc.o"
+  "CMakeFiles/shm_common.dir/stats.cc.o.d"
+  "CMakeFiles/shm_common.dir/strings.cc.o"
+  "CMakeFiles/shm_common.dir/strings.cc.o.d"
+  "CMakeFiles/shm_common.dir/table.cc.o"
+  "CMakeFiles/shm_common.dir/table.cc.o.d"
+  "libshm_common.a"
+  "libshm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_core.dir/evaluate.cc.o"
+  "CMakeFiles/shm_core.dir/evaluate.cc.o.d"
+  "CMakeFiles/shm_core.dir/progress_board.cc.o"
+  "CMakeFiles/shm_core.dir/progress_board.cc.o.d"
+  "CMakeFiles/shm_core.dir/sharded_buffer.cc.o"
+  "CMakeFiles/shm_core.dir/sharded_buffer.cc.o.d"
+  "CMakeFiles/shm_core.dir/sim_shmcaffe.cc.o"
+  "CMakeFiles/shm_core.dir/sim_shmcaffe.cc.o.d"
+  "CMakeFiles/shm_core.dir/trainer.cc.o"
+  "CMakeFiles/shm_core.dir/trainer.cc.o.d"
+  "libshm_core.a"
+  "libshm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

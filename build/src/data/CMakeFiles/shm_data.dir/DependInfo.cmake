@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/loader.cc" "src/data/CMakeFiles/shm_data.dir/loader.cc.o" "gcc" "src/data/CMakeFiles/shm_data.dir/loader.cc.o.d"
+  "/root/repo/src/data/record_store.cc" "src/data/CMakeFiles/shm_data.dir/record_store.cc.o" "gcc" "src/data/CMakeFiles/shm_data.dir/record_store.cc.o.d"
+  "/root/repo/src/data/synth_dataset.cc" "src/data/CMakeFiles/shm_data.dir/synth_dataset.cc.o" "gcc" "src/data/CMakeFiles/shm_data.dir/synth_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dl/CMakeFiles/shm_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

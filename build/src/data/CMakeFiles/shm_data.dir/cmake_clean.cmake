@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_data.dir/loader.cc.o"
+  "CMakeFiles/shm_data.dir/loader.cc.o.d"
+  "CMakeFiles/shm_data.dir/record_store.cc.o"
+  "CMakeFiles/shm_data.dir/record_store.cc.o.d"
+  "CMakeFiles/shm_data.dir/synth_dataset.cc.o"
+  "CMakeFiles/shm_data.dir/synth_dataset.cc.o.d"
+  "libshm_data.a"
+  "libshm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/layers.cc" "src/dl/CMakeFiles/shm_dl.dir/layers.cc.o" "gcc" "src/dl/CMakeFiles/shm_dl.dir/layers.cc.o.d"
+  "/root/repo/src/dl/layers_norm.cc" "src/dl/CMakeFiles/shm_dl.dir/layers_norm.cc.o" "gcc" "src/dl/CMakeFiles/shm_dl.dir/layers_norm.cc.o.d"
+  "/root/repo/src/dl/models.cc" "src/dl/CMakeFiles/shm_dl.dir/models.cc.o" "gcc" "src/dl/CMakeFiles/shm_dl.dir/models.cc.o.d"
+  "/root/repo/src/dl/net.cc" "src/dl/CMakeFiles/shm_dl.dir/net.cc.o" "gcc" "src/dl/CMakeFiles/shm_dl.dir/net.cc.o.d"
+  "/root/repo/src/dl/serialize.cc" "src/dl/CMakeFiles/shm_dl.dir/serialize.cc.o" "gcc" "src/dl/CMakeFiles/shm_dl.dir/serialize.cc.o.d"
+  "/root/repo/src/dl/solver.cc" "src/dl/CMakeFiles/shm_dl.dir/solver.cc.o" "gcc" "src/dl/CMakeFiles/shm_dl.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_dl.dir/layers.cc.o"
+  "CMakeFiles/shm_dl.dir/layers.cc.o.d"
+  "CMakeFiles/shm_dl.dir/layers_norm.cc.o"
+  "CMakeFiles/shm_dl.dir/layers_norm.cc.o.d"
+  "CMakeFiles/shm_dl.dir/models.cc.o"
+  "CMakeFiles/shm_dl.dir/models.cc.o.d"
+  "CMakeFiles/shm_dl.dir/net.cc.o"
+  "CMakeFiles/shm_dl.dir/net.cc.o.d"
+  "CMakeFiles/shm_dl.dir/serialize.cc.o"
+  "CMakeFiles/shm_dl.dir/serialize.cc.o.d"
+  "CMakeFiles/shm_dl.dir/solver.cc.o"
+  "CMakeFiles/shm_dl.dir/solver.cc.o.d"
+  "libshm_dl.a"
+  "libshm_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

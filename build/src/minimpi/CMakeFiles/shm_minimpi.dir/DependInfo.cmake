@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/minimpi.cc" "src/minimpi/CMakeFiles/shm_minimpi.dir/minimpi.cc.o" "gcc" "src/minimpi/CMakeFiles/shm_minimpi.dir/minimpi.cc.o.d"
+  "/root/repo/src/minimpi/sim_mpi.cc" "src/minimpi/CMakeFiles/shm_minimpi.dir/sim_mpi.cc.o" "gcc" "src/minimpi/CMakeFiles/shm_minimpi.dir/sim_mpi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/shm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_minimpi.dir/minimpi.cc.o"
+  "CMakeFiles/shm_minimpi.dir/minimpi.cc.o.d"
+  "CMakeFiles/shm_minimpi.dir/sim_mpi.cc.o"
+  "CMakeFiles/shm_minimpi.dir/sim_mpi.cc.o.d"
+  "libshm_minimpi.a"
+  "libshm_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

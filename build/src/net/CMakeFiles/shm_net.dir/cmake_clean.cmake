@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_net.dir/fabric.cc.o"
+  "CMakeFiles/shm_net.dir/fabric.cc.o.d"
+  "libshm_net.a"
+  "libshm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_rdma.dir/verbs.cc.o"
+  "CMakeFiles/shm_rdma.dir/verbs.cc.o.d"
+  "libshm_rdma.a"
+  "libshm_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_sim.dir/simulation.cc.o"
+  "CMakeFiles/shm_sim.dir/simulation.cc.o.d"
+  "libshm_sim.a"
+  "libshm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_smb.dir/server.cc.o"
+  "CMakeFiles/shm_smb.dir/server.cc.o.d"
+  "CMakeFiles/shm_smb.dir/sim_smb.cc.o"
+  "CMakeFiles/shm_smb.dir/sim_smb.cc.o.d"
+  "libshm_smb.a"
+  "libshm_smb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_smb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

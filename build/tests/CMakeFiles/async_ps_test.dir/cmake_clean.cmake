@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_ps_test.dir/async_ps_test.cc.o"
+  "CMakeFiles/async_ps_test.dir/async_ps_test.cc.o.d"
+  "async_ps_test"
+  "async_ps_test.pdb"
+  "async_ps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_ps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

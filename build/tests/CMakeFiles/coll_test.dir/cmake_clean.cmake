@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_test.dir/coll_test.cc.o"
+  "CMakeFiles/coll_test.dir/coll_test.cc.o.d"
+  "coll_test"
+  "coll_test.pdb"
+  "coll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_engine_test.dir/conv_engine_test.cc.o"
+  "CMakeFiles/conv_engine_test.dir/conv_engine_test.cc.o.d"
+  "conv_engine_test"
+  "conv_engine_test.pdb"
+  "conv_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

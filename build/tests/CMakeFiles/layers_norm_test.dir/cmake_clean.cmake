@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layers_norm_test.dir/layers_norm_test.cc.o"
+  "CMakeFiles/layers_norm_test.dir/layers_norm_test.cc.o.d"
+  "layers_norm_test"
+  "layers_norm_test.pdb"
+  "layers_norm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layers_norm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_buffer_test.dir/sharded_buffer_test.cc.o"
+  "CMakeFiles/sharded_buffer_test.dir/sharded_buffer_test.cc.o.d"
+  "sharded_buffer_test"
+  "sharded_buffer_test.pdb"
+  "sharded_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

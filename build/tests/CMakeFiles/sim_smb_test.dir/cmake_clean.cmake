@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_smb_test.dir/sim_smb_test.cc.o"
+  "CMakeFiles/sim_smb_test.dir/sim_smb_test.cc.o.d"
+  "sim_smb_test"
+  "sim_smb_test.pdb"
+  "sim_smb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_smb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smb_test.dir/smb_test.cc.o"
+  "CMakeFiles/smb_test.dir/smb_test.cc.o.d"
+  "smb_test"
+  "smb_test.pdb"
+  "smb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

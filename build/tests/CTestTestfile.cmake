@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/smb_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_smb_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_test[1]_include.cmake")
+include("/root/repo/build/tests/dl_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/async_ps_test[1]_include.cmake")
+include("/root/repo/build/tests/layers_norm_test[1]_include.cmake")
+include("/root/repo/build/tests/conv_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/model_gradcheck_test[1]_include.cmake")
