@@ -1,0 +1,123 @@
+// Extension: fault / straggler sensitivity of the training platforms.
+//
+// The paper's decoupling argument (§III-E) is qualitative: an asynchronous
+// SEASGD worker that slows down costs only its own contribution, while a
+// synchronous platform pays max-over-workers every iteration.  This bench
+// quantifies it.  A shared deterministic FaultPlan injects one transient
+// stall per worker with increasing mean severity, and the same plan drives
+// ShmCaffe-A, ShmCaffe-H and the synchronous Caffe baseline.  A final point
+// adds a mid-run fail-stop crash: the asynchronous platforms keep training
+// on the survivors, the synchronous one halts at the crash iteration.
+//
+// Output is a single JSON document of simulated quantities only, so two
+// runs with the same seed are byte-identical (the determinism the fault
+// plan guarantees).  Pipe through `python3 -m json.tool` to pretty-print.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/sim_platforms.h"
+#include "common/units.h"
+#include "core/sim_shmcaffe.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xfa117;
+constexpr int kWorkers = 8;
+constexpr std::int64_t kIterations = 100;
+
+void print_platform(const char* name, const shmcaffe::cluster::PlatformTiming& t,
+                    bool last) {
+  using shmcaffe::units::to_seconds;
+  std::printf(
+      "        \"%s\": {\"makespan_seconds\": %.9f, \"mean_iteration_seconds\": %.9f, "
+      "\"comm_ratio\": %.6f, \"completed_worker_iterations\": %lld, "
+      "\"crashed_workers\": %d}%s\n",
+      name, to_seconds(t.makespan), to_seconds(t.mean_iteration()), t.comm_ratio(),
+      static_cast<long long>(t.completed_worker_iterations), t.crashed_workers,
+      last ? "" : ",");
+}
+
+void print_point(const char* label, double severity,
+                 const shmcaffe::fault::FaultInjector& injector, bool last) {
+  using namespace shmcaffe;
+
+  core::SimShmCaffeOptions a;
+  a.workers = kWorkers;
+  a.group_size = 1;
+  a.iterations = kIterations;
+  a.faults = &injector;
+  const cluster::PlatformTiming shmcaffe_a = core::simulate_shmcaffe(a);
+
+  core::SimShmCaffeOptions h = a;
+  h.group_size = 4;  // 2 hybrid groups of 4 GPUs
+  const cluster::PlatformTiming shmcaffe_h = core::simulate_shmcaffe(h);
+
+  baselines::SimPlatformOptions s;
+  s.workers = kWorkers;
+  s.iterations = kIterations;
+  s.faults = &injector;
+  const cluster::PlatformTiming caffe_sync = baselines::simulate_caffe(s);
+
+  std::printf("    {\n");
+  std::printf("      \"label\": \"%s\",\n", label);
+  std::printf("      \"mean_stall_seconds\": %.6f,\n", severity);
+  std::printf("      \"plan_fingerprint\": \"%016llx\",\n",
+              static_cast<unsigned long long>(injector.fingerprint()));
+  std::printf("      \"plan_events\": %zu,\n", injector.plan().size());
+  std::printf("      \"platforms\": {\n");
+  print_platform("shmcaffe_a", shmcaffe_a, false);
+  print_platform("shmcaffe_h", shmcaffe_h, false);
+  print_platform("caffe_sync", caffe_sync, true);
+  std::printf("      }\n");
+  std::printf("    }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  using namespace shmcaffe;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"ext_fault_sensitivity\",\n");
+  std::printf("  \"seed\": %llu,\n", static_cast<unsigned long long>(kSeed));
+  std::printf("  \"workers\": %d,\n", kWorkers);
+  std::printf("  \"iterations\": %lld,\n", static_cast<long long>(kIterations));
+  std::printf("  \"points\": [\n");
+
+  // Straggler sweep: every worker suffers one transient stall whose mean
+  // duration grows; the same plan (same seed) drives all three platforms.
+  const std::vector<double> severities{0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0};
+  for (double severity : severities) {
+    fault::FaultPlanSpec spec;
+    spec.seed = kSeed;
+    spec.workers = kWorkers;
+    spec.horizon_iterations = kIterations;
+    spec.stall_probability = severity > 0.0 ? 1.0 : 0.0;
+    spec.mean_stall_seconds = severity;
+    const fault::FaultInjector injector(fault::FaultPlan::generate(spec));
+    char label[64];
+    std::snprintf(label, sizeof label, "stall_%.2fs", severity);
+    print_point(label, severity, injector, /*last=*/false);
+  }
+
+  // Crash point: worker 4 fail-stops halfway.  ShmCaffe-A loses one worker,
+  // ShmCaffe-H loses the whole group rooted at worker 4 (a dead node takes
+  // all its GPUs), and the synchronous baseline cannot complete another
+  // collective, so it truncates at the crash iteration.
+  {
+    fault::FaultPlan plan;
+    fault::FaultEvent crash;
+    crash.kind = fault::FaultKind::kWorkerCrash;
+    crash.target = 4;
+    crash.iteration = kIterations / 2;
+    plan.add(crash);
+    const fault::FaultInjector injector(plan);
+    print_point("crash_halfway", 0.0, injector, /*last=*/true);
+  }
+
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

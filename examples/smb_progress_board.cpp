@@ -10,7 +10,9 @@
 //      align their termination on the average-progress criterion,
 //   4. update notifications (segment versions) let a monitor thread react
 //      to global-buffer changes without polling the data.
+#include <chrono>
 #include <cstdio>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -35,12 +37,18 @@ int main() {
   // board guarantees at least kWorkers * kTargetRounds accumulates).
   std::thread monitor([&server, global] {
     for (int report = 1; report <= 4; ++report) {
-      const std::uint64_t version =
-          server.wait_version_at_least(global, static_cast<std::uint64_t>(report) * 50);
+      // Deadline-based wait: if the writers die, the monitor gives up
+      // instead of blocking the process forever.
+      const std::optional<std::uint64_t> version = server.wait_version_at_least(
+          global, static_cast<std::uint64_t>(report) * 50, std::chrono::seconds(30));
+      if (!version.has_value()) {
+        std::printf("[monitor] timed out waiting for version %d\n", report * 50);
+        return;
+      }
       std::vector<float> probe(1);
       server.read(global, probe);
       std::printf("[monitor] global version %llu, first element %.1f\n",
-                  static_cast<unsigned long long>(version), probe[0]);
+                  static_cast<unsigned long long>(*version), probe[0]);
     }
   });
 

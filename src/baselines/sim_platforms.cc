@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "coll/pcie_model.h"
+#include "fault/injector.h"
 #include "minimpi/sim_mpi.h"
 #include "net/fabric.h"
 #include "sim/simulation.h"
@@ -23,23 +24,50 @@ void validate(const SimPlatformOptions& options) {
 struct SyncIterationAccounting {
   SimTime comp_sum = 0;  // sum over workers and iterations of own compute
   SimTime iter_sum = 0;  // sum over iterations of the full iteration time
+  std::int64_t rounds = 0;  // iterations actually accounted (< target on crash)
 
   void add(const std::vector<SimTime>& comps, SimTime iteration_time) {
     for (SimTime c : comps) comp_sum += c;
     iter_sum += iteration_time * static_cast<SimTime>(comps.size());
+    rounds += 1;
   }
 
   [[nodiscard]] cluster::PlatformTiming finish(int workers, std::int64_t iterations,
                                                SimTime makespan) const {
     cluster::PlatformTiming timing;
-    const auto denom = static_cast<std::int64_t>(workers) * iterations;
+    const auto denom =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(workers) * rounds);
     timing.mean_comp = comp_sum / denom;
     timing.mean_comm = iter_sum / denom - timing.mean_comp;
     timing.makespan = makespan;
     timing.iterations = iterations;
+    timing.completed_worker_iterations = static_cast<std::int64_t>(workers) * rounds;
     return timing;
   }
 };
+
+/// Earliest crash iteration over `workers`, or -1 if nobody crashes.  A
+/// synchronous platform halts there: the collective can never complete again.
+std::int64_t earliest_crash(const fault::FaultInjector* faults, int workers) {
+  if (faults == nullptr) return -1;
+  std::int64_t earliest = -1;
+  for (int w = 0; w < workers; ++w) {
+    const std::int64_t at = faults->crash_iteration(w);
+    if (at >= 0 && (earliest < 0 || at < earliest)) earliest = at;
+  }
+  return earliest;
+}
+
+/// Per-iteration straggler penalty: a synchronous step waits for the most
+/// stalled worker.
+SimTime max_stall(const fault::FaultInjector* faults, int workers, std::int64_t it) {
+  if (faults == nullptr) return 0;
+  double worst = 0.0;
+  for (int w = 0; w < workers; ++w) {
+    worst = std::max(worst, faults->stall_seconds(w, it));
+  }
+  return worst > 0.0 ? units::from_seconds(worst) : 0;
+}
 
 }  // namespace
 
@@ -51,13 +79,15 @@ cluster::PlatformTiming simulate_caffe(const SimPlatformOptions& options) {
   common::Rng rng(options.seed);
 
   const int k = options.workers;
+  const std::int64_t crash_at = earliest_crash(options.faults, k);
   SyncIterationAccounting acc;
   SimTime makespan = 0;
   std::vector<SimTime> comps(static_cast<std::size_t>(k));
   for (std::int64_t it = 0; it < options.iterations; ++it) {
+    if (crash_at >= 0 && it >= crash_at) break;  // collective can never complete
     for (SimTime& c : comps) c = options.jitter.sample(rng, model.comp_time);
     const SimTime comp_max = *std::max_element(comps.begin(), comps.end());
-    SimTime iteration = comp_max;
+    SimTime iteration = comp_max + max_stall(options.faults, k, it);
     if (k > 1) {
       iteration += pcie.ring_allreduce_time(k, model.param_bytes);
       iteration += spec.caffe_feed_per_gpu * k;
@@ -66,7 +96,9 @@ cluster::PlatformTiming simulate_caffe(const SimPlatformOptions& options) {
     acc.add(comps, iteration);
     makespan += iteration;
   }
-  return acc.finish(k, options.iterations, makespan);
+  cluster::PlatformTiming timing = acc.finish(k, options.iterations, makespan);
+  if (crash_at >= 0 && crash_at < options.iterations) timing.crashed_workers = 1;
+  return timing;
 }
 
 cluster::PlatformTiming simulate_caffe_mpi(const SimPlatformOptions& options) {
@@ -101,11 +133,15 @@ cluster::PlatformTiming simulate_caffe_mpi(const SimPlatformOptions& options) {
                common::Rng& r, std::vector<SimTime>& comps, SimTime hcopy,
                SyncIterationAccounting& acc) -> sim::Task<> {
     const int n = static_cast<int>(eps.size());
+    const std::int64_t crash_at = earliest_crash(opts.faults, n);
     for (std::int64_t it = 0; it < opts.iterations; ++it) {
+      if (crash_at >= 0 && it >= crash_at) break;  // star can never gather again
       const SimTime iter_start = s.now();
       for (SimTime& c : comps) c = opts.jitter.sample(r, m.comp_time);
       const SimTime comp_max = *std::max_element(comps.begin(), comps.end());
-      co_await s.delay(comp_max + hcopy);  // all GPUs compute; stage to host
+      // All GPUs compute then stage to host; an injected stall delays the
+      // slowest worker and therefore the whole synchronous step.
+      co_await s.delay(comp_max + hcopy + max_stall(opts.faults, n, it));
 
       // Gather: every slave streams its gradients through the master's
       // staging link (concurrent flows; the link is the bottleneck).
@@ -130,7 +166,9 @@ cluster::PlatformTiming simulate_caffe_mpi(const SimPlatformOptions& options) {
     }
   }(sim, fabric, options, model, spec, endpoints, staging, rng, comps, host_copy, acc));
   sim.run();
-  return acc.finish(k, options.iterations, sim.now());
+  cluster::PlatformTiming timing = acc.finish(k, options.iterations, sim.now());
+  if (acc.rounds < options.iterations) timing.crashed_workers = 1;
+  return timing;
 }
 
 cluster::PlatformTiming simulate_mpicaffe(const SimPlatformOptions& options) {
@@ -164,18 +202,24 @@ cluster::PlatformTiming simulate_mpicaffe(const SimPlatformOptions& options) {
                const cluster::ModelProfile& m, minimpi::SimGroupOps& g, common::Rng& r,
                std::vector<SimTime>& comps, SimTime hcopy, SimTime sync,
                SyncIterationAccounting& acc) -> sim::Task<> {
+    const std::int64_t crash_at =
+        earliest_crash(opts.faults, static_cast<int>(comps.size()));
     for (std::int64_t it = 0; it < opts.iterations; ++it) {
+      if (crash_at >= 0 && it >= crash_at) break;  // ring is broken for good
       const SimTime iter_start = s.now();
       for (SimTime& c : comps) c = opts.jitter.sample(r, m.comp_time);
       const SimTime comp_max = *std::max_element(comps.begin(), comps.end());
-      co_await s.delay(comp_max + hcopy);
+      co_await s.delay(comp_max + hcopy +
+                       max_stall(opts.faults, static_cast<int>(comps.size()), it));
       co_await g.ring_allreduce(m.param_bytes);
       co_await s.delay(sync + hcopy);
       acc.add(comps, s.now() - iter_start);
     }
   }(sim, options, model, group, rng, comps, host_copy, step_sync, acc));
   sim.run();
-  return acc.finish(k, options.iterations, sim.now());
+  cluster::PlatformTiming timing = acc.finish(k, options.iterations, sim.now());
+  if (acc.rounds < options.iterations) timing.crashed_workers = 1;
+  return timing;
 }
 
 }  // namespace shmcaffe::baselines

@@ -20,6 +20,10 @@
 #include "cluster/model_profiles.h"
 #include "cluster/platform_result.h"
 
+namespace shmcaffe::fault {
+class FaultInjector;
+}  // namespace shmcaffe::fault
+
 namespace shmcaffe::baselines {
 
 struct SimPlatformOptions {
@@ -29,6 +33,11 @@ struct SimPlatformOptions {
   cluster::TestbedSpec testbed;
   cluster::ComputeJitter jitter;
   std::uint64_t seed = 0x5b;
+  /// Optional fault injection; not owned, must outlive the call.  A
+  /// synchronous platform pays every worker's stall (max-over-workers per
+  /// iteration) and cannot continue past a crash: the run truncates at the
+  /// earliest crash iteration.  nullptr = fault-free.
+  const fault::FaultInjector* faults = nullptr;
 };
 
 cluster::PlatformTiming simulate_caffe(const SimPlatformOptions& options);

@@ -23,7 +23,12 @@ struct PlatformTiming {
     return iter > 0 ? static_cast<double>(mean_comm) / static_cast<double>(iter) : 0.0;
   }
   SimTime makespan = 0;          ///< whole simulated run
-  std::int64_t iterations = 0;   ///< per worker
+  std::int64_t iterations = 0;   ///< per worker (the configured target)
+  /// Sum over workers of iterations actually completed — equals
+  /// workers * iterations unless fault injection crashed somebody.
+  std::int64_t completed_worker_iterations = 0;
+  /// Workers removed mid-run by an injected fail-stop crash.
+  int crashed_workers = 0;
 };
 
 }  // namespace shmcaffe::cluster

@@ -9,6 +9,10 @@
 #include "dl/models.h"
 #include "dl/solver.h"
 
+namespace shmcaffe::fault {
+class FaultInjector;
+}  // namespace shmcaffe::fault
+
 namespace shmcaffe::core {
 
 /// How workers align their termination (§III-E).
@@ -51,6 +55,17 @@ struct DistTrainOptions {
   /// Prefetch queue depth (the paper prefetches 10 minibatches).
   std::size_t prefetch_depth = 4;
 
+  /// Optional fault injection (crashes, stalls, SMB freezes); not owned,
+  /// must outlive the run.  nullptr = fault-free.
+  const fault::FaultInjector* faults = nullptr;
+  /// A worker whose heartbeat is older than this is declared dead and
+  /// excluded from termination and pacing (graceful degradation).  Must
+  /// exceed the worst-case gap between a live worker's reports — an
+  /// iteration plus any injected stall.  <= 0 disables liveness sweeping
+  /// (a dead worker then hangs min/mean termination, the pre-fault
+  /// behaviour).
+  double heartbeat_timeout_seconds = 2.0;
+
   DistTrainOptions() {
     train_data.size = 2048;
     test_data.size = 512;
@@ -82,12 +97,24 @@ struct WorkerStats {
   double data_wait_seconds = 0.0;    ///< blocked on the prefetcher
 };
 
+/// How a worker's participation in a run ended.
+enum class WorkerOutcome : std::uint8_t {
+  kFinished = 0,  ///< completed training normally
+  kCrashed = 1,   ///< fail-stopped by fault injection
+  kFenced = 2,    ///< declared dead by survivors (missed heartbeats) and exited
+};
+
 struct TrainResult {
   std::vector<EpochMetrics> curve;
   double final_accuracy = 0.0;
   double final_loss = 0.0;
   std::vector<std::int64_t> iterations_per_worker;
   std::vector<WorkerStats> worker_stats;
+  /// Per-worker outcome; the curve reflects only kFinished workers' last
+  /// contributions once their peers dropped out.
+  std::vector<WorkerOutcome> worker_outcomes;
+  /// Workers that did not finish (crashed or fenced), ascending.
+  std::vector<int> dead_workers;
   double wall_seconds = 0.0;
 };
 

@@ -1,21 +1,33 @@
 #include "core/progress_board.h"
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
 namespace shmcaffe::core {
 
 namespace {
-// Slot layout: [0, workers) per-worker iteration counts; slot `workers` is
-// the stop flag.
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 ProgressBoard::ProgressBoard(smb::SmbServer& server, smb::ShmKey key, int workers,
                              bool create)
     : server_(&server), workers_(workers) {
-  const auto slots = static_cast<std::size_t>(workers) + 1;
+  const auto slots = static_cast<std::size_t>(workers) * 3 + 1;
   handle_ = create ? server.create_counters(key, slots) : server.attach_counters(key, slots);
 }
 
 void ProgressBoard::report(int worker, std::int64_t iterations) {
   server_->store(handle_, static_cast<std::size_t>(worker), iterations);
+  heartbeat(worker);
+}
+
+void ProgressBoard::heartbeat(int worker) {
+  server_->store(handle_, heartbeat_slot(worker), steady_now_ns());
 }
 
 std::int64_t ProgressBoard::iterations_of(int worker) const {
@@ -23,39 +35,109 @@ std::int64_t ProgressBoard::iterations_of(int worker) const {
 }
 
 std::int64_t ProgressBoard::min_iterations() const {
-  std::int64_t result = iterations_of(0);
-  for (int w = 1; w < workers_; ++w) result = std::min(result, iterations_of(w));
-  return result;
+  std::int64_t result = std::numeric_limits<std::int64_t>::max();
+  for (int w = 0; w < workers_; ++w) {
+    if (is_dead(w)) continue;
+    result = std::min(result, iterations_of(w));
+  }
+  return result == std::numeric_limits<std::int64_t>::max() ? 0 : result;
 }
 
 std::int64_t ProgressBoard::max_iterations() const {
-  std::int64_t result = iterations_of(0);
-  for (int w = 1; w < workers_; ++w) result = std::max(result, iterations_of(w));
-  return result;
+  std::int64_t result = std::numeric_limits<std::int64_t>::min();
+  for (int w = 0; w < workers_; ++w) {
+    if (is_dead(w)) continue;
+    result = std::max(result, iterations_of(w));
+  }
+  return result == std::numeric_limits<std::int64_t>::min() ? 0 : result;
 }
 
 double ProgressBoard::mean_iterations() const {
   std::int64_t sum = 0;
-  for (int w = 0; w < workers_; ++w) sum += iterations_of(w);
-  return static_cast<double>(sum) / workers_;
+  int live = 0;
+  for (int w = 0; w < workers_; ++w) {
+    if (is_dead(w)) continue;
+    sum += iterations_of(w);
+    ++live;
+  }
+  return live > 0 ? static_cast<double>(sum) / live : 0.0;
+}
+
+void ProgressBoard::mark_finished(int worker) {
+  server_->store(handle_, state_slot(worker),
+                 static_cast<std::int64_t>(WorkerState::kFinished));
+}
+
+void ProgressBoard::mark_dead(int worker) {
+  server_->store(handle_, state_slot(worker), static_cast<std::int64_t>(WorkerState::kDead));
+}
+
+ProgressBoard::WorkerState ProgressBoard::state_of(int worker) const {
+  return static_cast<WorkerState>(server_->load(handle_, state_slot(worker)));
+}
+
+int ProgressBoard::live_count() const {
+  int live = 0;
+  for (int w = 0; w < workers_; ++w) {
+    if (!is_dead(w)) ++live;
+  }
+  return live;
+}
+
+std::vector<int> ProgressBoard::dead_workers() const {
+  std::vector<int> dead;
+  for (int w = 0; w < workers_; ++w) {
+    if (is_dead(w)) dead.push_back(w);
+  }
+  return dead;
+}
+
+int ProgressBoard::sweep_dead(double timeout_seconds) {
+  const auto timeout_ns = static_cast<std::int64_t>(timeout_seconds * 1e9);
+  const std::int64_t now = steady_now_ns();
+  int newly_dead = 0;
+  for (int w = 0; w < workers_; ++w) {
+    if (state_of(w) != WorkerState::kAlive) continue;
+    const std::int64_t stamp = server_->load(handle_, heartbeat_slot(w));
+    // stamp == 0 means the worker never reported; give it startup grace.
+    if (stamp != 0 && now - stamp > timeout_ns) {
+      mark_dead(w);
+      ++newly_dead;
+    }
+  }
+  return newly_dead;
+}
+
+int ProgressBoard::acting_master() const {
+  for (int w = 0; w < workers_; ++w) {
+    if (!is_dead(w)) return w;
+  }
+  return 0;
 }
 
 void ProgressBoard::raise_stop() {
-  server_->store(handle_, static_cast<std::size_t>(workers_), 1);
+  server_->store(handle_, stop_slot(), 1);
 }
 
 bool ProgressBoard::stop_raised() const {
-  return server_->load(handle_, static_cast<std::size_t>(workers_)) != 0;
+  return server_->load(handle_, stop_slot()) != 0;
 }
 
 bool ProgressBoard::should_stop(TerminationCriterion criterion, int worker,
                                 std::int64_t my_iterations,
-                                std::int64_t target_iterations) {
+                                std::int64_t target_iterations,
+                                double heartbeat_timeout_seconds) {
   report(worker, my_iterations);
   if (stop_raised()) return true;
+  // Fenced: a worker the survivors declared dead must not keep contributing
+  // (its exchanges would re-include a peer everyone else already excluded).
+  if (is_dead(worker)) return true;
+  if (heartbeat_timeout_seconds > 0.0) sweep_dead(heartbeat_timeout_seconds);
   switch (criterion) {
     case TerminationCriterion::kMasterFinishes:
-      if (worker == 0 && my_iterations >= target_iterations) {
+      // Degradation: if the master died, the lowest-indexed survivor
+      // inherits the role, so the criterion still fires.
+      if (worker == acting_master() && my_iterations >= target_iterations) {
         raise_stop();
         return true;
       }
@@ -67,6 +149,8 @@ bool ProgressBoard::should_stop(TerminationCriterion criterion, int worker,
       }
       return false;
     case TerminationCriterion::kAverageIterations:
+      // Dead workers are excluded from the mean: the run converges on the
+      // survivors' progress instead of chasing a frozen numerator.
       if (mean_iterations() >= static_cast<double>(target_iterations)) {
         raise_stop();
         return true;

@@ -8,9 +8,19 @@
 //   1. everyone stops when the master worker reaches its target,
 //   2. everyone stops as soon as the first worker reaches its target,
 //   3. everyone stops when the average iteration count reaches the target.
+//
+// Fault tolerance: every worker additionally owns a heartbeat slot it
+// stamps on each report.  Survivors sweep the board; a worker whose
+// heartbeat is older than the timeout is declared dead and excluded from
+// the min/mean reductions and the termination criteria (with the master
+// role falling back to the lowest-indexed live worker), so a fail-stopped
+// worker costs only its own contribution instead of hanging the run.  A
+// declared-dead worker that wakes up again (a stall that outlived the
+// timeout) finds itself fenced and must exit — dead is final.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/config.h"
 #include "smb/server.h"
@@ -19,16 +29,48 @@ namespace shmcaffe::core {
 
 class ProgressBoard {
  public:
+  /// Liveness state of a worker, stored on the shared board.
+  enum class WorkerState : std::int64_t {
+    kAlive = 0,
+    kFinished = 1,  ///< completed training normally
+    kDead = 2,      ///< declared dead (missed heartbeats) — final
+  };
+
   /// Master constructs with create=true; slaves attach with create=false.
   ProgressBoard(smb::SmbServer& server, smb::ShmKey key, int workers, bool create);
 
-  /// Publishes `iterations` completed by `worker`.
+  /// Publishes `iterations` completed by `worker` (also stamps its heartbeat).
   void report(int worker, std::int64_t iterations);
 
+  /// Stamps `worker`'s heartbeat without changing its iteration count (for
+  /// long waits — pacing loops, collectives — between reports).
+  void heartbeat(int worker);
+
   [[nodiscard]] std::int64_t iterations_of(int worker) const;
+  /// Reductions over workers not declared dead (all workers while healthy).
   [[nodiscard]] std::int64_t min_iterations() const;
   [[nodiscard]] std::int64_t max_iterations() const;
   [[nodiscard]] double mean_iterations() const;
+
+  // --- liveness ----------------------------------------------------------
+
+  void mark_finished(int worker);
+  void mark_dead(int worker);
+  [[nodiscard]] WorkerState state_of(int worker) const;
+  [[nodiscard]] bool is_dead(int worker) const {
+    return state_of(worker) == WorkerState::kDead;
+  }
+  /// Workers not declared dead (alive or finished).
+  [[nodiscard]] int live_count() const;
+  [[nodiscard]] std::vector<int> dead_workers() const;
+
+  /// Declares every alive worker whose heartbeat is older than
+  /// `timeout_seconds` dead; returns how many were newly declared.
+  int sweep_dead(double timeout_seconds);
+
+  /// The master role for kMasterFinishes: the lowest-indexed non-dead
+  /// worker (0 while the real master lives).
+  [[nodiscard]] int acting_master() const;
 
   /// Raises the global stop flag (idempotent).
   void raise_stop();
@@ -36,13 +78,25 @@ class ProgressBoard {
 
   /// Evaluates the termination rule for `worker` having completed
   /// `my_iterations` of `target_iterations`; raises the stop flag when the
-  /// rule fires.  Returns true if the worker should stop now.
+  /// rule fires.  Returns true if the worker should stop now.  A positive
+  /// `heartbeat_timeout_seconds` additionally sweeps for dead peers; a
+  /// worker that was itself declared dead is told to stop (fenced).
   bool should_stop(TerminationCriterion criterion, int worker, std::int64_t my_iterations,
-                   std::int64_t target_iterations);
+                   std::int64_t target_iterations, double heartbeat_timeout_seconds = 0.0);
 
   void release();
 
  private:
+  // Slot layout: [0, w) iteration counts; w the stop flag; [w+1, 2w+1)
+  // heartbeat stamps (steady-clock ns); [2w+1, 3w+1) WorkerState values.
+  [[nodiscard]] std::size_t stop_slot() const { return static_cast<std::size_t>(workers_); }
+  [[nodiscard]] std::size_t heartbeat_slot(int worker) const {
+    return static_cast<std::size_t>(workers_ + 1 + worker);
+  }
+  [[nodiscard]] std::size_t state_slot(int worker) const {
+    return static_cast<std::size_t>(2 * workers_ + 1 + worker);
+  }
+
   smb::SmbServer* server_;
   smb::Handle handle_;
   int workers_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "coll/pcie_model.h"
+#include "fault/injector.h"
 #include "net/fabric.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
@@ -17,6 +18,8 @@ namespace {
 struct GroupStats {
   SimTime comp = 0;
   SimTime comm = 0;
+  std::int64_t completed = 0;  ///< iterations actually run (<= target on crash)
+  bool crashed = false;
 };
 
 /// One group's endpoint on one SMB server (the global buffer is sharded
@@ -83,10 +86,25 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
   // degenerates to standalone Caffe.
   const bool use_smb = total_groups > 1;
 
+  // Faults are keyed to the group's root worker: a synchronous group marches
+  // in lockstep, so its members crash or stall together, before any
+  // intra-group collective.
+  const int root_worker = group * s;
+
   std::vector<SimTime> member_comps(static_cast<std::size_t>(s));
   for (std::int64_t it = 0; it < options.iterations; ++it) {
+    if (options.faults != nullptr && options.faults->crashes_at(root_worker, it)) {
+      stats.crashed = true;
+      break;  // fail-stop: no further exchanges; survivors keep training
+    }
     const bool sharing = use_smb && it % options.update_interval == 0;
     const SimTime iter_start = sim.now();
+    if (options.faults != nullptr) {
+      const double stall = options.faults->stall_seconds(root_worker, it);
+      // The stall lands inside the iteration window, so the per-member
+      // accounting below books it as non-overlapped (comm-side) time.
+      if (stall > 0.0) co_await sim.delay(units::from_seconds(stall));
+    }
     if (sharing) {
       // Mutually exclusive with the update thread; a still-running previous
       // flush blocks us here (the paper's T.A5 wait).
@@ -127,6 +145,7 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
       stats.comp += c;
       stats.comm += iter_time - c;
     }
+    stats.completed += 1;
   }
 
   stopping = true;
@@ -207,12 +226,29 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
   }(clients, endpoints, groups, nservers, shard_bytes));
   sim.run();
 
+  const SimTime start = sim.now();
+  if (options.faults != nullptr) {
+    // Link flaps: the plan's link indices map directly onto the fabric's
+    // links (events beyond the fabric's link count are ignored); window
+    // starts are relative to the measurement start.
+    for (const fault::FaultEvent& ev : options.faults->all_link_windows()) {
+      if (ev.target < 0 || static_cast<std::size_t>(ev.target) >= fabric.link_count()) {
+        continue;
+      }
+      const double multiplier = ev.kind == fault::FaultKind::kLinkDown ? 0.0 : ev.severity;
+      fabric.schedule_capacity_window(net::LinkId{static_cast<std::size_t>(ev.target)},
+                                      start + units::from_seconds(ev.start_seconds),
+                                      std::max<SimTime>(1, units::from_seconds(ev.duration_seconds)),
+                                      multiplier);
+    }
+    fabric.set_dropped_transfers(options.faults->dropped_sequences());
+  }
+
   std::vector<GroupStats> stats(static_cast<std::size_t>(groups));
   for (int g = 0; g < groups; ++g) {
     sim.spawn(group_worker(sim, options, endpoints[static_cast<std::size_t>(g)], g, groups,
                            stats[static_cast<std::size_t>(g)]));
   }
-  const SimTime start = sim.now();
   sim.run();
 
   cluster::PlatformTiming result;
@@ -220,11 +256,16 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
   result.makespan = sim.now() - start;
   SimTime comp_sum = 0;
   SimTime comm_sum = 0;
+  std::int64_t completed_member_iters = 0;
   for (const GroupStats& s : stats) {
     comp_sum += s.comp;
     comm_sum += s.comm;
+    completed_member_iters +=
+        s.completed * static_cast<std::int64_t>(options.group_size);
+    if (s.crashed) result.crashed_workers += options.group_size;
   }
-  const auto denom = static_cast<std::int64_t>(options.workers) * options.iterations;
+  result.completed_worker_iterations = completed_member_iters;
+  const std::int64_t denom = std::max<std::int64_t>(1, completed_member_iters);
   result.mean_comp = comp_sum / denom;
   result.mean_comm = comm_sum / denom;
   return result;

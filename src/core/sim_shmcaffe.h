@@ -20,6 +20,10 @@
 #include "cluster/model_profiles.h"
 #include "cluster/platform_result.h"
 
+namespace shmcaffe::fault {
+class FaultInjector;
+}  // namespace shmcaffe::fault
+
 namespace shmcaffe::core {
 
 struct SimShmCaffeOptions {
@@ -40,6 +44,12 @@ struct SimShmCaffeOptions {
   cluster::TestbedSpec testbed;
   cluster::ComputeJitter jitter;
   std::uint64_t seed = 0x51;
+  /// Optional fault injection; not owned, must outlive the call.  Worker
+  /// crash/stall events are keyed to group roots (worker g*group_size — a
+  /// synchronous group fails or stalls as a unit), link windows map onto the
+  /// fabric's links by index, and datagram drops onto transfer sequence
+  /// numbers.  nullptr = fault-free.
+  const fault::FaultInjector* faults = nullptr;
 };
 
 /// Runs the timed model and returns the per-iteration breakdown.

@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -16,7 +17,9 @@
 #include "core/sharded_buffer.h"
 #include "data/loader.h"
 #include "dl/param_vector.h"
+#include "fault/injector.h"
 #include "minimpi/minimpi.h"
+#include "smb/client.h"
 #include "smb/server.h"
 
 namespace shmcaffe::core {
@@ -45,6 +48,7 @@ struct WorkerShared {
   std::atomic<std::int64_t> total_iterations{0};
   std::vector<std::int64_t> final_iterations;  // one slot per worker
   std::vector<WorkerStats> worker_stats;       // one slot per worker
+  std::vector<WorkerOutcome> outcomes;         // one slot per worker
 };
 
 /// Adds the elapsed seconds since `from` to `sink` and resets `from`.
@@ -100,6 +104,7 @@ void run_worker(WorkerShared& shared, int worker) {
     board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
                                             options.workers, /*create=*/false);
   }
+  board->heartbeat(worker);  // arm liveness before the first iteration
   // Every group root owns a private weight-increment buffer (Fig. 5: the
   // dW_x buffers are not shared among other workers).
   ShardedBuffer delta_buffer;
@@ -162,17 +167,47 @@ void run_worker(WorkerShared& shared, int worker) {
     exchange.cv.notify_all();
   };
 
+  // Fault injection: crashes fell whole groups (a dead node takes all its
+  // GPUs), keyed on the group root's worker index so every member of a
+  // hybrid group breaks at the same iteration, before any collective could
+  // deadlock on a missing peer.  Stalls are per individual worker.
+  const fault::FaultInjector* faults = options.faults;
+  const int group_root_worker = worker - local_rank;
+
   std::vector<float> grads(group_size > 1 ? param_count : 0);
   std::vector<float> vote(1);
   std::int64_t iteration = 0;
   bool stop = false;
+  bool crashed = false;
   while (!stop) {
+    if (faults != nullptr) {
+      if (faults->crashes_at(group_root_worker, iteration)) {
+        // Fail-stop: exit without reporting, marking, or releasing —
+        // survivors must detect the death from the missed heartbeats.
+        crashed = true;
+        break;
+      }
+      const double stall = faults->stall_seconds(worker, iteration);
+      if (stall > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+      }
+    }
+    // Fenced while stalled: dead is final, so exit instead of re-joining.
+    // Async only — a hybrid member must keep lockstep with its group (whose
+    // peers may already be blocked in a collective) and exits through the
+    // root's stop vote instead.
+    if (is_async && board->is_dead(worker)) break;
+
     // Homogeneous-GPU pacing: do not run further ahead of the slowest
-    // worker than the configured skew (see DistTrainOptions).
+    // *live* worker than the configured skew (see DistTrainOptions).
     if (options.max_iteration_skew > 0) {
-      while (!board->stop_raised() &&
+      while (!board->stop_raised() && !board->is_dead(worker) &&
              iteration - board->min_iterations() >
                  static_cast<std::int64_t>(options.max_iteration_skew)) {
+        board->heartbeat(worker);
+        if (options.heartbeat_timeout_seconds > 0.0) {
+          board->sweep_dead(options.heartbeat_timeout_seconds);
+        }
         std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
     }
@@ -227,7 +262,8 @@ void run_worker(WorkerShared& shared, int worker) {
     // never diverges.
     if (is_root) {
       vote[0] = board->should_stop(options.termination, worker, iteration,
-                                   shared.target_iterations)
+                                   shared.target_iterations,
+                                   options.heartbeat_timeout_seconds)
                     ? 1.0F
                     : 0.0F;
     } else {
@@ -239,6 +275,10 @@ void run_worker(WorkerShared& shared, int worker) {
 
   shared.final_iterations[static_cast<std::size_t>(worker)] = iteration;
   stats.iterations = iteration;
+  const WorkerOutcome outcome = crashed             ? WorkerOutcome::kCrashed
+                                : board->is_dead(worker) ? WorkerOutcome::kFenced
+                                                         : WorkerOutcome::kFinished;
+  shared.outcomes[static_cast<std::size_t>(worker)] = outcome;
 
   if (is_root) {
     {
@@ -246,9 +286,11 @@ void run_worker(WorkerShared& shared, int worker) {
       exchange.stopping = true;
     }
     exchange.cv.notify_all();
-    update_thread.join();
-    delta_buffer.release();
+    update_thread.join();  // thread hygiene even on the crash path
   }
+  if (crashed) return;  // fail-stop: remote attachments are never released
+  if (outcome == WorkerOutcome::kFinished) board->mark_finished(worker);
+  if (is_root) delta_buffer.release();
   board->release();
   global.release();
 }
@@ -287,6 +329,8 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   shared.base_key = (options.seed | 1) & 0x7fffffff;
   shared.final_iterations.assign(static_cast<std::size_t>(options.workers), 0);
   shared.worker_stats.assign(static_cast<std::size_t>(options.workers), WorkerStats{});
+  shared.outcomes.assign(static_cast<std::size_t>(options.workers),
+                         WorkerOutcome::kFinished);
 
   const std::int64_t iters_per_epoch_total =
       std::max<std::int64_t>(1, static_cast<std::int64_t>(train_set.size()) /
@@ -298,6 +342,41 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
       std::max<int>(1, static_cast<int>(per_worker_per_epoch) * 4);  // 4-epoch LR steps
 
   const auto wall_start = std::chrono::steady_clock::now();
+
+  // Fault scheduler: fires SMB-server freeze windows at their wall-clock
+  // offsets from the training start.  Interruptible so a short run does not
+  // wait out a plan scheduled past its end.
+  std::mutex freeze_mutex;
+  std::condition_variable freeze_cv;
+  bool freeze_stop = false;
+  std::thread freeze_thread;
+  if (options.faults != nullptr) {
+    std::vector<fault::FaultEvent> freezes;
+    for (int n = 0; n < options.smb_servers; ++n) {
+      for (const fault::FaultEvent& event : options.faults->server_freezes(n)) {
+        freezes.push_back(event);
+      }
+    }
+    std::sort(freezes.begin(), freezes.end(),
+              [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                return a.start_seconds < b.start_seconds;
+              });
+    if (!freezes.empty()) {
+      freeze_thread = std::thread([&shared, &freeze_mutex, &freeze_cv, &freeze_stop,
+                                   wall_start, freezes = std::move(freezes)] {
+        std::unique_lock lock(freeze_mutex);
+        for (const fault::FaultEvent& event : freezes) {
+          const auto at = wall_start + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::duration<double>(event.start_seconds));
+          if (freeze_cv.wait_until(lock, at, [&] { return freeze_stop; })) return;
+          shared.servers[static_cast<std::size_t>(event.target)]->freeze_for(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::duration<double>(event.duration_seconds)));
+        }
+      });
+    }
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(options.workers));
   for (int w = 0; w < options.workers; ++w) {
@@ -311,19 +390,35 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
 
   // Orchestrator: snapshot and evaluate the global weights at
   // epoch-equivalent boundaries (total iterations across all workers).
+  // The attach races worker 0's segment creation, so it retries with
+  // backoff; it gives up once the workers are gone (a fault plan may have
+  // crashed every worker before the segments appeared).
   TrainResult result;
   dl::Net eval_net = dl::make_model(options.model_family, options.input);
   ShardedBuffer global;
-  for (;;) {
-    try {
-      global = ShardedBuffer::attach(shared.servers, shared.base_key,
-                                     eval_net.param_count());
-      break;
-    } catch (const smb::SmbError&) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  {
+    smb::RetryPolicy policy;
+    common::Rng backoff_rng(options.seed ^ 0x0bcull);
+    int attempt = 0;
+    while (!joined.load(std::memory_order_acquire)) {
+      try {
+        global = ShardedBuffer::attach(shared.servers, shared.base_key,
+                                       eval_net.param_count());
+        break;
+      } catch (const smb::SmbNotFound&) {
+        std::this_thread::sleep_for(smb::backoff_delay(policy, ++attempt, backoff_rng));
+      }
+    }
+    if (!global.valid()) {
+      try {
+        global = ShardedBuffer::attach(shared.servers, shared.base_key,
+                                       eval_net.param_count());
+      } catch (const smb::SmbNotFound&) {
+        // every worker crashed before creating the segments; no curve
+      }
     }
   }
-  std::vector<float> snapshot(global.size());
+  std::vector<float> snapshot(global.valid() ? global.size() : 0);
 
   const std::int64_t total_target =
       shared.target_iterations * static_cast<std::int64_t>(options.workers);
@@ -331,6 +426,7 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
       std::max<std::int64_t>(1, total_target / options.epochs);
   int next_epoch = 1;
   auto catch_up_evals = [&] {
+    if (!global.valid()) return;
     const std::int64_t done = shared.total_iterations.load(std::memory_order_relaxed);
     while (next_epoch < options.epochs &&
            done >= static_cast<std::int64_t>(next_epoch) * per_epoch_total) {
@@ -348,21 +444,38 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   joiner.join();
   catch_up_evals();
 
-  global.read(snapshot);
-  dl::copy_params_from(eval_net, snapshot);
-  const EvalResult final_eval = evaluate(eval_net, test_set);
-  result.final_accuracy = final_eval.accuracy;
-  result.final_loss = final_eval.loss;
-  if (result.curve.empty() || result.curve.back().epoch < options.epochs) {
-    result.curve.push_back(
-        EpochMetrics{options.epochs, final_eval.loss, final_eval.accuracy});
+  if (global.valid()) {
+    global.read(snapshot);
+    dl::copy_params_from(eval_net, snapshot);
+    const EvalResult final_eval = evaluate(eval_net, test_set);
+    result.final_accuracy = final_eval.accuracy;
+    result.final_loss = final_eval.loss;
+    if (result.curve.empty() || result.curve.back().epoch < options.epochs) {
+      result.curve.push_back(
+          EpochMetrics{options.epochs, final_eval.loss, final_eval.accuracy});
+    }
+    global.release();
   }
-  global.release();
+
+  if (freeze_thread.joinable()) {
+    {
+      std::scoped_lock lock(freeze_mutex);
+      freeze_stop = true;
+    }
+    freeze_cv.notify_all();
+    freeze_thread.join();
+  }
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   result.iterations_per_worker = shared.final_iterations;
   result.worker_stats = std::move(shared.worker_stats);
+  result.worker_outcomes = shared.outcomes;
+  for (int w = 0; w < options.workers; ++w) {
+    if (shared.outcomes[static_cast<std::size_t>(w)] != WorkerOutcome::kFinished) {
+      result.dead_workers.push_back(w);
+    }
+  }
   return result;
 }
 

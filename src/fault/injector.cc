@@ -1,0 +1,70 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+namespace shmcaffe::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kDatagramDrop) dropped_sequences_.insert(event.sequence);
+  }
+}
+
+std::int64_t FaultInjector::crash_iteration(int worker) const {
+  std::int64_t earliest = -1;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind != FaultKind::kWorkerCrash || event.target != worker) continue;
+    if (earliest < 0 || event.iteration < earliest) earliest = event.iteration;
+  }
+  return earliest;
+}
+
+double FaultInjector::stall_seconds(int worker, std::int64_t iteration) const {
+  double total = 0.0;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kWorkerStall && event.target == worker &&
+        event.iteration == iteration) {
+      total += event.duration_seconds;
+    }
+  }
+  return total;
+}
+
+std::vector<FaultEvent> FaultInjector::server_freezes(int server) const {
+  std::vector<FaultEvent> result;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kServerFreeze && event.target == server) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
+std::vector<FaultEvent> FaultInjector::link_windows(int link) const {
+  std::vector<FaultEvent> result;
+  for (const FaultEvent& event : plan_.events()) {
+    if ((event.kind == FaultKind::kLinkDegrade || event.kind == FaultKind::kLinkDown) &&
+        event.target == link) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
+std::vector<FaultEvent> FaultInjector::all_link_windows() const {
+  std::vector<FaultEvent> result;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kLinkDegrade || event.kind == FaultKind::kLinkDown) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> FaultInjector::dropped_sequences() const {
+  std::vector<std::uint64_t> result(dropped_sequences_.begin(), dropped_sequences_.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace shmcaffe::fault

@@ -1,0 +1,66 @@
+// FaultInjector: the query API both training stacks consume.
+//
+// The injector indexes a FaultPlan for O(1)-ish lookups at iteration
+// boundaries (the functional trainer asks "do I crash/stall now?" from real
+// worker threads; the timed simulator asks the same at simulated iteration
+// starts) and exposes the time-windowed events for the fabric / SMB server
+// to schedule.  The injector is immutable after construction and therefore
+// safe to share across threads without locking.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace shmcaffe::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // --- worker faults (iteration-indexed) --------------------------------
+
+  /// Iteration at which `worker` fail-stops, or -1 if it never crashes.
+  [[nodiscard]] std::int64_t crash_iteration(int worker) const;
+
+  /// True exactly at the iteration where `worker` crashes (and after).
+  [[nodiscard]] bool crashes_at(int worker, std::int64_t iteration) const {
+    const std::int64_t at = crash_iteration(worker);
+    return at >= 0 && iteration >= at;
+  }
+
+  /// Total injected stall for `worker` at the start of `iteration` (0 if none).
+  [[nodiscard]] double stall_seconds(int worker, std::int64_t iteration) const;
+
+  // --- time-windowed faults ---------------------------------------------
+
+  /// Freeze windows for SMB server `server`.
+  [[nodiscard]] std::vector<FaultEvent> server_freezes(int server) const;
+
+  /// Degrade/down windows for fabric link `link`.
+  [[nodiscard]] std::vector<FaultEvent> link_windows(int link) const;
+
+  /// All link events regardless of target (for callers that own the
+  /// link-index mapping).
+  [[nodiscard]] std::vector<FaultEvent> all_link_windows() const;
+
+  // --- datagram drops ----------------------------------------------------
+
+  [[nodiscard]] bool drops_datagram(std::uint64_t sequence) const {
+    return dropped_sequences_.contains(sequence);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> dropped_sequences() const;
+
+  [[nodiscard]] std::uint64_t fingerprint() const { return plan_.fingerprint(); }
+
+ private:
+  FaultPlan plan_;
+  std::unordered_set<std::uint64_t> dropped_sequences_;
+};
+
+}  // namespace shmcaffe::fault

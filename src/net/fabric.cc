@@ -9,8 +9,9 @@ namespace shmcaffe::net {
 
 struct Fabric::Link {
   LinkStats stats;
-  double data_rate_bps = 0.0;  // capacity * efficiency
-  sim::Semaphore fifo_gate;    // used only by the kFifoSerial discipline
+  double data_rate_bps = 0.0;   // capacity * efficiency
+  double capacity_scale = 1.0;  // fault-injection multiplier (0 = link down)
+  sim::Semaphore fifo_gate;     // used only by the kFifoSerial discipline
   std::size_t active_flows = 0;
 
   Link(sim::Simulation& sim, std::string name, double capacity)
@@ -18,6 +19,8 @@ struct Fabric::Link {
     stats.name = std::move(name);
     stats.capacity_bps = capacity;
   }
+
+  [[nodiscard]] double effective_rate() const { return data_rate_bps * capacity_scale; }
 };
 
 struct Fabric::Flow {
@@ -71,41 +74,79 @@ sim::Task<void> Fabric::transfer(LinkId a, LinkId b, LinkId c, std::int64_t byte
 sim::Task<void> Fabric::transfer(std::vector<LinkId> path, std::int64_t bytes) {
   assert(!path.empty());
   assert(bytes >= 0);
+  const std::uint64_t seq = next_transfer_seq_++;
+  const bool dropped = std::binary_search(dropped_transfers_.begin(),
+                                          dropped_transfers_.end(), seq);
+  // A dropped transfer is retransmitted once: it pays the message latency
+  // and moves the payload a second time.
+  const int attempts = dropped ? 2 : 1;
   for (LinkId id : path) {
     assert(id.valid() && id.index < links_.size());
     Link& link = *links_[id.index];
-    link.stats.bytes_carried += bytes;
-    link.stats.transfers += 1;
+    link.stats.bytes_carried += bytes * attempts;
+    link.stats.transfers += attempts;
   }
   if (options_.sharing == SharingModel::kFifoSerial) {
-    return transfer_fifo(std::move(path), bytes);
+    return transfer_fifo(std::move(path), bytes, attempts);
   }
-  return transfer_fair(std::move(path), bytes);
+  return transfer_fair(std::move(path), bytes, attempts);
 }
 
-sim::Task<void> Fabric::transfer_fair(std::vector<LinkId> path, std::int64_t bytes) {
-  co_await sim_->delay(options_.message_latency);
-  if (bytes == 0) co_return;
+sim::Task<void> Fabric::transfer_fair(std::vector<LinkId> path, std::int64_t bytes,
+                                      int attempts) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    co_await sim_->delay(options_.message_latency);
+    if (bytes == 0) continue;
 
-  std::vector<std::size_t> indices;
-  indices.reserve(path.size());
-  for (LinkId id : path) indices.push_back(id.index);
+    std::vector<std::size_t> indices;
+    indices.reserve(path.size());
+    for (LinkId id : path) indices.push_back(id.index);
 
-  Flow flow(*sim_, std::move(indices), static_cast<double>(bytes));
-  add_flow(&flow);
-  co_await flow.done.wait();
+    Flow flow(*sim_, std::move(indices), static_cast<double>(bytes));
+    add_flow(&flow);
+    co_await flow.done.wait();
+  }
 }
 
-sim::Task<void> Fabric::transfer_fifo(std::vector<LinkId> path, std::int64_t bytes) {
-  co_await sim_->delay(options_.message_latency);
-  if (bytes == 0) co_return;
-  // Store-and-forward: occupy each link exclusively, in path order.
-  for (LinkId id : path) {
-    Link& link = *links_[id.index];
-    co_await link.fifo_gate.acquire();
-    co_await sim_->delay(units::transfer_time(bytes, link.data_rate_bps));
-    link.fifo_gate.release();
+sim::Task<void> Fabric::transfer_fifo(std::vector<LinkId> path, std::int64_t bytes,
+                                      int attempts) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    co_await sim_->delay(options_.message_latency);
+    if (bytes == 0) continue;
+    // Store-and-forward: occupy each link exclusively, in path order.
+    for (LinkId id : path) {
+      Link& link = *links_[id.index];
+      co_await link.fifo_gate.acquire();
+      co_await sim_->delay(units::transfer_time(bytes, link.effective_rate()));
+      link.fifo_gate.release();
+    }
   }
+}
+
+void Fabric::schedule_capacity_window(LinkId link, SimTime start, SimTime duration,
+                                      double multiplier) {
+  assert(link.valid() && link.index < links_.size());
+  assert(multiplier >= 0.0);
+  // A fully-down link needs the max-min engine's re-settling to stall and
+  // resume flows; the FIFO discipline's in-flight delays cannot be revised.
+  assert(multiplier > 0.0 || options_.sharing == SharingModel::kMaxMinFair);
+  assert(duration > 0);
+  sim_->spawn([](Fabric* fabric, std::size_t index, SimTime at, SimTime dur,
+                 double scale) -> sim::Task<void> {
+    co_await fabric->sim_->delay(at - fabric->sim_->now());
+    fabric->settle_progress();
+    fabric->links_[index]->capacity_scale = scale;
+    fabric->reschedule();
+    co_await fabric->sim_->delay(dur);
+    fabric->settle_progress();
+    fabric->links_[index]->capacity_scale = 1.0;
+    fabric->reschedule();
+  }(this, link.index, start, duration, multiplier));
+}
+
+void Fabric::set_dropped_transfers(std::vector<std::uint64_t> sequences) {
+  std::sort(sequences.begin(), sequences.end());
+  dropped_transfers_ = std::move(sequences);
 }
 
 void Fabric::add_flow(Flow* flow) {
@@ -143,7 +184,7 @@ void Fabric::recompute_rates() {
   std::vector<double> residual(links_.size());
   std::vector<std::size_t> unfixed(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
-    residual[i] = links_[i]->data_rate_bps;
+    residual[i] = links_[i]->effective_rate();
     unfixed[i] = 0;
   }
   for (Flow* flow : flows_) {
@@ -207,8 +248,14 @@ void Fabric::reschedule() {
 
   double min_eta_sec = std::numeric_limits<double>::infinity();
   for (Flow* flow : flows_) {
-    assert(flow->rate_bps > 0.0);
+    // Flows crossing a down link have rate 0 and no ETA; the capacity
+    // window's closing edge re-settles and re-arms for them.
+    if (flow->rate_bps <= 0.0) continue;
     min_eta_sec = std::min(min_eta_sec, flow->remaining_bytes / flow->rate_bps);
+  }
+  if (!std::isfinite(min_eta_sec)) {
+    ++timer_token_;  // every active flow is stalled; nothing to time out
+    return;
   }
   const SimTime eta = std::max<SimTime>(1, units::from_seconds(min_eta_sec));
   arm_timer(sim_->now() + eta);

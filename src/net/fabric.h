@@ -70,6 +70,25 @@ class Fabric {
   };
   Endpoint add_endpoint(const std::string& name, double capacity_bytes_per_sec);
 
+  // --- fault injection -----------------------------------------------------
+
+  /// Schedules a capacity window on `link`: during [start, start+duration)
+  /// the link's usable rate is `capacity * efficiency * multiplier`
+  /// (0 = link down; flows on it stall until the window closes; in-flight
+  /// progress is settled at both edges).  Windows on the same link must not
+  /// overlap.  Call before or during the run; `start` is absolute sim time.
+  void schedule_capacity_window(LinkId link, SimTime start, SimTime duration,
+                                double multiplier);
+
+  /// Declares control/data transfers (by global transfer sequence number,
+  /// counted from 0 in `transfer` call order) lost once: each listed
+  /// transfer pays a retransmit — a second message latency plus a second
+  /// full payload movement.
+  void set_dropped_transfers(std::vector<std::uint64_t> sequences);
+
+  /// Transfers issued so far (the next transfer gets this sequence number).
+  [[nodiscard]] std::uint64_t transfer_count() const { return next_transfer_seq_; }
+
   /// Moves `bytes` across `path` (in order); completes when fully delivered.
   /// A zero-byte transfer still pays the per-message latency (control ops).
   ///
@@ -82,6 +101,7 @@ class Fabric {
   [[nodiscard]] sim::Task<void> transfer(LinkId a, LinkId b, LinkId c, std::int64_t bytes);
 
   [[nodiscard]] const LinkStats& stats(LinkId link) const;
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
   [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
   [[nodiscard]] const FabricOptions& options() const { return options_; }
 
@@ -98,8 +118,10 @@ class Fabric {
   void recompute_rates();
   void arm_timer(SimTime at);
 
-  [[nodiscard]] sim::Task<void> transfer_fair(std::vector<LinkId> path, std::int64_t bytes);
-  [[nodiscard]] sim::Task<void> transfer_fifo(std::vector<LinkId> path, std::int64_t bytes);
+  [[nodiscard]] sim::Task<void> transfer_fair(std::vector<LinkId> path, std::int64_t bytes,
+                                              int attempts);
+  [[nodiscard]] sim::Task<void> transfer_fifo(std::vector<LinkId> path, std::int64_t bytes,
+                                              int attempts);
 
   sim::Simulation* sim_;
   FabricOptions options_;
@@ -107,6 +129,8 @@ class Fabric {
   std::vector<Flow*> flows_;  // active max-min flows, insertion order
   SimTime last_settle_ = 0;
   std::uint64_t timer_token_ = 0;
+  std::uint64_t next_transfer_seq_ = 0;
+  std::vector<std::uint64_t> dropped_transfers_;  // sorted
 };
 
 }  // namespace shmcaffe::net

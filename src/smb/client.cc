@@ -1,0 +1,43 @@
+#include "smb/client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace shmcaffe::smb {
+
+std::chrono::nanoseconds backoff_delay(const RetryPolicy& policy, int attempt,
+                                       common::Rng& rng) {
+  const double exponent = std::max(0, attempt - 1);
+  double delay = static_cast<double>(policy.initial_backoff.count()) *
+                 std::pow(policy.backoff_multiplier, exponent);
+  delay = std::min(delay, static_cast<double>(policy.max_backoff.count()));
+  const double jittered =
+      delay * rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(std::max(0.0, jittered)));
+}
+
+SmbClient::SmbClient(SmbServer& server, RetryPolicy policy, std::uint64_t seed)
+    : server_(&server), policy_(policy), rng_(seed) {}
+
+Handle SmbClient::attach_with_retry(ShmKey key, std::size_t count, bool floats) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return floats ? server_->attach_floats(key, count)
+                    : server_->attach_counters(key, count);
+    } catch (const SmbNotFound&) {
+      if (attempt >= policy_.max_attempts) throw;
+      std::this_thread::sleep_for(backoff_delay(policy_, attempt, rng_));
+    }
+  }
+}
+
+Handle SmbClient::attach_floats(ShmKey key, std::size_t count) {
+  return attach_with_retry(key, count, /*floats=*/true);
+}
+
+Handle SmbClient::attach_counters(ShmKey key, std::size_t count) {
+  return attach_with_retry(key, count, /*floats=*/false);
+}
+
+}  // namespace shmcaffe::smb

@@ -1,0 +1,86 @@
+// Fault-aware client-side wrapper over the functional SMB server.
+//
+// The raw SmbServer API is a faithful passive memory service: an attach to a
+// not-yet-created key throws, and a version wait with a dead writer blocks
+// forever.  Real workers need timed, retrying variants of both (§III-E's
+// decoupling only holds if survivors never block on a dead peer), so this
+// wrapper adds:
+//   * attach with bounded retry + exponential backoff + decorrelated jitter
+//     (a slave racing the master's Fig. 2 segment creation, or an SMB
+//     server in a freeze window);
+//   * deadline-based update-notification waits;
+// and forwards the rest of the surface unchanged.  One SmbClient per worker
+// thread (the embedded backoff Rng is not synchronised).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "smb/server.h"
+
+namespace shmcaffe::smb {
+
+/// Exponential backoff with jitter for attach retries.
+struct RetryPolicy {
+  int max_attempts = 10;
+  std::chrono::nanoseconds initial_backoff = std::chrono::microseconds(200);
+  double backoff_multiplier = 2.0;
+  /// Each delay is multiplied by a uniform draw from [1-jitter, 1+jitter],
+  /// decorrelating retry storms across workers.
+  double jitter = 0.25;
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(50);
+};
+
+/// The backoff delay before retry attempt `attempt` (1-based) under `policy`.
+[[nodiscard]] std::chrono::nanoseconds backoff_delay(const RetryPolicy& policy, int attempt,
+                                                     common::Rng& rng);
+
+class SmbClient {
+ public:
+  explicit SmbClient(SmbServer& server, RetryPolicy policy = {},
+                     std::uint64_t seed = 0xba0cull);
+
+  [[nodiscard]] SmbServer& server() { return *server_; }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+  /// Attach with retry: SmbNotFound triggers backoff-and-retry until the
+  /// policy's attempt budget is spent (then the last error propagates);
+  /// any other SmbError (kind/size mismatch) propagates immediately.
+  Handle attach_floats(ShmKey key, std::size_t count = 0);
+  Handle attach_counters(ShmKey key, std::size_t count = 0);
+
+  /// Deadline-based update notification; nullopt on timeout.
+  std::optional<std::uint64_t> wait_version_at_least(Handle handle,
+                                                     std::uint64_t min_version,
+                                                     std::chrono::nanoseconds timeout) const {
+    return server_->wait_version_at_least(handle, min_version, timeout);
+  }
+
+  // --- unchanged passthroughs -------------------------------------------
+  Handle create_floats(ShmKey key, std::size_t count) {
+    return server_->create_floats(key, count);
+  }
+  Handle create_counters(ShmKey key, std::size_t count) {
+    return server_->create_counters(key, count);
+  }
+  void release(Handle handle) { server_->release(handle); }
+  void read(Handle handle, std::span<float> dst, std::size_t offset = 0) const {
+    server_->read(handle, dst, offset);
+  }
+  void write(Handle handle, std::span<const float> src, std::size_t offset = 0) {
+    server_->write(handle, src, offset);
+  }
+  void accumulate(Handle src, Handle dst) { server_->accumulate(src, dst); }
+  [[nodiscard]] std::uint64_t version(Handle handle) const { return server_->version(handle); }
+
+ private:
+  Handle attach_with_retry(ShmKey key, std::size_t count, bool floats);
+
+  SmbServer* server_;
+  RetryPolicy policy_;
+  common::Rng rng_;
+};
+
+}  // namespace shmcaffe::smb

@@ -3,8 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <thread>
 
 namespace shmcaffe::smb {
+
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 SmbServer::SmbServer(SmbServerOptions options) : options_(options) {
   if (options_.capacity_bytes <= 0) {
@@ -47,15 +56,21 @@ Handle SmbServer::create_segment(ShmKey key, std::size_t count, Kind kind) {
   return Handle{access_key};
 }
 
+const char* SmbServer::kind_name(Kind kind) {
+  return kind == Kind::kFloats ? "floats" : "counters";
+}
+
 Handle SmbServer::attach_segment(ShmKey key, std::size_t count, Kind kind) {
   std::unique_lock lock(table_mutex_);
   const auto it = key_to_access_.find(key);
   if (it == key_to_access_.end()) {
-    throw SmbError("no segment with SHM key " + std::to_string(key));
+    throw SmbNotFound("no segment with SHM key " + std::to_string(key));
   }
   const std::shared_ptr<Segment>& segment = by_access_key_.at(it->second);
   if (segment->kind != kind) {
-    throw SmbError("segment kind mismatch for SHM key " + std::to_string(key));
+    throw SmbError("segment kind mismatch for SHM key " + std::to_string(key) +
+                   " (access key " + std::to_string(it->second) + "): requested " +
+                   kind_name(kind) + ", exists as " + kind_name(segment->kind));
   }
   const std::size_t actual =
       kind == Kind::kFloats ? segment->floats.size() : segment->counters.size();
@@ -88,10 +103,17 @@ void SmbServer::release(Handle handle) {
   std::unique_lock lock(table_mutex_);
   const auto it = by_access_key_.find(handle.access_key);
   if (it == by_access_key_.end()) {
-    throw SmbError("release of unknown access key");
+    throw SmbError("release of unknown access key " + std::to_string(handle.access_key) +
+                   " (already fully released, or never issued by this server)");
   }
   Segment& segment = *it->second;
-  assert(segment.refcount > 0);
+  if (segment.refcount <= 0) {
+    // A freed segment is erased from the table, so refcount can only be
+    // non-positive if a raced double-release slipped past the erase; refuse
+    // to drive it negative and steal a live attachment's reference.
+    throw SmbError("double release of segment with SHM key " + std::to_string(segment.key) +
+                   " (access key " + std::to_string(handle.access_key) + ")");
+  }
   segment.refcount -= 1;
   if (segment.refcount == 0) {
     stats_.bytes_in_use -= footprint(segment);
@@ -123,6 +145,7 @@ std::size_t SmbServer::size(Handle handle) const {
 }
 
 void SmbServer::read(Handle handle, std::span<float> dst, std::size_t offset) const {
+  block_while_frozen();
   const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
   std::scoped_lock lock(segment->data_mutex);
   if (offset + dst.size() > segment->floats.size()) {
@@ -136,6 +159,7 @@ void SmbServer::read(Handle handle, std::span<float> dst, std::size_t offset) co
 }
 
 void SmbServer::write(Handle handle, std::span<const float> src, std::size_t offset) {
+  block_while_frozen();
   const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
   {
     std::scoped_lock lock(segment->data_mutex);
@@ -153,6 +177,7 @@ void SmbServer::write(Handle handle, std::span<const float> src, std::size_t off
 }
 
 void SmbServer::accumulate(Handle src, Handle dst) {
+  block_while_frozen();
   if (src == dst) throw SmbError("accumulate requires distinct segments");
   const std::shared_ptr<Segment> s = find(src, Kind::kFloats);
   const std::shared_ptr<Segment> d = find(dst, Kind::kFloats);
@@ -170,6 +195,7 @@ void SmbServer::accumulate(Handle src, Handle dst) {
 }
 
 void SmbServer::copy_segment(Handle src, Handle dst) {
+  block_while_frozen();
   if (src == dst) return;
   const std::shared_ptr<Segment> s = find(src, Kind::kFloats);
   const std::shared_ptr<Segment> d = find(dst, Kind::kFloats);
@@ -236,10 +262,45 @@ std::uint64_t SmbServer::version(Handle handle) const {
 }
 
 std::uint64_t SmbServer::wait_version_at_least(Handle handle, std::uint64_t min_version) const {
+  // Thin forwarder: an "infinite" wait is a sequence of bounded waits, so
+  // all blocking funnels through the single deadline implementation.
+  for (;;) {
+    const std::optional<std::uint64_t> seen =
+        wait_version_at_least(handle, min_version, std::chrono::seconds(1));
+    if (seen.has_value()) return *seen;
+  }
+}
+
+std::optional<std::uint64_t> SmbServer::wait_version_at_least(
+    Handle handle, std::uint64_t min_version, std::chrono::nanoseconds timeout) const {
   const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
   std::unique_lock lock(segment->data_mutex);
-  segment->version_cv.wait(lock, [&] { return segment->version >= min_version; });
+  const bool satisfied = segment->version_cv.wait_for(
+      lock, timeout, [&] { return segment->version >= min_version; });
+  if (!satisfied) return std::nullopt;
   return segment->version;
+}
+
+void SmbServer::freeze_for(std::chrono::nanoseconds duration) {
+  const std::int64_t until = steady_now_ns() + duration.count();
+  std::int64_t current = frozen_until_ns_.load(std::memory_order_relaxed);
+  while (until > current &&
+         !frozen_until_ns_.compare_exchange_weak(current, until, std::memory_order_relaxed)) {
+  }
+}
+
+bool SmbServer::frozen() const {
+  return frozen_until_ns_.load(std::memory_order_relaxed) > steady_now_ns();
+}
+
+void SmbServer::block_while_frozen() const {
+  for (;;) {
+    const std::int64_t until = frozen_until_ns_.load(std::memory_order_relaxed);
+    const std::int64_t now = steady_now_ns();
+    if (now >= until) return;
+    std::this_thread::sleep_for(
+        std::min(std::chrono::nanoseconds(until - now), std::chrono::nanoseconds(1'000'000)));
+  }
 }
 
 SmbServerStats SmbServer::stats() const {

@@ -20,10 +20,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <stdexcept>
@@ -48,6 +50,13 @@ struct Handle {
 class SmbError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Attach target does not exist (yet) — the one SmbError worth retrying:
+/// a slave may race the master's segment creation (Fig. 2 steps 1-3).
+class SmbNotFound : public SmbError {
+ public:
+  using SmbError::SmbError;
 };
 
 struct SmbServerOptions {
@@ -124,7 +133,24 @@ class SmbServer {
   [[nodiscard]] std::uint64_t version(Handle handle) const;
 
   /// Blocks until version(handle) >= min_version; returns the version seen.
+  /// Thin forwarder over the deadline overload — prefer that one: an
+  /// unbounded wait on a segment whose writer died never returns.
   std::uint64_t wait_version_at_least(Handle handle, std::uint64_t min_version) const;
+
+  /// Blocks until version(handle) >= min_version or `timeout` elapses.
+  /// Returns the version seen, or nullopt on timeout.
+  std::optional<std::uint64_t> wait_version_at_least(
+      Handle handle, std::uint64_t min_version, std::chrono::nanoseconds timeout) const;
+
+  // --- fault injection -----------------------------------------------------
+
+  /// Simulates a server freeze (GC pause, kernel-module hiccup, overloaded
+  /// memory node): every float data-path operation entering during the next
+  /// `duration` blocks until the freeze lifts.  Counter segments — the
+  /// progress board — stay live, matching a stalled data plane with a
+  /// responsive control plane.  Repeated calls extend the window.
+  void freeze_for(std::chrono::nanoseconds duration);
+  [[nodiscard]] bool frozen() const;
 
   [[nodiscard]] SmbServerStats stats() const;
   [[nodiscard]] std::int64_t capacity_bytes() const { return options_.capacity_bytes; }
@@ -148,8 +174,13 @@ class SmbServer {
   [[nodiscard]] std::shared_ptr<Segment> find(Handle handle) const;
   [[nodiscard]] std::shared_ptr<Segment> find(Handle handle, Kind kind) const;
   static std::int64_t footprint(const Segment& segment);
+  static const char* kind_name(Kind kind);
+  /// Blocks the calling thread while a freeze window is active.
+  void block_while_frozen() const;
 
   SmbServerOptions options_;
+  /// steady_clock time (ns since epoch) until which the data path is frozen.
+  std::atomic<std::int64_t> frozen_until_ns_{0};
   mutable std::shared_mutex table_mutex_;  // guards the maps + stats + ids
   std::unordered_map<std::uint64_t, std::shared_ptr<Segment>> by_access_key_;
   std::unordered_map<ShmKey, std::uint64_t> key_to_access_;  // canonical access key

@@ -1,0 +1,511 @@
+// Tests for the fault-injection subsystem and graceful degradation:
+// deterministic plan generation, the injector query API, the SMB deadline /
+// retry / error-reporting hardening, fabric capacity windows and datagram
+// drops, and the functional trainer surviving a mid-run worker crash under
+// every termination criterion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/sim_platforms.h"
+#include "core/config.h"
+#include "core/sim_shmcaffe.h"
+#include "core/trainer.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+#include "smb/client.h"
+#include "smb/server.h"
+
+namespace shmcaffe {
+namespace {
+
+using fault::FaultEvent;
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultPlanSpec;
+
+FaultPlanSpec busy_spec(std::uint64_t seed) {
+  FaultPlanSpec spec;
+  spec.seed = seed;
+  spec.workers = 8;
+  spec.horizon_iterations = 50;
+  spec.horizon_seconds = 5.0;
+  spec.crash_probability = 0.5;
+  spec.stall_probability = 0.5;
+  spec.mean_stall_seconds = 0.2;
+  spec.servers = 2;
+  spec.freeze_probability = 0.5;
+  spec.mean_freeze_seconds = 0.3;
+  spec.links = 4;
+  spec.link_flap_probability = 0.5;
+  spec.mean_flap_seconds = 0.1;
+  spec.datagram_count = 1000;
+  spec.datagram_drop_rate = 0.05;
+  return spec;
+}
+
+// --- plan determinism (satellite 3a) ---
+
+TEST(FaultPlan, SameSeedSameSpecIsBitIdentical) {
+  const FaultPlanSpec spec = busy_spec(0x5eed);
+  const FaultPlan a = FaultPlan::generate(spec);
+  const FaultPlan b = FaultPlan::generate(spec);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  // Bit-identical event sequence, element by element.
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultPlan, DifferentSeedDiverges) {
+  const FaultPlan a = FaultPlan::generate(busy_spec(1));
+  const FaultPlan b = FaultPlan::generate(busy_spec(2));
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultPlan, FingerprintIsOrderSensitive) {
+  FaultEvent crash;
+  crash.kind = FaultKind::kWorkerCrash;
+  crash.target = 1;
+  crash.iteration = 5;
+  FaultEvent stall;
+  stall.kind = FaultKind::kWorkerStall;
+  stall.target = 2;
+  stall.iteration = 3;
+  stall.duration_seconds = 0.5;
+  FaultPlan ab;
+  ab.add(crash);
+  ab.add(stall);
+  FaultPlan ba;
+  ba.add(stall);
+  ba.add(crash);
+  EXPECT_NE(ab.fingerprint(), ba.fingerprint());
+}
+
+TEST(FaultPlan, DescribeMentionsEveryEvent) {
+  const FaultPlan plan = FaultPlan::generate(busy_spec(0xd00d));
+  const std::string text = plan.describe();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            plan.size());
+}
+
+// --- injector queries ---
+
+TEST(FaultInjector, IndexesWorkerAndWindowEvents) {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kWorkerCrash;
+  crash.target = 1;
+  crash.iteration = 7;
+  plan.add(crash);
+  FaultEvent stall;
+  stall.kind = FaultKind::kWorkerStall;
+  stall.target = 0;
+  stall.iteration = 3;
+  stall.duration_seconds = 0.25;
+  plan.add(stall);
+  FaultEvent flap;
+  flap.kind = FaultKind::kLinkDown;
+  flap.target = 2;
+  flap.start_seconds = 1.0;
+  flap.duration_seconds = 0.5;
+  plan.add(flap);
+  FaultEvent drop;
+  drop.kind = FaultKind::kDatagramDrop;
+  drop.sequence = 42;
+  plan.add(drop);
+
+  const FaultInjector injector(plan);
+  EXPECT_EQ(injector.crash_iteration(1), 7);
+  EXPECT_EQ(injector.crash_iteration(0), -1);
+  EXPECT_FALSE(injector.crashes_at(1, 6));
+  EXPECT_TRUE(injector.crashes_at(1, 7));
+  EXPECT_TRUE(injector.crashes_at(1, 8));
+  EXPECT_DOUBLE_EQ(injector.stall_seconds(0, 3), 0.25);
+  EXPECT_DOUBLE_EQ(injector.stall_seconds(0, 4), 0.0);
+  ASSERT_EQ(injector.link_windows(2).size(), 1u);
+  EXPECT_TRUE(injector.link_windows(3).empty());
+  EXPECT_TRUE(injector.drops_datagram(42));
+  EXPECT_FALSE(injector.drops_datagram(41));
+  EXPECT_EQ(injector.dropped_sequences(), std::vector<std::uint64_t>{42});
+}
+
+// --- SMB deadline wait (satellite 3c) ---
+
+TEST(SmbDeadline, TimedWaitExpiresWithinTolerance) {
+  smb::SmbServer server;
+  const smb::Handle g = server.create_floats(1, 4);
+  const auto start = std::chrono::steady_clock::now();
+  const std::optional<std::uint64_t> seen =
+      server.wait_version_at_least(g, 5, std::chrono::milliseconds(50));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(seen.has_value());
+  EXPECT_GE(elapsed, std::chrono::milliseconds(50));
+  // Generous upper bound: scheduling noise on a loaded single-core box.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  server.release(g);
+}
+
+TEST(SmbDeadline, TimedWaitReturnsVersionWhenNotified) {
+  smb::SmbServer server;
+  const smb::Handle g = server.create_floats(1, 4);
+  std::optional<std::uint64_t> seen;
+  std::thread waiter(
+      [&] { seen = server.wait_version_at_least(g, 1, std::chrono::seconds(30)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.write(g, std::vector<float>{1, 2, 3, 4});
+  waiter.join();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_GE(*seen, 1u);
+  server.release(g);
+}
+
+// --- SMB error reporting (satellite 2) ---
+
+TEST(SmbErrors, DoubleReleaseThrowsClearError) {
+  smb::SmbServer server;
+  const smb::Handle g = server.create_floats(7, 4);
+  server.release(g);
+  try {
+    server.release(g);
+    FAIL() << "double release must throw";
+  } catch (const smb::SmbError& e) {
+    EXPECT_NE(std::string(e.what()).find("release"), std::string::npos);
+  }
+}
+
+TEST(SmbErrors, KindMismatchNamesTheKey) {
+  smb::SmbServer server;
+  const smb::Handle g = server.create_floats(123, 4);
+  try {
+    (void)server.attach_counters(123);
+    FAIL() << "kind mismatch must throw";
+  } catch (const smb::SmbError& e) {
+    EXPECT_NE(std::string(e.what()).find("123"), std::string::npos);
+  }
+  server.release(g);
+}
+
+TEST(SmbErrors, MissingKeyThrowsNotFound) {
+  smb::SmbServer server;
+  EXPECT_THROW((void)server.attach_floats(999), smb::SmbNotFound);
+}
+
+// --- SmbClient retry (tentpole, functional side) ---
+
+TEST(SmbClient, AttachRetriesUntilSegmentAppears) {
+  smb::SmbServer server;
+  smb::RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(5);
+  smb::SmbClient client(server, policy);
+  std::thread creator([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    (void)server.create_floats(55, 16);
+  });
+  const smb::Handle h = client.attach_floats(55);  // races the creator
+  creator.join();
+  std::vector<float> probe(16);
+  client.read(h, probe);
+  client.release(h);
+}
+
+TEST(SmbClient, AttachGivesUpAfterBudget) {
+  smb::SmbServer server;
+  smb::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::microseconds(100);
+  smb::SmbClient client(server, policy);
+  EXPECT_THROW((void)client.attach_floats(777), smb::SmbNotFound);
+}
+
+TEST(SmbClient, KindMismatchIsNotRetried) {
+  smb::SmbServer server;
+  (void)server.create_floats(9, 4);
+  smb::RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff = std::chrono::seconds(1);  // a retry would hang the test
+  smb::SmbClient client(server, policy);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.attach_counters(9), smb::SmbError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(500));
+}
+
+TEST(SmbClient, BackoffGrowsAndClamps) {
+  smb::RetryPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.backoff_multiplier = 2.0;
+  policy.jitter = 0.0;
+  policy.max_backoff = std::chrono::milliseconds(4);
+  common::Rng rng(1);
+  EXPECT_EQ(smb::backoff_delay(policy, 1, rng), std::chrono::milliseconds(1));
+  EXPECT_EQ(smb::backoff_delay(policy, 2, rng), std::chrono::milliseconds(2));
+  EXPECT_EQ(smb::backoff_delay(policy, 3, rng), std::chrono::milliseconds(4));
+  EXPECT_EQ(smb::backoff_delay(policy, 4, rng), std::chrono::milliseconds(4));  // clamped
+}
+
+// --- SMB server freeze window ---
+
+TEST(SmbFreeze, DataPathBlocksUntilFreezeLifts) {
+  smb::SmbServer server;
+  const smb::Handle g = server.create_floats(1, 4);
+  server.freeze_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(server.frozen());
+  const auto start = std::chrono::steady_clock::now();
+  server.write(g, std::vector<float>{1, 2, 3, 4});
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(40));
+  EXPECT_FALSE(server.frozen());
+  server.release(g);
+}
+
+// --- fabric capacity windows + datagram drops (tentpole, simulated side) ---
+
+/// Awaits one transfer and records the sim time it completed at (the window
+/// coroutines keep the simulation alive past the transfer, so `sim.now()`
+/// after run() is not the completion time).
+sim::Task<void> timed_transfer(sim::Simulation& sim, net::Fabric& fabric,
+                               net::LinkId link, std::int64_t bytes, SimTime& done_at) {
+  co_await fabric.transfer(link, bytes);
+  done_at = sim.now();
+}
+
+TEST(FabricFaults, DownWindowStallsAndResumesFlows) {
+  sim::Simulation sim;
+  net::FabricOptions opts;
+  opts.efficiency = 1.0;
+  opts.message_latency = 0;
+  net::Fabric fabric(sim, opts);
+  const net::LinkId link = fabric.add_link("l", 1000.0);  // 1000 B/s
+  // 1000 bytes = 1 s of transfer; a 0.5 s outage window starting at 0.25 s
+  // pushes completion to exactly 1.5 s.
+  fabric.schedule_capacity_window(link, units::from_seconds(0.25),
+                                  units::from_seconds(0.5), 0.0);
+  SimTime done_at = 0;
+  sim.spawn(timed_transfer(sim, fabric, link, 1000, done_at));
+  sim.run();
+  EXPECT_NEAR(units::to_seconds(done_at), 1.5, 1e-6);
+}
+
+TEST(FabricFaults, DegradeWindowSlowsFlows) {
+  sim::Simulation sim;
+  net::FabricOptions opts;
+  opts.efficiency = 1.0;
+  opts.message_latency = 0;
+  net::Fabric fabric(sim, opts);
+  const net::LinkId link = fabric.add_link("l", 1000.0);
+  // Half rate for the entire transfer: 1000 bytes take 2 s.
+  fabric.schedule_capacity_window(link, 0, units::from_seconds(10.0), 0.5);
+  SimTime done_at = 0;
+  sim.spawn(timed_transfer(sim, fabric, link, 1000, done_at));
+  sim.run();
+  EXPECT_NEAR(units::to_seconds(done_at), 2.0, 1e-6);
+}
+
+TEST(FabricFaults, DroppedTransferPaysRetransmit) {
+  sim::Simulation sim;
+  net::FabricOptions opts;
+  opts.efficiency = 1.0;
+  opts.message_latency = units::kMillisecond;
+  net::Fabric fabric(sim, opts);
+  const net::LinkId link = fabric.add_link("l", 1000.0);
+  fabric.set_dropped_transfers({0});
+  SimTime done_at = 0;
+  sim.spawn(timed_transfer(sim, fabric, link, 500, done_at));  // seq 0: dropped once
+  sim.run();
+  // Two attempts: 2 * (1 ms latency + 0.5 s payload).
+  EXPECT_NEAR(units::to_seconds(done_at), 2 * (0.001 + 0.5), 1e-6);
+  EXPECT_EQ(fabric.stats(link).transfers, 2);
+  EXPECT_EQ(fabric.transfer_count(), 1u);
+}
+
+// --- simulated stacks under a shared plan ---
+
+TEST(SimFaults, ShmCaffeSurvivesCrashSyncBaselineTruncates) {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kWorkerCrash;
+  crash.target = 2;
+  crash.iteration = 10;
+  plan.add(crash);
+  const FaultInjector injector(plan);
+
+  core::SimShmCaffeOptions async_opts;
+  async_opts.workers = 4;
+  async_opts.group_size = 1;
+  async_opts.iterations = 40;
+  async_opts.faults = &injector;
+  const cluster::PlatformTiming async = core::simulate_shmcaffe(async_opts);
+  // Survivors complete the full 40; the crashed worker contributes 10.
+  EXPECT_EQ(async.completed_worker_iterations, 3 * 40 + 10);
+  EXPECT_EQ(async.crashed_workers, 1);
+  EXPECT_GT(async.makespan, 0);
+
+  baselines::SimPlatformOptions sync_opts;
+  sync_opts.workers = 4;
+  sync_opts.iterations = 40;
+  sync_opts.faults = &injector;
+  const cluster::PlatformTiming sync = baselines::simulate_caffe(sync_opts);
+  // The synchronous platform halts at the crash: nobody passes iteration 10.
+  EXPECT_EQ(sync.completed_worker_iterations, 4 * 10);
+  EXPECT_EQ(sync.crashed_workers, 1);
+}
+
+TEST(SimFaults, StallChargesOnlyTheAsyncStragglerButAllSyncWorkers) {
+  FaultPlan plan;
+  FaultEvent stall;
+  stall.kind = FaultKind::kWorkerStall;
+  stall.target = 1;
+  stall.iteration = 5;
+  stall.duration_seconds = 2.0;
+  plan.add(stall);
+  const FaultInjector injector(plan);
+
+  core::SimShmCaffeOptions a;
+  a.workers = 4;
+  a.group_size = 1;
+  a.iterations = 20;
+  const cluster::PlatformTiming clean = core::simulate_shmcaffe(a);
+  a.faults = &injector;
+  const cluster::PlatformTiming stalled = core::simulate_shmcaffe(a);
+
+  baselines::SimPlatformOptions s;
+  s.workers = 4;
+  s.iterations = 20;
+  const cluster::PlatformTiming sync_clean = baselines::simulate_caffe(s);
+  s.faults = &injector;
+  const cluster::PlatformTiming sync_stalled = baselines::simulate_caffe(s);
+
+  // Async: the stall stretches the makespan at most ~one stall (the other
+  // workers keep going).  Sync: the whole platform pays it too; both lose
+  // >= the stall, but the async mean iteration over all workers moves less
+  // than the sync one (3 of 4 async workers never see the stall).
+  const double async_penalty = units::to_seconds(stalled.makespan - clean.makespan);
+  const double sync_penalty =
+      units::to_seconds(sync_stalled.makespan - sync_clean.makespan);
+  EXPECT_NEAR(sync_penalty, 2.0, 0.1);
+  EXPECT_LT(async_penalty, 3.0);
+  EXPECT_LT(stalled.mean_iteration() - clean.mean_iteration(),
+            sync_stalled.mean_iteration() - sync_clean.mean_iteration());
+}
+
+TEST(SimFaults, SimulatedRunsAreDeterministic) {
+  const FaultInjector injector(FaultPlan::generate(busy_spec(0xabc)));
+  core::SimShmCaffeOptions opts;
+  opts.workers = 8;
+  opts.group_size = 2;
+  opts.iterations = 30;
+  opts.faults = &injector;
+  const cluster::PlatformTiming a = core::simulate_shmcaffe(opts);
+  const cluster::PlatformTiming b = core::simulate_shmcaffe(opts);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.mean_comp, b.mean_comp);
+  EXPECT_EQ(a.mean_comm, b.mean_comm);
+  EXPECT_EQ(a.completed_worker_iterations, b.completed_worker_iterations);
+}
+
+// --- trainer graceful degradation (tentpole + satellite 3b) ---
+
+core::DistTrainOptions degraded_train_options(core::TerminationCriterion criterion) {
+  core::DistTrainOptions options;
+  options.model_family = "mlp";
+  options.workers = 4;
+  options.group_size = 1;
+  options.input = dl::ModelInputSpec{1, 12, 12, 6};
+  options.train_data.channels = 1;
+  options.train_data.height = 12;
+  options.train_data.width = 12;
+  options.train_data.classes = 6;
+  options.train_data.size = 1536;
+  options.train_data.noise_stddev = 0.25;
+  options.test_data = options.train_data;
+  options.test_data.size = 384;
+  options.test_data.seed = 0x7e57;
+  options.batch_size = 16;
+  options.epochs = 4;
+  options.termination = criterion;
+  options.heartbeat_timeout_seconds = 0.5;
+  return options;
+}
+
+class TrainerDegradation
+    : public ::testing::TestWithParam<core::TerminationCriterion> {};
+
+TEST_P(TrainerDegradation, SurvivorsFinishWhenOneWorkerCrashes) {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kWorkerCrash;
+  crash.target = 2;
+  crash.iteration = 3;
+  plan.add(crash);
+  const FaultInjector injector(plan);
+
+  core::DistTrainOptions options = degraded_train_options(GetParam());
+  options.faults = &injector;
+  const core::TrainResult result = core::train_shmcaffe(options);
+
+  ASSERT_EQ(result.worker_outcomes.size(), 4u);
+  EXPECT_EQ(result.worker_outcomes[2], core::WorkerOutcome::kCrashed);
+  EXPECT_EQ(result.dead_workers, std::vector<int>{2});
+  for (int w : {0, 1, 3}) {
+    EXPECT_EQ(result.worker_outcomes[static_cast<std::size_t>(w)],
+              core::WorkerOutcome::kFinished)
+        << "worker " << w;
+    EXPECT_GT(result.iterations_per_worker[static_cast<std::size_t>(w)], 3);
+  }
+  // The crashed worker stopped where the plan says it did.
+  EXPECT_EQ(result.iterations_per_worker[2], 3);
+  // Survivors still converge on the shared global weights.
+  EXPECT_GT(result.final_accuracy, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCriteria, TrainerDegradation,
+    ::testing::Values(core::TerminationCriterion::kMasterFinishes,
+                      core::TerminationCriterion::kFirstFinisher,
+                      core::TerminationCriterion::kAverageIterations));
+
+TEST(TrainerDegradation2, CrashOfMasterFallsBackToActingMaster) {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kWorkerCrash;
+  crash.target = 0;  // the master itself dies
+  crash.iteration = 3;
+  plan.add(crash);
+  const FaultInjector injector(plan);
+
+  core::DistTrainOptions options =
+      degraded_train_options(core::TerminationCriterion::kMasterFinishes);
+  options.faults = &injector;
+  const core::TrainResult result = core::train_shmcaffe(options);
+  EXPECT_EQ(result.dead_workers, std::vector<int>{0});
+  for (int w : {1, 2, 3}) {
+    EXPECT_EQ(result.worker_outcomes[static_cast<std::size_t>(w)],
+              core::WorkerOutcome::kFinished);
+  }
+}
+
+TEST(TrainerDegradation2, FaultFreePlanLeavesResultClean) {
+  const FaultInjector injector{FaultPlan{}};
+  core::DistTrainOptions options =
+      degraded_train_options(core::TerminationCriterion::kAverageIterations);
+  options.faults = &injector;
+  const core::TrainResult result = core::train_shmcaffe(options);
+  EXPECT_TRUE(result.dead_workers.empty());
+  for (const core::WorkerOutcome outcome : result.worker_outcomes) {
+    EXPECT_EQ(outcome, core::WorkerOutcome::kFinished);
+  }
+  EXPECT_GT(result.final_accuracy, 0.7);
+}
+
+}  // namespace
+}  // namespace shmcaffe

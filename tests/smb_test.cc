@@ -182,12 +182,14 @@ TEST(SmbServer, VersionBumpsOnEveryMutation) {
 TEST(SmbServer, WaitVersionBlocksUntilNotified) {
   SmbServer server;
   const Handle g = server.create_floats(1, 4);
-  std::uint64_t seen = 0;
-  std::thread waiter([&] { seen = server.wait_version_at_least(g, 1); });
+  std::optional<std::uint64_t> seen;
+  std::thread waiter(
+      [&] { seen = server.wait_version_at_least(g, 1, std::chrono::seconds(30)); });
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   server.write(g, std::vector<float>{1, 2, 3, 4});
   waiter.join();
-  EXPECT_GE(seen, 1u);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_GE(*seen, 1u);
 }
 
 TEST(SmbServer, StatsTrackOperations) {
