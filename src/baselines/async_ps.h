@@ -17,10 +17,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "core/config.h"
 
 namespace shmcaffe::baselines {
@@ -43,7 +43,9 @@ class ParameterServer {
   [[nodiscard]] std::uint64_t update_count() const;
 
  private:
-  mutable std::mutex mutex_;
+  /// Leaf lock: pull/push/initialize copy under it and acquire nothing else.
+  mutable common::OrderedMutex mutex_{"baselines.async_ps.weights",
+                                      common::lockrank::kAsyncPsWeights};
   std::vector<float> weights_;
   std::uint64_t updates_ = 0;
 };

@@ -1,0 +1,216 @@
+#include "common/ordered_mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace shmcaffe::common {
+
+struct LockOrderRegistry::Impl {
+  mutable std::mutex mutex;  // the detector's own lock; never instrumented
+  std::map<std::string, std::set<std::string>> graph;  // holder -> acquired
+  std::size_t edges = 0;
+  std::vector<std::string> violations;
+  std::set<std::string> violation_keys;
+  std::atomic<std::uint64_t> epoch{0};
+
+  /// True if `to` is reachable from `from` in the acquisition graph.
+  /// Appends the path (excluding `from`) to `path` when found.
+  bool reachable(const std::string& from, const std::string& to,
+                 std::set<std::string>& visited, std::vector<std::string>& path) const {
+    if (from == to) return true;
+    if (!visited.insert(from).second) return false;
+    const auto it = graph.find(from);
+    if (it == graph.end()) return false;
+    for (const std::string& next : it->second) {
+      path.push_back(next);
+      if (reachable(next, to, visited, path)) return true;
+      path.pop_back();
+    }
+    return false;
+  }
+
+  /// Records a deduplicated violation; prints it once so ctest logs show
+  /// the problem even when no assertion inspects the registry.
+  void report(const std::string& key, const std::string& description) {
+    if (!violation_keys.insert(key).second) return;
+    violations.push_back(description);
+    std::fprintf(stderr, "lock-order violation: %s\n", description.c_str());
+  }
+};
+
+LockOrderRegistry::Impl& LockOrderRegistry::impl() const {
+  static Impl storage;
+  return storage;
+}
+
+LockOrderRegistry& LockOrderRegistry::instance() {
+  static LockOrderRegistry registry;
+  return registry;
+}
+
+std::vector<std::string> LockOrderRegistry::violations() const {
+  Impl& impl = this->impl();
+  std::scoped_lock lock(impl.mutex);
+  return impl.violations;
+}
+
+std::size_t LockOrderRegistry::violation_count() const {
+  Impl& impl = this->impl();
+  std::scoped_lock lock(impl.mutex);
+  return impl.violations.size();
+}
+
+std::size_t LockOrderRegistry::edge_count() const {
+  Impl& impl = this->impl();
+  std::scoped_lock lock(impl.mutex);
+  return impl.edges;
+}
+
+void LockOrderRegistry::clear() {
+  Impl& impl = this->impl();
+  std::scoped_lock lock(impl.mutex);
+  impl.graph.clear();
+  impl.edges = 0;
+  impl.violations.clear();
+  impl.violation_keys.clear();
+  impl.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+namespace {
+
+/// Locks this thread currently holds, outermost first.  Guards may release
+/// out of order, so this is a set-like vector, not a strict stack.
+std::vector<const LockSite*>& held_locks() {
+  thread_local std::vector<const LockSite*> held;
+  return held;
+}
+
+/// Per-thread memo of (holder, acquired) name pairs already pushed to the
+/// registry, so steady-state locking never touches the global mutex.
+/// Invalidated when the registry epoch changes (tests call clear()).
+struct EdgeMemo {
+  std::uint64_t epoch = ~0ULL;
+  std::set<std::pair<const char*, const char*>> seen;
+};
+
+EdgeMemo& edge_memo() {
+  thread_local EdgeMemo memo;
+  return memo;
+}
+
+}  // namespace
+
+void before_blocking_acquire(const LockSite& site) {
+  const std::vector<const LockSite*>& held = held_locks();
+  if (held.empty()) return;
+
+  LockOrderRegistry::Impl& impl = LockOrderRegistry::instance().impl();
+  EdgeMemo& memo = edge_memo();
+  const std::uint64_t epoch = impl.epoch.load(std::memory_order_relaxed);
+  if (memo.epoch != epoch) {
+    memo.seen.clear();
+    memo.epoch = epoch;
+  }
+
+  for (const LockSite* holder : held) {
+    // First sighting of this (holder, acquired) pair on this thread hits
+    // the registry; afterwards the acquire is lock-free for this thread.
+    if (!memo.seen.insert({holder->name, site.name}).second) continue;
+    const bool rank_inverted = holder->rank >= site.rank;
+    const auto edge = std::make_pair(std::string(holder->name), std::string(site.name));
+
+    std::scoped_lock lock(impl.mutex);
+    if (rank_inverted) {
+      impl.report("rank:" + edge.first + "->" + edge.second,
+                  "rank inversion: acquiring '" + edge.second + "' (rank " +
+                      std::to_string(site.rank) + ") while holding '" + edge.first +
+                      "' (rank " + std::to_string(holder->rank) + ")");
+    }
+    if (impl.graph[edge.first].insert(edge.second).second) {
+      impl.edges += 1;
+      // The new holder -> acquired edge closes a cycle iff the holder was
+      // already reachable from the acquired lock.
+      std::set<std::string> visited;
+      std::vector<std::string> path;
+      if (impl.reachable(edge.second, edge.first, visited, path)) {
+        std::string description = "lock-order cycle: " + edge.first + " -> " + edge.second;
+        for (const std::string& node : path) description += " -> " + node;
+        impl.report("cycle:" + edge.first + "->" + edge.second, description);
+      }
+    }
+  }
+}
+
+void on_acquired(const LockSite& site) { held_locks().push_back(&site); }
+
+void on_released(const LockSite& site) {
+  std::vector<const LockSite*>& held = held_locks();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == &site) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+void OrderedMutex::lock() {
+  detail::before_blocking_acquire(site_);
+  mutex_.lock();  // lint:allow(raii-lock) — the RAII wrapper's own implementation
+  detail::on_acquired(site_);
+}
+
+bool OrderedMutex::try_lock() {
+  // No rank check / edge: a try-lock cannot block, hence cannot deadlock
+  // (this is the std::lock / scoped_lock multi-lock protocol).
+  if (!mutex_.try_lock()) return false;  // lint:allow(raii-lock) — wrapper internals
+  detail::on_acquired(site_);
+  return true;
+}
+
+void OrderedMutex::unlock() {
+  detail::on_released(site_);
+  mutex_.unlock();  // lint:allow(raii-lock) — the RAII wrapper's own implementation
+}
+
+void OrderedSharedMutex::lock() {
+  detail::before_blocking_acquire(site_);
+  mutex_.lock();  // lint:allow(raii-lock) — the RAII wrapper's own implementation
+  detail::on_acquired(site_);
+}
+
+bool OrderedSharedMutex::try_lock() {
+  if (!mutex_.try_lock()) return false;  // lint:allow(raii-lock) — wrapper internals
+  detail::on_acquired(site_);
+  return true;
+}
+
+void OrderedSharedMutex::unlock() {
+  detail::on_released(site_);
+  mutex_.unlock();  // lint:allow(raii-lock) — the RAII wrapper's own implementation
+}
+
+void OrderedSharedMutex::lock_shared() {
+  detail::before_blocking_acquire(site_);
+  mutex_.lock_shared();  // lint:allow(raii-lock) — the RAII wrapper's own implementation
+  detail::on_acquired(site_);
+}
+
+bool OrderedSharedMutex::try_lock_shared() {
+  if (!mutex_.try_lock_shared()) return false;  // lint:allow(raii-lock) — wrapper internals
+  detail::on_acquired(site_);
+  return true;
+}
+
+void OrderedSharedMutex::unlock_shared() {
+  detail::on_released(site_);
+  mutex_.unlock_shared();  // lint:allow(raii-lock) — the RAII wrapper's own implementation
+}
+
+}  // namespace shmcaffe::common

@@ -1,0 +1,156 @@
+// Instrumented mutexes with lock-order (deadlock-potential) detection.
+//
+// Every long-lived mutex in the concurrent stacks is an OrderedMutex (or
+// OrderedSharedMutex) carrying a *name* and a *rank* from the global table
+// below.  The wrappers are drop-in Lockable / SharedLockable types, so the
+// usual RAII guards (std::scoped_lock, unique_lock, shared_lock) and
+// std::condition_variable_any keep working.  On every *blocking* acquire
+// the calling thread checks the locks it already holds and reports to the
+// process-wide LockOrderRegistry:
+//
+//   * a rank inversion — acquiring a mutex whose rank is <= the highest
+//     rank already held (lock ranks must strictly increase along any
+//     acquisition chain), and
+//   * a lock-order cycle — the new (held -> acquired) edge closes a cycle
+//     in the cumulative acquisition graph (a potential deadlock even if
+//     this particular interleaving did not deadlock).
+//
+// try_lock acquisitions are tracked as held but add no edges and skip the
+// rank check: a try-lock cannot block, so it cannot deadlock — this is
+// exactly how std::scoped_lock/std::lock acquire same-rank mutex pairs
+// (e.g. two SMB segment locks in accumulate()).
+//
+// Violations are recorded, deduplicated, and printed to stderr once; tests
+// assert `LockOrderRegistry::instance().violations().empty()` after driving
+// the concurrency suites (see tests/ordered_mutex_test.cc and the LockOrder
+// guard tests).  Detection is cheap: the per-thread held list is a tiny
+// vector, and the global registry is consulted only the first time a thread
+// sees a given edge.
+//
+// Global rank table (documented in DESIGN.md §"Lock ordering"): ranks
+// strictly increase from outermost to innermost acquisition.
+//
+//   rank | name                        | holder
+//   -----+-----------------------------+------------------------------------
+//   100  | core.progress_board.sweep   | ProgressBoard dead-worker sweeps
+//   200  | smb.server.segment          | per-segment data mutex (SmbServer)
+//   210  | smb.server.table            | SmbServer segment table + stats
+//   300  | baselines.async_ps.weights  | classic parameter-server weights
+//   400  | minimpi.mailbox             | per-rank MiniMPI mailbox
+//   410  | minimpi.barrier             | MiniMPI barrier state
+//
+// Observed orderings the table encodes: a progress-board sweep (100) reads
+// and writes SMB counters, which take the table lock (210); SmbServer::read
+// takes the table lock (210) for stats while holding a segment lock (200).
+// MiniMPI and the parameter server are leaf locks: nothing else is acquired
+// under them.  Mutexes of the same rank are only ever acquired together via
+// std::scoped_lock (deadlock-avoiding try-lock protocol).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace shmcaffe::common {
+
+namespace lockrank {
+inline constexpr int kProgressBoardSweep = 100;
+inline constexpr int kSmbSegment = 200;
+inline constexpr int kSmbTable = 210;
+inline constexpr int kAsyncPsWeights = 300;
+inline constexpr int kMpiMailbox = 400;
+inline constexpr int kMpiBarrier = 410;
+}  // namespace lockrank
+
+namespace detail {
+
+/// Identity of one instrumented mutex instance.  `name` doubles as the node
+/// id in the acquisition graph, so all instances of a class (e.g. every SMB
+/// segment) share one node and one documented rank.
+struct LockSite {
+  const char* name;
+  int rank;
+};
+
+/// Pre-acquire bookkeeping for a blocking acquire: rank check + graph edge
+/// recording against everything the thread currently holds.
+void before_blocking_acquire(const LockSite& site);
+/// Marks `site` held by this thread (any acquisition mode).
+void on_acquired(const LockSite& site);
+/// Removes one held entry for `site` (guards may unlock in any order).
+void on_released(const LockSite& site);
+
+}  // namespace detail
+
+/// Process-wide acquisition graph and violation log.
+class LockOrderRegistry {
+ public:
+  static LockOrderRegistry& instance();
+
+  /// Deduplicated violation descriptions, in first-detection order.
+  [[nodiscard]] std::vector<std::string> violations() const;
+  [[nodiscard]] std::size_t violation_count() const;
+
+  /// Distinct (holder -> acquired) edges observed so far.
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Forgets the graph and the violations (tests that deliberately provoke
+  /// an inversion clear the registry afterwards).  Bumps an epoch so other
+  /// threads' memoised edges are re-reported into the fresh graph.
+  void clear();
+
+ private:
+  LockOrderRegistry() = default;
+  friend void detail::before_blocking_acquire(const detail::LockSite& site);
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+/// std::mutex with a name, a rank, and lock-order detection.  Meets
+/// Lockable; use through RAII guards only (the bare lock()/unlock() calls
+/// inside are the wrapper's own business).
+class OrderedMutex {
+ public:
+  OrderedMutex(const char* name, int rank) : site_{name, rank} {}
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  [[nodiscard]] const char* name() const { return site_.name; }
+  [[nodiscard]] int rank() const { return site_.rank; }
+
+ private:
+  std::mutex mutex_;
+  detail::LockSite site_;
+};
+
+/// std::shared_mutex counterpart (SharedLockable).  Shared acquisitions do
+/// the same rank/edge accounting: readers still deadlock writers if the
+/// order cycles.
+class OrderedSharedMutex {
+ public:
+  OrderedSharedMutex(const char* name, int rank) : site_{name, rank} {}
+  OrderedSharedMutex(const OrderedSharedMutex&) = delete;
+  OrderedSharedMutex& operator=(const OrderedSharedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared();
+
+  [[nodiscard]] const char* name() const { return site_.name; }
+  [[nodiscard]] int rank() const { return site_.rank; }
+
+ private:
+  std::shared_mutex mutex_;
+  detail::LockSite site_;
+};
+
+}  // namespace shmcaffe::common

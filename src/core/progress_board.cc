@@ -93,6 +93,9 @@ std::vector<int> ProgressBoard::dead_workers() const {
 }
 
 int ProgressBoard::sweep_dead(double timeout_seconds) {
+  // One sweeper at a time; a peer already scanning covers this caller too.
+  std::unique_lock sweep(sweep_mutex_, std::try_to_lock);
+  if (!sweep.owns_lock()) return 0;
   const auto timeout_ns = static_cast<std::int64_t>(timeout_seconds * 1e9);
   const std::int64_t now = steady_now_ns();
   int newly_dead = 0;

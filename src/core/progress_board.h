@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "core/config.h"
 #include "smb/server.h"
 
@@ -65,7 +66,9 @@ class ProgressBoard {
   [[nodiscard]] std::vector<int> dead_workers() const;
 
   /// Declares every alive worker whose heartbeat is older than
-  /// `timeout_seconds` dead; returns how many were newly declared.
+  /// `timeout_seconds` dead; returns how many were newly declared.  Sweeps
+  /// are serialised: if another thread is already scanning, returns 0
+  /// immediately (that sweep covers this caller too).
   int sweep_dead(double timeout_seconds);
 
   /// The master role for kMasterFinishes: the lowest-indexed non-dead
@@ -100,6 +103,12 @@ class ProgressBoard {
   smb::SmbServer* server_;
   smb::Handle handle_;
   int workers_;
+  /// Serialises dead-worker sweeps: every worker calls should_stop() each
+  /// iteration, and one sweep at a time is enough — concurrent callers
+  /// try-lock and skip instead of queueing behind the scan.  Held across
+  /// SMB counter reads/writes, hence ranked below smb.server.table.
+  common::OrderedMutex sweep_mutex_{"core.progress_board.sweep",
+                                    common::lockrank::kProgressBoardSweep};
 };
 
 }  // namespace shmcaffe::core

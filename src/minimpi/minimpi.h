@@ -26,6 +26,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/ordered_mutex.h"
+
 namespace shmcaffe::minimpi {
 
 inline constexpr int kAnySource = -1;
@@ -57,15 +59,18 @@ class Context {
     std::vector<std::byte> data;
   };
 
+  // Mailbox and barrier locks are leaves of the global lock order: nothing
+  // else is ever acquired while one is held (delivery copies the payload in
+  // and out under the lock, and the barrier only touches its own state).
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
+    common::OrderedMutex mutex{"minimpi.mailbox", common::lockrank::kMpiMailbox};
+    std::condition_variable_any cv;
     std::deque<Message> messages;
   };
 
   struct BarrierState {
-    std::mutex mutex;
-    std::condition_variable cv;
+    common::OrderedMutex mutex{"minimpi.barrier", common::lockrank::kMpiBarrier};
+    std::condition_variable_any cv;
     int arrived = 0;
     std::uint64_t generation = 0;
   };

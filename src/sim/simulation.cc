@@ -9,7 +9,7 @@ namespace detail {
 
 std::coroutine_handle<> RootCoro::FinalAwaiter::await_suspend(Handle h) const noexcept {
   Simulation* sim = h.promise().sim;
-  sim->unregister_root(h.address());
+  sim->unregister_root(h.promise().root_id);
   h.destroy();
   return std::noop_coroutine();
 }
@@ -43,11 +43,12 @@ void JoinHandle::rethrow() const {
 }
 
 Simulation::~Simulation() {
-  // Destroy still-suspended processes.  Copy first: destroying a root frame
-  // never re-enters the registry (only the final awaiter unregisters, and we
-  // are not resuming anything here).
-  const std::unordered_set<void*> roots = live_roots_;
-  for (void* address : roots) {
+  // Destroy still-suspended processes in spawn order (the map is keyed by
+  // spawn sequence, so destruction order is deterministic).  Copy first:
+  // destroying a root frame never re-enters the registry (only the final
+  // awaiter unregisters, and we are not resuming anything here).
+  const std::map<std::uint64_t, void*> roots = live_roots_;
+  for (const auto& [id, address] : roots) {
     detail::RootCoro::Handle::from_address(address).destroy();
   }
 }
@@ -57,7 +58,8 @@ JoinHandle Simulation::spawn(Task<void> body) {
   state->sim = this;
   detail::RootCoro root = detail::run_root(std::move(body), state);
   root.handle.promise().sim = this;
-  live_roots_.insert(root.handle.address());
+  root.handle.promise().root_id = next_root_id_++;
+  live_roots_.emplace(root.handle.promise().root_id, root.handle.address());
   schedule_now(root.handle);
   return JoinHandle(std::move(state));
 }

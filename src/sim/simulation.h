@@ -15,9 +15,9 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
@@ -51,6 +51,7 @@ struct RootCoro {
 
   struct promise_type {
     Simulation* sim = nullptr;
+    std::uint64_t root_id = 0;  ///< registry key; spawn order, deterministic
 
     RootCoro get_return_object() { return RootCoro{Handle::from_promise(*this)}; }
     std::suspend_always initial_suspend() noexcept { return {}; }
@@ -143,7 +144,7 @@ class Simulation {
  private:
   friend struct detail::RootCoro::FinalAwaiter;
 
-  void unregister_root(void* address) { live_roots_.erase(address); }
+  void unregister_root(std::uint64_t root_id) { live_roots_.erase(root_id); }
 
   struct QueueEntry {
     SimTime time;
@@ -157,9 +158,15 @@ class Simulation {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_root_id_ = 0;
   std::uint64_t events_dispatched_ = 0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_set<void*> live_roots_;
+  /// Live root frames keyed by spawn sequence.  Deliberately an ordered map
+  /// keyed by a stable id, NOT a pointer-keyed unordered container: the
+  /// destructor iterates it, and frame destruction order must not depend on
+  /// where the allocator placed coroutine frames (ASLR would make traces
+  /// differ run to run).
+  std::map<std::uint64_t, void*> live_roots_;
 };
 
 /// Runs all tasks as concurrent processes and completes when every one has

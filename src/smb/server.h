@@ -26,12 +26,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/ordered_mutex.h"
 
 namespace shmcaffe::smb {
 
@@ -165,7 +166,10 @@ class SmbServer {
     std::vector<std::atomic<std::int64_t>> counters;
     int refcount = 0;
     std::uint64_t version = 0;
-    mutable std::mutex data_mutex;          // guards floats + version
+    /// Guards floats + version.  All segments share one lock rank: pairs
+    /// (accumulate/copy) are only ever taken together via std::scoped_lock.
+    mutable common::OrderedMutex data_mutex{"smb.server.segment",
+                                            common::lockrank::kSmbSegment};
     mutable std::condition_variable_any version_cv;
   };
 
@@ -181,7 +185,10 @@ class SmbServer {
   SmbServerOptions options_;
   /// steady_clock time (ns since epoch) until which the data path is frozen.
   std::atomic<std::int64_t> frozen_until_ns_{0};
-  mutable std::shared_mutex table_mutex_;  // guards the maps + stats + ids
+  /// Guards the maps + stats + ids.  Ranked above the segment locks:
+  /// read() updates stats under the table lock while holding a segment.
+  mutable common::OrderedSharedMutex table_mutex_{"smb.server.table",
+                                                  common::lockrank::kSmbTable};
   std::unordered_map<std::uint64_t, std::shared_ptr<Segment>> by_access_key_;
   std::unordered_map<ShmKey, std::uint64_t> key_to_access_;  // canonical access key
   std::uint64_t next_access_key_ = 1;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baselines/async_ps.h"
+#include "common/ordered_mutex.h"
 
 namespace shmcaffe::baselines {
 namespace {
@@ -99,6 +100,16 @@ TEST(Downpour, InvalidOptionsThrow) {
   DownpourOptions bad;
   bad.fetch_interval = 0;
   EXPECT_THROW(train_downpour(tiny_options(2), bad), std::invalid_argument);
+}
+
+
+// Lock-order guard: the suite above drives the instrumented mutexes hard
+// (weights lock under concurrent push/pull); any rank inversion or acquisition-graph cycle they produced
+// is a latent deadlock.  Runs last in this binary by declaration order.
+TEST(LockOrder, CleanUnderParameterServer) {
+  EXPECT_TRUE(shmcaffe::common::LockOrderRegistry::instance().violations().empty())
+      << shmcaffe::common::LockOrderRegistry::instance().violations().size()
+      << " lock-order violation(s); see stderr for details";
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "coll/pcie_model.h"
+#include "common/ordered_mutex.h"
 #include "core/analytic.h"
 #include "core/config.h"
 #include "core/evaluate.h"
@@ -483,6 +484,16 @@ TEST(TrainShmCaffe, AsyncWorkersAllExchange) {
     // update_interval 2: roughly half the iterations exchange.
     EXPECT_LE(stats.exchanges, stats.iterations / 2 + 1);
   }
+}
+
+
+// Lock-order guard: the suite above drives the instrumented mutexes hard
+// (trainer workers, progress board, SMB); any rank inversion or acquisition-graph cycle they produced
+// is a latent deadlock.  Runs last in this binary by declaration order.
+TEST(LockOrder, CleanUnderTrainerConcurrency) {
+  EXPECT_TRUE(shmcaffe::common::LockOrderRegistry::instance().violations().empty())
+      << shmcaffe::common::LockOrderRegistry::instance().violations().size()
+      << " lock-order violation(s); see stderr for details";
 }
 
 }  // namespace

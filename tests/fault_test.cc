@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "baselines/sim_platforms.h"
+#include "common/ordered_mutex.h"
 #include "core/config.h"
 #include "core/sim_shmcaffe.h"
 #include "core/trainer.h"
@@ -505,6 +506,16 @@ TEST(TrainerDegradation2, FaultFreePlanLeavesResultClean) {
     EXPECT_EQ(outcome, core::WorkerOutcome::kFinished);
   }
   EXPECT_GT(result.final_accuracy, 0.7);
+}
+
+
+// Lock-order guard: the suite above drives the instrumented mutexes hard
+// (SMB freezes, worker crashes, heartbeat sweeps); any rank inversion or acquisition-graph cycle they produced
+// is a latent deadlock.  Runs last in this binary by declaration order.
+TEST(LockOrder, CleanUnderFaultInjection) {
+  EXPECT_TRUE(shmcaffe::common::LockOrderRegistry::instance().violations().empty())
+      << shmcaffe::common::LockOrderRegistry::instance().violations().size()
+      << " lock-order violation(s); see stderr for details";
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// shmcaffe-lint rule tests: one positive (rule fires) and one negative
+// (rule stays silent) fixture per rule, run against in-memory sources, plus
+// the escape hatch, the comment/string scrubber, and the output formats.
+//
+// Fixture code is assembled from ordinary string concatenation on purpose:
+// the real linter also scans THIS file, and literal bodies are scrubbed
+// before rules run, so the forbidden tokens below never trip the repo gate.
+#include "tools/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace shmcaffe::lint {
+namespace {
+
+std::vector<std::string> rules_fired(std::string_view path, std::string_view source) {
+  std::vector<std::string> rules;
+  for (const Finding& finding : lint_source(path, source)) rules.push_back(finding.rule);
+  return rules;
+}
+
+bool fires(std::string_view path, std::string_view source, const std::string& rule) {
+  const std::vector<std::string> fired = rules_fired(path, source);
+  return std::find(fired.begin(), fired.end(), rule) != fired.end();
+}
+
+// --- rng-source ----------------------------------------------------------
+
+TEST(RngSourceRule, FlagsRawEntropyOutsideRngModule) {
+  EXPECT_TRUE(fires("src/dl/layers.cc", "int x = rand();\n", "rng-source"));
+  EXPECT_TRUE(fires("src/core/trainer.cc", "srand(42);\n", "rng-source"));
+  EXPECT_TRUE(fires("tests/foo_test.cc", "std::random_device rd;\n", "rng-source"));
+  EXPECT_TRUE(fires("bench/bench_x.cc", "std::mt19937_64 gen(1);\n", "rng-source"));
+}
+
+TEST(RngSourceRule, AllowsTheRngModuleAndSeededRng) {
+  EXPECT_FALSE(fires("src/common/rng.cc", "int x = rand();\n", "rng-source"));
+  EXPECT_FALSE(fires("src/common/rng.h", "std::mt19937 reference;\n", "rng-source"));
+  EXPECT_FALSE(fires("src/dl/layers.cc", "common::Rng rng(seed);\nrng.uniform();\n",
+                     "rng-source"));
+  // Identifiers merely containing the token are fine.
+  EXPECT_FALSE(fires("src/dl/layers.cc", "int operand(int a);\n", "rng-source"));
+}
+
+// --- wall-clock ----------------------------------------------------------
+
+TEST(WallClockRule, FlagsSystemClockEverywhere) {
+  EXPECT_TRUE(fires("src/core/trainer.cc",
+                    "auto t = std::chrono::system_clock::now();\n", "wall-clock"));
+  EXPECT_TRUE(fires("tests/a_test.cc", "std::chrono::system_clock::now();\n", "wall-clock"));
+}
+
+TEST(WallClockRule, AllowsSteadyClockInFunctionalCode) {
+  EXPECT_FALSE(fires("src/core/trainer.cc",
+                     "auto t = std::chrono::steady_clock::now();\n", "wall-clock"));
+}
+
+// --- sim-wall-clock ------------------------------------------------------
+
+TEST(SimWallClockRule, FlagsWallTimeInSimulatedCode) {
+  EXPECT_TRUE(fires("src/sim/simulation.cc",
+                    "auto t = std::chrono::steady_clock::now();\n", "sim-wall-clock"));
+  EXPECT_TRUE(fires("src/net/fabric.cc",
+                    "std::this_thread::sleep_for(std::chrono::seconds(1));\n",
+                    "sim-wall-clock"));
+  // Any sim_* twin counts as simulated code, wherever it lives.
+  EXPECT_TRUE(fires("src/smb/sim_smb.cc", "steady_clock::now();\n", "sim-wall-clock"));
+  EXPECT_TRUE(
+      fires("src/baselines/sim_platforms.cc", "sleep_until(deadline);\n", "sim-wall-clock"));
+  EXPECT_TRUE(fires("src/minimpi/sim_mpi.cc", "high_resolution_clock::now();\n",
+                    "sim-wall-clock"));
+}
+
+TEST(SimWallClockRule, AllowsWallTimeInFunctionalCode) {
+  EXPECT_FALSE(fires("src/core/trainer.cc", "steady_clock::now();\n", "sim-wall-clock"));
+  EXPECT_FALSE(fires("src/smb/server.cc",
+                     "std::this_thread::sleep_for(std::chrono::seconds(1));\n",
+                     "sim-wall-clock"));
+  EXPECT_FALSE(fires("tests/fault_test.cc", "steady_clock::now();\n", "sim-wall-clock"));
+}
+
+// --- raii-lock -----------------------------------------------------------
+
+TEST(RaiiLockRule, FlagsBareLockAndUnlockOnMutexes) {
+  EXPECT_TRUE(fires("src/smb/server.cc", "table_mutex_.lock();\n", "raii-lock"));
+  EXPECT_TRUE(fires("src/smb/server.cc", "segment->data_mutex.unlock();\n", "raii-lock"));
+  EXPECT_TRUE(fires("src/minimpi/minimpi.cc", "box.mutex.lock();\n", "raii-lock"));
+  EXPECT_TRUE(fires("src/core/trainer.cc", "mtx->try_lock();\n", "raii-lock"));
+  EXPECT_TRUE(fires("src/smb/server.cc", "table_mutex_.lock_shared();\n", "raii-lock"));
+}
+
+TEST(RaiiLockRule, AllowsRaiiGuards) {
+  EXPECT_FALSE(fires("src/smb/server.cc", "std::scoped_lock lock(table_mutex_);\n",
+                     "raii-lock"));
+  EXPECT_FALSE(fires("src/data/loader.cc", "std::unique_lock lock(mutex_);\nlock.unlock();\n",
+                     "raii-lock"));
+  EXPECT_FALSE(fires("src/smb/server.cc", "std::shared_lock lock(table_mutex_);\n",
+                     "raii-lock"));
+}
+
+// --- sim-ptr-container ---------------------------------------------------
+
+TEST(SimPtrContainerRule, FlagsPointerKeyedUnorderedContainersInSim) {
+  EXPECT_TRUE(fires("src/sim/simulation.h", "std::unordered_set<void*> live_roots_;\n",
+                    "sim-ptr-container"));
+  EXPECT_TRUE(fires("src/net/fabric.h",
+                    "std::unordered_map<Flow*, int> flow_index_;\n", "sim-ptr-container"));
+  EXPECT_TRUE(fires("src/smb/sim_smb.h",
+                    "std::unordered_set<const Segment *> dirty_;\n", "sim-ptr-container"));
+}
+
+TEST(SimPtrContainerRule, AllowsValueKeysAndFunctionalCode) {
+  EXPECT_FALSE(fires("src/sim/simulation.h", "std::unordered_set<std::uint64_t> ids_;\n",
+                     "sim-ptr-container"));
+  EXPECT_FALSE(fires("src/sim/simulation.h", "std::map<std::uint64_t, void*> live_roots_;\n",
+                     "sim-ptr-container"));
+  // Functional (non-sim) code may use pointer keys; only sim determinism
+  // is at stake.
+  EXPECT_FALSE(fires("src/smb/server.h", "std::unordered_set<void*> tracked_;\n",
+                     "sim-ptr-container"));
+}
+
+// --- pragma-once ---------------------------------------------------------
+
+TEST(PragmaOnceRule, FlagsHeadersWithoutPragmaOnce) {
+  EXPECT_TRUE(fires("src/dl/tensor.h", "struct Tensor {};\n", "pragma-once"));
+}
+
+TEST(PragmaOnceRule, AllowsGuardedHeadersAndSources) {
+  EXPECT_FALSE(fires("src/dl/tensor.h", "#pragma once\nstruct Tensor {};\n", "pragma-once"));
+  EXPECT_FALSE(fires("src/dl/tensor.cc", "struct Local {};\n", "pragma-once"));
+}
+
+// --- include-hygiene -----------------------------------------------------
+
+TEST(IncludeHygieneRule, FlagsRelativeBareAndAngleProjectIncludes) {
+  EXPECT_TRUE(fires("src/smb/client.cc", "#include \"../smb/server.h\"\n",
+                    "include-hygiene"));
+  EXPECT_TRUE(fires("src/smb/client.cc", "#include \"./server.h\"\n", "include-hygiene"));
+  EXPECT_TRUE(fires("src/smb/client.cc", "#include \"server.h\"\n", "include-hygiene"));
+  EXPECT_TRUE(fires("src/smb/client.cc", "#include <smb/server.h>\n", "include-hygiene"));
+}
+
+TEST(IncludeHygieneRule, AllowsRepoRelativeAndSystemIncludes) {
+  EXPECT_FALSE(fires("src/smb/client.cc", "#include \"smb/server.h\"\n", "include-hygiene"));
+  EXPECT_FALSE(fires("src/smb/client.cc", "#include <vector>\n", "include-hygiene"));
+  EXPECT_FALSE(
+      fires("tests/smb_test.cc", "#include <gtest/gtest.h>\n", "include-hygiene"));
+  EXPECT_FALSE(fires("bench/bench_x.cc", "#include \"bench/bench_util.h\"\n",
+                     "include-hygiene"));
+}
+
+// --- escapes and scrubbing -----------------------------------------------
+
+TEST(LintAllow, SuppressesTheNamedRuleOnThatLineOnly) {
+  const std::string allowed = "int x = rand();  // lint:allow(rng-source) fixture\n";
+  EXPECT_FALSE(fires("src/dl/layers.cc", allowed, "rng-source"));
+  // A different rule's allowance does not suppress.
+  const std::string wrong = "int x = rand();  // lint:allow(wall-clock) wrong rule\n";
+  EXPECT_TRUE(fires("src/dl/layers.cc", wrong, "rng-source"));
+  // The next line is not covered.
+  const std::string next_line = "// lint:allow(rng-source)\nint x = rand();\n";
+  EXPECT_TRUE(fires("src/dl/layers.cc", next_line, "rng-source"));
+}
+
+TEST(Scrubber, IgnoresCommentsAndStringLiterals) {
+  EXPECT_FALSE(fires("src/dl/layers.cc", "// old code used rand() here\n", "rng-source"));
+  EXPECT_FALSE(fires("src/dl/layers.cc", "/* rand() in a block\n   comment */\n",
+                     "rng-source"));
+  EXPECT_FALSE(fires("src/dl/layers.cc", "const char* s = \"rand()\";\n", "rng-source"));
+  EXPECT_FALSE(fires("src/sim/simulation.cc",
+                     "log(\"no steady_clock in sim\"); // steady_clock is banned\n",
+                     "sim-wall-clock"));
+  // But code after a comment-looking string still counts.
+  EXPECT_TRUE(fires("src/dl/layers.cc", "const char* s = \"//\"; int x = rand();\n",
+                    "rng-source"));
+}
+
+TEST(Scrubber, HandlesMultiLineConstructs) {
+  const std::vector<std::string> lines =
+      scrub_source("int a;\n/* rand()\nrand() */ int b;\nchar c = '\"'; int d = rand();\n");
+  ASSERT_EQ(lines.size(), 5U);  // trailing newline yields a final empty line
+  EXPECT_EQ(lines[0], "int a;");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], " int b;");
+  EXPECT_NE(lines[3].find("int d = rand()"), std::string::npos);
+}
+
+// --- findings metadata and formats ---------------------------------------
+
+TEST(Findings, CarryFileLineRuleAndMessage) {
+  const std::vector<Finding> findings =
+      lint_source("src/dl/layers.cc", "int a;\nint x = rand();\n");
+  ASSERT_EQ(findings.size(), 1U);
+  EXPECT_EQ(findings[0].file, "src/dl/layers.cc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].rule, "rng-source");
+  EXPECT_FALSE(findings[0].message.empty());
+}
+
+TEST(Findings, TextFormatIsGrepable) {
+  const std::vector<Finding> findings =
+      lint_source("src/dl/layers.cc", "int x = rand();\n");
+  const std::string text = to_text(findings);
+  EXPECT_NE(text.find("src/dl/layers.cc:1: rng-source: "), std::string::npos);
+}
+
+TEST(Findings, JsonFormatIsWellFormed) {
+  const std::vector<Finding> findings =
+      lint_source("src/dl/layers.cc", "int x = rand();\nsrand(7);\n");
+  const std::string json = to_json(findings);
+  EXPECT_NE(json.find("\"file\": \"src/dl/layers.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"rng-source\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(Findings, CleanSourceYieldsNoFindings) {
+  const std::string clean =
+      "#pragma once\n#include \"common/rng.h\"\n#include <vector>\n"
+      "inline int f(shmcaffe::common::Rng& rng) { return static_cast<int>(rng.next_u64()); }\n";
+  EXPECT_TRUE(lint_source("src/dl/clean.h", clean).empty());
+}
+
+TEST(RuleIds, EveryRuleIsListed) {
+  const std::vector<std::string>& ids = rule_ids();
+  for (const char* expected : {"rng-source", "wall-clock", "sim-wall-clock", "raii-lock",
+                               "sim-ptr-container", "pragma-once", "include-hygiene"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end()) << expected;
+  }
+}
+
+}  // namespace
+}  // namespace shmcaffe::lint

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "minimpi/minimpi.h"
@@ -266,6 +267,16 @@ TEST(SimGroupOps, SingleRankOpsAreFree) {
   rig.sim.spawn(group.ring_allreduce(1'000'000));
   rig.sim.run();
   EXPECT_EQ(rig.sim.now(), 0);
+}
+
+
+// Lock-order guard: the suite above drives the instrumented mutexes hard
+// (mailbox + barrier locks across ranks); any rank inversion or acquisition-graph cycle they produced
+// is a latent deadlock.  Runs last in this binary by declaration order.
+TEST(LockOrder, CleanUnderCollectives) {
+  EXPECT_TRUE(shmcaffe::common::LockOrderRegistry::instance().violations().empty())
+      << shmcaffe::common::LockOrderRegistry::instance().violations().size()
+      << " lock-order violation(s); see stderr for details";
 }
 
 }  // namespace

@@ -1,0 +1,186 @@
+// Lock-order detector tests: the instrumented mutexes must flag rank
+// inversions and acquisition-graph cycles (potential deadlocks) without
+// requiring the deadlock to actually strike, and must stay silent for
+// well-ordered locking — including the std::scoped_lock same-rank pair
+// protocol the SMB server uses.
+#include "common/ordered_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace shmcaffe::common {
+namespace {
+
+bool any_contains(const std::vector<std::string>& haystack, const std::string& needle) {
+  for (const std::string& s : haystack) {
+    if (s.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+class OrderedMutexTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LockOrderRegistry::instance().clear(); }
+  void TearDown() override { LockOrderRegistry::instance().clear(); }
+};
+
+TEST_F(OrderedMutexTest, WellOrderedAcquisitionIsClean) {
+  OrderedMutex a("test.outer", 1);
+  OrderedMutex b("test.inner", 2);
+  {
+    std::scoped_lock la(a);
+    std::scoped_lock lb(b);
+  }
+  EXPECT_EQ(LockOrderRegistry::instance().violation_count(), 0U);
+  EXPECT_EQ(LockOrderRegistry::instance().edge_count(), 1U);
+}
+
+TEST_F(OrderedMutexTest, AbBaCycleIsDetectedWithoutDeadlocking) {
+  OrderedMutex a("test.a", 1);
+  OrderedMutex b("test.b", 2);
+  {
+    std::scoped_lock la(a);
+    std::scoped_lock lb(b);  // records a -> b
+  }
+  {
+    std::scoped_lock lb(b);
+    std::scoped_lock la(a);  // records b -> a: closes the cycle, inverts ranks
+  }
+  const std::vector<std::string> violations = LockOrderRegistry::instance().violations();
+  EXPECT_TRUE(any_contains(violations, "cycle")) << "got: " << ::testing::PrintToString(violations);
+  EXPECT_TRUE(any_contains(violations, "rank inversion"))
+      << "got: " << ::testing::PrintToString(violations);
+  EXPECT_TRUE(any_contains(violations, "test.a"));
+  EXPECT_TRUE(any_contains(violations, "test.b"));
+}
+
+TEST_F(OrderedMutexTest, CycleAcrossThreeLocksIsDetected) {
+  OrderedMutex a("test.c3.a", 1);
+  OrderedMutex b("test.c3.b", 2);
+  OrderedMutex c("test.c3.c", 3);
+  {
+    std::scoped_lock la(a);
+    std::scoped_lock lb(b);  // a -> b
+  }
+  {
+    std::scoped_lock lb(b);
+    std::scoped_lock lc(c);  // b -> c
+  }
+  {
+    std::scoped_lock lc(c);
+    std::scoped_lock la(a);  // c -> a: a -> b -> c -> a
+  }
+  EXPECT_TRUE(any_contains(LockOrderRegistry::instance().violations(), "cycle"));
+}
+
+TEST_F(OrderedMutexTest, RankInversionAloneIsReported) {
+  OrderedMutex low("test.low", 10);
+  OrderedMutex high("test.high", 20);
+  std::scoped_lock lh(high);
+  std::scoped_lock ll(low);  // blocking-acquiring rank 10 while holding 20
+  const std::vector<std::string> violations = LockOrderRegistry::instance().violations();
+  ASSERT_EQ(violations.size(), 1U);
+  EXPECT_NE(violations[0].find("rank inversion"), std::string::npos);
+}
+
+TEST_F(OrderedMutexTest, ScopedLockPairOfEqualRankIsAllowed) {
+  // The SMB accumulate() pattern: two segment locks of the same rank taken
+  // together via std::scoped_lock's deadlock-avoiding try-lock protocol.
+  OrderedMutex s1("test.segment", 5);
+  OrderedMutex s2("test.segment", 5);
+  {
+    std::scoped_lock both(s1, s2);
+  }
+  {
+    std::scoped_lock both(s2, s1);  // opposite order: still fine via std::lock
+  }
+  EXPECT_EQ(LockOrderRegistry::instance().violation_count(), 0U);
+}
+
+TEST_F(OrderedMutexTest, SharedMutexParticipatesInOrdering) {
+  OrderedMutex outer("test.shared.outer", 1);
+  OrderedSharedMutex table("test.shared.table", 2);
+  {
+    std::scoped_lock lo(outer);
+    std::shared_lock lt(table);  // outer -> table, reader side
+  }
+  EXPECT_EQ(LockOrderRegistry::instance().violation_count(), 0U);
+  {
+    std::shared_lock lt(table);
+    std::scoped_lock lo(outer);  // table -> outer: cycle + inversion
+  }
+  EXPECT_TRUE(any_contains(LockOrderRegistry::instance().violations(), "cycle"));
+}
+
+TEST_F(OrderedMutexTest, ViolationsAreDeduplicated) {
+  OrderedMutex a("test.dup.a", 1);
+  OrderedMutex b("test.dup.b", 2);
+  for (int i = 0; i < 8; ++i) {
+    std::scoped_lock lb(b);
+    std::scoped_lock la(a);
+  }
+  // One rank inversion + at most one cycle report, not 8 of each.
+  EXPECT_LE(LockOrderRegistry::instance().violation_count(), 2U);
+  EXPECT_GE(LockOrderRegistry::instance().violation_count(), 1U);
+}
+
+TEST_F(OrderedMutexTest, ClearResetsGraphAndMemo) {
+  OrderedMutex a("test.clear.a", 1);
+  OrderedMutex b("test.clear.b", 2);
+  {
+    std::scoped_lock lb(b);
+    std::scoped_lock la(a);
+  }
+  EXPECT_GE(LockOrderRegistry::instance().violation_count(), 1U);
+  LockOrderRegistry::instance().clear();
+  EXPECT_EQ(LockOrderRegistry::instance().violation_count(), 0U);
+  EXPECT_EQ(LockOrderRegistry::instance().edge_count(), 0U);
+  // The same inversion is re-detected after clear() (epoch invalidates the
+  // per-thread memo), so a later suite cannot hide behind an earlier one.
+  {
+    std::scoped_lock lb(b);
+    std::scoped_lock la(a);
+  }
+  EXPECT_GE(LockOrderRegistry::instance().violation_count(), 1U);
+}
+
+TEST_F(OrderedMutexTest, ContendedUseFromManyThreadsStaysClean) {
+  OrderedMutex outer("test.mt.outer", 1);
+  OrderedMutex inner("test.mt.inner", 2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        std::scoped_lock lo(outer);
+        std::scoped_lock li(inner);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(LockOrderRegistry::instance().violation_count(), 0U);
+}
+
+TEST_F(OrderedMutexTest, ConditionVariableAnyWaitWorks) {
+  OrderedMutex m("test.cv", 1);
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    std::scoped_lock lock(m);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return ready; });
+  }
+  signaller.join();
+  EXPECT_EQ(LockOrderRegistry::instance().violation_count(), 0U);
+}
+
+}  // namespace
+}  // namespace shmcaffe::common

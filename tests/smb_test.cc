@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "smb/server.h"
 
 namespace shmcaffe::smb {
@@ -297,6 +298,16 @@ TEST(SmbServerConcurrency, ReadersSeeConsistentSnapshotsUnderWrites) {
   writer.join();
   for (auto& t : readers) t.join();
   EXPECT_EQ(torn.load(), 0);
+}
+
+
+// Lock-order guard: the suite above drives the instrumented mutexes hard
+// (segment + table locks from many threads); any rank inversion or acquisition-graph cycle they produced
+// is a latent deadlock.  Runs last in this binary by declaration order.
+TEST(LockOrder, CleanUnderSmbConcurrency) {
+  EXPECT_TRUE(shmcaffe::common::LockOrderRegistry::instance().violations().empty())
+      << shmcaffe::common::LockOrderRegistry::instance().violations().size()
+      << " lock-order violation(s); see stderr for details";
 }
 
 }  // namespace

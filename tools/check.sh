@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-command correctness gate: plain build + full test suite (including the
+# `ctest -L lint` static-analysis pass), then the concurrency suites under
+# ThreadSanitizer, then the full suite under AddressSanitizer+UBSan.
+#
+# Usage:
+#   tools/check.sh            # run the whole matrix
+#   tools/check.sh plain      # just the plain build + full ctest (+ lint)
+#   tools/check.sh tsan       # just the TSan build + `ctest -L tsan`
+#   tools/check.sh asan       # just the ASan/UBSan build + full ctest
+#
+# Each configuration builds into its own tree (build/, build-tsan/,
+# build-asan/) so incremental reruns are cheap.  Exits non-zero on the first
+# failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+STAGES=("${@:-plain tsan asan}")
+STAGES=(${STAGES[@]})  # re-split when the default multi-word string is used
+
+run_stage() {
+  local name=$1 build_dir=$2 sanitize=$3 ctest_args=$4
+  echo "==> [$name] configure + build ($build_dir)"
+  cmake -B "$build_dir" -S . -DSHMCAFFE_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "==> [$name] ctest $ctest_args"
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" $ctest_args)
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    plain)
+      # The plain tree runs everything: unit + integration suites, the
+      # shmcaffe-lint repo scan (`-L lint`), and the lock-order detector
+      # guards embedded in the concurrency suites.
+      run_stage plain build "" ""
+      ;;
+    tsan)
+      # Data-race + (via the LockOrder guard tests) deadlock-potential pass
+      # over the suites that drive real threads.
+      run_stage tsan build-tsan thread "-L tsan"
+      ;;
+    asan)
+      # Heap/stack/UB pass over the full suite; `address` also enables UBSan.
+      run_stage asan build-asan address ""
+      ;;
+    lint)
+      run_stage lint build "" "-L lint"
+      ;;
+    *)
+      echo "unknown stage '$stage' (expected plain|tsan|asan|lint)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "==> all stages passed"

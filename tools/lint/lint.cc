@@ -1,0 +1,362 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace shmcaffe::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view basename_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+/// Per-line `lint:allow(rule)` annotations, extracted from the *raw* source
+/// (they live inside comments, which the scrubber removes).
+std::vector<std::vector<std::string>> collect_allows(std::string_view contents) {
+  static const std::regex kAllow(R"(lint:allow\(([a-z0-9-]+)\))");
+  std::vector<std::vector<std::string>> per_line;
+  std::size_t begin = 0;
+  while (begin <= contents.size()) {
+    std::size_t end = contents.find('\n', begin);
+    if (end == std::string_view::npos) end = contents.size();
+    const std::string line(contents.substr(begin, end - begin));
+    std::vector<std::string> allows;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kAllow);
+         it != std::sregex_iterator(); ++it) {
+      allows.push_back((*it)[1].str());
+    }
+    per_line.push_back(std::move(allows));
+    if (end == contents.size()) break;
+    begin = end + 1;
+  }
+  return per_line;
+}
+
+std::vector<std::string> split_lines(std::string_view contents) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin <= contents.size()) {
+    std::size_t end = contents.find('\n', begin);
+    if (end == std::string_view::npos) end = contents.size();
+    lines.emplace_back(contents.substr(begin, end - begin));
+    if (end == contents.size()) break;
+    begin = end + 1;
+  }
+  return lines;
+}
+
+bool allowed(const std::vector<std::vector<std::string>>& allows, int line,
+             std::string_view rule) {
+  const auto index = static_cast<std::size_t>(line - 1);
+  if (index >= allows.size()) return false;
+  const std::vector<std::string>& on_line = allows[index];
+  return std::find(on_line.begin(), on_line.end(), rule) != on_line.end();
+}
+
+/// Top-level project directories: a quoted include must start with one of
+/// these, and an angle include must not.
+constexpr std::array<std::string_view, 16> kProjectDirs = {
+    "common/", "core/",     "smb/",  "sim/",  "net/",       "rdma/",
+    "minimpi/", "coll/",    "dl/",   "data/", "cluster/",   "baselines/",
+    "fault/",   "bench/",   "tests/", "tools/"};
+
+bool is_project_include(std::string_view target) {
+  for (const std::string_view dir : kProjectDirs) {
+    if (starts_with(target, dir)) return true;
+  }
+  return false;
+}
+
+struct PatternRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+};
+
+const std::vector<PatternRule>& rng_patterns() {
+  static const std::vector<PatternRule> rules = [] {
+    std::vector<PatternRule> r;
+    r.push_back({"rng-source", std::regex(R"(\b(rand|srand)\s*\()"),
+                 "raw libc entropy; draw from a seeded common::Rng instead"});
+    r.push_back({"rng-source", std::regex(R"(\brandom_device\b)"),
+                 "std::random_device is nondeterministic; seed a common::Rng explicitly"});
+    r.push_back({"rng-source",
+                 std::regex(R"(\b(mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux\w+)\b)"),
+                 "std::<random> engine; the project's only generator is common::Rng"});
+    return r;
+  }();
+  return rules;
+}
+
+const std::vector<PatternRule>& sim_clock_patterns() {
+  static const std::vector<PatternRule> rules = [] {
+    std::vector<PatternRule> r;
+    r.push_back({"sim-wall-clock",
+                 std::regex(R"(\b(steady_clock|high_resolution_clock)\b)"),
+                 "wall clock in simulated code; use the Simulation's virtual clock"});
+    r.push_back({"sim-wall-clock", std::regex(R"(\b(sleep_for|sleep_until)\b)"),
+                 "thread sleep in simulated code; co_await sim.delay(...) instead"});
+    r.push_back({"sim-wall-clock", std::regex(R"(\bthis_thread\b)"),
+                 "std::this_thread in simulated code; sim processes are coroutines"});
+    return r;
+  }();
+  return rules;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      "rng-source",       "wall-clock",  "sim-wall-clock", "raii-lock",
+      "sim-ptr-container", "pragma-once", "include-hygiene"};
+  return ids;
+}
+
+bool is_sim_path(std::string_view path) {
+  if (starts_with(path, "src/sim/") || starts_with(path, "src/net/")) return true;
+  return starts_with(basename_of(path), "sim_");
+}
+
+std::vector<std::string> scrub_source(std::string_view contents) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  std::vector<std::string> lines;
+  std::string current;
+  State state = State::kCode;
+  std::string raw_delim;  // the `)delim"` terminator of an active raw string
+
+  const std::size_t n = contents.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = contents[i];
+    const char next = i + 1 < n ? contents[i + 1] : '\0';
+    if (c == '\n') {
+      // Unterminated ordinary strings/chars/line comments reset at EOL;
+      // block comments and raw strings continue across lines.
+      if (state == State::kLineComment || state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(contents[i - 1])) &&
+                               contents[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = i + 2;
+          std::string delim;
+          while (open < n && contents[open] != '(' && contents[open] != '\n') {
+            delim.push_back(contents[open]);
+            ++open;
+          }
+          if (open < n && contents[open] == '(') {
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            current += "R\"\"";  // keep a token so the line is not empty
+            i = open;            // consumed through the opening '('
+          } else {
+            current.push_back(c);
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          current.push_back('"');
+        } else if (c == '\'') {
+          state = State::kChar;
+          current.push_back('\'');
+        } else {
+          current.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        break;  // dropped until EOL
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char (an escaped newline would be ill-formed anyway)
+        } else if (c == '"') {
+          state = State::kCode;
+          current.push_back('"');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          current.push_back('\'');
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && contents.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view contents) {
+  std::vector<Finding> findings;
+  const std::vector<std::vector<std::string>> allows = collect_allows(contents);
+  const std::vector<std::string> lines = scrub_source(contents);
+  const std::vector<std::string> raw_lines = split_lines(contents);
+  const bool sim = is_sim_path(path);
+  const bool in_rng = starts_with(path, "src/common/rng");
+  const bool header = ends_with(path, ".h");
+
+  auto report = [&](int line, std::string_view rule, std::string message) {
+    if (allowed(allows, line, rule)) return;
+    findings.push_back(Finding{std::string(path), line, std::string(rule), std::move(message)});
+  };
+
+  static const std::regex kWallClock(R"(\bsystem_clock\b)");
+  static const std::regex kBareLock(
+      R"(([A-Za-z_][A-Za-z0-9_]*)\s*(?:\.|->)\s*(lock|unlock|try_lock|lock_shared|unlock_shared|try_lock_shared)\s*\()");
+  static const std::regex kPtrContainer(R"(\bunordered_(?:set|map)\s*<\s*([^,<>]*\*)\s*[,>])");
+  static const std::regex kQuotedInclude("^\\s*#\\s*include\\s*\"([^\"]+)\"");
+  static const std::regex kQuotedIncludeShape("^\\s*#\\s*include\\s*\"");
+  static const std::regex kAngleInclude(R"(^\s*#\s*include\s*<([^>]+)>)");
+
+  bool saw_pragma_once = false;
+
+  for (std::size_t index = 0; index < lines.size(); ++index) {
+    const std::string& line = lines[index];
+    const int lineno = static_cast<int>(index) + 1;
+    if (line.find("#pragma once") != std::string::npos) saw_pragma_once = true;
+
+    if (!in_rng) {
+      for (const PatternRule& rule : rng_patterns()) {
+        if (std::regex_search(line, rule.pattern)) report(lineno, rule.rule, rule.message);
+      }
+    }
+    if (std::regex_search(line, kWallClock)) {
+      report(lineno, "wall-clock",
+             "std::chrono::system_clock is nondeterministic wall time; use steady_clock "
+             "(functional code) or the simulation clock");
+    }
+    if (sim) {
+      for (const PatternRule& rule : sim_clock_patterns()) {
+        if (std::regex_search(line, rule.pattern)) report(lineno, rule.rule, rule.message);
+      }
+      std::smatch container;
+      if (std::regex_search(line, container, kPtrContainer)) {
+        report(lineno, "sim-ptr-container",
+               "pointer-keyed " + container.str(0).substr(0, container.str(0).find('<')) +
+                   " in simulated code iterates in ASLR-dependent order; key by a "
+                   "stable id or use an ordered container");
+      }
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kBareLock);
+         it != std::sregex_iterator(); ++it) {
+      const std::string receiver = lowercase((*it)[1].str());
+      if (receiver.find("mutex") != std::string::npos ||
+          receiver.find("mtx") != std::string::npos) {
+        report(lineno, "raii-lock",
+               "bare ." + (*it)[2].str() + "() on '" + (*it)[1].str() +
+                   "'; use std::scoped_lock / unique_lock / shared_lock");
+      }
+    }
+    // The scrubber blanks string-literal bodies, so the quoted target must be
+    // re-extracted from the raw line; the scrubbed line gates on the directive
+    // itself so commented-out includes stay ignored.
+    std::smatch include;
+    if (std::regex_search(line, kQuotedIncludeShape) && index < raw_lines.size() &&
+        std::regex_search(raw_lines[index], include, kQuotedInclude)) {
+      const std::string target = include[1].str();
+      if (target.find("../") != std::string::npos || starts_with(target, "./")) {
+        report(lineno, "include-hygiene",
+               "relative include \"" + target + "\"; use the repo-relative path from src/");
+      } else if (target.find('/') == std::string::npos) {
+        report(lineno, "include-hygiene",
+               "directory-less include \"" + target +
+                   "\"; project headers are included as \"dir/file.h\"");
+      }
+    } else if (std::regex_search(line, include, kAngleInclude)) {
+      const std::string target = include[1].str();
+      if (is_project_include(target)) {
+        report(lineno, "include-hygiene",
+               "project header <" + target + "> included with angle brackets; use quotes");
+      }
+    }
+  }
+
+  if (header && !saw_pragma_once) {
+    report(1, "pragma-once", "header is missing #pragma once");
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return findings;
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ':' << f.line << ": " << f.rule << ": " << f.message << '\n';
+  }
+  return out.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "  {\"file\": \"" << escape(f.file) << "\", \"line\": " << f.line
+        << ", \"rule\": \"" << f.rule << "\", \"message\": \"" << escape(f.message) << "\"}"
+        << (i + 1 < findings.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace shmcaffe::lint

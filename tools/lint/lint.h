@@ -1,0 +1,74 @@
+// shmcaffe-lint — repo-specific correctness rules, mechanically enforced.
+//
+// The simulators demand strict determinism (seeded RNG only, no wall clock
+// in simulated paths) and the concurrent stacks demand disciplined locking
+// (RAII guards, ranked mutexes).  Instead of relying on review, this tiny
+// analyser scans src/, tests/ and bench/ and reports violations of the
+// rules below.  It is registered as a ctest (`ctest -L lint`) so the gate
+// runs with the ordinary suite, and tests/lint_test.cc exercises every rule
+// against in-memory fixtures.
+//
+// Rules (rule id — what it flags):
+//   rng-source        raw entropy (`rand()`, `srand`, `std::random_device`,
+//                     `mt19937`, ...) outside src/common/rng: all randomness
+//                     must flow through the seeded common::Rng.
+//   wall-clock        `std::chrono::system_clock` anywhere: wall-clock time
+//                     is nondeterministic and jumps; use steady_clock in
+//                     functional code, sim::Simulation::now() in simulators.
+//   sim-wall-clock    `steady_clock` / `high_resolution_clock` / `sleep_for`
+//                     / `sleep_until` / `this_thread` inside simulated code
+//                     (src/sim/, src/net/, and any `sim_*` source): the
+//                     discrete-event clock is the only time source there.
+//   raii-lock         bare `.lock()` / `.unlock()` (and shared/try variants)
+//                     on an identifier that names a mutex: use scoped_lock /
+//                     unique_lock / shared_lock so unwinding releases it.
+//   sim-ptr-container pointer-keyed `std::unordered_{set,map}` declared in
+//                     simulated code: hash order of pointers varies run to
+//                     run (ASLR), so any iteration is nondeterministic.
+//   pragma-once       header missing `#pragma once`.
+//   include-hygiene   quoted includes must be repo-relative from src/
+//                     ("dir/file.h": no `../`, no `./`, must contain a
+//                     directory); project headers must not be included with
+//                     angle brackets.
+//
+// A finding on a line carrying `// lint:allow(<rule>)` is suppressed; the
+// annotation should state the reason.  Output is machine-readable:
+// `path:line: rule: message` per finding (or JSON via --json).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shmcaffe::lint {
+
+struct Finding {
+  std::string file;     ///< repo-relative, '/'-separated
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< rule id, e.g. "sim-wall-clock"
+  std::string message;
+};
+
+/// All rule ids, in reporting order (for docs and tests).
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// True if `path` (repo-relative) is simulated code: src/sim/, src/net/, or
+/// a source whose basename starts with "sim_" (sim_smb, sim_platforms,
+/// sim_mpi, sim_shmcaffe, ...).
+[[nodiscard]] bool is_sim_path(std::string_view path);
+
+/// Comment/string-literal scrubber: returns `contents` split into lines with
+/// comments and literal bodies removed (quotes kept), so rule patterns never
+/// fire on prose or fixture strings.  Handles //, /*...*/ and R"(...)".
+[[nodiscard]] std::vector<std::string> scrub_source(std::string_view contents);
+
+/// Runs every rule against one in-memory source file.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view contents);
+
+/// `path:line: rule: message` lines, one per finding.
+[[nodiscard]] std::string to_text(const std::vector<Finding>& findings);
+
+/// JSON array of {file, line, rule, message}.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace shmcaffe::lint

@@ -1,0 +1,78 @@
+// shmcaffe-lint driver: walks src/, tests/ and bench/ under the given repo
+// root, lints every .h/.cc, and prints findings (`path:line: rule: message`,
+// or JSON with --json).  Exit status 0 iff the tree is clean — which is what
+// the `lint.repo` ctest asserts.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: shmcaffe-lint [repo-root] [--json]\n");
+      return 0;
+    } else {
+      root = arg;
+    }
+  }
+
+  std::vector<std::string> files;
+  for (const char* top : {"src", "tests", "bench"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<shmcaffe::lint::Finding> findings;
+  for (const std::string& file : files) {
+    const std::string contents = read_file(fs::path(root) / file);
+    std::vector<shmcaffe::lint::Finding> file_findings =
+        shmcaffe::lint::lint_source(file, contents);
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  if (json) {
+    std::fputs(shmcaffe::lint::to_json(findings).c_str(), stdout);
+  } else {
+    std::fputs(shmcaffe::lint::to_text(findings).c_str(), stdout);
+    std::fprintf(stdout, "shmcaffe-lint: %zu file(s), %zu finding(s)\n", files.size(),
+                 findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
