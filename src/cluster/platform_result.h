@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/units.h"
 
@@ -29,6 +30,15 @@ struct PlatformTiming {
   std::int64_t completed_worker_iterations = 0;
   /// Workers removed mid-run by an injected fail-stop crash.
   int crashed_workers = 0;
+  /// Worker slots re-admitted mid-run by the recovery layer, ascending (a
+  /// worker can be both crashed and recovered: first life died, the slot
+  /// finished under a replacement).
+  std::vector<int> recovered_workers;
+  /// SMB primary failovers the model executed.
+  std::int64_t smb_failovers = 0;
+  /// Fingerprint of the recovery actions actually executed (see
+  /// recovery::schedule_fingerprint); comparable with TrainResult's.
+  std::uint64_t recovery_fingerprint = 0;
 };
 
 }  // namespace shmcaffe::cluster

@@ -33,6 +33,7 @@
 //   rank | name                        | holder
 //   -----+-----------------------------+------------------------------------
 //   100  | core.progress_board.sweep   | ProgressBoard dead-worker sweeps
+//   150  | recovery.replica_mirror     | ReplicatedSmb ensemble state + fan-out
 //   200  | smb.server.segment          | per-segment data mutex (SmbServer)
 //   210  | smb.server.table            | SmbServer segment table + stats
 //   300  | baselines.async_ps.weights  | classic parameter-server weights
@@ -40,7 +41,9 @@
 //   410  | minimpi.barrier             | MiniMPI barrier state
 //
 // Observed orderings the table encodes: a progress-board sweep (100) reads
-// and writes SMB counters, which take the table lock (210); SmbServer::read
+// and writes SMB counters, which take the table lock (210); the replica
+// mirror (150) fans mutations out to per-replica SmbServers, entering their
+// segment (200) and table (210) locks while held; SmbServer::read
 // takes the table lock (210) for stats while holding a segment lock (200).
 // MiniMPI and the parameter server are leaf locks: nothing else is acquired
 // under them.  Mutexes of the same rank are only ever acquired together via
@@ -56,6 +59,7 @@ namespace shmcaffe::common {
 
 namespace lockrank {
 inline constexpr int kProgressBoardSweep = 100;
+inline constexpr int kReplicaMirror = 150;
 inline constexpr int kSmbSegment = 200;
 inline constexpr int kSmbTable = 210;
 inline constexpr int kAsyncPsWeights = 300;

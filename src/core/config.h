@@ -8,6 +8,8 @@
 #include "data/synth_dataset.h"
 #include "dl/models.h"
 #include "dl/solver.h"
+#include "recovery/checkpoint.h"
+#include "recovery/schedule.h"
 
 namespace shmcaffe::fault {
 class FaultInjector;
@@ -42,6 +44,10 @@ struct DistTrainOptions {
   /// Number of SMB servers sharding the global buffer (the paper's future
   /// work §V); 1 = the paper's evaluated configuration.
   int smb_servers = 1;
+  /// Replicas per SMB shard.  1 = the paper's single passive server (no
+  /// redundancy); >= 2 wraps each shard in a ReplicatedSmb ensemble that
+  /// mirrors mutations and fails over when the primary fail-stops.
+  int smb_replicas = 1;
 
   TerminationCriterion termination = TerminationCriterion::kAverageIterations;
   /// Bound on how many iterations a worker may run ahead of the slowest one
@@ -65,6 +71,13 @@ struct DistTrainOptions {
   /// (a dead worker then hangs min/mean termination, the pre-fault
   /// behaviour).
   double heartbeat_timeout_seconds = 2.0;
+
+  /// What the run does about injected failures (failover / re-admission).
+  /// Defaults preserve the degrade-only behaviour.
+  recovery::RecoveryPolicy recovery;
+  /// Crash-consistent checkpointing + resume; disabled unless a directory
+  /// is set.
+  recovery::CheckpointConfig checkpoint;
 
   DistTrainOptions() {
     train_data.size = 2048;
@@ -115,6 +128,20 @@ struct TrainResult {
   std::vector<WorkerOutcome> worker_outcomes;
   /// Workers that did not finish (crashed or fenced), ascending.
   std::vector<int> dead_workers;
+  /// Workers whose slot was re-admitted mid-run (respawned replacement or
+  /// recovered fenced worker), ascending.  A worker can appear in both
+  /// lists: its first life died, its slot finished under a new incarnation.
+  std::vector<int> recovered_workers;
+  /// SMB primary failovers executed across all shard ensembles.
+  std::int64_t smb_failovers = 0;
+  /// Checkpoints written during the run, and the iteration sum restored
+  /// from a checkpoint at start (0 for a fresh run).
+  std::int64_t checkpoints_taken = 0;
+  std::int64_t resumed_iterations = 0;
+  /// Fingerprint of the recovery actions actually executed (see
+  /// recovery::schedule_fingerprint); comparable across the functional and
+  /// simulated stacks.
+  std::uint64_t recovery_fingerprint = 0;
   double wall_seconds = 0.0;
 };
 

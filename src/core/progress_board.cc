@@ -14,19 +14,26 @@ std::int64_t steady_now_ns() {
 }
 }  // namespace
 
-ProgressBoard::ProgressBoard(smb::SmbServer& server, smb::ShmKey key, int workers,
+ProgressBoard::ProgressBoard(smb::SmbService& server, smb::ShmKey key, int workers,
                              bool create)
     : server_(&server), workers_(workers) {
-  const auto slots = static_cast<std::size_t>(workers) * 3 + 1;
+  const auto slots = static_cast<std::size_t>(workers) * 4 + 1;
   handle_ = create ? server.create_counters(key, slots) : server.attach_counters(key, slots);
+  if (create) {
+    for (int w = 0; w < workers_; ++w) {
+      server_->store(handle_, incarnation_slot(w), kFirstIncarnation);
+    }
+  }
 }
 
-void ProgressBoard::report(int worker, std::int64_t iterations) {
+void ProgressBoard::report(int worker, std::int64_t iterations, std::int64_t incarnation) {
+  if (!incarnation_is_current(worker, incarnation)) return;  // stale life
   server_->store(handle_, static_cast<std::size_t>(worker), iterations);
-  heartbeat(worker);
+  heartbeat(worker, incarnation);
 }
 
-void ProgressBoard::heartbeat(int worker) {
+void ProgressBoard::heartbeat(int worker, std::int64_t incarnation) {
+  if (!incarnation_is_current(worker, incarnation)) return;  // stale life
   server_->store(handle_, heartbeat_slot(worker), steady_now_ns());
 }
 
@@ -105,10 +112,34 @@ int ProgressBoard::sweep_dead(double timeout_seconds) {
     // stamp == 0 means the worker never reported; give it startup grace.
     if (stamp != 0 && now - stamp > timeout_ns) {
       mark_dead(w);
+      // Zero the fenced life's slots under the sweep lock: a worker fenced
+      // after its last exchange must not keep contributing a stale
+      // iteration count once the slot is re-admitted (kAverageIterations
+      // would otherwise average in progress nobody is making), and its
+      // last heartbeat must not look fresh to a later sweep.
+      server_->store(handle_, static_cast<std::size_t>(w), 0);
+      server_->store(handle_, heartbeat_slot(w), 0);
       ++newly_dead;
     }
   }
   return newly_dead;
+}
+
+std::int64_t ProgressBoard::incarnation_of(int worker) const {
+  return server_->load(handle_, incarnation_slot(worker));
+}
+
+std::int64_t ProgressBoard::readmit(int worker) {
+  // Bump the incarnation FIRST: from this moment the previous life's
+  // reports and heartbeats are stale and dropped, so the reset below
+  // cannot be clobbered by a zombie thread.
+  const std::int64_t incarnation =
+      server_->fetch_add(handle_, incarnation_slot(worker), 1) + 1;
+  server_->store(handle_, static_cast<std::size_t>(worker), 0);
+  server_->store(handle_, heartbeat_slot(worker), 0);  // startup grace
+  server_->store(handle_, state_slot(worker),
+                 static_cast<std::int64_t>(WorkerState::kAlive));
+  return incarnation;
 }
 
 int ProgressBoard::acting_master() const {
@@ -129,8 +160,12 @@ bool ProgressBoard::stop_raised() const {
 bool ProgressBoard::should_stop(TerminationCriterion criterion, int worker,
                                 std::int64_t my_iterations,
                                 std::int64_t target_iterations,
-                                double heartbeat_timeout_seconds) {
-  report(worker, my_iterations);
+                                double heartbeat_timeout_seconds,
+                                std::int64_t incarnation) {
+  // A stale incarnation is fenced outright: the slot now belongs to a
+  // re-admitted successor, so this life must exit without contributing.
+  if (!incarnation_is_current(worker, incarnation)) return true;
+  report(worker, my_iterations, incarnation);
   if (stop_raised()) return true;
   // Fenced: a worker the survivors declared dead must not keep contributing
   // (its exchanges would re-include a peer everyone else already excluded).

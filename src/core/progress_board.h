@@ -16,7 +16,13 @@
 // role falling back to the lowest-indexed live worker), so a fail-stopped
 // worker costs only its own contribution instead of hanging the run.  A
 // declared-dead worker that wakes up again (a stall that outlived the
-// timeout) finds itself fenced and must exit — dead is final.
+// timeout) finds itself fenced and must exit — dead is final *for that
+// life*.  Re-admission (the recovery layer) gives the worker slot a fresh
+// life under a new incarnation number: readmit() flips the slot back to
+// alive and bumps the incarnation, and every report/heartbeat carries the
+// caller's incarnation so writes from the previous life are ignored (stale
+// heartbeats cannot resurrect a fenced worker, stale reports cannot corrupt
+// the counters the termination criteria read).
 #pragma once
 
 #include <cstdint>
@@ -24,7 +30,7 @@
 
 #include "common/ordered_mutex.h"
 #include "core/config.h"
-#include "smb/server.h"
+#include "smb/service.h"
 
 namespace shmcaffe::core {
 
@@ -37,15 +43,22 @@ class ProgressBoard {
     kDead = 2,      ///< declared dead (missed heartbeats) — final
   };
 
-  /// Master constructs with create=true; slaves attach with create=false.
-  ProgressBoard(smb::SmbServer& server, smb::ShmKey key, int workers, bool create);
+  /// Incarnation of every worker's first life.  0 is the "unfenced"
+  /// sentinel legacy callers pass, so real incarnations start at 1.
+  static constexpr std::int64_t kFirstIncarnation = 1;
 
-  /// Publishes `iterations` completed by `worker` (also stamps its heartbeat).
-  void report(int worker, std::int64_t iterations);
+  /// Master constructs with create=true; slaves attach with create=false.
+  ProgressBoard(smb::SmbService& server, smb::ShmKey key, int workers, bool create);
+
+  /// Publishes `iterations` completed by `worker` (also stamps its
+  /// heartbeat).  A nonzero `incarnation` that is no longer the worker's
+  /// current one marks a stale life: the report is dropped.
+  void report(int worker, std::int64_t iterations, std::int64_t incarnation = 0);
 
   /// Stamps `worker`'s heartbeat without changing its iteration count (for
-  /// long waits — pacing loops, collectives — between reports).
-  void heartbeat(int worker);
+  /// long waits — pacing loops, collectives — between reports).  Stale
+  /// incarnations are dropped like stale reports.
+  void heartbeat(int worker, std::int64_t incarnation = 0);
 
   [[nodiscard]] std::int64_t iterations_of(int worker) const;
   /// Reductions over workers not declared dead (all workers while healthy).
@@ -75,6 +88,24 @@ class ProgressBoard {
   /// worker (0 while the real master lives).
   [[nodiscard]] int acting_master() const;
 
+  // --- re-admission (recovery layer) -------------------------------------
+
+  /// Current incarnation of `worker`'s board slot (starts at
+  /// kFirstIncarnation; bumped by every readmit()).
+  [[nodiscard]] std::int64_t incarnation_of(int worker) const;
+
+  /// True if `incarnation` is still `worker`'s live incarnation.  0 (the
+  /// legacy sentinel) is always considered current.
+  [[nodiscard]] bool incarnation_is_current(int worker, std::int64_t incarnation) const {
+    return incarnation == 0 || incarnation == incarnation_of(worker);
+  }
+
+  /// Re-admits a dead worker slot: bumps the incarnation (fencing the
+  /// previous life's heartbeats and reports), resets the slot to alive with
+  /// zero iterations and startup heartbeat grace, and returns the new
+  /// incarnation the re-admitted worker must stamp everything with.
+  std::int64_t readmit(int worker);
+
   /// Raises the global stop flag (idempotent).
   void raise_stop();
   [[nodiscard]] bool stop_raised() const;
@@ -85,13 +116,15 @@ class ProgressBoard {
   /// `heartbeat_timeout_seconds` additionally sweeps for dead peers; a
   /// worker that was itself declared dead is told to stop (fenced).
   bool should_stop(TerminationCriterion criterion, int worker, std::int64_t my_iterations,
-                   std::int64_t target_iterations, double heartbeat_timeout_seconds = 0.0);
+                   std::int64_t target_iterations, double heartbeat_timeout_seconds = 0.0,
+                   std::int64_t incarnation = 0);
 
   void release();
 
  private:
   // Slot layout: [0, w) iteration counts; w the stop flag; [w+1, 2w+1)
-  // heartbeat stamps (steady-clock ns); [2w+1, 3w+1) WorkerState values.
+  // heartbeat stamps (steady-clock ns); [2w+1, 3w+1) WorkerState values;
+  // [3w+1, 4w+1) incarnation numbers.
   [[nodiscard]] std::size_t stop_slot() const { return static_cast<std::size_t>(workers_); }
   [[nodiscard]] std::size_t heartbeat_slot(int worker) const {
     return static_cast<std::size_t>(workers_ + 1 + worker);
@@ -99,8 +132,11 @@ class ProgressBoard {
   [[nodiscard]] std::size_t state_slot(int worker) const {
     return static_cast<std::size_t>(2 * workers_ + 1 + worker);
   }
+  [[nodiscard]] std::size_t incarnation_slot(int worker) const {
+    return static_cast<std::size_t>(3 * workers_ + 1 + worker);
+  }
 
-  smb::SmbServer* server_;
+  smb::SmbService* server_;
   smb::Handle handle_;
   int workers_;
   /// Serialises dead-worker sweeps: every worker calls should_stop() each

@@ -4,7 +4,7 @@
 
 namespace shmcaffe::core {
 
-ShardedBuffer ShardedBuffer::build(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
+ShardedBuffer ShardedBuffer::build(std::span<smb::SmbService* const> servers, smb::ShmKey key,
                                    std::size_t total, bool create) {
   if (servers.empty()) throw std::invalid_argument("ShardedBuffer: no servers");
   if (total == 0) throw std::invalid_argument("ShardedBuffer: empty buffer");
@@ -36,27 +36,43 @@ ShardedBuffer ShardedBuffer::build(std::span<smb::SmbServer* const> servers, smb
   return buffer;
 }
 
-ShardedBuffer ShardedBuffer::create(std::span<smb::SmbServer* const> servers,
+namespace {
+std::vector<smb::SmbService*> upcast(std::span<smb::SmbServer* const> servers) {
+  return {servers.begin(), servers.end()};
+}
+}  // namespace
+
+ShardedBuffer ShardedBuffer::create(std::span<smb::SmbService* const> servers,
                                     smb::ShmKey key, std::size_t total) {
   return build(servers, key, total, /*create=*/true);
 }
 
-ShardedBuffer ShardedBuffer::attach(std::span<smb::SmbServer* const> servers,
+ShardedBuffer ShardedBuffer::create(std::span<smb::SmbServer* const> servers,
+                                    smb::ShmKey key, std::size_t total) {
+  return build(upcast(servers), key, total, /*create=*/true);
+}
+
+ShardedBuffer ShardedBuffer::attach(std::span<smb::SmbService* const> servers,
                                     smb::ShmKey key, std::size_t total) {
   return build(servers, key, total, /*create=*/false);
+}
+
+ShardedBuffer ShardedBuffer::attach(std::span<smb::SmbServer* const> servers,
+                                    smb::ShmKey key, std::size_t total) {
+  return build(upcast(servers), key, total, /*create=*/false);
 }
 
 void ShardedBuffer::read(std::span<float> dst) const {
   if (dst.size() != total_) throw std::invalid_argument("ShardedBuffer::read size mismatch");
   for (const Shard& shard : shards_) {
-    shard.server->read(shard.handle, dst.subspan(shard.offset, shard.count));
+    shard.server->read(shard.handle, dst.subspan(shard.offset, shard.count), 0);
   }
 }
 
 void ShardedBuffer::write(std::span<const float> src) {
   if (src.size() != total_) throw std::invalid_argument("ShardedBuffer::write size mismatch");
   for (const Shard& shard : shards_) {
-    shard.server->write(shard.handle, src.subspan(shard.offset, shard.count));
+    shard.server->write(shard.handle, src.subspan(shard.offset, shard.count), 0);
   }
 }
 

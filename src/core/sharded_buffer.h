@@ -22,10 +22,15 @@ class ShardedBuffer {
   ShardedBuffer() = default;
 
   /// Creates per-server segments under `key` (same key on every server).
+  /// Servers are any SmbService — a raw SmbServer or a replicated ensemble.
+  static ShardedBuffer create(std::span<smb::SmbService* const> servers, smb::ShmKey key,
+                              std::size_t total);
   static ShardedBuffer create(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
                               std::size_t total);
 
   /// Attaches to segments previously created under `key`.
+  static ShardedBuffer attach(std::span<smb::SmbService* const> servers, smb::ShmKey key,
+                              std::size_t total);
   static ShardedBuffer attach(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
                               std::size_t total);
 
@@ -48,13 +53,13 @@ class ShardedBuffer {
 
  private:
   struct Shard {
-    smb::SmbServer* server = nullptr;
+    smb::SmbService* server = nullptr;
     smb::Handle handle;
     std::size_t offset = 0;
     std::size_t count = 0;
   };
 
-  static ShardedBuffer build(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
+  static ShardedBuffer build(std::span<smb::SmbService* const> servers, smb::ShmKey key,
                              std::size_t total, bool create);
 
   std::vector<Shard> shards_;

@@ -1,13 +1,16 @@
 #include "core/sim_shmcaffe.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "coll/pcie_model.h"
 #include "fault/injector.h"
 #include "net/fabric.h"
+#include "recovery/schedule.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "smb/sim_smb.h"
@@ -20,7 +23,33 @@ struct GroupStats {
   SimTime comm = 0;
   std::int64_t completed = 0;  ///< iterations actually run (<= target on crash)
   bool crashed = false;
+  bool recovered = false;  ///< slot re-admitted after its crash
 };
+
+/// Timing model of the recovery layer, derived from the fault plan before
+/// the measurement run (everything here is deterministic in the plan).
+struct SimRecoveryContext {
+  /// Service-pause windows [start, end) in absolute sim time: one per SMB
+  /// primary failover (detection + promotion latency).  Sorted by start.
+  std::vector<std::pair<SimTime, SimTime>> pauses;
+  /// Earliest instant some shard has no live replica left; an exchange at
+  /// or after this time fail-stops the worker (mirrors SmbUnavailable).
+  SimTime smb_dead_at = std::numeric_limits<SimTime>::max();
+  /// Re-admission enabled (policy.respawn_crashed, async only).
+  bool readmit = false;
+  SimTime readmit_delay = 0;
+};
+
+/// The instant SMB service resumes if `now` falls inside a failover pause
+/// (chained windows extend each other); `now` itself when unobstructed.
+SimTime service_resume_time(const std::vector<std::pair<SimTime, SimTime>>& pauses,
+                            SimTime now) {
+  SimTime until = now;
+  for (const auto& [begin, end] : pauses) {
+    if (begin <= until && until < end) until = end;
+  }
+  return until;
+}
 
 /// One group's endpoint on one SMB server (the global buffer is sharded
 /// across servers; shard i holds `bytes` of W_g and of this group's dW).
@@ -65,7 +94,8 @@ sim::Task<void> update_thread(sim::Simulation& sim, std::vector<ShardEndpoint>& 
 
 sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& options,
                              std::vector<ShardEndpoint> shards, int group,
-                             int total_groups, GroupStats& stats) {
+                             int total_groups, const SimRecoveryContext& recovery,
+                             GroupStats& stats) {
   const cluster::ModelProfile& model = cluster::profile(options.model);
   const cluster::TestbedSpec& spec = options.testbed;
   const coll::PcieModel pcie{spec.pcie_bus_bandwidth, 20 * units::kMicrosecond};
@@ -92,10 +122,24 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
   const int root_worker = group * s;
 
   std::vector<SimTime> member_comps(static_cast<std::size_t>(s));
+  bool crash_consumed = false;
   for (std::int64_t it = 0; it < options.iterations; ++it) {
-    if (options.faults != nullptr && options.faults->crashes_at(root_worker, it)) {
+    if (options.faults != nullptr && !crash_consumed &&
+        options.faults->crashes_at(root_worker, it)) {
+      crash_consumed = true;  // a worker dies once; a replacement never re-crashes
       stats.crashed = true;
-      break;  // fail-stop: no further exchanges; survivors keep training
+      if (!recovery.readmit) {
+        break;  // fail-stop: no further exchanges; survivors keep training
+      }
+      // Re-admission: the replacement attaches after the modelled respawn
+      // delay, adopts W_g (a full global read + local update), and resumes
+      // the slot's remaining iterations under its new incarnation.
+      co_await sim.delay(recovery.readmit_delay);
+      if (use_smb) {
+        co_await read_global(sim, shards);
+        co_await sim.delay(t_ulw);
+      }
+      stats.recovered = true;
     }
     const bool sharing = use_smb && it % options.update_interval == 0;
     const SimTime iter_start = sim.now();
@@ -106,6 +150,17 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
       if (stall > 0.0) co_await sim.delay(units::from_seconds(stall));
     }
     if (sharing) {
+      // Some shard lost its last replica: the exchange can never complete
+      // (the functional stack's SmbUnavailable) — an infrastructure-induced
+      // fail-stop of this worker.
+      if (sim.now() >= recovery.smb_dead_at) {
+        stats.crashed = true;
+        break;
+      }
+      // A failover in progress pauses SMB service for the detection +
+      // promotion latency; the exchange waits it out.
+      const SimTime resume_at = service_resume_time(recovery.pauses, sim.now());
+      if (resume_at > sim.now()) co_await sim.delay(resume_at - sim.now());
       // Mutually exclusive with the update thread; a still-running previous
       // flush blocks us here (the paper's T.A5 wait).
       {
@@ -161,6 +216,12 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
     throw std::invalid_argument("workers must be a multiple of group_size");
   }
   if (options.smb_servers < 1) throw std::invalid_argument("smb_servers must be >= 1");
+  if (options.smb_replicas < 1) throw std::invalid_argument("smb_replicas must be >= 1");
+  if (options.recovery.respawn_crashed && options.group_size != 1) {
+    // Mirrors the functional trainer: a replacement cannot rejoin a hybrid
+    // group mid-collective.
+    throw std::invalid_argument("respawn_crashed requires group_size == 1");
+  }
   const int groups = options.workers / options.group_size;
   const int nservers = options.smb_servers;
   const cluster::ModelProfile& model = cluster::profile(options.model);
@@ -244,10 +305,62 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
     fabric.set_dropped_transfers(options.faults->dropped_sequences());
   }
 
+  // Replay the plan's SMB fail-stops against the replica topology (replica
+  // r of shard s = physical server s * smb_replicas + r, the functional
+  // trainer's layout).  An active replica's death is a failover: it pauses
+  // service for the detection + promotion latency and is logged; a backup's
+  // death is invisible; the last replica's death kills the shard.
+  SimRecoveryContext recovery_ctx;
+  recovery_ctx.readmit = options.recovery.respawn_crashed && options.group_size == 1;
+  recovery_ctx.readmit_delay = units::from_seconds(options.recovery.readmit_delay_seconds);
+  std::vector<std::vector<int>> failed_active(static_cast<std::size_t>(nservers));
+  if (options.faults != nullptr) {
+    const int replicas = options.smb_replicas;
+    std::vector<fault::FaultEvent> stops;
+    for (int n = 0; n < nservers * replicas; ++n) {
+      for (const fault::FaultEvent& ev : options.faults->server_fail_stops(n)) {
+        stops.push_back(ev);
+      }
+    }
+    std::sort(stops.begin(), stops.end(),
+              [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                return a.start_seconds != b.start_seconds ? a.start_seconds < b.start_seconds
+                                                          : a.target < b.target;
+              });
+    std::vector<std::vector<char>> live(static_cast<std::size_t>(nservers),
+                                        std::vector<char>(static_cast<std::size_t>(replicas), 1));
+    std::vector<int> active(static_cast<std::size_t>(nservers), 0);
+    for (const fault::FaultEvent& ev : stops) {
+      const int shard = ev.target / replicas;
+      const int replica = ev.target % replicas;
+      if (shard < 0 || shard >= nservers) continue;
+      auto& shard_live = live[static_cast<std::size_t>(shard)];
+      if (!shard_live[static_cast<std::size_t>(replica)]) continue;
+      shard_live[static_cast<std::size_t>(replica)] = 0;
+      if (replica != active[static_cast<std::size_t>(shard)]) continue;  // backup died
+      int next = -1;
+      for (int r = 0; r < replicas; ++r) {
+        if (shard_live[static_cast<std::size_t>(r)]) {
+          next = r;
+          break;
+        }
+      }
+      const SimTime at = start + units::from_seconds(ev.start_seconds);
+      if (next < 0) {
+        recovery_ctx.smb_dead_at = std::min(recovery_ctx.smb_dead_at, at);
+        continue;
+      }
+      active[static_cast<std::size_t>(shard)] = next;
+      failed_active[static_cast<std::size_t>(shard)].push_back(replica);
+      recovery_ctx.pauses.emplace_back(
+          at, at + units::from_seconds(options.recovery.failover_seconds));
+    }
+  }
+
   std::vector<GroupStats> stats(static_cast<std::size_t>(groups));
   for (int g = 0; g < groups; ++g) {
     sim.spawn(group_worker(sim, options, endpoints[static_cast<std::size_t>(g)], g, groups,
-                           stats[static_cast<std::size_t>(g)]));
+                           recovery_ctx, stats[static_cast<std::size_t>(g)]));
   }
   sim.run();
 
@@ -268,6 +381,44 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
   const std::int64_t denom = std::max<std::int64_t>(1, completed_member_iters);
   result.mean_comp = comp_sum / denom;
   result.mean_comm = comm_sum / denom;
+
+  for (int g = 0; g < groups; ++g) {
+    if (stats[static_cast<std::size_t>(g)].recovered) {
+      result.recovered_workers.push_back(g * options.group_size);
+    }
+  }
+  for (const auto& log : failed_active) {
+    result.smb_failovers += static_cast<std::int64_t>(log.size());
+  }
+
+  // Fingerprint the executed recovery actions, in planned order — the same
+  // assembly the functional trainer performs, so equal fingerprints mean
+  // both stacks took the identical recovery schedule from this plan.
+  if (options.faults != nullptr) {
+    std::vector<std::vector<int>> remaining = failed_active;
+    std::vector<recovery::RecoveryEvent> executed;
+    for (const recovery::RecoveryEvent& event :
+         recovery::recovery_schedule(options.faults->plan(), options.recovery)) {
+      if (event.action == recovery::RecoveryAction::kSmbFailover) {
+        const int shard = event.target / options.smb_replicas;
+        const int replica = event.target % options.smb_replicas;
+        if (shard < 0 || static_cast<std::size_t>(shard) >= remaining.size()) continue;
+        auto& log = remaining[static_cast<std::size_t>(shard)];
+        const auto it = std::find(log.begin(), log.end(), replica);
+        if (it != log.end()) {
+          executed.push_back(event);
+          log.erase(it);
+        }
+      } else if (event.action == recovery::RecoveryAction::kWorkerReadmit) {
+        const int group = event.target / options.group_size;
+        if (group >= 0 && group < groups && event.target % options.group_size == 0 &&
+            stats[static_cast<std::size_t>(group)].recovered) {
+          executed.push_back(event);
+        }
+      }
+    }
+    result.recovery_fingerprint = recovery::schedule_fingerprint(executed);
+  }
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "cluster/jitter.h"
 #include "cluster/model_profiles.h"
 #include "cluster/platform_result.h"
+#include "recovery/schedule.h"
 
 namespace shmcaffe::fault {
 class FaultInjector;
@@ -36,6 +37,14 @@ struct SimShmCaffeOptions {
   /// using multiple SMB servers").  Each server holds param_bytes/N of W_g
   /// and dW_x; a worker exchanges with all servers in parallel.
   int smb_servers = 1;
+  /// Replicas per SMB shard (timing model of the recovery layer): replica r
+  /// of shard s is physical server s * smb_replicas + r, matching the
+  /// functional trainer's topology so fault plans target the same indices.
+  int smb_replicas = 1;
+  /// What the modelled run does about injected failures; the same policy
+  /// the functional trainer takes, so both stacks derive the identical
+  /// recovery schedule from one FaultPlan.
+  recovery::RecoveryPolicy recovery;
   std::int64_t iterations = 200; ///< per group (measurement window)
   /// Fig. 6's design: the weight-increment write and global accumulate run
   /// on a separate update thread, hidden behind computation.  false = the

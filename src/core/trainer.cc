@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -19,6 +20,9 @@
 #include "dl/param_vector.h"
 #include "fault/injector.h"
 #include "minimpi/minimpi.h"
+#include "recovery/checkpoint.h"
+#include "recovery/replicated_smb.h"
+#include "recovery/schedule.h"
 #include "smb/client.h"
 #include "smb/server.h"
 
@@ -39,7 +43,9 @@ struct ExchangeState {
 struct WorkerShared {
   const DistTrainOptions* options = nullptr;
   const data::SynthImageDataset* train_set = nullptr;
-  std::vector<smb::SmbServer*> servers;  // shard the global buffer (>= 1)
+  /// One service per shard: the raw SmbServer (smb_replicas == 1) or the
+  /// shard's ReplicatedSmb ensemble — workers are oblivious to which.
+  std::vector<smb::SmbService*> services;
   minimpi::Context* mpi = nullptr;
   std::vector<std::unique_ptr<coll::DeviceGroup>>* groups = nullptr;
   std::int64_t target_iterations = 0;
@@ -49,6 +55,11 @@ struct WorkerShared {
   std::vector<std::int64_t> final_iterations;  // one slot per worker
   std::vector<WorkerStats> worker_stats;       // one slot per worker
   std::vector<WorkerOutcome> outcomes;         // one slot per worker
+  // --- recovery ----------------------------------------------------------
+  const recovery::TrainCheckpoint* resume = nullptr;  // validated, or null
+  const recovery::CheckpointStore* checkpoint_store = nullptr;
+  std::atomic<std::int64_t> checkpoints_taken{0};
+  std::atomic<std::uint64_t> checkpoint_sequence{0};
 };
 
 /// Adds the elapsed seconds since `from` to `sink` and resets `from`.
@@ -66,7 +77,11 @@ class SegmentTimer {
   Clock::time_point mark_ = Clock::now();
 };
 
-void run_worker(WorkerShared& shared, int worker) {
+/// `rejoin` runs a replacement life for a crashed worker slot: it attaches
+/// to the existing segments by SHM key (the Fig. 2 slave path), adopts the
+/// current W_g, and re-registers on the progress board under a fresh
+/// incarnation number so anything the previous life left behind is fenced.
+void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
   const DistTrainOptions& options = *shared.options;
   const int group_size = options.group_size;
   const int group_index = worker / group_size;
@@ -81,53 +96,96 @@ void run_worker(WorkerShared& shared, int worker) {
   dl::Net net = dl::make_model(options.model_family, options.input);
   const std::size_t param_count = net.param_count();
 
+  // A resumed run restores worker cursors from the checkpoint; a replacement
+  // life starts its own count from zero (its board slot was reset).
+  const recovery::TrainCheckpoint* resume = rejoin ? nullptr : shared.resume;
+  const std::int64_t start_iteration =
+      resume != nullptr ? resume->worker_iterations[static_cast<std::size_t>(worker)] : 0;
+
   // --- Fig. 2 initialisation: the master creates the global-weight segment
-  // and the progress board, then broadcasts the SHM key over MPI.
+  // and the progress board, then broadcasts the SHM key over MPI.  A
+  // replacement life skips the collectives (its peers ran them long ago)
+  // and goes straight to the slave attach path.
   smb::ShmKey shm_key = 0;
   ShardedBuffer global;
   std::unique_ptr<ProgressBoard> board;
-  smb::SmbServer& board_server = *shared.servers.front();
-  if (worker == 0) {
+  std::int64_t incarnation = ProgressBoard::kFirstIncarnation;
+  smb::SmbService& board_server = *shared.services.front();
+  if (rejoin) {
     shm_key = shared.base_key;
-    global = ShardedBuffer::create(shared.servers, shm_key, param_count);
-    board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
-                                            options.workers, /*create=*/true);
-    common::Rng init_rng(options.seed);
-    net.init_params(init_rng);
-    std::vector<float> init(param_count);
-    dl::copy_params_to(net, init);
-    global.write(init);
-  }
-  mpi.broadcast_value(0, shm_key);
-  if (worker != 0) {
-    global = ShardedBuffer::attach(shared.servers, shm_key, param_count);
+    global = ShardedBuffer::attach(shared.services, shm_key, param_count);
     board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
                                             options.workers, /*create=*/false);
+    incarnation = board->readmit(worker);
+  } else if (worker == 0) {
+    shm_key = shared.base_key;
+    global = ShardedBuffer::create(shared.services, shm_key, param_count);
+    board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
+                                            options.workers, /*create=*/true);
+    std::vector<float> init(param_count);
+    if (resume != nullptr) {
+      init = resume->global_weights;  // W_g exactly as checkpointed
+    } else {
+      common::Rng init_rng(options.seed);
+      net.init_params(init_rng);
+      dl::copy_params_to(net, init);
+    }
+    global.write(init);
   }
-  board->heartbeat(worker);  // arm liveness before the first iteration
+  if (!rejoin) {
+    mpi.broadcast_value(0, shm_key);
+    if (worker != 0) {
+      global = ShardedBuffer::attach(shared.services, shm_key, param_count);
+      board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
+                                              options.workers, /*create=*/false);
+    }
+  }
+  board->heartbeat(worker, incarnation);  // arm liveness before the first iteration
+  // Restore this worker's public iteration count so kAverageIterations
+  // accounting continues where the interrupted run left off.
+  if (start_iteration > 0) board->report(worker, start_iteration, incarnation);
   // Every group root owns a private weight-increment buffer (Fig. 5: the
-  // dW_x buffers are not shared among other workers).
+  // dW_x buffers are not shared among other workers).  A replacement life
+  // re-attaches its crashed predecessor's orphaned buffer.
   ShardedBuffer delta_buffer;
   if (is_root) {
-    delta_buffer = ShardedBuffer::create(
-        shared.servers, shm_key + 1 + static_cast<smb::ShmKey>(worker), param_count);
+    const smb::ShmKey delta_key = shm_key + 1 + static_cast<smb::ShmKey>(worker);
+    if (rejoin) {
+      try {
+        delta_buffer = ShardedBuffer::attach(shared.services, delta_key, param_count);
+      } catch (const smb::SmbNotFound&) {
+        delta_buffer = ShardedBuffer::create(shared.services, delta_key, param_count);
+      }
+    } else {
+      delta_buffer = ShardedBuffer::create(shared.services, delta_key, param_count);
+    }
   }
-  mpi.barrier();
+  if (!rejoin) mpi.barrier();
 
-  // Everyone adopts the initial global weights before training.
+  // Everyone adopts the initial global weights before training; the resumed
+  // owner restores its exact checkpointed parameters instead (they lag W_g
+  // by the elastic difference).
   std::vector<float> local(param_count);
   std::vector<float> global_copy(param_count);
   global.read(local);
   dl::copy_params_from(net, local);
+  if (resume != nullptr && worker == 0) {
+    dl::copy_params_from(net, resume->owner_params);
+  }
 
   dl::SolverOptions solver_options = options.solver;
   solver_options.step_size = shared.lr_step_iterations;
   dl::SgdSolver solver(net, solver_options);
+  if (resume != nullptr) {
+    solver.set_iteration(static_cast<int>(
+        worker == 0 ? resume->owner_solver_iteration : start_iteration));
+    if (worker == 0) solver.set_momentum_state(resume->owner_momentum);
+  }
 
-  data::Prefetcher prefetcher(
-      data::ShardedLoader(*shared.train_set, worker, options.workers, options.batch_size,
-                          options.seed ^ 0xda7aULL),
-      options.prefetch_depth);
+  data::ShardedLoader loader(*shared.train_set, worker, options.workers, options.batch_size,
+                             options.seed ^ 0xda7aULL);
+  if (start_iteration > 0) loader.skip_batches(start_iteration);
+  data::Prefetcher prefetcher(std::move(loader), options.prefetch_depth);
 
   // --- Fig. 6 update thread (group roots only).
   ExchangeState exchange;
@@ -139,11 +197,20 @@ void run_worker(WorkerShared& shared, int worker) {
       for (;;) {
         exchange.cv.wait(lock, [&] { return exchange.pending || exchange.stopping; });
         if (!exchange.pending) return;  // stopping with nothing pending
-        // T.A1: store the weight increment in this worker's RSM segments.
-        delta_buffer.write(exchange.delta);
-        // T.A2-T.A4: exclusive server-side global accumulate (eq. 7),
-        // shard by shard across the SMB servers.
-        delta_buffer.accumulate_into(global);
+        try {
+          // T.A1: store the weight increment in this worker's RSM segments.
+          delta_buffer.write(exchange.delta);
+          // T.A2-T.A4: exclusive server-side global accumulate (eq. 7),
+          // shard by shard across the SMB servers.
+          delta_buffer.accumulate_into(global);
+        } catch (const smb::SmbUnavailable&) {
+          // Every replica of some shard is gone.  Unblock the main thread
+          // and bow out; its own SMB access surfaces the failure.
+          exchange.pending = false;
+          exchange.stopping = true;
+          exchange.cv.notify_all();
+          return;
+        }
         exchange.pending = false;
         exchange.cv.notify_all();  // T.A5: wake a blocked main thread
       }
@@ -157,7 +224,8 @@ void run_worker(WorkerShared& shared, int worker) {
     // T1/T2 must be mutually exclusive with the update thread's T.A1-T.A4:
     // block here until the previous increment has been flushed.
     std::unique_lock lock(exchange.mutex);
-    exchange.cv.wait(lock, [&] { return !exchange.pending; });
+    exchange.cv.wait(lock, [&] { return !exchange.pending || exchange.stopping; });
+    if (exchange.stopping) throw smb::SmbUnavailable("SMB lost during exchange");
     global.read(global_copy);                                     // T1
     dl::copy_params_to(net, local);
     elastic_exchange(local, global_copy, alpha, exchange.delta);  // T2: eqs. (5)+(6)
@@ -167,117 +235,165 @@ void run_worker(WorkerShared& shared, int worker) {
     exchange.cv.notify_all();
   };
 
+  // Periodic crash-consistent checkpoint (owner worker only): quiesce the
+  // update thread, snapshot W_g + the board counters + the owner solver
+  // state, and hand it to the double-buffered store.
+  const bool checkpointing = shared.checkpoint_store != nullptr && worker == 0 &&
+                             options.checkpoint.interval_iterations > 0;
+  auto save_checkpoint = [&](std::int64_t iteration) {
+    recovery::TrainCheckpoint checkpoint;
+    checkpoint.sequence =
+        shared.checkpoint_sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+    checkpoint.seed = options.seed;
+    checkpoint.owner_solver_iteration = solver.iteration();
+    checkpoint.worker_iterations.resize(static_cast<std::size_t>(options.workers));
+    for (int w = 0; w < options.workers; ++w) {
+      checkpoint.worker_iterations[static_cast<std::size_t>(w)] =
+          w == worker ? iteration : board->iterations_of(w);
+    }
+    {
+      std::unique_lock lock(exchange.mutex);
+      exchange.cv.wait(lock, [&] { return !exchange.pending || exchange.stopping; });
+      if (exchange.stopping) throw smb::SmbUnavailable("SMB lost during checkpoint");
+      global.read(global_copy);  // consistent: no in-flight accumulate
+    }
+    checkpoint.global_weights = global_copy;
+    dl::copy_params_to(net, local);
+    checkpoint.owner_params = local;
+    checkpoint.owner_momentum = solver.momentum_state();
+    shared.checkpoint_store->save(checkpoint);
+    shared.checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+  };
+
   // Fault injection: crashes fell whole groups (a dead node takes all its
   // GPUs), keyed on the group root's worker index so every member of a
   // hybrid group breaks at the same iteration, before any collective could
-  // deadlock on a missing peer.  Stalls are per individual worker.
-  const fault::FaultInjector* faults = options.faults;
+  // deadlock on a missing peer.  Stalls are per individual worker.  A
+  // replacement life does not replay its predecessor's faults.
+  const fault::FaultInjector* faults = rejoin ? nullptr : options.faults;
   const int group_root_worker = worker - local_rank;
 
   std::vector<float> grads(group_size > 1 ? param_count : 0);
   std::vector<float> vote(1);
-  std::int64_t iteration = 0;
+  std::int64_t iteration = start_iteration;
   bool stop = false;
   bool crashed = false;
-  while (!stop) {
-    if (faults != nullptr) {
-      if (faults->crashes_at(group_root_worker, iteration)) {
-        // Fail-stop: exit without reporting, marking, or releasing —
-        // survivors must detect the death from the missed heartbeats.
-        crashed = true;
-        break;
-      }
-      const double stall = faults->stall_seconds(worker, iteration);
-      if (stall > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(stall));
-      }
-    }
-    // Fenced while stalled: dead is final, so exit instead of re-joining.
-    // Async only — a hybrid member must keep lockstep with its group (whose
-    // peers may already be blocked in a collective) and exits through the
-    // root's stop vote instead.
-    if (is_async && board->is_dead(worker)) break;
-
-    // Homogeneous-GPU pacing: do not run further ahead of the slowest
-    // *live* worker than the configured skew (see DistTrainOptions).
-    if (options.max_iteration_skew > 0) {
-      while (!board->stop_raised() && !board->is_dead(worker) &&
-             iteration - board->min_iterations() >
-                 static_cast<std::int64_t>(options.max_iteration_skew)) {
-        board->heartbeat(worker);
-        if (options.heartbeat_timeout_seconds > 0.0) {
-          board->sweep_dead(options.heartbeat_timeout_seconds);
+  try {
+    while (!stop) {
+      if (faults != nullptr) {
+        if (faults->crashes_at(group_root_worker, iteration)) {
+          // Fail-stop: exit without reporting, marking, or releasing —
+          // survivors must detect the death from the missed heartbeats.
+          crashed = true;
+          break;
         }
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        const double stall = faults->stall_seconds(worker, iteration);
+        if (stall > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+        }
       }
-    }
+      // Fenced while stalled: dead is final for this life, so exit instead
+      // of re-joining.  Async only — a hybrid member must keep lockstep with
+      // its group (whose peers may already be blocked in a collective) and
+      // exits through the root's stop vote instead.
+      if (is_async && board->is_dead(worker)) break;
 
-    const bool sharing = iteration % options.update_interval == 0;
-    SegmentTimer timer;
+      // Homogeneous-GPU pacing: do not run further ahead of the slowest
+      // *live* worker than the configured skew (see DistTrainOptions).
+      if (options.max_iteration_skew > 0) {
+        while (!board->stop_raised() && !board->is_dead(worker) &&
+               iteration - board->min_iterations() >
+                   static_cast<std::int64_t>(options.max_iteration_skew)) {
+          board->heartbeat(worker, incarnation);
+          if (options.heartbeat_timeout_seconds > 0.0) {
+            board->sweep_dead(options.heartbeat_timeout_seconds);
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
 
-    // ShmCaffe-A reads the global weight at the start of every iteration;
-    // the paper deliberately does not hide T_rgw behind computation, to
-    // avoid training on stale parameters.
-    if (is_async && sharing) {
-      seasgd_exchange();
-      timer.charge(stats.exchange_seconds);
-    }
+      const bool sharing = iteration % options.update_interval == 0;
+      SegmentTimer timer;
 
-    data::Batch batch = prefetcher.next();
-    timer.charge(stats.data_wait_seconds);
-    net.input("data") = std::move(batch.data);
-    net.input("label") = std::move(batch.labels);
-    (void)net.forward(/*train=*/true);
-    net.backward();
-    timer.charge(stats.train_seconds);
-
-    if (group_size > 1) {
-      // Hybrid: intra-group synchronous SGD (ncclAllReduce of gradients).
-      dl::copy_grads_to(net, grads);
-      comm.all_reduce_mean(grads);
-      dl::copy_grads_from(net, grads);
-      timer.charge(stats.collective_seconds);
-    }
-    solver.step();  // eq. (2)
-    timer.charge(stats.train_seconds);
-
-    if (!is_async && sharing) {
-      // Hybrid §III-D: the root exchanges with the SMB server, then
-      // broadcasts the refreshed weights to its group.
-      if (is_root) {
+      // ShmCaffe-A reads the global weight at the start of every iteration;
+      // the paper deliberately does not hide T_rgw behind computation, to
+      // avoid training on stale parameters.
+      if (is_async && sharing) {
         seasgd_exchange();
-        dl::copy_params_to(net, local);
         timer.charge(stats.exchange_seconds);
       }
-      comm.broadcast(0, local);
-      if (!is_root) dl::copy_params_from(net, local);
-      timer.charge(stats.collective_seconds);
-    }
 
-    ++iteration;
-    shared.total_iterations.fetch_add(1, std::memory_order_relaxed);
+      data::Batch batch = prefetcher.next();
+      timer.charge(stats.data_wait_seconds);
+      net.input("data") = std::move(batch.data);
+      net.input("label") = std::move(batch.labels);
+      (void)net.forward(/*train=*/true);
+      net.backward();
+      timer.charge(stats.train_seconds);
 
-    // §III-E: aligned termination via the shared progress board.  The group
-    // root takes the decision; synchronous members follow it so the group
-    // never diverges.
-    if (is_root) {
-      vote[0] = board->should_stop(options.termination, worker, iteration,
-                                   shared.target_iterations,
-                                   options.heartbeat_timeout_seconds)
-                    ? 1.0F
-                    : 0.0F;
-    } else {
-      board->report(worker, iteration);
+      if (group_size > 1) {
+        // Hybrid: intra-group synchronous SGD (ncclAllReduce of gradients).
+        dl::copy_grads_to(net, grads);
+        comm.all_reduce_mean(grads);
+        dl::copy_grads_from(net, grads);
+        timer.charge(stats.collective_seconds);
+      }
+      solver.step();  // eq. (2)
+      timer.charge(stats.train_seconds);
+
+      if (!is_async && sharing) {
+        // Hybrid §III-D: the root exchanges with the SMB server, then
+        // broadcasts the refreshed weights to its group.
+        if (is_root) {
+          seasgd_exchange();
+          dl::copy_params_to(net, local);
+          timer.charge(stats.exchange_seconds);
+        }
+        comm.broadcast(0, local);
+        if (!is_root) dl::copy_params_from(net, local);
+        timer.charge(stats.collective_seconds);
+      }
+
+      ++iteration;
+      shared.total_iterations.fetch_add(1, std::memory_order_relaxed);
+
+      if (checkpointing && iteration % options.checkpoint.interval_iterations == 0) {
+        save_checkpoint(iteration);
+      }
+
+      // §III-E: aligned termination via the shared progress board.  The group
+      // root takes the decision; synchronous members follow it so the group
+      // never diverges.
+      if (is_root) {
+        vote[0] = board->should_stop(options.termination, worker, iteration,
+                                     shared.target_iterations,
+                                     options.heartbeat_timeout_seconds, incarnation)
+                      ? 1.0F
+                      : 0.0F;
+      } else {
+        board->report(worker, iteration, incarnation);
+      }
+      if (group_size > 1) comm.broadcast(0, vote);
+      stop = vote[0] != 0.0F;
     }
-    if (group_size > 1) comm.broadcast(0, vote);
-    stop = vote[0] != 0.0F;
+  } catch (const smb::SmbUnavailable&) {
+    // The SMB backing this worker is permanently gone (no replica left to
+    // fail over to): an infrastructure-induced fail-stop.
+    crashed = true;
   }
 
   shared.final_iterations[static_cast<std::size_t>(worker)] = iteration;
   stats.iterations = iteration;
-  const WorkerOutcome outcome = crashed             ? WorkerOutcome::kCrashed
-                                : board->is_dead(worker) ? WorkerOutcome::kFenced
-                                                         : WorkerOutcome::kFinished;
+  WorkerOutcome outcome = WorkerOutcome::kFinished;
+  if (crashed) {
+    outcome = WorkerOutcome::kCrashed;
+  } else {
+    try {
+      outcome = board->is_dead(worker) ? WorkerOutcome::kFenced : WorkerOutcome::kFinished;
+    } catch (const smb::SmbUnavailable&) {
+      outcome = WorkerOutcome::kCrashed;
+    }
+  }
   shared.outcomes[static_cast<std::size_t>(worker)] = outcome;
 
   if (is_root) {
@@ -288,11 +404,15 @@ void run_worker(WorkerShared& shared, int worker) {
     exchange.cv.notify_all();
     update_thread.join();  // thread hygiene even on the crash path
   }
-  if (crashed) return;  // fail-stop: remote attachments are never released
-  if (outcome == WorkerOutcome::kFinished) board->mark_finished(worker);
-  if (is_root) delta_buffer.release();
-  board->release();
-  global.release();
+  if (outcome == WorkerOutcome::kCrashed) return;  // fail-stop: nothing is released
+  try {
+    if (outcome == WorkerOutcome::kFinished) board->mark_finished(worker);
+    if (is_root) delta_buffer.release();
+    board->release();
+    global.release();
+  } catch (const smb::SmbError&) {
+    // Releasing against a fail-stopped service: nothing left to clean up.
+  }
 }
 
 }  // namespace
@@ -307,12 +427,33 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   }
 
   if (options.smb_servers < 1) throw std::invalid_argument("smb_servers must be >= 1");
+  if (options.smb_replicas < 1) throw std::invalid_argument("smb_replicas must be >= 1");
+  if (options.recovery.respawn_crashed && options.group_size != 1) {
+    // A replacement cannot rejoin a hybrid group mid-collective.
+    throw std::invalid_argument("respawn_crashed requires group_size == 1");
+  }
   const data::SynthImageDataset train_set(options.train_data);
   const data::SynthImageDataset test_set(options.test_data);
 
+  // Physical server topology: smb_servers shards × smb_replicas replicas,
+  // replica r of shard s at physical index s * smb_replicas + r.  Fault
+  // plans target physical indices.  With replication each shard is wrapped
+  // in a ReplicatedSmb ensemble; workers only ever see the per-shard
+  // SmbService, so the Fig. 6 protocol is identical either way.
+  const int physical_count = options.smb_servers * options.smb_replicas;
   std::vector<std::unique_ptr<smb::SmbServer>> servers;
-  for (int n = 0; n < options.smb_servers; ++n) {
+  for (int n = 0; n < physical_count; ++n) {
     servers.push_back(std::make_unique<smb::SmbServer>());
+  }
+  std::vector<std::unique_ptr<recovery::ReplicatedSmb>> ensembles;
+  if (options.smb_replicas > 1) {
+    for (int s = 0; s < options.smb_servers; ++s) {
+      std::vector<smb::SmbServer*> members;
+      for (int r = 0; r < options.smb_replicas; ++r) {
+        members.push_back(servers[static_cast<std::size_t>(s * options.smb_replicas + r)].get());
+      }
+      ensembles.push_back(std::make_unique<recovery::ReplicatedSmb>(std::move(members)));
+    }
   }
   minimpi::Context mpi(options.workers);
   std::vector<std::unique_ptr<coll::DeviceGroup>> groups;
@@ -323,7 +464,11 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   WorkerShared shared;
   shared.options = &options;
   shared.train_set = &train_set;
-  for (const auto& server : servers) shared.servers.push_back(server.get());
+  if (options.smb_replicas > 1) {
+    for (const auto& ensemble : ensembles) shared.services.push_back(ensemble.get());
+  } else {
+    for (const auto& server : servers) shared.services.push_back(server.get());
+  }
   shared.mpi = &mpi;
   shared.groups = &groups;
   shared.base_key = (options.seed | 1) & 0x7fffffff;
@@ -331,6 +476,38 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   shared.worker_stats.assign(static_cast<std::size_t>(options.workers), WorkerStats{});
   shared.outcomes.assign(static_cast<std::size_t>(options.workers),
                          WorkerOutcome::kFinished);
+
+  dl::Net eval_net = dl::make_model(options.model_family, options.input);
+
+  // Checkpoint store + resume validation.  A checkpoint from a different
+  // run (seed, worker count or model mismatch) is ignored, not an error —
+  // the run simply starts fresh.
+  std::optional<recovery::CheckpointStore> checkpoint_store;
+  std::optional<recovery::TrainCheckpoint> resume_checkpoint;
+  std::int64_t resumed_total = 0;
+  if (!options.checkpoint.directory.empty()) {
+    checkpoint_store.emplace(options.checkpoint.directory);
+    shared.checkpoint_store = &*checkpoint_store;
+    if (options.checkpoint.resume) {
+      resume_checkpoint = checkpoint_store->load_latest();
+      if (resume_checkpoint.has_value() &&
+          (resume_checkpoint->seed != options.seed ||
+           resume_checkpoint->worker_iterations.size() !=
+               static_cast<std::size_t>(options.workers) ||
+           resume_checkpoint->global_weights.size() != eval_net.param_count())) {
+        resume_checkpoint.reset();
+      }
+      if (resume_checkpoint.has_value()) {
+        shared.resume = &*resume_checkpoint;
+        shared.checkpoint_sequence.store(resume_checkpoint->sequence,
+                                         std::memory_order_relaxed);
+        for (const std::int64_t done : resume_checkpoint->worker_iterations) {
+          resumed_total += done;
+        }
+        shared.total_iterations.store(resumed_total, std::memory_order_relaxed);
+      }
+    }
+  }
 
   const std::int64_t iters_per_epoch_total =
       std::max<std::int64_t>(1, static_cast<std::int64_t>(train_set.size()) /
@@ -343,35 +520,42 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
-  // Fault scheduler: fires SMB-server freeze windows at their wall-clock
-  // offsets from the training start.  Interruptible so a short run does not
-  // wait out a plan scheduled past its end.
-  std::mutex freeze_mutex;
-  std::condition_variable freeze_cv;
-  bool freeze_stop = false;
-  std::thread freeze_thread;
+  // Fault scheduler: fires SMB-server freeze windows and fail-stops at
+  // their wall-clock offsets from the training start.  Interruptible so a
+  // short run does not wait out a plan scheduled past its end.
+  std::mutex fault_mutex;
+  std::condition_variable fault_cv;
+  bool fault_stop = false;
+  std::thread fault_thread;
   if (options.faults != nullptr) {
-    std::vector<fault::FaultEvent> freezes;
-    for (int n = 0; n < options.smb_servers; ++n) {
+    std::vector<fault::FaultEvent> server_events;
+    for (int n = 0; n < physical_count; ++n) {
       for (const fault::FaultEvent& event : options.faults->server_freezes(n)) {
-        freezes.push_back(event);
+        server_events.push_back(event);
+      }
+      for (const fault::FaultEvent& event : options.faults->server_fail_stops(n)) {
+        server_events.push_back(event);
       }
     }
-    std::sort(freezes.begin(), freezes.end(),
+    std::sort(server_events.begin(), server_events.end(),
               [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
                 return a.start_seconds < b.start_seconds;
               });
-    if (!freezes.empty()) {
-      freeze_thread = std::thread([&shared, &freeze_mutex, &freeze_cv, &freeze_stop,
-                                   wall_start, freezes = std::move(freezes)] {
-        std::unique_lock lock(freeze_mutex);
-        for (const fault::FaultEvent& event : freezes) {
+    if (!server_events.empty()) {
+      fault_thread = std::thread([&servers, &fault_mutex, &fault_cv, &fault_stop,
+                                  wall_start, server_events = std::move(server_events)] {
+        std::unique_lock lock(fault_mutex);
+        for (const fault::FaultEvent& event : server_events) {
           const auto at = wall_start + std::chrono::duration_cast<std::chrono::nanoseconds>(
                                            std::chrono::duration<double>(event.start_seconds));
-          if (freeze_cv.wait_until(lock, at, [&] { return freeze_stop; })) return;
-          shared.servers[static_cast<std::size_t>(event.target)]->freeze_for(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::duration<double>(event.duration_seconds)));
+          if (fault_cv.wait_until(lock, at, [&] { return fault_stop; })) return;
+          smb::SmbServer& target = *servers[static_cast<std::size_t>(event.target)];
+          if (event.kind == fault::FaultKind::kServerFailStop) {
+            target.fail_stop();
+          } else {
+            target.freeze_for(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::duration<double>(event.duration_seconds)));
+          }
         }
       });
     }
@@ -382,10 +566,69 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   for (int w = 0; w < options.workers; ++w) {
     threads.emplace_back([&shared, w] { run_worker(shared, w); });
   }
+
+  // Re-admission monitors: one per crash the recovery schedule says to
+  // heal.  Each monitor exclusively owns its worker's join; once the first
+  // life exits crashed and the survivors have fenced the slot, the monitor
+  // runs the replacement life inline (re-attach, adopt W_g, readmit under a
+  // new incarnation).  It gives up if the run finishes first.
+  std::vector<char> owned_by_monitor(static_cast<std::size_t>(options.workers), 0);
+  std::vector<char> recovered(static_cast<std::size_t>(options.workers), 0);
+  std::vector<std::thread> monitors;
+  if (options.recovery.respawn_crashed && options.faults != nullptr) {
+    for (const recovery::RecoveryEvent& event :
+         recovery::recovery_schedule(options.faults->plan(), options.recovery)) {
+      if (event.action != recovery::RecoveryAction::kWorkerReadmit) continue;
+      const int w = event.target;
+      if (w < 0 || w >= options.workers || owned_by_monitor[static_cast<std::size_t>(w)]) {
+        continue;
+      }
+      owned_by_monitor[static_cast<std::size_t>(w)] = 1;
+      monitors.emplace_back([&shared, &threads, &recovered, &options, w] {
+        threads[static_cast<std::size_t>(w)].join();
+        if (shared.outcomes[static_cast<std::size_t>(w)] != WorkerOutcome::kCrashed) {
+          return;  // the run stopped before the planned crash fired
+        }
+        using Clock = std::chrono::steady_clock;
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   std::max(1.0, options.heartbeat_timeout_seconds * 5.0)));
+        bool fenced = false;
+        try {
+          ProgressBoard board(*shared.services.front(),
+                              shared.base_key + kProgressKeyOffset, options.workers,
+                              /*create=*/false);
+          while (Clock::now() < deadline) {
+            if (board.stop_raised()) break;
+            if (board.is_dead(w)) {
+              fenced = true;
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          board.release();
+        } catch (const smb::SmbError&) {
+          return;  // the board is gone (run over / SMB lost): no respawn
+        }
+        if (!fenced) return;
+        try {
+          run_worker(shared, w, /*rejoin=*/true);
+          recovered[static_cast<std::size_t>(w)] = 1;
+        } catch (const smb::SmbError&) {
+          // Re-attach raced the run's shutdown; the slot stays un-recovered.
+        }
+      });
+    }
+  }
+
   std::atomic<bool> joined{false};
-  std::thread joiner([&threads, &joined] {
-    for (auto& t : threads) t.join();
-    joined = true;
+  std::thread joiner([&threads, &monitors, &owned_by_monitor, &joined] {
+    for (std::size_t w = 0; w < threads.size(); ++w) {
+      if (!owned_by_monitor[w]) threads[w].join();
+    }
+    for (std::thread& monitor : monitors) monitor.join();
+    joined.store(true, std::memory_order_release);
   });
 
   // Orchestrator: snapshot and evaluate the global weights at
@@ -394,15 +637,14 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   // backoff; it gives up once the workers are gone (a fault plan may have
   // crashed every worker before the segments appeared).
   TrainResult result;
-  dl::Net eval_net = dl::make_model(options.model_family, options.input);
   ShardedBuffer global;
-  {
+  try {
     smb::RetryPolicy policy;
     common::Rng backoff_rng(options.seed ^ 0x0bcull);
     int attempt = 0;
     while (!joined.load(std::memory_order_acquire)) {
       try {
-        global = ShardedBuffer::attach(shared.servers, shared.base_key,
+        global = ShardedBuffer::attach(shared.services, shared.base_key,
                                        eval_net.param_count());
         break;
       } catch (const smb::SmbNotFound&) {
@@ -411,12 +653,14 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
     }
     if (!global.valid()) {
       try {
-        global = ShardedBuffer::attach(shared.servers, shared.base_key,
+        global = ShardedBuffer::attach(shared.services, shared.base_key,
                                        eval_net.param_count());
       } catch (const smb::SmbNotFound&) {
         // every worker crashed before creating the segments; no curve
       }
     }
+  } catch (const smb::SmbUnavailable&) {
+    // the SMB (all replicas) fail-stopped before the attach landed; no curve
   }
   std::vector<float> snapshot(global.valid() ? global.size() : 0);
 
@@ -424,13 +668,19 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
       shared.target_iterations * static_cast<std::int64_t>(options.workers);
   const std::int64_t per_epoch_total =
       std::max<std::int64_t>(1, total_target / options.epochs);
-  int next_epoch = 1;
+  // A resumed run's curve continues after the epochs the interrupted run
+  // already covered.
+  int next_epoch = 1 + static_cast<int>(resumed_total / per_epoch_total);
   auto catch_up_evals = [&] {
     if (!global.valid()) return;
     const std::int64_t done = shared.total_iterations.load(std::memory_order_relaxed);
     while (next_epoch < options.epochs &&
            done >= static_cast<std::int64_t>(next_epoch) * per_epoch_total) {
-      global.read(snapshot);
+      try {
+        global.read(snapshot);
+      } catch (const smb::SmbUnavailable&) {
+        return;  // SMB permanently gone mid-run; keep the curve so far
+      }
       dl::copy_params_from(eval_net, snapshot);
       const EvalResult eval = evaluate(eval_net, test_set);
       result.curve.push_back(EpochMetrics{next_epoch, eval.loss, eval.accuracy});
@@ -445,25 +695,29 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   catch_up_evals();
 
   if (global.valid()) {
-    global.read(snapshot);
-    dl::copy_params_from(eval_net, snapshot);
-    const EvalResult final_eval = evaluate(eval_net, test_set);
-    result.final_accuracy = final_eval.accuracy;
-    result.final_loss = final_eval.loss;
-    if (result.curve.empty() || result.curve.back().epoch < options.epochs) {
-      result.curve.push_back(
-          EpochMetrics{options.epochs, final_eval.loss, final_eval.accuracy});
+    try {
+      global.read(snapshot);
+      dl::copy_params_from(eval_net, snapshot);
+      const EvalResult final_eval = evaluate(eval_net, test_set);
+      result.final_accuracy = final_eval.accuracy;
+      result.final_loss = final_eval.loss;
+      if (result.curve.empty() || result.curve.back().epoch < options.epochs) {
+        result.curve.push_back(
+            EpochMetrics{options.epochs, final_eval.loss, final_eval.accuracy});
+      }
+      global.release();
+    } catch (const smb::SmbError&) {
+      // SMB permanently gone: no final evaluation, nothing to release
     }
-    global.release();
   }
 
-  if (freeze_thread.joinable()) {
+  if (fault_thread.joinable()) {
     {
-      std::scoped_lock lock(freeze_mutex);
-      freeze_stop = true;
+      std::scoped_lock lock(fault_mutex);
+      fault_stop = true;
     }
-    freeze_cv.notify_all();
-    freeze_thread.join();
+    fault_cv.notify_all();
+    fault_thread.join();
   }
 
   result.wall_seconds =
@@ -475,6 +729,45 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
     if (shared.outcomes[static_cast<std::size_t>(w)] != WorkerOutcome::kFinished) {
       result.dead_workers.push_back(w);
     }
+    if (recovered[static_cast<std::size_t>(w)]) result.recovered_workers.push_back(w);
+  }
+  result.checkpoints_taken = shared.checkpoints_taken.load(std::memory_order_relaxed);
+  result.resumed_iterations = resumed_total;
+  for (const auto& ensemble : ensembles) {
+    result.smb_failovers += static_cast<std::int64_t>(ensemble->failover_count());
+  }
+
+  // Fingerprint the recovery actions actually executed, in planned order:
+  // a failover counts only if the fail-stopped replica really was the
+  // active one at the time, a readmit only if the replacement ran.  The sim
+  // twin computes the same thing from the same plan, so equal fingerprints
+  // mean identical recovery schedules across the stacks.
+  if (options.faults != nullptr) {
+    std::vector<std::vector<int>> failed_active(ensembles.size());
+    for (std::size_t s = 0; s < ensembles.size(); ++s) {
+      failed_active[s] = ensembles[s]->failover_log();
+    }
+    std::vector<recovery::RecoveryEvent> executed;
+    for (const recovery::RecoveryEvent& event :
+         recovery::recovery_schedule(options.faults->plan(), options.recovery)) {
+      if (event.action == recovery::RecoveryAction::kSmbFailover) {
+        const int shard = event.target / options.smb_replicas;
+        const int replica = event.target % options.smb_replicas;
+        if (shard < 0 || static_cast<std::size_t>(shard) >= failed_active.size()) continue;
+        auto& log = failed_active[static_cast<std::size_t>(shard)];
+        const auto it = std::find(log.begin(), log.end(), replica);
+        if (it != log.end()) {
+          executed.push_back(event);
+          log.erase(it);
+        }
+      } else if (event.action == recovery::RecoveryAction::kWorkerReadmit) {
+        if (event.target >= 0 && event.target < options.workers &&
+            recovered[static_cast<std::size_t>(event.target)]) {
+          executed.push_back(event);
+        }
+      }
+    }
+    result.recovery_fingerprint = recovery::schedule_fingerprint(executed);
   }
   return result;
 }

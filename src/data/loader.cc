@@ -41,6 +41,16 @@ void ShardedLoader::next(Batch& batch) {
   cursor_ += static_cast<std::size_t>(batch_size_);
 }
 
+void ShardedLoader::skip_batches(std::int64_t count) {
+  for (std::int64_t b = 0; b < count; ++b) {
+    if (cursor_ + static_cast<std::size_t>(batch_size_) > shard_.size()) {
+      ++epoch_;
+      shuffle_for_epoch();
+    }
+    cursor_ += static_cast<std::size_t>(batch_size_);
+  }
+}
+
 Prefetcher::Prefetcher(ShardedLoader loader, std::size_t depth)
     : loader_(std::move(loader)), depth_(depth == 0 ? 1 : depth) {
   producer_ = std::thread([this] { producer_loop(); });

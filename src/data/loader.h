@@ -47,6 +47,12 @@ class ShardedLoader {
   /// boundaries.
   void next(Batch& batch);
 
+  /// Advances the cursor as if `count` batches had been consumed, without
+  /// materialising them — exactly replicating next()'s epoch/reshuffle
+  /// sequence.  Checkpoint resume uses this to restore the data stream to
+  /// the position the interrupted run would have reached.
+  void skip_batches(std::int64_t count);
+
  private:
   void shuffle_for_epoch();
 

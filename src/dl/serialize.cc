@@ -55,6 +55,12 @@ void load_snapshot(Net& net, std::span<const std::byte> snapshot) {
   if (blob_count != params.size()) {
     throw std::invalid_argument("snapshot: parameter blob count mismatch");
   }
+  // Two-phase restore: validate the whole snapshot (every field bounds-
+  // checked, every name/shape matched) and stage the source ranges first;
+  // only a fully well-formed snapshot mutates the net, so a truncated or
+  // corrupted one can never leave it half-restored.
+  std::vector<const std::byte*> staged;
+  staged.reserve(params.size());
   for (ParamBlob* blob : params) {
     const auto name_length = read_pod<std::uint32_t>(snapshot);
     if (snapshot.size() < name_length) throw std::invalid_argument("snapshot truncated");
@@ -75,11 +81,15 @@ void load_snapshot(Net& net, std::span<const std::byte> snapshot) {
     }
     const std::size_t bytes = blob->value.size() * sizeof(float);
     if (snapshot.size() < bytes) throw std::invalid_argument("snapshot truncated");
-    std::memcpy(blob->value.data(), snapshot.data(), bytes);
+    staged.push_back(snapshot.data());
     snapshot = snapshot.subspan(bytes);
   }
   if (!snapshot.empty()) {
     throw std::invalid_argument("snapshot: trailing bytes");
+  }
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    std::memcpy(params[p]->value.data(), staged[p],
+                params[p]->value.size() * sizeof(float));
   }
 }
 
@@ -96,6 +106,7 @@ void load_snapshot_file(Net& net, const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
   const std::streamsize size = in.tellg();
+  if (size < 0) throw std::runtime_error("cannot size: " + path);
   in.seekg(0);
   std::vector<std::byte> data(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(data.data()), size);

@@ -22,7 +22,9 @@ namespace shmcaffe::dl {
 std::vector<std::byte> save_snapshot(Net& net);
 
 /// Restores parameter values; throws std::invalid_argument on a malformed
-/// or mismatching snapshot.
+/// or mismatching snapshot.  Atomic: validation completes over the whole
+/// snapshot before any parameter is written, so a rejected snapshot leaves
+/// the net untouched (no partial restore from truncated input).
 void load_snapshot(Net& net, std::span<const std::byte> snapshot);
 
 /// Convenience: file round-trip.  Throws std::runtime_error on I/O errors.

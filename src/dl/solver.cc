@@ -70,4 +70,26 @@ void SgdSolver::step() {
   ++iteration_;
 }
 
+std::vector<float> SgdSolver::momentum_state() const {
+  std::vector<float> state;
+  for (const Tensor& vel : momentum_) {
+    state.insert(state.end(), vel.data(), vel.data() + vel.size());
+  }
+  return state;
+}
+
+void SgdSolver::set_momentum_state(const std::vector<float>& state) {
+  std::size_t total = 0;
+  for (const Tensor& vel : momentum_) total += vel.size();
+  if (state.size() != total) {
+    throw std::invalid_argument("momentum state size mismatch");
+  }
+  std::size_t offset = 0;
+  for (Tensor& vel : momentum_) {
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(offset),
+              state.begin() + static_cast<std::ptrdiff_t>(offset + vel.size()), vel.data());
+    offset += vel.size();
+  }
+}
+
 }  // namespace shmcaffe::dl

@@ -48,6 +48,12 @@ class SgdSolver {
   void set_iteration(int iteration) { iteration_ = iteration; }
   [[nodiscard]] const SolverOptions& options() const { return options_; }
 
+  /// Momentum buffers flattened into one vector (param order), and the
+  /// inverse — used by checkpoint save/restore so a resumed run continues
+  /// with the exact velocity state of the interrupted one.
+  [[nodiscard]] std::vector<float> momentum_state() const;
+  void set_momentum_state(const std::vector<float>& state);
+
  private:
   Net* net_;
   SolverOptions options_;

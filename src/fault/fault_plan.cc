@@ -12,6 +12,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kWorkerCrash: return "worker_crash";
     case FaultKind::kWorkerStall: return "worker_stall";
     case FaultKind::kServerFreeze: return "server_freeze";
+    case FaultKind::kServerFailStop: return "server_fail_stop";
     case FaultKind::kLinkDegrade: return "link_degrade";
     case FaultKind::kLinkDown: return "link_down";
     case FaultKind::kDatagramDrop: return "datagram_drop";

@@ -28,6 +28,7 @@ enum class FaultKind : std::uint8_t {
   kWorkerCrash,   ///< worker exits (fail-stop) at the start of iteration `iteration`
   kWorkerStall,   ///< worker pauses `duration_seconds` at the start of `iteration`
   kServerFreeze,  ///< SMB server data path blocked during [start, start+duration)
+  kServerFailStop,  ///< SMB server dies permanently at `start_seconds`
   kLinkDegrade,   ///< link capacity multiplied by `severity` during the window
   kLinkDown,      ///< link capacity ~0 during the window (flap)
   kDatagramDrop,  ///< control datagram with global sequence `sequence` is lost once

@@ -40,6 +40,16 @@ std::vector<FaultEvent> FaultInjector::server_freezes(int server) const {
   return result;
 }
 
+std::vector<FaultEvent> FaultInjector::server_fail_stops(int server) const {
+  std::vector<FaultEvent> result;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kServerFailStop && event.target == server) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
 std::vector<FaultEvent> FaultInjector::link_windows(int link) const {
   std::vector<FaultEvent> result;
   for (const FaultEvent& event : plan_.events()) {

@@ -42,6 +42,10 @@ class FaultInjector {
   /// Freeze windows for SMB server `server`.
   [[nodiscard]] std::vector<FaultEvent> server_freezes(int server) const;
 
+  /// Permanent fail-stop events for SMB server `server` (the recovery
+  /// layer's failover trigger; usually zero or one per server).
+  [[nodiscard]] std::vector<FaultEvent> server_fail_stops(int server) const;
+
   /// Degrade/down windows for fabric link `link`.
   [[nodiscard]] std::vector<FaultEvent> link_windows(int link) const;
 

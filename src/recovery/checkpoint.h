@@ -1,0 +1,84 @@
+// Crash-consistent training checkpoints (double-buffered).
+//
+// A checkpoint captures everything needed to resume distributed training
+// with identical kAverageIterations accounting: the global weights W_g, the
+// progress-board iteration counters, and the owner worker's solver state
+// (parameters, momentum, iteration cursor) plus the run seed.  Checkpoints
+// are raw float/int vectors — deliberately below the dl:: layer, so the
+// recovery subsystem has no model dependency.
+//
+// Crash consistency comes from two independent mechanisms:
+//   * Double buffering.  CheckpointStore alternates between two slot files
+//     and always overwrites the *older* slot, so a crash mid-write can only
+//     tear the slot being replaced — the previous checkpoint stays intact.
+//   * Self-validation.  Every slot carries a magic, a format version, and a
+//     trailing FNV-1a checksum over the payload; decode() rejects torn,
+//     truncated or bit-rotted slots, and load_latest() returns the valid
+//     slot with the highest sequence number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace shmcaffe::recovery {
+
+/// Trainer-facing checkpoint policy (wired through DistTrainOptions).
+struct CheckpointConfig {
+  /// Directory holding the two slot files; empty disables checkpointing.
+  std::string directory;
+  /// Snapshot every N owner iterations (<= 0 disables periodic snapshots).
+  int interval_iterations = 0;
+  /// Resume from the latest valid checkpoint in `directory` (if any).
+  bool resume = false;
+};
+
+/// One crash-consistent snapshot of the distributed training state.
+struct TrainCheckpoint {
+  /// Strictly increasing per run; load_latest() picks the highest.
+  std::uint64_t sequence = 0;
+  /// Run seed, so a resume refuses checkpoints from a different run.
+  std::uint64_t seed = 0;
+  /// Owner (worker 0) solver iteration cursor at snapshot time.
+  std::int64_t owner_solver_iteration = 0;
+  /// Progress-board iteration counters, one per worker.
+  std::vector<std::int64_t> worker_iterations;
+  /// Global weights W_g as stored in the SMB.
+  std::vector<float> global_weights;
+  /// Owner worker's local parameters and solver momentum.
+  std::vector<float> owner_params;
+  std::vector<float> owner_momentum;
+
+  friend bool operator==(const TrainCheckpoint&, const TrainCheckpoint&) = default;
+};
+
+/// Serialises a checkpoint (magic + version + payload + FNV-1a checksum).
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(const TrainCheckpoint& checkpoint);
+
+/// Strictly bounds-checked decode; nullopt on any malformation (bad magic,
+/// truncation at any field boundary, checksum mismatch, trailing bytes).
+[[nodiscard]] std::optional<TrainCheckpoint> decode_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+class CheckpointStore {
+ public:
+  /// `directory` must exist; the store manages exactly two slot files in it.
+  explicit CheckpointStore(std::string directory);
+
+  /// Writes `checkpoint` into the slot NOT holding the latest valid
+  /// checkpoint, leaving the previous one untouched (crash window safety).
+  void save(const TrainCheckpoint& checkpoint) const;
+
+  /// The valid slot with the highest sequence, or nullopt if none decodes.
+  [[nodiscard]] std::optional<TrainCheckpoint> load_latest() const;
+
+  /// Slot file paths (for tests that simulate torn writes).
+  [[nodiscard]] const std::string& slot_path(int slot) const;
+
+ private:
+  std::string slots_[2];
+};
+
+}  // namespace shmcaffe::recovery

@@ -1,0 +1,38 @@
+// Service-epoch fencing for the replicated SMB.
+//
+// Every failover bumps the ensemble's *service epoch*, a monotonically
+// increasing generation counter.  Handles resolved under an older epoch are
+// *stale*: the physical access keys they cached may point at a dead replica,
+// so they must be re-resolved before use.  All epoch comparisons in the
+// codebase go through the helpers below (enforced by the `no-naked-epoch`
+// lint rule): raw `<` / `==` on epoch integers is how fencing bugs are
+// born — an accidentally inverted comparison silently admits stale writers.
+#pragma once
+
+#include <cstdint>
+
+namespace shmcaffe::recovery {
+
+/// Generation counter of a replicated service; bumped on every failover.
+using ServiceEpoch = std::uint64_t;
+
+/// Epoch of a freshly created ensemble.  Zero is reserved as "never
+/// resolved", so a default-constructed cached epoch is always stale.
+inline constexpr ServiceEpoch kInitialServiceEpoch = 1;
+
+/// True if a handle resolved at `seen` is still valid at `current`.
+[[nodiscard]] constexpr bool epoch_is_current(ServiceEpoch seen, ServiceEpoch current) {
+  return seen == current;
+}
+
+/// True if a handle resolved at `seen` must be re-resolved (fenced).
+[[nodiscard]] constexpr bool epoch_is_stale(ServiceEpoch seen, ServiceEpoch current) {
+  return !epoch_is_current(seen, current);
+}
+
+/// The epoch the ensemble enters after a failover from `current`.
+[[nodiscard]] constexpr ServiceEpoch next_service_epoch(ServiceEpoch current) {
+  return current + 1;
+}
+
+}  // namespace shmcaffe::recovery

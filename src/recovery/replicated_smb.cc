@@ -1,0 +1,426 @@
+#include "recovery/replicated_smb.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace shmcaffe::recovery {
+
+using smb::Handle;
+using smb::OpTag;
+using smb::ShmKey;
+using smb::SmbError;
+using smb::SmbNotFound;
+using smb::SmbUnavailable;
+
+ReplicatedSmb::ReplicatedSmb(std::vector<smb::SmbServer*> replicas)
+    : replicas_(std::move(replicas)) {
+  if (replicas_.empty()) throw SmbError("replicated SMB needs at least one replica");
+  for (const smb::SmbServer* replica : replicas_) {
+    if (replica == nullptr) throw SmbError("replicated SMB replica must not be null");
+  }
+  live_.assign(replicas_.size(), true);
+}
+
+void ReplicatedSmb::require_live_locked() const {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    // A replica that fail-stopped since we last talked to it is noticed
+    // here, so failovers happen eagerly instead of on the next throw.
+    if (live_[i] && replicas_[i]->failed()) mark_failed_locked(i);
+  }
+  if (std::none_of(live_.begin(), live_.end(), [](bool alive) { return alive; })) {
+    throw SmbUnavailable("all SMB replicas have fail-stopped");
+  }
+}
+
+void ReplicatedSmb::mark_failed_locked(std::size_t index) const {
+  if (!live_[index]) return;
+  live_[index] = false;
+  if (index != active_) return;  // a backup died: no failover needed
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!live_[i]) continue;
+    active_ = i;
+    service_epoch_ = next_service_epoch(service_epoch_);
+    failovers_ += 1;
+    failover_log_.push_back(static_cast<int>(index));
+    return;
+  }
+  // No survivor to promote; require_live_locked() reports the total loss.
+}
+
+void ReplicatedSmb::mark_failed_locked(const smb::SmbServer* server) const {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i] == server) {
+      mark_failed_locked(i);
+      return;
+    }
+  }
+}
+
+ReplicatedSmb::LogicalSegment& ReplicatedSmb::segment_locked(Handle handle) const {
+  const auto it = segments_.find(handle.access_key);
+  if (it == segments_.end()) {
+    throw SmbError("unknown logical access key " + std::to_string(handle.access_key));
+  }
+  return it->second;
+}
+
+void ReplicatedSmb::ensure_resolved_locked(LogicalSegment& segment) const {
+  if (epoch_is_current(segment.resolved_service_epoch, service_epoch_)) return;
+  // Fenced: the segment was last resolved under an older epoch.  Probe the
+  // segment on every survivor (the Fig. 2 attach-by-SHM-key slave path) to
+  // confirm the canonical physical handles are still backed, then stamp the
+  // new epoch.  The long-lived physical handles themselves stay canonical —
+  // a functional SmbServer never re-keys live segments.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!live_[i]) continue;
+    try {
+      const Handle probe = segment.counters
+                               ? replicas_[i]->attach_counters(segment.key, segment.count)
+                               : replicas_[i]->attach_floats(segment.key, segment.count);
+      replicas_[i]->release(probe);
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(i);
+    }
+  }
+  require_live_locked();
+  segment.resolved_service_epoch = service_epoch_;
+}
+
+Handle ReplicatedSmb::create_segment(ShmKey key, std::size_t count, bool counters) {
+  std::scoped_lock lock(mirror_mutex_);
+  require_live_locked();
+  if (key_to_logical_.contains(key)) {
+    throw SmbError("SHM key already exists: " + std::to_string(key));
+  }
+  LogicalSegment segment;
+  segment.key = key;
+  segment.counters = counters;
+  segment.count = count;
+  segment.refcount = 1;
+  segment.physical.assign(replicas_.size(), Handle{});
+  try {
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!live_[i]) continue;
+      try {
+        segment.physical[i] = counters ? replicas_[i]->create_counters(key, count)
+                                       : replicas_[i]->create_floats(key, count);
+      } catch (const SmbUnavailable&) {
+        mark_failed_locked(i);
+      }
+    }
+    require_live_locked();
+  } catch (...) {
+    // Misuse (capacity, duplicate key) or total loss: roll back the partial
+    // creation so the ensemble stays consistent across replicas.
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!live_[i] || !segment.physical[i].valid()) continue;
+      try {
+        replicas_[i]->release(segment.physical[i]);
+      } catch (const SmbError&) {
+      }
+    }
+    throw;
+  }
+  segment.resolved_service_epoch = service_epoch_;
+  const std::uint64_t logical = next_logical_key_++;
+  key_to_logical_.emplace(key, logical);
+  segments_.emplace(logical, std::move(segment));
+  return Handle{logical};
+}
+
+Handle ReplicatedSmb::attach_segment(ShmKey key, std::size_t count, bool counters) {
+  std::scoped_lock lock(mirror_mutex_);
+  require_live_locked();
+  const auto it = key_to_logical_.find(key);
+  if (it == key_to_logical_.end()) {
+    throw SmbNotFound("no segment with SHM key " + std::to_string(key));
+  }
+  LogicalSegment& segment = segments_.at(it->second);
+  if (segment.counters != counters) throw SmbError("segment kind mismatch");
+  if (count != 0 && count != segment.count) {
+    throw SmbError("segment size mismatch: requested " + std::to_string(count) +
+                   ", exists with " + std::to_string(segment.count));
+  }
+  segment.refcount += 1;
+  return Handle{it->second};
+}
+
+Handle ReplicatedSmb::create_floats(ShmKey key, std::size_t count) {
+  return create_segment(key, count, /*counters=*/false);
+}
+
+Handle ReplicatedSmb::attach_floats(ShmKey key, std::size_t count) {
+  return attach_segment(key, count, /*counters=*/false);
+}
+
+Handle ReplicatedSmb::create_counters(ShmKey key, std::size_t count) {
+  return create_segment(key, count, /*counters=*/true);
+}
+
+Handle ReplicatedSmb::attach_counters(ShmKey key, std::size_t count) {
+  return attach_segment(key, count, /*counters=*/true);
+}
+
+void ReplicatedSmb::release(Handle handle) {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  if (segment.refcount <= 0) {
+    throw SmbError("double release of segment with SHM key " + std::to_string(segment.key));
+  }
+  segment.refcount -= 1;
+  if (segment.refcount > 0) return;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!live_[i] || !segment.physical[i].valid()) continue;
+    try {
+      replicas_[i]->release(segment.physical[i]);
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(i);
+    }
+  }
+  key_to_logical_.erase(segment.key);
+  segments_.erase(handle.access_key);
+}
+
+std::size_t ReplicatedSmb::size(Handle handle) const {
+  std::scoped_lock lock(mirror_mutex_);
+  return segment_locked(handle).count;
+}
+
+void ReplicatedSmb::read(Handle handle, std::span<float> dst, std::size_t offset) const {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    try {
+      replicas_[active_]->read(segment.physical[active_], dst, offset);
+      return;
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(active_);
+    }
+  }
+}
+
+void ReplicatedSmb::mirror_mutation_locked(std::initializer_list<LogicalSegment*> segments,
+                                           const MutationFn& op) {
+  const OpTag tag{kMirrorWriter, ++mirror_seq_};
+  for (;;) {
+    require_live_locked();
+    for (LogicalSegment* segment : segments) ensure_resolved_locked(*segment);
+    bool any_failure = false;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!live_[i]) continue;
+      try {
+        op(i, tag);
+      } catch (const SmbUnavailable&) {
+        mark_failed_locked(i);
+        any_failure = true;
+      }
+    }
+    if (!any_failure) return;
+    // A replica fail-stopped mid-fan-out: fail over and replay the in-flight
+    // op under the *same* tag.  Survivors that already applied it drop the
+    // replay (idempotence), so W_g is never double-updated.
+  }
+}
+
+void ReplicatedSmb::write(Handle handle, std::span<const float> src, std::size_t offset) {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  mirror_mutation_locked({&segment}, [&](std::size_t i, OpTag tag) {
+    replicas_[i]->write_tagged(segment.physical[i], src, offset, tag);
+  });
+}
+
+void ReplicatedSmb::accumulate(Handle src, Handle dst) {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& source = segment_locked(src);
+  LogicalSegment& dest = segment_locked(dst);
+  mirror_mutation_locked({&source, &dest}, [&](std::size_t i, OpTag tag) {
+    replicas_[i]->accumulate_tagged(source.physical[i], dest.physical[i], tag);
+  });
+}
+
+void ReplicatedSmb::copy_segment(Handle src, Handle dst) {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& source = segment_locked(src);
+  LogicalSegment& dest = segment_locked(dst);
+  mirror_mutation_locked({&source, &dest}, [&](std::size_t i, OpTag tag) {
+    replicas_[i]->copy_segment_tagged(source.physical[i], dest.physical[i], tag);
+  });
+}
+
+std::int64_t ReplicatedSmb::load(Handle handle, std::size_t index) const {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    try {
+      return replicas_[active_]->load(segment.physical[active_], index);
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(active_);
+    }
+  }
+}
+
+void ReplicatedSmb::store(Handle handle, std::size_t index, std::int64_t value) {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    bool any_failure = false;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!live_[i]) continue;
+      try {
+        replicas_[i]->store(segment.physical[i], index, value);
+      } catch (const SmbUnavailable&) {
+        mark_failed_locked(i);
+        any_failure = true;
+      }
+    }
+    if (!any_failure) return;  // store is idempotent: a replay is harmless
+  }
+}
+
+std::int64_t ReplicatedSmb::fetch_add(Handle handle, std::size_t index, std::int64_t delta) {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    std::optional<std::int64_t> result;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!live_[i]) continue;
+      try {
+        const std::int64_t prior = replicas_[i]->fetch_add(segment.physical[i], index, delta);
+        // Mirrored mutations are totally ordered by the mirror mutex, so
+        // every replica returns the same prior value; keep the first.
+        if (!result.has_value()) result = prior;
+      } catch (const SmbUnavailable&) {
+        mark_failed_locked(i);
+      }
+    }
+    // Retry only if *no* replica applied the op — fetch_add is not
+    // idempotent, so a partial application must not be replayed.
+    if (result.has_value()) return *result;
+  }
+}
+
+std::int64_t ReplicatedSmb::min_value(Handle handle) const {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    try {
+      return replicas_[active_]->min_value(segment.physical[active_]);
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(active_);
+    }
+  }
+}
+
+std::int64_t ReplicatedSmb::max_value(Handle handle) const {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    try {
+      return replicas_[active_]->max_value(segment.physical[active_]);
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(active_);
+    }
+  }
+}
+
+std::int64_t ReplicatedSmb::sum(Handle handle) const {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    try {
+      return replicas_[active_]->sum(segment.physical[active_]);
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(active_);
+    }
+  }
+}
+
+std::uint64_t ReplicatedSmb::version(Handle handle) const {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    try {
+      return replicas_[active_]->version(segment.physical[active_]);
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(active_);
+    }
+  }
+}
+
+std::optional<std::uint64_t> ReplicatedSmb::wait_version_at_least(
+    Handle handle, std::uint64_t min_version, std::chrono::nanoseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    smb::SmbServer* server = nullptr;
+    Handle physical;
+    {
+      std::scoped_lock lock(mirror_mutex_);
+      require_live_locked();
+      LogicalSegment& segment = segment_locked(handle);
+      ensure_resolved_locked(segment);
+      server = replicas_[active_];
+      physical = segment.physical[active_];
+    }
+    // Block OUTSIDE the mirror mutex: the write that satisfies this wait
+    // must be able to enter the fan-out path concurrently.
+    const auto remaining =
+        std::max(std::chrono::nanoseconds::zero(),
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     deadline - std::chrono::steady_clock::now()));
+    try {
+      return server->wait_version_at_least(physical, min_version, remaining);
+    } catch (const SmbUnavailable&) {
+      // Primary died mid-wait: fail over and resume the wait on the
+      // survivor with whatever deadline budget is left.
+      std::scoped_lock lock(mirror_mutex_);
+      mark_failed_locked(server);
+      require_live_locked();
+    }
+  }
+}
+
+ServiceEpoch ReplicatedSmb::service_epoch() const {
+  std::scoped_lock lock(mirror_mutex_);
+  return service_epoch_;
+}
+
+int ReplicatedSmb::active_replica() const {
+  std::scoped_lock lock(mirror_mutex_);
+  return static_cast<int>(active_);
+}
+
+int ReplicatedSmb::live_replica_count() const {
+  std::scoped_lock lock(mirror_mutex_);
+  return static_cast<int>(std::count(live_.begin(), live_.end(), true));
+}
+
+std::uint64_t ReplicatedSmb::failover_count() const {
+  std::scoped_lock lock(mirror_mutex_);
+  return failovers_;
+}
+
+std::vector<int> ReplicatedSmb::failover_log() const {
+  std::scoped_lock lock(mirror_mutex_);
+  return failover_log_;
+}
+
+}  // namespace shmcaffe::recovery

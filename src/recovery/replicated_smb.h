@@ -1,0 +1,146 @@
+// Replicated Soft Memory Box: a primary/backup ensemble of SmbServers.
+//
+// The paper's SMB is a single passive memory node (§III-B) — a single point
+// of failure it leaves to future work (§V).  ReplicatedSmb closes that gap
+// without touching worker code: it implements the same SmbService surface
+// over N functional SmbServers, so the Fig. 6 two-thread protocol keeps
+// running across a primary fail-stop.
+//
+//   * Mirrored mutations.  Every float-path mutation (write / accumulate /
+//     copy) fans out to all live replicas under one exclusive mirror mutex,
+//     stamped with an OpTag (ensemble id + strictly increasing sequence).
+//     The single total order keeps replica contents bit-identical; the tag
+//     makes the replay of the last in-flight op after a failover idempotent
+//     (a replica that already applied it drops the replay — see
+//     SmbServerStats::replays_dropped).
+//   * Reads via the active replica.  Reads, version queries and counter
+//     loads go to the active (primary) replica only; a fail-stop there
+//     promotes the next live replica and retries.
+//   * Service-epoch fencing.  Every failover bumps the service epoch
+//     (src/recovery/epoch.h).  Logical segments remember the epoch they
+//     were last resolved under; a stale segment is re-resolved (probe
+//     attach on the survivors, the Fig. 2 slave path) before any further
+//     use.  Handles issued to callers are *logical* and survive failovers.
+//   * Version waits without the lock.  wait_version_at_least resolves the
+//     active physical handle under the mirror mutex but blocks outside it,
+//     so a blocked waiter never starves the mirror path; a fail-stop
+//     mid-wait triggers failover and the wait resumes on the survivor with
+//     the remaining deadline (not a fresh one).
+//
+// Lock ranking: the mirror mutex is rank 150 (recovery.replica_mirror) —
+// above the progress-board sweep (100), below every per-server lock the
+// fan-out enters (segment 200, table 210).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ordered_mutex.h"
+#include "recovery/epoch.h"
+#include "smb/server.h"
+
+namespace shmcaffe::recovery {
+
+class ReplicatedSmb final : public smb::SmbService {
+ public:
+  /// The ensemble does not own the replicas; `replicas[0]` starts as the
+  /// active primary.  At least one replica is required.
+  explicit ReplicatedSmb(std::vector<smb::SmbServer*> replicas);
+  ReplicatedSmb(const ReplicatedSmb&) = delete;
+  ReplicatedSmb& operator=(const ReplicatedSmb&) = delete;
+
+  // --- SmbService surface (logical handles, failover-transparent) --------
+  smb::Handle create_floats(smb::ShmKey key, std::size_t count) override;
+  smb::Handle attach_floats(smb::ShmKey key, std::size_t count = 0) override;
+  smb::Handle create_counters(smb::ShmKey key, std::size_t count) override;
+  smb::Handle attach_counters(smb::ShmKey key, std::size_t count = 0) override;
+  void release(smb::Handle handle) override;
+  [[nodiscard]] std::size_t size(smb::Handle handle) const override;
+
+  void read(smb::Handle handle, std::span<float> dst, std::size_t offset = 0) const override;
+  void write(smb::Handle handle, std::span<const float> src, std::size_t offset = 0) override;
+  void accumulate(smb::Handle src, smb::Handle dst) override;
+  void copy_segment(smb::Handle src, smb::Handle dst) override;
+
+  [[nodiscard]] std::int64_t load(smb::Handle handle, std::size_t index) const override;
+  void store(smb::Handle handle, std::size_t index, std::int64_t value) override;
+  std::int64_t fetch_add(smb::Handle handle, std::size_t index, std::int64_t delta) override;
+  [[nodiscard]] std::int64_t min_value(smb::Handle handle) const override;
+  [[nodiscard]] std::int64_t max_value(smb::Handle handle) const override;
+  [[nodiscard]] std::int64_t sum(smb::Handle handle) const override;
+
+  [[nodiscard]] std::uint64_t version(smb::Handle handle) const override;
+  std::optional<std::uint64_t> wait_version_at_least(
+      smb::Handle handle, std::uint64_t min_version,
+      std::chrono::nanoseconds timeout) const override;
+
+  // --- recovery observability --------------------------------------------
+  [[nodiscard]] ServiceEpoch service_epoch() const;
+  /// Index of the current primary in the constructor's replica list.
+  [[nodiscard]] int active_replica() const;
+  [[nodiscard]] int live_replica_count() const;
+  [[nodiscard]] std::uint64_t failover_count() const;
+  /// Replica indices (constructor order) that fail-stopped while active —
+  /// one entry per failover, in failover order.  A backup's death never
+  /// appears here (no promotion happens).
+  [[nodiscard]] std::vector<int> failover_log() const;
+
+ private:
+  struct LogicalSegment {
+    smb::ShmKey key = 0;
+    bool counters = false;
+    std::size_t count = 0;
+    int refcount = 0;
+    /// Epoch the physical handles were last validated under; 0 = never.
+    ServiceEpoch resolved_service_epoch = 0;
+    /// Per-replica physical handle (meaningful only for live replicas).
+    std::vector<smb::Handle> physical;
+  };
+
+  /// Applies the mutation to one replica under the given tag.
+  using MutationFn = std::function<void(std::size_t replica, smb::OpTag tag)>;
+
+  smb::Handle create_segment(smb::ShmKey key, std::size_t count, bool counters);
+  smb::Handle attach_segment(smb::ShmKey key, std::size_t count, bool counters);
+  [[nodiscard]] LogicalSegment& segment_locked(smb::Handle handle) const;
+  /// Throws SmbUnavailable when every replica has fail-stopped.
+  void require_live_locked() const;
+  /// Marks replica `index` dead; if it was the primary, promotes the next
+  /// live replica and bumps the service epoch (a failover).
+  void mark_failed_locked(std::size_t index) const;
+  void mark_failed_locked(const smb::SmbServer* server) const;
+  /// Re-resolves a segment whose cached epoch is stale: probes the segment
+  /// on every live replica (attach + release) and stamps the new epoch.
+  void ensure_resolved_locked(LogicalSegment& segment) const;
+  /// Fans a tagged float-path mutation out to all live replicas; on a
+  /// fail-stop mid-fan-out, fails over and replays the op under the same
+  /// tag (survivors that already applied it drop the replay).
+  void mirror_mutation_locked(std::initializer_list<LogicalSegment*> segments,
+                              const MutationFn& op);
+
+  /// Tag identity of this ensemble's mirror agent (OpTag::writer).
+  static constexpr std::uint64_t kMirrorWriter = 1;
+
+  std::vector<smb::SmbServer*> replicas_;
+
+  /// Guards everything below; rank 150 (recovery.replica_mirror).  Mutable
+  /// because const reads may discover a fail-stop and perform a failover.
+  mutable common::OrderedMutex mirror_mutex_{"recovery.replica_mirror",
+                                             common::lockrank::kReplicaMirror};
+  mutable std::vector<bool> live_;
+  mutable std::size_t active_ = 0;
+  mutable ServiceEpoch service_epoch_ = kInitialServiceEpoch;
+  mutable std::uint64_t failovers_ = 0;
+  mutable std::vector<int> failover_log_;
+  std::uint64_t mirror_seq_ = 0;
+  std::uint64_t next_logical_key_ = 1;
+  mutable std::unordered_map<std::uint64_t, LogicalSegment> segments_;
+  std::unordered_map<smb::ShmKey, std::uint64_t> key_to_logical_;
+};
+
+}  // namespace shmcaffe::recovery

@@ -1,0 +1,69 @@
+// The recovery schedule: one pure function from (FaultPlan, RecoveryPolicy)
+// to the ordered list of recovery actions a run will take.
+//
+// Both training stacks — the functional thread trainer and the discrete-
+// event simulator — derive their recovery behaviour from this single
+// function, so "the same plan produces the identical recovery schedule in
+// both stacks" holds by construction; each stack additionally fingerprints
+// the actions it *actually executed*, and tests assert the executed
+// fingerprints match the planned one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace shmcaffe::recovery {
+
+/// What the run does about injected failures.  All defaults preserve the
+/// pre-recovery behaviour (failures degrade, nothing heals) except SMB
+/// failover, which is a no-op without replicas and therefore safe-on.
+struct RecoveryPolicy {
+  /// Fail over a replicated SMB when its primary fail-stops.
+  bool smb_failover = true;
+  /// Respawn a replacement for a crashed worker (re-admission).
+  bool respawn_crashed = false;
+  /// Modelled failure-detection + promotion latency (sim timing).
+  double failover_seconds = 0.25;
+  /// Modelled respawn + W_g adoption latency before the replacement's first
+  /// iteration (sim timing; the functional stack pays real attach cost).
+  double readmit_delay_seconds = 0.5;
+};
+
+enum class RecoveryAction : std::uint8_t {
+  kSmbFailover,    ///< promote a backup replica of SMB server `target`
+  kWorkerReadmit,  ///< re-admit worker `target` after its crash
+};
+
+[[nodiscard]] const char* to_string(RecoveryAction action);
+
+/// One planned (or executed) recovery action.
+struct RecoveryEvent {
+  RecoveryAction action = RecoveryAction::kSmbFailover;
+  int target = -1;              ///< server index (failover) / worker rank (readmit)
+  std::int64_t at_iteration = -1;  ///< crash iteration for readmits; -1 for failovers
+  /// Timing model only (failover detection time / readmit delay); excluded
+  /// from the fingerprint so functional wall time cannot perturb it.
+  double at_seconds = 0.0;
+
+  friend bool operator==(const RecoveryEvent&, const RecoveryEvent&) = default;
+};
+
+/// Expands a fault plan into the recovery actions `policy` mandates:
+/// a failover per fail-stopped server, a re-admission per crashed worker
+/// (earliest crash only — a worker dies once).  Deterministically ordered:
+/// failovers by (start time, target), then readmits by (iteration, target).
+[[nodiscard]] std::vector<RecoveryEvent> recovery_schedule(const fault::FaultPlan& plan,
+                                                           const RecoveryPolicy& policy);
+
+/// Order-sensitive FNV-1a digest over (action, target, at_iteration) —
+/// identical for a planned schedule and a faithfully executed one.
+[[nodiscard]] std::uint64_t schedule_fingerprint(std::span<const RecoveryEvent> events);
+
+/// Human-readable one-line-per-event rendering.
+[[nodiscard]] std::string describe(std::span<const RecoveryEvent> events);
+
+}  // namespace shmcaffe::recovery

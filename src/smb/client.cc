@@ -17,7 +17,7 @@ std::chrono::nanoseconds backoff_delay(const RetryPolicy& policy, int attempt,
   return std::chrono::nanoseconds(static_cast<std::int64_t>(std::max(0.0, jittered)));
 }
 
-SmbClient::SmbClient(SmbServer& server, RetryPolicy policy, std::uint64_t seed)
+SmbClient::SmbClient(SmbService& server, RetryPolicy policy, std::uint64_t seed)
     : server_(&server), policy_(policy), rng_(seed) {}
 
 Handle SmbClient::attach_with_retry(ShmKey key, std::size_t count, bool floats) {

@@ -11,6 +11,9 @@
 //   * deadline-based update-notification waits;
 // and forwards the rest of the surface unchanged.  One SmbClient per worker
 // thread (the embedded backoff Rng is not synchronised).
+//
+// The client targets the abstract SmbService, so the same worker code runs
+// against a single SmbServer or a replicated ensemble with failover.
 #pragma once
 
 #include <chrono>
@@ -18,7 +21,7 @@
 #include <optional>
 
 #include "common/rng.h"
-#include "smb/server.h"
+#include "smb/service.h"
 
 namespace shmcaffe::smb {
 
@@ -39,10 +42,10 @@ struct RetryPolicy {
 
 class SmbClient {
  public:
-  explicit SmbClient(SmbServer& server, RetryPolicy policy = {},
+  explicit SmbClient(SmbService& server, RetryPolicy policy = {},
                      std::uint64_t seed = 0xba0cull);
 
-  [[nodiscard]] SmbServer& server() { return *server_; }
+  [[nodiscard]] SmbService& server() { return *server_; }
   [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
 
   /// Attach with retry: SmbNotFound triggers backoff-and-retry until the
@@ -78,7 +81,7 @@ class SmbClient {
  private:
   Handle attach_with_retry(ShmKey key, std::size_t count, bool floats);
 
-  SmbServer* server_;
+  SmbService* server_;
   RetryPolicy policy_;
   common::Rng rng_;
 };

@@ -21,6 +21,10 @@ SmbServer::SmbServer(SmbServerOptions options) : options_(options) {
   }
 }
 
+void SmbServer::throw_if_failed() const {
+  if (failed()) throw SmbUnavailable("SMB server has fail-stopped");
+}
+
 std::int64_t SmbServer::footprint(const Segment& segment) {
   if (segment.kind == Kind::kFloats) {
     return static_cast<std::int64_t>(segment.floats.size() * sizeof(float));
@@ -29,6 +33,7 @@ std::int64_t SmbServer::footprint(const Segment& segment) {
 }
 
 Handle SmbServer::create_segment(ShmKey key, std::size_t count, Kind kind) {
+  throw_if_failed();
   if (count == 0) throw SmbError("segment size must be positive");
   auto segment = std::make_shared<Segment>();
   segment->key = key;
@@ -61,6 +66,7 @@ const char* SmbServer::kind_name(Kind kind) {
 }
 
 Handle SmbServer::attach_segment(ShmKey key, std::size_t count, Kind kind) {
+  throw_if_failed();
   std::unique_lock lock(table_mutex_);
   const auto it = key_to_access_.find(key);
   if (it == key_to_access_.end()) {
@@ -100,6 +106,7 @@ Handle SmbServer::attach_counters(ShmKey key, std::size_t count) {
 }
 
 void SmbServer::release(Handle handle) {
+  throw_if_failed();
   std::unique_lock lock(table_mutex_);
   const auto it = by_access_key_.find(handle.access_key);
   if (it == by_access_key_.end()) {
@@ -123,6 +130,7 @@ void SmbServer::release(Handle handle) {
 }
 
 std::shared_ptr<SmbServer::Segment> SmbServer::find(Handle handle) const {
+  throw_if_failed();
   std::shared_lock lock(table_mutex_);
   const auto it = by_access_key_.find(handle.access_key);
   if (it == by_access_key_.end()) {
@@ -158,13 +166,31 @@ void SmbServer::read(Handle handle, std::span<float> dst, std::size_t offset) co
   stats_.bytes_read += static_cast<std::int64_t>(dst.size() * sizeof(float));
 }
 
+bool SmbServer::replayed_locked(Segment& segment, OpTag tag) {
+  if (!tag.tagged()) return false;
+  std::uint64_t& applied = segment.applied_tags[tag.writer];
+  if (tag.sequence <= applied) return true;
+  applied = tag.sequence;
+  return false;
+}
+
 void SmbServer::write(Handle handle, std::span<const float> src, std::size_t offset) {
+  write_tagged(handle, src, offset, OpTag{});
+}
+
+void SmbServer::write_tagged(Handle handle, std::span<const float> src, std::size_t offset,
+                             OpTag tag) {
   block_while_frozen();
   const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
   {
     std::scoped_lock lock(segment->data_mutex);
     if (offset + src.size() > segment->floats.size()) {
       throw SmbError("write out of segment bounds");
+    }
+    if (replayed_locked(*segment, tag)) {
+      std::unique_lock table(table_mutex_);
+      stats_.replays_dropped += 1;
+      return;
     }
     std::copy_n(src.begin(), src.size(),
                 segment->floats.begin() + static_cast<std::ptrdiff_t>(offset));
@@ -177,6 +203,10 @@ void SmbServer::write(Handle handle, std::span<const float> src, std::size_t off
 }
 
 void SmbServer::accumulate(Handle src, Handle dst) {
+  accumulate_tagged(src, dst, OpTag{});
+}
+
+void SmbServer::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
   block_while_frozen();
   if (src == dst) throw SmbError("accumulate requires distinct segments");
   const std::shared_ptr<Segment> s = find(src, Kind::kFloats);
@@ -185,6 +215,11 @@ void SmbServer::accumulate(Handle src, Handle dst) {
     std::scoped_lock lock(s->data_mutex, d->data_mutex);
     if (s->floats.size() != d->floats.size()) {
       throw SmbError("accumulate requires equal segment sizes");
+    }
+    if (replayed_locked(*d, tag)) {
+      std::unique_lock table(table_mutex_);
+      stats_.replays_dropped += 1;
+      return;
     }
     for (std::size_t i = 0; i < d->floats.size(); ++i) d->floats[i] += s->floats[i];
     d->version += 1;
@@ -195,6 +230,10 @@ void SmbServer::accumulate(Handle src, Handle dst) {
 }
 
 void SmbServer::copy_segment(Handle src, Handle dst) {
+  copy_segment_tagged(src, dst, OpTag{});
+}
+
+void SmbServer::copy_segment_tagged(Handle src, Handle dst, OpTag tag) {
   block_while_frozen();
   if (src == dst) return;
   const std::shared_ptr<Segment> s = find(src, Kind::kFloats);
@@ -203,6 +242,11 @@ void SmbServer::copy_segment(Handle src, Handle dst) {
     std::scoped_lock lock(s->data_mutex, d->data_mutex);
     if (s->floats.size() != d->floats.size()) {
       throw SmbError("copy requires equal segment sizes");
+    }
+    if (replayed_locked(*d, tag)) {
+      std::unique_lock table(table_mutex_);
+      stats_.replays_dropped += 1;
+      return;
     }
     std::copy(s->floats.begin(), s->floats.end(), d->floats.begin());
     d->version += 1;
@@ -276,7 +320,10 @@ std::optional<std::uint64_t> SmbServer::wait_version_at_least(
   const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
   std::unique_lock lock(segment->data_mutex);
   const bool satisfied = segment->version_cv.wait_for(
-      lock, timeout, [&] { return segment->version >= min_version; });
+      lock, timeout, [&] { return failed() || segment->version >= min_version; });
+  // A fail-stop mid-wait surfaces immediately: the deadline must belong to
+  // the caller's failover logic, not be burned waiting on a dead server.
+  if (failed()) throw SmbUnavailable("SMB server fail-stopped during version wait");
   if (!satisfied) return std::nullopt;
   return segment->version;
 }
@@ -293,8 +340,32 @@ bool SmbServer::frozen() const {
   return frozen_until_ns_.load(std::memory_order_relaxed) > steady_now_ns();
 }
 
+void SmbServer::fail_stop() {
+  if (failed_.exchange(true, std::memory_order_acq_rel)) return;  // idempotent
+  // Wake every thread blocked in wait_version_at_least so it observes the
+  // failure now.  Segment pointers are collected first: notifying must not
+  // happen under the table lock (rank 210) because waiters re-acquire their
+  // segment lock (rank 200) to evaluate the predicate.
+  std::vector<std::shared_ptr<Segment>> segments;
+  {
+    std::shared_lock lock(table_mutex_);
+    segments.reserve(by_access_key_.size());
+    for (const auto& [key, segment] : by_access_key_) segments.push_back(segment);
+  }
+  for (const std::shared_ptr<Segment>& segment : segments) {
+    {
+      // Empty critical section: a waiter between its predicate check and its
+      // cv sleep holds the lock, so this handshake guarantees it either saw
+      // failed_ or is asleep when the notification lands.
+      std::scoped_lock lock(segment->data_mutex);
+    }
+    segment->version_cv.notify_all();
+  }
+}
+
 void SmbServer::block_while_frozen() const {
   for (;;) {
+    throw_if_failed();
     const std::int64_t until = frozen_until_ns_.load(std::memory_order_relaxed);
     const std::int64_t now = steady_now_ns();
     if (now >= until) return;

@@ -12,11 +12,19 @@
 // This variant holds real memory and is safe for concurrent use from many OS
 // threads — it is what the functional distributed-training experiments talk
 // to.  A timing twin over the simulated RDMA stack lives in sim_smb.h.
+// SmbServer implements the abstract SmbService surface (service.h), so
+// everything above it (clients, the sharded buffer, the progress board)
+// works identically against a replicated ensemble.
 //
 // Two segment kinds exist:
 //   * float segments    — DNN parameter buffers (read/write/accumulate)
 //   * counter segments  — int64 slots with atomic ops, used for the shared
 //                         training-progress board (§III-E)
+//
+// Fault injection hooks: freeze_for() stalls the float data path for a
+// window (transient); fail_stop() kills the server permanently — every
+// subsequent operation (and every wait already blocked on it) throws
+// SmbUnavailable, modelling a crashed memory node.
 #pragma once
 
 #include <atomic>
@@ -27,38 +35,14 @@
 #include <mutex>
 #include <optional>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ordered_mutex.h"
+#include "smb/service.h"
 
 namespace shmcaffe::smb {
-
-/// Application-chosen name of a segment (the "SHM key" the master worker
-/// broadcasts to slaves in Fig. 2).
-using ShmKey = std::uint64_t;
-
-/// Server-issued access key for an attached segment (stands in for the
-/// InfiniBand remote key of the real system).
-struct Handle {
-  std::uint64_t access_key = 0;
-  [[nodiscard]] bool valid() const { return access_key != 0; }
-  friend bool operator==(const Handle&, const Handle&) = default;
-};
-
-class SmbError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Attach target does not exist (yet) — the one SmbError worth retrying:
-/// a slave may race the master's segment creation (Fig. 2 steps 1-3).
-class SmbNotFound : public SmbError {
- public:
-  using SmbError::SmbError;
-};
 
 struct SmbServerOptions {
   /// Total granted memory of the memory node (the paper's memory server has
@@ -73,12 +57,15 @@ struct SmbServerStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t accumulates = 0;
+  /// Tagged mutations dropped because their OpTag was already applied
+  /// (idempotent replay after a failover).
+  std::uint64_t replays_dropped = 0;
   std::int64_t bytes_read = 0;
   std::int64_t bytes_written = 0;
   std::int64_t bytes_in_use = 0;
 };
 
-class SmbServer {
+class SmbServer final : public SmbService {
  public:
   explicit SmbServer(SmbServerOptions options = {});
   SmbServer(const SmbServer&) = delete;
@@ -88,50 +75,61 @@ class SmbServer {
 
   /// Creates a float segment of `count` elements under `key`.
   /// Fails if the key exists or capacity would be exceeded.
-  Handle create_floats(ShmKey key, std::size_t count);
+  Handle create_floats(ShmKey key, std::size_t count) override;
 
   /// Attaches to an existing float segment; `count` (if nonzero) must match.
-  Handle attach_floats(ShmKey key, std::size_t count = 0);
+  Handle attach_floats(ShmKey key, std::size_t count = 0) override;
 
   /// Creates a counter segment of `count` int64 slots (zero-initialised).
-  Handle create_counters(ShmKey key, std::size_t count);
+  Handle create_counters(ShmKey key, std::size_t count) override;
 
-  Handle attach_counters(ShmKey key, std::size_t count = 0);
+  Handle attach_counters(ShmKey key, std::size_t count = 0) override;
 
   /// Drops one reference; the segment is freed when the creator and all
   /// attachments released it.
-  void release(Handle handle);
+  void release(Handle handle) override;
 
   /// Elements in the segment.
-  [[nodiscard]] std::size_t size(Handle handle) const;
+  [[nodiscard]] std::size_t size(Handle handle) const override;
 
   // --- float segment data path -------------------------------------------
 
-  void read(Handle handle, std::span<float> dst, std::size_t offset = 0) const;
-  void write(Handle handle, std::span<const float> src, std::size_t offset = 0);
+  void read(Handle handle, std::span<float> dst, std::size_t offset = 0) const override;
+  void write(Handle handle, std::span<const float> src, std::size_t offset = 0) override;
 
   /// Server-side accumulate: dst[i] += src[i] for the full (equal) lengths.
   /// Requests against the same destination are processed exclusively
   /// (paper §III-G, step T.A3).
-  void accumulate(Handle src, Handle dst);
+  void accumulate(Handle src, Handle dst) override;
 
   /// Overwrite-style accumulate used for initialisation: dst[i] = src[i].
-  void copy_segment(Handle src, Handle dst);
+  void copy_segment(Handle src, Handle dst) override;
+
+  // --- tagged (idempotent) mutations -------------------------------------
+  // Mirrored variants used by the recovery layer: the mutation is applied at
+  // most once per OpTag — a replay of the last in-flight op after a failover
+  // is dropped (and counted in stats().replays_dropped) instead of applied
+  // twice.  An untagged OpTag degenerates to the plain op.
+
+  void write_tagged(Handle handle, std::span<const float> src, std::size_t offset,
+                    OpTag tag);
+  void accumulate_tagged(Handle src, Handle dst, OpTag tag);
+  void copy_segment_tagged(Handle src, Handle dst, OpTag tag);
 
   // --- counter segment ops -----------------------------------------------
 
-  [[nodiscard]] std::int64_t load(Handle handle, std::size_t index) const;
-  void store(Handle handle, std::size_t index, std::int64_t value);
-  std::int64_t fetch_add(Handle handle, std::size_t index, std::int64_t delta);
+  [[nodiscard]] std::int64_t load(Handle handle, std::size_t index) const override;
+  void store(Handle handle, std::size_t index, std::int64_t value) override;
+  std::int64_t fetch_add(Handle handle, std::size_t index, std::int64_t delta) override;
   /// Snapshot reductions over the whole counter segment (progress criteria).
-  [[nodiscard]] std::int64_t min_value(Handle handle) const;
-  [[nodiscard]] std::int64_t max_value(Handle handle) const;
-  [[nodiscard]] std::int64_t sum(Handle handle) const;
+  [[nodiscard]] std::int64_t min_value(Handle handle) const override;
+  [[nodiscard]] std::int64_t max_value(Handle handle) const override;
+  [[nodiscard]] std::int64_t sum(Handle handle) const override;
 
   // --- update notification -------------------------------------------------
 
   /// Monotone version, bumped by every write/accumulate/copy to the segment.
-  [[nodiscard]] std::uint64_t version(Handle handle) const;
+  [[nodiscard]] std::uint64_t version(Handle handle) const override;
 
   /// Blocks until version(handle) >= min_version; returns the version seen.
   /// Thin forwarder over the deadline overload — prefer that one: an
@@ -139,9 +137,11 @@ class SmbServer {
   std::uint64_t wait_version_at_least(Handle handle, std::uint64_t min_version) const;
 
   /// Blocks until version(handle) >= min_version or `timeout` elapses.
-  /// Returns the version seen, or nullopt on timeout.
+  /// Returns the version seen, or nullopt on timeout.  Throws SmbUnavailable
+  /// (instead of burning the deadline) if the server fail-stops mid-wait.
   std::optional<std::uint64_t> wait_version_at_least(
-      Handle handle, std::uint64_t min_version, std::chrono::nanoseconds timeout) const;
+      Handle handle, std::uint64_t min_version,
+      std::chrono::nanoseconds timeout) const override;
 
   // --- fault injection -----------------------------------------------------
 
@@ -152,6 +152,15 @@ class SmbServer {
   /// responsive control plane.  Repeated calls extend the window.
   void freeze_for(std::chrono::nanoseconds duration);
   [[nodiscard]] bool frozen() const;
+
+  /// Permanent fail-stop: the memory node is gone.  Every subsequent
+  /// operation throws SmbUnavailable, and threads blocked in
+  /// wait_version_at_least (or in a freeze window) are woken to throw it
+  /// too, so nobody waits out a deadline on a dead server.
+  void fail_stop();
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] SmbServerStats stats() const;
   [[nodiscard]] std::int64_t capacity_bytes() const { return options_.capacity_bytes; }
@@ -166,6 +175,9 @@ class SmbServer {
     std::vector<std::atomic<std::int64_t>> counters;
     int refcount = 0;
     std::uint64_t version = 0;
+    /// Highest applied OpTag sequence per mirroring agent (idempotent
+    /// replay detection); guarded by data_mutex like floats + version.
+    std::unordered_map<std::uint64_t, std::uint64_t> applied_tags;
     /// Guards floats + version.  All segments share one lock rank: pairs
     /// (accumulate/copy) are only ever taken together via std::scoped_lock.
     mutable common::OrderedMutex data_mutex{"smb.server.segment",
@@ -179,12 +191,18 @@ class SmbServer {
   [[nodiscard]] std::shared_ptr<Segment> find(Handle handle, Kind kind) const;
   static std::int64_t footprint(const Segment& segment);
   static const char* kind_name(Kind kind);
-  /// Blocks the calling thread while a freeze window is active.
+  /// Blocks the calling thread while a freeze window is active; throws
+  /// SmbUnavailable if the server fail-stops during the wait.
   void block_while_frozen() const;
+  void throw_if_failed() const;
+  /// True (under the segment's data_mutex) if `tag` was already applied to
+  /// `segment`; records it otherwise.
+  bool replayed_locked(Segment& segment, OpTag tag);
 
   SmbServerOptions options_;
   /// steady_clock time (ns since epoch) until which the data path is frozen.
   std::atomic<std::int64_t> frozen_until_ns_{0};
+  std::atomic<bool> failed_{false};
   /// Guards the maps + stats + ids.  Ranked above the segment locks:
   /// read() updates stats under the table lock while holding a segment.
   mutable common::OrderedSharedMutex table_mutex_{"smb.server.table",

@@ -1,0 +1,121 @@
+// Abstract Soft Memory Box service surface.
+//
+// The paper's workers talk to "the SMB" without caring whether it is one
+// passive memory node or something more available.  SmbService captures that
+// contract: segment lifecycle (Fig. 2 create/attach by SHM key), the float
+// data path (read / write / server-side accumulate, §III-B), the counter
+// segment ops backing the shared progress board (§III-E), and update
+// notification (version counters, Fig. 6 T.A5).  Implementations:
+//
+//   * SmbServer        — one functional in-memory server (server.h);
+//   * ReplicatedSmb    — a primary/backup ensemble of SmbServers with
+//                        transparent failover (src/recovery/replicated_smb.h).
+//
+// Error model: SmbError for misuse (kind/size mismatch, bad handle),
+// SmbNotFound for attach-before-create races (retryable), SmbUnavailable for
+// a fail-stopped service — the one error a recovery layer may translate into
+// a failover instead of propagating.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+
+namespace shmcaffe::smb {
+
+/// Application-chosen name of a segment (the "SHM key" the master worker
+/// broadcasts to slaves in Fig. 2).
+using ShmKey = std::uint64_t;
+
+/// Service-issued access key for an attached segment (stands in for the
+/// InfiniBand remote key of the real system).
+struct Handle {
+  std::uint64_t access_key = 0;
+  [[nodiscard]] bool valid() const { return access_key != 0; }
+  friend bool operator==(const Handle&, const Handle&) = default;
+};
+
+class SmbError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Attach target does not exist (yet) — the one SmbError worth retrying:
+/// a slave may race the master's segment creation (Fig. 2 steps 1-3).
+class SmbNotFound : public SmbError {
+ public:
+  using SmbError::SmbError;
+};
+
+/// The service has fail-stopped (crash fault injection): every operation on
+/// it is gone for good.  A replicated ensemble catches this and fails over
+/// to a surviving replica; without a replica it surfaces to the worker.
+class SmbUnavailable : public SmbError {
+ public:
+  using SmbError::SmbError;
+};
+
+/// Identity of one mirrored mutation, used for idempotent replay.  A
+/// mirroring agent stamps each float-path mutation with its own id and a
+/// strictly increasing sequence number; a server that already applied the
+/// tag drops the replay instead of double-applying it (the "last in-flight
+/// op" replayed after a failover must be exactly-once per replica).
+struct OpTag {
+  std::uint64_t writer = 0;  ///< mirroring-agent id (0 = untagged)
+  std::uint64_t sequence = 0;  ///< strictly increasing per writer; 0 = untagged
+  [[nodiscard]] bool tagged() const { return writer != 0 && sequence != 0; }
+};
+
+class SmbService {
+ public:
+  virtual ~SmbService() = default;
+
+  // --- segment lifecycle -------------------------------------------------
+
+  /// Creates a float segment of `count` elements under `key`.
+  virtual Handle create_floats(ShmKey key, std::size_t count) = 0;
+  /// Attaches to an existing float segment; `count` (if nonzero) must match.
+  virtual Handle attach_floats(ShmKey key, std::size_t count) = 0;
+  /// Creates a counter segment of `count` int64 slots (zero-initialised).
+  virtual Handle create_counters(ShmKey key, std::size_t count) = 0;
+  virtual Handle attach_counters(ShmKey key, std::size_t count) = 0;
+  /// Drops one reference; the segment is freed when the creator and all
+  /// attachments released it.
+  virtual void release(Handle handle) = 0;
+  /// Elements in the segment.
+  [[nodiscard]] virtual std::size_t size(Handle handle) const = 0;
+
+  // --- float segment data path -------------------------------------------
+
+  virtual void read(Handle handle, std::span<float> dst, std::size_t offset) const = 0;
+  virtual void write(Handle handle, std::span<const float> src, std::size_t offset) = 0;
+  /// Server-side accumulate: dst[i] += src[i] for the full (equal) lengths.
+  virtual void accumulate(Handle src, Handle dst) = 0;
+  /// Overwrite-style accumulate used for initialisation: dst[i] = src[i].
+  virtual void copy_segment(Handle src, Handle dst) = 0;
+
+  // --- counter segment ops -----------------------------------------------
+
+  [[nodiscard]] virtual std::int64_t load(Handle handle, std::size_t index) const = 0;
+  virtual void store(Handle handle, std::size_t index, std::int64_t value) = 0;
+  virtual std::int64_t fetch_add(Handle handle, std::size_t index, std::int64_t delta) = 0;
+  /// Snapshot reductions over the whole counter segment (progress criteria).
+  [[nodiscard]] virtual std::int64_t min_value(Handle handle) const = 0;
+  [[nodiscard]] virtual std::int64_t max_value(Handle handle) const = 0;
+  [[nodiscard]] virtual std::int64_t sum(Handle handle) const = 0;
+
+  // --- update notification -----------------------------------------------
+
+  /// Monotone version, bumped by every write/accumulate/copy to the segment.
+  [[nodiscard]] virtual std::uint64_t version(Handle handle) const = 0;
+  /// Blocks until version(handle) >= min_version or `timeout` elapses.
+  /// Returns the version seen, or nullopt on timeout.  An implementation
+  /// with replicas resumes the wait on a survivor after a failover instead
+  /// of burning the deadline on a dead primary.
+  virtual std::optional<std::uint64_t> wait_version_at_least(
+      Handle handle, std::uint64_t min_version, std::chrono::nanoseconds timeout) const = 0;
+};
+
+}  // namespace shmcaffe::smb

@@ -13,6 +13,7 @@
 #include "core/config.h"
 #include "core/evaluate.h"
 #include "core/progress_board.h"
+#include "smb/server.h"
 #include "core/seasgd_math.h"
 #include "core/sim_shmcaffe.h"
 #include "core/trainer.h"

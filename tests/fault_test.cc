@@ -20,7 +20,9 @@
 #include "core/trainer.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
+#include "core/progress_board.h"
 #include "net/fabric.h"
+#include "recovery/replicated_smb.h"
 #include "sim/simulation.h"
 #include "smb/client.h"
 #include "smb/server.h"
@@ -508,6 +510,67 @@ TEST(TrainerDegradation2, FaultFreePlanLeavesResultClean) {
   EXPECT_GT(result.final_accuracy, 0.7);
 }
 
+
+// --- replicated SMB under concurrency (recovery layer) ---
+
+TEST(ReplicatedSmbFailover, WaitVersionSurvivesPrimaryDeathMidWait) {
+  // A worker blocked in the Fig. 6 version wait must not hang (or error out)
+  // when the primary fail-stops under it: the ensemble catches the wake-up,
+  // promotes the backup and resumes the wait there with the remaining
+  // deadline.
+  smb::SmbServer primary;
+  smb::SmbServer backup;
+  recovery::ReplicatedSmb ensemble({&primary, &backup});
+  const smb::Handle g = ensemble.create_floats(21, 2);
+  ensemble.write(g, std::vector<float>{1, 2});  // both replicas at version 1
+
+  std::optional<std::uint64_t> seen;
+  std::thread waiter([&] {
+    seen = ensemble.wait_version_at_least(g, 2, std::chrono::seconds(30));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  primary.fail_stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ensemble.write(g, std::vector<float>{3, 4});  // lands on the survivor
+  waiter.join();
+
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_GE(*seen, 2u);
+  EXPECT_EQ(ensemble.failover_count(), 1u);
+  std::vector<float> data(2);
+  ensemble.read(g, data);
+  EXPECT_EQ(data, (std::vector<float>{3, 4}));
+  ensemble.release(g);
+}
+
+// --- progress-board sweep accounting (late-fenced regression) ---
+
+TEST(ProgressBoardSweep, ZeroesStaleSlotsSoMeanUsesOnlyLiveWorkers) {
+  // A worker that raced far ahead and then died must not keep inflating the
+  // kAverageIterations mean through its stale counter: the sweep zeroes the
+  // slot under the sweep lock when it declares the worker dead.
+  smb::SmbServer server;
+  core::ProgressBoard board(server, 41, 3, /*create=*/true);
+  board.report(0, 10);
+  board.report(1, 10);
+  board.report(2, 1000);  // runs ahead, then goes silent
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  board.heartbeat(0);
+  board.heartbeat(1);
+  EXPECT_EQ(board.sweep_dead(/*timeout_seconds=*/0.05), 1);
+  EXPECT_TRUE(board.is_dead(2));
+
+  // The stale counter is gone and the reductions cover live workers only:
+  // without the zeroing, mean would read (10 + 10 + 1000) / n and the
+  // termination criterion would fire hundreds of iterations early.
+  EXPECT_EQ(board.iterations_of(2), 0);
+  EXPECT_DOUBLE_EQ(board.mean_iterations(), 10.0);
+  EXPECT_FALSE(board.should_stop(core::TerminationCriterion::kAverageIterations,
+                                 /*worker=*/0, /*my_iterations=*/10,
+                                 /*target_iterations=*/12));
+  board.release();
+}
 
 // Lock-order guard: the suite above drives the instrumented mutexes hard
 // (SMB freezes, worker crashes, heartbeat sweeps); any rank inversion or acquisition-graph cycle they produced

@@ -226,10 +226,47 @@ TEST(Findings, CleanSourceYieldsNoFindings) {
   EXPECT_TRUE(lint_source("src/dl/clean.h", clean).empty());
 }
 
+// --- no-naked-epoch ------------------------------------------------------
+
+TEST(NakedEpochRule, FlagsDirectComparisonsOnServiceEpochs) {
+  // Identifier on the left of the comparison.
+  EXPECT_TRUE(fires("src/core/trainer.cc",
+                    "if (seen_service_epoch == current) {}\n", "no-naked-epoch"));
+  EXPECT_TRUE(fires("src/smb/server.cc",
+                    "if (ensemble->service_epoch() != cached) {}\n", "no-naked-epoch"));
+  // Identifier on the right.
+  EXPECT_TRUE(fires("src/core/sharded_buffer.cc",
+                    "bool stale = cached < segment_service_epoch;\n", "no-naked-epoch"));
+  EXPECT_TRUE(fires("src/recovery/replicated_smb.cc",
+                    "while (x <= service_epoch_) {}\n", "no-naked-epoch"));
+}
+
+TEST(NakedEpochRule, AllowsAssignmentsCallsAndTheEpochHelpers) {
+  // Assignment and plain accessor calls are not comparisons.
+  EXPECT_FALSE(fires("src/core/trainer.cc",
+                     "service_epoch_ = next_service_epoch(service_epoch_);\n",
+                     "no-naked-epoch"));
+  EXPECT_FALSE(fires("src/core/trainer.cc",
+                     "const auto epoch = ensemble->service_epoch();\n", "no-naked-epoch"));
+  // The sanctioned fencing helpers take epochs as arguments.
+  EXPECT_FALSE(fires("src/core/trainer.cc",
+                     "if (epoch_is_current(seen, service_epoch_)) {}\n", "no-naked-epoch"));
+  // The CamelCase type name is not an epoch value.
+  EXPECT_FALSE(fires("src/recovery/replicated_smb.cc",
+                     "ServiceEpoch fresh = kInitialServiceEpoch;\n", "no-naked-epoch"));
+  // Streaming is not comparing.
+  EXPECT_FALSE(fires("src/recovery/schedule.cc",
+                     "out << service_epoch_;\n", "no-naked-epoch"));
+  // The helpers themselves implement the sentinel comparison — exempt.
+  EXPECT_FALSE(fires("src/recovery/epoch.h",
+                     "return seen == current_service_epoch;\n", "no-naked-epoch"));
+}
+
 TEST(RuleIds, EveryRuleIsListed) {
   const std::vector<std::string>& ids = rule_ids();
   for (const char* expected : {"rng-source", "wall-clock", "sim-wall-clock", "raii-lock",
-                               "sim-ptr-container", "pragma-once", "include-hygiene"}) {
+                               "sim-ptr-container", "pragma-once", "include-hygiene",
+                               "no-naked-epoch"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end()) << expected;
   }
 }

@@ -53,6 +53,33 @@ TEST(Serialize, RejectsCorruptMagicAndTruncation) {
   EXPECT_THROW(load_snapshot(target, trailing), std::invalid_argument);
 }
 
+TEST(Serialize, TruncationSweepRejectsEveryPrefixAtomically) {
+  // A snapshot cut at ANY byte boundary must be rejected, and — because the
+  // loader validates the whole snapshot before committing anything — the
+  // target net must come out bit-identical to how it went in (no partial
+  // restore from a torn file).
+  common::Rng rng(7);
+  Net source = make_mlp({1, 4, 4, 3}, /*hidden=*/8);
+  source.init_params(rng);
+  Net target = make_mlp({1, 4, 4, 3}, /*hidden=*/8);
+  target.init_params(rng);
+  const std::vector<float> before = params_snapshot(target);
+  const std::vector<std::byte> blob = save_snapshot(source);
+  ASSERT_NE(params_snapshot(source), before);
+
+  for (std::size_t length = 0; length < blob.size(); ++length) {
+    const std::span<const std::byte> prefix(blob.data(), length);
+    EXPECT_THROW(load_snapshot(target, prefix), std::invalid_argument)
+        << "prefix length " << length;
+  }
+  // After the whole sweep the target is untouched.
+  EXPECT_EQ(params_snapshot(target), before);
+
+  // And the intact snapshot still applies.
+  load_snapshot(target, blob);
+  EXPECT_EQ(params_snapshot(target), params_snapshot(source));
+}
+
 TEST(Serialize, FileRoundTrip) {
   Net source = make_trained_net(1);
   Net target = make_trained_net(2);

@@ -4,10 +4,12 @@
 
 #include <memory>
 #include <numeric>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "core/sharded_buffer.h"
+#include "smb/server.h"
 #include "core/trainer.h"
 
 namespace shmcaffe::core {
@@ -110,7 +112,8 @@ TEST(ShardedBuffer, MismatchedShardingRejected) {
 
 TEST(ShardedBuffer, InvalidConstructionRejected) {
   Servers rig(4);
-  EXPECT_THROW((void)ShardedBuffer::create({}, 1, 10), std::invalid_argument);
+  EXPECT_THROW((void)ShardedBuffer::create(std::span<smb::SmbService* const>{}, 1, 10),
+               std::invalid_argument);
   EXPECT_THROW((void)ShardedBuffer::create(rig.ptrs, 1, 0), std::invalid_argument);
   EXPECT_THROW((void)ShardedBuffer::create(rig.ptrs, 1, 3), std::invalid_argument);
   EXPECT_THROW((void)ShardedBuffer::attach(rig.ptrs, 404, 16), smb::SmbError);

@@ -8,6 +8,7 @@
 #   tools/check.sh plain      # just the plain build + full ctest (+ lint)
 #   tools/check.sh tsan       # just the TSan build + `ctest -L tsan`
 #   tools/check.sh asan       # just the ASan/UBSan build + full ctest
+#   tools/check.sh recovery   # `ctest -L recovery` in the plain AND TSan trees
 #
 # Each configuration builds into its own tree (build/, build-tsan/,
 # build-asan/) so incremental reruns are cheap.  Exits non-zero on the first
@@ -48,8 +49,16 @@ for stage in "${STAGES[@]}"; do
     lint)
       run_stage lint build "" "-L lint"
       ;;
+    recovery)
+      # Focused gate for the recovery layer (replicated-SMB failover,
+      # checkpoints, re-admission): its suite in the plain tree, then the
+      # same tests under ThreadSanitizer — failover and re-admission are
+      # concurrency hot spots.
+      run_stage recovery-plain build "" "-L recovery"
+      run_stage recovery-tsan build-tsan thread "-L recovery"
+      ;;
     *)
-      echo "unknown stage '$stage' (expected plain|tsan|asan|lint)" >&2
+      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery)" >&2
       exit 2
       ;;
   esac

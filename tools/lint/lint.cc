@@ -75,10 +75,10 @@ bool allowed(const std::vector<std::vector<std::string>>& allows, int line,
 
 /// Top-level project directories: a quoted include must start with one of
 /// these, and an angle include must not.
-constexpr std::array<std::string_view, 16> kProjectDirs = {
+constexpr std::array<std::string_view, 17> kProjectDirs = {
     "common/", "core/",     "smb/",  "sim/",  "net/",       "rdma/",
     "minimpi/", "coll/",    "dl/",   "data/", "cluster/",   "baselines/",
-    "fault/",   "bench/",   "tests/", "tools/"};
+    "fault/",   "bench/",   "tests/", "tools/", "recovery/"};
 
 bool is_project_include(std::string_view target) {
   for (const std::string_view dir : kProjectDirs) {
@@ -128,7 +128,7 @@ const std::vector<PatternRule>& sim_clock_patterns() {
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "rng-source",       "wall-clock",  "sim-wall-clock", "raii-lock",
-      "sim-ptr-container", "pragma-once", "include-hygiene"};
+      "sim-ptr-container", "pragma-once", "include-hygiene", "no-naked-epoch"};
   return ids;
 }
 
@@ -237,6 +237,8 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
   const std::vector<std::string> raw_lines = split_lines(contents);
   const bool sim = is_sim_path(path);
   const bool in_rng = starts_with(path, "src/common/rng");
+  // The fencing helpers themselves necessarily compare raw epoch values.
+  const bool in_epoch_helpers = starts_with(path, "src/recovery/epoch");
   const bool header = ends_with(path, ".h");
 
   auto report = [&](int line, std::string_view rule, std::string message) {
@@ -245,6 +247,16 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
   };
 
   static const std::regex kWallClock(R"(\bsystem_clock\b)");
+  // no-naked-epoch: a comparison operator adjacent to a service-epoch value
+  // (identifier containing `service_epoch`, optionally a call).  Service
+  // epochs are fenced through epoch_is_current / epoch_is_stale so the
+  // 0-means-never-resolved sentinel cannot be mishandled; a plain `=`
+  // assignment never matches.  The `[^=!<>\-]` guard keeps `<<`, `>>`,
+  // compound tokens and `->member` accesses from firing.
+  static const std::regex kNakedEpochLeft(
+      R"(\w*service_epoch\w*\s*(?:\(\s*\))?\s*(?:[=!<>]=|<(?!<)|>(?!>)))");
+  static const std::regex kNakedEpochRight(
+      R"((?:^|[^=!<>\-])(?:[=!<>]=|<(?!<)|>(?!>))\s*\w*service_epoch\w*)");
   static const std::regex kBareLock(
       R"(([A-Za-z_][A-Za-z0-9_]*)\s*(?:\.|->)\s*(lock|unlock|try_lock|lock_shared|unlock_shared|try_lock_shared)\s*\()");
   static const std::regex kPtrContainer(R"(\bunordered_(?:set|map)\s*<\s*([^,<>]*\*)\s*[,>])");
@@ -268,6 +280,13 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
       report(lineno, "wall-clock",
              "std::chrono::system_clock is nondeterministic wall time; use steady_clock "
              "(functional code) or the simulation clock");
+    }
+    if (!in_epoch_helpers && (std::regex_search(line, kNakedEpochLeft) ||
+                              std::regex_search(line, kNakedEpochRight))) {
+      report(lineno, "no-naked-epoch",
+             "naked comparison on a service epoch; use epoch_is_current / "
+             "epoch_is_stale (src/recovery/epoch.h) so fencing semantics stay "
+             "in one place");
     }
     if (sim) {
       for (const PatternRule& rule : sim_clock_patterns()) {

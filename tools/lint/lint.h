@@ -30,6 +30,11 @@
 //                     ("dir/file.h": no `../`, no `./`, must contain a
 //                     directory); project headers must not be included with
 //                     angle brackets.
+//   no-naked-epoch    comparison operators applied directly to a service
+//                     epoch (an identifier containing `service_epoch`)
+//                     outside src/recovery/epoch.h: epochs are fenced
+//                     through epoch_is_current / epoch_is_stale so the
+//                     0-means-never-resolved sentinel is handled once.
 //
 // A finding on a line carrying `// lint:allow(<rule>)` is suppressed; the
 // annotation should state the reason.  Output is machine-readable:
