@@ -1,0 +1,336 @@
+// Micro-kernel throughput snapshot for the deterministic work pool (PR:
+// perf_opt).  Measures the three ported hot paths — Conv2d im2col+GEMM
+// forward/backward, the fused SEASGD elastic exchange (eqs. 5+6), and the
+// SMB server-side accumulate (eq. 7) — each at pool widths 1 and 4, plus a
+// scalar reference implementation of the pre-pool conv GEMM (row-at-a-time,
+// per-call scratch) so the speedup of the tiled kernels is visible in the
+// numbers themselves.
+//
+// Output is one JSON document.  Timings vary run to run, but the layout is
+// fixed and every kernel row carries a `checksum` computed from the kernel's
+// float outputs in a fixed order — the t1 and t4 rows of a kernel must agree
+// on it bit-for-bit (the work pool's determinism contract; asserted here).
+// `tools/check.sh bench` snapshots the document into BENCH_kernels.json and
+// refuses to overwrite the baseline on a >20% throughput regression unless
+// forced.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/seasgd_math.h"
+#include "dl/layers.h"
+#include "smb/server.h"
+
+namespace {
+
+using namespace shmcaffe;
+using Clock = std::chrono::steady_clock;
+
+// Conv geometry: ShmCaffe-A-sized block (16 -> 32 channels, 3x3, 16x16
+// feature map, batch 8).  2 * kk * oc * columns * N ~ 19 MFLOP per pass.
+constexpr int kBatch = 8;
+constexpr int kInC = 16;
+constexpr int kOutC = 32;
+constexpr int kSide = 16;
+constexpr int kFwdReps = 40;
+constexpr int kBwdReps = 20;
+// SEASGD / SMB span: 4M floats (a ShmCaffe-B-scale parameter buffer).
+constexpr std::size_t kSpan = 4U << 20;
+constexpr int kSpanReps = 12;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fixed-order float checksum; bitwise identical inputs give identical sums.
+double checksum(const float* data, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += static_cast<double>(data[i]);
+  return sum;
+}
+
+struct Row {
+  const char* name;
+  int threads;
+  double ms;          // per iteration
+  double throughput;  // GFLOP/s for conv, Gelem/s for span kernels
+  const char* units;
+  double check;
+};
+
+std::vector<Row> rows;
+
+void emit(const char* name, int threads, double total_seconds, int reps, double work,
+          const char* units, double check) {
+  const double per_iter = total_seconds / reps;
+  rows.push_back(Row{name, threads, per_iter * 1e3, work / per_iter * 1e-9, units, check});
+}
+
+// --- scalar reference: the pre-pool conv GEMM ------------------------------
+// Row-at-a-time products with the data-dependent zero-skip and a fresh dcol
+// allocation per backward call, exactly as the engine looked before the
+// tiling port.  Kept here (not in the library) purely as the bench baseline.
+
+struct RefConv {
+  int in_c, out_c, k, stride, pad, oh, ow;
+  std::vector<float> col;
+
+  void im2col(const dl::Tensor& x, int n) {
+    const int columns = oh * ow;
+    col.assign(static_cast<std::size_t>(in_c) * k * k * columns, 0.0F);
+    std::size_t row = 0;
+    for (int ic = 0; ic < in_c; ++ic) {
+      for (int ky = 0; ky < k; ++ky) {
+        for (int kx = 0; kx < k; ++kx, ++row) {
+          float* dst = col.data() + row * static_cast<std::size_t>(columns);
+          for (int y = 0; y < oh; ++y) {
+            const int iy = y * stride + ky - pad;
+            if (iy < 0 || iy >= x.h()) {
+              dst += ow;
+              continue;
+            }
+            for (int xo = 0; xo < ow; ++xo, ++dst) {
+              const int ix = xo * stride + kx - pad;
+              if (ix >= 0 && ix < x.w()) *dst = x.at(n, ic, iy, ix);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void forward(const dl::Tensor& x, const float* w, const float* bias, dl::Tensor& top) {
+    const int columns = oh * ow;
+    const int kk = in_c * k * k;
+    for (int n = 0; n < x.n(); ++n) {
+      im2col(x, n);
+      float* out = top.data() + static_cast<std::size_t>(n) * out_c * columns;
+      for (int oc = 0; oc < out_c; ++oc) {
+        float* orow = out + static_cast<std::size_t>(oc) * columns;
+        std::fill(orow, orow + columns, bias[oc]);
+        const float* wrow = w + static_cast<std::size_t>(oc) * kk;
+        for (int r = 0; r < kk; ++r) {
+          const float wv = wrow[r];
+          if (wv == 0.0F) continue;
+          const float* crow = col.data() + static_cast<std::size_t>(r) * columns;
+          for (int c = 0; c < columns; ++c) orow[c] += wv * crow[c];
+        }
+      }
+    }
+  }
+
+  void backward(const dl::Tensor& x, const dl::Tensor& gout_t, const float* w, float* dw,
+                float* db, dl::Tensor* dx) {
+    const int columns = oh * ow;
+    const int kk = in_c * k * k;
+    std::vector<float> dcol(static_cast<std::size_t>(kk) * columns);
+    for (int n = 0; n < x.n(); ++n) {
+      im2col(x, n);
+      const float* gout =
+          gout_t.data() + static_cast<std::size_t>(n) * out_c * columns;
+      std::fill(dcol.begin(), dcol.end(), 0.0F);
+      for (int oc = 0; oc < out_c; ++oc) {
+        const float* grow = gout + static_cast<std::size_t>(oc) * columns;
+        float bias_acc = 0.0F;
+        for (int c = 0; c < columns; ++c) bias_acc += grow[c];
+        db[oc] += bias_acc;
+        float* dwrow = dw + static_cast<std::size_t>(oc) * kk;
+        const float* wrow = w + static_cast<std::size_t>(oc) * kk;
+        for (int r = 0; r < kk; ++r) {
+          const float* crow = col.data() + static_cast<std::size_t>(r) * columns;
+          float acc = 0.0F;
+          for (int c = 0; c < columns; ++c) acc += grow[c] * crow[c];
+          dwrow[r] += acc;
+          if (dx != nullptr && wrow[r] != 0.0F) {
+            float* drow = dcol.data() + static_cast<std::size_t>(r) * columns;
+            for (int c = 0; c < columns; ++c) drow[c] += wrow[r] * grow[c];
+          }
+        }
+      }
+      if (dx == nullptr) continue;
+      std::size_t row = 0;
+      for (int ic = 0; ic < in_c; ++ic) {
+        for (int ky = 0; ky < k; ++ky) {
+          for (int kx = 0; kx < k; ++kx, ++row) {
+            const float* drow = dcol.data() + row * static_cast<std::size_t>(columns);
+            for (int y = 0; y < oh; ++y) {
+              const int iy = y * stride + ky - pad;
+              if (iy < 0 || iy >= x.h()) continue;
+              for (int xo = 0; xo < ow; ++xo) {
+                const int ix = xo * stride + kx - pad;
+                if (ix >= 0 && ix < x.w()) dx->at(n, ic, iy, ix) += drow[y * ow + xo];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+// --- kernels ----------------------------------------------------------------
+
+void bench_conv(int threads) {
+  common::parallel::set_thread_count(threads);
+  dl::Conv2d conv("c", kInC, kOutC, 3, 1, 1);
+  common::Rng rng(7);
+  conv.init_params(rng);
+  dl::Tensor x({kBatch, kInC, kSide, kSide});
+  for (float& v : x.span()) v = static_cast<float>(rng.uniform(-1, 1));
+  dl::Tensor top;
+  conv.setup({&x}, top);
+  conv.forward({&x}, top, true);  // size the arenas outside the timed loop
+
+  const double columns = static_cast<double>(kSide) * kSide;
+  const double kk = static_cast<double>(kInC) * 9;
+  const double flops = 2.0 * kk * kOutC * columns * kBatch;
+
+  auto start = Clock::now();
+  for (int i = 0; i < kFwdReps; ++i) conv.forward({&x}, top, true);
+  emit("conv_fwd", threads, seconds_since(start), kFwdReps, flops, "gflops",
+       checksum(top.data(), top.size()));
+
+  dl::Tensor top_grad;
+  top_grad.reshape(top.shape());
+  for (float& v : top_grad.span()) v = static_cast<float>(rng.uniform(-0.01, 0.01));
+  dl::Tensor x_grad;
+  x_grad.reshape(x.shape());
+  std::vector<dl::Tensor*> bottom_grads{&x_grad};
+  conv.backward({&x}, top, top_grad, bottom_grads);  // size dcol_
+  start = Clock::now();
+  for (int i = 0; i < kBwdReps; ++i) {
+    x_grad.zero();
+    conv.backward({&x}, top, top_grad, bottom_grads);
+  }
+  // dW, dcol and col2im each stream the full GEMM volume: ~3x forward work.
+  emit("conv_bwd", threads, seconds_since(start), kBwdReps, 3.0 * flops, "gflops",
+       checksum(x_grad.data(), x_grad.size()));
+}
+
+void bench_conv_scalar_reference() {
+  dl::Conv2d init("c", kInC, kOutC, 3, 1, 1);
+  common::Rng rng(7);
+  init.init_params(rng);
+  dl::Tensor x({kBatch, kInC, kSide, kSide});
+  for (float& v : x.span()) v = static_cast<float>(rng.uniform(-1, 1));
+  dl::Tensor top;
+  init.setup({&x}, top);
+
+  RefConv ref{kInC, kOutC, 3, 1, 1, top.h(), top.w(), {}};
+  const float* w = init.params()[0]->value.data();
+  const float* b = init.params()[1]->value.data();
+  const double columns = static_cast<double>(kSide) * kSide;
+  const double kk = static_cast<double>(kInC) * 9;
+  const double flops = 2.0 * kk * kOutC * columns * kBatch;
+
+  ref.forward(x, w, b, top);
+  auto start = Clock::now();
+  for (int i = 0; i < kFwdReps; ++i) ref.forward(x, w, b, top);
+  emit("conv_fwd_scalar_ref", 1, seconds_since(start), kFwdReps, flops, "gflops",
+       checksum(top.data(), top.size()));
+
+  dl::Tensor top_grad;
+  top_grad.reshape(top.shape());
+  for (float& v : top_grad.span()) v = static_cast<float>(rng.uniform(-0.01, 0.01));
+  dl::Tensor x_grad;
+  x_grad.reshape(x.shape());
+  std::vector<float> dw(init.params()[0]->value.size());
+  std::vector<float> db(init.params()[1]->value.size());
+  start = Clock::now();
+  for (int i = 0; i < kBwdReps; ++i) {
+    x_grad.zero();
+    ref.backward(x, top_grad, w, dw.data(), db.data(), &x_grad);
+  }
+  emit("conv_bwd_scalar_ref", 1, seconds_since(start), kBwdReps, 3.0 * flops, "gflops",
+       checksum(x_grad.data(), x_grad.size()));
+}
+
+void bench_seasgd(int threads) {
+  common::parallel::set_thread_count(threads);
+  common::Rng rng(11);
+  std::vector<float> local(kSpan);
+  std::vector<float> global(kSpan);
+  std::vector<float> delta(kSpan);
+  for (float& v : local) v = static_cast<float>(rng.uniform(-1, 1));
+  for (float& v : global) v = static_cast<float>(rng.uniform(-1, 1));
+  const std::vector<float> local0 = local;
+
+  core::elastic_exchange_parallel(local, global, 0.25F, delta);  // warm pool
+  auto start = Clock::now();
+  for (int i = 0; i < kSpanReps; ++i) {
+    std::copy(local0.begin(), local0.end(), local.begin());
+    core::elastic_exchange_parallel(local, global, 0.25F, delta);
+  }
+  emit("seasgd_exchange", threads, seconds_since(start), kSpanReps,
+       static_cast<double>(kSpan), "gelems", checksum(delta.data(), delta.size()));
+}
+
+void bench_smb_accumulate(int threads) {
+  common::parallel::set_thread_count(threads);
+  smb::SmbServerOptions options;
+  options.capacity_bytes = 256LL << 20;
+  smb::SmbServer server(options);
+  const smb::Handle src = server.create_floats(1, kSpan);
+  const smb::Handle dst = server.create_floats(2, kSpan);
+  common::Rng rng(13);
+  std::vector<float> delta(kSpan);
+  for (float& v : delta) v = static_cast<float>(rng.uniform(-0.01, 0.01));
+  server.write(src, delta);
+
+  server.accumulate(src, dst);  // warm pool + scratch
+  auto start = Clock::now();
+  for (int i = 0; i < kSpanReps; ++i) server.accumulate(src, dst);
+  const double elapsed = seconds_since(start);
+  std::vector<float> out(kSpan);
+  server.read(dst, out);
+  emit("smb_accumulate", threads, elapsed, kSpanReps, static_cast<double>(kSpan),
+       "gelems", checksum(out.data(), out.size()));
+}
+
+}  // namespace
+
+int main() {
+  for (const int threads : {1, 2, 4}) {
+    bench_conv(threads);
+    bench_seasgd(threads);
+    bench_smb_accumulate(threads);
+  }
+  bench_conv_scalar_reference();
+  common::parallel::shutdown();
+
+  // The determinism contract, enforced where the numbers are produced: a
+  // kernel's checksum must not depend on the pool width.  (The accumulate
+  // rows intentionally differ — each run adds into the same destination —
+  // so they are exempt.)
+  for (const Row& a : rows) {
+    for (const Row& b : rows) {
+      if (std::string_view(a.name) != b.name || a.threads >= b.threads) continue;
+      if (std::string_view(a.name) == "smb_accumulate") continue;
+      if (a.check != b.check) {
+        std::fprintf(stderr, "checksum mismatch for %s: t%d=%.17g t%d=%.17g\n", a.name,
+                     a.threads, a.check, b.threads, b.check);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("{\n  \"schema\": \"bench_micro_kernels/v1\",\n");
+  std::printf("  \"conv\": {\"batch\": %d, \"in_c\": %d, \"out_c\": %d, \"side\": %d},\n",
+              kBatch, kInC, kOutC, kSide);
+  std::printf("  \"span_elements\": %zu,\n", kSpan);
+  std::printf("  \"kernels\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\"name\": \"%s_t%d\", \"threads\": %d, \"ms_per_iter\": %.4f, "
+                "\"throughput\": %.4f, \"units\": \"%s\", \"checksum\": %.9g}%s\n",
+                r.name, r.threads, r.threads, r.ms, r.throughput, r.units, r.check,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -145,7 +145,8 @@ core::TrainResult train_downpour(const core::DistTrainOptions& options,
   shared.lr_step_iterations = std::max<int>(1, static_cast<int>(per_worker_per_epoch) * 4);
 
   const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
+  // One thread per Downpour worker (rank model, not compute parallelism).
+  std::vector<std::thread> threads;  // lint:allow(no-raw-thread)
   for (int w = 0; w < options.workers; ++w) {
     threads.emplace_back([&shared, w] { run_downpour_worker(shared, w); });
   }
@@ -159,7 +160,7 @@ core::TrainResult train_downpour(const core::DistTrainOptions& options,
   const std::int64_t per_epoch_total =
       std::max<std::int64_t>(1, total_target / options.epochs);
   std::atomic<bool> joined{false};
-  std::thread joiner([&threads, &joined] {
+  std::thread joiner([&threads, &joined] {  // lint:allow(no-raw-thread)
     for (auto& t : threads) t.join();
     joined = true;
   });

@@ -153,7 +153,8 @@ core::TrainResult train_ssgd(const core::DistTrainOptions& options, SsgdTranspor
       std::max<int>(1, static_cast<int>(shared.iters_per_epoch) * 4);
 
   const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
+  // One thread per distributed rank (worker lifecycle, not compute).
+  std::vector<std::thread> threads;  // lint:allow(no-raw-thread)
   threads.reserve(static_cast<std::size_t>(options.workers));
   for (int r = 0; r < options.workers; ++r) {
     threads.emplace_back([&shared, r] { run_rank(shared, r); });

@@ -83,11 +83,26 @@ namespace detail {
 
 namespace {
 
-/// Locks this thread currently holds, outermost first.  Guards may release
-/// out of order, so this is a set-like vector, not a strict stack.
-std::vector<const LockSite*>& held_locks() {
-  thread_local std::vector<const LockSite*> held;
-  return held;
+/// Set once this thread's copy of the held-locks list has been destroyed.
+/// A trivially-destructible thread_local stays readable through teardown,
+/// so it guards the window where TLS destructors have already run but the
+/// thread still acquires locks — e.g. the work pool's static destructor
+/// joining its workers after glibc's __call_tls_dtors.  Tracking is simply
+/// disabled then; the mutexes themselves still lock normally.
+thread_local bool t_tracking_torn_down = false;
+
+struct HeldList {
+  /// Locks this thread currently holds, outermost first.  Guards may
+  /// release out of order, so this is a set-like vector, not a strict stack.
+  std::vector<const LockSite*> held;
+  ~HeldList() { t_tracking_torn_down = true; }
+};
+
+/// Null during thread/process teardown (see t_tracking_torn_down).
+std::vector<const LockSite*>* held_locks() {
+  if (t_tracking_torn_down) return nullptr;
+  thread_local HeldList list;
+  return &list.held;
 }
 
 /// Per-thread memo of (holder, acquired) name pairs already pushed to the
@@ -106,8 +121,9 @@ EdgeMemo& edge_memo() {
 }  // namespace
 
 void before_blocking_acquire(const LockSite& site) {
-  const std::vector<const LockSite*>& held = held_locks();
-  if (held.empty()) return;
+  const std::vector<const LockSite*>* held_ptr = held_locks();
+  if (held_ptr == nullptr || held_ptr->empty()) return;
+  const std::vector<const LockSite*>& held = *held_ptr;
 
   LockOrderRegistry::Impl& impl = LockOrderRegistry::instance().impl();
   EdgeMemo& memo = edge_memo();
@@ -146,10 +162,14 @@ void before_blocking_acquire(const LockSite& site) {
   }
 }
 
-void on_acquired(const LockSite& site) { held_locks().push_back(&site); }
+void on_acquired(const LockSite& site) {
+  if (std::vector<const LockSite*>* held = held_locks()) held->push_back(&site);
+}
 
 void on_released(const LockSite& site) {
-  std::vector<const LockSite*>& held = held_locks();
+  std::vector<const LockSite*>* held_ptr = held_locks();
+  if (held_ptr == nullptr) return;
+  std::vector<const LockSite*>& held = *held_ptr;
   for (auto it = held.rbegin(); it != held.rend(); ++it) {
     if (*it == &site) {
       held.erase(std::next(it).base());

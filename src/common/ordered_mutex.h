@@ -39,6 +39,7 @@
 //   300  | baselines.async_ps.weights  | classic parameter-server weights
 //   400  | minimpi.mailbox             | per-rank MiniMPI mailbox
 //   410  | minimpi.barrier             | MiniMPI barrier state
+//   500  | common.parallel.pool        | work-pool job handoff (common/parallel)
 //
 // Observed orderings the table encodes: a progress-board sweep (100) reads
 // and writes SMB counters, which take the table lock (210); the replica
@@ -46,8 +47,12 @@
 // segment (200) and table (210) locks while held; SmbServer::read
 // takes the table lock (210) for stats while holding a segment lock (200).
 // MiniMPI and the parameter server are leaf locks: nothing else is acquired
-// under them.  Mutexes of the same rank are only ever acquired together via
-// std::scoped_lock (deadlock-avoiding try-lock protocol).
+// under them.  The parallel work pool (500) is the innermost lock of all:
+// SmbServer::accumulate submits parallel chunks while holding a segment
+// lock (200), so the pool handoff must rank above every lock a submitter
+// may hold; pool workers run chunk bodies with no pool lock held.  Mutexes
+// of the same rank are only ever acquired together via std::scoped_lock
+// (deadlock-avoiding try-lock protocol).
 #pragma once
 
 #include <mutex>
@@ -65,6 +70,7 @@ inline constexpr int kSmbTable = 210;
 inline constexpr int kAsyncPsWeights = 300;
 inline constexpr int kMpiMailbox = 400;
 inline constexpr int kMpiBarrier = 410;
+inline constexpr int kParallelPool = 500;
 }  // namespace lockrank
 
 namespace detail {

@@ -1,0 +1,239 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/ordered_mutex.h"
+
+namespace shmcaffe::common::parallel {
+namespace {
+
+/// True on a pool worker thread: a parallel call from inside a chunk body
+/// runs inline instead of fanning out again (no self-deadlock, no nesting).
+thread_local bool t_on_pool_worker = false;
+
+/// One fan-out in flight.  Chunks are claimed through `next` (dynamic
+/// schedule); determinism comes from the chunk *boundaries*, not from which
+/// thread runs which chunk.
+struct Job {
+  const IndexedChunkFn* fn = nullptr;
+  std::size_t grain = 1;
+  std::size_t range = 0;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> finished{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // guarded by the pool mutex; first failure wins
+  /// Workers currently inside help() for this job; guarded by the pool
+  /// mutex.  The submitter only retires the (stack-allocated) job once every
+  /// helper detached, so a slow worker can never touch a dead job.
+  int helpers = 0;
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  int width() {
+    std::unique_lock lock(mutex_);
+    ensure_started_locked();
+    return width_;
+  }
+
+  void configure(int count) {
+    stop_workers();
+    std::unique_lock lock(mutex_);
+    width_ = std::max(1, count);
+    spawn_locked();
+  }
+
+  void shutdown() {
+    stop_workers();
+    std::unique_lock lock(mutex_);
+    width_ = 0;  // back to the unstarted state; next use re-reads the env
+  }
+
+  void run(std::size_t range, std::size_t grain, const IndexedChunkFn& fn) {
+    if (range == 0) return;
+    grain = std::max<std::size_t>(1, grain);
+    const std::size_t chunks = chunk_count(range, grain);
+    // Inline paths: nested call, single chunk, or a pool of width 1 — the
+    // chunk loop below is the same code the workers run, so the float
+    // results are identical by construction.
+    if (t_on_pool_worker || chunks == 1) {
+      run_inline(range, grain, chunks, fn);
+      return;
+    }
+    {
+      std::unique_lock lock(mutex_);
+      ensure_started_locked();
+      if (width_ == 1) {
+        lock.unlock();
+        run_inline(range, grain, chunks, fn);
+        return;
+      }
+      Job job;
+      job.fn = &fn;
+      job.grain = grain;
+      job.range = range;
+      job.chunks = chunks;
+      job_ = &job;
+      ++job_epoch_;
+      lock.unlock();
+      work_cv_.notify_all();
+
+      help(job);  // the submitter is executor 0
+
+      lock.lock();
+      done_cv_.wait(lock, [&] {
+        return job.finished.load(std::memory_order_acquire) == job.chunks &&
+               job.helpers == 0;
+      });
+      job_ = nullptr;  // no helper can attach once cleared (checked under the mutex)
+      if (job.error) std::rethrow_exception(job.error);
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  /// Static-storage singleton: join the workers at process exit so their
+  /// std::thread handles are not destroyed joinable (std::terminate).
+  ~Pool() { stop_workers(); }
+
+  static int env_thread_count() {
+    const char* env = std::getenv("SHMCAFFE_THREADS");
+    if (env != nullptr) {
+      const int value = std::atoi(env);
+      if (value >= 1) return std::min(value, 64);
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp(hardware, 1U, 16U));
+  }
+
+  void ensure_started_locked() {
+    if (width_ != 0) return;
+    width_ = env_thread_count();
+    spawn_locked();
+  }
+
+  void spawn_locked() {
+    stopping_ = false;
+    for (int w = 1; w < width_; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Joins every worker.  Never called with the pool mutex held (join would
+  /// deadlock against a worker draining its last chunk).
+  void stop_workers() {
+    std::vector<std::thread> workers;
+    {
+      std::unique_lock lock(mutex_);
+      stopping_ = true;
+      workers.swap(workers_);
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  void worker_loop() {
+    t_on_pool_worker = true;
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stopping_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+        });
+        if (stopping_) return;
+        seen_epoch = job_epoch_;
+        job = job_;
+        job->helpers += 1;
+      }
+      help(*job);
+      {
+        std::unique_lock lock(mutex_);
+        job->helpers -= 1;
+        if (job->helpers > 0) continue;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  /// Claims and runs chunks until the job's cursor is exhausted.  After a
+  /// chunk throws, the remaining chunks are still claimed (so `finished`
+  /// reaches `chunks` and the submitter wakes) but their bodies are skipped.
+  void help(Job& job) {
+    for (;;) {
+      const std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job.chunks) return;
+      if (!job.failed.load(std::memory_order_acquire)) {
+        const std::size_t begin = chunk * job.grain;
+        const std::size_t end = std::min(begin + job.grain, job.range);
+        try {
+          (*job.fn)(chunk, begin, end);
+        } catch (...) {
+          std::unique_lock lock(mutex_);
+          if (!job.failed.exchange(true, std::memory_order_acq_rel)) {
+            job.error = std::current_exception();
+          }
+        }
+      }
+      job.finished.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  static void run_inline(std::size_t range, std::size_t grain, std::size_t chunks,
+                         const IndexedChunkFn& fn) {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      const std::size_t begin = chunk * grain;
+      fn(chunk, begin, std::min(begin + grain, range));
+    }
+  }
+
+  /// Rank 500: above every lock a submitter may hold (SMB segment locks are
+  /// rank 200); see the table in common/ordered_mutex.h.
+  OrderedMutex mutex_{"common.parallel.pool", lockrank::kParallelPool};
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t job_epoch_ = 0;
+  bool stopping_ = false;
+  int width_ = 0;  // 0 = not started; >= 1 once running
+};
+
+}  // namespace
+
+std::size_t chunk_count(std::size_t range, std::size_t grain) {
+  grain = std::max<std::size_t>(1, grain);
+  return range == 0 ? 0 : (range + grain - 1) / grain;
+}
+
+int thread_count() { return Pool::instance().width(); }
+
+void set_thread_count(int count) { Pool::instance().configure(count); }
+
+void shutdown() { Pool::instance().shutdown(); }
+
+void parallel_for(std::size_t range, std::size_t grain, const ChunkFn& fn) {
+  const IndexedChunkFn indexed = [&fn](std::size_t /*chunk*/, std::size_t begin,
+                                       std::size_t end) { fn(begin, end); };
+  Pool::instance().run(range, grain, indexed);
+}
+
+void parallel_for_indexed(std::size_t range, std::size_t grain, const IndexedChunkFn& fn) {
+  Pool::instance().run(range, grain, fn);
+}
+
+}  // namespace shmcaffe::common::parallel

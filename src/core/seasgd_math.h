@@ -10,12 +10,26 @@
 // These helpers operate on flat float spans (the SMB segment layout) and are
 // shared by the functional trainers; (7) is performed by the SMB server's
 // accumulate operation.
+//
+// Each kernel comes in a scalar form and a `_parallel` form that runs the
+// same loop in fixed-size chunks on the shared work pool.  Every element is
+// written by exactly one chunk and no chunk reads another chunk's output, so
+// the parallel forms are bitwise identical to the scalar ones for any pool
+// width (see common/parallel.h).
 #pragma once
 
 #include <cassert>
 #include <span>
 
+#include "common/parallel.h"
+
 namespace shmcaffe::core {
+
+/// Elements of a model span handed to one pool chunk by the `_parallel`
+/// SEASGD kernels.  64 KiB of floats — large enough that per-chunk dispatch
+/// overhead is negligible, small enough that ShmCaffe-B/C models still
+/// spread across every executor.
+inline constexpr std::size_t kSeasgdGrain = 16384;
 
 /// Computes the weight increment dW = alpha * (local - global)   (eq. 5).
 inline void weight_increment(std::span<const float> local, std::span<const float> global,
@@ -41,6 +55,43 @@ inline void elastic_exchange(std::span<float> local, std::span<const float> glob
     delta[i] = d;
     local[i] -= d;
   }
+}
+
+/// Chunked (5): bitwise identical to weight_increment for any pool width.
+inline void weight_increment_parallel(std::span<const float> local,
+                                      std::span<const float> global, float alpha,
+                                      std::span<float> delta) {
+  assert(local.size() == global.size() && local.size() == delta.size());
+  common::parallel::parallel_for(
+      local.size(), kSeasgdGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          delta[i] = alpha * (local[i] - global[i]);
+        }
+      });
+}
+
+/// Chunked (6): bitwise identical to apply_increment_locally.
+inline void apply_increment_locally_parallel(std::span<float> local,
+                                             std::span<const float> delta) {
+  assert(local.size() == delta.size());
+  common::parallel::parallel_for(
+      local.size(), kSeasgdGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) local[i] -= delta[i];
+      });
+}
+
+/// Chunked fused (5)+(6): bitwise identical to elastic_exchange.
+inline void elastic_exchange_parallel(std::span<float> local, std::span<const float> global,
+                                      float alpha, std::span<float> delta) {
+  assert(local.size() == global.size() && local.size() == delta.size());
+  common::parallel::parallel_for(
+      local.size(), kSeasgdGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const float d = alpha * (local[i] - global[i]);
+          delta[i] = d;
+          local[i] -= d;
+        }
+      });
 }
 
 }  // namespace shmcaffe::core

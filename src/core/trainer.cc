@@ -226,9 +226,11 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
     std::unique_lock lock(exchange.mutex);
     exchange.cv.wait(lock, [&] { return !exchange.pending || exchange.stopping; });
     if (exchange.stopping) throw smb::SmbUnavailable("SMB lost during exchange");
-    global.read(global_copy);                                     // T1
+    global.read(global_copy);  // T1
     dl::copy_params_to(net, local);
-    elastic_exchange(local, global_copy, alpha, exchange.delta);  // T2: eqs. (5)+(6)
+    // T2: eqs. (5)+(6), chunked on the work pool (bitwise equal to the
+    // scalar elastic_exchange for any SHMCAFFE_THREADS).
+    elastic_exchange_parallel(local, global_copy, alpha, exchange.delta);
     dl::copy_params_from(net, local);
     exchange.pending = true;  // T3: hand the increment to the update thread
     lock.unlock();

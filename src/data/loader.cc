@@ -53,7 +53,9 @@ void ShardedLoader::skip_batches(std::int64_t count) {
 
 Prefetcher::Prefetcher(ShardedLoader loader, std::size_t depth)
     : loader_(std::move(loader)), depth_(depth == 0 ? 1 : depth) {
-  producer_ = std::thread([this] { producer_loop(); });
+  // Dedicated I/O producer; batches cross the queue in deterministic order
+  // regardless of timing.
+  producer_ = std::thread([this] { producer_loop(); });  // lint:allow(no-raw-thread)
 }
 
 Prefetcher::~Prefetcher() {

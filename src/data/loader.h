@@ -87,7 +87,7 @@ class Prefetcher {
   std::condition_variable not_full_;
   std::deque<Batch> queue_;
   bool stopping_ = false;
-  std::thread producer_;
+  std::thread producer_;  // lint:allow(no-raw-thread) — I/O prefetch, not compute
 };
 
 }  // namespace shmcaffe::data

@@ -6,12 +6,24 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace shmcaffe::dl {
 namespace {
 
 void check(bool condition, const char* message) {
   if (!condition) throw std::invalid_argument(message);
 }
+
+// Cache-block tile of the GEMM engine: each work item computes a
+// kOcTile x kColTile block of the output into a stack-local accumulator
+// (8 KiB), streaming the column matrix row by row.  Every output element
+// belongs to exactly one tile and the reduction over the kk rows runs in
+// ascending row order, so results are independent of the pool width.
+constexpr int kOcTile = 8;
+constexpr int kColTile = 256;
+// im2col / dcol rows handed to one pool chunk.
+constexpr std::size_t kRowGrain = 4;
 
 int conv_out_extent(int in, int kernel, int stride, int pad) {
   return (in + 2 * pad - kernel) / stride + 1;
@@ -140,28 +152,34 @@ void Conv2d::backward_direct(const Tensor& x, const Tensor& top, const Tensor& t
 }
 
 void Conv2d::im2col(const Tensor& x, int sample, int oh, int ow) {
-  // col_ layout: rows = (ic, ky, kx), columns = (y, xo).
+  // col_ layout: rows = (ic, ky, kx), columns = (y, xo).  The arena grows to
+  // the layer's geometry once and is reused; rows are filled in parallel and
+  // every element is written (padded positions get an explicit 0), so no
+  // pre-zeroing pass over the whole matrix is needed.
   const int columns = oh * ow;
-  col_.assign(static_cast<std::size_t>(in_channels_) * kernel_ * kernel_ * columns, 0.0F);
-  std::size_t row = 0;
-  for (int ic = 0; ic < in_channels_; ++ic) {
-    for (int ky = 0; ky < kernel_; ++ky) {
-      for (int kx = 0; kx < kernel_; ++kx, ++row) {
-        float* dst = col_.data() + row * static_cast<std::size_t>(columns);
-        for (int y = 0; y < oh; ++y) {
-          const int iy = y * stride_ + ky - pad_;
-          if (iy < 0 || iy >= x.h()) {
-            dst += ow;
-            continue;
-          }
-          for (int xo = 0; xo < ow; ++xo, ++dst) {
-            const int ix = xo * stride_ + kx - pad_;
-            if (ix >= 0 && ix < x.w()) *dst = x.at(sample, ic, iy, ix);
-          }
+  const std::size_t rows = static_cast<std::size_t>(in_channels_) * kernel_ * kernel_;
+  if (col_.size() != rows * columns) col_.resize(rows * columns);
+  common::parallel::parallel_for(rows, kRowGrain, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t row = rb; row < re; ++row) {
+      const int ic = static_cast<int>(row) / (kernel_ * kernel_);
+      const int rem = static_cast<int>(row) % (kernel_ * kernel_);
+      const int ky = rem / kernel_;
+      const int kx = rem % kernel_;
+      float* dst = col_.data() + row * static_cast<std::size_t>(columns);
+      for (int y = 0; y < oh; ++y) {
+        const int iy = y * stride_ + ky - pad_;
+        if (iy < 0 || iy >= x.h()) {
+          std::fill(dst, dst + ow, 0.0F);
+          dst += ow;
+          continue;
+        }
+        for (int xo = 0; xo < ow; ++xo, ++dst) {
+          const int ix = xo * stride_ + kx - pad_;
+          *dst = (ix >= 0 && ix < x.w()) ? x.at(sample, ic, iy, ix) : 0.0F;
         }
       }
     }
-  }
+  });
 }
 
 void Conv2d::forward_gemm(const Tensor& x, Tensor& top) {
@@ -170,21 +188,53 @@ void Conv2d::forward_gemm(const Tensor& x, Tensor& top) {
   const int columns = oh * ow;
   const int kk = in_channels_ * kernel_ * kernel_;
   const float* w = weight_.value.data();  // [OC, kk]
+  const std::size_t oc_tiles = (static_cast<std::size_t>(out_channels_) + kOcTile - 1) / kOcTile;
+  const std::size_t col_tiles = (static_cast<std::size_t>(columns) + kColTile - 1) / kColTile;
   for (int n = 0; n < x.n(); ++n) {
     im2col(x, n, oh, ow);
     float* out = top.data() +
                  static_cast<std::size_t>(n) * out_channels_ * columns;
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      float* orow = out + static_cast<std::size_t>(oc) * columns;
-      std::fill(orow, orow + columns, bias_.value[static_cast<std::size_t>(oc)]);
-      const float* wrow = w + static_cast<std::size_t>(oc) * kk;
-      for (int r = 0; r < kk; ++r) {
-        const float wv = wrow[r];
-        if (wv == 0.0F) continue;
-        const float* crow = col_.data() + static_cast<std::size_t>(r) * columns;
-        for (int cidx = 0; cidx < columns; ++cidx) orow[cidx] += wv * crow[cidx];
-      }
-    }
+    const float* col = col_.data();
+    common::parallel::parallel_for(
+        oc_tiles * col_tiles, 1, [&](std::size_t tb, std::size_t te) {
+          float acc[kOcTile][kColTile];
+          for (std::size_t tile = tb; tile < te; ++tile) {
+            const int oc0 = static_cast<int>(tile / col_tiles) * kOcTile;
+            const int oc1 = std::min(oc0 + kOcTile, out_channels_);
+            const int c0 = static_cast<int>(tile % col_tiles) * kColTile;
+            const int c1 = std::min(c0 + kColTile, columns);
+            const int ocn = oc1 - oc0;
+            const int cn = c1 - c0;
+            for (int i = 0; i < ocn; ++i) {
+              std::fill(acc[i], acc[i] + cn,
+                        bias_.value[static_cast<std::size_t>(oc0 + i)]);
+            }
+            if (ocn == kOcTile && cn == kColTile) {
+              // Full tile: compile-time trip counts so the accumulation
+              // unrolls and vectorises; same ascending-r float order as the
+              // general path below.
+              for (int r = 0; r < kk; ++r) {
+                const float* crow = col + static_cast<std::size_t>(r) * columns + c0;
+                for (int i = 0; i < kOcTile; ++i) {
+                  const float wv = w[static_cast<std::size_t>(oc0 + i) * kk + r];
+                  for (int j = 0; j < kColTile; ++j) acc[i][j] += wv * crow[j];
+                }
+              }
+            } else {
+              for (int r = 0; r < kk; ++r) {
+                const float* crow = col + static_cast<std::size_t>(r) * columns + c0;
+                for (int i = 0; i < ocn; ++i) {
+                  const float wv = w[static_cast<std::size_t>(oc0 + i) * kk + r];
+                  for (int j = 0; j < cn; ++j) acc[i][j] += wv * crow[j];
+                }
+              }
+            }
+            for (int i = 0; i < ocn; ++i) {
+              float* orow = out + static_cast<std::size_t>(oc0 + i) * columns + c0;
+              std::copy(acc[i], acc[i] + cn, orow);
+            }
+          }
+        });
   }
 }
 
@@ -196,55 +246,73 @@ void Conv2d::backward_gemm(const Tensor& x, const Tensor& top, const Tensor& top
   const int kk = in_channels_ * kernel_ * kernel_;
   const float* w = weight_.value.data();
   float* dw = weight_.grad.data();
-  std::vector<float> dcol(static_cast<std::size_t>(kk) * columns);
+  if (dcol_.size() != static_cast<std::size_t>(kk) * columns) {
+    dcol_.resize(static_cast<std::size_t>(kk) * columns);
+  }
 
   for (int n = 0; n < x.n(); ++n) {
     im2col(x, n, oh, ow);
     const float* gout = top_grad.data() +
                         static_cast<std::size_t>(n) * out_channels_ * columns;
-    // dW += dY . col^T ; db += row-sums(dY) ; dcol = W^T . dY
-    std::fill(dcol.begin(), dcol.end(), 0.0F);
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      const float* grow = gout + static_cast<std::size_t>(oc) * columns;
-      float bias_acc = 0.0F;
-      for (int cidx = 0; cidx < columns; ++cidx) bias_acc += grow[cidx];
-      bias_.grad[static_cast<std::size_t>(oc)] += bias_acc;
-      float* dwrow = dw + static_cast<std::size_t>(oc) * kk;
-      const float* wrow = w + static_cast<std::size_t>(oc) * kk;
-      for (int r = 0; r < kk; ++r) {
-        const float* crow = col_.data() + static_cast<std::size_t>(r) * columns;
-        float acc = 0.0F;
-        for (int cidx = 0; cidx < columns; ++cidx) acc += grow[cidx] * crow[cidx];
-        dwrow[r] += acc;
-        if (dx != nullptr) {
-          const float wv = wrow[r];
-          if (wv != 0.0F) {
-            float* drow = dcol.data() + static_cast<std::size_t>(r) * columns;
-            for (int cidx = 0; cidx < columns; ++cidx) drow[cidx] += wv * grow[cidx];
+    const float* col = col_.data();
+    // dW += dY . col^T ; db += row-sums(dY).  Parallel over output channels:
+    // each channel's bias and weight rows are written by exactly one chunk,
+    // and every dot product reduces in ascending column order.
+    common::parallel::parallel_for(
+        static_cast<std::size_t>(out_channels_), 1, [&](std::size_t ob, std::size_t oe) {
+          for (std::size_t oc = ob; oc < oe; ++oc) {
+            const float* grow = gout + oc * columns;
+            float bias_acc = 0.0F;
+            for (int cidx = 0; cidx < columns; ++cidx) bias_acc += grow[cidx];
+            bias_.grad[oc] += bias_acc;
+            float* dwrow = dw + oc * kk;
+            for (int r = 0; r < kk; ++r) {
+              const float* crow = col + static_cast<std::size_t>(r) * columns;
+              float acc = 0.0F;
+              for (int cidx = 0; cidx < columns; ++cidx) acc += grow[cidx] * crow[cidx];
+              dwrow[r] += acc;
+            }
           }
-        }
-      }
-    }
+        });
     if (dx == nullptr) continue;
-    // col2im: scatter-add dcol back into dx.
-    std::size_t row = 0;
-    for (int ic = 0; ic < in_channels_; ++ic) {
-      for (int ky = 0; ky < kernel_; ++ky) {
-        for (int kx = 0; kx < kernel_; ++kx, ++row) {
-          const float* drow = dcol.data() + row * static_cast<std::size_t>(columns);
-          for (int y = 0; y < oh; ++y) {
-            const int iy = y * stride_ + ky - pad_;
-            if (iy < 0 || iy >= x.h()) continue;
-            for (int xo = 0; xo < ow; ++xo) {
-              const int ix = xo * stride_ + kx - pad_;
-              if (ix >= 0 && ix < x.w()) {
-                dx->at(n, ic, iy, ix) += drow[y * ow + xo];
+    // dcol = W^T . dY, parallel over column-matrix rows; each row is owned by
+    // one chunk and accumulates over output channels in ascending order.
+    common::parallel::parallel_for(
+        static_cast<std::size_t>(kk), kRowGrain, [&](std::size_t rb, std::size_t re) {
+          for (std::size_t r = rb; r < re; ++r) {
+            float* drow = dcol_.data() + r * static_cast<std::size_t>(columns);
+            std::fill(drow, drow + columns, 0.0F);
+            for (int oc = 0; oc < out_channels_; ++oc) {
+              const float wv = w[static_cast<std::size_t>(oc) * kk + r];
+              const float* grow = gout + static_cast<std::size_t>(oc) * columns;
+              for (int cidx = 0; cidx < columns; ++cidx) drow[cidx] += wv * grow[cidx];
+            }
+          }
+        });
+    // col2im: scatter-add dcol back into dx.  Parallel over input channels —
+    // rows of one channel touch only that channel's dx slice, so chunks
+    // write disjoint memory.
+    common::parallel::parallel_for(
+        static_cast<std::size_t>(in_channels_), 1, [&](std::size_t ib, std::size_t ie) {
+          for (std::size_t ic = ib; ic < ie; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const std::size_t row = (ic * kernel_ + ky) * kernel_ + kx;
+                const float* drow = dcol_.data() + row * static_cast<std::size_t>(columns);
+                for (int y = 0; y < oh; ++y) {
+                  const int iy = y * stride_ + ky - pad_;
+                  if (iy < 0 || iy >= x.h()) continue;
+                  for (int xo = 0; xo < ow; ++xo) {
+                    const int ix = xo * stride_ + kx - pad_;
+                    if (ix >= 0 && ix < x.w()) {
+                      dx->at(n, static_cast<int>(ic), iy, ix) += drow[y * ow + xo];
+                    }
+                  }
+                }
               }
             }
           }
-        }
-      }
-    }
+        });
   }
 }
 

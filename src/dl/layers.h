@@ -15,7 +15,10 @@ namespace shmcaffe::dl {
 /// implementation; kIm2colGemm lowers each sample to a column matrix and
 /// runs the convolution as a matrix product (Caffe's strategy) — several
 /// times faster on CPU and bit-compatible in shape, equivalent numerically
-/// up to float association.
+/// up to float association.  The GEMM engine is cache-block tiled over
+/// (output channel, output position) and runs on the shared work pool
+/// (common/parallel.h); its chunking is a pure function of the geometry, so
+/// outputs and gradients are bitwise identical for every SHMCAFFE_THREADS.
 enum class ConvEngine { kDirect, kIm2colGemm };
 
 /// 2-D convolution with square kernel, stride and zero padding.
@@ -54,7 +57,10 @@ class Conv2d final : public Layer {
   double init_scale_ = 1.0;
   ParamBlob weight_;          // [out, in, k, k]
   ParamBlob bias_;            // [out]
+  /// Per-layer scratch arenas, sized on first use and reused across calls
+  /// (a layer's forward/backward never run concurrently with themselves).
   std::vector<float> col_;    // im2col scratch: [in*k*k, oh*ow]
+  std::vector<float> dcol_;   // backward column-gradient scratch, same shape
 };
 
 /// Rectified linear unit, y = max(0, x).

@@ -5,6 +5,8 @@
 #include <limits>
 #include <thread>
 
+#include "common/parallel.h"
+
 namespace shmcaffe::smb {
 
 namespace {
@@ -13,6 +15,11 @@ std::int64_t steady_now_ns() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// Segment floats handed to one work-pool chunk by accumulate (element-wise
+// add: each element is written by exactly one chunk, so the sum is bitwise
+// identical for any pool width).
+constexpr std::size_t kAccumulateGrain = 16384;
 }  // namespace
 
 SmbServer::SmbServer(SmbServerOptions options) : options_(options) {
@@ -211,9 +218,22 @@ void SmbServer::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
   if (src == dst) throw SmbError("accumulate requires distinct segments");
   const std::shared_ptr<Segment> s = find(src, Kind::kFloats);
   const std::shared_ptr<Segment> d = find(dst, Kind::kFloats);
+  // Snapshot the source under its own lock, then add under the destination
+  // lock alone, in parallel chunks on the work pool (segment lock rank 200 <
+  // pool rank 500, see common/ordered_mutex.h).  Splitting the two-lock
+  // scoped_lock is sound for the SEASGD protocol: a delta segment has
+  // exactly one writer (its worker's update thread, §III-G T.A1-T.A4), and
+  // that writer never overlaps its own accumulate, so the snapshot cannot
+  // race the increment it carries.  The thread-local scratch keeps the hot
+  // path allocation-free after the first accumulate of a given size.
+  static thread_local std::vector<float> scratch;
   {
-    std::scoped_lock lock(s->data_mutex, d->data_mutex);
-    if (s->floats.size() != d->floats.size()) {
+    std::scoped_lock lock(s->data_mutex);
+    scratch.assign(s->floats.begin(), s->floats.end());
+  }
+  {
+    std::scoped_lock lock(d->data_mutex);
+    if (scratch.size() != d->floats.size()) {
       throw SmbError("accumulate requires equal segment sizes");
     }
     if (replayed_locked(*d, tag)) {
@@ -221,7 +241,12 @@ void SmbServer::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
       stats_.replays_dropped += 1;
       return;
     }
-    for (std::size_t i = 0; i < d->floats.size(); ++i) d->floats[i] += s->floats[i];
+    float* out = d->floats.data();
+    const float* in = scratch.data();
+    common::parallel::parallel_for(
+        d->floats.size(), kAccumulateGrain, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) out[i] += in[i];
+        });
     d->version += 1;
   }
   d->version_cv.notify_all();

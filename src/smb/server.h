@@ -99,7 +99,10 @@ class SmbServer final : public SmbService {
 
   /// Server-side accumulate: dst[i] += src[i] for the full (equal) lengths.
   /// Requests against the same destination are processed exclusively
-  /// (paper §III-G, step T.A3).
+  /// (paper §III-G, step T.A3).  The source is snapshotted under its own
+  /// lock, then the add runs in parallel chunks on the shared work pool
+  /// while only the destination lock is held — bitwise identical for any
+  /// pool width (see common/parallel.h).
   void accumulate(Handle src, Handle dst) override;
 
   /// Overwrite-style accumulate used for initialisation: dst[i] = src[i].

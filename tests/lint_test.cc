@@ -262,11 +262,40 @@ TEST(NakedEpochRule, AllowsAssignmentsCallsAndTheEpochHelpers) {
                      "return seen == current_service_epoch;\n", "no-naked-epoch"));
 }
 
+// --- no-raw-thread -------------------------------------------------------
+
+TEST(RawThreadRule, FlagsThreadConstructionInLibraryCode) {
+  EXPECT_TRUE(fires("src/dl/layers.cc", "std::thread t([] {});\n", "no-raw-thread"));
+  EXPECT_TRUE(fires("src/smb/server.cc", "std::vector<std::thread> pool;\n",
+                    "no-raw-thread"));
+  EXPECT_TRUE(fires("src/data/loader.h", "std::jthread producer_;\n", "no-raw-thread"));
+  EXPECT_TRUE(fires("src/baselines/async_ps.cc", "std :: thread joiner;\n",
+                    "no-raw-thread"));
+}
+
+TEST(RawThreadRule, AllowsThePoolProtocolThreadsAndTestCode) {
+  // The work pool itself, the Fig. 6 protocol, and the rank models.
+  EXPECT_FALSE(fires("src/common/parallel.cc", "std::vector<std::thread> workers_;\n",
+                     "no-raw-thread"));
+  EXPECT_FALSE(fires("src/core/trainer.cc", "std::thread update_thread;\n",
+                     "no-raw-thread"));
+  EXPECT_FALSE(fires("src/minimpi/minimpi.cc", "std::thread rank_thread;\n",
+                     "no-raw-thread"));
+  EXPECT_FALSE(fires("src/sim/simulation.cc", "std::thread host;\n", "no-raw-thread"));
+  // Tests and benches drive threads deliberately.
+  EXPECT_FALSE(fires("tests/parallel_test.cc", "std::thread hammer([] {});\n",
+                     "no-raw-thread"));
+  EXPECT_FALSE(fires("bench/bench_x.cc", "std::thread t([] {});\n", "no-raw-thread"));
+  // this_thread and thread-adjacent identifiers are not the thread type.
+  EXPECT_FALSE(fires("src/dl/layers.cc", "std::this_thread::yield();\n", "no-raw-thread"));
+  EXPECT_FALSE(fires("src/dl/layers.cc", "int thread_count = 4;\n", "no-raw-thread"));
+}
+
 TEST(RuleIds, EveryRuleIsListed) {
   const std::vector<std::string>& ids = rule_ids();
   for (const char* expected : {"rng-source", "wall-clock", "sim-wall-clock", "raii-lock",
                                "sim-ptr-container", "pragma-once", "include-hygiene",
-                               "no-naked-epoch"}) {
+                               "no-naked-epoch", "no-raw-thread"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end()) << expected;
   }
 }

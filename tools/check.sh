@@ -9,15 +9,27 @@
 #   tools/check.sh tsan       # just the TSan build + `ctest -L tsan`
 #   tools/check.sh asan       # just the ASan/UBSan build + full ctest
 #   tools/check.sh recovery   # `ctest -L recovery` in the plain AND TSan trees
+#   tools/check.sh bench      # Release build + bench_micro_kernels snapshot
+#                             # into BENCH_kernels.json; refuses to overwrite
+#                             # the baseline on a >20% throughput regression
+#                             # unless --force is also given
 #
 # Each configuration builds into its own tree (build/, build-tsan/,
-# build-asan/) so incremental reruns are cheap.  Exits non-zero on the first
-# failing stage.
+# build-asan/, build-bench/) so incremental reruns are cheap.  Exits non-zero
+# on the first failing stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
-STAGES=("${@:-plain tsan asan}")
+FORCE=0
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --force) FORCE=1 ;;
+    *) ARGS+=("$arg") ;;
+  esac
+done
+STAGES=("${ARGS[@]:-plain tsan asan}")
 STAGES=(${STAGES[@]})  # re-split when the default multi-word string is used
 
 run_stage() {
@@ -57,8 +69,40 @@ for stage in "${STAGES[@]}"; do
       run_stage recovery-plain build "" "-L recovery"
       run_stage recovery-tsan build-tsan thread "-L recovery"
       ;;
+    bench)
+      # Micro-kernel throughput snapshot.  Optimised tree (the sanitizer
+      # trees and default RelWithDebInfo mismeasure the kernels), one run,
+      # then a guarded overwrite of the committed baseline: every kernel
+      # present in both old and new snapshots must stay within 20% of its
+      # recorded throughput, or the stage fails and keeps the baseline
+      # (override with --force after an intentional change).
+      echo "==> [bench] configure + build (build-bench, Release)"
+      cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+      cmake --build build-bench -j "$JOBS" --target bench_micro_kernels
+      echo "==> [bench] bench_micro_kernels"
+      new_json=$(mktemp)
+      ./build-bench/bench/bench_micro_kernels > "$new_json"
+      extract='s/.*"name": "\([^"]*\)".*"throughput": \([0-9.eE+-]*\).*/\1 \2/p'
+      if [[ -f BENCH_kernels.json && "$FORCE" != 1 ]]; then
+        if ! awk 'NR==FNR { old[$1] = $2; next }
+                  ($1 in old) && old[$1] > 0 && $2 < 0.8 * old[$1] {
+                    printf "regression: %s %.4f -> %.4f (-%.0f%%)\n",
+                           $1, old[$1], $2, 100 * (1 - $2 / old[$1]); bad = 1
+                  }
+                  END { exit bad }' \
+              <(sed -n "$extract" BENCH_kernels.json) \
+              <(sed -n "$extract" "$new_json"); then
+          echo "==> [bench] >20% throughput regression vs BENCH_kernels.json;" \
+               "baseline kept (rerun with --force to overwrite)" >&2
+          rm -f "$new_json"
+          exit 1
+        fi
+      fi
+      mv "$new_json" BENCH_kernels.json
+      echo "==> [bench] snapshot written to BENCH_kernels.json"
+      ;;
     *)
-      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery)" >&2
+      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery|bench)" >&2
       exit 2
       ;;
   esac

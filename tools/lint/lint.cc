@@ -123,12 +123,25 @@ const std::vector<PatternRule>& sim_clock_patterns() {
   return rules;
 }
 
+/// Paths where spawning std::thread directly is the point: the work pool
+/// itself, the Fig. 6 worker protocol (update thread + worker launch), and
+/// the MiniMPI / simulation internals that model hosts as threads.
+/// Everything else under src/ parallelises through common/parallel.h; a raw
+/// thread there is either compute parallelism that would break thread-count
+/// determinism or a lifecycle hazard the pool already solves.
+bool raw_thread_allowed_path(std::string_view path) {
+  return starts_with(path, "src/common/parallel.") ||
+         starts_with(path, "src/core/trainer.cc") ||
+         starts_with(path, "src/minimpi/") || starts_with(path, "src/sim/");
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
-      "rng-source",       "wall-clock",  "sim-wall-clock", "raii-lock",
-      "sim-ptr-container", "pragma-once", "include-hygiene", "no-naked-epoch"};
+      "rng-source",       "wall-clock",  "sim-wall-clock",  "raii-lock",
+      "sim-ptr-container", "pragma-once", "include-hygiene", "no-naked-epoch",
+      "no-raw-thread"};
   return ids;
 }
 
@@ -237,6 +250,10 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
   const std::vector<std::string> raw_lines = split_lines(contents);
   const bool sim = is_sim_path(path);
   const bool in_rng = starts_with(path, "src/common/rng");
+  // no-raw-thread covers library code only: tests and benches drive threads
+  // deliberately (pool shutdown races, concurrency suites).
+  const bool raw_thread_applies =
+      starts_with(path, "src/") && !raw_thread_allowed_path(path);
   // The fencing helpers themselves necessarily compare raw epoch values.
   const bool in_epoch_helpers = starts_with(path, "src/recovery/epoch");
   const bool header = ends_with(path, ".h");
@@ -247,6 +264,10 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
   };
 
   static const std::regex kWallClock(R"(\bsystem_clock\b)");
+  // no-raw-thread: std::thread / std::jthread construction or mention in
+  // library code.  Matches the type name, not this_thread (the \b after ::
+  // does not reach across this_thread's underscore).
+  static const std::regex kRawThread(R"(\bstd\s*::\s*j?thread\b)");
   // no-naked-epoch: a comparison operator adjacent to a service-epoch value
   // (identifier containing `service_epoch`, optionally a call).  Service
   // epochs are fenced through epoch_is_current / epoch_is_stale so the
@@ -275,6 +296,11 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
       for (const PatternRule& rule : rng_patterns()) {
         if (std::regex_search(line, rule.pattern)) report(lineno, rule.rule, rule.message);
       }
+    }
+    if (raw_thread_applies && std::regex_search(line, kRawThread)) {
+      report(lineno, "no-raw-thread",
+             "raw std::thread in library code; use the shared work pool "
+             "(common/parallel.h) so results stay thread-count-invariant");
     }
     if (std::regex_search(line, kWallClock)) {
       report(lineno, "wall-clock",

@@ -35,6 +35,12 @@
 //                     outside src/recovery/epoch.h: epochs are fenced
 //                     through epoch_is_current / epoch_is_stale so the
 //                     0-means-never-resolved sentinel is handled once.
+//   no-raw-thread     `std::thread` / `std::jthread` in library code
+//                     (src/ outside the work pool itself, the Fig. 6
+//                     protocol in core/trainer.cc, and the MiniMPI / sim
+//                     internals): compute parallelism must go through
+//                     common/parallel.h so float results stay invariant
+//                     under SHMCAFFE_THREADS.  Tests and benches are exempt.
 //
 // A finding on a line carrying `// lint:allow(<rule>)` is suppressed; the
 // annotation should state the reason.  Output is machine-readable:
