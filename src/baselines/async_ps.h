@@ -46,8 +46,10 @@ class ParameterServer {
   /// Leaf lock: pull/push/initialize copy under it and acquire nothing else.
   mutable common::OrderedMutex mutex_{"baselines.async_ps.weights",
                                       common::lockrank::kAsyncPsWeights};
-  std::vector<float> weights_;
-  std::uint64_t updates_ = 0;
+  // weights_.size() is fixed by the ctor, so size() reads it lock-free;
+  // the contents are guarded.
+  std::vector<float> weights_ SHMCAFFE_GUARDED_BY(mutex_);
+  std::uint64_t updates_ SHMCAFFE_GUARDED_BY(mutex_) = 0;
 };
 
 struct DownpourOptions {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <utility>
@@ -176,6 +177,19 @@ void on_released(const LockSite& site) {
       return;
     }
   }
+}
+
+void assert_held(const LockSite& site, const char* expr, const char* file, int line) {
+  const std::vector<const LockSite*>* held_ptr = held_locks();
+  // During TLS teardown tracking is gone; nothing sane to check against.
+  if (held_ptr == nullptr) return;
+  for (const LockSite* held : *held_ptr) {
+    if (held == &site) return;
+  }
+  std::fprintf(stderr,
+               "lock assertion failed: '%s' (lock '%s', rank %d) not held at %s:%d\n",
+               expr, site.name, site.rank, file, line);
+  std::abort();
 }
 
 }  // namespace detail

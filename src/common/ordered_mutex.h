@@ -33,6 +33,7 @@
 //   rank | name                        | holder
 //   -----+-----------------------------+------------------------------------
 //   100  | core.progress_board.sweep   | ProgressBoard dead-worker sweeps
+//   120  | core.sharded_buffer.shards  | ShardedBuffer shard table
 //   150  | recovery.replica_mirror     | ReplicatedSmb ensemble state + fan-out
 //   200  | smb.server.segment          | per-segment data mutex (SmbServer)
 //   210  | smb.server.table            | SmbServer segment table + stats
@@ -60,10 +61,48 @@
 #include <string>
 #include <vector>
 
+// --- lock annotations -------------------------------------------------------
+//
+// Declaration-level lock annotations, enforced by shmcaffe-lint's symbol-aware
+// `guarded-by` rule (tools/lint): in any class that owns an OrderedMutex or
+// OrderedSharedMutex, every mutable field must be annotated with the mutex
+// that protects it —
+//
+//   std::vector<float> floats SHMCAFFE_GUARDED_BY(data_mutex);
+//
+// or explicitly opted out —
+//
+//   SmbServerOptions options_ SHMCAFFE_UNGUARDED;  // immutable after ctor
+//
+// The macros compile to nothing (zero codegen in every build); the *static*
+// half of the contract is the lint pass, and the *dynamic* half is
+// SHMCAFFE_ASSERT_HELD(mu), placed in the `_locked` accessors of the
+// annotated classes: with lock asserts enabled (SHMCAFFE_LOCK_ASSERTS, on by
+// default outside Release — see the top-level CMakeLists) it aborts with the
+// lock's name and rank if the calling thread does not hold `mu`; in release
+// builds it compiles to nothing.
+#define SHMCAFFE_GUARDED_BY(mu) /* parsed by shmcaffe-lint */
+#define SHMCAFFE_UNGUARDED      /* parsed by shmcaffe-lint */
+
+#if !defined(SHMCAFFE_LOCK_ASSERTS)
+#if defined(NDEBUG)
+#define SHMCAFFE_LOCK_ASSERTS 0
+#else
+#define SHMCAFFE_LOCK_ASSERTS 1
+#endif
+#endif
+
+#if SHMCAFFE_LOCK_ASSERTS
+#define SHMCAFFE_ASSERT_HELD(mu) ((mu).assert_held(#mu, __FILE__, __LINE__))
+#else
+#define SHMCAFFE_ASSERT_HELD(mu) ((void)0)
+#endif
+
 namespace shmcaffe::common {
 
 namespace lockrank {
 inline constexpr int kProgressBoardSweep = 100;
+inline constexpr int kShardedBuffer = 120;
 inline constexpr int kReplicaMirror = 150;
 inline constexpr int kSmbSegment = 200;
 inline constexpr int kSmbTable = 210;
@@ -90,6 +129,10 @@ void before_blocking_acquire(const LockSite& site);
 void on_acquired(const LockSite& site);
 /// Removes one held entry for `site` (guards may unlock in any order).
 void on_released(const LockSite& site);
+/// Backs SHMCAFFE_ASSERT_HELD: aborts with the lock's name, rank and the
+/// call site unless the calling thread holds `site` (in any mode).  During
+/// thread/process teardown the held list is gone, so the check passes.
+void assert_held(const LockSite& site, const char* expr, const char* file, int line);
 
 }  // namespace detail
 
@@ -134,6 +177,12 @@ class OrderedMutex {
   [[nodiscard]] const char* name() const { return site_.name; }
   [[nodiscard]] int rank() const { return site_.rank; }
 
+  /// Aborts unless the calling thread holds this mutex.  Call through
+  /// SHMCAFFE_ASSERT_HELD so release builds compile the check away.
+  void assert_held(const char* expr, const char* file, int line) const {
+    detail::assert_held(site_, expr, file, line);
+  }
+
  private:
   std::mutex mutex_;
   detail::LockSite site_;
@@ -157,6 +206,12 @@ class OrderedSharedMutex {
 
   [[nodiscard]] const char* name() const { return site_.name; }
   [[nodiscard]] int rank() const { return site_.rank; }
+
+  /// Aborts unless the calling thread holds this mutex in some mode
+  /// (exclusive or shared).  Call through SHMCAFFE_ASSERT_HELD.
+  void assert_held(const char* expr, const char* file, int line) const {
+    detail::assert_held(site_, expr, file, line);
+  }
 
  private:
   std::shared_mutex mutex_;

@@ -120,12 +120,14 @@ class Pool {
   }
 
   void ensure_started_locked() {
+    SHMCAFFE_ASSERT_HELD(mutex_);
     if (width_ != 0) return;
     width_ = env_thread_count();
     spawn_locked();
   }
 
   void spawn_locked() {
+    SHMCAFFE_ASSERT_HELD(mutex_);
     stopping_ = false;
     for (int w = 1; w < width_; ++w) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -206,11 +208,11 @@ class Pool {
   OrderedMutex mutex_{"common.parallel.pool", lockrank::kParallelPool};
   std::condition_variable_any work_cv_;
   std::condition_variable_any done_cv_;
-  std::vector<std::thread> workers_;
-  Job* job_ = nullptr;
-  std::uint64_t job_epoch_ = 0;
-  bool stopping_ = false;
-  int width_ = 0;  // 0 = not started; >= 1 once running
+  std::vector<std::thread> workers_ SHMCAFFE_GUARDED_BY(mutex_);
+  Job* job_ SHMCAFFE_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t job_epoch_ SHMCAFFE_GUARDED_BY(mutex_) = 0;
+  bool stopping_ SHMCAFFE_GUARDED_BY(mutex_) = false;
+  int width_ SHMCAFFE_GUARDED_BY(mutex_) = 0;  // 0 = not started; >= 1 once running
 };
 
 }  // namespace

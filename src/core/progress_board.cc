@@ -103,6 +103,11 @@ int ProgressBoard::sweep_dead(double timeout_seconds) {
   // One sweeper at a time; a peer already scanning covers this caller too.
   std::unique_lock sweep(sweep_mutex_, std::try_to_lock);
   if (!sweep.owns_lock()) return 0;
+  return sweep_dead_locked(timeout_seconds);
+}
+
+int ProgressBoard::sweep_dead_locked(double timeout_seconds) {
+  SHMCAFFE_ASSERT_HELD(sweep_mutex_);
   const auto timeout_ns = static_cast<std::int64_t>(timeout_seconds * 1e9);
   const std::int64_t now = steady_now_ns();
   int newly_dead = 0;

@@ -136,9 +136,14 @@ class ProgressBoard {
     return static_cast<std::size_t>(3 * workers_ + 1 + worker);
   }
 
-  smb::SmbService* server_;
-  smb::Handle handle_;
-  int workers_;
+  /// The scan body of sweep_dead(); requires sweep_mutex_ held.
+  int sweep_dead_locked(double timeout_seconds);
+
+  // server_/workers_ are set once in the ctor; handle_ is only reset by
+  // release() (caller-serialised teardown), so none are sweep-guarded.
+  smb::SmbService* server_ SHMCAFFE_UNGUARDED;
+  smb::Handle handle_ SHMCAFFE_UNGUARDED;
+  int workers_ SHMCAFFE_UNGUARDED;
   /// Serialises dead-worker sweeps: every worker calls should_stop() each
   /// iteration, and one sweep at a time is enough — concurrent callers
   /// try-lock and skip instead of queueing behind the scan.  Held across

@@ -1,8 +1,45 @@
 #include "core/sharded_buffer.h"
 
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace shmcaffe::core {
+
+ShardedBuffer::ShardedBuffer(ShardedBuffer&& other) noexcept {
+  std::scoped_lock lock(other.shards_mutex_);
+  shards_ = std::move(other.shards_);
+  total_ = other.total_;
+  other.shards_.clear();
+  other.total_ = 0;
+}
+
+ShardedBuffer& ShardedBuffer::operator=(ShardedBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  // Same-rank pair: scoped_lock's try-lock protocol is deadlock-free and
+  // exempt from the rank check (see ordered_mutex.h).
+  std::scoped_lock lock(shards_mutex_, other.shards_mutex_);
+  shards_ = std::move(other.shards_);
+  total_ = other.total_;
+  other.shards_.clear();
+  other.total_ = 0;
+  return *this;
+}
+
+std::size_t ShardedBuffer::size() const {
+  std::scoped_lock lock(shards_mutex_);
+  return total_;
+}
+
+std::size_t ShardedBuffer::shard_count() const {
+  std::scoped_lock lock(shards_mutex_);
+  return shards_.size();
+}
+
+bool ShardedBuffer::valid() const {
+  std::scoped_lock lock(shards_mutex_);
+  return !shards_.empty();
+}
 
 ShardedBuffer ShardedBuffer::build(std::span<smb::SmbService* const> servers, smb::ShmKey key,
                                    std::size_t total, bool create) {
@@ -12,6 +49,7 @@ ShardedBuffer ShardedBuffer::build(std::span<smb::SmbService* const> servers, sm
     throw std::invalid_argument("ShardedBuffer: fewer elements than servers");
   }
   ShardedBuffer buffer;
+  std::unique_lock lock(buffer.shards_mutex_);
   buffer.total_ = total;
   const std::size_t base = total / servers.size();
   const std::size_t extra = total % servers.size();
@@ -30,9 +68,10 @@ ShardedBuffer ShardedBuffer::build(std::span<smb::SmbService* const> servers, sm
   } catch (...) {
     // Exception safety: a partial create/attach (e.g. attaching while the
     // creator is still setting up later shards) must not leak references.
-    buffer.release();
+    buffer.release_locked();
     throw;
   }
+  lock.unlock();
   return buffer;
 }
 
@@ -63,6 +102,12 @@ ShardedBuffer ShardedBuffer::attach(std::span<smb::SmbServer* const> servers,
 }
 
 void ShardedBuffer::read(std::span<float> dst) const {
+  std::scoped_lock lock(shards_mutex_);
+  read_locked(dst);
+}
+
+void ShardedBuffer::read_locked(std::span<float> dst) const {
+  SHMCAFFE_ASSERT_HELD(shards_mutex_);
   if (dst.size() != total_) throw std::invalid_argument("ShardedBuffer::read size mismatch");
   for (const Shard& shard : shards_) {
     shard.server->read(shard.handle, dst.subspan(shard.offset, shard.count), 0);
@@ -70,6 +115,12 @@ void ShardedBuffer::read(std::span<float> dst) const {
 }
 
 void ShardedBuffer::write(std::span<const float> src) {
+  std::scoped_lock lock(shards_mutex_);
+  write_locked(src);
+}
+
+void ShardedBuffer::write_locked(std::span<const float> src) {
+  SHMCAFFE_ASSERT_HELD(shards_mutex_);
   if (src.size() != total_) throw std::invalid_argument("ShardedBuffer::write size mismatch");
   for (const Shard& shard : shards_) {
     shard.server->write(shard.handle, src.subspan(shard.offset, shard.count), 0);
@@ -77,6 +128,11 @@ void ShardedBuffer::write(std::span<const float> src) {
 }
 
 void ShardedBuffer::accumulate_into(ShardedBuffer& dst) const {
+  if (&dst == this) {
+    throw std::invalid_argument("ShardedBuffer::accumulate_into into itself");
+  }
+  // Same-rank pair via scoped_lock's try-lock protocol (rank-check exempt).
+  std::scoped_lock lock(shards_mutex_, dst.shards_mutex_);
   if (dst.total_ != total_ || dst.shards_.size() != shards_.size()) {
     throw std::invalid_argument("ShardedBuffer::accumulate_into sharding mismatch");
   }
@@ -90,6 +146,12 @@ void ShardedBuffer::accumulate_into(ShardedBuffer& dst) const {
 }
 
 void ShardedBuffer::release() {
+  std::scoped_lock lock(shards_mutex_);
+  release_locked();
+}
+
+void ShardedBuffer::release_locked() {
+  SHMCAFFE_ASSERT_HELD(shards_mutex_);
   for (Shard& shard : shards_) shard.server->release(shard.handle);
   shards_.clear();
   total_ = 0;

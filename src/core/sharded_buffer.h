@@ -8,11 +8,20 @@
 // server-side accumulate per shard (each server serialises only its own
 // shard's updates, which is exactly where the bandwidth/accumulate win
 // comes from).  With a single server it degenerates to a plain segment.
+//
+// Thread safety: the shard table itself is protected by a rank-120
+// OrderedMutex ("core.sharded_buffer.shards") so a trainer thread fanning
+// out a read cannot race a release/re-attach from another thread (the
+// Fig. 6 exchange thread moves buffers around).  Per-element data races
+// are the servers' business — each shard operation is serialised by the
+// owning SmbServer's segment lock (rank 200), which the shard lock ranks
+// below.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "smb/server.h"
 
 namespace shmcaffe::core {
@@ -20,6 +29,14 @@ namespace shmcaffe::core {
 class ShardedBuffer {
  public:
   ShardedBuffer() = default;
+
+  // The shard-table mutex pins identity; buffers move by transferring the
+  // shard table under both locks (trainer re-targets buffers on failover
+  // via move-assignment).  Copying would double-release SMB handles.
+  ShardedBuffer(const ShardedBuffer&) = delete;
+  ShardedBuffer& operator=(const ShardedBuffer&) = delete;
+  ShardedBuffer(ShardedBuffer&& other) noexcept;
+  ShardedBuffer& operator=(ShardedBuffer&& other) noexcept;
 
   /// Creates per-server segments under `key` (same key on every server).
   /// Servers are any SmbService — a raw SmbServer or a replicated ensemble.
@@ -34,9 +51,9 @@ class ShardedBuffer {
   static ShardedBuffer attach(std::span<smb::SmbServer* const> servers, smb::ShmKey key,
                               std::size_t total);
 
-  [[nodiscard]] std::size_t size() const { return total_; }
-  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
-  [[nodiscard]] bool valid() const { return !shards_.empty(); }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] bool valid() const;
 
   /// Reads the whole logical buffer (dst.size() == size()).
   void read(std::span<float> dst) const;
@@ -45,7 +62,8 @@ class ShardedBuffer {
   void write(std::span<const float> src);
 
   /// Server-side accumulate of this buffer into `dst`, shard by shard.
-  /// Both buffers must have identical sharding (same servers, same size).
+  /// Both buffers must have identical sharding (same servers, same size)
+  /// and be distinct objects.
   void accumulate_into(ShardedBuffer& dst) const;
 
   /// Releases every shard; the buffer becomes invalid.
@@ -62,8 +80,14 @@ class ShardedBuffer {
   static ShardedBuffer build(std::span<smb::SmbService* const> servers, smb::ShmKey key,
                              std::size_t total, bool create);
 
-  std::vector<Shard> shards_;
-  std::size_t total_ = 0;
+  void read_locked(std::span<float> dst) const;
+  void write_locked(std::span<const float> src);
+  void release_locked();
+
+  mutable common::OrderedMutex shards_mutex_{"core.sharded_buffer.shards",
+                                             common::lockrank::kShardedBuffer};
+  std::vector<Shard> shards_ SHMCAFFE_GUARDED_BY(shards_mutex_);
+  std::size_t total_ SHMCAFFE_GUARDED_BY(shards_mutex_) = 0;
 };
 
 }  // namespace shmcaffe::core

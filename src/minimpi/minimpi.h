@@ -65,14 +65,14 @@ class Context {
   struct Mailbox {
     common::OrderedMutex mutex{"minimpi.mailbox", common::lockrank::kMpiMailbox};
     std::condition_variable_any cv;
-    std::deque<Message> messages;
+    std::deque<Message> messages SHMCAFFE_GUARDED_BY(mutex);
   };
 
   struct BarrierState {
     common::OrderedMutex mutex{"minimpi.barrier", common::lockrank::kMpiBarrier};
     std::condition_variable_any cv;
-    int arrived = 0;
-    std::uint64_t generation = 0;
+    int arrived SHMCAFFE_GUARDED_BY(mutex) = 0;
+    std::uint64_t generation SHMCAFFE_GUARDED_BY(mutex) = 0;
   };
 
   void post(int to, Message message);

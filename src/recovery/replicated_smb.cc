@@ -24,6 +24,7 @@ ReplicatedSmb::ReplicatedSmb(std::vector<smb::SmbServer*> replicas)
 }
 
 void ReplicatedSmb::require_live_locked() const {
+  SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     // A replica that fail-stopped since we last talked to it is noticed
     // here, so failovers happen eagerly instead of on the next throw.
@@ -35,6 +36,7 @@ void ReplicatedSmb::require_live_locked() const {
 }
 
 void ReplicatedSmb::mark_failed_locked(std::size_t index) const {
+  SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   if (!live_[index]) return;
   live_[index] = false;
   if (index != active_) return;  // a backup died: no failover needed
@@ -59,6 +61,7 @@ void ReplicatedSmb::mark_failed_locked(const smb::SmbServer* server) const {
 }
 
 ReplicatedSmb::LogicalSegment& ReplicatedSmb::segment_locked(Handle handle) const {
+  SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   const auto it = segments_.find(handle.access_key);
   if (it == segments_.end()) {
     throw SmbError("unknown logical access key " + std::to_string(handle.access_key));
@@ -67,6 +70,7 @@ ReplicatedSmb::LogicalSegment& ReplicatedSmb::segment_locked(Handle handle) cons
 }
 
 void ReplicatedSmb::ensure_resolved_locked(LogicalSegment& segment) const {
+  SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   if (epoch_is_current(segment.resolved_service_epoch, service_epoch_)) return;
   // Fenced: the segment was last resolved under an older epoch.  Probe the
   // segment on every survivor (the Fig. 2 attach-by-SHM-key slave path) to
@@ -205,6 +209,7 @@ void ReplicatedSmb::read(Handle handle, std::span<float> dst, std::size_t offset
 
 void ReplicatedSmb::mirror_mutation_locked(std::initializer_list<LogicalSegment*> segments,
                                            const MutationFn& op) {
+  SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   const OpTag tag{kMirrorWriter, ++mirror_seq_};
   for (;;) {
     require_live_locked();

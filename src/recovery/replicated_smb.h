@@ -126,21 +126,24 @@ class ReplicatedSmb final : public smb::SmbService {
   /// Tag identity of this ensemble's mirror agent (OpTag::writer).
   static constexpr std::uint64_t kMirrorWriter = 1;
 
-  std::vector<smb::SmbServer*> replicas_;
+  std::vector<smb::SmbServer*> replicas_ SHMCAFFE_UNGUARDED;  // immutable after ctor
 
   /// Guards everything below; rank 150 (recovery.replica_mirror).  Mutable
   /// because const reads may discover a fail-stop and perform a failover.
   mutable common::OrderedMutex mirror_mutex_{"recovery.replica_mirror",
                                              common::lockrank::kReplicaMirror};
-  mutable std::vector<bool> live_;
-  mutable std::size_t active_ = 0;
-  mutable ServiceEpoch service_epoch_ = kInitialServiceEpoch;
-  mutable std::uint64_t failovers_ = 0;
-  mutable std::vector<int> failover_log_;
-  std::uint64_t mirror_seq_ = 0;
-  std::uint64_t next_logical_key_ = 1;
-  mutable std::unordered_map<std::uint64_t, LogicalSegment> segments_;
-  std::unordered_map<smb::ShmKey, std::uint64_t> key_to_logical_;
+  mutable std::vector<bool> live_ SHMCAFFE_GUARDED_BY(mirror_mutex_);
+  mutable std::size_t active_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 0;
+  mutable ServiceEpoch service_epoch_ SHMCAFFE_GUARDED_BY(mirror_mutex_) =
+      kInitialServiceEpoch;
+  mutable std::uint64_t failovers_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 0;
+  mutable std::vector<int> failover_log_ SHMCAFFE_GUARDED_BY(mirror_mutex_);
+  std::uint64_t mirror_seq_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 0;
+  std::uint64_t next_logical_key_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 1;
+  mutable std::unordered_map<std::uint64_t, LogicalSegment> segments_
+      SHMCAFFE_GUARDED_BY(mirror_mutex_);
+  std::unordered_map<smb::ShmKey, std::uint64_t> key_to_logical_
+      SHMCAFFE_GUARDED_BY(mirror_mutex_);
 };
 
 }  // namespace shmcaffe::recovery

@@ -174,6 +174,7 @@ void SmbServer::read(Handle handle, std::span<float> dst, std::size_t offset) co
 }
 
 bool SmbServer::replayed_locked(Segment& segment, OpTag tag) {
+  SHMCAFFE_ASSERT_HELD(segment.data_mutex);
   if (!tag.tagged()) return false;
   std::uint64_t& applied = segment.applied_tags[tag.writer];
   if (tag.sequence <= applied) return true;

@@ -172,15 +172,18 @@ class SmbServer final : public SmbService {
   enum class Kind { kFloats, kCounters };
 
   struct Segment {
-    ShmKey key = 0;
-    Kind kind = Kind::kFloats;
-    std::vector<float> floats;
-    std::vector<std::atomic<std::int64_t>> counters;
-    int refcount = 0;
-    std::uint64_t version = 0;
+    ShmKey key SHMCAFFE_UNGUARDED = 0;             // immutable after create
+    Kind kind SHMCAFFE_UNGUARDED = Kind::kFloats;  // immutable after create
+    std::vector<float> floats SHMCAFFE_GUARDED_BY(data_mutex);
+    /// Sized once at create; the slots themselves are atomics.
+    std::vector<std::atomic<std::int64_t>> counters SHMCAFFE_UNGUARDED;
+    /// Reference count lives with the segment table, not the data path.
+    int refcount SHMCAFFE_GUARDED_BY(table_mutex_) = 0;
+    std::uint64_t version SHMCAFFE_GUARDED_BY(data_mutex) = 0;
     /// Highest applied OpTag sequence per mirroring agent (idempotent
     /// replay detection); guarded by data_mutex like floats + version.
-    std::unordered_map<std::uint64_t, std::uint64_t> applied_tags;
+    std::unordered_map<std::uint64_t, std::uint64_t> applied_tags
+        SHMCAFFE_GUARDED_BY(data_mutex);
     /// Guards floats + version.  All segments share one lock rank: pairs
     /// (accumulate/copy) are only ever taken together via std::scoped_lock.
     mutable common::OrderedMutex data_mutex{"smb.server.segment",
@@ -202,7 +205,7 @@ class SmbServer final : public SmbService {
   /// `segment`; records it otherwise.
   bool replayed_locked(Segment& segment, OpTag tag);
 
-  SmbServerOptions options_;
+  SmbServerOptions options_ SHMCAFFE_UNGUARDED;  // immutable after ctor
   /// steady_clock time (ns since epoch) until which the data path is frozen.
   std::atomic<std::int64_t> frozen_until_ns_{0};
   std::atomic<bool> failed_{false};
@@ -210,10 +213,12 @@ class SmbServer final : public SmbService {
   /// read() updates stats under the table lock while holding a segment.
   mutable common::OrderedSharedMutex table_mutex_{"smb.server.table",
                                                   common::lockrank::kSmbTable};
-  std::unordered_map<std::uint64_t, std::shared_ptr<Segment>> by_access_key_;
-  std::unordered_map<ShmKey, std::uint64_t> key_to_access_;  // canonical access key
-  std::uint64_t next_access_key_ = 1;
-  mutable SmbServerStats stats_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Segment>> by_access_key_
+      SHMCAFFE_GUARDED_BY(table_mutex_);
+  std::unordered_map<ShmKey, std::uint64_t> key_to_access_
+      SHMCAFFE_GUARDED_BY(table_mutex_);  // canonical access key
+  std::uint64_t next_access_key_ SHMCAFFE_GUARDED_BY(table_mutex_) = 1;
+  mutable SmbServerStats stats_ SHMCAFFE_GUARDED_BY(table_mutex_);
 };
 
 }  // namespace shmcaffe::smb

@@ -291,11 +291,364 @@ TEST(RawThreadRule, AllowsThePoolProtocolThreadsAndTestCode) {
   EXPECT_FALSE(fires("src/dl/layers.cc", "int thread_count = 4;\n", "no-raw-thread"));
 }
 
+// --- scrubber: raw-string prefixes, line continuations, exact line counts --
+
+TEST(Scrubber, RecognisesEncodingPrefixedRawStrings) {
+  // u8R"(...)", uR"(...)", LR"(...)", UR"(...)" are raw strings too; their
+  // bodies must be scrubbed just like plain R"(...)".
+  for (const char* prefix : {"", "u8", "u", "L", "U"}) {
+    const std::string source =
+        std::string("const auto* s = ") + prefix + "R\"(rand())\";\n";
+    EXPECT_FALSE(fires("src/dl/layers.cc", source, "rng-source")) << prefix;
+  }
+  // An identifier ending in R is NOT a raw-string prefix: the literal after
+  // it is ordinary, and code before it still scans.
+  const std::string not_raw = "int x = FOOBAR\"\" + rand();\n";
+  EXPECT_TRUE(fires("src/dl/layers.cc", not_raw, "rng-source"));
+}
+
+TEST(Scrubber, ContinuesLineCommentsAcrossBackslashNewline) {
+  // A line comment ending in '\' splices the next physical line into the
+  // comment; tokens there must not fire, and line numbers must stay exact.
+  const std::string source = "// spliced comment \\\nint a = rand();\nint b = rand();\n";
+  const std::vector<Finding> findings = lint_source("src/dl/layers.cc", source);
+  ASSERT_EQ(findings.size(), 1U);
+  EXPECT_EQ(findings[0].rule, "rng-source");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(Scrubber, KeepsLineCountsExactAcrossSplicedStrings) {
+  // A backslash-newline inside a string literal continues the literal; the
+  // newline must still produce a line so later findings keep their numbers.
+  const std::string source = "const char* s = \"a\\\nrand()\";\nint x = rand();\n";
+  const std::vector<std::string> lines = scrub_source(source);
+  ASSERT_EQ(lines.size(), 4U);  // 3 physical lines + trailing empty
+  const std::vector<Finding> findings = lint_source("src/dl/layers.cc", source);
+  ASSERT_EQ(findings.size(), 1U);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+// --- allow-list extensions -------------------------------------------------
+
+TEST(LintAllow, CommaListSuppressesSeveralRulesAtOnce) {
+  const std::string source =
+      "auto t = std::chrono::system_clock::now(); int x = rand(); "
+      "// lint:allow(rng-source,wall-clock) fixture\n";
+  EXPECT_FALSE(fires("src/dl/layers.cc", source, "rng-source"));
+  EXPECT_FALSE(fires("src/dl/layers.cc", source, "wall-clock"));
+  // The list only names the listed rules.
+  const std::string partial =
+      "std::thread t; int x = rand(); // lint:allow(rng-source,wall-clock)\n";
+  EXPECT_TRUE(fires("src/dl/layers.cc", partial, "no-raw-thread"));
+}
+
+TEST(LintAllow, NextLineVariantCoversTheFollowingLineOnly) {
+  const std::string covered =
+      "// lint:allow-next-line(rng-source) fixture\nint x = rand();\n";
+  EXPECT_FALSE(fires("src/dl/layers.cc", covered, "rng-source"));
+  // It does not cover its own line ...
+  const std::string own_line =
+      "int x = rand(); // lint:allow-next-line(rng-source)\nint y = 0;\n";
+  EXPECT_TRUE(fires("src/dl/layers.cc", own_line, "rng-source"));
+  // ... nor the line after next.
+  const std::string too_far =
+      "// lint:allow-next-line(rng-source)\nint a = 0;\nint x = rand();\n";
+  EXPECT_TRUE(fires("src/dl/layers.cc", too_far, "rng-source"));
+  // On the last line of a file it is simply inert (no out-of-bounds target).
+  EXPECT_TRUE(lint_source("src/dl/layers.cc",
+                          "// lint:allow-next-line(rng-source)").empty());
+}
+
+// --- pass 1: the declaration index ----------------------------------------
+
+TEST(ClassIndex, FindsClassesFieldsAndMutexOwnership) {
+  const std::string source =
+      "#pragma once\n"
+      "#include \"common/ordered_mutex.h\"\n"
+      "namespace shmcaffe::smb {\n"
+      "class Box {\n"
+      " public:\n"
+      "  void put(int v);\n"
+      "  int get() const { return value_; }\n"
+      " private:\n"
+      "  mutable common::OrderedMutex mu_{\"smb.box\", 200};\n"
+      "  int value_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "  std::atomic<int> hits_{0};\n"
+      "};\n"
+      "struct Plain { int x = 0; };\n"
+      "}  // namespace\n";
+  const std::vector<ClassInfo> index = index_classes({{"src/smb/box.h", source}});
+  ASSERT_EQ(index.size(), 2U);
+  const ClassInfo& box = index[0];
+  EXPECT_EQ(box.name, "Box");            // namespaces are not part of the name
+  EXPECT_EQ(box.file, "src/smb/box.h");
+  EXPECT_TRUE(box.owns_ordered_mutex);
+  ASSERT_EQ(box.fields.size(), 3U);
+  EXPECT_EQ(box.fields[0].name, "mu_");
+  EXPECT_TRUE(box.fields[0].is_mutex);
+  EXPECT_EQ(box.fields[1].name, "value_");
+  EXPECT_TRUE(box.fields[1].guarded);
+  EXPECT_EQ(box.fields[1].guard, "mu_");
+  EXPECT_EQ(box.fields[2].name, "hits_");
+  EXPECT_TRUE(box.fields[2].exempt);  // atomic
+  EXPECT_FALSE(index[1].owns_ordered_mutex);
+}
+
+TEST(ClassIndex, QualifiesNestedClassesByEnclosingName) {
+  const std::string source =
+      "class Server {\n"
+      "  struct Segment {\n"
+      "    int refcount = 0;\n"
+      "  };\n"
+      "  common::OrderedMutex table_mu_{\"t\", 210};\n"
+      "};\n";
+  const std::vector<ClassInfo> index = index_classes({{"src/smb/server.h", source}});
+  ASSERT_EQ(index.size(), 2U);
+  EXPECT_EQ(index[0].name, "Server");
+  EXPECT_EQ(index[1].name, "Server::Segment");
+  EXPECT_EQ(index[1].enclosing, "Server");
+}
+
+TEST(ClassIndex, SkipsFunctionsMacrosAndStaticMembers) {
+  const std::string source =
+      "class Worker {\n"
+      "  Worker() : started_{false} {}\n"
+      "  Worker(const Worker&) = delete;\n"
+      "  Worker& operator=(const Worker&) = delete;\n"
+      "  static int live_count;\n"
+      "  static constexpr int kLimit = 8;\n"
+      "  int run(int n) { return n; }\n"
+      "  using Clock = int;\n"
+      "  common::OrderedMutex mu_{\"w\", 100};\n"
+      "  bool started_ SHMCAFFE_GUARDED_BY(mu_);\n"
+      "};\n";
+  const std::vector<ClassInfo> index = index_classes({{"src/core/worker.h", source}});
+  ASSERT_EQ(index.size(), 1U);
+  ASSERT_EQ(index[0].fields.size(), 2U);
+  EXPECT_EQ(index[0].fields[0].name, "mu_");
+  EXPECT_EQ(index[0].fields[1].name, "started_");
+}
+
+// --- guarded-by ------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> repo_rules_fired(const std::vector<SourceFile>& files) {
+  std::vector<std::string> rules;
+  for (const Finding& finding : lint_repo(files)) rules.push_back(finding.rule);
+  return rules;
+}
+
+bool repo_fires(const std::vector<SourceFile>& files, const std::string& rule) {
+  const std::vector<std::string> fired = repo_rules_fired(files);
+  return std::find(fired.begin(), fired.end(), rule) != fired.end();
+}
+
+}  // namespace
+
+TEST(GuardedByRule, FlagsUnannotatedMutableFieldsInMutexOwningClasses) {
+  const std::string source =
+      "#pragma once\n"
+      "class Cache {\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int entries_ = 0;\n"
+      "};\n";
+  const std::vector<SourceFile> files = {{"src/core/cache.h", source}};
+  const std::vector<Finding> findings = lint_repo(files);
+  ASSERT_EQ(findings.size(), 1U);
+  EXPECT_EQ(findings[0].rule, "guarded-by");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("entries_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Cache"), std::string::npos);
+}
+
+TEST(GuardedByRule, AcceptsGuardedAndExplicitlyUnguardedFields) {
+  const std::string source =
+      "#pragma once\n"
+      "class Cache {\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int entries_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "  int ctor_set_ SHMCAFFE_UNGUARDED = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_repo({{"src/core/cache.h", source}}).empty());
+}
+
+TEST(GuardedByRule, FlagsGuardsThatNameNoMutexMember) {
+  const std::string source =
+      "#pragma once\n"
+      "class Cache {\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int entries_ SHMCAFFE_GUARDED_BY(other_mu_) = 0;\n"
+      "};\n";
+  const std::vector<Finding> findings = lint_repo({{"src/core/cache.h", source}});
+  ASSERT_EQ(findings.size(), 1U);
+  EXPECT_EQ(findings[0].rule, "guarded-by");
+  EXPECT_NE(findings[0].message.find("other_mu_"), std::string::npos);
+}
+
+TEST(GuardedByRule, ResolvesGuardsThroughLexicallyEnclosingClasses) {
+  // SmbServer::Segment's refcount is guarded by the *server's* table lock;
+  // the guard must resolve through the enclosing class chain.
+  const std::string source =
+      "#pragma once\n"
+      "class Server {\n"
+      "  struct Segment {\n"
+      "    common::OrderedSharedMutex data_mu{\"d\", 200};\n"
+      "    int version SHMCAFFE_GUARDED_BY(data_mu) = 0;\n"
+      "    int refcount SHMCAFFE_GUARDED_BY(table_mu_) = 0;\n"
+      "  };\n"
+      "  common::OrderedMutex table_mu_{\"t\", 210};\n"
+      "  int open_ SHMCAFFE_GUARDED_BY(table_mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_repo({{"src/smb/server2.h", source}}).empty());
+}
+
+TEST(GuardedByRule, ExemptsImmutableAtomicAndSynchronisationFields) {
+  const std::string source =
+      "#pragma once\n"
+      "class Cache {\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  std::atomic<int> hits_{0};\n"
+      "  std::atomic<bool> failed_{false};\n"
+      "  const int capacity_ = 8;\n"
+      "  std::condition_variable_any cv_;\n"
+      "  std::mutex plain_mu_;\n"
+      "  Registry& registry_;\n"
+      "  static int live_count;\n"
+      "};\n";
+  EXPECT_TRUE(lint_repo({{"src/core/cache.h", source}}).empty());
+}
+
+TEST(GuardedByRule, OnlyAppliesToMutexOwningClassesUnderSrc) {
+  // No ordered mutex -> no coverage obligation.
+  const std::string plain =
+      "#pragma once\nclass Plain { int x_ = 0; std::mutex mu_; };\n";
+  EXPECT_FALSE(repo_fires({{"src/core/plain.h", plain}}, "guarded-by"));
+  // Outside src/ the rule does not run (test fixtures own mutexes freely).
+  const std::string fixture =
+      "#pragma once\nclass F { common::OrderedMutex mu_{\"f\", 1}; int x_ = 0; };\n";
+  EXPECT_FALSE(repo_fires({{"tests/fixture.h", fixture}}, "guarded-by"));
+  EXPECT_TRUE(repo_fires({{"src/core/f.h", fixture}}, "guarded-by"));
+}
+
+TEST(GuardedByRule, HonoursTheAllowEscapeHatch) {
+  const std::string source =
+      "#pragma once\n"
+      "class Cache {\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int entries_ = 0;  // lint:allow(guarded-by) fixture\n"
+      "};\n";
+  EXPECT_TRUE(lint_repo({{"src/core/cache.h", source}}).empty());
+}
+
+// --- include-layering ------------------------------------------------------
+
+TEST(IncludeLayeringRule, AllowsDeclaredAndSameDirectoryEdges) {
+  EXPECT_FALSE(fires("src/smb/server.cc", "#include \"net/fabric.h\"\n",
+                     "include-layering"));
+  EXPECT_FALSE(fires("src/core/trainer.cc", "#include \"smb/client.h\"\n",
+                     "include-layering"));
+  EXPECT_FALSE(fires("src/recovery/replicated_smb.cc", "#include \"recovery/epoch.h\"\n",
+                     "include-layering"));
+  EXPECT_FALSE(fires("src/minimpi/minimpi.cc", "#include \"common/ordered_mutex.h\"\n",
+                     "include-layering"));
+}
+
+TEST(IncludeLayeringRule, FlagsUpwardAndUndeclaredEdges) {
+  // common is the bottom layer: it may include from nobody.
+  EXPECT_TRUE(fires("src/common/parallel.cc", "#include \"smb/server.h\"\n",
+                    "include-layering"));
+  // net does not depend on minimpi (it is the other way around).
+  EXPECT_TRUE(fires("src/net/fabric.cc", "#include \"minimpi/minimpi.h\"\n",
+                    "include-layering"));
+  // smb must not reach into core (core sits above smb).
+  EXPECT_TRUE(fires("src/smb/server.cc", "#include \"core/trainer.h\"\n",
+                    "include-layering"));
+}
+
+TEST(IncludeLayeringRule, FlagsTargetsOutsideTheSrcDag) {
+  // src/ must never include from tests/, bench/ or tools/.
+  EXPECT_TRUE(fires("src/smb/server.cc", "#include \"tests/util.h\"\n",
+                    "include-layering"));
+  EXPECT_TRUE(fires("src/core/trainer.cc", "#include \"bench/bench_util.h\"\n",
+                    "include-layering"));
+}
+
+TEST(IncludeLayeringRule, DoesNotApplyOutsideSrc) {
+  EXPECT_FALSE(fires("tests/smb_test.cc", "#include \"core/trainer.h\"\n",
+                     "include-layering"));
+  EXPECT_FALSE(fires("bench/bench_x.cc", "#include \"core/trainer.h\"\n",
+                     "include-layering"));
+}
+
+TEST(IncludeLayeringRule, DeclaredDagIsAcyclic) {
+  // Every edge must point strictly downward: if a includes b then b must not
+  // (transitively) include a.  DFS over the declared table.
+  const std::vector<std::string>& dirs = layering_dirs();
+  ASSERT_FALSE(dirs.empty());
+  for (const std::string& start : dirs) {
+    std::vector<std::string> stack = {start};
+    std::vector<std::string> seen;
+    while (!stack.empty()) {
+      const std::string at = stack.back();
+      stack.pop_back();
+      for (const std::string& next : dirs) {
+        if (next == at || !layering_allows(at, next)) continue;
+        EXPECT_NE(next, start) << "cycle through " << start << " -> " << at;
+        if (std::find(seen.begin(), seen.end(), next) == seen.end()) {
+          seen.push_back(next);
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  // Spot-check the spine: everything may be reached from core, nothing from
+  // common.
+  EXPECT_TRUE(layering_allows("core", "smb"));
+  EXPECT_TRUE(layering_allows("smb", "rdma"));
+  for (const std::string& dir : dirs) {
+    if (dir != "common") {
+      EXPECT_FALSE(layering_allows("common", dir)) << dir;
+    }
+  }
+}
+
+// --- the coverage report ---------------------------------------------------
+
+TEST(CoverageReport, CountsGuardedUnguardedAndUnannotatedFields) {
+  const std::string source =
+      "#pragma once\n"
+      "class Cache {\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int guarded_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "  int declared_ SHMCAFFE_UNGUARDED = 0;\n"
+      "  int missing_ = 0;\n"
+      "  std::atomic<int> exempt_{0};\n"
+      "};\n";
+  const std::string json = coverage_json({{"src/core/cache.h", source}});
+  EXPECT_NE(json.find("\"class\": \"Cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/core/cache.h\""), std::string::npos);
+  EXPECT_NE(json.find("\"mutexes\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"fields\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"guarded\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"unguarded\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"unannotated\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+}
+
+TEST(CoverageReport, SkipsClassesWithoutOrderedMutexes) {
+  const std::string source = "#pragma once\nclass Plain { int x_ = 0; };\n";
+  const std::string json = coverage_json({{"src/core/plain.h", source}});
+  EXPECT_EQ(json.find("Plain"), std::string::npos);
+  EXPECT_NE(json.find("\"classes\": 0"), std::string::npos);
+}
+
 TEST(RuleIds, EveryRuleIsListed) {
   const std::vector<std::string>& ids = rule_ids();
   for (const char* expected : {"rng-source", "wall-clock", "sim-wall-clock", "raii-lock",
                                "sim-ptr-container", "pragma-once", "include-hygiene",
-                               "no-naked-epoch", "no-raw-thread"}) {
+                               "no-naked-epoch", "no-raw-thread", "guarded-by",
+                               "include-layering"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end()) << expected;
   }
 }

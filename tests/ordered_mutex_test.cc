@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -181,6 +183,79 @@ TEST_F(OrderedMutexTest, ConditionVariableAnyWaitWorks) {
   signaller.join();
   EXPECT_EQ(LockOrderRegistry::instance().violation_count(), 0U);
 }
+
+#if SHMCAFFE_LOCK_ASSERTS
+
+// Runtime half of the guarded-by contract (static half: shmcaffe-lint).
+// SHMCAFFE_ASSERT_HELD must pass while the calling thread holds the lock —
+// exclusively or shared — and abort with the lock's name when it does not.
+
+TEST_F(OrderedMutexTest, AssertHeldPassesWhileLocked) {
+  OrderedMutex m("test.assert", 1);
+  std::scoped_lock lock(m);
+  SHMCAFFE_ASSERT_HELD(m);  // must not abort
+}
+
+TEST_F(OrderedMutexTest, AssertHeldPassesUnderSharedAndExclusiveOwnership) {
+  OrderedSharedMutex m("test.assert.shared", 1);
+  {
+    std::shared_lock lock(m);
+    SHMCAFFE_ASSERT_HELD(m);
+  }
+  {
+    std::unique_lock lock(m);
+    SHMCAFFE_ASSERT_HELD(m);
+  }
+}
+
+TEST_F(OrderedMutexTest, AssertHeldAbortsWhenTheLockIsNotHeld) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex m("test.assert.unheld", 1);
+  EXPECT_DEATH({ SHMCAFFE_ASSERT_HELD(m); },
+               "lock assertion failed: 'm' \\(lock 'test.assert.unheld', rank 1\\)");
+}
+
+TEST_F(OrderedMutexTest, AssertHeldAbortsWhenOnlyAnotherThreadHoldsIt) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex m("test.assert.other", 1);
+  EXPECT_DEATH(
+      {
+        std::mutex ready_mutex;
+        std::condition_variable ready_cv;
+        bool held = false;
+        std::thread owner([&] {
+          std::scoped_lock lock(m);
+          {
+            std::scoped_lock ready(ready_mutex);
+            held = true;
+          }
+          ready_cv.notify_one();
+          // Hold until the abort tears the process down (or, if the assert
+          // wrongly passed, exit so the test can report the escape).
+          std::this_thread::sleep_for(std::chrono::seconds(5));
+        });
+        {
+          std::unique_lock ready(ready_mutex);
+          ready_cv.wait(ready, [&] { return held; });
+        }
+        SHMCAFFE_ASSERT_HELD(m);  // held by `owner`, not by this thread
+        owner.join();
+      },
+      "lock assertion failed");
+}
+
+TEST_F(OrderedMutexTest, AssertHeldAbortsAfterRelease) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex m("test.assert.released", 1);
+  EXPECT_DEATH(
+      {
+        { std::scoped_lock lock(m); }
+        SHMCAFFE_ASSERT_HELD(m);
+      },
+      "lock assertion failed: 'm' \\(lock 'test.assert.released', rank 1\\)");
+}
+
+#endif  // SHMCAFFE_LOCK_ASSERTS
 
 }  // namespace
 }  // namespace shmcaffe::common

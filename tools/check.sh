@@ -5,9 +5,14 @@
 #
 # Usage:
 #   tools/check.sh            # run the whole matrix
-#   tools/check.sh plain      # just the plain build + full ctest (+ lint)
+#   tools/check.sh plain      # just the plain build + full ctest (+ lint,
+#                             # incl. the lock-coverage snapshot gate)
 #   tools/check.sh tsan       # just the TSan build + `ctest -L tsan`
 #   tools/check.sh asan       # just the ASan/UBSan build + full ctest
+#   tools/check.sh lint       # `ctest -L lint` + `shmcaffe-lint --coverage`
+#                             # gated against LINT_coverage.json: unannotated
+#                             # fields fail, and per-class unguarded counts
+#                             # must not grow (--force overrides)
 #   tools/check.sh recovery   # `ctest -L recovery` in the plain AND TSan trees
 #   tools/check.sh bench      # Release build + bench_micro_kernels snapshot
 #                             # into BENCH_kernels.json; refuses to overwrite
@@ -41,6 +46,44 @@ run_stage() {
   (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" $ctest_args)
 }
 
+# Lock-coverage snapshot: `shmcaffe-lint --coverage` against the committed
+# LINT_coverage.json baseline.  Fails if any class has unannotated fields, or
+# if a class's `unguarded` count grew versus the baseline (declaring a field
+# SHMCAFFE_UNGUARDED is an explicit, reviewed loosening — the snapshot pins
+# it).  On success the new report becomes the baseline; a regression keeps
+# the old baseline unless --force is given.
+lint_coverage_gate() {
+  local build_dir=$1
+  echo "==> [lint] shmcaffe-lint --coverage gate"
+  local new_json
+  new_json=$(mktemp)
+  "./$build_dir/tools/lint/shmcaffe-lint" . --coverage > "$new_json"
+  local extract='s/.*"class": "\([^"]*\)".*"unguarded": \([0-9]*\), "unannotated": \([0-9]*\).*/\1 \2 \3/p'
+  if grep -q '"unannotated": [1-9]' "$new_json"; then
+    echo "==> [lint] classes with unannotated fields (guarded-by rule should have caught this):" >&2
+    sed -n "$extract" "$new_json" | awk '$3 > 0' >&2
+    rm -f "$new_json"
+    exit 1
+  fi
+  if [[ -f LINT_coverage.json && "$FORCE" != 1 ]]; then
+    if ! awk 'NR==FNR { old[$1] = $2; next }
+              ($1 in old) && $2 > old[$1] {
+                printf "coverage regression: %s unguarded %d -> %d\n", $1, old[$1], $2
+                bad = 1
+              }
+              END { exit bad }' \
+          <(sed -n "$extract" LINT_coverage.json) \
+          <(sed -n "$extract" "$new_json"); then
+      echo "==> [lint] unguarded field count grew vs LINT_coverage.json;" \
+           "baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
+  fi
+  mv "$new_json" LINT_coverage.json
+  echo "==> [lint] snapshot written to LINT_coverage.json"
+}
+
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     plain)
@@ -48,6 +91,7 @@ for stage in "${STAGES[@]}"; do
       # shmcaffe-lint repo scan (`-L lint`), and the lock-order detector
       # guards embedded in the concurrency suites.
       run_stage plain build "" ""
+      lint_coverage_gate build
       ;;
     tsan)
       # Data-race + (via the LockOrder guard tests) deadlock-potential pass
@@ -59,7 +103,10 @@ for stage in "${STAGES[@]}"; do
       run_stage asan build-asan address ""
       ;;
     lint)
+      # Static half (`ctest -L lint`: the repo scan + rule unit tests), then
+      # the lock-coverage snapshot gate.
       run_stage lint build "" "-L lint"
+      lint_coverage_gate build
       ;;
     recovery)
       # Focused gate for the recovery layer (replicated-SMB failover,
@@ -77,7 +124,10 @@ for stage in "${STAGES[@]}"; do
       # recorded throughput, or the stage fails and keeps the baseline
       # (override with --force after an intentional change).
       echo "==> [bench] configure + build (build-bench, Release)"
-      cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+      # Lock-held assertions off: the kernels are measured, not checked, and
+      # the per-call held-list scan would perturb the hot paths.
+      cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+            -DSHMCAFFE_LOCK_ASSERTS=OFF >/dev/null
       cmake --build build-bench -j "$JOBS" --target bench_micro_kernels
       echo "==> [bench] bench_micro_kernels"
       new_json=$(mktemp)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <map>
 #include <regex>
 #include <sstream>
 
@@ -30,24 +31,45 @@ std::string lowercase(std::string_view s) {
   return out;
 }
 
-/// Per-line `lint:allow(rule)` annotations, extracted from the *raw* source
-/// (they live inside comments, which the scrubber removes).
-std::vector<std::vector<std::string>> collect_allows(std::string_view contents) {
-  static const std::regex kAllow(R"(lint:allow\(([a-z0-9-]+)\))");
-  std::vector<std::vector<std::string>> per_line;
+std::string trim(std::string_view s) {
   std::size_t begin = 0;
-  while (begin <= contents.size()) {
-    std::size_t end = contents.find('\n', begin);
-    if (end == std::string_view::npos) end = contents.size();
-    const std::string line(contents.substr(begin, end - begin));
-    std::vector<std::string> allows;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+/// Per-line `lint:allow(rule[,rule...])` annotations, extracted from the
+/// *raw* source (they live inside comments, which the scrubber removes).
+/// `lint:allow-next-line(...)` attaches its rules to the following line,
+/// for declarations too long to carry a trailing comment.
+std::vector<std::vector<std::string>> collect_allows(std::string_view contents) {
+  static const std::regex kAllow(R"(lint:allow(-next-line)?\(([a-z0-9][a-z0-9,\s-]*)\))");
+  std::vector<std::string> raw_lines;
+  {
+    std::size_t begin = 0;
+    while (begin <= contents.size()) {
+      std::size_t end = contents.find('\n', begin);
+      if (end == std::string_view::npos) end = contents.size();
+      raw_lines.emplace_back(contents.substr(begin, end - begin));
+      if (end == contents.size()) break;
+      begin = end + 1;
+    }
+  }
+  // One extra slot so allow-next-line on the last line stays in bounds.
+  std::vector<std::vector<std::string>> per_line(raw_lines.size() + 1);
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
     for (auto it = std::sregex_iterator(line.begin(), line.end(), kAllow);
          it != std::sregex_iterator(); ++it) {
-      allows.push_back((*it)[1].str());
+      const std::size_t target = (*it)[1].matched ? i + 1 : i;
+      std::stringstream rules((*it)[2].str());
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        rule = trim(rule);
+        if (!rule.empty()) per_line[target].push_back(rule);
+      }
     }
-    per_line.push_back(std::move(allows));
-    if (end == contents.size()) break;
-    begin = end + 1;
   }
   return per_line;
 }
@@ -85,6 +107,50 @@ bool is_project_include(std::string_view target) {
     if (starts_with(target, dir)) return true;
   }
   return false;
+}
+
+// --- include-layering: the declared src/ directory DAG ----------------------
+//
+// Each entry lists the directories a src/<dir>/ source may include from
+// (same-directory includes are always allowed and not listed).  The DAG is
+// documented in DESIGN.md ("Include layering"); edges point strictly
+// downward, so an upward or cyclic include cannot be expressed — the rule
+// reports it instead.  Growing a new dependency means adding the edge here
+// *and* justifying it in DESIGN.md.
+struct LayerEntry {
+  std::string_view dir;
+  std::vector<std::string_view> deps;
+};
+
+const std::vector<LayerEntry>& layering_table() {
+  static const std::vector<LayerEntry> table = {
+      {"common", {}},
+      {"sim", {"common"}},
+      {"fault", {"common"}},
+      {"dl", {"common"}},
+      {"cluster", {"common"}},
+      {"net", {"common", "sim"}},
+      {"data", {"common", "dl"}},
+      {"rdma", {"common", "net", "sim"}},
+      {"minimpi", {"common", "net", "sim"}},
+      {"smb", {"common", "net", "rdma", "sim"}},
+      {"coll", {"common", "minimpi"}},
+      {"recovery", {"common", "fault", "smb"}},
+      {"core",
+       {"cluster", "coll", "common", "data", "dl", "fault", "minimpi", "net", "recovery",
+        "sim", "smb"}},
+      {"baselines",
+       {"cluster", "coll", "common", "core", "data", "dl", "fault", "minimpi", "net",
+        "sim"}},
+  };
+  return table;
+}
+
+const LayerEntry* layer_of(std::string_view dir) {
+  for (const LayerEntry& entry : layering_table()) {
+    if (entry.dir == dir) return &entry;
+  }
+  return nullptr;
 }
 
 struct PatternRule {
@@ -135,19 +201,491 @@ bool raw_thread_allowed_path(std::string_view path) {
          starts_with(path, "src/minimpi/") || starts_with(path, "src/sim/");
 }
 
+// --- pass 1: the declaration index ------------------------------------------
+
+/// Strips C++ attributes (`[[...]]`) from a statement.
+std::string strip_attributes(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '[' && i + 1 < s.size() && s[i + 1] == '[') {
+      const std::size_t close = s.find("]]", i + 2);
+      if (close == std::string_view::npos) break;
+      i = close + 1;
+      continue;
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+/// Identifier tokens of a statement, in order.
+std::vector<std::string> identifier_tokens(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto c = static_cast<unsigned char>(s[i]);
+    if (std::isalpha(c) || c == '_') {
+      std::size_t j = i;
+      while (j < s.size() && (std::isalnum(static_cast<unsigned char>(s[j])) || s[j] == '_')) {
+        ++j;
+      }
+      tokens.emplace_back(s.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+bool has_token(const std::vector<std::string>& tokens, std::string_view token) {
+  return std::find(tokens.begin(), tokens.end(), token) != tokens.end();
+}
+
+/// True if `s` contains a '(' outside template angle brackets.  Used to tell
+/// function declarations/definitions from field declarations: a field's
+/// parens (std::function<void(int)>) only ever live inside its template
+/// arguments once initialisers are cut.
+bool has_top_level_paren(std::string_view s) {
+  int angle = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    if (c == '<') {
+      if (next == '<' || next == '=') {
+        ++i;
+        continue;
+      }
+      ++angle;
+    } else if (c == '>') {
+      if (i > 0 && s[i - 1] == '-') continue;  // ->
+      if (next == '=') {
+        ++i;
+        continue;
+      }
+      if (next == '>' && angle >= 2) {
+        angle -= 2;
+        ++i;
+        continue;
+      }
+      if (angle > 0) --angle;
+    } else if (c == '(' && angle == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Position of the first `wanted` character outside parens/brackets/angles,
+/// or npos.  `::` never counts as the ':' it contains.
+std::size_t top_level_pos(std::string_view s, char wanted) {
+  int angle = 0;
+  int paren = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    if (c == '(' || c == '[') {
+      ++paren;
+    } else if (c == ')' || c == ']') {
+      if (paren > 0) --paren;
+    } else if (c == '<') {
+      if (next == '<' || next == '=') {
+        ++i;
+        continue;
+      }
+      ++angle;
+    } else if (c == '>') {
+      if (i > 0 && s[i - 1] == '-') continue;
+      if (next == '=') {
+        ++i;
+        continue;
+      }
+      if (next == '>' && angle >= 2) {
+        angle -= 2;
+        ++i;
+        continue;
+      }
+      if (angle > 0) --angle;
+    } else if (c == ':' && (next == ':' || (i > 0 && s[i - 1] == ':'))) {
+      continue;  // scope resolution
+    } else if (c == wanted && angle == 0 && paren == 0) {
+      // '=' must be the assignment, not ==, <=, >=, != (the angle branch
+      // already swallowed <= / >=).
+      if (wanted == '=' && (next == '=' || (i > 0 && (s[i - 1] == '=' || s[i - 1] == '!')))) {
+        continue;
+      }
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Extracts and removes SHMCAFFE_GUARDED_BY(...) / SHMCAFFE_UNGUARDED from a
+/// declaration statement.
+void extract_annotations(std::string& stmt, bool& guarded, std::string& guard,
+                         bool& unguarded) {
+  static const std::string kGuardedBy = "SHMCAFFE_GUARDED_BY";
+  static const std::string kUnguarded = "SHMCAFFE_UNGUARDED";
+  std::size_t at = stmt.find(kGuardedBy);
+  if (at != std::string::npos) {
+    std::size_t open = stmt.find('(', at + kGuardedBy.size());
+    if (open != std::string::npos) {
+      int depth = 1;
+      std::size_t close = open + 1;
+      while (close < stmt.size() && depth > 0) {
+        if (stmt[close] == '(') ++depth;
+        if (stmt[close] == ')') --depth;
+        ++close;
+      }
+      guarded = true;
+      guard = trim(stmt.substr(open + 1, close - open - 2));
+      stmt.erase(at, close - at);
+    }
+  }
+  at = stmt.find(kUnguarded);
+  if (at != std::string::npos) {
+    unguarded = true;
+    stmt.erase(at, kUnguarded.size());
+  }
+}
+
+/// Scrubbed source with preprocessor lines (and their backslash
+/// continuations) blanked, joined back into one text: the indexer's input.
+std::string indexable_text(std::string_view contents) {
+  std::vector<std::string> lines = scrub_source(contents);
+  bool continuation = false;
+  for (std::string& line : lines) {
+    const std::string body = trim(line);
+    const bool active = continuation || (!body.empty() && body.front() == '#');
+    continuation = active && !body.empty() && body.back() == '\\';
+    if (active) line.clear();
+  }
+  std::string text;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i != 0) text.push_back('\n');
+    text += lines[i];
+  }
+  return text;
+}
+
+/// Recursive-descent declaration scanner over scrubbed, preprocessor-blanked
+/// source.  It understands just enough C++ structure to find class/struct
+/// bodies and split them into member declarations: function bodies and
+/// initialisers are skipped, nested classes extend the qualified name.
+class ClassIndexer {
+ public:
+  ClassIndexer(std::string text, std::string file, std::vector<ClassInfo>* out)
+      : text_(std::move(text)), file_(std::move(file)), out_(out) {}
+
+  void run() { parse_scope("", -1); }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+
+  char get() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// Consumes a balanced brace block whose '{' was already consumed.
+  void skip_braces() {
+    int depth = 1;
+    while (!eof() && depth > 0) {
+      const char c = get();
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+    }
+  }
+
+  /// Consumes through the next top-level ';' (trailing declarators after a
+  /// class/enum body, the tail of a brace-initialised member).  Stops short
+  /// of a scope-closing '}'.
+  void consume_to_semicolon() {
+    int depth = 0;
+    while (!eof()) {
+      if (depth == 0 && text_[pos_] == '}') return;
+      const char c = get();
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      if (c == ';' && depth == 0) return;
+    }
+  }
+
+  /// Accumulates a statement until ';', '{' or '}' at paren depth 0;
+  /// returns the (consumed) terminator, '\0' at EOF.
+  char collect(std::string& stmt, int& stmt_line) {
+    stmt.clear();
+    stmt_line = 0;
+    int paren = 0;
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (paren == 0 && (c == ';' || c == '{' || c == '}')) {
+        get();
+        return c;
+      }
+      const int at_line = line_;
+      get();
+      if (c == '(' || c == '[') ++paren;
+      if ((c == ')' || c == ']') && paren > 0) --paren;
+      if (stmt_line == 0 && !std::isspace(static_cast<unsigned char>(c))) {
+        stmt_line = at_line;
+      }
+      stmt.push_back(c == '\n' ? ' ' : c);
+    }
+    return '\0';
+  }
+
+  /// The (possibly ::-qualified) name after the class-key, or "<anonymous>".
+  static std::string class_name_of(const std::string& head) {
+    static const std::regex kKey(R"(\b(class|struct|union)\b)");
+    static const std::regex kName(R"(^\s*([A-Za-z_][A-Za-z0-9_]*(::[A-Za-z_][A-Za-z0-9_]*)*))");
+    std::smatch key;
+    if (!std::regex_search(head, key, kKey)) return "<anonymous>";
+    const std::string rest = key.suffix().str();
+    std::smatch name;
+    if (!std::regex_search(rest, name, kName)) return "<anonymous>";
+    return name[1].str();
+  }
+
+  void parse_scope(const std::string& prefix, int class_index) {
+    std::string stmt;
+    int stmt_line = 0;
+    while (!eof()) {
+      const char term = collect(stmt, stmt_line);
+      if (term == ';') {
+        if (class_index >= 0) handle_field(stmt, stmt_line, class_index);
+        continue;
+      }
+      if (term == '}' || term == '\0') return;
+      // term == '{': classify the head.
+      const std::string head = trim(strip_attributes(stmt));
+      if (head.empty()) {
+        skip_braces();
+        continue;
+      }
+      const std::vector<std::string> tokens = identifier_tokens(head);
+      if (top_level_pos(head, '=') != std::string::npos) {
+        // `type name = { ... };` — brace initialiser after '='.
+        skip_braces();
+        consume_to_semicolon();
+        if (class_index >= 0) handle_field(head, stmt_line, class_index);
+        continue;
+      }
+      if (has_token(tokens, "namespace")) {
+        parse_scope(prefix, class_index);
+        continue;
+      }
+      if (has_token(tokens, "enum")) {
+        skip_braces();
+        consume_to_semicolon();
+        continue;
+      }
+      const bool function_like = has_top_level_paren(head) || has_token(tokens, "operator");
+      const bool class_like = has_token(tokens, "class") || has_token(tokens, "struct") ||
+                              has_token(tokens, "union");
+      if (class_like && !function_like) {
+        const std::string name = class_name_of(head);
+        const std::string qualified = prefix.empty() ? name : prefix + "::" + name;
+        const int index = static_cast<int>(out_->size());
+        ClassInfo info;
+        info.name = qualified;
+        info.enclosing = prefix;
+        info.file = file_;
+        info.line = stmt_line;
+        out_->push_back(std::move(info));
+        parse_scope(qualified, index);
+        consume_to_semicolon();  // `} trailing_declarator;`
+        continue;
+      }
+      if (function_like) {
+        skip_braces();
+        continue;
+      }
+      if (class_index >= 0) {
+        // `type name{init};` — brace-initialised member.
+        skip_braces();
+        consume_to_semicolon();
+        handle_field(head, stmt_line, class_index);
+        continue;
+      }
+      skip_braces();  // unrecognised block at namespace scope
+    }
+  }
+
+  void handle_field(std::string stmt, int line, int class_index) {
+    bool guarded = false;
+    bool unguarded = false;
+    std::string guard;
+    extract_annotations(stmt, guarded, guard, unguarded);
+    stmt = trim(strip_attributes(stmt));
+    // Strip access-specifier labels glued to the first declaration.
+    static const std::regex kAccess(R"(^\s*(public|private|protected)\s*:)");
+    std::smatch access;
+    while (std::regex_search(stmt, access, kAccess) && stmt[access.position(0)] != ':') {
+      stmt = trim(access.suffix().str());
+    }
+    if (stmt.empty()) return;
+    const std::vector<std::string> tokens = identifier_tokens(stmt);
+    if (tokens.empty()) return;
+    static const std::array<std::string_view, 9> kSkipLead = {
+        "using", "typedef", "friend", "template", "class", "struct", "union", "enum",
+        "namespace"};
+    for (const std::string_view lead : kSkipLead) {
+      if (tokens.front() == lead) return;
+    }
+    // static / constexpr members have no per-instance state to guard.
+    if (has_token(tokens, "static") || has_token(tokens, "constexpr") ||
+        has_token(tokens, "operator")) {
+      return;
+    }
+    const std::size_t init = top_level_pos(stmt, '=');
+    if (init != std::string::npos) stmt = trim(stmt.substr(0, init));
+    if (stmt.empty()) return;
+    if (has_top_level_paren(stmt)) return;  // function declaration
+    const std::size_t bitfield = top_level_pos(stmt, ':');
+    if (bitfield != std::string::npos) stmt = trim(stmt.substr(0, bitfield));
+    static const std::regex kDeclName(
+        R"(([A-Za-z_][A-Za-z0-9_]*)\s*(\[[^\]]*\]\s*)*$)");
+    std::smatch name_match;
+    if (!std::regex_search(stmt, name_match, kDeclName)) return;
+    const std::string name = name_match[1].str();
+    const std::string type = trim(stmt.substr(0, static_cast<std::size_t>(name_match.position(1))));
+    if (type.empty()) return;  // lone identifier: a macro invocation, not a field
+
+    static const std::regex kOrderedMutexType(R"(\bOrdered(Shared)?Mutex\b)");
+    static const std::regex kPlainMutexType(
+        R"(\b(mutex|shared_mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_timed_mutex)\b)");
+    static const std::regex kConditionVariable(R"(\bcondition_variable(_any)?\b)");
+    static const std::regex kAtomicLead(
+        R"(^((mutable|volatile|inline)\s+)*std\s*::\s*atomic\b)");
+    static const std::regex kConstLead(R"(^((mutable|volatile|inline)\s+)*const\b)");
+
+    FieldInfo field;
+    field.name = name;
+    field.line = line;
+    field.guarded = guarded;
+    field.guard = guard;
+    field.unguarded = unguarded;
+    const bool value_type = type.find('*') == std::string::npos &&
+                            type.find('&') == std::string::npos;
+    field.is_mutex = value_type && std::regex_search(type, kOrderedMutexType);
+    field.exempt = field.is_mutex ||
+                   (value_type && std::regex_search(type, kPlainMutexType)) ||
+                   std::regex_search(type, kConditionVariable) ||
+                   std::regex_search(type, kAtomicLead) ||
+                   (value_type && std::regex_search(type, kConstLead)) ||
+                   type.find('&') != std::string::npos;
+    ClassInfo& cls = (*out_)[static_cast<std::size_t>(class_index)];
+    if (field.is_mutex) cls.owns_ordered_mutex = true;
+    cls.fields.push_back(std::move(field));
+  }
+
+  std::string text_;
+  std::string file_;
+  std::vector<ClassInfo>* out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// First identifier of a SHMCAFFE_GUARDED_BY expression ("mu_", or "mu_" of
+/// "other.mu_"); the guard must name a mutex member.
+std::string guard_identifier(const std::string& guard) {
+  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
+  std::smatch m;
+  if (!std::regex_search(guard, m, kIdent)) return {};
+  return m.str(0);
+}
+
+/// True if `cls` (or a lexically enclosing class) has an ordered-mutex
+/// member named `name`.
+bool resolves_to_mutex(const std::vector<ClassInfo>& index, const ClassInfo& cls,
+                       const std::string& name) {
+  const ClassInfo* current = &cls;
+  while (current != nullptr) {
+    for (const FieldInfo& field : current->fields) {
+      if (field.is_mutex && field.name == name) return true;
+    }
+    const std::string& enclosing = current->enclosing;
+    current = nullptr;
+    if (!enclosing.empty()) {
+      for (const ClassInfo& candidate : index) {
+        if (candidate.name == enclosing && candidate.file == cls.file) {
+          current = &candidate;
+          break;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+/// Pass 2 (index-driven half): the guarded-by rule over every src/ class
+/// owning an ordered mutex.
+std::vector<Finding> guarded_by_findings(
+    const std::vector<SourceFile>& files, const std::vector<ClassInfo>& index) {
+  std::map<std::string, std::vector<std::vector<std::string>>> allows_by_file;
+  for (const SourceFile& file : files) {
+    allows_by_file[file.path] = collect_allows(file.contents);
+  }
+  std::vector<Finding> findings;
+  for (const ClassInfo& cls : index) {
+    if (!cls.owns_ordered_mutex || !starts_with(cls.file, "src/")) continue;
+    const auto allows = allows_by_file.find(cls.file);
+    for (const FieldInfo& field : cls.fields) {
+      if (field.is_mutex || field.exempt || field.unguarded) continue;
+      std::string message;
+      if (!field.guarded) {
+        message = "field '" + field.name + "' of mutex-owning class '" + cls.name +
+                  "' has neither SHMCAFFE_GUARDED_BY(mu) nor SHMCAFFE_UNGUARDED "
+                  "(see src/common/ordered_mutex.h)";
+      } else {
+        const std::string ident = guard_identifier(field.guard);
+        if (!ident.empty() && resolves_to_mutex(index, cls, ident)) continue;
+        message = "SHMCAFFE_GUARDED_BY(" + field.guard + ") on field '" + field.name +
+                  "' names no ordered-mutex member of '" + cls.name +
+                  "' or an enclosing class";
+      }
+      if (allows != allows_by_file.end() &&
+          allowed(allows->second, field.line, "guarded-by")) {
+        continue;
+      }
+      findings.push_back(Finding{cls.file, field.line, "guarded-by", std::move(message)});
+    }
+  }
+  return findings;
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "rng-source",       "wall-clock",  "sim-wall-clock",  "raii-lock",
       "sim-ptr-container", "pragma-once", "include-hygiene", "no-naked-epoch",
-      "no-raw-thread"};
+      "no-raw-thread",     "guarded-by",  "include-layering"};
   return ids;
 }
 
 bool is_sim_path(std::string_view path) {
   if (starts_with(path, "src/sim/") || starts_with(path, "src/net/")) return true;
   return starts_with(basename_of(path), "sim_");
+}
+
+const std::vector<std::string>& layering_dirs() {
+  static const std::vector<std::string> dirs = [] {
+    std::vector<std::string> out;
+    for (const LayerEntry& entry : layering_table()) out.emplace_back(entry.dir);
+    return out;
+  }();
+  return dirs;
+}
+
+bool layering_allows(std::string_view from_dir, std::string_view to_dir) {
+  if (from_dir == to_dir) return true;
+  const LayerEntry* entry = layer_of(from_dir);
+  if (entry == nullptr) return false;
+  return std::find(entry->deps.begin(), entry->deps.end(), to_dir) != entry->deps.end();
 }
 
 std::vector<std::string> scrub_source(std::string_view contents) {
@@ -158,13 +696,32 @@ std::vector<std::string> scrub_source(std::string_view contents) {
   std::string raw_delim;  // the `)delim"` terminator of an active raw string
 
   const std::size_t n = contents.size();
+  // True if the 'R' at index i opens a raw string: the preceding identifier
+  // run must be empty or one of the encoding prefixes (u8R", uR", LR", UR").
+  const auto raw_string_at = [&](std::size_t i) {
+    std::size_t start = i;
+    while (start > 0 && (std::isalnum(static_cast<unsigned char>(contents[start - 1])) ||
+                         contents[start - 1] == '_')) {
+      --start;
+    }
+    const std::string_view prefix = contents.substr(start, i - start);
+    return prefix.empty() || prefix == "u8" || prefix == "u" || prefix == "L" ||
+           prefix == "U";
+  };
+
   for (std::size_t i = 0; i < n; ++i) {
     const char c = contents[i];
     const char next = i + 1 < n ? contents[i + 1] : '\0';
     if (c == '\n') {
-      // Unterminated ordinary strings/chars/line comments reset at EOL;
-      // block comments and raw strings continue across lines.
-      if (state == State::kLineComment || state == State::kString || state == State::kChar) {
+      // Unterminated ordinary strings/chars/line comments reset at EOL —
+      // unless the newline is escaped (a backslash line continuation, legal
+      // in line comments and literals alike).  Block comments and raw
+      // strings continue across lines regardless.
+      const bool spliced =
+          (i >= 1 && contents[i - 1] == '\\') ||
+          (i >= 2 && contents[i - 1] == '\r' && contents[i - 2] == '\\');
+      if (!spliced &&
+          (state == State::kLineComment || state == State::kString || state == State::kChar)) {
         state = State::kCode;
       }
       lines.push_back(std::move(current));
@@ -179,10 +736,8 @@ std::vector<std::string> scrub_source(std::string_view contents) {
         } else if (c == '/' && next == '*') {
           state = State::kBlockComment;
           ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(contents[i - 1])) &&
-                               contents[i - 1] != '_'))) {
-          // R"delim( ... )delim"
+        } else if (c == 'R' && next == '"' && raw_string_at(i)) {
+          // (prefix)R"delim( ... )delim"
           std::size_t open = i + 2;
           std::string delim;
           while (open < n && contents[open] != '(' && contents[open] != '\n') {
@@ -217,7 +772,7 @@ std::vector<std::string> scrub_source(std::string_view contents) {
         break;
       case State::kString:
         if (c == '\\') {
-          ++i;  // skip escaped char (an escaped newline would be ill-formed anyway)
+          if (next != '\n') ++i;  // never swallow a newline: line counts stay exact
         } else if (c == '"') {
           state = State::kCode;
           current.push_back('"');
@@ -225,7 +780,7 @@ std::vector<std::string> scrub_source(std::string_view contents) {
         break;
       case State::kChar:
         if (c == '\\') {
-          ++i;
+          if (next != '\n') ++i;
         } else if (c == '\'') {
           state = State::kCode;
           current.push_back('\'');
@@ -243,6 +798,15 @@ std::vector<std::string> scrub_source(std::string_view contents) {
   return lines;
 }
 
+std::vector<ClassInfo> index_classes(const std::vector<SourceFile>& files) {
+  std::vector<ClassInfo> index;
+  for (const SourceFile& file : files) {
+    ClassIndexer indexer(indexable_text(file.contents), file.path, &index);
+    indexer.run();
+  }
+  return index;
+}
+
 std::vector<Finding> lint_source(std::string_view path, std::string_view contents) {
   std::vector<Finding> findings;
   const std::vector<std::vector<std::string>> allows = collect_allows(contents);
@@ -257,6 +821,13 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
   // The fencing helpers themselves necessarily compare raw epoch values.
   const bool in_epoch_helpers = starts_with(path, "src/recovery/epoch");
   const bool header = ends_with(path, ".h");
+  // include-layering applies to src/<dir>/ sources with a known layer dir.
+  std::string from_dir;
+  if (starts_with(path, "src/")) {
+    const std::string_view rest = path.substr(4);
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) from_dir = std::string(rest.substr(0, slash));
+  }
 
   auto report = [&](int line, std::string_view rule, std::string message) {
     if (allowed(allows, line, rule)) return;
@@ -350,6 +921,28 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
         report(lineno, "include-hygiene",
                "directory-less include \"" + target +
                    "\"; project headers are included as \"dir/file.h\"");
+      } else if (!from_dir.empty()) {
+        // include-layering: the target's top directory must be in this
+        // directory's declared dependency set (or the same directory).
+        const std::string to_dir = target.substr(0, target.find('/'));
+        if (to_dir != from_dir) {
+          if (layer_of(from_dir) == nullptr) {
+            report(lineno, "include-layering",
+                   "src/" + from_dir + "/ is not a registered layer; add it (and its "
+                   "dependencies) to the directory DAG in tools/lint/lint.cc");
+          } else if (layer_of(to_dir) == nullptr) {
+            report(lineno, "include-layering",
+                   "include \"" + target + "\": '" + to_dir +
+                       "' is not a src/ layer in the directory DAG (src/ must not "
+                       "include from tests/, bench/ or tools/)");
+          } else if (!layering_allows(from_dir, to_dir)) {
+            report(lineno, "include-layering",
+                   "include \"" + target + "\" from src/" + from_dir +
+                       "/: '" + to_dir + "' is not in '" + from_dir +
+                       "'s dependency set (upward or cyclic include; see the "
+                       "layering DAG in DESIGN.md)");
+          }
+        }
       }
     } else if (std::regex_search(line, include, kAngleInclude)) {
       const std::string target = include[1].str();
@@ -367,6 +960,84 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) { return a.line < b.line; });
   return findings;
+}
+
+std::vector<Finding> lint_repo(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    std::vector<Finding> file_findings = lint_source(file.path, file.contents);
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  const std::vector<ClassInfo> index = index_classes(files);
+  std::vector<Finding> guarded = guarded_by_findings(files, index);
+  findings.insert(findings.end(), std::make_move_iterator(guarded.begin()),
+                  std::make_move_iterator(guarded.end()));
+  std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return findings;
+}
+
+std::string coverage_json(const std::vector<SourceFile>& files) {
+  struct Row {
+    std::string name;
+    std::string file;
+    int mutexes = 0;
+    int fields = 0;
+    int guarded = 0;
+    int unguarded = 0;
+    int unannotated = 0;
+  };
+  std::vector<Row> rows;
+  for (const ClassInfo& cls : index_classes(files)) {
+    if (!cls.owns_ordered_mutex || !starts_with(cls.file, "src/")) continue;
+    Row row;
+    row.name = cls.name;
+    row.file = cls.file;
+    for (const FieldInfo& field : cls.fields) {
+      if (field.is_mutex) {
+        ++row.mutexes;
+        continue;
+      }
+      if (field.exempt) continue;
+      ++row.fields;
+      if (field.guarded) {
+        ++row.guarded;
+      } else if (field.unguarded) {
+        ++row.unguarded;
+      } else {
+        ++row.unannotated;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  Row total;
+  for (const Row& row : rows) {
+    total.mutexes += row.mutexes;
+    total.fields += row.fields;
+    total.guarded += row.guarded;
+    total.unguarded += row.unguarded;
+    total.unannotated += row.unannotated;
+  }
+  std::ostringstream out;
+  out << "{\n  \"classes\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"class\": \"" << row.name << "\", \"file\": \"" << row.file
+        << "\", \"mutexes\": " << row.mutexes << ", \"fields\": " << row.fields
+        << ", \"guarded\": " << row.guarded << ", \"unguarded\": " << row.unguarded
+        << ", \"unannotated\": " << row.unannotated << "}"
+        << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n";
+  out << "  \"summary\": {\"classes\": " << rows.size() << ", \"mutexes\": " << total.mutexes
+      << ", \"fields\": " << total.fields << ", \"guarded\": " << total.guarded
+      << ", \"unguarded\": " << total.unguarded << ", \"unannotated\": " << total.unannotated
+      << "}\n}\n";
+  return out.str();
 }
 
 std::string to_text(const std::vector<Finding>& findings) {

@@ -2,11 +2,20 @@
 //
 // The simulators demand strict determinism (seeded RNG only, no wall clock
 // in simulated paths) and the concurrent stacks demand disciplined locking
-// (RAII guards, ranked mutexes).  Instead of relying on review, this tiny
-// analyser scans src/, tests/ and bench/ and reports violations of the
-// rules below.  It is registered as a ctest (`ctest -L lint`) so the gate
-// runs with the ordinary suite, and tests/lint_test.cc exercises every rule
-// against in-memory fixtures.
+// (RAII guards, ranked mutexes, declared lock coverage).  Instead of relying
+// on review, this analyser scans src/, tests/ and bench/ and reports
+// violations of the rules below.  It is registered as a ctest
+// (`ctest -L lint`) so the gate runs with the ordinary suite, and
+// tests/lint_test.cc exercises every rule against in-memory fixtures.
+//
+// The analyser is multi-pass and symbol-aware:
+//   pass 1  builds a declaration index over every given source: classes,
+//           their fields, and which fields are OrderedMutex /
+//           OrderedSharedMutex members (index_classes);
+//   pass 2  evaluates the per-line pattern rules plus the index-driven
+//           guarded-by rule (lint_repo);
+//   pass 3  checks the #include graph of src/ against the declared
+//           directory DAG (the include-layering rule, also in lint_repo).
 //
 // Rules (rule id — what it flags):
 //   rng-source        raw entropy (`rand()`, `srand`, `std::random_device`,
@@ -41,10 +50,27 @@
 //                     internals): compute parallelism must go through
 //                     common/parallel.h so float results stay invariant
 //                     under SHMCAFFE_THREADS.  Tests and benches are exempt.
+//   guarded-by        in any src/ class owning an OrderedMutex or
+//                     OrderedSharedMutex, a mutable field that carries
+//                     neither SHMCAFFE_GUARDED_BY(mu) nor SHMCAFFE_UNGUARDED
+//                     (see src/common/ordered_mutex.h), or whose guard names
+//                     no mutex member of the class or a lexically enclosing
+//                     class.  Immutable fields (leading const, references),
+//                     std::atomic<...> fields, condition variables, mutexes
+//                     themselves and static/constexpr members are exempt.
+//   include-layering  a quoted project include from src/<dir>/ whose target
+//                     directory is not in <dir>'s declared dependency set
+//                     (the directory DAG in tools/lint/lint.cc, documented
+//                     in DESIGN.md): upward or cyclic includes between
+//                     layers.  Same-directory includes are always allowed.
 //
-// A finding on a line carrying `// lint:allow(<rule>)` is suppressed; the
-// annotation should state the reason.  Output is machine-readable:
-// `path:line: rule: message` per finding (or JSON via --json).
+// A finding on a line carrying `// lint:allow(<rule>)` is suppressed; a
+// comma-separated list (`lint:allow(rule-a,rule-b)`) suppresses several
+// rules at once, and `lint:allow-next-line(<rule>)` suppresses the rule on
+// the following line (for multi-line declarations).  The annotation should
+// state the reason.  Output is machine-readable: `path:line: rule: message`
+// per finding (or JSON via --json); --coverage emits the guarded-by
+// lock-coverage report that tools/check.sh snapshots as LINT_coverage.json.
 #pragma once
 
 #include <string>
@@ -60,6 +86,36 @@ struct Finding {
   std::string message;
 };
 
+/// One in-memory source file (repo-relative path + contents), the unit the
+/// repo-wide passes consume.
+struct SourceFile {
+  std::string path;
+  std::string contents;
+};
+
+/// One data member discovered by the declaration index.
+struct FieldInfo {
+  std::string name;
+  int line = 0;          ///< declaration start line, 1-based
+  bool is_mutex = false; ///< OrderedMutex / OrderedSharedMutex member
+  bool exempt = false;   ///< not subject to guarded-by (atomic, const, cv, ...)
+  bool guarded = false;  ///< carries SHMCAFFE_GUARDED_BY(...)
+  bool unguarded = false;///< carries SHMCAFFE_UNGUARDED
+  std::string guard;     ///< the expression inside SHMCAFFE_GUARDED_BY
+};
+
+/// One class/struct discovered by the declaration index.  `name` is
+/// nesting-qualified ("SmbServer::Segment"); namespaces are not part of the
+/// qualification (the repo's class names are unique per file).
+struct ClassInfo {
+  std::string name;
+  std::string enclosing;  ///< qualified name of the lexically enclosing class
+  std::string file;
+  int line = 0;
+  bool owns_ordered_mutex = false;
+  std::vector<FieldInfo> fields;
+};
+
 /// All rule ids, in reporting order (for docs and tests).
 [[nodiscard]] const std::vector<std::string>& rule_ids();
 
@@ -70,11 +126,34 @@ struct Finding {
 
 /// Comment/string-literal scrubber: returns `contents` split into lines with
 /// comments and literal bodies removed (quotes kept), so rule patterns never
-/// fire on prose or fixture strings.  Handles //, /*...*/ and R"(...)".
+/// fire on prose or fixture strings.  Handles //, /*...*/, (prefixed) raw
+/// strings (R"(...)", u8R"(...)", ...) and backslash line continuations in
+/// line comments and ordinary literals.
 [[nodiscard]] std::vector<std::string> scrub_source(std::string_view contents);
 
-/// Runs every rule against one in-memory source file.
+/// Pass 1: the declaration index over the given sources.
+[[nodiscard]] std::vector<ClassInfo> index_classes(const std::vector<SourceFile>& files);
+
+/// Runs the per-line rules (including include-layering) against one
+/// in-memory source file.  The index-driven guarded-by rule needs the whole
+/// repo and only runs under lint_repo().
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view contents);
+
+/// Runs every rule — per-line rules on each file plus the index-driven
+/// guarded-by pass — over the whole set.  Findings are ordered by
+/// (file, line).
+[[nodiscard]] std::vector<Finding> lint_repo(const std::vector<SourceFile>& files);
+
+/// The guarded-by lock-coverage report: one entry per src/ class owning an
+/// ordered mutex, with guarded/unguarded/unannotated field counts, plus a
+/// summary.  tools/check.sh snapshots this as LINT_coverage.json and fails
+/// on regressions.
+[[nodiscard]] std::string coverage_json(const std::vector<SourceFile>& files);
+
+/// The declared src/ directory DAG of the include-layering rule: the
+/// directories it knows, and whether `from_dir` may include from `to_dir`.
+[[nodiscard]] const std::vector<std::string>& layering_dirs();
+[[nodiscard]] bool layering_allows(std::string_view from_dir, std::string_view to_dir);
 
 /// `path:line: rule: message` lines, one per finding.
 [[nodiscard]] std::string to_text(const std::vector<Finding>& findings);

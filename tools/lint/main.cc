@@ -1,7 +1,9 @@
 // shmcaffe-lint driver: walks src/, tests/ and bench/ under the given repo
 // root, lints every .h/.cc, and prints findings (`path:line: rule: message`,
 // or JSON with --json).  Exit status 0 iff the tree is clean — which is what
-// the `lint.repo` ctest asserts.
+// the `lint.repo` ctest asserts.  --coverage prints the guarded-by
+// lock-coverage report instead (always exit 0); tools/check.sh snapshots it
+// as LINT_coverage.json and fails on regressions.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -34,38 +36,44 @@ std::string read_file(const fs::path& path) {
 int main(int argc, char** argv) {
   std::string root = ".";
   bool json = false;
+  bool coverage = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--coverage") {
+      coverage = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: shmcaffe-lint [repo-root] [--json]\n");
+      std::printf("usage: shmcaffe-lint [repo-root] [--json] [--coverage]\n");
       return 0;
     } else {
       root = arg;
     }
   }
 
-  std::vector<std::string> files;
+  std::vector<shmcaffe::lint::SourceFile> files;
   for (const char* top : {"src", "tests", "bench"}) {
     const fs::path dir = fs::path(root) / top;
     if (!fs::exists(dir)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
       if (entry.is_regular_file() && lintable(entry.path())) {
-        files.push_back(fs::relative(entry.path(), root).generic_string());
+        files.push_back(shmcaffe::lint::SourceFile{
+            fs::relative(entry.path(), root).generic_string(),
+            read_file(entry.path())});
       }
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(files.begin(), files.end(),
+            [](const shmcaffe::lint::SourceFile& a, const shmcaffe::lint::SourceFile& b) {
+              return a.path < b.path;
+            });
 
-  std::vector<shmcaffe::lint::Finding> findings;
-  for (const std::string& file : files) {
-    const std::string contents = read_file(fs::path(root) / file);
-    std::vector<shmcaffe::lint::Finding> file_findings =
-        shmcaffe::lint::lint_source(file, contents);
-    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+  if (coverage) {
+    std::fputs(shmcaffe::lint::coverage_json(files).c_str(), stdout);
+    return 0;
   }
+
+  const std::vector<shmcaffe::lint::Finding> findings = shmcaffe::lint::lint_repo(files);
 
   if (json) {
     std::fputs(shmcaffe::lint::to_json(findings).c_str(), stdout);
