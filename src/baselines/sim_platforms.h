@@ -19,6 +19,7 @@
 #include "cluster/jitter.h"
 #include "cluster/model_profiles.h"
 #include "cluster/platform_result.h"
+#include "elastic/membership.h"
 
 namespace shmcaffe::fault {
 class FaultInjector;
@@ -38,6 +39,19 @@ struct SimPlatformOptions {
   /// iteration) and cannot continue past a crash: the run truncates at the
   /// earliest crash iteration.  nullptr = fault-free.
   const fault::FaultInjector* faults = nullptr;
+  /// Static per-worker compute/NIC heterogeneity — the same planted slow
+  /// machines as the ShmCaffe model when the profiles match, so the
+  /// synchronous platforms pay max-over-workers for exactly the workers
+  /// SEASGD merely quarantines.
+  cluster::HeterogeneityProfile heterogeneity;
+  /// Elastic membership plan; not owned, must outlive the call.  Only the
+  /// master-coordinated star (simulate_caffe_mpi) can honour it: the master
+  /// admits joiners and releases drained slaves between synchronous steps
+  /// (rank 0, the hub, can never leave).  The fixed NCCL / MPI rings
+  /// (simulate_caffe, simulate_mpicaffe) cannot resize a collective mid-run
+  /// and ignore the plan — their membership counters stay zero, which is
+  /// itself the comparison the elastic bench draws.
+  const elastic::MembershipPlan* membership = nullptr;
 };
 
 cluster::PlatformTiming simulate_caffe(const SimPlatformOptions& options);

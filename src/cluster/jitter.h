@@ -48,4 +48,37 @@ struct ComputeJitter {
   }
 };
 
+/// Static per-worker heterogeneity, as opposed to ComputeJitter's transient
+/// per-iteration noise: a deterministic fraction of the workers are simply
+/// *slower machines* (older GPUs, oversubscribed hosts, throttled NICs) for
+/// the whole run.  This is the straggler population the elastic layer's
+/// quarantine policy is sized against — the membership-robustness sweeps
+/// (EXPERIMENTS.md "elastic scale-out") dial slow_fraction and the
+/// multipliers while watching staleness violations.  Selection is a pure
+/// function of (seed, worker), so every platform model in a comparison
+/// slows the *same* workers.
+struct HeterogeneityProfile {
+  double slow_fraction = 0.0;       ///< fraction of workers that are slow machines
+  double compute_multiplier = 1.0;  ///< slow worker compute time is scaled by this
+  double nic_multiplier = 1.0;      ///< slow worker NIC bandwidth is divided by this
+  std::uint64_t seed = 0x4e7;
+
+  [[nodiscard]] bool is_slow(int worker) const {
+    if (slow_fraction <= 0.0) return false;
+    if (slow_fraction >= 1.0) return true;
+    common::Rng rng = common::Rng(seed).fork(static_cast<std::uint64_t>(worker) + 1);
+    return rng.chance(slow_fraction);
+  }
+
+  /// Multiplier on a worker's base computation time (>= 1 slows it down).
+  [[nodiscard]] double compute_scale(int worker) const {
+    return is_slow(worker) ? std::max(1.0, compute_multiplier) : 1.0;
+  }
+
+  /// Divisor on a worker's NIC / stream bandwidth (>= 1 slows it down).
+  [[nodiscard]] double nic_scale(int worker) const {
+    return is_slow(worker) ? std::max(1.0, nic_multiplier) : 1.0;
+  }
+};
+
 }  // namespace shmcaffe::cluster

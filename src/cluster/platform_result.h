@@ -39,6 +39,20 @@ struct PlatformTiming {
   /// Fingerprint of the recovery actions actually executed (see
   /// recovery::schedule_fingerprint); comparable with TrainResult's.
   std::uint64_t recovery_fingerprint = 0;
+  /// Elastic membership: workers that cold-joined / voluntarily drained
+  /// mid-run, ascending; shard-map rebalances executed; straggler
+  /// quarantine demotions.
+  std::vector<int> joined_workers;
+  std::vector<int> drained_workers;
+  std::int64_t rebalances = 0;
+  std::int64_t quarantine_events = 0;
+  /// Simulated iterations observed running further behind the cohort
+  /// maximum than the policy staleness bound (a heterogeneity health
+  /// metric; see bench_ext_elastic).
+  std::int64_t staleness_violations = 0;
+  /// Fingerprint of the membership transitions actually executed (see
+  /// elastic::membership_fingerprint); comparable with TrainResult's.
+  std::uint64_t membership_fingerprint = 0;
 };
 
 }  // namespace shmcaffe::cluster

@@ -32,7 +32,8 @@
 //
 //   rank | name                        | holder
 //   -----+-----------------------------+------------------------------------
-//   100  | core.progress_board.sweep   | ProgressBoard dead-worker sweeps
+//   100  | core.progress_board.sweep   | ProgressBoard dead/straggler sweeps
+//   110  | elastic.membership.state    | MembershipService epoch + shard map
 //   120  | core.sharded_buffer.shards  | ShardedBuffer shard table
 //   150  | recovery.replica_mirror     | ReplicatedSmb ensemble state + fan-out
 //   200  | smb.server.segment          | per-segment data mutex (SmbServer)
@@ -102,6 +103,7 @@ namespace shmcaffe::common {
 
 namespace lockrank {
 inline constexpr int kProgressBoardSweep = 100;
+inline constexpr int kElasticMembership = 110;
 inline constexpr int kShardedBuffer = 120;
 inline constexpr int kReplicaMirror = 150;
 inline constexpr int kSmbSegment = 200;

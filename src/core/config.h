@@ -8,6 +8,7 @@
 #include "data/synth_dataset.h"
 #include "dl/models.h"
 #include "dl/solver.h"
+#include "elastic/membership.h"
 #include "recovery/checkpoint.h"
 #include "recovery/schedule.h"
 
@@ -79,6 +80,16 @@ struct DistTrainOptions {
   /// is set.
   recovery::CheckpointConfig checkpoint;
 
+  /// Optional elastic-membership plan (cold joins and voluntary drains at
+  /// planned iterations); not owned, must outlive the run.  nullptr = the
+  /// fixed-membership behaviour.  Requires group_size == 1: elastic workers
+  /// run pure SEASGD (a hybrid group cannot shrink mid-collective).
+  const elastic::MembershipPlan* membership = nullptr;
+  /// Straggler detection/quarantine policy and elastic pacing knobs; the
+  /// detector runs only when membership_policy.straggler_detection is set
+  /// (which also requires group_size == 1).
+  elastic::MembershipPolicy membership_policy;
+
   DistTrainOptions() {
     train_data.size = 2048;
     test_data.size = 512;
@@ -112,9 +123,12 @@ struct WorkerStats {
 
 /// How a worker's participation in a run ended.
 enum class WorkerOutcome : std::uint8_t {
-  kFinished = 0,  ///< completed training normally
-  kCrashed = 1,   ///< fail-stopped by fault injection
-  kFenced = 2,    ///< declared dead by survivors (missed heartbeats) and exited
+  kFinished = 0,    ///< completed training normally
+  kCrashed = 1,     ///< fail-stopped by fault injection
+  kFenced = 2,      ///< declared dead by survivors (missed heartbeats) and exited
+  kDrained = 3,     ///< left the run voluntarily at its planned drain point
+  kEvicted = 4,     ///< removed by the straggler detector (repeated violations)
+  kNeverJoined = 5, ///< a reserved join slot whose worker never joined
 };
 
 struct TrainResult {
@@ -142,6 +156,18 @@ struct TrainResult {
   /// recovery::schedule_fingerprint); comparable across the functional and
   /// simulated stacks.
   std::uint64_t recovery_fingerprint = 0;
+  /// Elastic membership: workers that cold-joined / voluntarily drained
+  /// mid-run, ascending; shard-map rebalances executed; straggler
+  /// quarantine demotions observed.
+  std::vector<int> joined_workers;
+  std::vector<int> drained_workers;
+  std::int64_t rebalances = 0;
+  std::int64_t quarantine_events = 0;
+  /// Fingerprint of the membership transitions actually executed (see
+  /// elastic::membership_fingerprint); comparable across the functional and
+  /// simulated stacks.  0 when the run is neither elastic nor
+  /// straggler-aware.
+  std::uint64_t membership_fingerprint = 0;
   double wall_seconds = 0.0;
 };
 

@@ -101,33 +101,35 @@ ShardedBuffer ShardedBuffer::attach(std::span<smb::SmbServer* const> servers,
   return build(upcast(servers), key, total, /*create=*/false);
 }
 
-void ShardedBuffer::read(std::span<float> dst) const {
+void ShardedBuffer::read(std::span<float> dst, std::size_t start_shard) const {
   std::scoped_lock lock(shards_mutex_);
-  read_locked(dst);
+  read_locked(dst, start_shard);
 }
 
-void ShardedBuffer::read_locked(std::span<float> dst) const {
+void ShardedBuffer::read_locked(std::span<float> dst, std::size_t start_shard) const {
   SHMCAFFE_ASSERT_HELD(shards_mutex_);
   if (dst.size() != total_) throw std::invalid_argument("ShardedBuffer::read size mismatch");
-  for (const Shard& shard : shards_) {
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& shard = shards_[(start_shard + k) % shards_.size()];
     shard.server->read(shard.handle, dst.subspan(shard.offset, shard.count), 0);
   }
 }
 
-void ShardedBuffer::write(std::span<const float> src) {
+void ShardedBuffer::write(std::span<const float> src, std::size_t start_shard) {
   std::scoped_lock lock(shards_mutex_);
-  write_locked(src);
+  write_locked(src, start_shard);
 }
 
-void ShardedBuffer::write_locked(std::span<const float> src) {
+void ShardedBuffer::write_locked(std::span<const float> src, std::size_t start_shard) {
   SHMCAFFE_ASSERT_HELD(shards_mutex_);
   if (src.size() != total_) throw std::invalid_argument("ShardedBuffer::write size mismatch");
-  for (const Shard& shard : shards_) {
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& shard = shards_[(start_shard + k) % shards_.size()];
     shard.server->write(shard.handle, src.subspan(shard.offset, shard.count), 0);
   }
 }
 
-void ShardedBuffer::accumulate_into(ShardedBuffer& dst) const {
+void ShardedBuffer::accumulate_into(ShardedBuffer& dst, std::size_t start_shard) const {
   if (&dst == this) {
     throw std::invalid_argument("ShardedBuffer::accumulate_into into itself");
   }
@@ -136,7 +138,8 @@ void ShardedBuffer::accumulate_into(ShardedBuffer& dst) const {
   if (dst.total_ != total_ || dst.shards_.size() != shards_.size()) {
     throw std::invalid_argument("ShardedBuffer::accumulate_into sharding mismatch");
   }
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const std::size_t i = (start_shard + k) % shards_.size();
     if (shards_[i].server != dst.shards_[i].server ||
         shards_[i].count != dst.shards_[i].count) {
       throw std::invalid_argument("ShardedBuffer::accumulate_into sharding mismatch");

@@ -55,16 +55,20 @@ class ShardedBuffer {
   [[nodiscard]] std::size_t shard_count() const;
   [[nodiscard]] bool valid() const;
 
-  /// Reads the whole logical buffer (dst.size() == size()).
-  void read(std::span<float> dst) const;
+  /// Reads the whole logical buffer (dst.size() == size()).  `start_shard`
+  /// rotates the fan-out order — shard (start_shard + k) % shard_count() on
+  /// step k — so elastic workers spread their first (contended) access
+  /// across the servers by home shard instead of all hammering shard 0.
+  void read(std::span<float> dst, std::size_t start_shard = 0) const;
 
-  /// Writes the whole logical buffer (src.size() == size()).
-  void write(std::span<const float> src);
+  /// Writes the whole logical buffer (src.size() == size()); `start_shard`
+  /// rotates like read().
+  void write(std::span<const float> src, std::size_t start_shard = 0);
 
-  /// Server-side accumulate of this buffer into `dst`, shard by shard.
-  /// Both buffers must have identical sharding (same servers, same size)
-  /// and be distinct objects.
-  void accumulate_into(ShardedBuffer& dst) const;
+  /// Server-side accumulate of this buffer into `dst`, shard by shard in
+  /// rotated order.  Both buffers must have identical sharding (same
+  /// servers, same size) and be distinct objects.
+  void accumulate_into(ShardedBuffer& dst, std::size_t start_shard = 0) const;
 
   /// Releases every shard; the buffer becomes invalid.
   void release();
@@ -80,8 +84,8 @@ class ShardedBuffer {
   static ShardedBuffer build(std::span<smb::SmbService* const> servers, smb::ShmKey key,
                              std::size_t total, bool create);
 
-  void read_locked(std::span<float> dst) const;
-  void write_locked(std::span<const float> src);
+  void read_locked(std::span<float> dst, std::size_t start_shard) const;
+  void write_locked(std::span<const float> src, std::size_t start_shard);
   void release_locked();
 
   mutable common::OrderedMutex shards_mutex_{"core.sharded_buffer.shards",

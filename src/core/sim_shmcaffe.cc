@@ -1,8 +1,10 @@
 #include "core/sim_shmcaffe.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -23,8 +25,36 @@ struct GroupStats {
   SimTime comm = 0;
   std::int64_t completed = 0;  ///< iterations actually run (<= target on crash)
   bool crashed = false;
-  bool recovered = false;  ///< slot re-admitted after its crash
+  bool recovered = false;    ///< slot re-admitted after its crash
+  bool drained = false;      ///< left voluntarily at its planned drain point
+  bool evicted = false;      ///< removed by the straggler-quarantine policy
+  bool joined_late = false;  ///< cold join above the initial cohort
 };
+
+/// Shared elastic-membership state of one simulated run: the registry both
+/// the initial cohort and late joiners transition through, plus the
+/// plan-driven join triggers ("the progress board reached iteration X").
+struct ElasticSimState {
+  elastic::MembershipService* service = nullptr;
+  const elastic::MembershipPlan* plan = nullptr;
+  elastic::MembershipPolicy policy;
+  SimTime t_ulw = 0;               ///< joiner catch-up local-update time
+  std::int64_t max_completed = 0;  ///< cohort max iteration (the join trigger)
+  std::int64_t staleness_violations = 0;
+  std::vector<elastic::MembershipEvent> pending_joins;  ///< plan order
+  std::size_t next_join = 0;
+  std::function<void(const elastic::MembershipEvent&)> spawn_join;
+};
+
+/// Fires every planned join whose trigger iteration the cohort has reached —
+/// the sim analogue of the functional join monitors watching the board.
+void maybe_spawn_joins(ElasticSimState& elastic) {
+  while (elastic.next_join < elastic.pending_joins.size() &&
+         elastic.pending_joins[elastic.next_join].at_iteration <= elastic.max_completed) {
+    elastic.spawn_join(elastic.pending_joins[elastic.next_join]);
+    ++elastic.next_join;
+  }
+}
 
 /// Timing model of the recovery layer, derived from the fault plan before
 /// the measurement run (everything here is deterministic in the plan).
@@ -95,7 +125,7 @@ sim::Task<void> update_thread(sim::Simulation& sim, std::vector<ShardEndpoint>& 
 sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& options,
                              std::vector<ShardEndpoint> shards, int group,
                              int total_groups, const SimRecoveryContext& recovery,
-                             GroupStats& stats) {
+                             GroupStats& stats, ElasticSimState* elastic) {
   const cluster::ModelProfile& model = cluster::profile(options.model);
   const cluster::TestbedSpec& spec = options.testbed;
   const coll::PcieModel pcie{spec.pcie_bus_bandwidth, 20 * units::kMicrosecond};
@@ -121,6 +151,17 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
   // intra-group collective.
   const int root_worker = group * s;
 
+  // Static heterogeneity: a planted slow machine computes every minibatch
+  // slower; ComputeJitter then adds its transient noise on top.
+  const auto comp_base = static_cast<SimTime>(
+      static_cast<double>(model.comp_time) * options.heterogeneity.compute_scale(root_worker));
+
+  // Elastic runs have group_size == 1, so `group` is the worker id.
+  const std::int64_t drain_at = elastic != nullptr && elastic->plan != nullptr
+                                    ? elastic->plan->drain_iteration(group)
+                                    : -1;
+  int stall_violations = 0;
+
   std::vector<SimTime> member_comps(static_cast<std::size_t>(s));
   bool crash_consumed = false;
   for (std::int64_t it = 0; it < options.iterations; ++it) {
@@ -141,13 +182,45 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
       }
       stats.recovered = true;
     }
+    if (drain_at >= 0 && it >= drain_at) {
+      // Voluntary drain: flush the pipeline, deregister (rebalancing the
+      // shard map), and leave with the slot's progress intact.
+      co_await sim.delay(units::from_seconds(elastic->policy.drain_flush_seconds));
+      elastic->service->drain(group, drain_at);
+      co_await sim.delay(units::from_seconds(elastic->policy.rebalance_seconds));
+      stats.drained = true;
+      break;
+    }
     const bool sharing = use_smb && it % options.update_interval == 0;
     const SimTime iter_start = sim.now();
+    bool evicted_now = false;
     if (options.faults != nullptr) {
       const double stall = options.faults->stall_seconds(root_worker, it);
       // The stall lands inside the iteration window, so the per-member
       // accounting below books it as non-overlapped (comm-side) time.
-      if (stall > 0.0) co_await sim.delay(units::from_seconds(stall));
+      if (stall > 0.0) {
+        co_await sim.delay(units::from_seconds(stall));
+        if (elastic != nullptr && !crash_consumed && elastic->policy.straggler_detection &&
+            stall >= elastic->policy.quarantine_stall_seconds) {
+          // The planned quarantine chain (membership_schedule): each
+          // qualifying stall demotes the worker and readmits it once the
+          // stall is over (it has caught back up by construction — the sim
+          // worker reports at iteration granularity); the Nth one evicts.
+          ++stall_violations;
+          if (stall_violations >= elastic->policy.evict_after_violations) {
+            elastic->service->evict(group, it);
+            co_await sim.delay(units::from_seconds(elastic->policy.rebalance_seconds));
+            evicted_now = true;
+          } else {
+            elastic->service->quarantine(group, it);
+            elastic->service->readmit_contributor(group, it);
+          }
+        }
+      }
+    }
+    if (evicted_now) {
+      stats.evicted = true;
+      break;
     }
     if (sharing) {
       // Some shard lost its last replica: the exchange can never complete
@@ -179,7 +252,7 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
     // its slowest member finishes (members' idle waits count as comm).
     SimTime comp_max = 0;
     for (SimTime& c : member_comps) {
-      c = options.jitter.sample(rng, model.comp_time);
+      c = options.jitter.sample(rng, comp_base);
       comp_max = std::max(comp_max, c);
     }
     co_await sim.delay(comp_max);
@@ -201,11 +274,52 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
       stats.comm += iter_time - c;
     }
     stats.completed += 1;
+
+    if (elastic != nullptr) {
+      // Heterogeneity health metric: fresh progress already further behind
+      // the cohort maximum than the policy's staleness bound.
+      if (elastic->max_completed - (it + 1) >
+          static_cast<std::int64_t>(elastic->policy.staleness_bound_iterations)) {
+        ++elastic->staleness_violations;
+      }
+      if (it + 1 > elastic->max_completed) elastic->max_completed = it + 1;
+      maybe_spawn_joins(*elastic);
+    }
   }
 
   stopping = true;
   wake.release();
   co_await updater;
+}
+
+/// A cold join: the functional stack's join-monitor + run_worker(kColdJoin)
+/// path.  Provisioning latency, then delta-segment creation, registration
+/// (which rebalances the shard map), W_g adoption, and a full worker life.
+sim::Task<void> join_worker(sim::Simulation& sim, const SimShmCaffeOptions& options,
+                            std::vector<smb::SimSmbClient*> clients,
+                            std::vector<smb::Handle> global_handles,
+                            std::vector<std::int64_t> shard_sizes,
+                            elastic::MembershipEvent event, int total_groups,
+                            const SimRecoveryContext& recovery, GroupStats& stats,
+                            ElasticSimState& elastic) {
+  co_await sim.delay(units::from_seconds(elastic.policy.join_delay_seconds));
+  std::vector<ShardEndpoint> shards(clients.size());
+  for (std::size_t n = 0; n < clients.size(); ++n) {
+    ShardEndpoint& ep = shards[n];
+    ep.client = clients[n];
+    ep.global = global_handles[n];
+    ep.bytes = shard_sizes[n];
+    ep.delta = co_await clients[n]->create(
+        1000 + static_cast<smb::ShmKey>(event.worker), ep.bytes);
+  }
+  elastic.service->join(event.worker, event.at_iteration);
+  co_await sim.delay(units::from_seconds(elastic.policy.rebalance_seconds));
+  // Catch-up: adopt W_g before contributing (global read + local update).
+  co_await read_global(sim, shards);
+  co_await sim.delay(elastic.t_ulw);
+  stats.joined_late = true;
+  co_await group_worker(sim, options, std::move(shards), event.worker, total_groups,
+                        recovery, stats, &elastic);
 }
 
 }  // namespace
@@ -223,6 +337,24 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
     throw std::invalid_argument("respawn_crashed requires group_size == 1");
   }
   const int groups = options.workers / options.group_size;
+  const bool elastic_run =
+      options.membership != nullptr || options.membership_policy.straggler_detection;
+  if (elastic_run && options.group_size != 1) {
+    // Mirrors the functional trainer: membership changes cannot resize a
+    // hybrid group mid-collective.
+    throw std::invalid_argument("elastic membership requires group_size == 1");
+  }
+  if (options.membership != nullptr) {
+    for (const elastic::MembershipEvent& ev : options.membership->joins()) {
+      if (ev.worker < groups) {
+        throw std::invalid_argument("join slots must be >= the initial worker count");
+      }
+    }
+  }
+  // Cold joins occupy slots [groups, capacity); without a plan the cohort
+  // is exactly the initial one.
+  const int capacity =
+      options.membership != nullptr ? options.membership->capacity(groups) : groups;
   const int nservers = options.smb_servers;
   const cluster::ModelProfile& model = cluster::profile(options.model);
   const cluster::TestbedSpec& spec = options.testbed;
@@ -247,29 +379,38 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
     return base + (server < model.param_bytes % nservers ? 1 : 0);
   };
 
-  // One client per (group, server); each group exchanges all its shards in
+  // One client per (slot, server); each worker exchanges all its shards in
   // parallel.  The parallel shard streams still share the node's single
-  // HCA, so each stream is capped at hca_bandwidth / nservers.
+  // HCA, so each stream is capped at hca_bandwidth / nservers; a planted
+  // slow machine's NIC divides that further (heterogeneity).
   const double stream_bandwidth =
       std::min(spec.smb_client_stream_bandwidth, spec.hca_bandwidth / nservers);
   std::vector<std::vector<std::unique_ptr<smb::SimSmbClient>>> clients(
-      static_cast<std::size_t>(groups));
-  for (int g = 0; g < groups; ++g) {
+      static_cast<std::size_t>(capacity));
+  for (int g = 0; g < capacity; ++g) {
+    const double slot_bandwidth = stream_bandwidth / options.heterogeneity.nic_scale(g);
     for (int n = 0; n < nservers; ++n) {
       clients[static_cast<std::size_t>(g)].push_back(std::make_unique<smb::SimSmbClient>(
           *servers[static_cast<std::size_t>(n)],
-          "group" + std::to_string(g) + ".srv" + std::to_string(n), stream_bandwidth));
+          "group" + std::to_string(g) + ".srv" + std::to_string(n), slot_bandwidth));
     }
   }
 
-  // Master (group 0) creates the global shards; every group then creates
-  // its private delta shards.
+  // Master (group 0) creates the global shards; every initial group then
+  // creates its private delta shards.  Global handles are kept so late
+  // joiners can adopt W_g when they arrive.
   std::vector<std::vector<ShardEndpoint>> endpoints(static_cast<std::size_t>(groups));
   for (int g = 0; g < groups; ++g) {
     endpoints[static_cast<std::size_t>(g)].resize(static_cast<std::size_t>(nservers));
   }
+  std::vector<smb::Handle> global_handles(static_cast<std::size_t>(nservers));
+  std::vector<std::int64_t> shard_sizes(static_cast<std::size_t>(nservers));
+  for (int n = 0; n < nservers; ++n) {
+    shard_sizes[static_cast<std::size_t>(n)] = shard_bytes(n);
+  }
   sim.spawn([](std::vector<std::vector<std::unique_ptr<smb::SimSmbClient>>>& cl,
-               std::vector<std::vector<ShardEndpoint>>& eps, int ngroups, int nsrv,
+               std::vector<std::vector<ShardEndpoint>>& eps,
+               std::vector<smb::Handle>& globals, int ngroups, int nsrv,
                auto bytes_of) -> sim::Task<> {
     for (int n = 0; n < nsrv; ++n) {
       const std::int64_t bytes = bytes_of(n);
@@ -283,8 +424,9 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
         ep.delta = co_await client.create(1000 + static_cast<smb::ShmKey>(g), bytes);
         ep.bytes = bytes;
       }
+      globals[static_cast<std::size_t>(n)] = global;
     }
-  }(clients, endpoints, groups, nservers, shard_bytes));
+  }(clients, endpoints, global_handles, groups, nservers, shard_bytes));
   sim.run();
 
   const SimTime start = sim.now();
@@ -357,11 +499,38 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
     }
   }
 
-  std::vector<GroupStats> stats(static_cast<std::size_t>(groups));
-  for (int g = 0; g < groups; ++g) {
-    sim.spawn(group_worker(sim, options, endpoints[static_cast<std::size_t>(g)], g, groups,
-                           recovery_ctx, stats[static_cast<std::size_t>(g)]));
+  std::vector<GroupStats> stats(static_cast<std::size_t>(capacity));
+  std::optional<elastic::MembershipService> membership_service;
+  ElasticSimState elastic_state;
+  ElasticSimState* elastic = nullptr;
+  if (elastic_run) {
+    membership_service.emplace(groups, capacity, nservers);
+    elastic_state.service = &*membership_service;
+    elastic_state.plan = options.membership;
+    elastic_state.policy = options.membership_policy;
+    elastic_state.t_ulw = units::transfer_time(model.param_bytes, spec.gpu_update_bandwidth);
+    if (options.membership != nullptr) {
+      elastic_state.pending_joins = options.membership->joins();
+    }
+    elastic_state.spawn_join = [&sim, &options, &clients, &global_handles, &shard_sizes,
+                                &recovery_ctx, &stats, &elastic_state, groups,
+                                capacity](const elastic::MembershipEvent& event) {
+      if (event.worker < groups || event.worker >= capacity) return;
+      std::vector<smb::SimSmbClient*> cl;
+      cl.reserve(clients[static_cast<std::size_t>(event.worker)].size());
+      for (auto& c : clients[static_cast<std::size_t>(event.worker)]) cl.push_back(c.get());
+      sim.spawn(join_worker(sim, options, std::move(cl), global_handles, shard_sizes,
+                            event, capacity, recovery_ctx,
+                            stats[static_cast<std::size_t>(event.worker)], elastic_state));
+    };
+    elastic = &elastic_state;
   }
+  for (int g = 0; g < groups; ++g) {
+    sim.spawn(group_worker(sim, options, endpoints[static_cast<std::size_t>(g)], g, capacity,
+                           recovery_ctx, stats[static_cast<std::size_t>(g)], elastic));
+  }
+  // Joins planned at iteration 0 have their trigger met before anyone runs.
+  if (elastic != nullptr) maybe_spawn_joins(*elastic);
   sim.run();
 
   cluster::PlatformTiming result;
@@ -418,6 +587,23 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
       }
     }
     result.recovery_fingerprint = recovery::schedule_fingerprint(executed);
+  }
+
+  // Fingerprint the executed membership transitions the same way the
+  // functional trainer does: the planned schedule filtered by what this run
+  // actually executed (a join whose trigger was never reached, or a
+  // quarantine chain cut short by a crash, drops out on both stacks).
+  if (membership_service.has_value()) {
+    result.joined_workers = membership_service->joined();
+    result.drained_workers = membership_service->drained();
+    result.rebalances = membership_service->rebalances();
+    result.quarantine_events = membership_service->quarantine_events();
+    result.staleness_violations = elastic_state.staleness_violations;
+    const std::vector<elastic::MembershipChange> planned = elastic::membership_schedule(
+        options.membership, options.faults != nullptr ? &options.faults->plan() : nullptr,
+        options.membership_policy, groups);
+    result.membership_fingerprint = elastic::membership_fingerprint(
+        elastic::filter_executed(planned, membership_service->execution()));
   }
   return result;
 }

@@ -19,6 +19,7 @@
 #include "cluster/jitter.h"
 #include "cluster/model_profiles.h"
 #include "cluster/platform_result.h"
+#include "elastic/membership.h"
 #include "recovery/schedule.h"
 
 namespace shmcaffe::fault {
@@ -59,6 +60,17 @@ struct SimShmCaffeOptions {
   /// fabric's links by index, and datagram drops onto transfer sequence
   /// numbers.  nullptr = fault-free.
   const fault::FaultInjector* faults = nullptr;
+  /// Elastic membership plan (cold joins above `workers`, voluntary drains);
+  /// not owned, must outlive the call.  The same plan the functional trainer
+  /// consumes — both stacks derive the identical membership schedule and
+  /// fingerprint from it.  Requires group_size == 1 when set.
+  const elastic::MembershipPlan* membership = nullptr;
+  /// Straggler-quarantine policy + elastic latencies (join/drain/rebalance).
+  /// membership_policy.straggler_detection also requires group_size == 1.
+  elastic::MembershipPolicy membership_policy;
+  /// Static per-worker compute/NIC heterogeneity: the planted straggler
+  /// population the quarantine policy is exercised against at scale.
+  cluster::HeterogeneityProfile heterogeneity;
 };
 
 /// Runs the timed model and returns the per-iteration breakdown.

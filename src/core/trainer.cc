@@ -14,6 +14,7 @@
 #include "coll/nccl.h"
 #include "core/evaluate.h"
 #include "core/progress_board.h"
+#include "elastic/membership.h"
 #include "core/seasgd_math.h"
 #include "core/sharded_buffer.h"
 #include "data/loader.h"
@@ -51,10 +52,16 @@ struct WorkerShared {
   std::int64_t target_iterations = 0;
   int lr_step_iterations = 0;
   smb::ShmKey base_key = 0;
+  /// Worker slots including reserved join capacity (== workers when the run
+  /// is not elastic); final_iterations/worker_stats/outcomes are this long.
+  int capacity = 0;
   std::atomic<std::int64_t> total_iterations{0};
   std::vector<std::int64_t> final_iterations;  // one slot per worker
   std::vector<WorkerStats> worker_stats;       // one slot per worker
   std::vector<WorkerOutcome> outcomes;         // one slot per worker
+  // --- elastic membership -------------------------------------------------
+  /// The run's membership registry, or nullptr for a fixed-membership run.
+  elastic::MembershipService* membership = nullptr;
   // --- recovery ----------------------------------------------------------
   const recovery::TrainCheckpoint* resume = nullptr;  // validated, or null
   const recovery::CheckpointStore* checkpoint_store = nullptr;
@@ -77,28 +84,50 @@ class SegmentTimer {
   Clock::time_point mark_ = Clock::now();
 };
 
-/// `rejoin` runs a replacement life for a crashed worker slot: it attaches
+/// Which life of a worker slot this call runs.
+enum class WorkerLife {
+  kInitial,   ///< an original rank, from the start of the run
+  kRejoin,    ///< a replacement life for a crashed/fenced rank (recovery)
+  kColdJoin,  ///< an elastic cold join into a reserved capacity slot
+};
+
+/// kRejoin runs a replacement life for a crashed worker slot: it attaches
 /// to the existing segments by SHM key (the Fig. 2 slave path), adopts the
 /// current W_g, and re-registers on the progress board under a fresh
 /// incarnation number so anything the previous life left behind is fenced.
-void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
+/// kColdJoin is the elastic variant: the slot never lived before, so it is
+/// admitted onto the board (fresh incarnation, never a dead rank's slot)
+/// and the membership service has already rebalanced the shard map for it.
+/// Both late lives skip the MPI collectives — their peers ran them long ago.
+void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::kInitial) {
   const DistTrainOptions& options = *shared.options;
+  const bool rejoin = life == WorkerLife::kRejoin;
+  const bool cold_join = life == WorkerLife::kColdJoin;
   const int group_size = options.group_size;
   const int group_index = worker / group_size;
   const int local_rank = worker % group_size;
   const bool is_root = local_rank == 0;
   const bool is_async = group_size == 1;
 
-  minimpi::Endpoint mpi = shared.mpi->endpoint(worker);
-  coll::Communicator comm =
-      (*shared.groups)[static_cast<std::size_t>(group_index)]->communicator(local_rank);
+  // Cold-join slots sit beyond the MPI world and the device groups (both
+  // are sized for the initial ranks); elastic runs are pure SEASGD
+  // (group_size == 1, validated by train_shmcaffe), so a joiner never
+  // touches either handle.
+  minimpi::Endpoint mpi;
+  coll::Communicator comm;
+  if (!cold_join) {
+    mpi = shared.mpi->endpoint(worker);
+    comm = (*shared.groups)[static_cast<std::size_t>(group_index)]->communicator(local_rank);
+  }
 
   dl::Net net = dl::make_model(options.model_family, options.input);
   const std::size_t param_count = net.param_count();
 
-  // A resumed run restores worker cursors from the checkpoint; a replacement
-  // life starts its own count from zero (its board slot was reset).
-  const recovery::TrainCheckpoint* resume = rejoin ? nullptr : shared.resume;
+  // A resumed run restores worker cursors from the checkpoint; replacement
+  // and cold-join lives start their own count from zero (their board slot
+  // was reset or freshly admitted).
+  const recovery::TrainCheckpoint* resume =
+      (rejoin || cold_join) ? nullptr : shared.resume;
   const std::int64_t start_iteration =
       resume != nullptr ? resume->worker_iterations[static_cast<std::size_t>(worker)] : 0;
 
@@ -111,17 +140,18 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
   std::unique_ptr<ProgressBoard> board;
   std::int64_t incarnation = ProgressBoard::kFirstIncarnation;
   smb::SmbService& board_server = *shared.services.front();
-  if (rejoin) {
+  if (rejoin || cold_join) {
     shm_key = shared.base_key;
     global = ShardedBuffer::attach(shared.services, shm_key, param_count);
     board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
                                             options.workers, /*create=*/false);
-    incarnation = board->readmit(worker);
+    incarnation = cold_join ? board->admit(worker) : board->readmit(worker);
   } else if (worker == 0) {
     shm_key = shared.base_key;
     global = ShardedBuffer::create(shared.services, shm_key, param_count);
     board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
-                                            options.workers, /*create=*/true);
+                                            options.workers, /*create=*/true,
+                                            shared.capacity);
     std::vector<float> init(param_count);
     if (resume != nullptr) {
       init = resume->global_weights;  // W_g exactly as checkpointed
@@ -132,7 +162,7 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
     }
     global.write(init);
   }
-  if (!rejoin) {
+  if (!rejoin && !cold_join) {
     mpi.broadcast_value(0, shm_key);
     if (worker != 0) {
       global = ShardedBuffer::attach(shared.services, shm_key, param_count);
@@ -160,14 +190,24 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
       delta_buffer = ShardedBuffer::create(shared.services, delta_key, param_count);
     }
   }
-  if (!rejoin) mpi.barrier();
+  if (!rejoin && !cold_join) mpi.barrier();
+
+  // Elastic fan-out rotation: start every multi-shard SMB access at this
+  // worker's home shard (rebalanced by the membership service on every
+  // join/drain/evict) so concurrent exchanges spread across the shard
+  // ensembles instead of all serialising on shard 0.
+  elastic::MembershipService* const membership = shared.membership;
+  auto home_shard = [membership, worker]() -> std::size_t {
+    return membership != nullptr ? static_cast<std::size_t>(membership->home_shard(worker))
+                                 : 0;
+  };
 
   // Everyone adopts the initial global weights before training; the resumed
   // owner restores its exact checkpointed parameters instead (they lag W_g
   // by the elastic difference).
   std::vector<float> local(param_count);
   std::vector<float> global_copy(param_count);
-  global.read(local);
+  global.read(local, home_shard());
   dl::copy_params_from(net, local);
   if (resume != nullptr && worker == 0) {
     dl::copy_params_from(net, resume->owner_params);
@@ -182,7 +222,10 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
     if (worker == 0) solver.set_momentum_state(resume->owner_momentum);
   }
 
-  data::ShardedLoader loader(*shared.train_set, worker, options.workers, options.batch_size,
+  // Data shards are cut over the full slot capacity so a cold joiner gets a
+  // shard of its own (capacity == workers in a fixed-membership run, so the
+  // classic sharding is unchanged).
+  data::ShardedLoader loader(*shared.train_set, worker, shared.capacity, options.batch_size,
                              options.seed ^ 0xda7aULL);
   if (start_iteration > 0) loader.skip_batches(start_iteration);
   data::Prefetcher prefetcher(std::move(loader), options.prefetch_depth);
@@ -192,17 +235,17 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
   exchange.delta.resize(param_count);
   std::thread update_thread;
   if (is_root) {
-    update_thread = std::thread([&exchange, &delta_buffer, &global] {
+    update_thread = std::thread([&exchange, &delta_buffer, &global, home_shard] {
       std::unique_lock lock(exchange.mutex);
       for (;;) {
         exchange.cv.wait(lock, [&] { return exchange.pending || exchange.stopping; });
         if (!exchange.pending) return;  // stopping with nothing pending
         try {
           // T.A1: store the weight increment in this worker's RSM segments.
-          delta_buffer.write(exchange.delta);
+          delta_buffer.write(exchange.delta, home_shard());
           // T.A2-T.A4: exclusive server-side global accumulate (eq. 7),
-          // shard by shard across the SMB servers.
-          delta_buffer.accumulate_into(global);
+          // shard by shard across the SMB servers starting at the home shard.
+          delta_buffer.accumulate_into(global, home_shard());
         } catch (const smb::SmbUnavailable&) {
           // Every replica of some shard is gone.  Unblock the main thread
           // and bow out; its own SMB access surfaces the failure.
@@ -226,7 +269,7 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
     std::unique_lock lock(exchange.mutex);
     exchange.cv.wait(lock, [&] { return !exchange.pending || exchange.stopping; });
     if (exchange.stopping) throw smb::SmbUnavailable("SMB lost during exchange");
-    global.read(global_copy);  // T1
+    global.read(global_copy, home_shard());  // T1
     dl::copy_params_to(net, local);
     // T2: eqs. (5)+(6), chunked on the work pool (bitwise equal to the
     // scalar elastic_exchange for any SHMCAFFE_THREADS).
@@ -275,11 +318,41 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
   const fault::FaultInjector* faults = rejoin ? nullptr : options.faults;
   const int group_root_worker = worker - local_rank;
 
+  // Straggler detection: route the transitions the shared-board sweep
+  // applied into the membership registry so the executed-change counts (and
+  // the fingerprint) see them.  Any worker may run the sweep; the board
+  // serialises concurrent sweepers.
   std::vector<float> grads(group_size > 1 ? param_count : 0);
   std::vector<float> vote(1);
   std::int64_t iteration = start_iteration;
   bool stop = false;
   bool crashed = false;
+  bool drained = false;
+  bool evicted = false;
+  auto elastic_sweep = [&] {
+    if (membership == nullptr || !options.membership_policy.straggler_detection) return;
+    for (const elastic::StragglerTransition& transition :
+         board->sweep_stragglers(options.membership_policy)) {
+      switch (transition.verdict) {
+        case elastic::StragglerVerdict::kQuarantine:
+          membership->quarantine(transition.worker, iteration);
+          break;
+        case elastic::StragglerVerdict::kReadmit:
+          membership->readmit_contributor(transition.worker, iteration);
+          break;
+        case elastic::StragglerVerdict::kEvict:
+          membership->evict(transition.worker, iteration);
+          break;
+        case elastic::StragglerVerdict::kNone:
+          break;
+      }
+    }
+  };
+  // The planned iteration at which this worker leaves voluntarily (-1:
+  // never).  A drain applies to the slot's current life; a replacement life
+  // honours it too.
+  const std::int64_t drain_at =
+      options.membership != nullptr ? options.membership->drain_iteration(worker) : -1;
   try {
     while (!stop) {
       if (faults != nullptr) {
@@ -294,11 +367,36 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
           std::this_thread::sleep_for(std::chrono::duration<double>(stall));
         }
       }
+      // Voluntary drain: flush the pending increment so the last
+      // contribution lands, register the departure (epoch bump + shard
+      // rebalance), and leave cleanly.
+      if (drain_at >= 0 && iteration >= drain_at && !board->stop_raised()) {
+        if (is_root) {
+          std::unique_lock lock(exchange.mutex);
+          exchange.cv.wait(lock, [&] { return !exchange.pending || exchange.stopping; });
+        }
+        board->mark_drained(worker);
+        if (membership != nullptr) membership->drain(worker, drain_at);
+        drained = true;
+        break;
+      }
       // Fenced while stalled: dead is final for this life, so exit instead
-      // of re-joining.  Async only — a hybrid member must keep lockstep with
-      // its group (whose peers may already be blocked in a collective) and
+      // of re-joining; an eviction by the straggler detector ends the same
+      // way.  Async only — a hybrid member must keep lockstep with its
+      // group (whose peers may already be blocked in a collective) and
       // exits through the root's stop vote instead.
-      if (is_async && board->is_dead(worker)) break;
+      ProgressBoard::WorkerState my_state = ProgressBoard::WorkerState::kAlive;
+      if (is_async) {
+        my_state = board->state_of(worker);
+        if (my_state == ProgressBoard::WorkerState::kDead) break;
+        if (my_state == ProgressBoard::WorkerState::kEvicted) {
+          evicted = true;
+          break;
+        }
+      }
+      // Quarantined: keep training toward readmission, but contribute
+      // nothing — no SEASGD exchange until the sweep readmits this worker.
+      const bool quarantined = my_state == ProgressBoard::WorkerState::kQuarantined;
 
       // Homogeneous-GPU pacing: do not run further ahead of the slowest
       // *live* worker than the configured skew (see DistTrainOptions).
@@ -310,6 +408,7 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
           if (options.heartbeat_timeout_seconds > 0.0) {
             board->sweep_dead(options.heartbeat_timeout_seconds);
           }
+          elastic_sweep();
           std::this_thread::sleep_for(std::chrono::microseconds(50));
         }
       }
@@ -320,7 +419,7 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
       // ShmCaffe-A reads the global weight at the start of every iteration;
       // the paper deliberately does not hide T_rgw behind computation, to
       // avoid training on stale parameters.
-      if (is_async && sharing) {
+      if (is_async && sharing && !quarantined) {
         seasgd_exchange();
         timer.charge(stats.exchange_seconds);
       }
@@ -366,6 +465,7 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
       // §III-E: aligned termination via the shared progress board.  The group
       // root takes the decision; synchronous members follow it so the group
       // never diverges.
+      elastic_sweep();
       if (is_root) {
         vote[0] = board->should_stop(options.termination, worker, iteration,
                                      shared.target_iterations,
@@ -377,6 +477,11 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
       }
       if (group_size > 1) comm.broadcast(0, vote);
       stop = vote[0] != 0.0F;
+      // A quarantined worker does not evaluate the cohort criterion
+      // (should_stop always says "continue" for it); once it reaches its
+      // own target it leaves quietly so an all-quarantined cohort cannot
+      // spin forever.
+      if (!stop && quarantined && iteration >= shared.target_iterations) stop = true;
     }
   } catch (const smb::SmbUnavailable&) {
     // The SMB backing this worker is permanently gone (no replica left to
@@ -389,9 +494,23 @@ void run_worker(WorkerShared& shared, int worker, bool rejoin = false) {
   WorkerOutcome outcome = WorkerOutcome::kFinished;
   if (crashed) {
     outcome = WorkerOutcome::kCrashed;
+  } else if (drained) {
+    outcome = WorkerOutcome::kDrained;
+  } else if (evicted) {
+    outcome = WorkerOutcome::kEvicted;
   } else {
     try {
-      outcome = board->is_dead(worker) ? WorkerOutcome::kFenced : WorkerOutcome::kFinished;
+      switch (board->state_of(worker)) {
+        case ProgressBoard::WorkerState::kDead:
+          outcome = WorkerOutcome::kFenced;
+          break;
+        case ProgressBoard::WorkerState::kEvicted:
+          outcome = WorkerOutcome::kEvicted;
+          break;
+        default:
+          outcome = WorkerOutcome::kFinished;
+          break;
+      }
     } catch (const smb::SmbUnavailable&) {
       outcome = WorkerOutcome::kCrashed;
     }
@@ -434,6 +553,23 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
     // A replacement cannot rejoin a hybrid group mid-collective.
     throw std::invalid_argument("respawn_crashed requires group_size == 1");
   }
+  const bool elastic_run =
+      options.membership != nullptr || options.membership_policy.straggler_detection;
+  if (elastic_run && options.group_size != 1) {
+    // Elastic workers run pure SEASGD: a hybrid group cannot shrink or grow
+    // mid-collective.
+    throw std::invalid_argument("elastic membership requires group_size == 1");
+  }
+  if (options.membership != nullptr) {
+    for (const elastic::MembershipEvent& event : options.membership->events()) {
+      if (event.kind == elastic::MembershipEventKind::kJoin &&
+          event.worker < options.workers) {
+        // A cold join never reuses an initial rank's slot — that is the
+        // recovery layer's re-admission path.
+        throw std::invalid_argument("join slots must be >= the initial worker count");
+      }
+    }
+  }
   const data::SynthImageDataset train_set(options.train_data);
   const data::SynthImageDataset test_set(options.test_data);
 
@@ -474,10 +610,23 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   shared.mpi = &mpi;
   shared.groups = &groups;
   shared.base_key = (options.seed | 1) & 0x7fffffff;
-  shared.final_iterations.assign(static_cast<std::size_t>(options.workers), 0);
-  shared.worker_stats.assign(static_cast<std::size_t>(options.workers), WorkerStats{});
-  shared.outcomes.assign(static_cast<std::size_t>(options.workers),
-                         WorkerOutcome::kFinished);
+  // Slot capacity: the initial ranks plus every reserved join slot.  A
+  // reserved slot whose join never fires stays kNeverJoined.
+  const int capacity = options.membership != nullptr
+                           ? options.membership->capacity(options.workers)
+                           : options.workers;
+  shared.capacity = capacity;
+  shared.final_iterations.assign(static_cast<std::size_t>(capacity), 0);
+  shared.worker_stats.assign(static_cast<std::size_t>(capacity), WorkerStats{});
+  shared.outcomes.assign(static_cast<std::size_t>(capacity), WorkerOutcome::kFinished);
+  for (int w = options.workers; w < capacity; ++w) {
+    shared.outcomes[static_cast<std::size_t>(w)] = WorkerOutcome::kNeverJoined;
+  }
+  std::optional<elastic::MembershipService> membership;
+  if (elastic_run) {
+    membership.emplace(options.workers, capacity, options.smb_servers);
+    shared.membership = &*membership;
+  }
 
   dl::Net eval_net = dl::make_model(options.model_family, options.input);
 
@@ -615,7 +764,7 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
         }
         if (!fenced) return;
         try {
-          run_worker(shared, w, /*rejoin=*/true);
+          run_worker(shared, w, WorkerLife::kRejoin);
           recovered[static_cast<std::size_t>(w)] = 1;
         } catch (const smb::SmbError&) {
           // Re-attach raced the run's shutdown; the slot stays un-recovered.
@@ -624,12 +773,72 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
     }
   }
 
+  // Join monitors: one per planned cold join.  Each watches the progress
+  // board until the cohort's max iteration count reaches the planned join
+  // point, registers the join with the membership service (epoch bump +
+  // shard rebalance), and runs the joining worker's life inline.  It gives
+  // up if the run finishes first (the slot stays kNeverJoined).
+  std::vector<char> joined_flag(static_cast<std::size_t>(capacity), 0);
+  std::atomic<bool> workers_exited{false};
+  std::vector<std::thread> join_monitors;
+  if (options.membership != nullptr) {
+    for (const elastic::MembershipEvent& event : options.membership->joins()) {
+      const int w = event.worker;
+      if (w < options.workers || w >= capacity) continue;
+      join_monitors.emplace_back([&shared, &options, &joined_flag, &workers_exited, event,
+                                  w] {
+        bool go = false;
+        try {
+          smb::RetryPolicy retry;
+          common::Rng backoff_rng(options.seed ^ 0x90149ULL ^
+                                  static_cast<std::uint64_t>(w));
+          int attempt = 0;
+          std::optional<ProgressBoard> board;
+          while (!workers_exited.load(std::memory_order_acquire)) {
+            try {
+              board.emplace(*shared.services.front(),
+                            shared.base_key + kProgressKeyOffset, 0, /*create=*/false);
+              break;
+            } catch (const smb::SmbNotFound&) {
+              std::this_thread::sleep_for(smb::backoff_delay(retry, ++attempt, backoff_rng));
+            }
+          }
+          if (!board.has_value()) return;
+          while (!workers_exited.load(std::memory_order_acquire)) {
+            if (board->stop_raised()) break;
+            if (board->max_iterations() >= event.at_iteration) {
+              go = true;
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          board->release();
+        } catch (const smb::SmbError&) {
+          return;  // the board is gone (run over / SMB lost): no join
+        }
+        if (!go) return;
+        shared.membership->join(w, event.at_iteration);
+        try {
+          run_worker(shared, w, WorkerLife::kColdJoin);
+          joined_flag[static_cast<std::size_t>(w)] = 1;
+        } catch (const smb::SmbError&) {
+          // The join raced the run's shutdown; the slot never trained.
+        }
+      });
+    }
+  }
+
   std::atomic<bool> joined{false};
-  std::thread joiner([&threads, &monitors, &owned_by_monitor, &joined] {
+  std::thread joiner([&threads, &monitors, &join_monitors, &owned_by_monitor,
+                      &workers_exited, &joined] {
     for (std::size_t w = 0; w < threads.size(); ++w) {
       if (!owned_by_monitor[w]) threads[w].join();
     }
     for (std::thread& monitor : monitors) monitor.join();
+    // The initial cohort is gone: tell waiting join monitors to stand down
+    // (one whose join already fired keeps running its worker to completion).
+    workers_exited.store(true, std::memory_order_release);
+    for (std::thread& monitor : join_monitors) monitor.join();
     joined.store(true, std::memory_order_release);
   });
 
@@ -727,11 +936,30 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   result.iterations_per_worker = shared.final_iterations;
   result.worker_stats = std::move(shared.worker_stats);
   result.worker_outcomes = shared.outcomes;
-  for (int w = 0; w < options.workers; ++w) {
-    if (shared.outcomes[static_cast<std::size_t>(w)] != WorkerOutcome::kFinished) {
+  for (int w = 0; w < capacity; ++w) {
+    const WorkerOutcome outcome = shared.outcomes[static_cast<std::size_t>(w)];
+    if (outcome == WorkerOutcome::kCrashed || outcome == WorkerOutcome::kFenced ||
+        outcome == WorkerOutcome::kEvicted) {
       result.dead_workers.push_back(w);
     }
-    if (recovered[static_cast<std::size_t>(w)]) result.recovered_workers.push_back(w);
+    if (w < options.workers && recovered[static_cast<std::size_t>(w)]) {
+      result.recovered_workers.push_back(w);
+    }
+  }
+  if (membership.has_value()) {
+    result.joined_workers = membership->joined();
+    result.drained_workers = membership->drained();
+    result.rebalances = membership->rebalances();
+    result.quarantine_events = membership->quarantine_events();
+    // Fingerprint the membership transitions actually executed, in planned
+    // order, exactly like the recovery fingerprint below: the sim twin
+    // filters the same planned schedule by its own execution, so equal
+    // fingerprints mean identical membership histories across the stacks.
+    const std::vector<elastic::MembershipChange> planned = elastic::membership_schedule(
+        options.membership, options.faults != nullptr ? &options.faults->plan() : nullptr,
+        options.membership_policy, options.workers);
+    result.membership_fingerprint = elastic::membership_fingerprint(
+        elastic::filter_executed(planned, membership->execution()));
   }
   result.checkpoints_taken = shared.checkpoints_taken.load(std::memory_order_relaxed);
   result.resumed_iterations = resumed_total;

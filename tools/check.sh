@@ -14,6 +14,11 @@
 #                             # fields fail, and per-class unguarded counts
 #                             # must not grow (--force overrides)
 #   tools/check.sh recovery   # `ctest -L recovery` in the plain AND TSan trees
+#   tools/check.sh elastic    # `ctest -L elastic` in the plain AND TSan trees,
+#                             # then the Release bench_ext_elastic snapshot into
+#                             # BENCH_elastic.json; refuses to overwrite the
+#                             # baseline on a >20% throughput regression unless
+#                             # --force is also given
 #   tools/check.sh bench      # Release build + bench_micro_kernels snapshot
 #                             # into BENCH_kernels.json; refuses to overwrite
 #                             # the baseline on a >20% throughput regression
@@ -116,6 +121,42 @@ for stage in "${STAGES[@]}"; do
       run_stage recovery-plain build "" "-L recovery"
       run_stage recovery-tsan build-tsan thread "-L recovery"
       ;;
+    elastic)
+      # Focused gate for the elastic membership layer (live join/drain,
+      # shard rebalancing, straggler quarantine): its suite in the plain
+      # tree, then under ThreadSanitizer — membership transitions race
+      # against live training — and finally the simulated elastic bench
+      # snapshotted against the committed baseline.  The bench quantities
+      # are simulated (deterministic, build-type independent), so the 20%
+      # throughput fence catches modelling regressions, not machine noise.
+      run_stage elastic-plain build "" "-L elastic"
+      run_stage elastic-tsan build-tsan thread "-L elastic"
+      echo "==> [elastic] configure + build (build-bench, Release)"
+      cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+            -DSHMCAFFE_LOCK_ASSERTS=OFF >/dev/null
+      cmake --build build-bench -j "$JOBS" --target bench_ext_elastic
+      echo "==> [elastic] bench_ext_elastic"
+      new_json=$(mktemp)
+      ./build-bench/bench/bench_ext_elastic > "$new_json"
+      extract='s/.*"name": "\([^"]*\)".*"throughput": \([0-9.eE+-]*\).*/\1 \2/p'
+      if [[ -f BENCH_elastic.json && "$FORCE" != 1 ]]; then
+        if ! awk 'NR==FNR { old[$1] = $2; next }
+                  ($1 in old) && old[$1] > 0 && $2 < 0.8 * old[$1] {
+                    printf "regression: %s %.4f -> %.4f (-%.0f%%)\n",
+                           $1, old[$1], $2, 100 * (1 - $2 / old[$1]); bad = 1
+                  }
+                  END { exit bad }' \
+              <(sed -n "$extract" BENCH_elastic.json) \
+              <(sed -n "$extract" "$new_json"); then
+          echo "==> [elastic] >20% throughput regression vs BENCH_elastic.json;" \
+               "baseline kept (rerun with --force to overwrite)" >&2
+          rm -f "$new_json"
+          exit 1
+        fi
+      fi
+      mv "$new_json" BENCH_elastic.json
+      echo "==> [elastic] snapshot written to BENCH_elastic.json"
+      ;;
     bench)
       # Micro-kernel throughput snapshot.  Optimised tree (the sanitizer
       # trees and default RelWithDebInfo mismeasure the kernels), one run,
@@ -152,7 +193,7 @@ for stage in "${STAGES[@]}"; do
       echo "==> [bench] snapshot written to BENCH_kernels.json"
       ;;
     *)
-      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery|bench)" >&2
+      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery|elastic|bench)" >&2
       exit 2
       ;;
   esac

@@ -97,10 +97,10 @@ bool allowed(const std::vector<std::vector<std::string>>& allows, int line,
 
 /// Top-level project directories: a quoted include must start with one of
 /// these, and an angle include must not.
-constexpr std::array<std::string_view, 17> kProjectDirs = {
+constexpr std::array<std::string_view, 18> kProjectDirs = {
     "common/", "core/",     "smb/",  "sim/",  "net/",       "rdma/",
     "minimpi/", "coll/",    "dl/",   "data/", "cluster/",   "baselines/",
-    "fault/",   "bench/",   "tests/", "tools/", "recovery/"};
+    "fault/",   "bench/",   "tests/", "tools/", "recovery/", "elastic/"};
 
 bool is_project_include(std::string_view target) {
   for (const std::string_view dir : kProjectDirs) {
@@ -136,12 +136,13 @@ const std::vector<LayerEntry>& layering_table() {
       {"smb", {"common", "net", "rdma", "sim"}},
       {"coll", {"common", "minimpi"}},
       {"recovery", {"common", "fault", "smb"}},
+      {"elastic", {"common", "fault", "recovery"}},
       {"core",
-       {"cluster", "coll", "common", "data", "dl", "fault", "minimpi", "net", "recovery",
-        "sim", "smb"}},
+       {"cluster", "coll", "common", "data", "dl", "elastic", "fault", "minimpi", "net",
+        "recovery", "sim", "smb"}},
       {"baselines",
-       {"cluster", "coll", "common", "core", "data", "dl", "fault", "minimpi", "net",
-        "sim"}},
+       {"cluster", "coll", "common", "core", "data", "dl", "elastic", "fault", "minimpi",
+        "net", "sim"}},
   };
   return table;
 }
