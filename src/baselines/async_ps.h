@@ -29,6 +29,7 @@ class ParameterServer {
  public:
   explicit ParameterServer(std::size_t count);
 
+  // lint:allow-next-line(lock-region) weights_.size() is fixed by the ctor
   [[nodiscard]] std::size_t size() const { return weights_.size(); }
 
   /// Seeds the global weights (master, once).

@@ -85,6 +85,31 @@
 #define SHMCAFFE_GUARDED_BY(mu) /* parsed by shmcaffe-lint */
 #define SHMCAFFE_UNGUARDED      /* parsed by shmcaffe-lint */
 
+// Function-level lock annotation, placed after the parameter list (and any
+// `const`) of a declaration or definition:
+//
+//   void sweep_dead_locked(Now now) SHMCAFFE_REQUIRES(sweep_mutex_);
+//
+// It declares that every caller must already hold `mu`; shmcaffe-lint's
+// flow-sensitive `lock-region` pass seeds the callee's held-lock set from it
+// and reports call sites that do not hold `mu`.  By the repo's `_locked()`
+// naming contract the annotation is mirrored by SHMCAFFE_ASSERT_HELD(mu) as
+// the first statement of the definition, so the static and dynamic checks
+// name the same mutex.  A `_locked` function whose class has exactly one
+// ordered mutex may omit the annotation (lint infers it); with several
+// mutexes the annotation is mandatory.
+#define SHMCAFFE_REQUIRES(mu) /* parsed by shmcaffe-lint */
+
+// Determinism annotation, placed before the return type of a function that
+// must be bitwise-reproducible across runs, hosts and thread counts (the
+// schedule builders, the schedule/membership fingerprints, the parallel
+// chunk-boundary math).  shmcaffe-lint's `determinism` pass taints every
+// function reachable from an annotated root through the call index and
+// rejects unordered-container iteration, wall-clock reads, non-seeded RNG /
+// environment reads, and address-dependent ordering anywhere in the taint
+// set.
+#define SHMCAFFE_DETERMINISTIC /* parsed by shmcaffe-lint */
+
 #if !defined(SHMCAFFE_LOCK_ASSERTS)
 #if defined(NDEBUG)
 #define SHMCAFFE_LOCK_ASSERTS 0

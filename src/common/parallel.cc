@@ -119,14 +119,14 @@ class Pool {
     return static_cast<int>(std::clamp(hardware, 1U, 16U));
   }
 
-  void ensure_started_locked() {
+  void ensure_started_locked() SHMCAFFE_REQUIRES(mutex_) {
     SHMCAFFE_ASSERT_HELD(mutex_);
     if (width_ != 0) return;
     width_ = env_thread_count();
     spawn_locked();
   }
 
-  void spawn_locked() {
+  void spawn_locked() SHMCAFFE_REQUIRES(mutex_) {
     SHMCAFFE_ASSERT_HELD(mutex_);
     stopping_ = false;
     for (int w = 1; w < width_; ++w) {

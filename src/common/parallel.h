@@ -40,11 +40,14 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/ordered_mutex.h"
+
 namespace shmcaffe::common::parallel {
 
 /// Number of chunks parallel_for will cut [0, range) into: ceil(range/grain)
 /// with grain clamped to >= 1.  Pure in (range, grain) by construction.
-[[nodiscard]] std::size_t chunk_count(std::size_t range, std::size_t grain);
+[[nodiscard]] SHMCAFFE_DETERMINISTIC std::size_t chunk_count(std::size_t range,
+                                                             std::size_t grain);
 
 /// Current pool width (threads that execute chunks, submitter included).
 /// Starts the pool if it is not running yet.

@@ -142,7 +142,8 @@ int ProgressBoard::sweep_dead(double timeout_seconds) {
   return sweep_dead_locked(timeout_seconds);
 }
 
-int ProgressBoard::sweep_dead_locked(double timeout_seconds) {
+int ProgressBoard::sweep_dead_locked(double timeout_seconds)
+    SHMCAFFE_REQUIRES(sweep_mutex_) {
   SHMCAFFE_ASSERT_HELD(sweep_mutex_);
   const auto timeout_ns = static_cast<std::int64_t>(timeout_seconds * 1e9);
   const std::int64_t now = steady_now_ns();
@@ -238,7 +239,7 @@ std::vector<elastic::StragglerTransition> ProgressBoard::sweep_stragglers(
 }
 
 std::vector<elastic::StragglerTransition> ProgressBoard::sweep_stragglers_locked(
-    const elastic::MembershipPolicy& policy) {
+    const elastic::MembershipPolicy& policy) SHMCAFFE_REQUIRES(sweep_mutex_) {
   SHMCAFFE_ASSERT_HELD(sweep_mutex_);
   std::vector<elastic::StragglerTransition> transitions;
   const double mean_rate = mean_live_rate();

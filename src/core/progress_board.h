@@ -218,10 +218,10 @@ class ProgressBoard {
   std::int64_t fresh_life(int worker);
 
   /// The scan body of sweep_dead(); requires sweep_mutex_ held.
-  int sweep_dead_locked(double timeout_seconds);
+  int sweep_dead_locked(double timeout_seconds) SHMCAFFE_REQUIRES(sweep_mutex_);
   /// The scan body of sweep_stragglers(); requires sweep_mutex_ held.
   std::vector<elastic::StragglerTransition> sweep_stragglers_locked(
-      const elastic::MembershipPolicy& policy);
+      const elastic::MembershipPolicy& policy) SHMCAFFE_REQUIRES(sweep_mutex_);
 
   // server_/capacity_ are set once in the ctor; handle_ is only reset by
   // release() (caller-serialised teardown), so none are sweep-guarded.

@@ -106,7 +106,8 @@ void ShardedBuffer::read(std::span<float> dst, std::size_t start_shard) const {
   read_locked(dst, start_shard);
 }
 
-void ShardedBuffer::read_locked(std::span<float> dst, std::size_t start_shard) const {
+void ShardedBuffer::read_locked(std::span<float> dst, std::size_t start_shard) const
+    SHMCAFFE_REQUIRES(shards_mutex_) {
   SHMCAFFE_ASSERT_HELD(shards_mutex_);
   if (dst.size() != total_) throw std::invalid_argument("ShardedBuffer::read size mismatch");
   for (std::size_t k = 0; k < shards_.size(); ++k) {
@@ -120,7 +121,8 @@ void ShardedBuffer::write(std::span<const float> src, std::size_t start_shard) {
   write_locked(src, start_shard);
 }
 
-void ShardedBuffer::write_locked(std::span<const float> src, std::size_t start_shard) {
+void ShardedBuffer::write_locked(std::span<const float> src, std::size_t start_shard)
+    SHMCAFFE_REQUIRES(shards_mutex_) {
   SHMCAFFE_ASSERT_HELD(shards_mutex_);
   if (src.size() != total_) throw std::invalid_argument("ShardedBuffer::write size mismatch");
   for (std::size_t k = 0; k < shards_.size(); ++k) {
@@ -153,7 +155,7 @@ void ShardedBuffer::release() {
   release_locked();
 }
 
-void ShardedBuffer::release_locked() {
+void ShardedBuffer::release_locked() SHMCAFFE_REQUIRES(shards_mutex_) {
   SHMCAFFE_ASSERT_HELD(shards_mutex_);
   for (Shard& shard : shards_) shard.server->release(shard.handle);
   shards_.clear();

@@ -84,9 +84,11 @@ class ShardedBuffer {
   static ShardedBuffer build(std::span<smb::SmbService* const> servers, smb::ShmKey key,
                              std::size_t total, bool create);
 
-  void read_locked(std::span<float> dst, std::size_t start_shard) const;
-  void write_locked(std::span<const float> src, std::size_t start_shard);
-  void release_locked();
+  void read_locked(std::span<float> dst, std::size_t start_shard) const
+      SHMCAFFE_REQUIRES(shards_mutex_);
+  void write_locked(std::span<const float> src, std::size_t start_shard)
+      SHMCAFFE_REQUIRES(shards_mutex_);
+  void release_locked() SHMCAFFE_REQUIRES(shards_mutex_);
 
   mutable common::OrderedMutex shards_mutex_{"core.sharded_buffer.shards",
                                              common::lockrank::kShardedBuffer};

@@ -269,7 +269,7 @@ MembershipService::MembershipService(int initial_workers, int capacity, int shar
   }
 }
 
-std::vector<int> MembershipService::members_locked() const {
+std::vector<int> MembershipService::members_locked() const SHMCAFFE_REQUIRES(mutex_) {
   SHMCAFFE_ASSERT_HELD(mutex_);
   std::vector<int> members;
   for (int w = 0; w < capacity_; ++w) {
@@ -278,7 +278,7 @@ std::vector<int> MembershipService::members_locked() const {
   return members;
 }
 
-void MembershipService::rebalance_locked(int trigger) {
+void MembershipService::rebalance_locked(int trigger) SHMCAFFE_REQUIRES(mutex_) {
   SHMCAFFE_ASSERT_HELD(mutex_);
   (void)trigger;
   const std::vector<int> members = members_locked();

@@ -166,13 +166,13 @@ struct MembershipChange {
 /// worker is gone).  Every join / drain / evict is followed by its
 /// kShardRebalance.  Deterministically ordered by (at_iteration, action,
 /// target); both stacks filter this list by what actually ran.
-[[nodiscard]] std::vector<MembershipChange> membership_schedule(
+[[nodiscard]] SHMCAFFE_DETERMINISTIC std::vector<MembershipChange> membership_schedule(
     const MembershipPlan* plan, const fault::FaultPlan* faults,
     const MembershipPolicy& policy, int initial_workers);
 
 /// Order-sensitive FNV-1a digest over (action, target, at_iteration) —
 /// identical for a planned schedule and a faithfully executed one.
-[[nodiscard]] std::uint64_t membership_fingerprint(
+[[nodiscard]] SHMCAFFE_DETERMINISTIC std::uint64_t membership_fingerprint(
     std::span<const MembershipChange> changes);
 
 /// Human-readable one-line-per-change rendering.
@@ -257,8 +257,8 @@ class MembershipService {
 
   /// Recomputes the home-shard map after a membership change and logs the
   /// kShardRebalance; requires mutex_ held.
-  void rebalance_locked(int trigger);
-  [[nodiscard]] std::vector<int> members_locked() const;
+  void rebalance_locked(int trigger) SHMCAFFE_REQUIRES(mutex_);
+  [[nodiscard]] std::vector<int> members_locked() const SHMCAFFE_REQUIRES(mutex_);
 
   /// Serialises every membership transition and query.  Held across pure
   /// in-memory state only (no SMB access), so it ranks between the

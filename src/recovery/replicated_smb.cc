@@ -23,7 +23,7 @@ ReplicatedSmb::ReplicatedSmb(std::vector<smb::SmbServer*> replicas)
   live_.assign(replicas_.size(), true);
 }
 
-void ReplicatedSmb::require_live_locked() const {
+void ReplicatedSmb::require_live_locked() const SHMCAFFE_REQUIRES(mirror_mutex_) {
   SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     // A replica that fail-stopped since we last talked to it is noticed
@@ -35,7 +35,8 @@ void ReplicatedSmb::require_live_locked() const {
   }
 }
 
-void ReplicatedSmb::mark_failed_locked(std::size_t index) const {
+void ReplicatedSmb::mark_failed_locked(std::size_t index) const
+    SHMCAFFE_REQUIRES(mirror_mutex_) {
   SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   if (!live_[index]) return;
   live_[index] = false;
@@ -51,7 +52,8 @@ void ReplicatedSmb::mark_failed_locked(std::size_t index) const {
   // No survivor to promote; require_live_locked() reports the total loss.
 }
 
-void ReplicatedSmb::mark_failed_locked(const smb::SmbServer* server) const {
+void ReplicatedSmb::mark_failed_locked(const smb::SmbServer* server) const
+    SHMCAFFE_REQUIRES(mirror_mutex_) {
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (replicas_[i] == server) {
       mark_failed_locked(i);
@@ -60,7 +62,8 @@ void ReplicatedSmb::mark_failed_locked(const smb::SmbServer* server) const {
   }
 }
 
-ReplicatedSmb::LogicalSegment& ReplicatedSmb::segment_locked(Handle handle) const {
+ReplicatedSmb::LogicalSegment& ReplicatedSmb::segment_locked(Handle handle) const
+    SHMCAFFE_REQUIRES(mirror_mutex_) {
   SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   const auto it = segments_.find(handle.access_key);
   if (it == segments_.end()) {
@@ -69,7 +72,8 @@ ReplicatedSmb::LogicalSegment& ReplicatedSmb::segment_locked(Handle handle) cons
   return it->second;
 }
 
-void ReplicatedSmb::ensure_resolved_locked(LogicalSegment& segment) const {
+void ReplicatedSmb::ensure_resolved_locked(LogicalSegment& segment) const
+    SHMCAFFE_REQUIRES(mirror_mutex_) {
   SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   if (epoch_is_current(segment.resolved_service_epoch, service_epoch_)) return;
   // Fenced: the segment was last resolved under an older epoch.  Probe the
@@ -208,7 +212,8 @@ void ReplicatedSmb::read(Handle handle, std::span<float> dst, std::size_t offset
 }
 
 void ReplicatedSmb::mirror_mutation_locked(std::initializer_list<LogicalSegment*> segments,
-                                           const MutationFn& op) {
+                                           const MutationFn& op)
+    SHMCAFFE_REQUIRES(mirror_mutex_) {
   SHMCAFFE_ASSERT_HELD(mirror_mutex_);
   const OpTag tag{kMirrorWriter, ++mirror_seq_};
   for (;;) {

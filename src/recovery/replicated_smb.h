@@ -107,21 +107,24 @@ class ReplicatedSmb final : public smb::SmbService {
 
   smb::Handle create_segment(smb::ShmKey key, std::size_t count, bool counters);
   smb::Handle attach_segment(smb::ShmKey key, std::size_t count, bool counters);
-  [[nodiscard]] LogicalSegment& segment_locked(smb::Handle handle) const;
+  [[nodiscard]] LogicalSegment& segment_locked(smb::Handle handle) const
+      SHMCAFFE_REQUIRES(mirror_mutex_);
   /// Throws SmbUnavailable when every replica has fail-stopped.
-  void require_live_locked() const;
+  void require_live_locked() const SHMCAFFE_REQUIRES(mirror_mutex_);
   /// Marks replica `index` dead; if it was the primary, promotes the next
   /// live replica and bumps the service epoch (a failover).
-  void mark_failed_locked(std::size_t index) const;
-  void mark_failed_locked(const smb::SmbServer* server) const;
+  void mark_failed_locked(std::size_t index) const SHMCAFFE_REQUIRES(mirror_mutex_);
+  void mark_failed_locked(const smb::SmbServer* server) const
+      SHMCAFFE_REQUIRES(mirror_mutex_);
   /// Re-resolves a segment whose cached epoch is stale: probes the segment
   /// on every live replica (attach + release) and stamps the new epoch.
-  void ensure_resolved_locked(LogicalSegment& segment) const;
+  void ensure_resolved_locked(LogicalSegment& segment) const
+      SHMCAFFE_REQUIRES(mirror_mutex_);
   /// Fans a tagged float-path mutation out to all live replicas; on a
   /// fail-stop mid-fan-out, fails over and replays the op under the same
   /// tag (survivors that already applied it drop the replay).
   void mirror_mutation_locked(std::initializer_list<LogicalSegment*> segments,
-                              const MutationFn& op);
+                              const MutationFn& op) SHMCAFFE_REQUIRES(mirror_mutex_);
 
   /// Tag identity of this ensemble's mirror agent (OpTag::writer).
   static constexpr std::uint64_t kMirrorWriter = 1;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "fault/fault_plan.h"
 
 namespace shmcaffe::recovery {
@@ -56,12 +57,13 @@ struct RecoveryEvent {
 /// a failover per fail-stopped server, a re-admission per crashed worker
 /// (earliest crash only — a worker dies once).  Deterministically ordered:
 /// failovers by (start time, target), then readmits by (iteration, target).
-[[nodiscard]] std::vector<RecoveryEvent> recovery_schedule(const fault::FaultPlan& plan,
-                                                           const RecoveryPolicy& policy);
+[[nodiscard]] SHMCAFFE_DETERMINISTIC std::vector<RecoveryEvent> recovery_schedule(
+    const fault::FaultPlan& plan, const RecoveryPolicy& policy);
 
 /// Order-sensitive FNV-1a digest over (action, target, at_iteration) —
 /// identical for a planned schedule and a faithfully executed one.
-[[nodiscard]] std::uint64_t schedule_fingerprint(std::span<const RecoveryEvent> events);
+[[nodiscard]] SHMCAFFE_DETERMINISTIC std::uint64_t schedule_fingerprint(
+    std::span<const RecoveryEvent> events);
 
 /// Human-readable one-line-per-event rendering.
 [[nodiscard]] std::string describe(std::span<const RecoveryEvent> events);

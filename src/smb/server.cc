@@ -34,6 +34,7 @@ void SmbServer::throw_if_failed() const {
 
 std::int64_t SmbServer::footprint(const Segment& segment) {
   if (segment.kind == Kind::kFloats) {
+    // lint:allow-next-line(lock-region) segment sizes are fixed at create
     return static_cast<std::int64_t>(segment.floats.size() * sizeof(float));
   }
   return static_cast<std::int64_t>(segment.counters.size() * sizeof(std::int64_t));
@@ -46,13 +47,16 @@ Handle SmbServer::create_segment(ShmKey key, std::size_t count, Kind kind) {
   segment->key = key;
   segment->kind = kind;
   if (kind == Kind::kFloats) {
+    // lint:allow-next-line(lock-region) fresh segment, not yet published
     segment->floats.assign(count, 0.0F);
   } else {
     segment->counters = std::vector<std::atomic<std::int64_t>>(count);
   }
-  segment->refcount = 1;
 
   std::unique_lock lock(table_mutex_);
+  // refcount is table_mutex_ state: set it under the same lock that
+  // publishes the segment, so the guard covers its whole lifetime.
+  segment->refcount = 1;
   if (key_to_access_.contains(key)) {
     throw SmbError("SHM key already exists: " + std::to_string(key));
   }
@@ -85,7 +89,7 @@ Handle SmbServer::attach_segment(ShmKey key, std::size_t count, Kind kind) {
                    " (access key " + std::to_string(it->second) + "): requested " +
                    kind_name(kind) + ", exists as " + kind_name(segment->kind));
   }
-  const std::size_t actual =
+  const std::size_t actual =  // lint:allow(lock-region) sizes fixed at create
       kind == Kind::kFloats ? segment->floats.size() : segment->counters.size();
   if (count != 0 && count != actual) {
     throw SmbError("segment size mismatch: requested " + std::to_string(count) +
@@ -156,6 +160,7 @@ std::shared_ptr<SmbServer::Segment> SmbServer::find(Handle handle, Kind kind) co
 
 std::size_t SmbServer::size(Handle handle) const {
   const std::shared_ptr<Segment> segment = find(handle);
+  // lint:allow-next-line(lock-region) segment sizes are fixed at create
   return segment->kind == Kind::kFloats ? segment->floats.size() : segment->counters.size();
 }
 
@@ -173,7 +178,8 @@ void SmbServer::read(Handle handle, std::span<float> dst, std::size_t offset) co
   stats_.bytes_read += static_cast<std::int64_t>(dst.size() * sizeof(float));
 }
 
-bool SmbServer::replayed_locked(Segment& segment, OpTag tag) {
+bool SmbServer::replayed_locked(Segment& segment, OpTag tag)
+    SHMCAFFE_REQUIRES(segment.data_mutex) {
   SHMCAFFE_ASSERT_HELD(segment.data_mutex);
   if (!tag.tagged()) return false;
   std::uint64_t& applied = segment.applied_tags[tag.writer];

@@ -203,7 +203,8 @@ class SmbServer final : public SmbService {
   void throw_if_failed() const;
   /// True (under the segment's data_mutex) if `tag` was already applied to
   /// `segment`; records it otherwise.
-  bool replayed_locked(Segment& segment, OpTag tag);
+  bool replayed_locked(Segment& segment, OpTag tag)
+      SHMCAFFE_REQUIRES(segment.data_mutex);
 
   SmbServerOptions options_ SHMCAFFE_UNGUARDED;  // immutable after ctor
   /// steady_clock time (ns since epoch) until which the data path is frozen.

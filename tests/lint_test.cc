@@ -156,13 +156,13 @@ TEST(IncludeHygieneRule, AllowsRepoRelativeAndSystemIncludes) {
 // --- escapes and scrubbing -----------------------------------------------
 
 TEST(LintAllow, SuppressesTheNamedRuleOnThatLineOnly) {
-  const std::string allowed = "int x = rand();  // lint:allow(rng-source) fixture\n";
+  const std::string allowed = "int x = rand();  // lint:" "allow(rng-source) fixture\n";
   EXPECT_FALSE(fires("src/dl/layers.cc", allowed, "rng-source"));
   // A different rule's allowance does not suppress.
-  const std::string wrong = "int x = rand();  // lint:allow(wall-clock) wrong rule\n";
+  const std::string wrong = "int x = rand();  // lint:" "allow(wall-clock) wrong rule\n";
   EXPECT_TRUE(fires("src/dl/layers.cc", wrong, "rng-source"));
   // The next line is not covered.
-  const std::string next_line = "// lint:allow(rng-source)\nint x = rand();\n";
+  const std::string next_line = "// lint:" "allow(rng-source)\nint x = rand();\n";
   EXPECT_TRUE(fires("src/dl/layers.cc", next_line, "rng-source"));
 }
 
@@ -333,30 +333,30 @@ TEST(Scrubber, KeepsLineCountsExactAcrossSplicedStrings) {
 TEST(LintAllow, CommaListSuppressesSeveralRulesAtOnce) {
   const std::string source =
       "auto t = std::chrono::system_clock::now(); int x = rand(); "
-      "// lint:allow(rng-source,wall-clock) fixture\n";
+      "// lint:" "allow(rng-source,wall-clock) fixture\n";
   EXPECT_FALSE(fires("src/dl/layers.cc", source, "rng-source"));
   EXPECT_FALSE(fires("src/dl/layers.cc", source, "wall-clock"));
   // The list only names the listed rules.
   const std::string partial =
-      "std::thread t; int x = rand(); // lint:allow(rng-source,wall-clock)\n";
+      "std::thread t; int x = rand(); // lint:" "allow(rng-source,wall-clock)\n";
   EXPECT_TRUE(fires("src/dl/layers.cc", partial, "no-raw-thread"));
 }
 
 TEST(LintAllow, NextLineVariantCoversTheFollowingLineOnly) {
   const std::string covered =
-      "// lint:allow-next-line(rng-source) fixture\nint x = rand();\n";
+      "// lint:" "allow-next-line(rng-source) fixture\nint x = rand();\n";
   EXPECT_FALSE(fires("src/dl/layers.cc", covered, "rng-source"));
   // It does not cover its own line ...
   const std::string own_line =
-      "int x = rand(); // lint:allow-next-line(rng-source)\nint y = 0;\n";
+      "int x = rand(); // lint:" "allow-next-line(rng-source)\nint y = 0;\n";
   EXPECT_TRUE(fires("src/dl/layers.cc", own_line, "rng-source"));
   // ... nor the line after next.
   const std::string too_far =
-      "// lint:allow-next-line(rng-source)\nint a = 0;\nint x = rand();\n";
+      "// lint:" "allow-next-line(rng-source)\nint a = 0;\nint x = rand();\n";
   EXPECT_TRUE(fires("src/dl/layers.cc", too_far, "rng-source"));
   // On the last line of a file it is simply inert (no out-of-bounds target).
   EXPECT_TRUE(lint_source("src/dl/layers.cc",
-                          "// lint:allow-next-line(rng-source)").empty());
+                          "// lint:" "allow-next-line(rng-source)").empty());
 }
 
 // --- pass 1: the declaration index ----------------------------------------
@@ -536,7 +536,7 @@ TEST(GuardedByRule, HonoursTheAllowEscapeHatch) {
       "#pragma once\n"
       "class Cache {\n"
       "  common::OrderedMutex mu_{\"c\", 100};\n"
-      "  int entries_ = 0;  // lint:allow(guarded-by) fixture\n"
+      "  int entries_ = 0;  // lint:" "allow(guarded-by) fixture\n"
       "};\n";
   EXPECT_TRUE(lint_repo({{"src/core/cache.h", source}}).empty());
 }
@@ -643,12 +643,240 @@ TEST(CoverageReport, SkipsClassesWithoutOrderedMutexes) {
   EXPECT_NE(json.find("\"classes\": 0"), std::string::npos);
 }
 
+// --- lock-region (flow-sensitive) ------------------------------------------
+
+TEST(LockRegionRule, FlagsGuardedFieldAccessOutsideTheLock) {
+  const std::string source =
+      "class Counter {\n"
+      " public:\n"
+      "  void ok() {\n"
+      "    std::scoped_lock lock(mu_);\n"
+      "    ++hits_;\n"
+      "  }\n"
+      "  void asserted() {\n"
+      "    SHMCAFFE_ASSERT_HELD(mu_);\n"
+      "    ++hits_;\n"
+      "  }\n"
+      "  void bad() { ++hits_; }\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int hits_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  const std::vector<Finding> findings = lint_repo({{"src/core/counter.cc", source}});
+  int lock_region = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "lock-region") {
+      ++lock_region;
+      EXPECT_EQ(finding.line, 11);  // only bad() is outside the lock
+    }
+  }
+  EXPECT_EQ(lock_region, 1);
+}
+
+TEST(LockRegionRule, UnlockInANestedBranchDoesNotPoisonTheOuterScope) {
+  const std::string source =
+      "class Counter {\n"
+      " public:\n"
+      "  void roundtrip(bool early) {\n"
+      "    std::unique_lock lock(mu_);\n"
+      "    if (early) {\n"
+      "      lock.unlock();\n"
+      "      return;\n"
+      "    }\n"
+      "    ++hits_;\n"
+      "    lock.unlock();\n"
+      "    hits_ = 0;\n"
+      "  }\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int hits_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  const std::vector<Finding> findings = lint_repo({{"src/core/counter.cc", source}});
+  int lock_region = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "lock-region") {
+      ++lock_region;
+      EXPECT_EQ(finding.line, 11);  // the write after the same-scope unlock
+    }
+  }
+  EXPECT_EQ(lock_region, 1);
+}
+
+TEST(LockRegionRule, FlagsLockedHelperCalledWithoutTheLock) {
+  const std::string source =
+      "class Board {\n"
+      " public:\n"
+      "  void sweep() {\n"
+      "    std::scoped_lock lock(mu_);\n"
+      "    fold_locked();\n"
+      "  }\n"
+      "  void broken() { fold_locked(); }\n"
+      " private:\n"
+      "  void fold_locked() { ++folds_; }\n"  // requirement inferred: sole mutex
+      "  common::OrderedMutex mu_{\"b\", 100};\n"
+      "  int folds_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  const std::vector<Finding> findings = lint_repo({{"src/core/board.cc", source}});
+  int lock_region = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "lock-region") {
+      ++lock_region;
+      EXPECT_EQ(finding.line, 7);  // broken() calls the helper lock-free
+    }
+  }
+  EXPECT_EQ(lock_region, 1);
+}
+
+TEST(LockRegionRule, PropagatesExplicitRequiresAnnotations) {
+  const std::string source =
+      "class Twin {\n"
+      " public:\n"
+      "  void good() {\n"
+      "    std::scoped_lock lock(a_);\n"
+      "    touch_locked();\n"
+      "  }\n"
+      "  void wrong() {\n"
+      "    std::scoped_lock lock(b_);\n"
+      "    touch_locked();\n"
+      "  }\n"
+      " private:\n"
+      "  void touch_locked() SHMCAFFE_REQUIRES(a_) { ++val_; }\n"
+      "  common::OrderedMutex a_{\"a\", 100};\n"
+      "  common::OrderedMutex b_{\"b\", 110};\n"
+      "  int val_ SHMCAFFE_GUARDED_BY(a_) = 0;\n"
+      "};\n";
+  const std::vector<Finding> findings = lint_repo({{"src/core/twin.cc", source}});
+  int lock_region = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "lock-region") {
+      ++lock_region;
+      EXPECT_EQ(finding.line, 9);  // wrong() holds b_, the helper needs a_
+    }
+  }
+  EXPECT_EQ(lock_region, 1);
+}
+
+TEST(LockRegionRule, RequiresAnnotationWhenSeveralMutexesPreventInference) {
+  const std::string bare =
+      "class Twin {\n"
+      "  void tidy_locked() { }\n"
+      "  common::OrderedMutex a_{\"a\", 100};\n"
+      "  common::OrderedMutex b_{\"b\", 110};\n"
+      "};\n";
+  EXPECT_TRUE(repo_fires({{"src/core/twin.cc", bare}}, "lock-region"));
+  const std::string annotated =
+      "class Twin {\n"
+      "  void tidy_locked() SHMCAFFE_REQUIRES(a_) { }\n"
+      "  common::OrderedMutex a_{\"a\", 100};\n"
+      "  common::OrderedMutex b_{\"b\", 110};\n"
+      "};\n";
+  EXPECT_FALSE(repo_fires({{"src/core/twin.cc", annotated}}, "lock-region"));
+}
+
+// --- determinism taint ------------------------------------------------------
+
+TEST(DeterminismRule, FlagsUnorderedIterationInAnnotatedRoots) {
+  const std::string tainted =
+      "SHMCAFFE_DETERMINISTIC std::uint64_t digest(const std::unordered_map<int, int>& m) {\n"
+      "  std::uint64_t h = 0;\n"
+      "  for (const auto& entry : m) h += entry.second;\n"
+      "  return h;\n"
+      "}\n";
+  EXPECT_TRUE(repo_fires({{"src/recovery/digest.cc", tainted}}, "determinism"));
+  const std::string ordered =
+      "SHMCAFFE_DETERMINISTIC std::uint64_t digest(const std::map<int, int>& m) {\n"
+      "  std::uint64_t h = 0;\n"
+      "  for (const auto& entry : m) h += entry.second;\n"
+      "  return h;\n"
+      "}\n";
+  EXPECT_FALSE(repo_fires({{"src/recovery/digest.cc", ordered}}, "determinism"));
+  // An unannotated function may iterate whatever it likes.
+  const std::string unannotated =
+      "std::uint64_t digest(const std::unordered_map<int, int>& m) {\n"
+      "  std::uint64_t h = 0;\n"
+      "  for (const auto& entry : m) h += entry.second;\n"
+      "  return h;\n"
+      "}\n";
+  EXPECT_FALSE(repo_fires({{"src/recovery/digest.cc", unannotated}}, "determinism"));
+}
+
+TEST(DeterminismRule, PropagatesTaintThroughTheCallIndex) {
+  const std::string source =
+      "int seed_helper() { return std::getenv(\"SHM_SEED\") ? 1 : 0; }\n"
+      "SHMCAFFE_DETERMINISTIC int schedule() { return seed_helper(); }\n";
+  const std::vector<Finding> findings = lint_repo({{"src/recovery/sched.cc", source}});
+  int determinism = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "determinism") {
+      ++determinism;
+      EXPECT_EQ(finding.line, 1);  // the taint sits in the helper's body
+      EXPECT_NE(finding.message.find("schedule"), std::string::npos)
+          << "message names the root: " << finding.message;
+    }
+  }
+  EXPECT_EQ(determinism, 1);
+}
+
+TEST(DeterminismRule, FlagsClockReadsReachableFromRoots) {
+  const std::string source =
+      "SHMCAFFE_DETERMINISTIC double stamp() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  EXPECT_TRUE(repo_fires({{"src/elastic/stamp.cc", source}}, "determinism"));
+}
+
+// --- stale-allow ------------------------------------------------------------
+
+TEST(StaleAllowRule, ReportsSuppressionsThatCatchNothing) {
+  const std::string stale = "int x = 0;  // lint:" "allow(rng-source) obsolete\n";
+  EXPECT_TRUE(repo_fires({{"src/core/a.cc", stale}}, "stale-allow"));
+  const std::string used = "int x = rand();  // lint:" "allow(rng-source) justified\n";
+  EXPECT_FALSE(repo_fires({{"src/core/a.cc", used}}, "stale-allow"));
+  EXPECT_FALSE(repo_fires({{"src/core/a.cc", used}}, "rng-source"));
+}
+
+TEST(StaleAllowRule, CountsSuppressionsFromTheRepoWidePasses) {
+  // The annotation is consumed by the lock-region pass, not the per-line
+  // rules, and must still count as used.
+  const std::string source =
+      "class Counter {\n"
+      " public:\n"
+      "  int peek() const { return hits_; }  // lint:" "allow(lock-region) racy probe\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int hits_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_FALSE(repo_fires({{"src/core/counter.cc", source}}, "stale-allow"));
+  EXPECT_FALSE(repo_fires({{"src/core/counter.cc", source}}, "lock-region"));
+}
+
+TEST(CoverageReport, ReportsAccessAndDeterminismCounters) {
+  const std::string source =
+      "#pragma once\n"
+      "SHMCAFFE_DETERMINISTIC int digest() { return 7; }\n"
+      "class Counter {\n"
+      " public:\n"
+      "  void ok() { std::scoped_lock lock(mu_); ++hits_; }\n"
+      "  int peek() const { return hits_; }  // lint:" "allow(lock-region) racy probe\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"c\", 100};\n"
+      "  int hits_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  const std::string json = coverage_json({{"src/core/counter.h", source}});
+  // Both accesses count (the justified one included); neither is unguarded.
+  EXPECT_NE(json.find("\"accesses\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"unguarded_access\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"deterministic_roots\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tainted\": 0"), std::string::npos) << json;
+}
+
 TEST(RuleIds, EveryRuleIsListed) {
   const std::vector<std::string>& ids = rule_ids();
   for (const char* expected : {"rng-source", "wall-clock", "sim-wall-clock", "raii-lock",
                                "sim-ptr-container", "pragma-once", "include-hygiene",
                                "no-naked-epoch", "no-raw-thread", "guarded-by",
-                               "include-layering"}) {
+                               "include-layering", "lock-region", "determinism",
+                               "stale-allow"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end()) << expected;
   }
 }

@@ -55,8 +55,12 @@ run_stage() {
 # LINT_coverage.json baseline.  Fails if any class has unannotated fields, or
 # if a class's `unguarded` count grew versus the baseline (declaring a field
 # SHMCAFFE_UNGUARDED is an explicit, reviewed loosening — the snapshot pins
-# it).  On success the new report becomes the baseline; a regression keeps
-# the old baseline unless --force is given.
+# it).  The flow-sensitive counters are pinned the same way: a class's
+# `unguarded_access` count (guarded-field reads/writes the lock-region pass
+# could not prove held) and the summary `tainted` count (statements the
+# determinism pass reaches from a SHMCAFFE_DETERMINISTIC root) must not grow.
+# On success the new report becomes the baseline; a regression keeps the old
+# baseline unless --force is given.
 lint_coverage_gate() {
   local build_dir=$1
   echo "==> [lint] shmcaffe-lint --coverage gate"
@@ -64,6 +68,8 @@ lint_coverage_gate() {
   new_json=$(mktemp)
   "./$build_dir/tools/lint/shmcaffe-lint" . --coverage > "$new_json"
   local extract='s/.*"class": "\([^"]*\)".*"unguarded": \([0-9]*\), "unannotated": \([0-9]*\).*/\1 \2 \3/p'
+  local extract_access='s/.*"class": "\([^"]*\)".*"unguarded_access": \([0-9]*\).*/\1 \2/p'
+  local extract_tainted='s/.*"tainted": \([0-9]*\).*/\1/p'
   if grep -q '"unannotated": [1-9]' "$new_json"; then
     echo "==> [lint] classes with unannotated fields (guarded-by rule should have caught this):" >&2
     sed -n "$extract" "$new_json" | awk '$3 > 0' >&2
@@ -81,6 +87,28 @@ lint_coverage_gate() {
           <(sed -n "$extract" "$new_json"); then
       echo "==> [lint] unguarded field count grew vs LINT_coverage.json;" \
            "baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
+    if ! awk 'NR==FNR { old[$1] = $2; next }
+              ($1 in old) && $2 > old[$1] {
+                printf "coverage regression: %s unguarded_access %d -> %d\n", $1, old[$1], $2
+                bad = 1
+              }
+              END { exit bad }' \
+          <(sed -n "$extract_access" LINT_coverage.json) \
+          <(sed -n "$extract_access" "$new_json"); then
+      echo "==> [lint] unguarded guarded-field accesses grew vs LINT_coverage.json;" \
+           "baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
+    local old_tainted new_tainted
+    old_tainted=$(sed -n "$extract_tainted" LINT_coverage.json | head -1)
+    new_tainted=$(sed -n "$extract_tainted" "$new_json" | head -1)
+    if [[ -n "$old_tainted" && -n "$new_tainted" && "$new_tainted" -gt "$old_tainted" ]]; then
+      echo "==> [lint] determinism-tainted statement count grew vs LINT_coverage.json" \
+           "($old_tainted -> $new_tainted); baseline kept (rerun with --force after review)" >&2
       rm -f "$new_json"
       exit 1
     fi

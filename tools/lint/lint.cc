@@ -5,7 +5,9 @@
 #include <cctype>
 #include <map>
 #include <regex>
+#include <set>
 #include <sstream>
+#include <utility>
 
 namespace shmcaffe::lint {
 
@@ -39,11 +41,21 @@ std::string trim(std::string_view s) {
   return std::string(s.substr(begin, end - begin));
 }
 
-/// Per-line `lint:allow(rule[,rule...])` annotations, extracted from the
-/// *raw* source (they live inside comments, which the scrubber removes).
-/// `lint:allow-next-line(...)` attaches its rules to the following line,
-/// for declarations too long to carry a trailing comment.
-std::vector<std::vector<std::string>> collect_allows(std::string_view contents) {
+/// One `lint:allow` suppression entry, with usage tracking: the stale-allow
+/// pass reports entries that suppressed nothing over the whole-repo run.
+struct AllowEntry {
+  int anno_line = 0;    ///< 1-based line the annotation comment sits on
+  int target_line = 0;  ///< 1-based line it suppresses
+  std::string rule;
+  bool used = false;
+};
+using FileAllows = std::vector<AllowEntry>;
+
+/// `lint:allow(rule[,rule...])` annotations, extracted from the *raw* source
+/// (they live inside comments, which the scrubber removes).
+/// `lint:allow-next-line(...)` attaches its rules to the following line, for
+/// declarations too long to carry a trailing comment.
+FileAllows collect_allows(std::string_view contents) {
   static const std::regex kAllow(R"(lint:allow(-next-line)?\(([a-z0-9][a-z0-9,\s-]*)\))");
   std::vector<std::string> raw_lines;
   {
@@ -56,22 +68,22 @@ std::vector<std::vector<std::string>> collect_allows(std::string_view contents) 
       begin = end + 1;
     }
   }
-  // One extra slot so allow-next-line on the last line stays in bounds.
-  std::vector<std::vector<std::string>> per_line(raw_lines.size() + 1);
+  FileAllows entries;
   for (std::size_t i = 0; i < raw_lines.size(); ++i) {
     const std::string& line = raw_lines[i];
     for (auto it = std::sregex_iterator(line.begin(), line.end(), kAllow);
          it != std::sregex_iterator(); ++it) {
-      const std::size_t target = (*it)[1].matched ? i + 1 : i;
+      const int anno_line = static_cast<int>(i) + 1;
+      const int target_line = (*it)[1].matched ? anno_line + 1 : anno_line;
       std::stringstream rules((*it)[2].str());
       std::string rule;
       while (std::getline(rules, rule, ',')) {
         rule = trim(rule);
-        if (!rule.empty()) per_line[target].push_back(rule);
+        if (!rule.empty()) entries.push_back(AllowEntry{anno_line, target_line, rule, false});
       }
     }
   }
-  return per_line;
+  return entries;
 }
 
 std::vector<std::string> split_lines(std::string_view contents) {
@@ -87,12 +99,17 @@ std::vector<std::string> split_lines(std::string_view contents) {
   return lines;
 }
 
-bool allowed(const std::vector<std::vector<std::string>>& allows, int line,
-             std::string_view rule) {
-  const auto index = static_cast<std::size_t>(line - 1);
-  if (index >= allows.size()) return false;
-  const std::vector<std::string>& on_line = allows[index];
-  return std::find(on_line.begin(), on_line.end(), rule) != on_line.end();
+/// True if a suppression for `rule` targets `line`; every matching entry is
+/// marked used (the stale-allow pass reports the never-used ones).
+bool allowed(FileAllows& allows, int line, std::string_view rule) {
+  bool hit = false;
+  for (AllowEntry& entry : allows) {
+    if (entry.target_line == line && entry.rule == rule) {
+      entry.used = true;
+      hit = true;
+    }
+  }
+  return hit;
 }
 
 /// Top-level project directories: a quoted include must start with one of
@@ -351,6 +368,104 @@ void extract_annotations(std::string& stmt, bool& guarded, std::string& guard,
   }
 }
 
+/// Position of the first '(' outside template angle brackets, or npos (the
+/// position counterpart of has_top_level_paren, for name extraction).
+std::size_t top_level_paren_pos(std::string_view s) {
+  int angle = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    if (c == '<') {
+      if (next == '<' || next == '=') {
+        ++i;
+        continue;
+      }
+      ++angle;
+    } else if (c == '>') {
+      if (i > 0 && s[i - 1] == '-') continue;  // ->
+      if (next == '=') {
+        ++i;
+        continue;
+      }
+      if (next == '>' && angle >= 2) {
+        angle -= 2;
+        ++i;
+        continue;
+      }
+      if (angle > 0) --angle;
+    } else if (c == '(' && angle == 0) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Extracts and removes SHMCAFFE_REQUIRES(...) / SHMCAFFE_DETERMINISTIC from
+/// a function head.
+void extract_function_annotations(std::string& head, std::vector<std::string>& requires_locks,
+                                  bool& deterministic) {
+  static const std::string kRequires = "SHMCAFFE_REQUIRES";
+  static const std::string kDeterministic = "SHMCAFFE_DETERMINISTIC";
+  std::size_t at;
+  while ((at = head.find(kRequires)) != std::string::npos) {
+    const std::size_t open = head.find('(', at + kRequires.size());
+    if (open == std::string::npos) break;
+    int depth = 1;
+    std::size_t close = open + 1;
+    while (close < head.size() && depth > 0) {
+      if (head[close] == '(') ++depth;
+      if (head[close] == ')') --depth;
+      ++close;
+    }
+    requires_locks.push_back(trim(head.substr(open + 1, close - open - 2)));
+    head.erase(at, close - at);
+  }
+  while ((at = head.find(kDeterministic)) != std::string::npos) {
+    deterministic = true;
+    head.erase(at, kDeterministic.size());
+  }
+}
+
+/// Last `::` component of a qualified class name.
+std::string class_tail(const std::string& qualified) {
+  const std::size_t sep = qualified.rfind("::");
+  return sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+}
+
+/// Splits a function head into the (possibly empty) `Foo::bar` class
+/// qualifier and the unqualified name — the qualified identifier immediately
+/// before the parameter list.  False when the head is not function-shaped
+/// (no top-level parens, an operator, a ctor-init fragment, a keyword).
+bool function_head_name(const std::string& head, std::string& class_name, std::string& name) {
+  const std::size_t paren = top_level_paren_pos(head);
+  if (paren == std::string::npos) return false;
+  const std::string before = trim(head.substr(0, paren));
+  if (before.empty() || before.front() == ',' || before.front() == ':') return false;
+  static const std::regex kTail(
+      R"((~?[A-Za-z_][A-Za-z0-9_]*(\s*::\s*~?[A-Za-z_][A-Za-z0-9_]*)*)\s*$)");
+  std::smatch m;
+  if (!std::regex_search(before, m, kTail)) return false;
+  std::string qualified = m[1].str();
+  qualified.erase(std::remove_if(qualified.begin(), qualified.end(),
+                                 [](unsigned char c) { return std::isspace(c) != 0; }),
+                  qualified.end());
+  const std::size_t sep = qualified.rfind("::");
+  if (sep == std::string::npos) {
+    name = qualified;
+    class_name.clear();
+  } else {
+    name = qualified.substr(sep + 2);
+    class_name = qualified.substr(0, sep);
+  }
+  static const std::array<std::string_view, 12> kNotNames = {
+      "if", "for", "while", "switch", "return", "sizeof", "decltype", "alignof",
+      "catch", "static_assert", "noexcept", "operator"};
+  for (const std::string_view keyword : kNotNames) {
+    if (name == keyword) return false;
+  }
+  return !starts_with(name, "SHMCAFFE_");  // a trailing macro, not a function
+}
+
 /// Scrubbed source with preprocessor lines (and their backslash
 /// continuations) blanked, joined back into one text: the indexer's input.
 std::string indexable_text(std::string_view contents) {
@@ -376,8 +491,9 @@ std::string indexable_text(std::string_view contents) {
 /// initialisers are skipped, nested classes extend the qualified name.
 class ClassIndexer {
  public:
-  ClassIndexer(std::string text, std::string file, std::vector<ClassInfo>* out)
-      : text_(std::move(text)), file_(std::move(file)), out_(out) {}
+  ClassIndexer(std::string text, std::string file, std::vector<ClassInfo>* out,
+               std::vector<FunctionInfo>* funcs = nullptr)
+      : text_(std::move(text)), file_(std::move(file)), out_(out), funcs_(funcs) {}
 
   void run() { parse_scope("", -1); }
 
@@ -398,6 +514,22 @@ class ClassIndexer {
       if (c == '{') ++depth;
       if (c == '}') --depth;
     }
+  }
+
+  /// Consumes a balanced brace block like skip_braces, but returns its text
+  /// with newlines preserved (the flow passes map offsets back to lines).
+  /// `body_line` is the line of the first body character.
+  std::string capture_braces(int& body_line) {
+    body_line = line_;
+    std::string body;
+    int depth = 1;
+    while (!eof() && depth > 0) {
+      const char c = get();
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      if (depth > 0) body.push_back(c);
+    }
+    return body;
   }
 
   /// Consumes through the next top-level ';' (trailing declarators after a
@@ -456,7 +588,9 @@ class ClassIndexer {
     while (!eof()) {
       const char term = collect(stmt, stmt_line);
       if (term == ';') {
-        if (class_index >= 0) handle_field(stmt, stmt_line, class_index);
+        if (!handle_function(stmt, stmt_line, prefix, false, {}, 0) && class_index >= 0) {
+          handle_field(stmt, stmt_line, class_index);
+        }
         continue;
       }
       if (term == '}' || term == '\0') return;
@@ -467,8 +601,10 @@ class ClassIndexer {
         continue;
       }
       const std::vector<std::string> tokens = identifier_tokens(head);
-      if (top_level_pos(head, '=') != std::string::npos) {
-        // `type name = { ... };` — brace initialiser after '='.
+      if (top_level_pos(head, '=') != std::string::npos && !has_token(tokens, "operator")) {
+        // `type name = { ... };` — brace initialiser after '='.  The operator
+        // token exempts `operator=` / `operator==` definitions, whose '=' is
+        // part of the name, not an initialiser.
         skip_braces();
         consume_to_semicolon();
         if (class_index >= 0) handle_field(head, stmt_line, class_index);
@@ -501,7 +637,9 @@ class ClassIndexer {
         continue;
       }
       if (function_like) {
-        skip_braces();
+        int body_line = 0;
+        std::string body = capture_braces(body_line);
+        handle_function(stmt, stmt_line, prefix, true, std::move(body), body_line);
         continue;
       }
       if (class_index >= 0) {
@@ -513,6 +651,53 @@ class ClassIndexer {
       }
       skip_braces();  // unrecognised block at namespace scope
     }
+  }
+
+  /// Records a function declaration (`has_body` false) or definition found
+  /// in scope `prefix`.  Returns true iff the statement was function-shaped
+  /// — even when nothing is recorded (constructors, destructors, operators)
+  /// — so the caller does not mistake it for a field.
+  bool handle_function(const std::string& raw_head, int line, const std::string& prefix,
+                       bool has_body, std::string body, int body_line) {
+    std::string head = trim(strip_attributes(raw_head));
+    static const std::regex kAccess(R"(^\s*(public|private|protected)\s*:)");
+    std::smatch access;
+    while (std::regex_search(head, access, kAccess) && head[access.position(0)] != ':') {
+      head = trim(access.suffix().str());
+    }
+    std::vector<std::string> requires_locks;
+    bool deterministic = false;
+    extract_function_annotations(head, requires_locks, deterministic);
+    const std::vector<std::string> tokens = identifier_tokens(head);
+    static const std::array<std::string_view, 6> kSkipLead = {
+        "using", "typedef", "friend", "template", "enum", "namespace"};
+    for (const std::string_view lead : kSkipLead) {
+      if (!tokens.empty() && tokens.front() == lead) return false;
+    }
+    if (has_token(tokens, "operator")) return has_top_level_paren(head);
+    std::string class_name;
+    std::string name;
+    if (!function_head_name(head, class_name, name)) return false;
+    if (class_name.empty()) class_name = prefix;
+    // Constructors and destructors are function-shaped but not indexed: the
+    // flow passes would only see member-init noise on a not-yet-shared object.
+    if (name.front() == '~' || (!class_name.empty() && name == class_tail(class_name))) {
+      return true;
+    }
+    if (funcs_ == nullptr) return true;
+    FunctionInfo info;
+    info.name = std::move(name);
+    info.class_name = std::move(class_name);
+    info.file = file_;
+    info.line = line;
+    info.head = std::move(head);
+    info.has_body = has_body;
+    info.body = std::move(body);
+    info.body_line = body_line;
+    info.requires_locks = std::move(requires_locks);
+    info.deterministic = deterministic;
+    funcs_->push_back(std::move(info));
+    return true;
   }
 
   void handle_field(std::string stmt, int line, int class_index) {
@@ -565,6 +750,7 @@ class ClassIndexer {
 
     FieldInfo field;
     field.name = name;
+    field.type = type;
     field.line = line;
     field.guarded = guarded;
     field.guard = guard;
@@ -586,9 +772,154 @@ class ClassIndexer {
   std::string text_;
   std::string file_;
   std::vector<ClassInfo>* out_;
+  std::vector<FunctionInfo>* funcs_ = nullptr;
   std::size_t pos_ = 0;
   int line_ = 1;
 };
+
+/// Last identifier of a lock expression: the mutex identity the flow passes
+/// match on ("data_mutex" of `segment->data_mutex` — object-insensitive by
+/// design, so every instance of a class shares one lock region, exactly like
+/// the runtime LockSite name).
+std::string last_identifier(std::string_view expr) {
+  const std::vector<std::string> tokens = identifier_tokens(expr);
+  return tokens.empty() ? std::string() : tokens.back();
+}
+
+// --- the #include closure ---------------------------------------------------
+//
+// Cross-file resolution (decl/def annotation merge, call-index lookups) is
+// scoped by what a file can actually see: its transitive quoted includes
+// within the given file set.  This keeps an unrelated same-named function in
+// a file the caller never includes from polluting the call graph.
+using IncludeClosure = std::map<std::string, std::vector<std::string>>;
+
+IncludeClosure include_closure(const std::vector<SourceFile>& files) {
+  static const std::regex kInclude("^\\s*#\\s*include\\s*\"([^\"]+)\"");
+  std::set<std::string> paths;
+  for (const SourceFile& file : files) paths.insert(file.path);
+  std::map<std::string, std::vector<std::string>> direct;
+  for (const SourceFile& file : files) {
+    std::vector<std::string>& out = direct[file.path];
+    for (const std::string& line : split_lines(file.contents)) {
+      std::smatch m;
+      if (!std::regex_search(line, m, kInclude)) continue;
+      const std::string target = m[1].str();
+      if (paths.count("src/" + target) != 0) {
+        out.push_back("src/" + target);
+      } else if (paths.count(target) != 0) {
+        out.push_back(target);
+      }
+    }
+  }
+  IncludeClosure closure;
+  for (const SourceFile& file : files) {
+    std::vector<std::string> todo = {file.path};
+    std::set<std::string> seen = {file.path};
+    while (!todo.empty()) {
+      const std::string current = todo.back();
+      todo.pop_back();
+      const auto it = direct.find(current);
+      if (it == direct.end()) continue;
+      for (const std::string& next : it->second) {
+        if (seen.insert(next).second) todo.push_back(next);
+      }
+    }
+    closure[file.path].assign(seen.begin(), seen.end());  // sorted (from the set)
+  }
+  return closure;
+}
+
+bool closure_contains(const IncludeClosure& closure, const std::string& from,
+                      const std::string& to) {
+  const auto it = closure.find(from);
+  return it != closure.end() && std::binary_search(it->second.begin(), it->second.end(), to);
+}
+
+/// True if either file can see the other through the include graph (a .cc
+/// sees its header; the header "sees" its .cc for merge purposes).
+bool closure_related(const IncludeClosure& closure, const std::string& a, const std::string& b) {
+  return a == b || closure_contains(closure, a, b) || closure_contains(closure, b, a);
+}
+
+/// The ClassInfo for `name` nearest to `file`: a closure-related definition
+/// if one exists, else any definition of that name.
+const ClassInfo* find_class(const std::vector<ClassInfo>& classes, const std::string& name,
+                            const std::string& file, const IncludeClosure& closure) {
+  const ClassInfo* fallback = nullptr;
+  for (const ClassInfo& cls : classes) {
+    if (cls.name != name) continue;
+    if (closure_related(closure, cls.file, file)) return &cls;
+    if (fallback == nullptr) fallback = &cls;
+  }
+  return fallback;
+}
+
+/// Function-index groups: all declarations/definitions of one (class, name).
+using FunctionGroups = std::map<std::pair<std::string, std::string>, std::vector<std::size_t>>;
+
+FunctionGroups group_functions(const std::vector<FunctionInfo>& funcs) {
+  FunctionGroups groups;
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    groups[{funcs[i].class_name, funcs[i].name}].push_back(i);
+  }
+  return groups;
+}
+
+/// Unifies SHMCAFFE_REQUIRES / SHMCAFFE_DETERMINISTIC between declarations
+/// and definitions of the same (class, name) whose files are related through
+/// the include closure: annotating either site annotates both.
+void merge_function_annotations(std::vector<FunctionInfo>& funcs, const IncludeClosure& closure) {
+  const FunctionGroups groups = group_functions(funcs);
+  for (const auto& [key, members] : groups) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const std::size_t a : members) {
+        for (const std::size_t b : members) {
+          if (a == b || !closure_related(closure, funcs[a].file, funcs[b].file)) continue;
+          FunctionInfo& into = funcs[a];
+          const FunctionInfo& from = funcs[b];
+          if (from.deterministic && !into.deterministic) {
+            into.deterministic = true;
+            changed = true;
+          }
+          for (const std::string& req : from.requires_locks) {
+            if (std::find(into.requires_locks.begin(), into.requires_locks.end(), req) ==
+                into.requires_locks.end()) {
+              into.requires_locks.push_back(req);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The `_locked()` naming contract: a `_locked` member function of a class
+/// with exactly one ordered-mutex member implicitly REQUIRES that mutex.
+/// With several mutexes the annotation is mandatory (the lock-region pass
+/// reports the omission at the definition).
+void infer_locked_requirements(std::vector<FunctionInfo>& funcs,
+                               const std::vector<ClassInfo>& classes,
+                               const IncludeClosure& closure) {
+  for (FunctionInfo& func : funcs) {
+    if (!func.requires_locks.empty() || func.class_name.empty()) continue;
+    if (!ends_with(func.name, "_locked")) continue;
+    const ClassInfo* cls = find_class(classes, func.class_name, func.file, closure);
+    if (cls == nullptr) continue;
+    std::string sole;
+    int mutexes = 0;
+    for (const FieldInfo& field : cls->fields) {
+      if (field.is_mutex) {
+        ++mutexes;
+        sole = field.name;
+      }
+    }
+    if (mutexes == 1) func.requires_locks.push_back(sole);
+  }
+}
 
 /// First identifier of a SHMCAFFE_GUARDED_BY expression ("mu_", or "mu_" of
 /// "other.mu_"); the guard must name a mutex member.
@@ -625,11 +956,8 @@ bool resolves_to_mutex(const std::vector<ClassInfo>& index, const ClassInfo& cls
 /// Pass 2 (index-driven half): the guarded-by rule over every src/ class
 /// owning an ordered mutex.
 std::vector<Finding> guarded_by_findings(
-    const std::vector<SourceFile>& files, const std::vector<ClassInfo>& index) {
-  std::map<std::string, std::vector<std::vector<std::string>>> allows_by_file;
-  for (const SourceFile& file : files) {
-    allows_by_file[file.path] = collect_allows(file.contents);
-  }
+    const std::vector<ClassInfo>& index,
+    std::map<std::string, FileAllows>& allows_by_file) {
   std::vector<Finding> findings;
   for (const ClassInfo& cls : index) {
     if (!cls.owns_ordered_mutex || !starts_with(cls.file, "src/")) continue;
@@ -658,13 +986,638 @@ std::vector<Finding> guarded_by_findings(
   return findings;
 }
 
+// --- pass 4: flow-sensitive lock regions and determinism taint --------------
+
+/// One collect()-style statement of a captured function body: text
+/// accumulated to ';' / '{' / '}' at paren depth 0, with its 1-based line.
+struct BodyStatement {
+  std::string text;
+  int line = 0;
+  char term = '\0';
+};
+
+std::vector<BodyStatement> body_statements(const std::string& body, int body_line) {
+  std::vector<BodyStatement> out;
+  int line = body_line;
+  BodyStatement stmt;
+  int paren = 0;
+  const auto flush = [&](char term) {
+    stmt.term = term;
+    if (stmt.line == 0) stmt.line = line;
+    out.push_back(std::move(stmt));
+    stmt = BodyStatement{};
+    paren = 0;
+  };
+  for (const char c : body) {
+    if (c == '\n') {
+      stmt.text.push_back(' ');
+      ++line;
+      continue;
+    }
+    if (paren == 0 && (c == ';' || c == '{' || c == '}')) {
+      flush(c);
+      continue;
+    }
+    if (c == '(' || c == '[') ++paren;
+    if ((c == ')' || c == ']') && paren > 0) --paren;
+    if (stmt.line == 0 && std::isspace(static_cast<unsigned char>(c)) == 0) stmt.line = line;
+    stmt.text.push_back(c);
+  }
+  if (!trim(stmt.text).empty()) flush('\0');
+  return out;
+}
+
+/// One RAII guard declaration found in a statement.
+struct LockEvent {
+  std::string var;                   ///< the guard variable
+  std::vector<std::string> mutexes;  ///< last identifiers of the lock args
+  bool held = true;                  ///< false for std::defer_lock
+};
+
+/// RAII guard declarations: `std::scoped_lock l(mu_)`, lock_guard /
+/// unique_lock / shared_lock with optional template arguments, multi-mutex
+/// scoped_lock, and the defer/try/adopt tags (try_to_lock and adopt_lock
+/// still hold on success paths; defer_lock holds only after `l.lock()`).
+std::vector<LockEvent> lock_events(const std::string& stmt) {
+  static const std::regex kGuard(R"(\b(scoped_lock|lock_guard|unique_lock|shared_lock)\b)");
+  std::vector<LockEvent> events;
+  for (auto it = std::sregex_iterator(stmt.begin(), stmt.end(), kGuard);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position(0)) + it->length(0);
+    const auto skip_space = [&] {
+      while (pos < stmt.size() && std::isspace(static_cast<unsigned char>(stmt[pos])) != 0) ++pos;
+    };
+    skip_space();
+    if (pos < stmt.size() && stmt[pos] == '<') {
+      int depth = 1;
+      ++pos;
+      while (pos < stmt.size() && depth > 0) {
+        if (stmt[pos] == '<') ++depth;
+        if (stmt[pos] == '>') --depth;
+        ++pos;
+      }
+    }
+    skip_space();
+    const std::size_t name_begin = pos;
+    while (pos < stmt.size() &&
+           (std::isalnum(static_cast<unsigned char>(stmt[pos])) != 0 || stmt[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == name_begin) continue;  // a mention, not a declaration
+    LockEvent event;
+    event.var = stmt.substr(name_begin, pos - name_begin);
+    skip_space();
+    if (pos >= stmt.size() || (stmt[pos] != '(' && stmt[pos] != '{')) continue;
+    int depth = 1;
+    std::size_t arg_begin = ++pos;
+    std::vector<std::string> args;
+    while (pos < stmt.size() && depth > 0) {
+      const char c = stmt[pos];
+      if (c == '(' || c == '{' || c == '[') ++depth;
+      if (c == ')' || c == '}' || c == ']') {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (c == ',' && depth == 1) {
+        args.push_back(stmt.substr(arg_begin, pos - arg_begin));
+        arg_begin = pos + 1;
+      }
+      ++pos;
+    }
+    args.push_back(stmt.substr(arg_begin, pos - arg_begin));
+    for (const std::string& raw : args) {
+      const std::string arg = trim(raw);
+      if (arg.empty()) continue;
+      if (arg.find("defer_lock") != std::string::npos) {
+        event.held = false;
+        continue;
+      }
+      if (arg.find("try_to_lock") != std::string::npos ||
+          arg.find("adopt_lock") != std::string::npos) {
+        continue;
+      }
+      const std::string mutex = last_identifier(arg);
+      if (!mutex.empty()) event.mutexes.push_back(mutex);
+    }
+    if (!event.mutexes.empty()) events.push_back(std::move(event));
+  }
+  return events;
+}
+
+/// An identifier token and its position in the statement.
+struct Token {
+  std::string text;
+  std::size_t pos = 0;
+};
+
+std::vector<Token> tokens_with_pos(const std::string& s) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto c = static_cast<unsigned char>(s[i]);
+    if (std::isalpha(c) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[j])) != 0 || s[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back(Token{s.substr(i, j - i), i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+/// Call-site receiver shape of a token.
+enum class CallForm { kPlain, kMember, kQualified };
+
+CallForm call_form(const std::string& s, std::size_t pos, std::string& qualifier) {
+  std::size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(s[i - 1])) != 0) --i;
+  if (i >= 2 && s[i - 1] == ':' && s[i - 2] == ':') {
+    std::size_t q = i - 2;
+    while (q > 0 && (std::isalnum(static_cast<unsigned char>(s[q - 1])) != 0 || s[q - 1] == '_')) {
+      --q;
+    }
+    qualifier = s.substr(q, i - 2 - q);
+    return CallForm::kQualified;
+  }
+  if (i >= 1 && s[i - 1] == '.') return CallForm::kMember;
+  if (i >= 2 && s[i - 1] == '>' && s[i - 2] == '-') return CallForm::kMember;
+  return CallForm::kPlain;
+}
+
+bool keyword_token(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "if", "for", "while", "switch", "return", "sizeof", "decltype", "alignof",
+      "catch", "static_assert", "assert", "throw", "new", "delete", "defined",
+      "alignas", "noexcept", "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast", "scoped_lock", "lock_guard", "unique_lock", "shared_lock"};
+  return kKeywords.count(t) != 0;
+}
+
+/// Method names too generic to resolve through the object-insensitive call
+/// index (std:: container / algorithm / guard vocabulary): receiver calls
+/// with these names are never traversed — `first_crash.find(...)` must not
+/// resolve to SmbServer::find.
+bool generic_method_name(const std::string& name) {
+  static const std::set<std::string> kGeneric = {
+      "find", "count", "contains", "begin", "end", "cbegin", "cend", "rbegin", "rend",
+      "size", "empty", "clear", "insert", "erase", "emplace", "emplace_back",
+      "push_back", "pop_back", "push", "pop", "front", "back", "top", "at", "reserve",
+      "resize", "assign", "swap", "data", "get", "reset", "str", "c_str", "substr",
+      "append", "compare", "length", "load", "store", "exchange", "fetch_add",
+      "fetch_sub", "wait", "wait_for", "notify_one", "notify_all", "lock", "unlock",
+      "try_lock", "owns_lock", "value", "has_value", "subspan", "lower_bound",
+      "upper_bound", "to_string"};
+  return kGeneric.count(name) != 0;
+}
+
+/// Names declared with an unordered container type in `text` (a function
+/// head's parameters, a body's locals, or — via FieldInfo::type — a class
+/// field).  The declared name is the identifier after the closing '>'.
+void collect_unordered_idents(const std::string& text, std::set<std::string>& out) {
+  static const std::regex kUnordered(R"(\bunordered_(?:map|set|multimap|multiset)\b)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kUnordered);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position(0)) + it->length(0);
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
+    if (pos < text.size() && text[pos] == '<') {
+      int depth = 1;
+      ++pos;
+      while (pos < text.size() && depth > 0) {
+        if (text[pos] == '<') ++depth;
+        if (text[pos] == '>') --depth;
+        ++pos;
+      }
+    }
+    while (pos < text.size() && (std::isspace(static_cast<unsigned char>(text[pos])) != 0 ||
+                                 text[pos] == '&' || text[pos] == '*')) {
+      ++pos;
+    }
+    std::size_t begin = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 || text[pos] == '_')) {
+      ++pos;
+    }
+    if (pos > begin) {
+      const std::string name = text.substr(begin, pos - begin);
+      if (name != "const") out.insert(name);
+    }
+  }
+}
+
+/// A guarded field visible to a function, with the class that owns it (for
+/// the per-class access counters).
+struct GuardedField {
+  std::string guard;  ///< last identifier of the SHMCAFFE_GUARDED_BY expression
+  std::string owner;  ///< qualified class name owning the field
+};
+
+/// Per-class lock-region access counters for the coverage report.
+struct AccessStats {
+  int accesses = 0;
+  int unguarded = 0;
+};
+
+/// Result of the flow-sensitive passes over the whole set.
+struct RepoAnalysis {
+  std::vector<Finding> findings;
+  std::map<std::string, AccessStats> access;  ///< class name -> counters
+  int deterministic_roots = 0;
+  int tainted = 0;
+};
+
+/// Guarded fields a member function of `class_name` can touch without an
+/// object qualifier or through sibling objects: the class itself, its nested
+/// classes, and the lexically enclosing chain (object-insensitive, like the
+/// mutex identity).
+std::map<std::string, GuardedField> family_guarded_fields(
+    const std::vector<ClassInfo>& classes, const std::string& class_name,
+    const std::string& file, const IncludeClosure& closure) {
+  std::map<std::string, GuardedField> out;
+  if (class_name.empty()) return out;
+  std::set<std::string> family = {class_name};
+  const ClassInfo* cls = find_class(classes, class_name, file, closure);
+  while (cls != nullptr && !cls->enclosing.empty()) {
+    family.insert(cls->enclosing);
+    cls = find_class(classes, cls->enclosing, file, closure);
+  }
+  for (const ClassInfo& candidate : classes) {
+    bool in_family = family.count(candidate.name) != 0;
+    if (!in_family) {
+      for (const std::string& name : family) {
+        if (starts_with(candidate.name, name + "::")) {
+          in_family = true;
+          break;
+        }
+      }
+    }
+    if (!in_family || !closure_related(closure, candidate.file, file)) continue;
+    for (const FieldInfo& field : candidate.fields) {
+      if (field.guarded && !field.guard.empty()) {
+        out.emplace(field.name, GuardedField{last_identifier(field.guard), candidate.name});
+      }
+    }
+  }
+  return out;
+}
+
+/// The flow-sensitive lock-region pass and the determinism-taint pass, run
+/// together over the indexed function bodies (src/ only).  `allows_by_file`
+/// is shared with the other passes so stale-allow accounting sees every rule.
+RepoAnalysis analyze_repo(const std::vector<SourceFile>& files,
+                          const std::vector<ClassInfo>& classes,
+                          const std::vector<FunctionInfo>& funcs,
+                          std::map<std::string, FileAllows>& allows_by_file) {
+  RepoAnalysis result;
+  const IncludeClosure closure = include_closure(files);
+  const FunctionGroups groups = group_functions(funcs);
+
+  // name -> indices, for call resolution.
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (std::size_t i = 0; i < funcs.size(); ++i) by_name[funcs[i].name].push_back(i);
+
+  // A candidate is visible from `file` if any decl/def of its (class, name)
+  // group lives in `file`'s include closure: a .cc's definition is reachable
+  // through the header that declares it.
+  const auto group_visible = [&](std::size_t candidate, const std::string& file) {
+    const auto it = groups.find({funcs[candidate].class_name, funcs[candidate].name});
+    if (it == groups.end()) return false;
+    for (const std::size_t member : it->second) {
+      if (funcs[member].file == file || closure_contains(closure, file, funcs[member].file)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Resolves a call-site token to candidate function indices.
+  const auto resolve_call = [&](const std::string& name, CallForm form,
+                                const std::string& qualifier, const FunctionInfo& caller,
+                                const std::set<std::string>& caller_family) {
+    std::vector<std::size_t> out;
+    if (keyword_token(name) || starts_with(name, "SHMCAFFE_")) return out;
+    if (form == CallForm::kQualified && qualifier == "std") return out;
+    if (form == CallForm::kMember && generic_method_name(name)) return out;
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) return out;
+    for (const std::size_t idx : it->second) {
+      const FunctionInfo& callee = funcs[idx];
+      if (form == CallForm::kMember && callee.class_name.empty()) continue;
+      if (form == CallForm::kPlain && !callee.class_name.empty() &&
+          caller_family.count(callee.class_name) == 0) {
+        continue;
+      }
+      if (form == CallForm::kQualified && !qualifier.empty() &&
+          !callee.class_name.empty() && class_tail(callee.class_name) != qualifier &&
+          callee.class_name != qualifier) {
+        continue;
+      }
+      if (!group_visible(idx, caller.file)) continue;
+      out.push_back(idx);
+    }
+    return out;
+  };
+
+  const auto allows_of = [&](const std::string& file) -> FileAllows& {
+    return allows_by_file[file];
+  };
+
+  // ---- lock-region pass ----------------------------------------------------
+  static const std::regex kAssertHeld(R"(\bSHMCAFFE_ASSERT_HELD\s*\(([^)]*)\))");
+  static const std::regex kVarLockOp(R"(\b([A-Za-z_]\w*)\s*\.\s*(unlock|lock)\s*\(\s*\))");
+
+  for (const FunctionInfo& func : funcs) {
+    if (!func.has_body || !starts_with(func.file, "src/")) continue;
+    const std::map<std::string, GuardedField> fields =
+        family_guarded_fields(classes, func.class_name, func.file, closure);
+
+    std::set<std::string> caller_family;
+    if (!func.class_name.empty()) {
+      caller_family.insert(func.class_name);
+      const ClassInfo* cls = find_class(classes, func.class_name, func.file, closure);
+      while (cls != nullptr && !cls->enclosing.empty()) {
+        caller_family.insert(cls->enclosing);
+        cls = find_class(classes, cls->enclosing, func.file, closure);
+      }
+    }
+
+    // `_locked` contract: no annotation and no unique mutex to infer it from.
+    // The contract only binds classes that own several ordered mutexes: with
+    // zero the name is vocabulary, not a lock protocol (sim coroutine mutexes
+    // etc.), and with exactly one the requirement was inferred.
+    if (ends_with(func.name, "_locked") && func.requires_locks.empty()) {
+      int class_mutexes = 0;
+      if (const ClassInfo* cls =
+              find_class(classes, func.class_name, func.file, closure)) {
+        for (const FieldInfo& field : cls->fields) {
+          if (field.is_mutex) ++class_mutexes;
+        }
+      }
+      if (class_mutexes >= 2 &&
+          !allowed(allows_of(func.file), func.line, "lock-region")) {
+        result.findings.push_back(Finding{
+            func.file, func.line, "lock-region",
+            "'" + func.name + "' follows the _locked() naming contract but has no "
+            "SHMCAFFE_REQUIRES(mu) and its class does not own exactly one ordered "
+            "mutex to infer it from; annotate the required mutex"});
+      }
+    }
+
+    // Held state is a stack of frames of signed entries ("+mu" held, "-mu"
+    // released), resolved innermost-last-entry first.  An unlock records a
+    // frame-local override, so `if (...) { lock.unlock(); return; }` does not
+    // poison the statements after the branch.
+    struct Frame {
+      std::vector<std::pair<std::string, bool>> held;  ///< (mutex, is_held)
+      std::map<std::string, std::vector<std::string>> lock_vars;
+    };
+    std::vector<Frame> stack(1);
+    for (const std::string& req : func.requires_locks) {
+      stack[0].held.emplace_back(last_identifier(req), true);
+    }
+    const auto holds = [&](const std::string& mutex) {
+      for (auto frame = stack.rbegin(); frame != stack.rend(); ++frame) {
+        for (auto entry = frame->held.rbegin(); entry != frame->held.rend(); ++entry) {
+          if (entry->first == mutex) return entry->second;
+        }
+      }
+      return false;
+    };
+
+    std::set<std::pair<int, std::string>> reported;  // (line, token) dedupe
+    for (const BodyStatement& stmt : body_statements(func.body, func.body_line)) {
+      if (stmt.term == '{') stack.emplace_back();
+      Frame& frame = stack.back();
+      // Lock events first: an if-init guard covers the condition's accesses.
+      for (const LockEvent& event : lock_events(stmt.text)) {
+        frame.lock_vars[event.var] = event.mutexes;
+        if (event.held) {
+          for (const std::string& mutex : event.mutexes) {
+            frame.held.emplace_back(mutex, true);
+          }
+        }
+      }
+      for (auto it = std::sregex_iterator(stmt.text.begin(), stmt.text.end(), kAssertHeld);
+           it != std::sregex_iterator(); ++it) {
+        const std::string mutex = last_identifier((*it)[1].str());
+        if (!mutex.empty()) frame.held.emplace_back(mutex, true);
+      }
+      for (auto it = std::sregex_iterator(stmt.text.begin(), stmt.text.end(), kVarLockOp);
+           it != std::sregex_iterator(); ++it) {
+        const std::string var = (*it)[1].str();
+        const bool is_lock = (*it)[2].str() == "lock";
+        // The override lands in the *current* frame regardless of where the
+        // guard variable was declared: leaving the branch discards it.
+        for (const Frame& scope : stack) {
+          const auto lock_var = scope.lock_vars.find(var);
+          if (lock_var == scope.lock_vars.end()) continue;
+          for (const std::string& mutex : lock_var->second) {
+            frame.held.emplace_back(mutex, is_lock);
+          }
+        }
+      }
+
+      for (const Token& token : tokens_with_pos(stmt.text)) {
+        std::string qualifier;
+        const CallForm form = call_form(stmt.text, token.pos, qualifier);
+        std::size_t after = token.pos + token.text.size();
+        while (after < stmt.text.size() &&
+               std::isspace(static_cast<unsigned char>(stmt.text[after])) != 0) {
+          ++after;
+        }
+        const bool is_call = after < stmt.text.size() && stmt.text[after] == '(';
+
+        const auto field = fields.find(token.text);
+        if (field != fields.end() && form != CallForm::kQualified) {
+          // A guarded-field access (reads, writes, and std::function fields
+          // invoked as calls all count).
+          ++result.access[field->second.owner].accesses;
+          if (!holds(field->second.guard)) {
+            if (allowed(allows_of(func.file), stmt.line, "lock-region")) continue;
+            if (reported.emplace(stmt.line, token.text).second) {
+              result.findings.push_back(Finding{
+                  func.file, stmt.line, "lock-region",
+                  "field '" + token.text + "' (SHMCAFFE_GUARDED_BY " +
+                      field->second.guard + ") accessed in '" + func.name +
+                      "' without holding '" + field->second.guard + "'"});
+              ++result.access[field->second.owner].unguarded;
+            }
+          }
+          continue;
+        }
+        if (!is_call) continue;
+        for (const std::size_t idx :
+             resolve_call(token.text, form, qualifier, func, caller_family)) {
+          const FunctionInfo& callee = funcs[idx];
+          for (const std::string& req : callee.requires_locks) {
+            const std::string mutex = last_identifier(req);
+            if (mutex.empty() || holds(mutex)) continue;
+            if (allowed(allows_of(func.file), stmt.line, "lock-region")) continue;
+            if (reported.emplace(stmt.line, token.text + "/" + mutex).second) {
+              result.findings.push_back(Finding{
+                  func.file, stmt.line, "lock-region",
+                  "call to '" + callee.name + "' which SHMCAFFE_REQUIRES(" + req +
+                      ") while not holding '" + mutex + "'"});
+            }
+          }
+        }
+      }
+      if (stmt.term == '}' && stack.size() > 1) stack.pop_back();
+    }
+  }
+
+  // ---- determinism-taint pass ----------------------------------------------
+  static const std::regex kDetClock(
+      R"(\b(system_clock|steady_clock|high_resolution_clock)\b|::now\s*\(|\bgettimeofday\b|\blocaltime\b|\bgmtime\b|\btime\s*\(|\bclock\s*\(\s*\))");
+  static const std::regex kDetRng(
+      R"(\b(rand|srand)\s*\(|\brandom_device\b|\bmt19937(_64)?\b|\bdefault_random_engine\b|\bgetenv\b|\bhardware_concurrency\b)");
+  static const std::regex kDetAddr(
+      R"(reinterpret_cast\s*<[^>]*intptr_t\s*>|\bhash\s*<[^<>]*\*\s*>|\bunordered_(?:map|set)\s*<[^,<>]*\*)");
+  static const std::regex kBeginEnd(
+      R"(\b([A-Za-z_]\w*)\s*(?:\.|->)\s*c?r?(?:begin|end)\s*\()");
+  static const std::regex kRangeFor(R"(\bfor\s*\()");
+
+  std::set<std::pair<std::string, std::string>> root_keys;
+  for (const FunctionInfo& func : funcs) {
+    if (func.deterministic && starts_with(func.file, "src/")) {
+      root_keys.insert({func.class_name, func.name});
+    }
+  }
+  result.deterministic_roots = static_cast<int>(root_keys.size());
+
+  std::set<std::size_t> visited;
+  std::vector<std::pair<std::size_t, std::string>> todo;  // (def index, root label)
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    if (!funcs[i].has_body || !funcs[i].deterministic) continue;
+    if (!starts_with(funcs[i].file, "src/")) continue;
+    if (visited.insert(i).second) todo.push_back({i, funcs[i].name});
+  }
+  while (!todo.empty()) {
+    const auto [index, root] = todo.back();
+    todo.pop_back();
+    const FunctionInfo& func = funcs[index];
+
+    std::set<std::string> unordered;
+    collect_unordered_idents(func.head, unordered);
+    collect_unordered_idents(func.body, unordered);
+    std::set<std::string> caller_family;
+    if (!func.class_name.empty()) {
+      caller_family.insert(func.class_name);
+      const ClassInfo* cls = find_class(classes, func.class_name, func.file, closure);
+      for (const ClassInfo& candidate : classes) {
+        if (caller_family.count(candidate.name) == 0 &&
+            !starts_with(candidate.name, func.class_name + "::")) {
+          continue;
+        }
+        for (const FieldInfo& field : candidate.fields) {
+          if (field.type.find("unordered_") != std::string::npos) unordered.insert(field.name);
+        }
+      }
+      while (cls != nullptr && !cls->enclosing.empty()) {
+        caller_family.insert(cls->enclosing);
+        cls = find_class(classes, cls->enclosing, func.file, closure);
+      }
+    }
+
+    const std::string suffix = root == func.name
+                                   ? "' (a SHMCAFFE_DETERMINISTIC root)"
+                                   : "', reachable from SHMCAFFE_DETERMINISTIC root '" +
+                                         root + "'";
+    const auto taint = [&](int line, const std::string& what) {
+      if (allowed(allows_of(func.file), line, "determinism")) return;
+      result.findings.push_back(Finding{func.file, line, "determinism",
+                                        what + " in '" + func.name + suffix});
+      ++result.tainted;
+    };
+
+    for (const BodyStatement& stmt : body_statements(func.body, func.body_line)) {
+      if (std::regex_search(stmt.text, kDetClock)) {
+        taint(stmt.line, "wall-clock read");
+      }
+      if (std::regex_search(stmt.text, kDetRng)) {
+        taint(stmt.line, "non-seeded RNG / environment read");
+      }
+      if (std::regex_search(stmt.text, kDetAddr)) {
+        taint(stmt.line, "address-dependent ordering");
+      }
+      std::smatch for_match;
+      if (std::regex_search(stmt.text, for_match, kRangeFor)) {
+        // `for (decl : range)` — the range is the tail after the last
+        // non-scope ':' inside the for-head's parentheses.  A brace-less
+        // loop body can trail the head in the same statement, so bound the
+        // search at the matching close paren rather than the statement end.
+        const std::size_t open =
+            static_cast<std::size_t>(for_match.position(0)) + for_match.length(0) - 1;
+        std::size_t close = open;
+        int depth = 0;
+        for (std::size_t i = open; i < stmt.text.size(); ++i) {
+          if (stmt.text[i] == '(') ++depth;
+          if (stmt.text[i] == ')' && --depth == 0) {
+            close = i;
+            break;
+          }
+        }
+        std::size_t colon = std::string::npos;
+        for (std::size_t i = open; i < close; ++i) {
+          if (stmt.text[i] != ':') continue;
+          if (i > 0 && stmt.text[i - 1] == ':') continue;
+          if (i + 1 < stmt.text.size() && stmt.text[i + 1] == ':') {
+            ++i;
+            continue;
+          }
+          colon = i;
+        }
+        if (colon != std::string::npos && close > colon) {
+          const std::string range = last_identifier(stmt.text.substr(colon + 1, close - colon - 1));
+          if (unordered.count(range) != 0) {
+            taint(stmt.line, "iteration over unordered container '" + range + "'");
+          }
+        }
+      }
+      for (auto it = std::sregex_iterator(stmt.text.begin(), stmt.text.end(), kBeginEnd);
+           it != std::sregex_iterator(); ++it) {
+        if (unordered.count((*it)[1].str()) != 0) {
+          taint(stmt.line, "iteration over unordered container '" + (*it)[1].str() + "'");
+        }
+      }
+
+      for (const Token& token : tokens_with_pos(stmt.text)) {
+        std::size_t after = token.pos + token.text.size();
+        while (after < stmt.text.size() &&
+               std::isspace(static_cast<unsigned char>(stmt.text[after])) != 0) {
+          ++after;
+        }
+        if (after >= stmt.text.size() || stmt.text[after] != '(') continue;
+        std::string qualifier;
+        const CallForm form = call_form(stmt.text, token.pos, qualifier);
+        for (const std::size_t idx :
+             resolve_call(token.text, form, qualifier, func, caller_family)) {
+          if (!funcs[idx].has_body) continue;
+          if (visited.insert(idx).second) todo.push_back({idx, root});
+        }
+      }
+    }
+  }
+
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.file != b.file ? a.file < b.file : a.line < b.line;
+                   });
+  return result;
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "rng-source",       "wall-clock",  "sim-wall-clock",  "raii-lock",
       "sim-ptr-container", "pragma-once", "include-hygiene", "no-naked-epoch",
-      "no-raw-thread",     "guarded-by",  "include-layering"};
+      "no-raw-thread",     "guarded-by",  "include-layering", "lock-region",
+      "determinism",       "stale-allow"};
   return ids;
 }
 
@@ -808,9 +1761,26 @@ std::vector<ClassInfo> index_classes(const std::vector<SourceFile>& files) {
   return index;
 }
 
-std::vector<Finding> lint_source(std::string_view path, std::string_view contents) {
+std::vector<FunctionInfo> index_functions(const std::vector<SourceFile>& files) {
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionInfo> funcs;
+  for (const SourceFile& file : files) {
+    ClassIndexer indexer(indexable_text(file.contents), file.path, &classes, &funcs);
+    indexer.run();
+  }
+  const IncludeClosure closure = include_closure(files);
+  merge_function_annotations(funcs, closure);
+  infer_locked_requirements(funcs, classes, closure);
+  return funcs;
+}
+
+namespace {
+
+/// lint_source body, over a caller-owned allow list so lint_repo can account
+/// for suppression usage (the stale-allow rule) across every pass.
+std::vector<Finding> lint_source_impl(std::string_view path, std::string_view contents,
+                                      FileAllows& allows) {
   std::vector<Finding> findings;
-  const std::vector<std::vector<std::string>> allows = collect_allows(contents);
   const std::vector<std::string> lines = scrub_source(contents);
   const std::vector<std::string> raw_lines = split_lines(contents);
   const bool sim = is_sim_path(path);
@@ -963,17 +1933,50 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
   return findings;
 }
 
+}  // namespace
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view contents) {
+  FileAllows allows = collect_allows(contents);
+  return lint_source_impl(path, contents, allows);
+}
+
 std::vector<Finding> lint_repo(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
+  // One allow list per file, shared by every pass, so a suppression that
+  // catches a finding in *any* pass counts as used for stale-allow.
+  std::map<std::string, FileAllows> allows_by_file;
   for (const SourceFile& file : files) {
-    std::vector<Finding> file_findings = lint_source(file.path, file.contents);
+    allows_by_file[file.path] = collect_allows(file.contents);
+  }
+  for (const SourceFile& file : files) {
+    std::vector<Finding> file_findings =
+        lint_source_impl(file.path, file.contents, allows_by_file[file.path]);
     findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
   const std::vector<ClassInfo> index = index_classes(files);
-  std::vector<Finding> guarded = guarded_by_findings(files, index);
+  const std::vector<FunctionInfo> funcs = index_functions(files);
+  std::vector<Finding> guarded = guarded_by_findings(index, allows_by_file);
   findings.insert(findings.end(), std::make_move_iterator(guarded.begin()),
                   std::make_move_iterator(guarded.end()));
+  RepoAnalysis analysis = analyze_repo(files, index, funcs, allows_by_file);
+  findings.insert(findings.end(), std::make_move_iterator(analysis.findings.begin()),
+                  std::make_move_iterator(analysis.findings.end()));
+  // stale-allow: every annotation that suppressed nothing above.  A stale
+  // annotation can itself be silenced with lint:allow(stale-allow) on its
+  // line (for fixture files that exist to exercise the annotations).
+  for (auto& [path, allows] : allows_by_file) {
+    for (std::size_t i = 0; i < allows.size(); ++i) {
+      if (allows[i].used || allows[i].rule == "stale-allow") continue;
+      const int anno_line = allows[i].anno_line;
+      const std::string rule = allows[i].rule;
+      if (allowed(allows, anno_line, "stale-allow")) continue;
+      findings.push_back(Finding{
+          path, anno_line, "stale-allow",
+          "lint:allow(" + rule + ") suppresses no finding; remove the stale "
+          "annotation (or fix the rule id)"});
+    }
+  }
   std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     return a.file != b.file ? a.file < b.file : a.line < b.line;
   });
@@ -989,9 +1992,18 @@ std::string coverage_json(const std::vector<SourceFile>& files) {
     int guarded = 0;
     int unguarded = 0;
     int unannotated = 0;
+    int accesses = 0;
+    int unguarded_access = 0;
   };
+  const std::vector<ClassInfo> classes = index_classes(files);
+  const std::vector<FunctionInfo> funcs = index_functions(files);
+  std::map<std::string, FileAllows> allows_by_file;
+  for (const SourceFile& file : files) {
+    allows_by_file[file.path] = collect_allows(file.contents);
+  }
+  const RepoAnalysis analysis = analyze_repo(files, classes, funcs, allows_by_file);
   std::vector<Row> rows;
-  for (const ClassInfo& cls : index_classes(files)) {
+  for (const ClassInfo& cls : classes) {
     if (!cls.owns_ordered_mutex || !starts_with(cls.file, "src/")) continue;
     Row row;
     row.name = cls.name;
@@ -1011,6 +2023,11 @@ std::string coverage_json(const std::vector<SourceFile>& files) {
         ++row.unannotated;
       }
     }
+    const auto access = analysis.access.find(cls.name);
+    if (access != analysis.access.end()) {
+      row.accesses = access->second.accesses;
+      row.unguarded_access = access->second.unguarded;
+    }
     rows.push_back(std::move(row));
   }
   std::sort(rows.begin(), rows.end(),
@@ -1023,21 +2040,36 @@ std::string coverage_json(const std::vector<SourceFile>& files) {
     total.unguarded += row.unguarded;
     total.unannotated += row.unannotated;
   }
+  // Summary access counters come from the analysis directly so accesses in
+  // guarded classes without a mutex of their own (fields guarded by an
+  // enclosing class's mutex) are not dropped.
+  for (const auto& [owner, stats] : analysis.access) {
+    total.accesses += stats.accesses;
+    total.unguarded_access += stats.unguarded;
+  }
   std::ostringstream out;
+  // Field order matters to tools/check.sh: its sed extracts key off
+  // `"unguarded": ` and `"unguarded_access": ` — the new counters sit after
+  // "unannotated" so the original extract cannot mis-bind.
   out << "{\n  \"classes\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     out << "    {\"class\": \"" << row.name << "\", \"file\": \"" << row.file
         << "\", \"mutexes\": " << row.mutexes << ", \"fields\": " << row.fields
         << ", \"guarded\": " << row.guarded << ", \"unguarded\": " << row.unguarded
-        << ", \"unannotated\": " << row.unannotated << "}"
+        << ", \"unannotated\": " << row.unannotated
+        << ", \"accesses\": " << row.accesses
+        << ", \"unguarded_access\": " << row.unguarded_access << "}"
         << (i + 1 < rows.size() ? "," : "") << '\n';
   }
   out << "  ],\n";
   out << "  \"summary\": {\"classes\": " << rows.size() << ", \"mutexes\": " << total.mutexes
       << ", \"fields\": " << total.fields << ", \"guarded\": " << total.guarded
       << ", \"unguarded\": " << total.unguarded << ", \"unannotated\": " << total.unannotated
-      << "}\n}\n";
+      << ", \"accesses\": " << total.accesses
+      << ", \"unguarded_access\": " << total.unguarded_access
+      << ", \"deterministic_roots\": " << analysis.deterministic_roots
+      << ", \"tainted\": " << analysis.tainted << "}\n}\n";
   return out.str();
 }
 

@@ -63,6 +63,29 @@
 //                     (the directory DAG in tools/lint/lint.cc, documented
 //                     in DESIGN.md): upward or cyclic includes between
 //                     layers.  Same-directory includes are always allowed.
+//   lock-region       flow-sensitive lock-coverage over function bodies in
+//                     src/: a read/write of a SHMCAFFE_GUARDED_BY(mu) field
+//                     outside a lexical scope holding `mu` (via scoped_lock /
+//                     lock_guard / unique_lock / shared_lock over the named
+//                     mutex, SHMCAFFE_ASSERT_HELD(mu), or the function's own
+//                     SHMCAFFE_REQUIRES(mu)); a call to a function that
+//                     SHMCAFFE_REQUIRES a mutex (or is `_locked`-suffixed
+//                     with an inferable sole mutex) from a caller that does
+//                     not hold it; and a `_locked` function whose class owns
+//                     several mutexes but carries no SHMCAFFE_REQUIRES.
+//                     Mutexes are matched by the last identifier of the lock
+//                     expression (object-insensitive by design: `a.mu` and
+//                     `b.mu` are the same region).
+//   determinism       nondeterminism reachable from a SHMCAFFE_DETERMINISTIC
+//                     root through the pass-1 call index: unordered-container
+//                     iteration, wall-clock reads, non-seeded RNG or
+//                     environment reads, and address-dependent ordering
+//                     (pointer hashing / pointer-keyed containers) anywhere
+//                     in the taint set.
+//   stale-allow       a `lint:allow` / `lint:allow-next-line` annotation that
+//                     suppressed no finding in the whole-repo run: the escape
+//                     hatch is stale (or the rule id is misspelled) and must
+//                     be removed.  Only reported by lint_repo().
 //
 // A finding on a line carrying `// lint:allow(<rule>)` is suppressed; a
 // comma-separated list (`lint:allow(rule-a,rule-b)`) suppresses several
@@ -96,6 +119,7 @@ struct SourceFile {
 /// One data member discovered by the declaration index.
 struct FieldInfo {
   std::string name;
+  std::string type;      ///< declared type text (annotations stripped)
   int line = 0;          ///< declaration start line, 1-based
   bool is_mutex = false; ///< OrderedMutex / OrderedSharedMutex member
   bool exempt = false;   ///< not subject to guarded-by (atomic, const, cv, ...)
@@ -116,6 +140,24 @@ struct ClassInfo {
   std::vector<FieldInfo> fields;
 };
 
+/// One function discovered by the declaration index: a declaration (no body)
+/// or a definition (body captured for the flow-sensitive passes).  `name` is
+/// unqualified; `class_name` is the nesting-qualified class ("" for free
+/// functions), taken from the lexical scope or the `Foo::bar` definition
+/// qualifier.  Constructors, destructors and operators are not indexed.
+struct FunctionInfo {
+  std::string name;
+  std::string class_name;
+  std::string file;
+  int line = 0;           ///< head start line, 1-based
+  std::string head;       ///< scrubbed head text, annotations stripped
+  bool has_body = false;
+  std::string body;       ///< scrubbed body text, newlines preserved
+  int body_line = 0;      ///< 1-based line of the first body character
+  std::vector<std::string> requires_locks;  ///< SHMCAFFE_REQUIRES expressions
+  bool deterministic = false;               ///< carries SHMCAFFE_DETERMINISTIC
+};
+
 /// All rule ids, in reporting order (for docs and tests).
 [[nodiscard]] const std::vector<std::string>& rule_ids();
 
@@ -134,6 +176,13 @@ struct ClassInfo {
 /// Pass 1: the declaration index over the given sources.
 [[nodiscard]] std::vector<ClassInfo> index_classes(const std::vector<SourceFile>& files);
 
+/// Pass 1 (function half): the function/call index the lock-region and
+/// determinism passes walk.  Annotations are merged between declarations and
+/// definitions of the same (class, name) when their files are related by the
+/// #include closure; `_locked` functions of single-mutex classes get their
+/// requirement inferred.
+[[nodiscard]] std::vector<FunctionInfo> index_functions(const std::vector<SourceFile>& files);
+
 /// Runs the per-line rules (including include-layering) against one
 /// in-memory source file.  The index-driven guarded-by rule needs the whole
 /// repo and only runs under lint_repo().
@@ -145,9 +194,12 @@ struct ClassInfo {
 [[nodiscard]] std::vector<Finding> lint_repo(const std::vector<SourceFile>& files);
 
 /// The guarded-by lock-coverage report: one entry per src/ class owning an
-/// ordered mutex, with guarded/unguarded/unannotated field counts, plus a
-/// summary.  tools/check.sh snapshots this as LINT_coverage.json and fails
-/// on regressions.
+/// ordered mutex, with guarded/unguarded/unannotated field counts plus the
+/// lock-region access counters (`accesses`: guarded-field access sites the
+/// flow pass checked; `unguarded_access`: sites it found outside the lock,
+/// net of justified suppressions), and a summary that also carries the
+/// determinism counters (`deterministic_roots`, `tainted`).  tools/check.sh
+/// snapshots this as LINT_coverage.json and fails on regressions.
 [[nodiscard]] std::string coverage_json(const std::vector<SourceFile>& files);
 
 /// The declared src/ directory DAG of the include-layering rule: the

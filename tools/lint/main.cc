@@ -2,8 +2,11 @@
 // root, lints every .h/.cc, and prints findings (`path:line: rule: message`,
 // or JSON with --json).  Exit status 0 iff the tree is clean — which is what
 // the `lint.repo` ctest asserts.  --coverage prints the guarded-by
-// lock-coverage report instead (always exit 0); tools/check.sh snapshots it
-// as LINT_coverage.json and fails on regressions.
+// lock-coverage report instead (always exit 0): one row per mutex-owning
+// class with annotation counts plus the flow-sensitive access columns
+// (`accesses` / `unguarded_access` from the lock-region pass) and a summary
+// carrying the determinism counters (`deterministic_roots` / `tainted`);
+// tools/check.sh snapshots it as LINT_coverage.json and fails on regressions.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
