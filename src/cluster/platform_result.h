@@ -53,6 +53,21 @@ struct PlatformTiming {
   /// Fingerprint of the membership transitions actually executed (see
   /// elastic::membership_fingerprint); comparable with TrainResult's.
   std::uint64_t membership_fingerprint = 0;
+  /// Data integrity: distinct corruption markers the model expects checksum
+  /// verification to catch, replica copies the read-repair vote rewrites,
+  /// and scrub passes the run performs; comparable with TrainResult's.
+  std::int64_t corruptions_detected = 0;
+  std::int64_t integrity_repairs = 0;
+  std::int64_t scrub_passes = 0;
+  /// Mean injection-to-detection latency (next sharing block, or the final
+  /// scrub for corruptions landing after the last exchange).
+  SimTime detection_latency = 0;
+  /// Total modelled repair cost charged into the makespan
+  /// (IntegrityPolicy::sim_repair_seconds per rewritten copy).
+  SimTime repair_time = 0;
+  /// Fingerprint of the integrity events actually executed (see
+  /// recovery::integrity_fingerprint); comparable with TrainResult's.
+  std::uint64_t integrity_fingerprint = 0;
 };
 
 }  // namespace shmcaffe::cluster

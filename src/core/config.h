@@ -10,6 +10,7 @@
 #include "dl/solver.h"
 #include "elastic/membership.h"
 #include "recovery/checkpoint.h"
+#include "recovery/integrity.h"
 #include "recovery/schedule.h"
 
 namespace shmcaffe::fault {
@@ -79,6 +80,9 @@ struct DistTrainOptions {
   /// Crash-consistent checkpointing + resume; disabled unless a directory
   /// is set.
   recovery::CheckpointConfig checkpoint;
+  /// Data-integrity policy: segment checksums, verification, read-repair,
+  /// scrubbing.  Defaults keep the checksum-free pre-integrity behaviour.
+  recovery::IntegrityPolicy integrity;
 
   /// Optional elastic-membership plan (cold joins and voluntary drains at
   /// planned iterations); not owned, must outlive the run.  nullptr = the
@@ -168,6 +172,17 @@ struct TrainResult {
   /// simulated stacks.  0 when the run is neither elastic nor
   /// straggler-aware.
   std::uint64_t membership_fingerprint = 0;
+  /// Data integrity: distinct corruption markers caught by checksum
+  /// verification, replica copies rewritten by read-repair, scrub passes
+  /// completed, and checkpoint rollbacks forced by unrepairable segments.
+  std::int64_t corruptions_detected = 0;
+  std::int64_t integrity_repairs = 0;
+  std::int64_t scrub_passes = 0;
+  std::int64_t integrity_rollbacks = 0;
+  /// Fingerprint of the integrity events actually executed (see
+  /// recovery::integrity_fingerprint); comparable across the functional and
+  /// simulated stacks.  0 when the run has no fault plan or no integrity.
+  std::uint64_t integrity_fingerprint = 0;
   double wall_seconds = 0.0;
 };
 

@@ -15,6 +15,7 @@
 #include "recovery/schedule.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
+#include "smb/server.h"
 #include "smb/sim_smb.h"
 
 namespace shmcaffe::core {
@@ -587,6 +588,94 @@ cluster::PlatformTiming simulate_shmcaffe(const SimShmCaffeOptions& options) {
       }
     }
     result.recovery_fingerprint = recovery::schedule_fingerprint(executed);
+  }
+
+  // Integrity model: derive the executed outcome from the plan, the policy,
+  // and the run's own timing, then fingerprint it exactly the way the
+  // functional trainer does (the planned schedule filtered by the observed
+  // marker sets), so equal fingerprints mean both stacks agreed on which
+  // corruptions fired, were detected, and were repaired.
+  if (options.faults != nullptr) {
+    const int replicas = options.smb_replicas;
+    const int physical = nservers * replicas;
+    // Death time of each physical replica: an injection aimed at a dead
+    // server raises SmbUnavailable on the functional stack and never lands.
+    std::vector<SimTime> dead_at(static_cast<std::size_t>(physical),
+                                 std::numeric_limits<SimTime>::max());
+    for (int n = 0; n < physical; ++n) {
+      for (const fault::FaultEvent& ev : options.faults->server_fail_stops(n)) {
+        dead_at[static_cast<std::size_t>(n)] =
+            std::min(dead_at[static_cast<std::size_t>(n)],
+                     units::from_seconds(ev.start_seconds));
+      }
+    }
+    // Conservative per-replica float-write count: the master's initial W_g
+    // shard write plus one delta write per sharing exchange per group
+    // (ReplicatedSmb fans every write to every replica of the shard).  The
+    // torn-write ordinal estimate is deliberately coarse — cross-stack
+    // fingerprint tests use corruption-only plans (see recovery/integrity.h).
+    std::int64_t writes_est = 1;
+    if (capacity > 1) {
+      for (const GroupStats& s : stats) {
+        if (s.completed > 0) {
+          writes_est += (s.completed + options.update_interval - 1) / options.update_interval;
+        }
+      }
+    }
+    const bool detectable = options.integrity.verify_on_read;
+    const bool repairable = detectable && options.integrity.read_repair && replicas >= 2;
+    // Detection happens at the next sharing block touching the poisoned
+    // shard (every live exchange reads all of W_g), or at the final scrub
+    // for corruptions landing after the last exchange.
+    const SimTime sharing_interval =
+        result.mean_iteration() * std::max(1, options.update_interval);
+    recovery::IntegrityOutcome outcome;
+    SimTime latency_sum = 0;
+    std::int64_t detections = 0;
+    for (int n = 0; n < physical; ++n) {
+      for (const fault::FaultEvent& ev : options.faults->segment_corruptions(n)) {
+        const SimTime at = units::from_seconds(ev.start_seconds);
+        if (at > result.makespan) continue;                         // run already over
+        if (at >= dead_at[static_cast<std::size_t>(n)]) continue;   // replica dead
+        outcome.injected.push_back(ev.sequence);
+        if (!detectable) continue;
+        outcome.detected.push_back(ev.sequence);
+        latency_sum += std::min(sharing_interval, result.makespan - at);
+        detections += 1;
+        if (repairable) outcome.repaired.push_back(ev.sequence);
+      }
+      for (const fault::FaultEvent& ev : options.faults->torn_writes(n)) {
+        if (ev.sequence < 1 || static_cast<std::int64_t>(ev.sequence) > writes_est) continue;
+        const std::uint64_t marker = smb::SmbServer::kTornWriteMarkerBit | ev.sequence;
+        outcome.torn_applied.push_back(marker);
+        if (!detectable) continue;
+        outcome.detected.push_back(marker);
+        latency_sum += sharing_interval;
+        detections += 1;
+        if (repairable) outcome.repaired.push_back(marker);
+      }
+    }
+    result.corruptions_detected = static_cast<std::int64_t>(outcome.detected.size());
+    result.integrity_repairs = static_cast<std::int64_t>(outcome.repaired.size());
+    if (detections > 0) result.detection_latency = latency_sum / detections;
+    // Each rewritten copy stalls the detecting reader for the modelled
+    // repair cost; the charge lands on the critical path (comm side).
+    result.repair_time = static_cast<SimTime>(result.integrity_repairs) *
+                         units::from_seconds(options.integrity.sim_repair_seconds);
+    result.makespan += result.repair_time;
+    const std::int64_t denom_iters = std::max<std::int64_t>(1, completed_member_iters);
+    result.mean_comm += result.repair_time / denom_iters;
+    const std::vector<recovery::IntegrityEvent> planned_integrity =
+        recovery::integrity_schedule(options.faults->plan(), options.integrity);
+    result.integrity_fingerprint = recovery::integrity_fingerprint(
+        recovery::executed_integrity(planned_integrity, outcome));
+  }
+  // The final scrub the functional trainer runs after training (one pass per
+  // shard ensemble) — the walk exists only when there is a replica to vote
+  // against.
+  if (options.integrity.enabled() && options.integrity.scrub_on_checkpoint &&
+      options.smb_replicas >= 2) {
+    result.scrub_passes = nservers;
   }
 
   // Fingerprint the executed membership transitions the same way the

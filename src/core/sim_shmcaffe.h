@@ -20,6 +20,7 @@
 #include "cluster/model_profiles.h"
 #include "cluster/platform_result.h"
 #include "elastic/membership.h"
+#include "recovery/integrity.h"
 #include "recovery/schedule.h"
 
 namespace shmcaffe::fault {
@@ -46,6 +47,11 @@ struct SimShmCaffeOptions {
   /// the functional trainer takes, so both stacks derive the identical
   /// recovery schedule from one FaultPlan.
   recovery::RecoveryPolicy recovery;
+  /// Data-integrity policy (checksums, verification, read-repair, scrub).
+  /// The same policy the functional trainer takes, so both stacks derive
+  /// the identical integrity schedule from one FaultPlan.  Read-repair
+  /// needs smb_replicas >= 2 (a lone copy has no peer to vote against).
+  recovery::IntegrityPolicy integrity;
   std::int64_t iterations = 200; ///< per group (measurement window)
   /// Fig. 6's design: the weight-increment write and global accumulate run
   /// on a separate update thread, hidden behind computation.  false = the

@@ -22,6 +22,7 @@
 #include "fault/injector.h"
 #include "minimpi/minimpi.h"
 #include "recovery/checkpoint.h"
+#include "recovery/integrity.h"
 #include "recovery/replicated_smb.h"
 #include "recovery/schedule.h"
 #include "smb/client.h"
@@ -67,6 +68,11 @@ struct WorkerShared {
   const recovery::CheckpointStore* checkpoint_store = nullptr;
   std::atomic<std::int64_t> checkpoints_taken{0};
   std::atomic<std::uint64_t> checkpoint_sequence{0};
+  // --- data integrity ----------------------------------------------------
+  /// Per-shard replica ensembles, for checkpoint-window scrubbing (empty
+  /// when smb_replicas == 1 — scrubbing needs a peer to vote against).
+  std::vector<recovery::ReplicatedSmb*> ensembles;
+  std::atomic<std::int64_t> integrity_rollbacks{0};
 };
 
 /// Adds the elapsed seconds since `from` to `sink` and resets `from`.
@@ -207,7 +213,16 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
   // by the elastic difference).
   std::vector<float> local(param_count);
   std::vector<float> global_copy(param_count);
-  global.read(local, home_shard());
+  try {
+    global.read(local, home_shard());
+  } catch (const smb::SmbCorruption&) {
+    // W_g is corrupt before this life's first read and nothing below us
+    // could repair it.  Adopt freshly initialised parameters instead; the
+    // first exchange surfaces the corruption again and rolls back properly.
+    common::Rng init_rng(options.seed);
+    net.init_params(init_rng);
+    dl::copy_params_to(net, local);
+  }
   dl::copy_params_from(net, local);
   if (resume != nullptr && worker == 0) {
     dl::copy_params_from(net, resume->owner_params);
@@ -253,6 +268,13 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
           exchange.stopping = true;
           exchange.cv.notify_all();
           return;
+        } catch (const smb::SmbCorruption&) {
+          // Unrepairable corruption on the delta/global path: this increment
+          // cannot land safely, so drop it.  The main thread's next exchange
+          // read surfaces the corruption and rolls W_g back.
+          exchange.pending = false;
+          exchange.cv.notify_all();
+          continue;
         }
         exchange.pending = false;
         exchange.cv.notify_all();  // T.A5: wake a blocked main thread
@@ -278,6 +300,32 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
     exchange.pending = true;  // T3: hand the increment to the update thread
     lock.unlock();
     exchange.cv.notify_all();
+  };
+
+  // Unrepairable corruption surfaced on the global-weight path: degrade to
+  // a rollback instead of aborting.  Restore W_g from the newest valid
+  // checkpoint — or, without one, from this worker's own parameters
+  // (consistent, if older) — and continue; the full rewrite refreshes the
+  // segment checksums, healing every replica.
+  auto integrity_rollback = [&] {
+    shared.integrity_rollbacks.fetch_add(1, std::memory_order_relaxed);
+    std::vector<float> restore;
+    if (shared.checkpoint_store != nullptr) {
+      std::optional<recovery::TrainCheckpoint> rollback;
+      try {
+        rollback = shared.checkpoint_store->load_latest();
+      } catch (const std::exception&) {
+        // unreadable store: fall through to the local-parameter restore
+      }
+      if (rollback.has_value() && rollback->global_weights.size() == param_count) {
+        restore = std::move(rollback->global_weights);
+      }
+    }
+    if (restore.empty()) {
+      dl::copy_params_to(net, local);
+      restore = local;
+    }
+    global.write(restore, home_shard());
   };
 
   // Periodic crash-consistent checkpoint (owner worker only): quiesce the
@@ -308,6 +356,12 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
     checkpoint.owner_momentum = solver.momentum_state();
     shared.checkpoint_store->save(checkpoint);
     shared.checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+    // Checkpoint windows double as scrub windows: walk the replica
+    // ensembles while the update thread is quiesced, repairing any silent
+    // corruption before it is ever read.
+    if (options.integrity.enabled() && options.integrity.scrub_on_checkpoint) {
+      for (recovery::ReplicatedSmb* ensemble : shared.ensembles) ensemble->scrub();
+    }
   };
 
   // Fault injection: crashes fell whole groups (a dead node takes all its
@@ -420,7 +474,11 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
       // the paper deliberately does not hide T_rgw behind computation, to
       // avoid training on stale parameters.
       if (is_async && sharing && !quarantined) {
-        seasgd_exchange();
+        try {
+          seasgd_exchange();
+        } catch (const smb::SmbCorruption&) {
+          integrity_rollback();
+        }
         timer.charge(stats.exchange_seconds);
       }
 
@@ -446,7 +504,11 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
         // Hybrid §III-D: the root exchanges with the SMB server, then
         // broadcasts the refreshed weights to its group.
         if (is_root) {
-          seasgd_exchange();
+          try {
+            seasgd_exchange();
+          } catch (const smb::SmbCorruption&) {
+            integrity_rollback();
+          }
           dl::copy_params_to(net, local);
           timer.charge(stats.exchange_seconds);
         }
@@ -459,7 +521,11 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
       shared.total_iterations.fetch_add(1, std::memory_order_relaxed);
 
       if (checkpointing && iteration % options.checkpoint.interval_iterations == 0) {
-        save_checkpoint(iteration);
+        try {
+          save_checkpoint(iteration);
+        } catch (const smb::SmbCorruption&) {
+          integrity_rollback();
+        }
       }
 
       // §III-E: aligned termination via the shared progress board.  The group
@@ -486,6 +552,10 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
   } catch (const smb::SmbUnavailable&) {
     // The SMB backing this worker is permanently gone (no replica left to
     // fail over to): an infrastructure-induced fail-stop.
+    crashed = true;
+  } catch (const smb::SmbCorruption&) {
+    // Corruption surfaced outside a rollback-capable site (no checkpoint,
+    // no clean replica): data loss, treated like a fail-stop.
     crashed = true;
   }
 
@@ -579,9 +649,13 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   // in a ReplicatedSmb ensemble; workers only ever see the per-shard
   // SmbService, so the Fig. 6 protocol is identical either way.
   const int physical_count = options.smb_servers * options.smb_replicas;
+  smb::SmbServerOptions server_options;
+  server_options.integrity.checksum_chunks = options.integrity.checksum_chunks;
+  server_options.integrity.verify_on_read = options.integrity.verify_on_read;
+  server_options.integrity.chunk_floats = options.integrity.chunk_floats;
   std::vector<std::unique_ptr<smb::SmbServer>> servers;
   for (int n = 0; n < physical_count; ++n) {
-    servers.push_back(std::make_unique<smb::SmbServer>());
+    servers.push_back(std::make_unique<smb::SmbServer>(server_options));
   }
   std::vector<std::unique_ptr<recovery::ReplicatedSmb>> ensembles;
   if (options.smb_replicas > 1) {
@@ -590,7 +664,8 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
       for (int r = 0; r < options.smb_replicas; ++r) {
         members.push_back(servers[static_cast<std::size_t>(s * options.smb_replicas + r)].get());
       }
-      ensembles.push_back(std::make_unique<recovery::ReplicatedSmb>(std::move(members)));
+      ensembles.push_back(std::make_unique<recovery::ReplicatedSmb>(
+          std::move(members), options.integrity.read_repair));
     }
   }
   minimpi::Context mpi(options.workers);
@@ -603,7 +678,10 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   shared.options = &options;
   shared.train_set = &train_set;
   if (options.smb_replicas > 1) {
-    for (const auto& ensemble : ensembles) shared.services.push_back(ensemble.get());
+    for (const auto& ensemble : ensembles) {
+      shared.services.push_back(ensemble.get());
+      shared.ensembles.push_back(ensemble.get());
+    }
   } else {
     for (const auto& server : servers) shared.services.push_back(server.get());
   }
@@ -678,6 +756,9 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   std::condition_variable fault_cv;
   bool fault_stop = false;
   std::thread fault_thread;
+  // Corruption markers that actually fired (chunks poisoned); written only
+  // by the fault thread, read after it is joined.
+  std::vector<std::uint64_t> injected_markers;
   if (options.faults != nullptr) {
     std::vector<fault::FaultEvent> server_events;
     for (int n = 0; n < physical_count; ++n) {
@@ -687,6 +768,14 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
       for (const fault::FaultEvent& event : options.faults->server_fail_stops(n)) {
         server_events.push_back(event);
       }
+      for (const fault::FaultEvent& event : options.faults->segment_corruptions(n)) {
+        server_events.push_back(event);
+      }
+      // Torn writes key on a write ordinal, not a wall-clock time: arm them
+      // on their server up front, before any worker writes.
+      for (const fault::FaultEvent& event : options.faults->torn_writes(n)) {
+        servers[static_cast<std::size_t>(n)]->arm_torn_write(event.sequence, event.severity);
+      }
     }
     std::sort(server_events.begin(), server_events.end(),
               [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
@@ -694,6 +783,7 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
               });
     if (!server_events.empty()) {
       fault_thread = std::thread([&servers, &fault_mutex, &fault_cv, &fault_stop,
+                                  &injected_markers, base_key = shared.base_key,
                                   wall_start, server_events = std::move(server_events)] {
         std::unique_lock lock(fault_mutex);
         for (const fault::FaultEvent& event : server_events) {
@@ -703,6 +793,28 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
           smb::SmbServer& target = *servers[static_cast<std::size_t>(event.target)];
           if (event.kind == fault::FaultKind::kServerFailStop) {
             target.fail_stop();
+          } else if (event.kind == fault::FaultKind::kSegmentCorruption) {
+            // The W_g segment may not exist yet (the master creates it a
+            // few ms into the run): retry until the flips land or the run
+            // ends, so a scheduled corruption reliably fires.
+            for (;;) {
+              std::size_t poisoned = 0;
+              try {
+                poisoned = target.corrupt_floats(
+                    base_key, event.sequence,
+                    std::max(1, static_cast<int>(event.severity)));
+              } catch (const smb::SmbUnavailable&) {
+                break;  // the server fail-stopped first: never fires
+              }
+              if (poisoned > 0) {
+                injected_markers.push_back(event.sequence);
+                break;
+              }
+              if (fault_cv.wait_for(lock, std::chrono::milliseconds(1),
+                                    [&] { return fault_stop; })) {
+                break;
+              }
+            }
           } else {
             target.freeze_for(std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::duration<double>(event.duration_seconds)));
@@ -905,6 +1017,30 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
   joiner.join();
   catch_up_evals();
 
+  // Stop the fault scheduler before scrubbing: every corruption that will
+  // fire has now fired, so the final scrub below sees all of them.
+  if (fault_thread.joinable()) {
+    {
+      std::scoped_lock lock(fault_mutex);
+      fault_stop = true;
+    }
+    fault_cv.notify_all();
+    fault_thread.join();
+  }
+
+  // End-of-training scrub: catch (and repair) corruption injected after the
+  // last exchange, while the orchestrator still holds the segments and
+  // before the final weights are evaluated.
+  if (options.integrity.enabled() && options.integrity.scrub_on_checkpoint) {
+    for (const auto& ensemble : ensembles) {
+      try {
+        ensemble->scrub();
+      } catch (const smb::SmbError&) {
+        // every replica gone: nothing left to scrub
+      }
+    }
+  }
+
   if (global.valid()) {
     try {
       global.read(snapshot);
@@ -920,15 +1056,6 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
     } catch (const smb::SmbError&) {
       // SMB permanently gone: no final evaluation, nothing to release
     }
-  }
-
-  if (fault_thread.joinable()) {
-    {
-      std::scoped_lock lock(fault_mutex);
-      fault_stop = true;
-    }
-    fault_cv.notify_all();
-    fault_thread.join();
   }
 
   result.wall_seconds =
@@ -967,6 +1094,36 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
     result.smb_failovers += static_cast<std::int64_t>(ensemble->failover_count());
   }
 
+  // Integrity observability: distinct detected / torn-applied markers across
+  // the physical servers, repair and scrub counts from the ensembles,
+  // rollbacks from the workers.
+  std::vector<std::uint64_t> detected;
+  std::vector<std::uint64_t> torn_applied;
+  for (const auto& server : servers) {
+    for (const std::uint64_t marker : server->detected_markers()) {
+      if (std::find(detected.begin(), detected.end(), marker) == detected.end()) {
+        detected.push_back(marker);
+      }
+    }
+    for (const std::uint64_t marker : server->torn_applied_markers()) {
+      if (std::find(torn_applied.begin(), torn_applied.end(), marker) == torn_applied.end()) {
+        torn_applied.push_back(marker);
+      }
+    }
+  }
+  std::vector<std::uint64_t> repaired;
+  for (const auto& ensemble : ensembles) {
+    result.integrity_repairs += static_cast<std::int64_t>(ensemble->repairs());
+    result.scrub_passes += static_cast<std::int64_t>(ensemble->scrub_passes());
+    for (const std::uint64_t marker : ensemble->repaired_markers()) {
+      if (std::find(repaired.begin(), repaired.end(), marker) == repaired.end()) {
+        repaired.push_back(marker);
+      }
+    }
+  }
+  result.corruptions_detected = static_cast<std::int64_t>(detected.size());
+  result.integrity_rollbacks = shared.integrity_rollbacks.load(std::memory_order_relaxed);
+
   // Fingerprint the recovery actions actually executed, in planned order:
   // a failover counts only if the fail-stopped replica really was the
   // active one at the time, a readmit only if the replacement ran.  The sim
@@ -998,6 +1155,20 @@ TrainResult train_shmcaffe(const DistTrainOptions& options) {
       }
     }
     result.recovery_fingerprint = recovery::schedule_fingerprint(executed);
+
+    // Fingerprint the integrity events actually executed the same way: the
+    // planned schedule (plan order) filtered by the marker sets this run
+    // observed.  The sim twin filters the identical schedule by its own
+    // outcome, so equal fingerprints mean identical integrity histories.
+    recovery::IntegrityOutcome integrity_outcome;
+    integrity_outcome.injected = injected_markers;
+    integrity_outcome.detected = detected;
+    integrity_outcome.repaired = repaired;
+    integrity_outcome.torn_applied = torn_applied;
+    const std::vector<recovery::IntegrityEvent> planned_integrity =
+        recovery::integrity_schedule(options.faults->plan(), options.integrity);
+    result.integrity_fingerprint = recovery::integrity_fingerprint(
+        recovery::executed_integrity(planned_integrity, integrity_outcome));
   }
   return result;
 }

@@ -8,6 +8,8 @@
 namespace shmcaffe::fault {
 
 const char* to_string(FaultKind kind) {
+  // Exhaustive by construction: no `default`, so -Wswitch flags any kind
+  // added to the enum but forgotten here.
   switch (kind) {
     case FaultKind::kWorkerCrash: return "worker_crash";
     case FaultKind::kWorkerStall: return "worker_stall";
@@ -16,8 +18,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kLinkDegrade: return "link_degrade";
     case FaultKind::kLinkDown: return "link_down";
     case FaultKind::kDatagramDrop: return "datagram_drop";
+    case FaultKind::kSegmentCorruption: return "segment_corruption";
+    case FaultKind::kTornWrite: return "torn_write";
   }
-  return "unknown";
+  __builtin_unreachable();
 }
 
 FaultPlan FaultPlan::generate(const FaultPlanSpec& spec) {
@@ -69,6 +73,35 @@ FaultPlan FaultPlan::generate(const FaultPlanSpec& spec) {
       event.start_seconds = link_rng.uniform(0.0, spec.horizon_seconds);
       event.duration_seconds = spec.mean_flap_seconds * link_rng.uniform(0.5, 1.5);
       event.severity = event.kind == FaultKind::kLinkDown ? 0.0 : spec.degrade_severity;
+      plan.add(event);
+    }
+  }
+
+  common::Rng corrupt_rng = rng.fork(0xc0);
+  for (int s = 0; s < spec.servers; ++s) {
+    if (spec.corruption_probability > 0.0 && corrupt_rng.chance(spec.corruption_probability)) {
+      FaultEvent event;
+      event.kind = FaultKind::kSegmentCorruption;
+      event.target = s;
+      event.start_seconds = corrupt_rng.uniform(0.0, spec.horizon_seconds);
+      event.severity = static_cast<double>(std::max(1, spec.corruption_bit_flips));
+      // Nonzero marker with the high bit clear (the torn-write marker space
+      // owns the high bit); doubles as the bit-position seed.
+      event.sequence = 1 + corrupt_rng.next_below(0x7fffffffffffffffULL);
+      plan.add(event);
+    }
+  }
+
+  common::Rng torn_rng = rng.fork(0x7e);
+  for (int s = 0; s < spec.servers; ++s) {
+    if (spec.torn_write_probability > 0.0 && spec.writes_per_server > 0 &&
+        torn_rng.chance(spec.torn_write_probability)) {
+      FaultEvent event;
+      event.kind = FaultKind::kTornWrite;
+      event.target = s;
+      event.sequence = static_cast<std::uint64_t>(
+          torn_rng.uniform_int(1, static_cast<std::int64_t>(spec.writes_per_server)));
+      event.severity = spec.torn_write_fraction;
       plan.add(event);
     }
   }

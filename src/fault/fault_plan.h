@@ -32,6 +32,8 @@ enum class FaultKind : std::uint8_t {
   kLinkDegrade,   ///< link capacity multiplied by `severity` during the window
   kLinkDown,      ///< link capacity ~0 during the window (flap)
   kDatagramDrop,  ///< control datagram with global sequence `sequence` is lost once
+  kSegmentCorruption,  ///< silent bit-flips in server `target`'s segments at `start_seconds`
+  kTornWrite,  ///< server `target` applies write ordinal `sequence` only partially
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -39,7 +41,13 @@ enum class FaultKind : std::uint8_t {
 /// One injected fault.  Which fields are meaningful depends on `kind`:
 /// crash/stall are (target=worker, iteration[, duration]); freeze is
 /// (target=server, start, duration); link events are (target=link, start,
-/// duration[, severity]); drops are (sequence).
+/// duration[, severity]); drops are (sequence).  The integrity faults reuse
+/// the same fields rather than widening the struct (the fingerprint encoding
+/// stays stable): corruption is (target=server, start, severity=bit-flip
+/// count, sequence=nonzero marker doubling as the bit-position seed; high bit
+/// clear); a torn write is (target=server, sequence=1-based server-local
+/// write ordinal, severity=fraction of the payload that lands; the marker is
+/// `sequence` with the high bit set, so the two marker spaces never collide).
 struct FaultEvent {
   FaultKind kind = FaultKind::kWorkerCrash;
   int target = -1;                 ///< worker / server / link index
@@ -75,6 +83,12 @@ struct FaultPlanSpec {
 
   std::uint64_t datagram_count = 0;  ///< sequence space for drops
   double datagram_drop_rate = 0.0;   ///< fraction of the space dropped
+
+  double corruption_probability = 0.0;  ///< per server: one silent bit-flip burst
+  int corruption_bit_flips = 3;         ///< flips per burst (event.severity)
+  double torn_write_probability = 0.0;  ///< per server: one partially-applied write
+  std::uint64_t writes_per_server = 0;  ///< write-ordinal space for torn writes
+  double torn_write_fraction = 0.5;     ///< payload fraction that lands (event.severity)
 };
 
 /// An ordered, deterministic fault schedule.

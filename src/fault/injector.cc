@@ -71,6 +71,26 @@ std::vector<FaultEvent> FaultInjector::all_link_windows() const {
   return result;
 }
 
+std::vector<FaultEvent> FaultInjector::segment_corruptions(int server) const {
+  std::vector<FaultEvent> result;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kSegmentCorruption && event.target == server) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
+std::vector<FaultEvent> FaultInjector::torn_writes(int server) const {
+  std::vector<FaultEvent> result;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kTornWrite && event.target == server) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
 std::vector<std::uint64_t> FaultInjector::dropped_sequences() const {
   std::vector<std::uint64_t> result(dropped_sequences_.begin(), dropped_sequences_.end());
   std::sort(result.begin(), result.end());

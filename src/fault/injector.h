@@ -53,6 +53,16 @@ class FaultInjector {
   /// link-index mapping).
   [[nodiscard]] std::vector<FaultEvent> all_link_windows() const;
 
+  // --- integrity faults ---------------------------------------------------
+
+  /// Silent bit-flip bursts aimed at SMB server `server` (fired at
+  /// `start_seconds`; `severity` flips, `sequence` is the marker/seed).
+  [[nodiscard]] std::vector<FaultEvent> segment_corruptions(int server) const;
+
+  /// Torn writes aimed at SMB server `server` (`sequence` is the 1-based
+  /// server-local write ordinal to tear, `severity` the applied fraction).
+  [[nodiscard]] std::vector<FaultEvent> torn_writes(int server) const;
+
   // --- datagram drops ----------------------------------------------------
 
   [[nodiscard]] bool drops_datagram(std::uint64_t sequence) const {

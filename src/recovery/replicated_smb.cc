@@ -1,9 +1,11 @@
 #include "recovery/replicated_smb.h"
 
 #include <algorithm>
+#include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace shmcaffe::recovery {
 
@@ -14,8 +16,8 @@ using smb::SmbError;
 using smb::SmbNotFound;
 using smb::SmbUnavailable;
 
-ReplicatedSmb::ReplicatedSmb(std::vector<smb::SmbServer*> replicas)
-    : replicas_(std::move(replicas)) {
+ReplicatedSmb::ReplicatedSmb(std::vector<smb::SmbServer*> replicas, bool read_repair)
+    : replicas_(std::move(replicas)), read_repair_(read_repair) {
   if (replicas_.empty()) throw SmbError("replicated SMB needs at least one replica");
   for (const smb::SmbServer* replica : replicas_) {
     if (replica == nullptr) throw SmbError("replicated SMB replica must not be null");
@@ -207,6 +209,12 @@ void ReplicatedSmb::read(Handle handle, std::span<float> dst, std::size_t offset
       return;
     } catch (const SmbUnavailable&) {
       mark_failed_locked(active_);
+    } catch (const smb::SmbCorruption&) {
+      // The active copy failed checksum verification.  Vote among the
+      // verify-clean replicas, rewrite the bad copy, and retry the read;
+      // unrepairable (no clean copy) or repair-off propagates the error so
+      // the trainer can degrade to a checkpoint rollback.
+      if (!read_repair_ || !vote_and_repair_locked(segment, nullptr, nullptr)) throw;
     }
   }
 }
@@ -214,25 +222,54 @@ void ReplicatedSmb::read(Handle handle, std::span<float> dst, std::size_t offset
 void ReplicatedSmb::mirror_mutation_locked(std::initializer_list<LogicalSegment*> segments,
                                            const MutationFn& op)
     SHMCAFFE_REQUIRES(mirror_mutex_) {
+  mirror_mutation_tagged_locked(segments, op, OpTag{kMirrorWriter, ++mirror_seq_});
+}
+
+void ReplicatedSmb::mirror_mutation_tagged_locked(
+    std::initializer_list<LogicalSegment*> segments, const MutationFn& op, OpTag tag)
+    SHMCAFFE_REQUIRES(mirror_mutex_) {
   SHMCAFFE_ASSERT_HELD(mirror_mutex_);
-  const OpTag tag{kMirrorWriter, ++mirror_seq_};
+  std::vector<bool> applied(replicas_.size(), false);
   for (;;) {
     require_live_locked();
     for (LogicalSegment* segment : segments) ensure_resolved_locked(*segment);
     bool any_failure = false;
+    std::exception_ptr corruption;
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
       if (!live_[i]) continue;
       try {
         op(i, tag);
+        applied[i] = true;
       } catch (const SmbUnavailable&) {
         mark_failed_locked(i);
         any_failure = true;
+      } catch (const smb::SmbCorruption&) {
+        // Replica `i` refused the op because a touched segment failed
+        // verification (the op was NOT applied there — verification runs
+        // before the tag is recorded).  Keep fanning out so the clean
+        // replicas apply the op first; the repair below then only has to
+        // rewrite the copies that actually refused.
+        corruption = std::current_exception();
+        any_failure = true;
+      }
+    }
+    if (corruption != nullptr) {
+      // Vote-and-repair every touched segment, then replay the whole
+      // fan-out under the same tag: replicas that applied it (or were
+      // repaired under it) drop the replay.  An unrepairable segment
+      // rethrows and the mutation surfaces as corrupt to the trainer.
+      if (!read_repair_) std::rethrow_exception(corruption);
+      for (LogicalSegment* segment : segments) {
+        if (!vote_and_repair_locked(*segment, &tag, &applied)) {
+          std::rethrow_exception(corruption);
+        }
       }
     }
     if (!any_failure) return;
-    // A replica fail-stopped mid-fan-out: fail over and replay the in-flight
-    // op under the *same* tag.  Survivors that already applied it drop the
-    // replay (idempotence), so W_g is never double-updated.
+    // A replica fail-stopped (or was repaired) mid-fan-out: fail over and
+    // replay the in-flight op under the *same* tag.  Survivors that already
+    // applied it drop the replay (idempotence), so W_g is never
+    // double-updated.
   }
 }
 
@@ -431,6 +468,198 @@ std::uint64_t ReplicatedSmb::failover_count() const {
 std::vector<int> ReplicatedSmb::failover_log() const {
   std::scoped_lock lock(mirror_mutex_);
   return failover_log_;
+}
+
+void ReplicatedSmb::write_tagged(Handle handle, std::span<const float> src, std::size_t offset,
+                                 OpTag tag) {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  if (!tag.tagged()) tag = OpTag{kMirrorWriter, ++mirror_seq_};
+  mirror_mutation_tagged_locked(
+      {&segment},
+      [&](std::size_t i, OpTag t) { replicas_[i]->write_tagged(segment.physical[i], src, offset, t); },
+      tag);
+}
+
+void ReplicatedSmb::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& source = segment_locked(src);
+  LogicalSegment& dest = segment_locked(dst);
+  if (!tag.tagged()) tag = OpTag{kMirrorWriter, ++mirror_seq_};
+  mirror_mutation_tagged_locked(
+      {&source, &dest},
+      [&](std::size_t i, OpTag t) {
+        replicas_[i]->accumulate_tagged(source.physical[i], dest.physical[i], t);
+      },
+      tag);
+}
+
+bool ReplicatedSmb::vote_and_repair_locked(LogicalSegment& segment, const OpTag* inflight,
+                                           const std::vector<bool>* applied) const
+    SHMCAFFE_REQUIRES(mirror_mutex_) {
+  SHMCAFFE_ASSERT_HELD(mirror_mutex_);
+  if (segment.counters) return true;  // counter segments carry no checksums
+  const std::size_t n = replicas_.size();
+
+  // Verify every live copy; remember which are clean and which markers the
+  // corrupt ones were poisoned with.
+  std::vector<bool> clean(n, false);
+  std::vector<std::uint64_t> markers;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!live_[i]) continue;
+    try {
+      const auto bad = replicas_[i]->verify_segment(segment.physical[i]);
+      clean[i] = bad.empty();
+      for (const auto& chunk : bad) {
+        if (chunk.marker != 0 &&
+            std::find(markers.begin(), markers.end(), chunk.marker) == markers.end()) {
+          markers.push_back(chunk.marker);
+        }
+      }
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(i);
+    }
+  }
+
+  // If the in-flight mutation already landed on some replica, only copies
+  // that applied it may vote: a winner drawn from the others would silently
+  // roll the op back while the caller's retry gets replay-dropped.  No clean
+  // applied copy -> the op survives only on corrupt copies -> unrepairable.
+  const bool applied_any = inflight != nullptr && applied != nullptr &&
+                           [&] {
+                             for (std::size_t i = 0; i < n; ++i) {
+                               if (live_[i] && (*applied)[i]) return true;
+                             }
+                             return false;
+                           }();
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!live_[i] || !clean[i]) continue;
+    if (applied_any && !(*applied)[i]) continue;
+    candidates.push_back(i);
+  }
+  if (candidates.empty()) return false;  // no trustworthy copy: degrade to rollback
+
+  // Vote by content equality among the candidates; ties go to the
+  // lowest-index group (first seen wins under the strict > below).
+  std::vector<std::vector<float>> contents(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    contents[c].resize(segment.count);
+    replicas_[candidates[c]]->read_raw(segment.physical[candidates[c]], contents[c]);
+  }
+  std::size_t best = 0;
+  std::size_t best_votes = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    std::size_t votes = 0;
+    for (std::size_t d = 0; d < candidates.size(); ++d) {
+      if (contents[d] == contents[c]) votes += 1;
+    }
+    if (votes > best_votes) {
+      best_votes = votes;
+      best = c;
+    }
+  }
+  const std::vector<float>& winner = contents[best];
+
+  // Rewrite every live copy that diverges from the winner.  Replicas that
+  // already recorded the in-flight tag would drop a tagged rewrite, so they
+  // are healed with an untagged write; replicas that have not applied the op
+  // are rewritten under the in-flight tag itself, so the caller's replay is
+  // dropped there instead of double-applying on top of the healed content.
+  std::vector<float> content(segment.count);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!live_[i]) continue;
+    try {
+      replicas_[i]->read_raw(segment.physical[i], content);
+      const bool healthy = clean[i] && content == winner;
+      if (applied_any && !(*applied)[i]) {
+        replicas_[i]->write_tagged(segment.physical[i], winner, 0, *inflight);
+        if (!healthy) repairs_ += 1;
+      } else if (!healthy) {
+        replicas_[i]->write_tagged(segment.physical[i], winner, 0, OpTag{});
+        repairs_ += 1;
+      }
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(i);
+    }
+  }
+  for (std::uint64_t marker : markers) {
+    if (std::find(repaired_markers_.begin(), repaired_markers_.end(), marker) ==
+        repaired_markers_.end()) {
+      repaired_markers_.push_back(marker);
+    }
+  }
+  return true;
+}
+
+std::uint64_t ReplicatedSmb::scrub() {
+  std::scoped_lock lock(mirror_mutex_);
+  require_live_locked();
+  scrub_passes_ += 1;
+  // Walk in ascending SHM-key order so scrub behaviour (and the repair
+  // counts it produces) is deterministic across runs.
+  std::vector<std::pair<ShmKey, std::uint64_t>> keys(key_to_logical_.begin(),
+                                                     key_to_logical_.end());
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t repaired = 0;
+  for (const auto& [key, logical] : keys) {
+    LogicalSegment& segment = segments_.at(logical);
+    if (segment.counters) continue;
+    ensure_resolved_locked(segment);
+    bool any_bad = false;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!live_[i]) continue;
+      try {
+        if (!replicas_[i]->verify_segment(segment.physical[i]).empty()) any_bad = true;
+      } catch (const SmbUnavailable&) {
+        mark_failed_locked(i);
+      }
+    }
+    if (!any_bad) continue;
+    // An unrepairable segment is left as-is here (vote returns false): the
+    // next read surfaces the SmbCorruption and the trainer rolls back.
+    if (read_repair_ && vote_and_repair_locked(segment, nullptr, nullptr)) repaired += 1;
+  }
+  return repaired;
+}
+
+std::size_t ReplicatedSmb::inject_corruption(ShmKey key, std::uint64_t marker, int bit_flips) {
+  std::scoped_lock lock(mirror_mutex_);
+  require_live_locked();
+  return replicas_[active_]->corrupt_floats(key, marker, bit_flips);
+}
+
+std::vector<std::uint64_t> ReplicatedSmb::detected_markers() const {
+  std::scoped_lock lock(mirror_mutex_);
+  std::vector<std::uint64_t> all;
+  for (const smb::SmbServer* replica : replicas_) {
+    for (std::uint64_t marker : replica->detected_markers()) {
+      if (std::find(all.begin(), all.end(), marker) == all.end()) all.push_back(marker);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::uint64_t ReplicatedSmb::corruptions_detected() const {
+  return detected_markers().size();
+}
+
+std::vector<std::uint64_t> ReplicatedSmb::repaired_markers() const {
+  std::scoped_lock lock(mirror_mutex_);
+  std::vector<std::uint64_t> result = repaired_markers_;
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::uint64_t ReplicatedSmb::repairs() const {
+  std::scoped_lock lock(mirror_mutex_);
+  return repairs_;
+}
+
+std::uint64_t ReplicatedSmb::scrub_passes() const {
+  std::scoped_lock lock(mirror_mutex_);
+  return scrub_passes_;
 }
 
 }  // namespace shmcaffe::recovery

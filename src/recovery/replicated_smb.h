@@ -26,6 +26,17 @@
 //     so a blocked waiter never starves the mirror path; a fail-stop
 //     mid-wait triggers failover and the wait resumes on the survivor with
 //     the remaining deadline (not a fresh one).
+//   * Read-repair.  When a replica's checksum verification throws
+//     SmbCorruption (integrity layer, smb/server.h), the ensemble reads
+//     every replica's copy, votes by content among the verify-clean ones,
+//     rewrites the divergent copies with the winner, and retries.  A repair
+//     triggered mid-mutation reuses the in-flight OpTag when the winner had
+//     already applied the op, so the retry replays idempotently.  A segment
+//     with no clean replica is unrepairable: the SmbCorruption surfaces and
+//     the trainer degrades to a checkpoint rollback instead of aborting.
+//   * Scrubbing.  scrub() walks every float segment on every live replica
+//     during quiesce/checkpoint windows, repairing what it finds before the
+//     damage is ever read.
 //
 // Lock ranking: the mirror mutex is rank 150 (recovery.replica_mirror) —
 // above the progress-board sweep (100), below every per-server lock the
@@ -49,8 +60,11 @@ namespace shmcaffe::recovery {
 class ReplicatedSmb final : public smb::SmbService {
  public:
   /// The ensemble does not own the replicas; `replicas[0]` starts as the
-  /// active primary.  At least one replica is required.
-  explicit ReplicatedSmb(std::vector<smb::SmbServer*> replicas);
+  /// active primary.  At least one replica is required.  `read_repair`
+  /// controls what a checksum mismatch does: vote-and-rewrite (on) or
+  /// propagate the SmbCorruption to the caller (off — the
+  /// detected-but-unrepaired degraded mode).
+  explicit ReplicatedSmb(std::vector<smb::SmbServer*> replicas, bool read_repair = true);
   ReplicatedSmb(const ReplicatedSmb&) = delete;
   ReplicatedSmb& operator=(const ReplicatedSmb&) = delete;
 
@@ -66,6 +80,12 @@ class ReplicatedSmb final : public smb::SmbService {
   void write(smb::Handle handle, std::span<const float> src, std::size_t offset = 0) override;
   void accumulate(smb::Handle src, smb::Handle dst) override;
   void copy_segment(smb::Handle src, smb::Handle dst) override;
+  /// Caller-tagged mutations (idempotent client retry): the caller's tag —
+  /// not a fresh mirror tag — is fanned out to every replica, so a resend
+  /// of the same tag is dropped ensemble-wide.
+  void write_tagged(smb::Handle handle, std::span<const float> src, std::size_t offset,
+                    smb::OpTag tag) override;
+  void accumulate_tagged(smb::Handle src, smb::Handle dst, smb::OpTag tag) override;
 
   [[nodiscard]] std::int64_t load(smb::Handle handle, std::size_t index) const override;
   void store(smb::Handle handle, std::size_t index, std::int64_t value) override;
@@ -89,6 +109,29 @@ class ReplicatedSmb final : public smb::SmbService {
   /// one entry per failover, in failover order.  A backup's death never
   /// appears here (no promotion happens).
   [[nodiscard]] std::vector<int> failover_log() const;
+
+  // --- data integrity ------------------------------------------------------
+
+  /// Walks every float logical segment, verifying all live replicas and
+  /// vote-repairing what the walk finds (when read-repair is on).  The
+  /// background scrubber entry, called from quiesce/checkpoint windows.
+  /// Returns the number of segments repaired this pass.
+  std::uint64_t scrub();
+
+  /// Injects a silent corruption into the *active* replica's copy of the
+  /// float segment under `key` (the kSegmentCorruption fault hook).
+  /// Returns the number of chunks poisoned.
+  std::size_t inject_corruption(smb::ShmKey key, std::uint64_t marker, int bit_flips);
+
+  /// Distinct corruption markers detected anywhere in the ensemble.
+  [[nodiscard]] std::vector<std::uint64_t> detected_markers() const;
+  [[nodiscard]] std::uint64_t corruptions_detected() const;
+  /// Markers healed by replica vote, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> repaired_markers() const;
+  /// Replica copies rewritten by read-repair (a marker repaired on two
+  /// replicas counts twice).
+  [[nodiscard]] std::uint64_t repairs() const;
+  [[nodiscard]] std::uint64_t scrub_passes() const;
 
  private:
   struct LogicalSegment {
@@ -125,11 +168,29 @@ class ReplicatedSmb final : public smb::SmbService {
   /// tag (survivors that already applied it drop the replay).
   void mirror_mutation_locked(std::initializer_list<LogicalSegment*> segments,
                               const MutationFn& op) SHMCAFFE_REQUIRES(mirror_mutex_);
+  /// Same, under a caller-supplied tag.  A checksum mismatch on one replica
+  /// triggers a vote-and-repair of the touched segments, then a retry of
+  /// the whole fan-out under the same tag.
+  void mirror_mutation_tagged_locked(std::initializer_list<LogicalSegment*> segments,
+                                     const MutationFn& op, smb::OpTag tag)
+      SHMCAFFE_REQUIRES(mirror_mutex_);
+  /// Repairs `segment` by content vote among the verify-clean replicas and
+  /// rewrites every divergent copy with the winner.  When called from a
+  /// mutation fan-out, `inflight`/`applied` say which replicas already
+  /// applied the in-flight op: the vote is then restricted to those (their
+  /// content includes the op) and the rewrite reuses the in-flight tag so
+  /// the retry replays idempotently; if the op landed only on corrupt
+  /// copies the segment is unrepairable.  Returns false when no clean
+  /// majority exists (the caller degrades to checkpoint rollback).
+  bool vote_and_repair_locked(LogicalSegment& segment, const smb::OpTag* inflight,
+                              const std::vector<bool>* applied) const
+      SHMCAFFE_REQUIRES(mirror_mutex_);
 
   /// Tag identity of this ensemble's mirror agent (OpTag::writer).
   static constexpr std::uint64_t kMirrorWriter = 1;
 
   std::vector<smb::SmbServer*> replicas_ SHMCAFFE_UNGUARDED;  // immutable after ctor
+  const bool read_repair_;
 
   /// Guards everything below; rank 150 (recovery.replica_mirror).  Mutable
   /// because const reads may discover a fail-stop and perform a failover.
@@ -142,6 +203,11 @@ class ReplicatedSmb final : public smb::SmbService {
   mutable std::uint64_t failovers_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 0;
   mutable std::vector<int> failover_log_ SHMCAFFE_GUARDED_BY(mirror_mutex_);
   std::uint64_t mirror_seq_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 0;
+  /// Mutable like the failover state: const reads may discover corruption
+  /// and repair it.
+  mutable std::uint64_t repairs_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 0;
+  mutable std::uint64_t scrub_passes_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 0;
+  mutable std::vector<std::uint64_t> repaired_markers_ SHMCAFFE_GUARDED_BY(mirror_mutex_);
   std::uint64_t next_logical_key_ SHMCAFFE_GUARDED_BY(mirror_mutex_) = 1;
   mutable std::unordered_map<std::uint64_t, LogicalSegment> segments_
       SHMCAFFE_GUARDED_BY(mirror_mutex_);

@@ -1,10 +1,17 @@
 #include "smb/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <thread>
 
 namespace shmcaffe::smb {
+
+namespace {
+// Client writer ids start at 2: 0 means untagged and 1 is the replicated
+// ensemble's mirror agent (recovery/replicated_smb.h).
+std::atomic<std::uint64_t> next_client_writer{2};
+}  // namespace
 
 std::chrono::nanoseconds backoff_delay(const RetryPolicy& policy, int attempt,
                                        common::Rng& rng) {
@@ -18,7 +25,44 @@ std::chrono::nanoseconds backoff_delay(const RetryPolicy& policy, int attempt,
 }
 
 SmbClient::SmbClient(SmbService& server, RetryPolicy policy, std::uint64_t seed)
-    : server_(&server), policy_(policy), rng_(seed) {}
+    : server_(&server),
+      policy_(policy),
+      rng_(seed),
+      writer_id_(next_client_writer.fetch_add(1, std::memory_order_relaxed)) {}
+
+void SmbClient::write(Handle handle, std::span<const float> src, std::size_t offset) {
+  last_.kind = LastMutation::kWrite;
+  last_.src = Handle{};
+  last_.dst = handle;
+  last_.offset = offset;
+  last_.payload.assign(src.begin(), src.end());
+  last_.tag = OpTag{writer_id_, ++sequence_};
+  server_->write_tagged(handle, src, offset, last_.tag);
+}
+
+void SmbClient::accumulate(Handle src, Handle dst) {
+  last_.kind = LastMutation::kAccumulate;
+  last_.src = src;
+  last_.dst = dst;
+  last_.offset = 0;
+  last_.payload.clear();
+  last_.tag = OpTag{writer_id_, ++sequence_};
+  server_->accumulate_tagged(src, dst, last_.tag);
+}
+
+bool SmbClient::resend_last_mutation() {
+  switch (last_.kind) {
+    case LastMutation::kNone:
+      return false;
+    case LastMutation::kWrite:
+      server_->write_tagged(last_.dst, last_.payload, last_.offset, last_.tag);
+      return true;
+    case LastMutation::kAccumulate:
+      server_->accumulate_tagged(last_.src, last_.dst, last_.tag);
+      return true;
+  }
+  return false;
+}
 
 Handle SmbClient::attach_with_retry(ShmKey key, std::size_t count, bool floats) {
   for (int attempt = 1;; ++attempt) {

@@ -9,8 +9,13 @@
 //     (a slave racing the master's Fig. 2 segment creation, or an SMB
 //     server in a freeze window);
 //   * deadline-based update-notification waits;
+//   * idempotent mutation retry: every write/accumulate is stamped with a
+//     client-unique OpTag, so resending after an ambiguous timeout (the op
+//     may or may not have landed) can never double-apply — the server drops
+//     the replay (SmbServerStats::replays_dropped);
 // and forwards the rest of the surface unchanged.  One SmbClient per worker
-// thread (the embedded backoff Rng is not synchronised).
+// thread (the embedded backoff Rng and the last-mutation record are not
+// synchronised).
 //
 // The client targets the abstract SmbService, so the same worker code runs
 // against a single SmbServer or a replicated ensemble with failover.
@@ -19,6 +24,7 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/rng.h"
 #include "smb/service.h"
@@ -72,18 +78,47 @@ class SmbClient {
   void read(Handle handle, std::span<float> dst, std::size_t offset = 0) const {
     server_->read(handle, dst, offset);
   }
-  void write(Handle handle, std::span<const float> src, std::size_t offset = 0) {
-    server_->write(handle, src, offset);
-  }
-  void accumulate(Handle src, Handle dst) { server_->accumulate(src, dst); }
   [[nodiscard]] std::uint64_t version(Handle handle) const { return server_->version(handle); }
 
+  // --- idempotent mutations ----------------------------------------------
+
+  /// Stamped with a fresh client OpTag and recorded as the last mutation
+  /// (the record is made *before* the send, so a throw mid-flight — the
+  /// ambiguous-timeout case — can still be resent safely).
+  void write(Handle handle, std::span<const float> src, std::size_t offset = 0);
+  void accumulate(Handle src, Handle dst);
+
+  /// Re-issues the last write/accumulate under its *original* tag — the
+  /// retransmit after an ambiguous timeout.  If the original landed, the
+  /// server drops the replay; if it never arrived, this applies it exactly
+  /// once.  Returns false if no mutation was recorded.
+  bool resend_last_mutation();
+
+  /// Tag the next mutation will NOT reuse — the one stamped on the last
+  /// write/accumulate (test observability).
+  [[nodiscard]] OpTag last_mutation_tag() const { return last_.tag; }
+  [[nodiscard]] std::uint64_t writer_id() const { return writer_id_; }
+
  private:
+  struct LastMutation {
+    enum Kind : std::uint8_t { kNone, kWrite, kAccumulate };
+    Kind kind = kNone;
+    Handle src;
+    Handle dst;
+    std::size_t offset = 0;
+    std::vector<float> payload;  ///< write payload (empty for accumulate)
+    OpTag tag;
+  };
+
   Handle attach_with_retry(ShmKey key, std::size_t count, bool floats);
 
   SmbService* server_;
   RetryPolicy policy_;
   common::Rng rng_;
+  /// Process-unique, nonzero, never the mirror agent's id (1).
+  std::uint64_t writer_id_;
+  std::uint64_t sequence_ = 0;
+  LastMutation last_;
 };
 
 }  // namespace shmcaffe::smb

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <limits>
+#include <set>
 #include <thread>
 
 #include "common/parallel.h"
+#include "common/rng.h"
 
 namespace shmcaffe::smb {
 
@@ -25,6 +28,9 @@ constexpr std::size_t kAccumulateGrain = 16384;
 SmbServer::SmbServer(SmbServerOptions options) : options_(options) {
   if (options_.capacity_bytes <= 0) {
     throw SmbError("SMB server capacity must be positive");
+  }
+  if (maintain_checksums() && options_.integrity.chunk_floats == 0) {
+    throw SmbError("integrity chunk size must be positive");
   }
 }
 
@@ -49,6 +55,14 @@ Handle SmbServer::create_segment(ShmKey key, std::size_t count, Kind kind) {
   if (kind == Kind::kFloats) {
     // lint:allow-next-line(lock-region) fresh segment, not yet published
     segment->floats.assign(count, 0.0F);
+    if (maintain_checksums()) {
+      const std::size_t chunks =
+          (count + options_.integrity.chunk_floats - 1) / options_.integrity.chunk_floats;
+      std::scoped_lock lock(segment->data_mutex);
+      segment->chunk_sums.resize(chunks);
+      segment->chunk_markers.assign(chunks, 0);
+      refresh_chunks_locked(*segment, 0, count);
+    }
   } else {
     segment->counters = std::vector<std::atomic<std::int64_t>>(count);
   }
@@ -171,6 +185,23 @@ void SmbServer::read(Handle handle, std::span<float> dst, std::size_t offset) co
   if (offset + dst.size() > segment->floats.size()) {
     throw SmbError("read out of segment bounds");
   }
+  if (options_.integrity.verify_on_read) {
+    verify_chunks_locked(*segment, offset, dst.size());
+  }
+  std::copy_n(segment->floats.begin() + static_cast<std::ptrdiff_t>(offset), dst.size(),
+              dst.begin());
+  std::unique_lock table(table_mutex_);
+  stats_.reads += 1;
+  stats_.bytes_read += static_cast<std::int64_t>(dst.size() * sizeof(float));
+}
+
+void SmbServer::read_raw(Handle handle, std::span<float> dst, std::size_t offset) const {
+  block_while_frozen();
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
+  std::scoped_lock lock(segment->data_mutex);
+  if (offset + dst.size() > segment->floats.size()) {
+    throw SmbError("read out of segment bounds");
+  }
   std::copy_n(segment->floats.begin() + static_cast<std::ptrdiff_t>(offset), dst.size(),
               dst.begin());
   std::unique_lock table(table_mutex_);
@@ -196,6 +227,21 @@ void SmbServer::write_tagged(Handle handle, std::span<const float> src, std::siz
                              OpTag tag) {
   block_while_frozen();
   const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
+  // Ordinal + armed-torn lookup happen before the data lock (the table lock
+  // ranks above the segment lock, so it cannot be taken inside).  The atomic
+  // gate keeps the fault-free path free of the extra table acquisition.
+  const std::uint64_t ordinal = write_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+  double torn_fraction = -1.0;
+  if (torn_armed_count_.load(std::memory_order_acquire) > 0) {
+    std::unique_lock table(table_mutex_);
+    const auto it = armed_torn_.find(ordinal);
+    if (it != armed_torn_.end()) {
+      torn_fraction = it->second;
+      armed_torn_.erase(it);
+      torn_armed_count_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  bool torn = false;
   {
     std::scoped_lock lock(segment->data_mutex);
     if (offset + src.size() > segment->floats.size()) {
@@ -206,14 +252,45 @@ void SmbServer::write_tagged(Handle handle, std::span<const float> src, std::siz
       stats_.replays_dropped += 1;
       return;
     }
-    std::copy_n(src.begin(), src.size(),
-                segment->floats.begin() + static_cast<std::ptrdiff_t>(offset));
+    if (torn_fraction < 0.0 || src.empty()) {
+      std::copy_n(src.begin(), src.size(),
+                  segment->floats.begin() + static_cast<std::ptrdiff_t>(offset));
+      refresh_chunks_locked(*segment, offset, src.size());
+    } else {
+      // Torn write: the writer computed checksums for the full payload but
+      // only the leading `applied` floats landed.  Perform the full write,
+      // refresh the checksums, then restore the old tail and poison its
+      // chunks — the stored sums now describe data that never arrived.
+      torn = true;
+      const std::size_t applied = std::min(
+          src.size(),
+          static_cast<std::size_t>(torn_fraction * static_cast<double>(src.size())));
+      std::vector<float> old_tail(
+          segment->floats.begin() + static_cast<std::ptrdiff_t>(offset + applied),
+          segment->floats.begin() + static_cast<std::ptrdiff_t>(offset + src.size()));
+      std::copy_n(src.begin(), src.size(),
+                  segment->floats.begin() + static_cast<std::ptrdiff_t>(offset));
+      refresh_chunks_locked(*segment, offset, src.size());
+      std::copy(old_tail.begin(), old_tail.end(),
+                segment->floats.begin() + static_cast<std::ptrdiff_t>(offset + applied));
+      if (!segment->chunk_markers.empty() && applied < src.size()) {
+        const std::size_t width = options_.integrity.chunk_floats;
+        const std::size_t last_chunk = (offset + src.size() - 1) / width;
+        for (std::size_t c = (offset + applied) / width; c <= last_chunk; ++c) {
+          segment->chunk_markers[c] = kTornWriteMarkerBit | ordinal;
+        }
+      }
+    }
     segment->version += 1;
   }
   segment->version_cv.notify_all();
   std::unique_lock table(table_mutex_);
   stats_.writes += 1;
   stats_.bytes_written += static_cast<std::int64_t>(src.size() * sizeof(float));
+  if (torn) {
+    stats_.torn_writes_applied += 1;
+    torn_applied_.push_back(kTornWriteMarkerBit | ordinal);
+  }
 }
 
 void SmbServer::accumulate(Handle src, Handle dst) {
@@ -236,12 +313,22 @@ void SmbServer::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
   static thread_local std::vector<float> scratch;
   {
     std::scoped_lock lock(s->data_mutex);
+    if (options_.integrity.verify_on_read) {
+      verify_chunks_locked(*s, 0, s->floats.size());
+    }
     scratch.assign(s->floats.begin(), s->floats.end());
   }
   {
     std::scoped_lock lock(d->data_mutex);
     if (scratch.size() != d->floats.size()) {
       throw SmbError("accumulate requires equal segment sizes");
+    }
+    // Verify the destination BEFORE touching it: an accumulate into a
+    // corrupted chunk would otherwise refresh the checksum over poisoned
+    // data and launder the corruption.  Throwing here also precedes the tag
+    // record, so a mirrored retry after a repair is not a replay.
+    if (options_.integrity.verify_on_read) {
+      verify_chunks_locked(*d, 0, d->floats.size());
     }
     if (replayed_locked(*d, tag)) {
       std::unique_lock table(table_mutex_);
@@ -254,6 +341,7 @@ void SmbServer::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
         d->floats.size(), kAccumulateGrain, [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) out[i] += in[i];
         });
+    refresh_chunks_locked(*d, 0, d->floats.size());
     d->version += 1;
   }
   d->version_cv.notify_all();
@@ -275,15 +363,163 @@ void SmbServer::copy_segment_tagged(Handle src, Handle dst, OpTag tag) {
     if (s->floats.size() != d->floats.size()) {
       throw SmbError("copy requires equal segment sizes");
     }
+    if (options_.integrity.verify_on_read) {
+      verify_chunks_locked(*s, 0, s->floats.size());
+    }
     if (replayed_locked(*d, tag)) {
       std::unique_lock table(table_mutex_);
       stats_.replays_dropped += 1;
       return;
     }
     std::copy(s->floats.begin(), s->floats.end(), d->floats.begin());
+    refresh_chunks_locked(*d, 0, d->floats.size());
     d->version += 1;
   }
   d->version_cv.notify_all();
+}
+
+std::uint64_t SmbServer::chunk_checksum(const float* data, std::size_t count) {
+  // FNV-1a over the chunk's bytes — the checkpoint store's self-validation
+  // idiom, applied to the live data plane.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
+  const std::size_t total = count * sizeof(float);
+  for (std::size_t i = 0; i < total; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void SmbServer::refresh_chunks_locked(Segment& segment, std::size_t first, std::size_t count)
+    SHMCAFFE_REQUIRES(segment.data_mutex) {
+  SHMCAFFE_ASSERT_HELD(segment.data_mutex);
+  if (segment.chunk_sums.empty() || count == 0) return;
+  const std::size_t width = options_.integrity.chunk_floats;
+  const std::size_t total = segment.floats.size();
+  const std::size_t last_chunk = (first + count - 1) / width;
+  for (std::size_t c = first / width; c <= last_chunk; ++c) {
+    const std::size_t begin = c * width;
+    segment.chunk_sums[c] =
+        chunk_checksum(segment.floats.data() + begin, std::min(width, total - begin));
+    segment.chunk_markers[c] = 0;
+  }
+}
+
+std::size_t SmbServer::collect_corrupt_chunks_locked(Segment& segment, std::size_t first,
+                                                     std::size_t count,
+                                                     std::vector<CorruptChunk>& bad) const
+    SHMCAFFE_REQUIRES(segment.data_mutex) {
+  SHMCAFFE_ASSERT_HELD(segment.data_mutex);
+  if (segment.chunk_sums.empty() || count == 0) return 0;
+  const std::size_t width = options_.integrity.chunk_floats;
+  const std::size_t total = segment.floats.size();
+  const std::size_t last_chunk = (first + count - 1) / width;
+  for (std::size_t c = first / width; c <= last_chunk; ++c) {
+    const std::size_t begin = c * width;
+    const std::uint64_t sum =
+        chunk_checksum(segment.floats.data() + begin, std::min(width, total - begin));
+    if (sum != segment.chunk_sums[c]) {
+      bad.push_back(CorruptChunk{c, segment.chunk_markers[c]});
+    }
+  }
+  return last_chunk - first / width + 1;
+}
+
+void SmbServer::record_verification(std::size_t checked,
+                                    const std::vector<CorruptChunk>& bad) const {
+  std::unique_lock table(table_mutex_);
+  stats_.chunks_verified += checked;
+  stats_.corruptions_detected += bad.size();
+  for (const CorruptChunk& chunk : bad) {
+    if (chunk.marker == 0) continue;
+    if (std::find(detected_markers_.begin(), detected_markers_.end(), chunk.marker) ==
+        detected_markers_.end()) {
+      detected_markers_.push_back(chunk.marker);
+    }
+  }
+}
+
+void SmbServer::verify_chunks_locked(Segment& segment, std::size_t first,
+                                     std::size_t count) const
+    SHMCAFFE_REQUIRES(segment.data_mutex) {
+  std::vector<CorruptChunk> bad;
+  const std::size_t checked = collect_corrupt_chunks_locked(segment, first, count, bad);
+  if (checked == 0) return;
+  record_verification(checked, bad);
+  if (!bad.empty()) {
+    throw SmbCorruption("checksum mismatch in segment with SHM key " +
+                        std::to_string(segment.key) + " (chunk " +
+                        std::to_string(bad.front().chunk) + ", marker " +
+                        std::to_string(bad.front().marker) + ")");
+  }
+}
+
+std::vector<SmbServer::CorruptChunk> SmbServer::verify_segment(Handle handle) {
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
+  std::vector<CorruptChunk> bad;
+  std::size_t checked = 0;
+  {
+    std::scoped_lock lock(segment->data_mutex);
+    checked = collect_corrupt_chunks_locked(*segment, 0, segment->floats.size(), bad);
+  }
+  if (checked != 0) record_verification(checked, bad);
+  return bad;
+}
+
+std::vector<std::uint64_t> SmbServer::detected_markers() const {
+  std::shared_lock lock(table_mutex_);
+  std::vector<std::uint64_t> result = detected_markers_;
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::uint64_t> SmbServer::torn_applied_markers() const {
+  std::shared_lock lock(table_mutex_);
+  std::vector<std::uint64_t> result = torn_applied_;
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::size_t SmbServer::corrupt_floats(ShmKey key, std::uint64_t marker, int bit_flips) {
+  throw_if_failed();
+  std::shared_ptr<Segment> segment;
+  {
+    std::shared_lock lock(table_mutex_);
+    const auto it = key_to_access_.find(key);
+    if (it == key_to_access_.end()) return 0;
+    segment = by_access_key_.at(it->second);
+  }
+  if (segment->kind != Kind::kFloats) return 0;
+  common::Rng rng(marker);
+  std::scoped_lock lock(segment->data_mutex);
+  if (segment->floats.empty()) return 0;
+  std::set<std::size_t> chunks;
+  const std::size_t width = std::max<std::size_t>(1, options_.integrity.chunk_floats);
+  for (int f = 0; f < std::max(1, bit_flips); ++f) {
+    const std::size_t index = rng.next_below(segment->floats.size());
+    // Mantissa bits only: the poisoned value stays finite, so a run that
+    // consumes it degrades measurably instead of NaN-ing out instantly.
+    const std::uint32_t bit = 1U << rng.next_below(23);
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &segment->floats[index], sizeof(bits));
+    bits ^= bit;
+    std::memcpy(&segment->floats[index], &bits, sizeof(bits));
+    const std::size_t c = index / width;
+    if (c < segment->chunk_markers.size()) segment->chunk_markers[c] = marker;
+    chunks.insert(c);
+  }
+  // Checksums deliberately not refreshed, and the version not bumped: the
+  // corruption is silent until something verifies the chunk.
+  return chunks.size();
+}
+
+void SmbServer::arm_torn_write(std::uint64_t ordinal, double fraction) {
+  if (ordinal == 0) throw SmbError("torn-write ordinal is 1-based");
+  std::unique_lock table(table_mutex_);
+  if (armed_torn_.emplace(ordinal, std::clamp(fraction, 0.0, 1.0)).second) {
+    torn_armed_count_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 std::int64_t SmbServer::load(Handle handle, std::size_t index) const {

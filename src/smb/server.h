@@ -44,10 +44,30 @@
 
 namespace shmcaffe::smb {
 
+/// Data-integrity policy for float segments.  Off by default: checksum
+/// maintenance taxes every write/accumulate, so the fault-free hot path
+/// stays byte-for-byte what it was before the integrity layer existed.
+struct SmbIntegrityOptions {
+  /// Maintain per-chunk FNV-1a checksums, updated incrementally by every
+  /// write / accumulate / copy to a float segment.
+  bool checksum_chunks = false;
+  /// Verify the checksums of the touched range before serving a read and
+  /// before accumulating into (or snapshotting from) a segment, throwing
+  /// SmbCorruption on mismatch.  Verifying *before* the accumulate matters:
+  /// an unverified accumulate would recompute the checksum over corrupted
+  /// data and launder the corruption.  Implies checksum_chunks.
+  bool verify_on_read = false;
+  /// Checksum granularity in floats (16 KiB chunks by default).
+  std::size_t chunk_floats = 4096;
+
+  [[nodiscard]] bool maintain() const { return checksum_chunks || verify_on_read; }
+};
+
 struct SmbServerOptions {
   /// Total granted memory of the memory node (the paper's memory server has
   /// 256 GB; tests use small values to exercise exhaustion).
   std::int64_t capacity_bytes = 8LL << 30;
+  SmbIntegrityOptions integrity;
 };
 
 /// Cumulative operation statistics (for reports and tests).
@@ -60,6 +80,12 @@ struct SmbServerStats {
   /// Tagged mutations dropped because their OpTag was already applied
   /// (idempotent replay after a failover).
   std::uint64_t replays_dropped = 0;
+  /// Per-chunk checksum verifications performed (verify_on_read + scrubs).
+  std::uint64_t chunks_verified = 0;
+  /// Chunk verifications that failed (checksum mismatch).
+  std::uint64_t corruptions_detected = 0;
+  /// Armed torn writes that actually fired.
+  std::uint64_t torn_writes_applied = 0;
   std::int64_t bytes_read = 0;
   std::int64_t bytes_written = 0;
   std::int64_t bytes_in_use = 0;
@@ -115,9 +141,56 @@ class SmbServer final : public SmbService {
   // twice.  An untagged OpTag degenerates to the plain op.
 
   void write_tagged(Handle handle, std::span<const float> src, std::size_t offset,
-                    OpTag tag);
-  void accumulate_tagged(Handle src, Handle dst, OpTag tag);
+                    OpTag tag) override;
+  void accumulate_tagged(Handle src, Handle dst, OpTag tag) override;
   void copy_segment_tagged(Handle src, Handle dst, OpTag tag);
+
+  // --- data integrity ------------------------------------------------------
+  // Per-chunk FNV-1a checksums over float segments (enabled by
+  // SmbIntegrityOptions).  A chunk whose contents stopped matching its
+  // checksum carries a nonzero *marker* — the fault event's identity — so
+  // detections and repairs can be attributed to the event that caused them.
+
+  /// One chunk whose stored checksum no longer matches its contents.
+  struct CorruptChunk {
+    std::size_t chunk = 0;       ///< chunk index within the segment
+    std::uint64_t marker = 0;    ///< poisoning event's marker; 0 = unattributed
+  };
+
+  /// Verifies every chunk of a float segment (no throw); records detections
+  /// and returns the mismatching chunks.  The scrubber / read-repair entry.
+  std::vector<CorruptChunk> verify_segment(Handle handle);
+
+  /// Reads without verification — the repair/vote path must be able to look
+  /// at a corrupt copy.
+  void read_raw(Handle handle, std::span<float> dst, std::size_t offset = 0) const;
+
+  /// Markers of every corruption this server has detected, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> detected_markers() const;
+
+  /// Markers (kTornWriteMarkerBit | ordinal) of armed torn writes that
+  /// fired, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> torn_applied_markers() const;
+
+  // --- integrity fault injection -------------------------------------------
+
+  /// Torn-write markers live in the upper half of the marker space so they
+  /// can never collide with the plan-drawn corruption markers (high bit
+  /// clear by construction, see fault/fault_plan.h).
+  static constexpr std::uint64_t kTornWriteMarkerBit = 1ULL << 63;
+
+  /// Flips `bit_flips` marker-seeded mantissa bits in the float segment
+  /// under `key` and poisons the touched chunks with `marker`.  Checksums
+  /// are deliberately left stale — that is the fault.  Returns the number
+  /// of chunks poisoned (0 if the key does not name a float segment).
+  std::size_t corrupt_floats(ShmKey key, std::uint64_t marker, int bit_flips);
+
+  /// Arms a torn write: the `ordinal`-th float write accepted by this server
+  /// (1-based, arrival order) applies only the leading `fraction` of its
+  /// payload while the checksums record the full intended write — modelling
+  /// a writer-side checksum with a partially-landed DMA.  The tail chunks
+  /// are poisoned with marker kTornWriteMarkerBit | ordinal.
+  void arm_torn_write(std::uint64_t ordinal, double fraction);
 
   // --- counter segment ops -----------------------------------------------
 
@@ -180,6 +253,10 @@ class SmbServer final : public SmbService {
     /// Reference count lives with the segment table, not the data path.
     int refcount SHMCAFFE_GUARDED_BY(table_mutex_) = 0;
     std::uint64_t version SHMCAFFE_GUARDED_BY(data_mutex) = 0;
+    /// Per-chunk FNV-1a checksums (empty unless integrity is on).
+    std::vector<std::uint64_t> chunk_sums SHMCAFFE_GUARDED_BY(data_mutex);
+    /// Per-chunk poisoning markers (0 = clean); parallel to chunk_sums.
+    std::vector<std::uint64_t> chunk_markers SHMCAFFE_GUARDED_BY(data_mutex);
     /// Highest applied OpTag sequence per mirroring agent (idempotent
     /// replay detection); guarded by data_mutex like floats + version.
     std::unordered_map<std::uint64_t, std::uint64_t> applied_tags
@@ -206,6 +283,29 @@ class SmbServer final : public SmbService {
   bool replayed_locked(Segment& segment, OpTag tag)
       SHMCAFFE_REQUIRES(segment.data_mutex);
 
+  [[nodiscard]] bool maintain_checksums() const { return options_.integrity.maintain(); }
+  /// FNV-1a over the chunk's float bytes.
+  static std::uint64_t chunk_checksum(const float* data, std::size_t count);
+  /// Recomputes the checksums of every chunk overlapping [first, first+count)
+  /// from the segment's current contents and clears their markers (the range
+  /// was just legitimately rewritten).
+  void refresh_chunks_locked(Segment& segment, std::size_t first, std::size_t count)
+      SHMCAFFE_REQUIRES(segment.data_mutex);
+  /// Verifies every chunk overlapping [first, first+count); on mismatch
+  /// records the detection (stats + markers) and throws SmbCorruption.
+  /// Const because reads are logically const — detection only touches the
+  /// mutable stats/marker log.
+  void verify_chunks_locked(Segment& segment, std::size_t first, std::size_t count) const
+      SHMCAFFE_REQUIRES(segment.data_mutex);
+  /// Non-throwing verify of the same range; appends mismatches to `bad` and
+  /// returns the number of chunks checked.
+  std::size_t collect_corrupt_chunks_locked(Segment& segment, std::size_t first,
+                                            std::size_t count,
+                                            std::vector<CorruptChunk>& bad) const
+      SHMCAFFE_REQUIRES(segment.data_mutex);
+  /// Records a verification outcome under the table lock (stats + markers).
+  void record_verification(std::size_t checked, const std::vector<CorruptChunk>& bad) const;
+
   SmbServerOptions options_ SHMCAFFE_UNGUARDED;  // immutable after ctor
   /// steady_clock time (ns since epoch) until which the data path is frozen.
   std::atomic<std::int64_t> frozen_until_ns_{0};
@@ -220,6 +320,17 @@ class SmbServer final : public SmbService {
       SHMCAFFE_GUARDED_BY(table_mutex_);  // canonical access key
   std::uint64_t next_access_key_ SHMCAFFE_GUARDED_BY(table_mutex_) = 1;
   mutable SmbServerStats stats_ SHMCAFFE_GUARDED_BY(table_mutex_);
+  /// Markers of detected corruptions, in detection order (deduplicated).
+  /// Mutable for the same reason as stats_: const reads detect corruption.
+  mutable std::vector<std::uint64_t> detected_markers_ SHMCAFFE_GUARDED_BY(table_mutex_);
+  /// Markers of armed torn writes that fired.
+  std::vector<std::uint64_t> torn_applied_ SHMCAFFE_GUARDED_BY(table_mutex_);
+  /// Armed torn writes: write ordinal -> applied fraction.
+  std::unordered_map<std::uint64_t, double> armed_torn_ SHMCAFFE_GUARDED_BY(table_mutex_);
+  /// Arrival-order float-write counter (torn-write ordinals).
+  std::atomic<std::uint64_t> write_ordinal_{0};
+  /// Fast-path gate: nonzero only while torn writes are armed.
+  std::atomic<int> torn_armed_count_{0};
 };
 
 }  // namespace shmcaffe::smb

@@ -57,6 +57,16 @@ class SmbUnavailable : public SmbError {
   using SmbError::SmbError;
 };
 
+/// A per-chunk checksum mismatch was detected on the touched range (silent
+/// data corruption, e.g. a bit flip or a torn write).  A replicated ensemble
+/// catches this and read-repairs the bad copy from its peers; without a
+/// clean peer it surfaces to the worker, whose recovery layer degrades to a
+/// checkpoint rollback instead of consuming poisoned weights.
+class SmbCorruption : public SmbError {
+ public:
+  using SmbError::SmbError;
+};
+
 /// Identity of one mirrored mutation, used for idempotent replay.  A
 /// mirroring agent stamps each float-path mutation with its own id and a
 /// strictly increasing sequence number; a server that already applied the
@@ -95,6 +105,21 @@ class SmbService {
   virtual void accumulate(Handle src, Handle dst) = 0;
   /// Overwrite-style accumulate used for initialisation: dst[i] = src[i].
   virtual void copy_segment(Handle src, Handle dst) = 0;
+
+  // --- tagged (idempotent) mutations --------------------------------------
+  // Variants stamped with a caller OpTag so an ambiguous retry (the client
+  // timed out but the op may have landed) can be resent safely: a service
+  // that tracks applied tags drops the replay instead of double-applying it.
+  // The defaults forward to the plain ops (no replay tracking) so passive
+  // implementations keep working; SmbServer and ReplicatedSmb override.
+
+  virtual void write_tagged(Handle handle, std::span<const float> src, std::size_t offset,
+                            OpTag /*tag*/) {
+    write(handle, src, offset);
+  }
+  virtual void accumulate_tagged(Handle src, Handle dst, OpTag /*tag*/) {
+    accumulate(src, dst);
+  }
 
   // --- counter segment ops -----------------------------------------------
 

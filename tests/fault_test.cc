@@ -101,6 +101,128 @@ TEST(FaultPlan, DescribeMentionsEveryEvent) {
             plan.size());
 }
 
+/// One event of every FaultKind, in enum order.  Extending the enum without
+/// extending this list fails the exhaustiveness checks below.
+std::vector<FaultEvent> one_of_every_kind() {
+  std::vector<FaultEvent> events;
+  FaultEvent crash;
+  crash.kind = FaultKind::kWorkerCrash;
+  crash.target = 0;
+  crash.iteration = 1;
+  events.push_back(crash);
+  FaultEvent stall;
+  stall.kind = FaultKind::kWorkerStall;
+  stall.target = 1;
+  stall.iteration = 2;
+  stall.duration_seconds = 0.5;
+  events.push_back(stall);
+  FaultEvent freeze;
+  freeze.kind = FaultKind::kServerFreeze;
+  freeze.target = 0;
+  freeze.start_seconds = 0.1;
+  freeze.duration_seconds = 0.2;
+  events.push_back(freeze);
+  FaultEvent fail_stop;
+  fail_stop.kind = FaultKind::kServerFailStop;
+  fail_stop.target = 1;
+  fail_stop.start_seconds = 0.3;
+  events.push_back(fail_stop);
+  FaultEvent degrade;
+  degrade.kind = FaultKind::kLinkDegrade;
+  degrade.target = 2;
+  degrade.start_seconds = 0.4;
+  degrade.duration_seconds = 0.1;
+  degrade.severity = 0.25;
+  events.push_back(degrade);
+  FaultEvent down;
+  down.kind = FaultKind::kLinkDown;
+  down.target = 3;
+  down.start_seconds = 0.5;
+  down.duration_seconds = 0.1;
+  events.push_back(down);
+  FaultEvent drop;
+  drop.kind = FaultKind::kDatagramDrop;
+  drop.sequence = 42;
+  events.push_back(drop);
+  FaultEvent corrupt;
+  corrupt.kind = FaultKind::kSegmentCorruption;
+  corrupt.target = 0;
+  corrupt.start_seconds = 0.6;
+  corrupt.severity = 3;
+  corrupt.sequence = 0x5eed;
+  events.push_back(corrupt);
+  FaultEvent torn;
+  torn.kind = FaultKind::kTornWrite;
+  torn.target = 1;
+  torn.sequence = 7;
+  torn.severity = 0.5;
+  events.push_back(torn);
+  return events;
+}
+
+TEST(FaultKindNames, EveryKindHasADistinctNonEmptyName) {
+  std::vector<std::string> names;
+  for (const FaultEvent& event : one_of_every_kind()) {
+    names.emplace_back(fault::to_string(event.kind));
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "two FaultKinds share a to_string name";
+}
+
+TEST(FaultPlan, RoundTripsAndDescribesEveryKind) {
+  const std::vector<FaultEvent> events = one_of_every_kind();
+  const FaultPlan plan(events);
+  // The plan is a faithful ordered container: events round-trip verbatim.
+  EXPECT_EQ(plan.events(), events);
+  EXPECT_EQ(FaultPlan(plan.events()).fingerprint(), plan.fingerprint());
+
+  // describe() renders one line per event and names each event's kind.
+  const std::string text = plan.describe();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            events.size());
+  for (const FaultEvent& event : events) {
+    EXPECT_NE(text.find(fault::to_string(event.kind)), std::string::npos)
+        << fault::to_string(event.kind) << " missing from describe()";
+  }
+}
+
+TEST(FaultPlan, GeneratorEmitsIntegrityFaultsWithValidMarkers) {
+  FaultPlanSpec spec;
+  spec.seed = 0x1de7;
+  spec.servers = 4;
+  spec.corruption_probability = 1.0;
+  spec.corruption_bit_flips = 5;
+  spec.torn_write_probability = 1.0;
+  spec.writes_per_server = 100;
+  spec.torn_write_fraction = 0.25;
+  const FaultPlan plan = FaultPlan::generate(spec);
+
+  int corruptions = 0;
+  int torn = 0;
+  for (const FaultEvent& event : plan.events()) {
+    if (event.kind == FaultKind::kSegmentCorruption) {
+      ++corruptions;
+      EXPECT_NE(event.sequence, 0u);                     // nonzero marker
+      EXPECT_EQ(event.sequence >> 63, 0u);               // high bit clear
+      EXPECT_DOUBLE_EQ(event.severity, 5.0);
+      EXPECT_GE(event.start_seconds, 0.0);
+      EXPECT_LT(event.start_seconds, spec.horizon_seconds);
+    } else if (event.kind == FaultKind::kTornWrite) {
+      ++torn;
+      EXPECT_GE(event.sequence, 1u);                     // 1-based ordinal
+      EXPECT_LE(event.sequence, spec.writes_per_server);
+      EXPECT_DOUBLE_EQ(event.severity, 0.25);
+    }
+  }
+  EXPECT_EQ(corruptions, spec.servers);
+  EXPECT_EQ(torn, spec.servers);
+  // Determinism: the same spec regenerates the identical plan.
+  EXPECT_EQ(FaultPlan::generate(spec).fingerprint(), plan.fingerprint());
+}
+
 // --- injector queries ---
 
 TEST(FaultInjector, IndexesWorkerAndWindowEvents) {

@@ -19,6 +19,12 @@
 #                             # BENCH_elastic.json; refuses to overwrite the
 #                             # baseline on a >20% throughput regression unless
 #                             # --force is also given
+#   tools/check.sh integrity  # `ctest -L integrity` in the plain AND ASan
+#                             # trees (checksum/repair paths are memory hot
+#                             # spots), then the Release bench_ext_integrity
+#                             # snapshot into BENCH_integrity.json; refuses to
+#                             # overwrite the baseline on a >20% throughput
+#                             # regression unless --force is also given
 #   tools/check.sh bench      # Release build + bench_micro_kernels snapshot
 #                             # into BENCH_kernels.json; refuses to overwrite
 #                             # the baseline on a >20% throughput regression
@@ -59,6 +65,9 @@ run_stage() {
 # `unguarded_access` count (guarded-field reads/writes the lock-region pass
 # could not prove held) and the summary `tainted` count (statements the
 # determinism pass reaches from a SHMCAFFE_DETERMINISTIC root) must not grow.
+# The summary `deterministic_roots` count must not SHRINK: the roots are the
+# cross-stack reproducibility contract (recovery/membership/integrity
+# fingerprints), and silently dropping an annotation un-gates its callees.
 # On success the new report becomes the baseline; a regression keeps the old
 # baseline unless --force is given.
 lint_coverage_gate() {
@@ -109,6 +118,16 @@ lint_coverage_gate() {
     if [[ -n "$old_tainted" && -n "$new_tainted" && "$new_tainted" -gt "$old_tainted" ]]; then
       echo "==> [lint] determinism-tainted statement count grew vs LINT_coverage.json" \
            "($old_tainted -> $new_tainted); baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
+    local extract_roots='s/.*"deterministic_roots": \([0-9]*\).*/\1/p'
+    local old_roots new_roots
+    old_roots=$(sed -n "$extract_roots" LINT_coverage.json | head -1)
+    new_roots=$(sed -n "$extract_roots" "$new_json" | head -1)
+    if [[ -n "$old_roots" && -n "$new_roots" && "$new_roots" -lt "$old_roots" ]]; then
+      echo "==> [lint] SHMCAFFE_DETERMINISTIC root count shrank vs LINT_coverage.json" \
+           "($old_roots -> $new_roots); baseline kept (rerun with --force after review)" >&2
       rm -f "$new_json"
       exit 1
     fi
@@ -185,6 +204,44 @@ for stage in "${STAGES[@]}"; do
       mv "$new_json" BENCH_elastic.json
       echo "==> [elastic] snapshot written to BENCH_elastic.json"
       ;;
+    integrity)
+      # Focused gate for the data-integrity layer (chunk checksums,
+      # verify-on-read, replica read-repair, scrubbing): its suite in the
+      # plain tree, then the same tests under AddressSanitizer+UBSan — the
+      # checksum and repair paths do raw byte-span arithmetic over segment
+      # storage, so memory errors are the failure mode to hunt — and finally
+      # the simulated integrity bench snapshotted against the committed
+      # baseline.  The bench quantities are simulated (deterministic,
+      # build-type independent), so the 20% throughput fence catches
+      # modelling regressions, not machine noise.
+      run_stage integrity-plain build "" "-L integrity"
+      run_stage integrity-asan build-asan address "-L integrity"
+      echo "==> [integrity] configure + build (build-bench, Release)"
+      cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+            -DSHMCAFFE_LOCK_ASSERTS=OFF >/dev/null
+      cmake --build build-bench -j "$JOBS" --target bench_ext_integrity
+      echo "==> [integrity] bench_ext_integrity"
+      new_json=$(mktemp)
+      ./build-bench/bench/bench_ext_integrity > "$new_json"
+      extract='s/.*"name": "\([^"]*\)".*"throughput": \([0-9.eE+-]*\).*/\1 \2/p'
+      if [[ -f BENCH_integrity.json && "$FORCE" != 1 ]]; then
+        if ! awk 'NR==FNR { old[$1] = $2; next }
+                  ($1 in old) && old[$1] > 0 && $2 < 0.8 * old[$1] {
+                    printf "regression: %s %.4f -> %.4f (-%.0f%%)\n",
+                           $1, old[$1], $2, 100 * (1 - $2 / old[$1]); bad = 1
+                  }
+                  END { exit bad }' \
+              <(sed -n "$extract" BENCH_integrity.json) \
+              <(sed -n "$extract" "$new_json"); then
+          echo "==> [integrity] >20% throughput regression vs BENCH_integrity.json;" \
+               "baseline kept (rerun with --force to overwrite)" >&2
+          rm -f "$new_json"
+          exit 1
+        fi
+      fi
+      mv "$new_json" BENCH_integrity.json
+      echo "==> [integrity] snapshot written to BENCH_integrity.json"
+      ;;
     bench)
       # Micro-kernel throughput snapshot.  Optimised tree (the sanitizer
       # trees and default RelWithDebInfo mismeasure the kernels), one run,
@@ -221,7 +278,7 @@ for stage in "${STAGES[@]}"; do
       echo "==> [bench] snapshot written to BENCH_kernels.json"
       ;;
     *)
-      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery|elastic|bench)" >&2
+      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery|elastic|integrity|bench)" >&2
       exit 2
       ;;
   esac
