@@ -15,13 +15,17 @@
 // forced.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/seasgd_math.h"
 #include "dl/layers.h"
 #include "smb/server.h"
@@ -42,9 +46,28 @@ constexpr int kBwdReps = 20;
 // SEASGD / SMB span: 4M floats (a ShmCaffe-B-scale parameter buffer).
 constexpr std::size_t kSpan = 4U << 20;
 constexpr int kSpanReps = 12;
+constexpr double kSpanBytes = static_cast<double>(kSpan) * sizeof(float);
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Every row is timed as best-of-N batches, not one long window: on a shared
+// (often single-core) box a scheduler hiccup inside the window would poison
+// the whole row, while the fastest batch approximates the machine's
+// uncontended rate.  The checksum contract is unaffected — every batch runs
+// the same work.
+constexpr int kTimingBatches = 6;
+
+template <typename Body>
+double best_of(int reps_per_batch, Body&& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int batch = 0; batch < kTimingBatches; ++batch) {
+    const auto start = Clock::now();
+    for (int i = 0; i < reps_per_batch; ++i) body();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
 }
 
 /// Fixed-order float checksum; bitwise identical inputs give identical sums.
@@ -60,15 +83,25 @@ struct Row {
   double ms;          // per iteration
   double throughput;  // GFLOP/s for conv, Gelem/s for span kernels
   const char* units;
+  double gb_per_s;    // memory-stream rate: bytes touched per iteration / time
   double check;
 };
 
 std::vector<Row> rows;
 
 void emit(const char* name, int threads, double total_seconds, int reps, double work,
-          const char* units, double check) {
+          const char* units, double bytes, double check) {
   const double per_iter = total_seconds / reps;
-  rows.push_back(Row{name, threads, per_iter * 1e3, work / per_iter * 1e-9, units, check});
+  rows.push_back(Row{name, threads, per_iter * 1e3, work / per_iter * 1e-9, units,
+                     bytes / per_iter * 1e-9, check});
+}
+
+/// Throughput of the named row, or 0 if absent.
+double throughput_of(std::string_view name, int threads) {
+  for (const Row& r : rows) {
+    if (std::string_view(r.name) == name && r.threads == threads) return r.throughput;
+  }
+  return 0.0;
 }
 
 // --- scalar reference: the pre-pool conv GEMM ------------------------------
@@ -190,10 +223,9 @@ void bench_conv(int threads) {
   const double kk = static_cast<double>(kInC) * 9;
   const double flops = 2.0 * kk * kOutC * columns * kBatch;
 
-  auto start = Clock::now();
-  for (int i = 0; i < kFwdReps; ++i) conv.forward({&x}, top, true);
-  emit("conv_fwd", threads, seconds_since(start), kFwdReps, flops, "gflops",
-       checksum(top.data(), top.size()));
+  const double fwd_best = best_of(kFwdReps, [&] { conv.forward({&x}, top, true); });
+  emit("conv_fwd", threads, fwd_best, kFwdReps, flops, "gflops",
+       flops / 2.0 * sizeof(float), checksum(top.data(), top.size()));
 
   dl::Tensor top_grad;
   top_grad.reshape(top.shape());
@@ -202,14 +234,13 @@ void bench_conv(int threads) {
   x_grad.reshape(x.shape());
   std::vector<dl::Tensor*> bottom_grads{&x_grad};
   conv.backward({&x}, top, top_grad, bottom_grads);  // size dcol_
-  start = Clock::now();
-  for (int i = 0; i < kBwdReps; ++i) {
+  const double bwd_best = best_of(kBwdReps, [&] {
     x_grad.zero();
     conv.backward({&x}, top, top_grad, bottom_grads);
-  }
+  });
   // dW, dcol and col2im each stream the full GEMM volume: ~3x forward work.
-  emit("conv_bwd", threads, seconds_since(start), kBwdReps, 3.0 * flops, "gflops",
-       checksum(x_grad.data(), x_grad.size()));
+  emit("conv_bwd", threads, bwd_best, kBwdReps, 3.0 * flops, "gflops",
+       3.0 * flops / 2.0 * sizeof(float), checksum(x_grad.data(), x_grad.size()));
 }
 
 void bench_conv_scalar_reference() {
@@ -229,10 +260,9 @@ void bench_conv_scalar_reference() {
   const double flops = 2.0 * kk * kOutC * columns * kBatch;
 
   ref.forward(x, w, b, top);
-  auto start = Clock::now();
-  for (int i = 0; i < kFwdReps; ++i) ref.forward(x, w, b, top);
-  emit("conv_fwd_scalar_ref", 1, seconds_since(start), kFwdReps, flops, "gflops",
-       checksum(top.data(), top.size()));
+  const double fwd_best = best_of(kFwdReps, [&] { ref.forward(x, w, b, top); });
+  emit("conv_fwd_scalar_ref", 1, fwd_best, kFwdReps, flops, "gflops",
+       flops / 2.0 * sizeof(float), checksum(top.data(), top.size()));
 
   dl::Tensor top_grad;
   top_grad.reshape(top.shape());
@@ -241,13 +271,12 @@ void bench_conv_scalar_reference() {
   x_grad.reshape(x.shape());
   std::vector<float> dw(init.params()[0]->value.size());
   std::vector<float> db(init.params()[1]->value.size());
-  start = Clock::now();
-  for (int i = 0; i < kBwdReps; ++i) {
+  const double bwd_best = best_of(kBwdReps, [&] {
     x_grad.zero();
     ref.backward(x, top_grad, w, dw.data(), db.data(), &x_grad);
-  }
-  emit("conv_bwd_scalar_ref", 1, seconds_since(start), kBwdReps, 3.0 * flops, "gflops",
-       checksum(x_grad.data(), x_grad.size()));
+  });
+  emit("conv_bwd_scalar_ref", 1, bwd_best, kBwdReps, 3.0 * flops, "gflops",
+       3.0 * flops / 2.0 * sizeof(float), checksum(x_grad.data(), x_grad.size()));
 }
 
 void bench_seasgd(int threads) {
@@ -261,13 +290,13 @@ void bench_seasgd(int threads) {
   const std::vector<float> local0 = local;
 
   core::elastic_exchange_parallel(local, global, 0.25F, delta);  // warm pool
-  auto start = Clock::now();
-  for (int i = 0; i < kSpanReps; ++i) {
+  const double elapsed = best_of(kSpanReps, [&] {
     std::copy(local0.begin(), local0.end(), local.begin());
     core::elastic_exchange_parallel(local, global, 0.25F, delta);
-  }
-  emit("seasgd_exchange", threads, seconds_since(start), kSpanReps,
-       static_cast<double>(kSpan), "gelems", checksum(delta.data(), delta.size()));
+  });
+  emit("seasgd_exchange", threads, elapsed, kSpanReps,
+       static_cast<double>(kSpan), "gelems", 4.0 * kSpanBytes,
+       checksum(delta.data(), delta.size()));
 }
 
 void bench_smb_accumulate(int threads) {
@@ -283,13 +312,99 @@ void bench_smb_accumulate(int threads) {
   server.write(src, delta);
 
   server.accumulate(src, dst);  // warm pool + scratch
-  auto start = Clock::now();
-  for (int i = 0; i < kSpanReps; ++i) server.accumulate(src, dst);
-  const double elapsed = seconds_since(start);
+  const double elapsed = best_of(kSpanReps, [&] { server.accumulate(src, dst); });
   std::vector<float> out(kSpan);
   server.read(dst, out);
   emit("smb_accumulate", threads, elapsed, kSpanReps, static_cast<double>(kSpan),
-       "gelems", checksum(out.data(), out.size()));
+       "gelems", 3.0 * kSpanBytes, checksum(out.data(), out.size()));
+}
+
+// The SIMD kernel core against a plain scalar loop over the same span, both
+// single-threaded: the per-element win of the 8-wide tier in isolation (the
+// seasgd_exchange rows above measure it end-to-end through the work pool).
+void bench_exchange_core() {
+  common::Rng rng(17);
+  std::vector<float> local(kSpan);
+  std::vector<float> global(kSpan);
+  std::vector<float> delta(kSpan);
+  for (float& v : local) v = static_cast<float>(rng.uniform(-1, 1));
+  for (float& v : global) v = static_cast<float>(rng.uniform(-1, 1));
+  const std::vector<float> local0 = local;
+  constexpr float kAlpha = 0.25F;
+
+  common::simd::elastic_exchange_core(kSpan, local.data(), global.data(), kAlpha,
+                                      delta.data());
+  const double simd_best = best_of(kSpanReps, [&] {
+    std::copy(local0.begin(), local0.end(), local.begin());
+    common::simd::elastic_exchange_core(kSpan, local.data(), global.data(), kAlpha,
+                                        delta.data());
+  });
+  emit("exchange_core_simd", 1, simd_best, kSpanReps,
+       static_cast<double>(kSpan), "gelems", 4.0 * kSpanBytes,
+       checksum(delta.data(), delta.size()));
+
+  std::vector<float> delta_ref(kSpan);
+  std::copy(local0.begin(), local0.end(), local.begin());
+  const double scalar_best = best_of(kSpanReps, [&] {
+    std::copy(local0.begin(), local0.end(), local.begin());
+    for (std::size_t j = 0; j < kSpan; ++j) {
+      delta_ref[j] = kAlpha * (local[j] - global[j]);
+      local[j] -= delta_ref[j];
+    }
+  });
+  emit("exchange_core_scalar", 1, scalar_best, kSpanReps,
+       static_cast<double>(kSpan), "gelems", 4.0 * kSpanBytes,
+       checksum(delta_ref.data(), delta_ref.size()));
+
+  // The SIMD tier's bitwise-identity contract against the scalar loop,
+  // enforced where the numbers are produced (like the t1/t4 checksums).
+  for (std::size_t j = 0; j < kSpan; ++j) {
+    if (delta[j] != delta_ref[j]) {
+      std::fprintf(stderr, "exchange core mismatch at %zu: simd=%.9g scalar=%.9g\n", j,
+                   static_cast<double>(delta[j]), static_cast<double>(delta_ref[j]));
+      std::exit(1);
+    }
+  }
+}
+
+// Copy read against the epoch-pinned zero-copy read of the same 4M-float
+// segment.  The copy row streams the segment into a staging vector; the
+// pinned row only pins/unpins the storage epoch — no bytes move, which is
+// the entire point (its gb_per_s column reports delivered *view* bytes).
+void bench_smb_read() {
+  common::parallel::set_thread_count(1);
+  smb::SmbServerOptions options;
+  options.capacity_bytes = 256LL << 20;
+  smb::SmbServer server(options);
+  const smb::Handle handle = server.create_floats(1, kSpan);
+  common::Rng rng(19);
+  std::vector<float> data(kSpan);
+  for (float& v : data) v = static_cast<float>(rng.uniform(-1, 1));
+  server.write(handle, data);
+
+  std::vector<float> out(kSpan);
+  server.read(handle, out);
+  const double copy_best = best_of(kSpanReps, [&] { server.read(handle, out); });
+  emit("smb_read_copy", 1, copy_best, kSpanReps, static_cast<double>(kSpan),
+       "gelems", 2.0 * kSpanBytes, checksum(out.data(), out.size()));
+
+  double pinned_check = 0.0;
+  { auto warm = server.read_pinned(handle, kSpan); pinned_check = checksum(warm.data(), warm.size()); }
+  // A pin is ~100ns, so the row needs far more reps per batch than the
+  // streaming kernels for the batch time to dwarf timer jitter.
+  constexpr int kPinnedReps = 4096;
+  const double pinned_best = best_of(kPinnedReps, [&] {
+    smb::PinnedFloats view = server.read_pinned(handle, kSpan);
+    // Touch the ends so the pin cannot be optimised into nothing.
+    if (view.data()[0] != data[0] || view.data()[kSpan - 1] != data[kSpan - 1]) std::exit(1);
+  });
+  emit("smb_read_pinned", 1, pinned_best, kPinnedReps, static_cast<double>(kSpan),
+       "gelems", kSpanBytes, pinned_check);
+
+  if (pinned_check != checksum(out.data(), out.size())) {
+    std::fprintf(stderr, "pinned read checksum differs from copy read\n");
+    std::exit(1);
+  }
 }
 
 }  // namespace
@@ -301,6 +416,8 @@ int main() {
     bench_smb_accumulate(threads);
   }
   bench_conv_scalar_reference();
+  bench_exchange_core();
+  bench_smb_read();
   common::parallel::shutdown();
 
   // The determinism contract, enforced where the numbers are produced: a
@@ -319,17 +436,40 @@ int main() {
     }
   }
 
-  std::printf("{\n  \"schema\": \"bench_micro_kernels/v1\",\n");
+  // Speedup of each tuned kernel over its in-bench reference, folded into
+  // one number: the geometric mean keeps any single ratio from dominating.
+  const std::pair<const char*, const char*> pairs[] = {
+      {"conv_fwd", "conv_fwd_scalar_ref"},
+      {"conv_bwd", "conv_bwd_scalar_ref"},
+      {"exchange_core_simd", "exchange_core_scalar"},
+      {"smb_read_pinned", "smb_read_copy"},
+  };
+  double log_sum = 0.0;
+  int pair_count = 0;
+  for (const auto& [tuned, ref] : pairs) {
+    const double a = throughput_of(tuned, 1);
+    const double b = throughput_of(ref, 1);
+    if (a > 0 && b > 0) {
+      log_sum += std::log(a / b);
+      ++pair_count;
+    }
+  }
+  const double geomean = pair_count > 0 ? std::exp(log_sum / pair_count) : 0.0;
+
+  std::printf("{\n  \"schema\": \"bench_micro_kernels/v2\",\n");
+  std::printf("  \"simd\": \"%s\",\n", common::simd::dispatch_name());
   std::printf("  \"conv\": {\"batch\": %d, \"in_c\": %d, \"out_c\": %d, \"side\": %d},\n",
               kBatch, kInC, kOutC, kSide);
   std::printf("  \"span_elements\": %zu,\n", kSpan);
+  std::printf("  \"geomean_speedup_vs_ref\": %.4f,\n", geomean);
   std::printf("  \"kernels\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::printf("    {\"name\": \"%s_t%d\", \"threads\": %d, \"ms_per_iter\": %.4f, "
-                "\"throughput\": %.4f, \"units\": \"%s\", \"checksum\": %.9g}%s\n",
-                r.name, r.threads, r.threads, r.ms, r.throughput, r.units, r.check,
-                i + 1 < rows.size() ? "," : "");
+                "\"throughput\": %.4f, \"units\": \"%s\", \"gb_per_s\": %.4f, "
+                "\"checksum\": %.9g}%s\n",
+                r.name, r.threads, r.threads, r.ms, r.throughput, r.units, r.gb_per_s,
+                r.check, i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
   return 0;

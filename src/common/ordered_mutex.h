@@ -41,6 +41,7 @@
 //   300  | baselines.async_ps.weights  | classic parameter-server weights
 //   400  | minimpi.mailbox             | per-rank MiniMPI mailbox
 //   410  | minimpi.barrier             | MiniMPI barrier state
+//   450  | common.arena.registry       | arena allocator free lists + stats
 //   500  | common.parallel.pool        | work-pool job handoff (common/parallel)
 //
 // Observed orderings the table encodes: a progress-board sweep (100) reads
@@ -49,7 +50,13 @@
 // segment (200) and table (210) locks while held; SmbServer::read
 // takes the table lock (210) for stats while holding a segment lock (200).
 // MiniMPI and the parameter server are leaf locks: nothing else is acquired
-// under them.  The parallel work pool (500) is the innermost lock of all:
+// under them.  The arena registry (450) sits between the service locks and
+// the pool: SMB segment storage is allocated and recycled while holding a
+// segment lock (200) — and freed during release while holding the table
+// lock (210) — so the arena must rank above both, yet below the pool (500)
+// because no arena call ever submits pool work (kernels allocate before
+// entering parallel_for, never inside chunk bodies).
+// The parallel work pool (500) is the innermost lock of all:
 // SmbServer::accumulate submits parallel chunks while holding a segment
 // lock (200), so the pool handoff must rank above every lock a submitter
 // may hold; pool workers run chunk bodies with no pool lock held.  Mutexes
@@ -110,6 +117,16 @@
 // set.
 #define SHMCAFFE_DETERMINISTIC /* parsed by shmcaffe-lint */
 
+// Hot-kernel annotation, placed before the return type of a per-iteration
+// kernel (the conv GEMM/im2col, the SEASGD exchange kernels, the SMB
+// write/accumulate data paths).  shmcaffe-lint's `no-hot-alloc` pass walks
+// every function reachable from an annotated root through the call index
+// and rejects heap allocation there — container construction/growth,
+// `new`, make_unique/make_shared — unless the statement routes through the
+// common::arena allocator or carries the rule's lint suppression comment
+// with a reason.  Steady-state iterations must recycle arena slabs.
+#define SHMCAFFE_HOT_KERNEL /* parsed by shmcaffe-lint */
+
 #if !defined(SHMCAFFE_LOCK_ASSERTS)
 #if defined(NDEBUG)
 #define SHMCAFFE_LOCK_ASSERTS 0
@@ -136,6 +153,7 @@ inline constexpr int kSmbTable = 210;
 inline constexpr int kAsyncPsWeights = 300;
 inline constexpr int kMpiMailbox = 400;
 inline constexpr int kMpiBarrier = 410;
+inline constexpr int kArena = 450;
 inline constexpr int kParallelPool = 500;
 }  // namespace lockrank
 

@@ -130,6 +130,7 @@ class Pool {
     SHMCAFFE_ASSERT_HELD(mutex_);
     stopping_ = false;
     for (int w = 1; w < width_; ++w) {
+      // lint:allow-next-line(no-hot-alloc) one-time lazy pool spawn, not per-iteration
       workers_.emplace_back([this] { worker_loop(); });
     }
   }

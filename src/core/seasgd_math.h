@@ -15,13 +15,17 @@
 // same loop in fixed-size chunks on the shared work pool.  Every element is
 // written by exactly one chunk and no chunk reads another chunk's output, so
 // the parallel forms are bitwise identical to the scalar ones for any pool
-// width (see common/parallel.h).
+// width (see common/parallel.h).  The element loops themselves are the
+// common/simd.h cores — lane-independent elementwise algebra with multiply
+// and add kept separate, so the SIMD and scalar-fallback builds are also
+// bitwise identical (tests/simd_test.cc).
 #pragma once
 
 #include <cassert>
 #include <span>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace shmcaffe::core {
 
@@ -32,65 +36,59 @@ namespace shmcaffe::core {
 inline constexpr std::size_t kSeasgdGrain = 16384;
 
 /// Computes the weight increment dW = alpha * (local - global)   (eq. 5).
-inline void weight_increment(std::span<const float> local, std::span<const float> global,
+SHMCAFFE_HOT_KERNEL inline void weight_increment(std::span<const float> local, std::span<const float> global,
                              float alpha, std::span<float> delta) {
   assert(local.size() == global.size() && local.size() == delta.size());
-  for (std::size_t i = 0; i < local.size(); ++i) {
-    delta[i] = alpha * (local[i] - global[i]);
-  }
+  common::simd::weight_increment_core(local.size(), local.data(), global.data(), alpha,
+                                      delta.data());
 }
 
 /// Applies the local update  W'' = W' - dW   (eq. 6).
-inline void apply_increment_locally(std::span<float> local, std::span<const float> delta) {
+SHMCAFFE_HOT_KERNEL inline void apply_increment_locally(std::span<float> local, std::span<const float> delta) {
   assert(local.size() == delta.size());
-  for (std::size_t i = 0; i < local.size(); ++i) local[i] -= delta[i];
+  common::simd::sub_inplace(local.size(), local.data(), delta.data());
 }
 
 /// Fused (5)+(6): computes delta and updates local in one pass.
-inline void elastic_exchange(std::span<float> local, std::span<const float> global,
+SHMCAFFE_HOT_KERNEL inline void elastic_exchange(std::span<float> local, std::span<const float> global,
                              float alpha, std::span<float> delta) {
   assert(local.size() == global.size() && local.size() == delta.size());
-  for (std::size_t i = 0; i < local.size(); ++i) {
-    const float d = alpha * (local[i] - global[i]);
-    delta[i] = d;
-    local[i] -= d;
-  }
+  common::simd::elastic_exchange_core(local.size(), local.data(), global.data(), alpha,
+                                      delta.data());
 }
 
 /// Chunked (5): bitwise identical to weight_increment for any pool width.
-inline void weight_increment_parallel(std::span<const float> local,
+SHMCAFFE_HOT_KERNEL inline void weight_increment_parallel(std::span<const float> local,
                                       std::span<const float> global, float alpha,
                                       std::span<float> delta) {
   assert(local.size() == global.size() && local.size() == delta.size());
   common::parallel::parallel_for(
       local.size(), kSeasgdGrain, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          delta[i] = alpha * (local[i] - global[i]);
-        }
+        common::simd::weight_increment_core(end - begin, local.data() + begin,
+                                            global.data() + begin, alpha,
+                                            delta.data() + begin);
       });
 }
 
 /// Chunked (6): bitwise identical to apply_increment_locally.
-inline void apply_increment_locally_parallel(std::span<float> local,
+SHMCAFFE_HOT_KERNEL inline void apply_increment_locally_parallel(std::span<float> local,
                                              std::span<const float> delta) {
   assert(local.size() == delta.size());
   common::parallel::parallel_for(
       local.size(), kSeasgdGrain, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) local[i] -= delta[i];
+        common::simd::sub_inplace(end - begin, local.data() + begin, delta.data() + begin);
       });
 }
 
 /// Chunked fused (5)+(6): bitwise identical to elastic_exchange.
-inline void elastic_exchange_parallel(std::span<float> local, std::span<const float> global,
+SHMCAFFE_HOT_KERNEL inline void elastic_exchange_parallel(std::span<float> local, std::span<const float> global,
                                       float alpha, std::span<float> delta) {
   assert(local.size() == global.size() && local.size() == delta.size());
   common::parallel::parallel_for(
       local.size(), kSeasgdGrain, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const float d = alpha * (local[i] - global[i]);
-          delta[i] = d;
-          local[i] -= d;
-        }
+        common::simd::elastic_exchange_core(end - begin, local.data() + begin,
+                                            global.data() + begin, alpha,
+                                            delta.data() + begin);
       });
 }
 

@@ -116,6 +116,19 @@ void ShardedBuffer::read_locked(std::span<float> dst, std::size_t start_shard) c
   }
 }
 
+std::vector<ShardedBuffer::PinnedShard> ShardedBuffer::read_pinned(
+    std::size_t start_shard) const {
+  std::scoped_lock lock(shards_mutex_);
+  std::vector<PinnedShard> views(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const std::size_t index = (start_shard + k) % shards_.size();
+    const Shard& shard = shards_[index];
+    views[index] =
+        PinnedShard{shard.offset, shard.server->read_pinned(shard.handle, shard.count, 0)};
+  }
+  return views;
+}
+
 void ShardedBuffer::write(std::span<const float> src, std::size_t start_shard) {
   std::scoped_lock lock(shards_mutex_);
   write_locked(src, start_shard);

@@ -61,6 +61,17 @@ class ShardedBuffer {
   /// across the servers by home shard instead of all hammering shard 0.
   void read(std::span<float> dst, std::size_t start_shard = 0) const;
 
+  /// One pinned zero-copy view per shard, covering the logical buffer.
+  /// `offset` is the shard's position in the logical index space; views are
+  /// returned in ascending offset order (the fan-out still rotates from
+  /// `start_shard` so pin-time contention spreads like read()).  No bytes
+  /// move: consumers iterate the views in place and drop them to unpin.
+  struct PinnedShard {
+    std::size_t offset = 0;
+    smb::PinnedFloats view;
+  };
+  [[nodiscard]] std::vector<PinnedShard> read_pinned(std::size_t start_shard = 0) const;
+
   /// Writes the whole logical buffer (src.size() == size()); `start_shard`
   /// rotates like read().
   void write(std::span<const float> src, std::size_t start_shard = 0);

@@ -91,11 +91,13 @@ struct ShardEndpoint {
   std::int64_t bytes = 0;
 };
 
-sim::Task<void> read_global(sim::Simulation& sim, std::vector<ShardEndpoint>& shards) {
+sim::Task<void> read_global(sim::Simulation& sim, std::vector<ShardEndpoint>& shards,
+                            bool zero_copy) {
   std::vector<sim::Task<void>> reads;
   reads.reserve(shards.size());
   for (ShardEndpoint& shard : shards) {
-    reads.push_back(shard.client->read(shard.global, shard.bytes));
+    reads.push_back(zero_copy ? shard.client->read_pinned(shard.global, shard.bytes)
+                              : shard.client->read(shard.global, shard.bytes));
   }
   co_await sim::when_all(sim, std::move(reads));
 }
@@ -178,7 +180,9 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
       // the slot's remaining iterations under its new incarnation.
       co_await sim.delay(recovery.readmit_delay);
       if (use_smb) {
-        co_await read_global(sim, shards);
+        // Catch-up adoption always copies (the adopted weights outlive the
+        // read window), matching the functional trainer.
+        co_await read_global(sim, shards, /*zero_copy=*/false);
         co_await sim.delay(t_ulw);
       }
       stats.recovered = true;
@@ -239,7 +243,7 @@ sim::Task<void> group_worker(sim::Simulation& sim, const SimShmCaffeOptions& opt
       // flush blocks us here (the paper's T.A5 wait).
       {
         sim::SimLock lock = co_await exchange_mutex.scoped_lock();
-        co_await read_global(sim, shards);  // T1: T_rgw
+        co_await read_global(sim, shards, options.zero_copy_reads);  // T1: T_rgw
         co_await sim.delay(t_ulw);          // T2: T_ulw
         if (!options.overlap_update) {
           // Ablation: flush the increment inline instead of overlapping.
@@ -315,8 +319,9 @@ sim::Task<void> join_worker(sim::Simulation& sim, const SimShmCaffeOptions& opti
   }
   elastic.service->join(event.worker, event.at_iteration);
   co_await sim.delay(units::from_seconds(elastic.policy.rebalance_seconds));
-  // Catch-up: adopt W_g before contributing (global read + local update).
-  co_await read_global(sim, shards);
+  // Catch-up: adopt W_g before contributing (global read + local update);
+  // always a copy read, like the functional trainer's catch-up path.
+  co_await read_global(sim, shards, /*zero_copy=*/false);
   co_await sim.delay(elastic.t_ulw);
   stats.joined_late = true;
   co_await group_worker(sim, options, std::move(shards), event.worker, total_groups,

@@ -52,6 +52,13 @@ struct SimShmCaffeOptions {
   /// the identical integrity schedule from one FaultPlan.  Read-repair
   /// needs smb_replicas >= 2 (a lone copy has no peer to vote against).
   recovery::IntegrityPolicy integrity;
+  /// Model the T1 read as an epoch-pinned zero-copy view (a worker
+  /// colocated with its SMB shard attaches the segment in-process and T2
+  /// runs directly against SMB storage — only the API overhead is charged,
+  /// no HCA data transfer).  Default false: the paper's evaluated topology
+  /// keeps the memory server remote, so W_g must cross the fabric each
+  /// exchange, and the Fig. 12-15 timing fingerprints assume that cost.
+  bool zero_copy_reads = false;
   std::int64_t iterations = 200; ///< per group (measurement window)
   /// Fig. 6's design: the weight-increment write and global accumulate run
   /// on a separate update thread, hidden behind computation.  false = the

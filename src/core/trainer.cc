@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "coll/nccl.h"
+#include "common/arena.h"
 #include "core/evaluate.h"
 #include "core/progress_board.h"
 #include "elastic/membership.h"
@@ -39,7 +40,9 @@ struct ExchangeState {
   std::condition_variable cv;
   bool pending = false;  // a weight increment awaits flushing to the SMB
   bool stopping = false;
-  std::vector<float> delta;
+  /// Weight-increment staging (eq. 5 output), arena-backed: sized once per
+  /// worker life and recycled across lives through the registry.
+  common::arena::Buffer delta{"trainer.exchange.delta"};
 };
 
 struct WorkerShared {
@@ -158,15 +161,17 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
     board = std::make_unique<ProgressBoard>(board_server, shm_key + kProgressKeyOffset,
                                             options.workers, /*create=*/true,
                                             shared.capacity);
-    std::vector<float> init(param_count);
+    common::arena::Buffer init{"trainer.init"};
+    init.assign(param_count, 0.0F);
     if (resume != nullptr) {
-      init = resume->global_weights;  // W_g exactly as checkpointed
+      // W_g exactly as checkpointed
+      std::copy(resume->global_weights.begin(), resume->global_weights.end(), init.data());
     } else {
       common::Rng init_rng(options.seed);
       net.init_params(init_rng);
-      dl::copy_params_to(net, init);
+      dl::copy_params_to(net, init.span());
     }
-    global.write(init);
+    global.write(init.span());
   }
   if (!rejoin && !cold_join) {
     mpi.broadcast_value(0, shm_key);
@@ -211,19 +216,21 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
   // Everyone adopts the initial global weights before training; the resumed
   // owner restores its exact checkpointed parameters instead (they lag W_g
   // by the elastic difference).
-  std::vector<float> local(param_count);
-  std::vector<float> global_copy(param_count);
+  common::arena::Buffer local{"trainer.local"};
+  local.assign(param_count, 0.0F);
+  common::arena::Buffer global_copy{"trainer.global_copy"};
+  global_copy.assign(param_count, 0.0F);
   try {
-    global.read(local, home_shard());
+    global.read(local.span(), home_shard());
   } catch (const smb::SmbCorruption&) {
     // W_g is corrupt before this life's first read and nothing below us
     // could repair it.  Adopt freshly initialised parameters instead; the
     // first exchange surfaces the corruption again and rolls back properly.
     common::Rng init_rng(options.seed);
     net.init_params(init_rng);
-    dl::copy_params_to(net, local);
+    dl::copy_params_to(net, local.span());
   }
-  dl::copy_params_from(net, local);
+  dl::copy_params_from(net, local.span());
   if (resume != nullptr && worker == 0) {
     dl::copy_params_from(net, resume->owner_params);
   }
@@ -247,7 +254,7 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
 
   // --- Fig. 6 update thread (group roots only).
   ExchangeState exchange;
-  exchange.delta.resize(param_count);
+  exchange.delta.assign(param_count, 0.0F);
   std::thread update_thread;
   if (is_root) {
     update_thread = std::thread([&exchange, &delta_buffer, &global, home_shard] {
@@ -257,7 +264,7 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
         if (!exchange.pending) return;  // stopping with nothing pending
         try {
           // T.A1: store the weight increment in this worker's RSM segments.
-          delta_buffer.write(exchange.delta, home_shard());
+          delta_buffer.write(exchange.delta.span(), home_shard());
           // T.A2-T.A4: exclusive server-side global accumulate (eq. 7),
           // shard by shard across the SMB servers starting at the home shard.
           delta_buffer.accumulate_into(global, home_shard());
@@ -291,12 +298,27 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
     std::unique_lock lock(exchange.mutex);
     exchange.cv.wait(lock, [&] { return !exchange.pending || exchange.stopping; });
     if (exchange.stopping) throw smb::SmbUnavailable("SMB lost during exchange");
-    global.read(global_copy, home_shard());  // T1
-    dl::copy_params_to(net, local);
-    // T2: eqs. (5)+(6), chunked on the work pool (bitwise equal to the
-    // scalar elastic_exchange for any SHMCAFFE_THREADS).
-    elastic_exchange_parallel(local, global_copy, alpha, exchange.delta);
-    dl::copy_params_from(net, local);
+    dl::copy_params_to(net, local.span());
+    if (options.zero_copy_reads) {
+      // T1 zero-copy: pin per-shard views of W_g (checksums verified once
+      // at pin time) and run T2 directly against SMB storage — no staging
+      // copy of the global weights at all.  Per-shard chunking changes
+      // nothing numerically: eqs. (5)+(6) are elementwise, so the floats
+      // match the staged path bitwise for any shard split or pool width.
+      for (ShardedBuffer::PinnedShard& shard : global.read_pinned(home_shard())) {
+        elastic_exchange_parallel(
+            std::span<float>(local.data() + shard.offset, shard.view.size()),
+            shard.view.span(), alpha,
+            std::span<float>(exchange.delta.data() + shard.offset, shard.view.size()));
+      }
+    } else {
+      global.read(global_copy.span(), home_shard());  // T1
+      // T2: eqs. (5)+(6), chunked on the work pool (bitwise equal to the
+      // scalar elastic_exchange for any SHMCAFFE_THREADS).
+      elastic_exchange_parallel(local.span(), global_copy.span(), alpha,
+                                exchange.delta.span());
+    }
+    dl::copy_params_from(net, local.span());
     exchange.pending = true;  // T3: hand the increment to the update thread
     lock.unlock();
     exchange.cv.notify_all();
@@ -322,8 +344,8 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
       }
     }
     if (restore.empty()) {
-      dl::copy_params_to(net, local);
-      restore = local;
+      dl::copy_params_to(net, local.span());
+      restore.assign(local.data(), local.data() + local.size());
     }
     global.write(restore, home_shard());
   };
@@ -348,11 +370,11 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
       std::unique_lock lock(exchange.mutex);
       exchange.cv.wait(lock, [&] { return !exchange.pending || exchange.stopping; });
       if (exchange.stopping) throw smb::SmbUnavailable("SMB lost during checkpoint");
-      global.read(global_copy);  // consistent: no in-flight accumulate
+      global.read(global_copy.span());  // consistent: no in-flight accumulate
     }
-    checkpoint.global_weights = global_copy;
-    dl::copy_params_to(net, local);
-    checkpoint.owner_params = local;
+    checkpoint.global_weights.assign(global_copy.data(), global_copy.data() + global_copy.size());
+    dl::copy_params_to(net, local.span());
+    checkpoint.owner_params.assign(local.data(), local.data() + local.size());
     checkpoint.owner_momentum = solver.momentum_state();
     shared.checkpoint_store->save(checkpoint);
     shared.checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
@@ -509,11 +531,11 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
           } catch (const smb::SmbCorruption&) {
             integrity_rollback();
           }
-          dl::copy_params_to(net, local);
+          dl::copy_params_to(net, local.span());
           timer.charge(stats.exchange_seconds);
         }
-        comm.broadcast(0, local);
-        if (!is_root) dl::copy_params_from(net, local);
+        comm.broadcast(0, local.span());
+        if (!is_root) dl::copy_params_from(net, local.span());
         timer.charge(stats.collective_seconds);
       }
 

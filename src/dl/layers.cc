@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace shmcaffe::dl {
 namespace {
@@ -158,7 +159,7 @@ void Conv2d::im2col(const Tensor& x, int sample, int oh, int ow) {
   // pre-zeroing pass over the whole matrix is needed.
   const int columns = oh * ow;
   const std::size_t rows = static_cast<std::size_t>(in_channels_) * kernel_ * kernel_;
-  if (col_.size() != rows * columns) col_.resize(rows * columns);
+  col_.ensure(rows * static_cast<std::size_t>(columns));
   common::parallel::parallel_for(rows, kRowGrain, [&](std::size_t rb, std::size_t re) {
     for (std::size_t row = rb; row < re; ++row) {
       const int ic = static_cast<int>(row) / (kernel_ * kernel_);
@@ -210,14 +211,15 @@ void Conv2d::forward_gemm(const Tensor& x, Tensor& top) {
                         bias_.value[static_cast<std::size_t>(oc0 + i)]);
             }
             if (ocn == kOcTile && cn == kColTile) {
-              // Full tile: compile-time trip counts so the accumulation
-              // unrolls and vectorises; same ascending-r float order as the
-              // general path below.
+              // Full tile: compile-time trip counts, accumulated by the
+              // simd::axpy core (lane-independent, multiply and add kept
+              // separate); same ascending-r float order as the general
+              // path below and as the scalar-fallback build.
               for (int r = 0; r < kk; ++r) {
                 const float* crow = col + static_cast<std::size_t>(r) * columns + c0;
                 for (int i = 0; i < kOcTile; ++i) {
                   const float wv = w[static_cast<std::size_t>(oc0 + i) * kk + r];
-                  for (int j = 0; j < kColTile; ++j) acc[i][j] += wv * crow[j];
+                  common::simd::axpy(kColTile, wv, crow, acc[i]);
                 }
               }
             } else {
@@ -225,7 +227,7 @@ void Conv2d::forward_gemm(const Tensor& x, Tensor& top) {
                 const float* crow = col + static_cast<std::size_t>(r) * columns + c0;
                 for (int i = 0; i < ocn; ++i) {
                   const float wv = w[static_cast<std::size_t>(oc0 + i) * kk + r];
-                  for (int j = 0; j < cn; ++j) acc[i][j] += wv * crow[j];
+                  common::simd::axpy(static_cast<std::size_t>(cn), wv, crow, acc[i]);
                 }
               }
             }
@@ -246,9 +248,7 @@ void Conv2d::backward_gemm(const Tensor& x, const Tensor& top, const Tensor& top
   const int kk = in_channels_ * kernel_ * kernel_;
   const float* w = weight_.value.data();
   float* dw = weight_.grad.data();
-  if (dcol_.size() != static_cast<std::size_t>(kk) * columns) {
-    dcol_.resize(static_cast<std::size_t>(kk) * columns);
-  }
+  dcol_.ensure(static_cast<std::size_t>(kk) * columns);
 
   for (int n = 0; n < x.n(); ++n) {
     im2col(x, n, oh, ow);
@@ -285,7 +285,7 @@ void Conv2d::backward_gemm(const Tensor& x, const Tensor& top, const Tensor& top
             for (int oc = 0; oc < out_channels_; ++oc) {
               const float wv = w[static_cast<std::size_t>(oc) * kk + r];
               const float* grow = gout + static_cast<std::size_t>(oc) * columns;
-              for (int cidx = 0; cidx < columns; ++cidx) drow[cidx] += wv * grow[cidx];
+              common::simd::axpy(static_cast<std::size_t>(columns), wv, grow, drow);
             }
           }
         });

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.h"
 #include "dl/layer.h"
 
 namespace shmcaffe::dl {
@@ -44,9 +45,10 @@ class Conv2d final : public Layer {
   void forward_direct(const Tensor& x, Tensor& top);
   void backward_direct(const Tensor& x, const Tensor& top, const Tensor& top_grad,
                        Tensor* dx);
-  void forward_gemm(const Tensor& x, Tensor& top);
-  void backward_gemm(const Tensor& x, const Tensor& top, const Tensor& top_grad, Tensor* dx);
-  void im2col(const Tensor& x, int sample, int oh, int ow);
+  SHMCAFFE_HOT_KERNEL void forward_gemm(const Tensor& x, Tensor& top);
+  SHMCAFFE_HOT_KERNEL void backward_gemm(const Tensor& x, const Tensor& top,
+                                         const Tensor& top_grad, Tensor* dx);
+  SHMCAFFE_HOT_KERNEL void im2col(const Tensor& x, int sample, int oh, int ow);
 
   int in_channels_;
   int out_channels_;
@@ -57,10 +59,12 @@ class Conv2d final : public Layer {
   double init_scale_ = 1.0;
   ParamBlob weight_;          // [out, in, k, k]
   ParamBlob bias_;            // [out]
-  /// Per-layer scratch arenas, sized on first use and reused across calls
-  /// (a layer's forward/backward never run concurrently with themselves).
-  std::vector<float> col_;    // im2col scratch: [in*k*k, oh*ow]
-  std::vector<float> dcol_;   // backward column-gradient scratch, same shape
+  /// Per-layer scratch, arena-backed: sized on first use and reused across
+  /// calls (a layer's forward/backward never run concurrently with
+  /// themselves), so steady-state iterations never touch the heap.
+  common::arena::Buffer col_{"dl.conv.col"};    // im2col scratch: [in*k*k, oh*ow]
+  common::arena::Buffer dcol_{"dl.conv.dcol"};  // backward column-gradient scratch
+
 };
 
 /// Rectified linear unit, y = max(0, x).

@@ -2,6 +2,7 @@
 // response normalisation (GoogLeNet's LRN), and windowed average pooling.
 #pragma once
 
+#include "common/arena.h"
 #include "dl/layer.h"
 
 namespace shmcaffe::dl {
@@ -33,8 +34,10 @@ class BatchNorm final : public Layer {
   ParamBlob running_mean_;  // [C], non-learnable
   ParamBlob running_var_;   // [C], non-learnable
   // Cached from the last training forward (for backward).
-  std::vector<float> batch_mean_;
-  std::vector<float> batch_inv_std_;
+  // Arena-backed so the per-batch assign never reallocates after the
+  // first training iteration.
+  common::arena::Buffer batch_mean_{"dl.norm.batch_mean"};
+  common::arena::Buffer batch_inv_std_{"dl.norm.batch_inv_std"};
   Tensor normalized_;  // x-hat
 };
 

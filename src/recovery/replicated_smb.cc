@@ -219,6 +219,27 @@ void ReplicatedSmb::read(Handle handle, std::span<float> dst, std::size_t offset
   }
 }
 
+smb::PinnedFloats ReplicatedSmb::read_pinned(Handle handle, std::size_t count,
+                                             std::size_t offset) const {
+  std::scoped_lock lock(mirror_mutex_);
+  LogicalSegment& segment = segment_locked(handle);
+  for (;;) {
+    require_live_locked();
+    ensure_resolved_locked(segment);
+    try {
+      // Checksum verification happens inside the replica at pin time; the
+      // ensemble charges zero copy bytes (the view aliases replica memory).
+      return replicas_[active_]->read_pinned(segment.physical[active_], count, offset);
+    } catch (const SmbUnavailable&) {
+      mark_failed_locked(active_);
+    } catch (const smb::SmbCorruption&) {
+      // Same degraded-mode contract as read(): vote-repair then re-pin, or
+      // propagate when no clean copy exists.
+      if (!read_repair_ || !vote_and_repair_locked(segment, nullptr, nullptr)) throw;
+    }
+  }
+}
+
 void ReplicatedSmb::mirror_mutation_locked(std::initializer_list<LogicalSegment*> segments,
                                            const MutationFn& op)
     SHMCAFFE_REQUIRES(mirror_mutex_) {

@@ -77,6 +77,14 @@ class ReplicatedSmb final : public smb::SmbService {
   [[nodiscard]] std::size_t size(smb::Handle handle) const override;
 
   void read(smb::Handle handle, std::span<float> dst, std::size_t offset = 0) const override;
+  /// Zero-copy read from the *active* replica: pin-time verification plus
+  /// the same failover/read-repair loop as read().  The returned view pins
+  /// the active replica's storage epoch; it stays valid even across a
+  /// later fail-stop of that replica (the epoch is process memory kept
+  /// alive by the view, and a fail-stopped server's storage is never
+  /// mutated again).
+  [[nodiscard]] smb::PinnedFloats read_pinned(smb::Handle handle, std::size_t count,
+                                              std::size_t offset = 0) const override;
   void write(smb::Handle handle, std::span<const float> src, std::size_t offset = 0) override;
   void accumulate(smb::Handle src, smb::Handle dst) override;
   void copy_segment(smb::Handle src, smb::Handle dst) override;

@@ -78,6 +78,12 @@ class SmbClient {
   void read(Handle handle, std::span<float> dst, std::size_t offset = 0) const {
     server_->read(handle, dst, offset);
   }
+  /// Zero-copy read: an epoch-pinned view into the service's storage (see
+  /// SmbService::read_pinned).  Reads are idempotent, so no retry record.
+  [[nodiscard]] PinnedFloats read_pinned(Handle handle, std::size_t count,
+                                         std::size_t offset = 0) const {
+    return server_->read_pinned(handle, count, offset);
+  }
   [[nodiscard]] std::uint64_t version(Handle handle) const { return server_->version(handle); }
 
   // --- idempotent mutations ----------------------------------------------

@@ -9,6 +9,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace shmcaffe::smb {
 
@@ -41,7 +42,7 @@ void SmbServer::throw_if_failed() const {
 std::int64_t SmbServer::footprint(const Segment& segment) {
   if (segment.kind == Kind::kFloats) {
     // lint:allow-next-line(lock-region) segment sizes are fixed at create
-    return static_cast<std::int64_t>(segment.floats.size() * sizeof(float));
+    return static_cast<std::int64_t>(segment.storage->data.size() * sizeof(float));
   }
   return static_cast<std::int64_t>(segment.counters.size() * sizeof(std::int64_t));
 }
@@ -54,7 +55,7 @@ Handle SmbServer::create_segment(ShmKey key, std::size_t count, Kind kind) {
   segment->kind = kind;
   if (kind == Kind::kFloats) {
     // lint:allow-next-line(lock-region) fresh segment, not yet published
-    segment->floats.assign(count, 0.0F);
+    segment->storage->data.assign(count, 0.0F);
     if (maintain_checksums()) {
       const std::size_t chunks =
           (count + options_.integrity.chunk_floats - 1) / options_.integrity.chunk_floats;
@@ -104,7 +105,7 @@ Handle SmbServer::attach_segment(ShmKey key, std::size_t count, Kind kind) {
                    kind_name(kind) + ", exists as " + kind_name(segment->kind));
   }
   const std::size_t actual =  // lint:allow(lock-region) sizes fixed at create
-      kind == Kind::kFloats ? segment->floats.size() : segment->counters.size();
+      kind == Kind::kFloats ? segment->storage->data.size() : segment->counters.size();
   if (count != 0 && count != actual) {
     throw SmbError("segment size mismatch: requested " + std::to_string(count) +
                    ", exists with " + std::to_string(actual));
@@ -146,6 +147,18 @@ void SmbServer::release(Handle handle) {
     throw SmbError("double release of segment with SHM key " + std::to_string(segment.key) +
                    " (access key " + std::to_string(handle.access_key) + ")");
   }
+  if (segment.refcount == 1 && segment.kind == Kind::kFloats) {
+    // Final release: every pinned zero-copy view must have been unpinned.
+    // A leaked pin means some reader still aliases the storage about to be
+    // dropped from the table -- refuse, keeping the attachment alive.
+    const std::uint64_t issued = segment.pins_issued.load(std::memory_order_acquire);
+    const std::uint64_t released = segment.pins_released.load(std::memory_order_acquire);
+    if (issued != released) {
+      throw SmbError("segment with SHM key " + std::to_string(segment.key) +
+                     " released with " + std::to_string(issued - released) +
+                     " outstanding pinned read view(s)");
+    }
+  }
   segment.refcount -= 1;
   if (segment.refcount == 0) {
     stats_.bytes_in_use -= footprint(segment);
@@ -175,21 +188,21 @@ std::shared_ptr<SmbServer::Segment> SmbServer::find(Handle handle, Kind kind) co
 std::size_t SmbServer::size(Handle handle) const {
   const std::shared_ptr<Segment> segment = find(handle);
   // lint:allow-next-line(lock-region) segment sizes are fixed at create
-  return segment->kind == Kind::kFloats ? segment->floats.size() : segment->counters.size();
+  return segment->kind == Kind::kFloats ? segment->storage->data.size()
+                                        : segment->counters.size();
 }
 
 void SmbServer::read(Handle handle, std::span<float> dst, std::size_t offset) const {
   block_while_frozen();
   const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
   std::scoped_lock lock(segment->data_mutex);
-  if (offset + dst.size() > segment->floats.size()) {
+  if (offset + dst.size() > segment->storage->data.size()) {
     throw SmbError("read out of segment bounds");
   }
   if (options_.integrity.verify_on_read) {
     verify_chunks_locked(*segment, offset, dst.size());
   }
-  std::copy_n(segment->floats.begin() + static_cast<std::ptrdiff_t>(offset), dst.size(),
-              dst.begin());
+  std::copy_n(segment->storage->data.data() + offset, dst.size(), dst.begin());
   std::unique_lock table(table_mutex_);
   stats_.reads += 1;
   stats_.bytes_read += static_cast<std::int64_t>(dst.size() * sizeof(float));
@@ -199,14 +212,80 @@ void SmbServer::read_raw(Handle handle, std::span<float> dst, std::size_t offset
   block_while_frozen();
   const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
   std::scoped_lock lock(segment->data_mutex);
-  if (offset + dst.size() > segment->floats.size()) {
+  if (offset + dst.size() > segment->storage->data.size()) {
     throw SmbError("read out of segment bounds");
   }
-  std::copy_n(segment->floats.begin() + static_cast<std::ptrdiff_t>(offset), dst.size(),
-              dst.begin());
+  std::copy_n(segment->storage->data.data() + offset, dst.size(), dst.begin());
   std::unique_lock table(table_mutex_);
   stats_.reads += 1;
   stats_.bytes_read += static_cast<std::int64_t>(dst.size() * sizeof(float));
+}
+
+PinnedFloats SmbServer::read_pinned(Handle handle, std::size_t count,
+                                    std::size_t offset) const {
+  block_while_frozen();
+  const std::shared_ptr<Segment> segment = find(handle, Kind::kFloats);
+  std::shared_ptr<SegmentStorage> epoch;
+  {
+    std::scoped_lock lock(segment->data_mutex);
+    if (offset + count > segment->storage->data.size()) {
+      throw SmbError("read out of segment bounds");
+    }
+    // Verification happens ONCE, at pin time: the epoch is immutable while
+    // pinned (writers clone or wait), so re-verifying per consumer of the
+    // view would re-hash bytes that cannot have changed.
+    if (options_.integrity.verify_on_read) {
+      verify_chunks_locked(*segment, offset, count);
+    }
+    epoch = segment->storage;
+    epoch->pins.fetch_add(1, std::memory_order_relaxed);
+    segment->pins_issued.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::unique_lock table(table_mutex_);
+    stats_.pinned_reads += 1;
+    stats_.bytes_pinned += static_cast<std::int64_t>(count * sizeof(float));
+  }
+  const std::span<const float> view{epoch->data.data() + offset, count};
+  return PinnedFloats(
+      view, [segment, epoch = std::move(epoch)] {
+        {
+          // The decrement happens under the data mutex so a kBlockWriters
+          // waiter between predicate check and sleep cannot miss the wakeup.
+          std::scoped_lock lock(segment->data_mutex);
+          epoch->pins.fetch_sub(1, std::memory_order_relaxed);
+          segment->pins_released.fetch_add(1, std::memory_order_relaxed);
+        }
+        segment->version_cv.notify_all();
+      });
+}
+
+void SmbServer::prepare_write_locked(Segment& segment,
+                                     std::unique_lock<common::OrderedMutex>& lock)
+    SHMCAFFE_REQUIRES(segment.data_mutex) {
+  SHMCAFFE_ASSERT_HELD(segment.data_mutex);
+  if (segment.storage->pins.load(std::memory_order_relaxed) == 0) return;
+  if (options_.pin_write_policy == PinWritePolicy::kCopyOnWrite) {
+    // COW clone control block: only taken while readers hold pins, and the
+    // float payload itself is arena-backed.
+    // lint:allow-next-line(no-hot-alloc) see above
+    auto fresh = std::make_shared<SegmentStorage>();
+    const std::size_t count = segment.storage->data.size();
+    fresh->data.ensure(count);
+    std::memcpy(fresh->data.data(), segment.storage->data.data(), count * sizeof(float));
+    // The retired epoch stays alive — and immutable — through the
+    // shared_ptr held by each outstanding pinned view.
+    segment.storage = std::move(fresh);
+    std::unique_lock table(table_mutex_);
+    stats_.cow_clones += 1;
+  } else {
+    segment.version_cv.wait(lock, [&] {
+      return failed() || segment.storage->pins.load(std::memory_order_relaxed) == 0;
+    });
+    if (failed()) {
+      throw SmbUnavailable("SMB server fail-stopped while a writer waited on pinned readers");
+    }
+  }
 }
 
 bool SmbServer::replayed_locked(Segment& segment, OpTag tag)
@@ -243,8 +322,8 @@ void SmbServer::write_tagged(Handle handle, std::span<const float> src, std::siz
   }
   bool torn = false;
   {
-    std::scoped_lock lock(segment->data_mutex);
-    if (offset + src.size() > segment->floats.size()) {
+    std::unique_lock lock(segment->data_mutex);
+    if (offset + src.size() > segment->storage->data.size()) {
       throw SmbError("write out of segment bounds");
     }
     if (replayed_locked(*segment, tag)) {
@@ -252,9 +331,13 @@ void SmbServer::write_tagged(Handle handle, std::span<const float> src, std::siz
       stats_.replays_dropped += 1;
       return;
     }
+    // Pin policy first: after this the live storage has no outstanding
+    // readers (kBlockWriters) or is a private clone (kCopyOnWrite), so the
+    // mutation below can never move floats under a pinned view.
+    prepare_write_locked(*segment, lock);
+    float* const floats = segment->storage->data.data();
     if (torn_fraction < 0.0 || src.empty()) {
-      std::copy_n(src.begin(), src.size(),
-                  segment->floats.begin() + static_cast<std::ptrdiff_t>(offset));
+      std::copy_n(src.begin(), src.size(), floats + offset);
       refresh_chunks_locked(*segment, offset, src.size());
     } else {
       // Torn write: the writer computed checksums for the full payload but
@@ -265,14 +348,13 @@ void SmbServer::write_tagged(Handle handle, std::span<const float> src, std::siz
       const std::size_t applied = std::min(
           src.size(),
           static_cast<std::size_t>(torn_fraction * static_cast<double>(src.size())));
-      std::vector<float> old_tail(
-          segment->floats.begin() + static_cast<std::ptrdiff_t>(offset + applied),
-          segment->floats.begin() + static_cast<std::ptrdiff_t>(offset + src.size()));
-      std::copy_n(src.begin(), src.size(),
-                  segment->floats.begin() + static_cast<std::ptrdiff_t>(offset));
+      // cold fault-injection path: the torn tail is saved only while a torn
+      // write is armed
+      // lint:allow-next-line(no-hot-alloc) see above
+      std::vector<float> old_tail(floats + offset + applied, floats + offset + src.size());
+      std::copy_n(src.begin(), src.size(), floats + offset);
       refresh_chunks_locked(*segment, offset, src.size());
-      std::copy(old_tail.begin(), old_tail.end(),
-                segment->floats.begin() + static_cast<std::ptrdiff_t>(offset + applied));
+      std::copy(old_tail.begin(), old_tail.end(), floats + offset + applied);
       if (!segment->chunk_markers.empty() && applied < src.size()) {
         const std::size_t width = options_.integrity.chunk_floats;
         const std::size_t last_chunk = (offset + src.size() - 1) / width;
@@ -289,6 +371,7 @@ void SmbServer::write_tagged(Handle handle, std::span<const float> src, std::siz
   stats_.bytes_written += static_cast<std::int64_t>(src.size() * sizeof(float));
   if (torn) {
     stats_.torn_writes_applied += 1;
+    // lint:allow-next-line(no-hot-alloc) fault-injection audit log, armed runs only
     torn_applied_.push_back(kTornWriteMarkerBit | ordinal);
   }
 }
@@ -308,19 +391,22 @@ void SmbServer::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
   // scoped_lock is sound for the SEASGD protocol: a delta segment has
   // exactly one writer (its worker's update thread, §III-G T.A1-T.A4), and
   // that writer never overlaps its own accumulate, so the snapshot cannot
-  // race the increment it carries.  The thread-local scratch keeps the hot
-  // path allocation-free after the first accumulate of a given size.
-  static thread_local std::vector<float> scratch;
+  // race the increment it carries.  The thread-local arena scratch keeps
+  // the hot path allocation-free after the first accumulate of a given
+  // size class.
+  static thread_local common::arena::Buffer scratch{"smb.accumulate.scratch"};
   {
     std::scoped_lock lock(s->data_mutex);
     if (options_.integrity.verify_on_read) {
-      verify_chunks_locked(*s, 0, s->floats.size());
+      verify_chunks_locked(*s, 0, s->storage->data.size());
     }
-    scratch.assign(s->floats.begin(), s->floats.end());
+    scratch.ensure(s->storage->data.size());
+    std::memcpy(scratch.data(), s->storage->data.data(),
+                scratch.size() * sizeof(float));
   }
   {
-    std::scoped_lock lock(d->data_mutex);
-    if (scratch.size() != d->floats.size()) {
+    std::unique_lock lock(d->data_mutex);
+    if (scratch.size() != d->storage->data.size()) {
       throw SmbError("accumulate requires equal segment sizes");
     }
     // Verify the destination BEFORE touching it: an accumulate into a
@@ -328,20 +414,24 @@ void SmbServer::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
     // data and launder the corruption.  Throwing here also precedes the tag
     // record, so a mirrored retry after a repair is not a replay.
     if (options_.integrity.verify_on_read) {
-      verify_chunks_locked(*d, 0, d->floats.size());
+      verify_chunks_locked(*d, 0, d->storage->data.size());
     }
     if (replayed_locked(*d, tag)) {
       std::unique_lock table(table_mutex_);
       stats_.replays_dropped += 1;
       return;
     }
-    float* out = d->floats.data();
+    prepare_write_locked(*d, lock);
+    float* out = d->storage->data.data();
     const float* in = scratch.data();
     common::parallel::parallel_for(
-        d->floats.size(), kAccumulateGrain, [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) out[i] += in[i];
+        d->storage->data.size(), kAccumulateGrain,
+        [&](std::size_t begin, std::size_t end) {
+          // simd.h core: element-wise add, each element owned by exactly
+          // one chunk — bitwise identical for any pool width or lane width.
+          common::simd::add_inplace(end - begin, out + begin, in + begin);
         });
-    refresh_chunks_locked(*d, 0, d->floats.size());
+    refresh_chunks_locked(*d, 0, d->storage->data.size());
     d->version += 1;
   }
   d->version_cv.notify_all();
@@ -358,37 +448,44 @@ void SmbServer::copy_segment_tagged(Handle src, Handle dst, OpTag tag) {
   if (src == dst) return;
   const std::shared_ptr<Segment> s = find(src, Kind::kFloats);
   const std::shared_ptr<Segment> d = find(dst, Kind::kFloats);
+  // Snapshot-then-apply like accumulate: taking the destination lock alone
+  // lets prepare_write_locked wait out pinned readers (kBlockWriters)
+  // without holding the source lock across the wait.
+  static thread_local common::arena::Buffer scratch{"smb.copy.scratch"};
   {
-    std::scoped_lock lock(s->data_mutex, d->data_mutex);
-    if (s->floats.size() != d->floats.size()) {
-      throw SmbError("copy requires equal segment sizes");
-    }
+    std::scoped_lock lock(s->data_mutex);
     if (options_.integrity.verify_on_read) {
-      verify_chunks_locked(*s, 0, s->floats.size());
+      verify_chunks_locked(*s, 0, s->storage->data.size());
+    }
+    scratch.ensure(s->storage->data.size());
+    std::memcpy(scratch.data(), s->storage->data.data(),
+                scratch.size() * sizeof(float));
+  }
+  {
+    std::unique_lock lock(d->data_mutex);
+    if (scratch.size() != d->storage->data.size()) {
+      throw SmbError("copy requires equal segment sizes");
     }
     if (replayed_locked(*d, tag)) {
       std::unique_lock table(table_mutex_);
       stats_.replays_dropped += 1;
       return;
     }
-    std::copy(s->floats.begin(), s->floats.end(), d->floats.begin());
-    refresh_chunks_locked(*d, 0, d->floats.size());
+    prepare_write_locked(*d, lock);
+    std::memcpy(d->storage->data.data(), scratch.data(),
+                scratch.size() * sizeof(float));
+    refresh_chunks_locked(*d, 0, d->storage->data.size());
     d->version += 1;
   }
   d->version_cv.notify_all();
 }
 
 std::uint64_t SmbServer::chunk_checksum(const float* data, std::size_t count) {
-  // FNV-1a over the chunk's bytes — the checkpoint store's self-validation
-  // idiom, applied to the live data plane.
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
-  const std::size_t total = count * sizeof(float);
-  for (std::size_t i = 0; i < total; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  // Word-folded FNV-1a (common/simd.h): 8 bytes per multiply instead of
+  // one.  Not the byte-serial FNV value, but the sums are purely internal —
+  // writer and verifier share this function, and the persisted checkpoint
+  // hashes keep their own byte-serial FNV (recovery/checkpoint.cc).
+  return common::simd::fnv1a_words(data, count * sizeof(float));
 }
 
 void SmbServer::refresh_chunks_locked(Segment& segment, std::size_t first, std::size_t count)
@@ -396,12 +493,12 @@ void SmbServer::refresh_chunks_locked(Segment& segment, std::size_t first, std::
   SHMCAFFE_ASSERT_HELD(segment.data_mutex);
   if (segment.chunk_sums.empty() || count == 0) return;
   const std::size_t width = options_.integrity.chunk_floats;
-  const std::size_t total = segment.floats.size();
+  const std::size_t total = segment.storage->data.size();
   const std::size_t last_chunk = (first + count - 1) / width;
   for (std::size_t c = first / width; c <= last_chunk; ++c) {
     const std::size_t begin = c * width;
-    segment.chunk_sums[c] =
-        chunk_checksum(segment.floats.data() + begin, std::min(width, total - begin));
+    segment.chunk_sums[c] = chunk_checksum(segment.storage->data.data() + begin,
+                                           std::min(width, total - begin));
     segment.chunk_markers[c] = 0;
   }
 }
@@ -413,13 +510,14 @@ std::size_t SmbServer::collect_corrupt_chunks_locked(Segment& segment, std::size
   SHMCAFFE_ASSERT_HELD(segment.data_mutex);
   if (segment.chunk_sums.empty() || count == 0) return 0;
   const std::size_t width = options_.integrity.chunk_floats;
-  const std::size_t total = segment.floats.size();
+  const std::size_t total = segment.storage->data.size();
   const std::size_t last_chunk = (first + count - 1) / width;
   for (std::size_t c = first / width; c <= last_chunk; ++c) {
     const std::size_t begin = c * width;
-    const std::uint64_t sum =
-        chunk_checksum(segment.floats.data() + begin, std::min(width, total - begin));
+    const std::uint64_t sum = chunk_checksum(segment.storage->data.data() + begin,
+                                             std::min(width, total - begin));
     if (sum != segment.chunk_sums[c]) {
+      // lint:allow-next-line(no-hot-alloc) corruption-detected path, not steady state
       bad.push_back(CorruptChunk{c, segment.chunk_markers[c]});
     }
   }
@@ -435,6 +533,7 @@ void SmbServer::record_verification(std::size_t checked,
     if (chunk.marker == 0) continue;
     if (std::find(detected_markers_.begin(), detected_markers_.end(), chunk.marker) ==
         detected_markers_.end()) {
+      // lint:allow-next-line(no-hot-alloc) corruption audit log, detected faults only
       detected_markers_.push_back(chunk.marker);
     }
   }
@@ -461,7 +560,7 @@ std::vector<SmbServer::CorruptChunk> SmbServer::verify_segment(Handle handle) {
   std::size_t checked = 0;
   {
     std::scoped_lock lock(segment->data_mutex);
-    checked = collect_corrupt_chunks_locked(*segment, 0, segment->floats.size(), bad);
+    checked = collect_corrupt_chunks_locked(*segment, 0, segment->storage->data.size(), bad);
   }
   if (checked != 0) record_verification(checked, bad);
   return bad;
@@ -492,19 +591,22 @@ std::size_t SmbServer::corrupt_floats(ShmKey key, std::uint64_t marker, int bit_
   }
   if (segment->kind != Kind::kFloats) return 0;
   common::Rng rng(marker);
+  // Deliberately bypasses the pin policy: silent corruption does not
+  // announce itself, so a pinned view may observe the flipped bits — that
+  // is the fault being modelled (verification happened at pin time).
   std::scoped_lock lock(segment->data_mutex);
-  if (segment->floats.empty()) return 0;
+  if (segment->storage->data.empty()) return 0;
   std::set<std::size_t> chunks;
   const std::size_t width = std::max<std::size_t>(1, options_.integrity.chunk_floats);
   for (int f = 0; f < std::max(1, bit_flips); ++f) {
-    const std::size_t index = rng.next_below(segment->floats.size());
+    const std::size_t index = rng.next_below(segment->storage->data.size());
     // Mantissa bits only: the poisoned value stays finite, so a run that
     // consumes it degrades measurably instead of NaN-ing out instantly.
     const std::uint32_t bit = 1U << rng.next_below(23);
     std::uint32_t bits = 0;
-    std::memcpy(&bits, &segment->floats[index], sizeof(bits));
+    std::memcpy(&bits, &segment->storage->data[index], sizeof(bits));
     bits ^= bit;
-    std::memcpy(&segment->floats[index], &bits, sizeof(bits));
+    std::memcpy(&segment->storage->data[index], &bits, sizeof(bits));
     const std::size_t c = index / width;
     if (c < segment->chunk_markers.size()) segment->chunk_markers[c] = marker;
     chunks.insert(c);

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/ordered_mutex.h"
 #include "smb/service.h"
 
@@ -68,6 +69,10 @@ struct SmbServerOptions {
   /// 256 GB; tests use small values to exercise exhaustion).
   std::int64_t capacity_bytes = 8LL << 30;
   SmbIntegrityOptions integrity;
+  /// What a writer does while pinned zero-copy read views are outstanding
+  /// (see SmbService::read_pinned).  Copy-on-write by default: writers
+  /// never stall on readers, matching the paper's asynchronous exchange.
+  PinWritePolicy pin_write_policy = PinWritePolicy::kCopyOnWrite;
 };
 
 /// Cumulative operation statistics (for reports and tests).
@@ -86,7 +91,16 @@ struct SmbServerStats {
   std::uint64_t corruptions_detected = 0;
   /// Armed torn writes that actually fired.
   std::uint64_t torn_writes_applied = 0;
+  /// Zero-copy pinned reads served (read_pinned).
+  std::uint64_t pinned_reads = 0;
+  /// Storage epochs cloned because a writer hit an outstanding pin under
+  /// PinWritePolicy::kCopyOnWrite.
+  std::uint64_t cow_clones = 0;
+  /// Bytes served by copy reads only.  Pinned reads move no bytes, so they
+  /// are accounted under bytes_pinned instead of inflating this.
   std::int64_t bytes_read = 0;
+  /// Bytes made visible through pinned zero-copy views.
+  std::int64_t bytes_pinned = 0;
   std::int64_t bytes_written = 0;
   std::int64_t bytes_in_use = 0;
 };
@@ -121,6 +135,17 @@ class SmbServer final : public SmbService {
   // --- float segment data path -------------------------------------------
 
   void read(Handle handle, std::span<float> dst, std::size_t offset = 0) const override;
+
+  /// Zero-copy read: pins the segment's current storage epoch and returns a
+  /// span directly into it (no bytes move; counted under bytes_pinned, not
+  /// bytes_read).  Checksums of the range are verified once, at pin time.
+  /// While the view is live, writers follow options().pin_write_policy —
+  /// clone the storage (copy-on-write) or block until the unpin.  The
+  /// corrupt_floats fault hook deliberately bypasses the policy: silent
+  /// corruption does not announce itself to readers.
+  [[nodiscard]] PinnedFloats read_pinned(Handle handle, std::size_t count,
+                                         std::size_t offset = 0) const override;
+
   void write(Handle handle, std::span<const float> src, std::size_t offset = 0) override;
 
   /// Server-side accumulate: dst[i] += src[i] for the full (equal) lengths.
@@ -140,9 +165,9 @@ class SmbServer final : public SmbService {
   // is dropped (and counted in stats().replays_dropped) instead of applied
   // twice.  An untagged OpTag degenerates to the plain op.
 
-  void write_tagged(Handle handle, std::span<const float> src, std::size_t offset,
+  SHMCAFFE_HOT_KERNEL void write_tagged(Handle handle, std::span<const float> src, std::size_t offset,
                     OpTag tag) override;
-  void accumulate_tagged(Handle src, Handle dst, OpTag tag) override;
+  SHMCAFFE_HOT_KERNEL void accumulate_tagged(Handle src, Handle dst, OpTag tag) override;
   void copy_segment_tagged(Handle src, Handle dst, OpTag tag);
 
   // --- data integrity ------------------------------------------------------
@@ -244,10 +269,30 @@ class SmbServer final : public SmbService {
  private:
   enum class Kind { kFloats, kCounters };
 
+  /// One storage *epoch* of a float segment: the arena slab pinned reads
+  /// alias.  The live epoch hangs off Segment::storage; a copy-on-write
+  /// retires the old epoch, which stays alive (and immutable) through the
+  /// shared_ptr each outstanding PinnedFloats holds.
+  struct SegmentStorage {
+    common::arena::Buffer data{"smb.segment"};
+    /// Outstanding pinned views of this epoch.  Always modified under the
+    /// owning segment's data_mutex (the kBlockWriters wakeup needs the
+    /// mutex held between the decrement and the notify); atomic so the
+    /// pin-balance check at release() can read it under the table lock,
+    /// which ranks above data_mutex and therefore cannot nest it.
+    std::atomic<int> pins{0};
+  };
+
   struct Segment {
     ShmKey key SHMCAFFE_UNGUARDED = 0;             // immutable after create
     Kind kind SHMCAFFE_UNGUARDED = Kind::kFloats;  // immutable after create
-    std::vector<float> floats SHMCAFFE_GUARDED_BY(data_mutex);
+    /// Live storage epoch (never null for float segments).
+    std::shared_ptr<SegmentStorage> storage SHMCAFFE_GUARDED_BY(data_mutex) =
+        std::make_shared<SegmentStorage>();
+    /// Lifetime pin/unpin totals (balance asserted at final release);
+    /// atomic for the same table-lock-rank reason as SegmentStorage::pins.
+    std::atomic<std::uint64_t> pins_issued{0};
+    std::atomic<std::uint64_t> pins_released{0};
     /// Sized once at create; the slots themselves are atomics.
     std::vector<std::atomic<std::int64_t>> counters SHMCAFFE_UNGUARDED;
     /// Reference count lives with the segment table, not the data path.
@@ -281,6 +326,14 @@ class SmbServer final : public SmbService {
   /// True (under the segment's data_mutex) if `tag` was already applied to
   /// `segment`; records it otherwise.
   bool replayed_locked(Segment& segment, OpTag tag)
+      SHMCAFFE_REQUIRES(segment.data_mutex);
+  /// Applies the pin policy before a mutation of `segment`'s floats: with
+  /// pins outstanding, kCopyOnWrite swaps in a fresh storage epoch (the
+  /// retired one stays alive and immutable via the pinned views' refs);
+  /// kBlockWriters waits on `lock` until every pin is released (throws
+  /// SmbUnavailable if the server fail-stops mid-wait).
+  void prepare_write_locked(Segment& segment,
+                            std::unique_lock<common::OrderedMutex>& lock)
       SHMCAFFE_REQUIRES(segment.data_mutex);
 
   [[nodiscard]] bool maintain_checksums() const { return options_.integrity.maintain(); }

@@ -19,9 +19,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace shmcaffe::smb {
 
@@ -78,6 +82,68 @@ struct OpTag {
   [[nodiscard]] bool tagged() const { return writer != 0 && sequence != 0; }
 };
 
+/// What a writer does when it arrives while pinned read views are
+/// outstanding on the segment (see SmbService::read_pinned).
+enum class PinWritePolicy {
+  /// The writer clones the segment's storage and mutates the clone; the
+  /// pinned views keep reading the retired epoch (immutable, kept alive by
+  /// their references) and the clone becomes the segment's live storage.
+  /// Writers never wait; readers see a consistent snapshot.
+  kCopyOnWrite,
+  /// The writer blocks until every pin on the live storage is released —
+  /// cheaper (no clone) when exchanges are short and writers can tolerate
+  /// the stall.
+  kBlockWriters,
+};
+
+/// Epoch-pinned zero-copy read view over a float segment (move-only RAII).
+///
+/// The span aliases the service's own storage for one *storage epoch*: the
+/// contents never change underneath the view (writers either clone the
+/// storage or wait, per PinWritePolicy), and checksum verification — when
+/// the integrity layer is on — happened once at pin time instead of per
+/// element copied.  Destroying (or release()-ing) the view unpins the
+/// epoch; services assert pin/unpin balance when the segment is freed.
+class PinnedFloats {
+ public:
+  PinnedFloats() = default;
+  /// `unpin` runs exactly once, at release()/destruction (may be empty).
+  PinnedFloats(std::span<const float> view, std::function<void()> unpin)
+      : view_(view), unpin_(std::move(unpin)) {}
+  PinnedFloats(const PinnedFloats&) = delete;
+  PinnedFloats& operator=(const PinnedFloats&) = delete;
+  PinnedFloats(PinnedFloats&& other) noexcept { *this = std::move(other); }
+  PinnedFloats& operator=(PinnedFloats&& other) noexcept {
+    if (this != &other) {
+      release();
+      view_ = other.view_;
+      unpin_ = std::move(other.unpin_);
+      other.view_ = {};
+      other.unpin_ = nullptr;
+    }
+    return *this;
+  }
+  ~PinnedFloats() { release(); }
+
+  [[nodiscard]] std::span<const float> span() const { return view_; }
+  [[nodiscard]] const float* data() const { return view_.data(); }
+  [[nodiscard]] std::size_t size() const { return view_.size(); }
+  [[nodiscard]] bool empty() const { return view_.empty(); }
+
+  /// Unpins early (idempotent); the span must not be used afterwards.
+  void release() noexcept {
+    if (unpin_) {
+      unpin_();
+      unpin_ = nullptr;
+    }
+    view_ = {};
+  }
+
+ private:
+  std::span<const float> view_;
+  std::function<void()> unpin_;
+};
+
 class SmbService {
  public:
   virtual ~SmbService() = default;
@@ -100,6 +166,23 @@ class SmbService {
   // --- float segment data path -------------------------------------------
 
   virtual void read(Handle handle, std::span<float> dst, std::size_t offset) const = 0;
+
+  /// Zero-copy read: pins the segment's current storage epoch and returns a
+  /// view of `count` floats at `offset` directly into it.  The view stays
+  /// consistent until released (writers copy-on-write or block, per the
+  /// implementation's PinWritePolicy); integrity verification happens once
+  /// at pin time.  The default forwards to a copy read into an owned buffer
+  /// so passive implementations keep working — only implementations that
+  /// can actually hand out stable views (SmbServer, ReplicatedSmb, the sim
+  /// client) override this with a genuinely zero-copy path.
+  [[nodiscard]] virtual PinnedFloats read_pinned(Handle handle, std::size_t count,
+                                                 std::size_t offset = 0) const {
+    auto owned = std::make_shared<std::vector<float>>(count);
+    read(handle, {owned->data(), owned->size()}, offset);
+    std::span<const float> view{owned->data(), owned->size()};
+    return PinnedFloats(view, [owned]() mutable { owned.reset(); });
+  }
+
   virtual void write(Handle handle, std::span<const float> src, std::size_t offset) = 0;
   /// Server-side accumulate: dst[i] += src[i] for the full (equal) lengths.
   virtual void accumulate(Handle src, Handle dst) = 0;

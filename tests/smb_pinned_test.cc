@@ -1,0 +1,274 @@
+// Tests for the zero-copy epoch-pinned SMB read path: pinned views vs copy
+// reads, the two PinWritePolicy behaviours, pin accounting (bytes_pinned,
+// balance-at-release), verify-at-pin-time integrity, and the pinned path
+// through ReplicatedSmb, ShardedBuffer, and the functional trainer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/sharded_buffer.h"
+#include "core/trainer.h"
+#include "recovery/replicated_smb.h"
+#include "smb/server.h"
+
+namespace shmcaffe {
+namespace {
+
+using smb::Handle;
+using smb::PinnedFloats;
+using smb::PinWritePolicy;
+using smb::SmbServer;
+using smb::SmbServerOptions;
+
+std::vector<float> iota_floats(std::size_t n, float start = 0.0F) {
+  std::vector<float> values(n);
+  std::iota(values.begin(), values.end(), start);
+  return values;
+}
+
+// --- pinned vs copy semantics ----------------------------------------------
+
+TEST(SmbPinnedRead, ViewIsBitwiseIdenticalToCopyRead) {
+  SmbServer server;
+  const Handle handle = server.create_floats(7, 1000);
+  const std::vector<float> data = iota_floats(1000, 0.5F);
+  server.write(handle, data);
+
+  std::vector<float> copied(1000);
+  server.read(handle, copied);
+
+  const PinnedFloats view = server.read_pinned(handle, 1000);
+  ASSERT_EQ(view.size(), 1000U);
+  EXPECT_EQ(std::memcmp(view.data(), copied.data(), 1000 * sizeof(float)), 0);
+
+  // Subrange pin: same floats as the copy read of that range.
+  const PinnedFloats window = server.read_pinned(handle, 100, 450);
+  ASSERT_EQ(window.size(), 100U);
+  EXPECT_EQ(std::memcmp(window.data(), copied.data() + 450, 100 * sizeof(float)), 0);
+}
+
+TEST(SmbPinnedRead, StatsCountPinnedBytesSeparatelyFromCopied) {
+  SmbServer server;
+  const Handle handle = server.create_floats(7, 256);
+  server.write(handle, iota_floats(256));
+
+  const auto before = server.stats();
+  {
+    const PinnedFloats view = server.read_pinned(handle, 256);
+    const PinnedFloats window = server.read_pinned(handle, 64, 10);
+    (void)view;
+    (void)window;
+  }
+  const auto after = server.stats();
+  EXPECT_EQ(after.pinned_reads, before.pinned_reads + 2);
+  EXPECT_EQ(after.bytes_pinned,
+            before.bytes_pinned + static_cast<std::int64_t>((256 + 64) * sizeof(float)));
+  // No bytes moved: the copy-read counter must not budge.
+  EXPECT_EQ(after.bytes_read, before.bytes_read);
+  EXPECT_EQ(after.reads, before.reads);
+}
+
+// --- write policies ---------------------------------------------------------
+
+TEST(SmbPinnedRead, CopyOnWriteKeepsViewOnRetiredEpoch) {
+  SmbServer server;  // kCopyOnWrite is the default
+  const Handle handle = server.create_floats(7, 128);
+  const std::vector<float> old_data = iota_floats(128, 1.0F);
+  server.write(handle, old_data);
+
+  PinnedFloats view = server.read_pinned(handle, 128);
+  const std::vector<float> new_data(128, -9.0F);
+  server.write(handle, new_data);  // must not stall, must not move the view
+
+  // The pinned view still reads the epoch it pinned...
+  EXPECT_EQ(std::memcmp(view.data(), old_data.data(), 128 * sizeof(float)), 0);
+  // ...while fresh reads see the new contents.
+  std::vector<float> now(128);
+  server.read(handle, now);
+  EXPECT_EQ(std::memcmp(now.data(), new_data.data(), 128 * sizeof(float)), 0);
+  EXPECT_EQ(server.stats().cow_clones, 1U);
+
+  // Once the pin is gone, writers mutate in place: no further clones.
+  view.release();
+  server.write(handle, old_data);
+  EXPECT_EQ(server.stats().cow_clones, 1U);
+}
+
+TEST(SmbPinnedRead, BlockWritersPolicyStallsWriterUntilUnpin) {
+  SmbServerOptions options;
+  options.pin_write_policy = PinWritePolicy::kBlockWriters;
+  SmbServer server(options);
+  const Handle handle = server.create_floats(7, 64);
+  server.write(handle, iota_floats(64));
+
+  PinnedFloats view = server.read_pinned(handle, 64);
+  std::atomic<bool> write_done{false};
+  std::thread writer([&] {
+    server.write(handle, std::vector<float>(64, 5.0F));
+    write_done.store(true, std::memory_order_release);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(write_done.load(std::memory_order_acquire))
+      << "writer completed while a pin was outstanding";
+
+  view.release();
+  writer.join();
+  EXPECT_TRUE(write_done.load(std::memory_order_acquire));
+  std::vector<float> now(64);
+  server.read(handle, now);
+  EXPECT_EQ(now[0], 5.0F);
+  // Blocking never clones.
+  EXPECT_EQ(server.stats().cow_clones, 0U);
+}
+
+// --- pin accounting ----------------------------------------------------------
+
+TEST(SmbPinnedRead, FinalReleaseWithOutstandingPinIsRefused) {
+  SmbServer server;
+  const Handle handle = server.create_floats(7, 64);
+  server.write(handle, iota_floats(64));
+
+  PinnedFloats view = server.read_pinned(handle, 64);
+  // The final release would free storage a live view still aliases: refused,
+  // and the attachment stays usable.
+  EXPECT_THROW(server.release(handle), smb::SmbError);
+  EXPECT_NO_THROW((void)server.size(handle));
+
+  view.release();
+  EXPECT_NO_THROW(server.release(handle));
+  EXPECT_THROW((void)server.size(handle), smb::SmbError);
+}
+
+TEST(SmbPinnedRead, ReleaseIsIdempotentAndMoveSafe) {
+  SmbServer server;
+  const Handle handle = server.create_floats(7, 64);
+  server.write(handle, iota_floats(64));
+
+  PinnedFloats view = server.read_pinned(handle, 64);
+  PinnedFloats moved = std::move(view);
+  view.release();  // moved-from: must be a no-op, not a double unpin
+  moved.release();
+  moved.release();  // idempotent
+  EXPECT_NO_THROW(server.release(handle));
+}
+
+// --- integrity ---------------------------------------------------------------
+
+TEST(SmbPinnedRead, ChecksumsVerifiedOnceAtPinTime) {
+  SmbServerOptions options;
+  options.integrity.verify_on_read = true;
+  options.integrity.chunk_floats = 64;
+  SmbServer server(options);
+  const Handle handle = server.create_floats(7, 256);
+  server.write(handle, iota_floats(256));
+
+  // Clean segment: pin succeeds and the view matches a raw read.
+  {
+    const PinnedFloats view = server.read_pinned(handle, 256);
+    std::vector<float> raw(256);
+    server.read_raw(handle, raw);
+    EXPECT_EQ(std::memcmp(view.data(), raw.data(), 256 * sizeof(float)), 0);
+  }
+
+  constexpr std::uint64_t kMarker = 0x51;
+  ASSERT_GT(server.corrupt_floats(7, kMarker, 2), 0U);
+  EXPECT_THROW((void)server.read_pinned(handle, 256), smb::SmbCorruption);
+  const std::vector<std::uint64_t> markers = server.detected_markers();
+  EXPECT_NE(std::find(markers.begin(), markers.end(), kMarker), markers.end());
+}
+
+// --- replicated ensemble ------------------------------------------------------
+
+TEST(SmbPinnedRead, ReplicatedViewSurvivesPrimaryFailStop) {
+  SmbServer a;
+  SmbServer b;
+  recovery::ReplicatedSmb ensemble({&a, &b});
+  const Handle handle = ensemble.create_floats(7, 200);
+  const std::vector<float> data = iota_floats(200, 3.0F);
+  ensemble.write(handle, data);
+
+  // Pin against the active replica, then kill it.  The view aliases storage
+  // kept alive by its epoch reference, so it stays readable; the next pin
+  // fails over to the survivor and serves the same bits.
+  const PinnedFloats before = ensemble.read_pinned(handle, 200);
+  a.fail_stop();
+  EXPECT_EQ(std::memcmp(before.data(), data.data(), 200 * sizeof(float)), 0);
+
+  const PinnedFloats after = ensemble.read_pinned(handle, 200);
+  ASSERT_EQ(after.size(), 200U);
+  EXPECT_EQ(std::memcmp(after.data(), data.data(), 200 * sizeof(float)), 0);
+}
+
+// --- sharded buffer -----------------------------------------------------------
+
+TEST(SmbPinnedRead, ShardedViewsCoverTheLogicalBuffer) {
+  SmbServer s0;
+  SmbServer s1;
+  SmbServer s2;
+  std::vector<smb::SmbServer*> servers = {&s0, &s1, &s2};
+  core::ShardedBuffer buffer =
+      core::ShardedBuffer::create(std::span<smb::SmbServer* const>(servers), 7, 1000);
+  const std::vector<float> data = iota_floats(1000, 0.25F);
+  buffer.write(data);
+
+  for (const std::size_t start_shard : {0U, 1U, 2U}) {
+    std::vector<core::ShardedBuffer::PinnedShard> views = buffer.read_pinned(start_shard);
+    ASSERT_EQ(views.size(), 3U);
+    std::size_t expected_offset = 0;
+    for (const core::ShardedBuffer::PinnedShard& shard : views) {
+      // Ascending, gap-free offsets regardless of fan-out rotation.
+      ASSERT_EQ(shard.offset, expected_offset);
+      EXPECT_EQ(std::memcmp(shard.view.data(), data.data() + shard.offset,
+                            shard.view.size() * sizeof(float)),
+                0)
+          << "start_shard=" << start_shard << " offset=" << shard.offset;
+      expected_offset += shard.view.size();
+    }
+    EXPECT_EQ(expected_offset, 1000U);
+  }
+}
+
+// --- functional trainer -------------------------------------------------------
+
+TEST(SmbPinnedRead, TrainerZeroCopyPathIsBitwiseIdenticalToCopyPath) {
+  // The T1 exchange against pinned views must be numerically invisible: same
+  // floats, same rounding, just no staging copy.  One worker, one epoch of
+  // the toy conv family — the same fixture parallel_test uses for the
+  // thread-count invariance check.
+  core::DistTrainOptions options;
+  options.model_family = "mini_inception";
+  options.workers = 1;
+  options.group_size = 1;
+  options.input = dl::ModelInputSpec{1, 12, 12, 4};
+  options.train_data.channels = 1;
+  options.train_data.height = 12;
+  options.train_data.width = 12;
+  options.train_data.classes = 4;
+  options.train_data.size = 256;
+  options.train_data.noise_stddev = 0.25;
+  options.test_data = options.train_data;
+  options.test_data.size = 128;
+  options.test_data.seed = 0x7e57;
+  options.batch_size = 16;
+  options.epochs = 1;
+
+  options.zero_copy_reads = true;
+  const core::TrainResult pinned = core::train_shmcaffe(options);
+  options.zero_copy_reads = false;
+  const core::TrainResult copied = core::train_shmcaffe(options);
+
+  EXPECT_EQ(pinned.final_loss, copied.final_loss);
+  EXPECT_EQ(pinned.final_accuracy, copied.final_accuracy);
+  ASSERT_EQ(pinned.curve.size(), copied.curve.size());
+}
+
+}  // namespace
+}  // namespace shmcaffe

@@ -25,6 +25,10 @@
 #                             # snapshot into BENCH_integrity.json; refuses to
 #                             # overwrite the baseline on a >20% throughput
 #                             # regression unless --force is also given
+#   tools/check.sh simd       # the `simd`-labelled kernel-equivalence tests in
+#                             # the AVX2 tree AND a -DSHMCAFFE_SIMD=OFF scalar
+#                             # tree: the SIMD tier must be bitwise identical
+#                             # to the scalar cores, build to build
 #   tools/check.sh bench      # Release build + bench_micro_kernels snapshot
 #                             # into BENCH_kernels.json; refuses to overwrite
 #                             # the baseline on a >20% throughput regression
@@ -128,6 +132,31 @@ lint_coverage_gate() {
     if [[ -n "$old_roots" && -n "$new_roots" && "$new_roots" -lt "$old_roots" ]]; then
       echo "==> [lint] SHMCAFFE_DETERMINISTIC root count shrank vs LINT_coverage.json" \
            "($old_roots -> $new_roots); baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
+    # The hot-path allocation counters mirror the determinism pair: the
+    # `hot_allocs` count (suppressed allocation sites reachable from
+    # SHMCAFFE_HOT_KERNEL roots, net of justified lint:allow escapes) must
+    # not grow, and the `hot_kernel_roots` count must not shrink — dropping
+    # a root annotation silently un-gates every callee's allocations.
+    local extract_hot_allocs='s/.*"hot_allocs": \([0-9]*\).*/\1/p'
+    local old_hot new_hot
+    old_hot=$(sed -n "$extract_hot_allocs" LINT_coverage.json | head -1)
+    new_hot=$(sed -n "$extract_hot_allocs" "$new_json" | head -1)
+    if [[ -n "$old_hot" && -n "$new_hot" && "$new_hot" -gt "$old_hot" ]]; then
+      echo "==> [lint] hot-kernel allocation count grew vs LINT_coverage.json" \
+           "($old_hot -> $new_hot); baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
+    local extract_hot_roots='s/.*"hot_kernel_roots": \([0-9]*\).*/\1/p'
+    local old_hroots new_hroots
+    old_hroots=$(sed -n "$extract_hot_roots" LINT_coverage.json | head -1)
+    new_hroots=$(sed -n "$extract_hot_roots" "$new_json" | head -1)
+    if [[ -n "$old_hroots" && -n "$new_hroots" && "$new_hroots" -lt "$old_hroots" ]]; then
+      echo "==> [lint] SHMCAFFE_HOT_KERNEL root count shrank vs LINT_coverage.json" \
+           "($old_hroots -> $new_hroots); baseline kept (rerun with --force after review)" >&2
       rm -f "$new_json"
       exit 1
     fi
@@ -242,6 +271,21 @@ for stage in "${STAGES[@]}"; do
       mv "$new_json" BENCH_integrity.json
       echo "==> [integrity] snapshot written to BENCH_integrity.json"
       ;;
+    simd)
+      # Kernel-core tier cross-check: build a second tree with the SIMD tier
+      # compiled out (-DSHMCAFFE_SIMD=OFF forces the scalar cores) and run
+      # the kernel-equivalence suites in both.  The contract under test is
+      # bitwise identity: the `simd`-labelled tests hash training floats and
+      # kernel outputs, and those hashes must agree between the two builds
+      # (each build asserts its own invariance; the shared expectations in
+      # the tests pin the cross-build equality).
+      run_stage simd-on build "" "-L simd"
+      echo "==> [simd] configure + build (build-scalar, SIMD tier off)"
+      cmake -B build-scalar -S . -DSHMCAFFE_SIMD=OFF >/dev/null
+      cmake --build build-scalar -j "$JOBS"
+      echo "==> [simd] ctest -L simd (scalar cores)"
+      (cd build-scalar && ctest --output-on-failure -j "$JOBS" -L simd)
+      ;;
     bench)
       # Micro-kernel throughput snapshot.  Optimised tree (the sanitizer
       # trees and default RelWithDebInfo mismeasure the kernels), one run,
@@ -278,7 +322,7 @@ for stage in "${STAGES[@]}"; do
       echo "==> [bench] snapshot written to BENCH_kernels.json"
       ;;
     *)
-      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery|elastic|integrity|bench)" >&2
+      echo "unknown stage '$stage' (expected plain|tsan|asan|lint|recovery|elastic|integrity|simd|bench)" >&2
       exit 2
       ;;
   esac

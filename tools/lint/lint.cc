@@ -400,12 +400,13 @@ std::size_t top_level_paren_pos(std::string_view s) {
   return std::string_view::npos;
 }
 
-/// Extracts and removes SHMCAFFE_REQUIRES(...) / SHMCAFFE_DETERMINISTIC from
-/// a function head.
+/// Extracts and removes SHMCAFFE_REQUIRES(...) / SHMCAFFE_DETERMINISTIC /
+/// SHMCAFFE_HOT_KERNEL from a function head.
 void extract_function_annotations(std::string& head, std::vector<std::string>& requires_locks,
-                                  bool& deterministic) {
+                                  bool& deterministic, bool& hot_kernel) {
   static const std::string kRequires = "SHMCAFFE_REQUIRES";
   static const std::string kDeterministic = "SHMCAFFE_DETERMINISTIC";
+  static const std::string kHotKernel = "SHMCAFFE_HOT_KERNEL";
   std::size_t at;
   while ((at = head.find(kRequires)) != std::string::npos) {
     const std::size_t open = head.find('(', at + kRequires.size());
@@ -423,6 +424,10 @@ void extract_function_annotations(std::string& head, std::vector<std::string>& r
   while ((at = head.find(kDeterministic)) != std::string::npos) {
     deterministic = true;
     head.erase(at, kDeterministic.size());
+  }
+  while ((at = head.find(kHotKernel)) != std::string::npos) {
+    hot_kernel = true;
+    head.erase(at, kHotKernel.size());
   }
 }
 
@@ -667,7 +672,8 @@ class ClassIndexer {
     }
     std::vector<std::string> requires_locks;
     bool deterministic = false;
-    extract_function_annotations(head, requires_locks, deterministic);
+    bool hot_kernel = false;
+    extract_function_annotations(head, requires_locks, deterministic, hot_kernel);
     const std::vector<std::string> tokens = identifier_tokens(head);
     static const std::array<std::string_view, 6> kSkipLead = {
         "using", "typedef", "friend", "template", "enum", "namespace"};
@@ -696,6 +702,7 @@ class ClassIndexer {
     info.body_line = body_line;
     info.requires_locks = std::move(requires_locks);
     info.deterministic = deterministic;
+    info.hot_kernel = hot_kernel;
     funcs_->push_back(std::move(info));
     return true;
   }
@@ -866,9 +873,10 @@ FunctionGroups group_functions(const std::vector<FunctionInfo>& funcs) {
   return groups;
 }
 
-/// Unifies SHMCAFFE_REQUIRES / SHMCAFFE_DETERMINISTIC between declarations
-/// and definitions of the same (class, name) whose files are related through
-/// the include closure: annotating either site annotates both.
+/// Unifies SHMCAFFE_REQUIRES / SHMCAFFE_DETERMINISTIC / SHMCAFFE_HOT_KERNEL
+/// between declarations and definitions of the same (class, name) whose
+/// files are related through the include closure: annotating either site
+/// annotates both.
 void merge_function_annotations(std::vector<FunctionInfo>& funcs, const IncludeClosure& closure) {
   const FunctionGroups groups = group_functions(funcs);
   for (const auto& [key, members] : groups) {
@@ -882,6 +890,10 @@ void merge_function_annotations(std::vector<FunctionInfo>& funcs, const IncludeC
           const FunctionInfo& from = funcs[b];
           if (from.deterministic && !into.deterministic) {
             into.deterministic = true;
+            changed = true;
+          }
+          if (from.hot_kernel && !into.hot_kernel) {
+            into.hot_kernel = true;
             changed = true;
           }
           for (const std::string& req : from.requires_locks) {
@@ -1228,6 +1240,8 @@ struct RepoAnalysis {
   std::map<std::string, AccessStats> access;  ///< class name -> counters
   int deterministic_roots = 0;
   int tainted = 0;
+  int hot_kernel_roots = 0;
+  int hot_allocs = 0;
 };
 
 /// Guarded fields a member function of `class_name` can touch without an
@@ -1603,6 +1617,96 @@ RepoAnalysis analyze_repo(const std::vector<SourceFile>& files,
     }
   }
 
+  // ---- no-hot-alloc pass ---------------------------------------------------
+  // Same reachability walk as the determinism pass, rooted at the
+  // SHMCAFFE_HOT_KERNEL annotations: per-iteration kernels and everything
+  // they call must not touch the heap.  Arena-routed statements are the
+  // sanctioned allocation channel (the registry recycles slabs across
+  // iterations), so any statement mentioning the arena is exempt.
+  static const std::regex kHotNew(
+      R"(\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<|\bmalloc\s*\(|\bcalloc\s*\()");
+  static const std::regex kHotContainer(
+      R"(\b(?:std\s*::\s*)?(?:vector|string|deque|list|map|set|multimap|multiset|unordered_map|unordered_set)\s*<[^;{}]*>\s+[A-Za-z_]\w*\s*[({=;])");
+  static const std::regex kHotGrow(
+      R"([.\>]\s*(?:resize|reserve|push_back|emplace_back|emplace|shrink_to_fit)\s*\()");
+  static const std::regex kArenaRouted(R"(\barena\s*::|\bglobal_arena\b|\bArena\b)");
+
+  std::set<std::pair<std::string, std::string>> hot_root_keys;
+  for (const FunctionInfo& func : funcs) {
+    if (func.hot_kernel && starts_with(func.file, "src/")) {
+      hot_root_keys.insert({func.class_name, func.name});
+    }
+  }
+  result.hot_kernel_roots = static_cast<int>(hot_root_keys.size());
+
+  std::set<std::size_t> hot_visited;
+  std::vector<std::pair<std::size_t, std::string>> hot_todo;  // (def index, root label)
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    if (!funcs[i].has_body || !funcs[i].hot_kernel) continue;
+    if (!starts_with(funcs[i].file, "src/")) continue;
+    if (hot_visited.insert(i).second) hot_todo.push_back({i, funcs[i].name});
+  }
+  while (!hot_todo.empty()) {
+    const auto [index, root] = hot_todo.back();
+    hot_todo.pop_back();
+    const FunctionInfo& func = funcs[index];
+    // The arena implementation is the sanctioned allocation channel itself:
+    // neither flagged nor walked further (its slab path bottoms out in
+    // ::operator new by design).
+    if (starts_with(func.file, "src/common/arena.")) continue;
+
+    std::set<std::string> caller_family;
+    if (!func.class_name.empty()) {
+      caller_family.insert(func.class_name);
+      const ClassInfo* cls = find_class(classes, func.class_name, func.file, closure);
+      while (cls != nullptr && !cls->enclosing.empty()) {
+        caller_family.insert(cls->enclosing);
+        cls = find_class(classes, cls->enclosing, func.file, closure);
+      }
+    }
+
+    const std::string suffix = root == func.name
+                                   ? "' (a SHMCAFFE_HOT_KERNEL root)"
+                                   : "', reachable from SHMCAFFE_HOT_KERNEL root '" +
+                                         root + "'";
+    const auto flag = [&](int line, const std::string& what) {
+      if (allowed(allows_of(func.file), line, "no-hot-alloc")) return;
+      result.findings.push_back(Finding{
+          func.file, line, "no-hot-alloc",
+          what + " in '" + func.name + suffix +
+              "; route per-iteration storage through common::arena"});
+      ++result.hot_allocs;
+    };
+
+    for (const BodyStatement& stmt : body_statements(func.body, func.body_line)) {
+      if (!std::regex_search(stmt.text, kArenaRouted)) {
+        if (std::regex_search(stmt.text, kHotNew)) {
+          flag(stmt.line, "heap allocation");
+        } else if (std::regex_search(stmt.text, kHotContainer)) {
+          flag(stmt.line, "owning-container declaration");
+        } else if (std::regex_search(stmt.text, kHotGrow)) {
+          flag(stmt.line, "container growth");
+        }
+      }
+
+      for (const Token& token : tokens_with_pos(stmt.text)) {
+        std::size_t after = token.pos + token.text.size();
+        while (after < stmt.text.size() &&
+               std::isspace(static_cast<unsigned char>(stmt.text[after])) != 0) {
+          ++after;
+        }
+        if (after >= stmt.text.size() || stmt.text[after] != '(') continue;
+        std::string qualifier;
+        const CallForm form = call_form(stmt.text, token.pos, qualifier);
+        for (const std::size_t idx :
+             resolve_call(token.text, form, qualifier, func, caller_family)) {
+          if (!funcs[idx].has_body) continue;
+          if (hot_visited.insert(idx).second) hot_todo.push_back({idx, root});
+        }
+      }
+    }
+  }
+
   std::stable_sort(result.findings.begin(), result.findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.file != b.file ? a.file < b.file : a.line < b.line;
@@ -1617,7 +1721,7 @@ const std::vector<std::string>& rule_ids() {
       "rng-source",       "wall-clock",  "sim-wall-clock",  "raii-lock",
       "sim-ptr-container", "pragma-once", "include-hygiene", "no-naked-epoch",
       "no-raw-thread",     "guarded-by",  "include-layering", "lock-region",
-      "determinism",       "stale-allow"};
+      "determinism",       "no-hot-alloc", "stale-allow"};
   return ids;
 }
 
@@ -2069,7 +2173,9 @@ std::string coverage_json(const std::vector<SourceFile>& files) {
       << ", \"accesses\": " << total.accesses
       << ", \"unguarded_access\": " << total.unguarded_access
       << ", \"deterministic_roots\": " << analysis.deterministic_roots
-      << ", \"tainted\": " << analysis.tainted << "}\n}\n";
+      << ", \"tainted\": " << analysis.tainted
+      << ", \"hot_kernel_roots\": " << analysis.hot_kernel_roots
+      << ", \"hot_allocs\": " << analysis.hot_allocs << "}\n}\n";
   return out.str();
 }
 

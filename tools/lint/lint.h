@@ -82,6 +82,14 @@
 //                     environment reads, and address-dependent ordering
 //                     (pointer hashing / pointer-keyed containers) anywhere
 //                     in the taint set.
+//   no-hot-alloc      heap allocation reachable from a SHMCAFFE_HOT_KERNEL
+//                     root through the pass-1 call index: `new`,
+//                     make_unique/make_shared, owning-container declarations
+//                     (vector/string/map/...), and container growth calls
+//                     (resize/reserve/push_back/emplace_back).  Per-iteration
+//                     kernels must recycle storage through common::arena —
+//                     statements that route through it (`arena::`,
+//                     `global_arena`) are exempt.
 //   stale-allow       a `lint:allow` / `lint:allow-next-line` annotation that
 //                     suppressed no finding in the whole-repo run: the escape
 //                     hatch is stale (or the rule id is misspelled) and must
@@ -156,6 +164,7 @@ struct FunctionInfo {
   int body_line = 0;      ///< 1-based line of the first body character
   std::vector<std::string> requires_locks;  ///< SHMCAFFE_REQUIRES expressions
   bool deterministic = false;               ///< carries SHMCAFFE_DETERMINISTIC
+  bool hot_kernel = false;                  ///< carries SHMCAFFE_HOT_KERNEL
 };
 
 /// All rule ids, in reporting order (for docs and tests).
@@ -198,7 +207,8 @@ struct FunctionInfo {
 /// lock-region access counters (`accesses`: guarded-field access sites the
 /// flow pass checked; `unguarded_access`: sites it found outside the lock,
 /// net of justified suppressions), and a summary that also carries the
-/// determinism counters (`deterministic_roots`, `tainted`).  tools/check.sh
+/// determinism counters (`deterministic_roots`, `tainted`) and the hot-path
+/// allocation counters (`hot_kernel_roots`, `hot_allocs`).  tools/check.sh
 /// snapshots this as LINT_coverage.json and fails on regressions.
 [[nodiscard]] std::string coverage_json(const std::vector<SourceFile>& files);
 
