@@ -127,6 +127,54 @@
 // with a reason.  Steady-state iterations must recycle arena slabs.
 #define SHMCAFFE_HOT_KERNEL /* parsed by shmcaffe-lint */
 
+// Blocking-contract annotations, enforced by shmcaffe-lint's interprocedural
+// `no-blocking-under-lock` pass (tools/lint).
+//
+// SHMCAFFE_BLOCKS, placed before the return type, marks a function that can
+// park the calling thread: condition-variable waits, deadline waits
+// (wait_version_at_least), thread sleeps / retry backoff, MiniMPI
+// receives/collectives, pool parallel_for submission (the submitter waits
+// for every chunk), and the simulated fabric's co_await transfers.  The lint
+// pass also recognises a literal cv wait / sleep in a body as an implicit
+// root, so forgetting the annotation cannot hide the blocking-ness — but the
+// annotation is the reviewable contract and feeds the `blocking_roots`
+// coverage counter (shrink-fenced by tools/check.sh).
+//
+// Blocking-ness propagates through the call index: a function that can reach
+// a BLOCKS root is itself blocking, and the lock-region scope walk reports
+// any blocking call issued while a mutex guard is lexically held.  Two
+// shapes are exempt because the wait *releases* the lock it names:
+// `cv.wait(lock)` over a guard declared in scope releases that guard's
+// mutexes, and a call into a SHMCAFFE_REQUIRES(mu) callee releases `mu`
+// (the prepare_write_locked idiom: the callee waits on the caller's lock).
+// A deliberate blocking call under a lock carries a justified allow
+// annotation for the no-blocking-under-lock rule.
+//
+// SHMCAFFE_NONBLOCKING, placed before the return type, is the opposite
+// contract: the function must never park the calling thread (the
+// progress-board control plane, counter ops, arena acquire/release).  It is
+// lint-*verified*: a NONBLOCKING function that can reach a BLOCKS root —
+// directly or through any call chain — is itself a finding.  The
+// `nonblocking_contracts` counter is shrink-fenced like the roots.
+#define SHMCAFFE_BLOCKS      /* parsed by shmcaffe-lint */
+#define SHMCAFFE_NONBLOCKING /* parsed by shmcaffe-lint */
+
+// Pinned-lifetime annotation, enforced by shmcaffe-lint's `pin-lifetime`
+// pass.  Pinned/arena views (smb::PinnedFloats, ShardedBuffer::PinnedShard,
+// common::arena::Buffer) alias storage whose lifetime is pinned elsewhere,
+// so by default they must stay frame-local: the pass flags a pin-typed
+// *field* declaration, a *return* of a pin type from a function, and a
+// lambda capture of a pin-typed local.  A deliberate escape — an owning
+// arena Buffer member, a factory that hands the view to its caller — is
+// annotated SHMCAFFE_PIN_ESCAPE (trailing on fields, like
+// SHMCAFFE_GUARDED_BY; before the return type on functions) with a comment
+// naming the justification.  The pass also flags *pin acquisition while any
+// mutex is held* (a call to a pin-returning function under a guard): the
+// COW retirement protocol is pin-then-lock only, so a pin taken under the
+// segment/table mutex inverts it.  Escape counts feed the `pin_escapes`
+// coverage counter (grow-fenced by tools/check.sh).
+#define SHMCAFFE_PIN_ESCAPE /* parsed by shmcaffe-lint */
+
 #if !defined(SHMCAFFE_LOCK_ASSERTS)
 #if defined(NDEBUG)
 #define SHMCAFFE_LOCK_ASSERTS 0

@@ -130,7 +130,9 @@ class Pool {
     SHMCAFFE_ASSERT_HELD(mutex_);
     stopping_ = false;
     for (int w = 1; w < width_; ++w) {
-      // lint:allow-next-line(no-hot-alloc) one-time lazy pool spawn, not per-iteration
+      // One-time lazy pool spawn, not per-iteration; worker_loop's cv wait
+      // runs on the spawned thread, not under this caller's mutex_.
+      // lint:allow-next-line(no-hot-alloc,no-blocking-under-lock)
       workers_.emplace_back([this] { worker_loop(); });
     }
   }

@@ -112,18 +112,26 @@ void ShardedBuffer::read_locked(std::span<float> dst, std::size_t start_shard) c
   if (dst.size() != total_) throw std::invalid_argument("ShardedBuffer::read size mismatch");
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     const Shard& shard = shards_[(start_shard + k) % shards_.size()];
+    // The fan-out must see one consistent shard table: dropping shards_mutex_
+    // between per-shard reads would let a concurrent elastic re-target tear
+    // the logical buffer mid-read.
+    // lint:allow-next-line(no-blocking-under-lock)
     shard.server->read(shard.handle, dst.subspan(shard.offset, shard.count), 0);
   }
 }
 
-std::vector<ShardedBuffer::PinnedShard> ShardedBuffer::read_pinned(
+SHMCAFFE_PIN_ESCAPE std::vector<ShardedBuffer::PinnedShard> ShardedBuffer::read_pinned(
     std::size_t start_shard) const {
   std::scoped_lock lock(shards_mutex_);
   std::vector<PinnedShard> views(shards_.size());
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     const std::size_t index = (start_shard + k) % shards_.size();
     const Shard& shard = shards_[index];
-    views[index] =
+    // Pinning under shards_mutex_ is the documented exception to pin-then-
+    // lock: each pin targets a *different* server's segment mutex (never the
+    // one shards_mutex_ orders above), and the table must stay stable so the
+    // views cover the logical buffer without a seam.
+    views[index] =  // lint:allow-next-line(no-blocking-under-lock,pin-lifetime)
         PinnedShard{shard.offset, shard.server->read_pinned(shard.handle, shard.count, 0)};
   }
   return views;
@@ -140,6 +148,9 @@ void ShardedBuffer::write_locked(std::span<const float> src, std::size_t start_s
   if (src.size() != total_) throw std::invalid_argument("ShardedBuffer::write size mismatch");
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     const Shard& shard = shards_[(start_shard + k) % shards_.size()];
+    // Same stability argument as read_locked: the write must land on the
+    // shard layout it validated against.
+    // lint:allow-next-line(no-blocking-under-lock)
     shard.server->write(shard.handle, src.subspan(shard.offset, shard.count), 0);
   }
 }
@@ -159,6 +170,9 @@ void ShardedBuffer::accumulate_into(ShardedBuffer& dst, std::size_t start_shard)
         shards_[i].count != dst.shards_[i].count) {
       throw std::invalid_argument("ShardedBuffer::accumulate_into sharding mismatch");
     }
+    // Both shard tables are held for the whole fan-out so the pairwise
+    // shard match checked above cannot be invalidated mid-accumulate.
+    // lint:allow-next-line(no-blocking-under-lock)
     shards_[i].server->accumulate(shards_[i].handle, dst.shards_[i].handle);
   }
 }

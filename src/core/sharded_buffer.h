@@ -68,9 +68,12 @@ class ShardedBuffer {
   /// move: consumers iterate the views in place and drop them to unpin.
   struct PinnedShard {
     std::size_t offset = 0;
-    smb::PinnedFloats view;
+    // Carrier struct for the fan-out result: the view outlives read_pinned's
+    // frame by design and is dropped by the consumer to unpin.
+    smb::PinnedFloats view SHMCAFFE_PIN_ESCAPE;
   };
-  [[nodiscard]] std::vector<PinnedShard> read_pinned(std::size_t start_shard = 0) const;
+  [[nodiscard]] SHMCAFFE_PIN_ESCAPE std::vector<PinnedShard> read_pinned(
+      std::size_t start_shard = 0) const;
 
   /// Writes the whole logical buffer (src.size() == size()); `start_shard`
   /// rotates like read().

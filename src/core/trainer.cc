@@ -41,8 +41,11 @@ struct ExchangeState {
   bool pending = false;  // a weight increment awaits flushing to the SMB
   bool stopping = false;
   /// Weight-increment staging (eq. 5 output), arena-backed: sized once per
-  /// worker life and recycled across lives through the registry.
-  common::arena::Buffer delta{"trainer.exchange.delta"};
+  /// worker life and recycled across lives through the registry.  The buffer
+  /// is an owning arena allocation (not a view of SMB storage), shared
+  /// between the main and update threads under `mutex` for the worker's
+  /// whole life — a deliberate escape.
+  common::arena::Buffer delta SHMCAFFE_PIN_ESCAPE{"trainer.exchange.delta"};
 };
 
 struct WorkerShared {
@@ -257,6 +260,11 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
   exchange.delta.assign(param_count, 0.0F);
   std::thread update_thread;
   if (is_root) {
+    // The update thread flushes T.A1-T.A4 while *holding* exchange.mutex:
+    // that mutex IS the Fig. 6 mutual exclusion between the main thread's
+    // T1/T2 window and the flush, and the only other party is the main
+    // thread, which is parked on exchange.cv (mutex released) whenever the
+    // flush runs.  lint:allow-next-line(no-blocking-under-lock)
     update_thread = std::thread([&exchange, &delta_buffer, &global, home_shard] {
       std::unique_lock lock(exchange.mutex);
       for (;;) {
@@ -305,16 +313,24 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
       // copy of the global weights at all.  Per-shard chunking changes
       // nothing numerically: eqs. (5)+(6) are elementwise, so the floats
       // match the staged path bitwise for any shard split or pool width.
+      // T1/T2 run under exchange.mutex by design (mutual exclusion with the
+      // update thread, which is parked on the cv here), and the pins are
+      // dropped before the lock: frame-local, never pinned-across-unlock.
+      // lint:allow-next-line(no-blocking-under-lock,pin-lifetime)
       for (ShardedBuffer::PinnedShard& shard : global.read_pinned(home_shard())) {
-        elastic_exchange_parallel(
+        // lint:allow-next-line(no-blocking-under-lock) pool fan-out inside
+        elastic_exchange_parallel(                      // the T1/T2 window
             std::span<float>(local.data() + shard.offset, shard.view.size()),
             shard.view.span(), alpha,
             std::span<float>(exchange.delta.data() + shard.offset, shard.view.size()));
       }
     } else {
+      // Same mutual-exclusion argument as the zero-copy branch above.
+      // lint:allow-next-line(no-blocking-under-lock)
       global.read(global_copy.span(), home_shard());  // T1
       // T2: eqs. (5)+(6), chunked on the work pool (bitwise equal to the
       // scalar elastic_exchange for any SHMCAFFE_THREADS).
+      // lint:allow-next-line(no-blocking-under-lock)
       elastic_exchange_parallel(local.span(), global_copy.span(), alpha,
                                 exchange.delta.span());
     }
@@ -370,6 +386,9 @@ void run_worker(WorkerShared& shared, int worker, WorkerLife life = WorkerLife::
       std::unique_lock lock(exchange.mutex);
       exchange.cv.wait(lock, [&] { return !exchange.pending || exchange.stopping; });
       if (exchange.stopping) throw smb::SmbUnavailable("SMB lost during checkpoint");
+      // Checkpoint consistency REQUIRES reading W_g inside the exchange
+      // window: no accumulate can be in flight while the mutex is held.
+      // lint:allow-next-line(no-blocking-under-lock)
       global.read(global_copy.span());  // consistent: no in-flight accumulate
     }
     checkpoint.global_weights.assign(global_copy.data(), global_copy.data() + global_copy.size());

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/rng.h"
 #include "data/synth_dataset.h"
 #include "dl/tensor.h"
@@ -73,7 +74,7 @@ class Prefetcher {
   Prefetcher& operator=(const Prefetcher&) = delete;
 
   /// Blocks until a prefetched batch is available.
-  Batch next();
+  SHMCAFFE_BLOCKS Batch next();
 
   [[nodiscard]] std::size_t depth() const { return depth_; }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/ordered_mutex.h"
 #include "dl/layer.h"
 
 namespace shmcaffe::dl {
@@ -61,9 +62,11 @@ class Conv2d final : public Layer {
   ParamBlob bias_;            // [out]
   /// Per-layer scratch, arena-backed: sized on first use and reused across
   /// calls (a layer's forward/backward never run concurrently with
-  /// themselves), so steady-state iterations never touch the heap.
-  common::arena::Buffer col_{"dl.conv.col"};    // im2col scratch: [in*k*k, oh*ow]
-  common::arena::Buffer dcol_{"dl.conv.dcol"};  // backward column-gradient scratch
+  /// themselves), so steady-state iterations never touch the heap.  Owning
+  /// allocations (not SMB views) living as long as the layer: a deliberate
+  /// escape.
+  common::arena::Buffer col_ SHMCAFFE_PIN_ESCAPE{"dl.conv.col"};    // im2col scratch
+  common::arena::Buffer dcol_ SHMCAFFE_PIN_ESCAPE{"dl.conv.dcol"};  // backward col-grad scratch
 
 };
 

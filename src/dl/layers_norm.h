@@ -3,6 +3,7 @@
 #pragma once
 
 #include "common/arena.h"
+#include "common/ordered_mutex.h"
 #include "dl/layer.h"
 
 namespace shmcaffe::dl {
@@ -35,9 +36,10 @@ class BatchNorm final : public Layer {
   ParamBlob running_var_;   // [C], non-learnable
   // Cached from the last training forward (for backward).
   // Arena-backed so the per-batch assign never reallocates after the
-  // first training iteration.
-  common::arena::Buffer batch_mean_{"dl.norm.batch_mean"};
-  common::arena::Buffer batch_inv_std_{"dl.norm.batch_inv_std"};
+  // first training iteration.  Owning allocations with layer lifetime:
+  // a deliberate escape.
+  common::arena::Buffer batch_mean_ SHMCAFFE_PIN_ESCAPE{"dl.norm.batch_mean"};
+  common::arena::Buffer batch_inv_std_ SHMCAFFE_PIN_ESCAPE{"dl.norm.batch_inv_std"};
   Tensor normalized_;  // x-hat
 };
 

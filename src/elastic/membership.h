@@ -166,13 +166,13 @@ struct MembershipChange {
 /// worker is gone).  Every join / drain / evict is followed by its
 /// kShardRebalance.  Deterministically ordered by (at_iteration, action,
 /// target); both stacks filter this list by what actually ran.
-[[nodiscard]] SHMCAFFE_DETERMINISTIC std::vector<MembershipChange> membership_schedule(
-    const MembershipPlan* plan, const fault::FaultPlan* faults,
-    const MembershipPolicy& policy, int initial_workers);
+[[nodiscard]] SHMCAFFE_DETERMINISTIC SHMCAFFE_NONBLOCKING std::vector<MembershipChange>
+membership_schedule(const MembershipPlan* plan, const fault::FaultPlan* faults,
+                    const MembershipPolicy& policy, int initial_workers);
 
 /// Order-sensitive FNV-1a digest over (action, target, at_iteration) —
 /// identical for a planned schedule and a faithfully executed one.
-[[nodiscard]] SHMCAFFE_DETERMINISTIC std::uint64_t membership_fingerprint(
+[[nodiscard]] SHMCAFFE_DETERMINISTIC SHMCAFFE_NONBLOCKING std::uint64_t membership_fingerprint(
     std::span<const MembershipChange> changes);
 
 /// Human-readable one-line-per-change rendering.
@@ -208,8 +208,8 @@ struct MembershipExecution {
 /// single join or leave reassigns the fewest workers).  A worker's home
 /// shard is where its SEASGD fan-out *starts* — rotating the start spreads
 /// concurrent exchanges across the SMB shard ensembles.
-[[nodiscard]] std::vector<int> shard_assignments(std::span<const int> members_sorted,
-                                                 int shards);
+[[nodiscard]] SHMCAFFE_NONBLOCKING std::vector<int> shard_assignments(
+    std::span<const int> members_sorted, int shards);
 
 // --- the run-time registry --------------------------------------------------
 

@@ -76,7 +76,7 @@ class Context {
   };
 
   void post(int to, Message message);
-  Message take(int at, int from, int tag);
+  SHMCAFFE_BLOCKS Message take(int at, int from, int tag);
 
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -97,7 +97,7 @@ class Endpoint {
 
   void send_bytes(int to, int tag, std::vector<std::byte> data);
   /// Blocks until a message from `from` (or kAnySource) with `tag` arrives.
-  std::vector<std::byte> recv_bytes(int from, int tag);
+  SHMCAFFE_BLOCKS std::vector<std::byte> recv_bytes(int from, int tag);
 
   template <typename T>
   void send_value(int to, int tag, const T& value) {
@@ -123,10 +123,10 @@ class Endpoint {
 
   // --- collectives (all ranks must call, same order) -----------------------
 
-  void barrier();
+  SHMCAFFE_BLOCKS void barrier();
 
   /// Root's buffer is broadcast into everyone's `data`.
-  void broadcast(int root, std::span<float> data);
+  SHMCAFFE_BLOCKS void broadcast(int root, std::span<float> data);
   template <typename T>
   void broadcast_value(int root, T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -141,7 +141,7 @@ class Endpoint {
   }
 
   /// Elementwise sum across ranks, result in everyone's `data` (ring).
-  void allreduce_sum(std::span<float> data);
+  SHMCAFFE_BLOCKS void allreduce_sum(std::span<float> data);
 
   /// Elementwise sum across ranks, result only at root.
   void reduce_sum(int root, std::span<float> data);

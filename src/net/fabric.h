@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/units.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
@@ -95,10 +96,12 @@ class Fabric {
   /// Fixed-arity overloads exist because GCC 12 rejects initializer-list
   /// temporaries inside `co_await` operands ("array used as initializer");
   /// call sites pass links as plain arguments instead of `{a, b}`.
-  [[nodiscard]] sim::Task<void> transfer(std::vector<LinkId> path, std::int64_t bytes);
-  [[nodiscard]] sim::Task<void> transfer(LinkId a, std::int64_t bytes);
-  [[nodiscard]] sim::Task<void> transfer(LinkId a, LinkId b, std::int64_t bytes);
-  [[nodiscard]] sim::Task<void> transfer(LinkId a, LinkId b, LinkId c, std::int64_t bytes);
+  [[nodiscard]] SHMCAFFE_BLOCKS sim::Task<void> transfer(std::vector<LinkId> path,
+                                                         std::int64_t bytes);
+  [[nodiscard]] SHMCAFFE_BLOCKS sim::Task<void> transfer(LinkId a, std::int64_t bytes);
+  [[nodiscard]] SHMCAFFE_BLOCKS sim::Task<void> transfer(LinkId a, LinkId b, std::int64_t bytes);
+  [[nodiscard]] SHMCAFFE_BLOCKS sim::Task<void> transfer(LinkId a, LinkId b, LinkId c,
+                                                         std::int64_t bytes);
 
   [[nodiscard]] const LinkStats& stats(LinkId link) const;
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }

@@ -205,6 +205,10 @@ void ReplicatedSmb::read(Handle handle, std::span<float> dst, std::size_t offset
     require_live_locked();
     ensure_resolved_locked(segment);
     try {
+      // mirror_mutex_ stays held across the replica call: failover and
+      // read-repair mutate active_/live_ mid-loop, and a racing mutation
+      // could otherwise land between the failed attempt and the retry.
+      // lint:allow-next-line(no-blocking-under-lock)
       replicas_[active_]->read(segment.physical[active_], dst, offset);
       return;
     } catch (const SmbUnavailable&) {
@@ -229,6 +233,10 @@ smb::PinnedFloats ReplicatedSmb::read_pinned(Handle handle, std::size_t count,
     try {
       // Checksum verification happens inside the replica at pin time; the
       // ensemble charges zero copy bytes (the view aliases replica memory).
+      // Pinning under mirror_mutex_ is safe against pin-then-lock: the pin
+      // targets the replica's own segment mutex, never the ensemble's, and
+      // the mutex must be held so active_ cannot fail over mid-pin.
+      // lint:allow-next-line(no-blocking-under-lock,pin-lifetime)
       return replicas_[active_]->read_pinned(segment.physical[active_], count, offset);
     } catch (const SmbUnavailable&) {
       mark_failed_locked(active_);
@@ -297,6 +305,9 @@ void ReplicatedSmb::mirror_mutation_tagged_locked(
 void ReplicatedSmb::write(Handle handle, std::span<const float> src, std::size_t offset) {
   std::scoped_lock lock(mirror_mutex_);
   LogicalSegment& segment = segment_locked(handle);
+  // Holding mirror_mutex_ across the fan-out IS the mirror protocol: it
+  // serialises every mutation into the ensemble total order (OpTag seq).
+  // lint:allow-next-line(no-blocking-under-lock)
   mirror_mutation_locked({&segment}, [&](std::size_t i, OpTag tag) {
     replicas_[i]->write_tagged(segment.physical[i], src, offset, tag);
   });
@@ -306,6 +317,8 @@ void ReplicatedSmb::accumulate(Handle src, Handle dst) {
   std::scoped_lock lock(mirror_mutex_);
   LogicalSegment& source = segment_locked(src);
   LogicalSegment& dest = segment_locked(dst);
+  // Same mirror-total-order argument as write().
+  // lint:allow-next-line(no-blocking-under-lock)
   mirror_mutation_locked({&source, &dest}, [&](std::size_t i, OpTag tag) {
     replicas_[i]->accumulate_tagged(source.physical[i], dest.physical[i], tag);
   });
@@ -315,6 +328,8 @@ void ReplicatedSmb::copy_segment(Handle src, Handle dst) {
   std::scoped_lock lock(mirror_mutex_);
   LogicalSegment& source = segment_locked(src);
   LogicalSegment& dest = segment_locked(dst);
+  // Same mirror-total-order argument as write().
+  // lint:allow-next-line(no-blocking-under-lock)
   mirror_mutation_locked({&source, &dest}, [&](std::size_t i, OpTag tag) {
     replicas_[i]->copy_segment_tagged(source.physical[i], dest.physical[i], tag);
   });
@@ -496,6 +511,8 @@ void ReplicatedSmb::write_tagged(Handle handle, std::span<const float> src, std:
   std::scoped_lock lock(mirror_mutex_);
   LogicalSegment& segment = segment_locked(handle);
   if (!tag.tagged()) tag = OpTag{kMirrorWriter, ++mirror_seq_};
+  // Same mirror-total-order argument as write().
+  // lint:allow-next-line(no-blocking-under-lock)
   mirror_mutation_tagged_locked(
       {&segment},
       [&](std::size_t i, OpTag t) { replicas_[i]->write_tagged(segment.physical[i], src, offset, t); },
@@ -507,6 +524,8 @@ void ReplicatedSmb::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
   LogicalSegment& source = segment_locked(src);
   LogicalSegment& dest = segment_locked(dst);
   if (!tag.tagged()) tag = OpTag{kMirrorWriter, ++mirror_seq_};
+  // Same mirror-total-order argument as write().
+  // lint:allow-next-line(no-blocking-under-lock)
   mirror_mutation_tagged_locked(
       {&source, &dest},
       [&](std::size_t i, OpTag t) {
@@ -566,6 +585,8 @@ bool ReplicatedSmb::vote_and_repair_locked(LogicalSegment& segment, const OpTag*
   std::vector<std::vector<float>> contents(candidates.size());
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     contents[c].resize(segment.count);
+    // The vote must read a frozen ensemble: a concurrent mutation would
+    // split the electorate.  lint:allow-next-line(no-blocking-under-lock)
     replicas_[candidates[c]]->read_raw(segment.physical[candidates[c]], contents[c]);
   }
   std::size_t best = 0;
@@ -591,12 +612,17 @@ bool ReplicatedSmb::vote_and_repair_locked(LogicalSegment& segment, const OpTag*
   for (std::size_t i = 0; i < n; ++i) {
     if (!live_[i]) continue;
     try {
+      // Repair rewrites must land before any new mutation enters the
+      // mirror order — all three replica calls stay under mirror_mutex_.
+      // lint:allow-next-line(no-blocking-under-lock)
       replicas_[i]->read_raw(segment.physical[i], content);
       const bool healthy = clean[i] && content == winner;
       if (applied_any && !(*applied)[i]) {
+        // lint:allow-next-line(no-blocking-under-lock)
         replicas_[i]->write_tagged(segment.physical[i], winner, 0, *inflight);
         if (!healthy) repairs_ += 1;
       } else if (!healthy) {
+        // lint:allow-next-line(no-blocking-under-lock)
         replicas_[i]->write_tagged(segment.physical[i], winner, 0, OpTag{});
         repairs_ += 1;
       }

@@ -83,8 +83,8 @@ class ReplicatedSmb final : public smb::SmbService {
   /// later fail-stop of that replica (the epoch is process memory kept
   /// alive by the view, and a fail-stopped server's storage is never
   /// mutated again).
-  [[nodiscard]] smb::PinnedFloats read_pinned(smb::Handle handle, std::size_t count,
-                                              std::size_t offset = 0) const override;
+  [[nodiscard]] SHMCAFFE_PIN_ESCAPE smb::PinnedFloats read_pinned(
+      smb::Handle handle, std::size_t count, std::size_t offset = 0) const override;
   void write(smb::Handle handle, std::span<const float> src, std::size_t offset = 0) override;
   void accumulate(smb::Handle src, smb::Handle dst) override;
   void copy_segment(smb::Handle src, smb::Handle dst) override;
@@ -103,7 +103,7 @@ class ReplicatedSmb final : public smb::SmbService {
   [[nodiscard]] std::int64_t sum(smb::Handle handle) const override;
 
   [[nodiscard]] std::uint64_t version(smb::Handle handle) const override;
-  std::optional<std::uint64_t> wait_version_at_least(
+  SHMCAFFE_BLOCKS std::optional<std::uint64_t> wait_version_at_least(
       smb::Handle handle, std::uint64_t min_version,
       std::chrono::nanoseconds timeout) const override;
 
@@ -123,8 +123,9 @@ class ReplicatedSmb final : public smb::SmbService {
   /// Walks every float logical segment, verifying all live replicas and
   /// vote-repairing what the walk finds (when read-repair is on).  The
   /// background scrubber entry, called from quiesce/checkpoint windows.
-  /// Returns the number of segments repaired this pass.
-  std::uint64_t scrub();
+  /// Returns the number of segments repaired this pass.  Blocks: the walk
+  /// reads and rewrites whole replica segments under the ensemble mutex.
+  SHMCAFFE_BLOCKS std::uint64_t scrub();
 
   /// Injects a silent corruption into the *active* replica's copy of the
   /// float segment under `key` (the kSegmentCorruption fault hook).

@@ -57,13 +57,12 @@ class SmbClient {
   /// Attach with retry: SmbNotFound triggers backoff-and-retry until the
   /// policy's attempt budget is spent (then the last error propagates);
   /// any other SmbError (kind/size mismatch) propagates immediately.
-  Handle attach_floats(ShmKey key, std::size_t count = 0);
-  Handle attach_counters(ShmKey key, std::size_t count = 0);
+  SHMCAFFE_BLOCKS Handle attach_floats(ShmKey key, std::size_t count = 0);
+  SHMCAFFE_BLOCKS Handle attach_counters(ShmKey key, std::size_t count = 0);
 
   /// Deadline-based update notification; nullopt on timeout.
-  std::optional<std::uint64_t> wait_version_at_least(Handle handle,
-                                                     std::uint64_t min_version,
-                                                     std::chrono::nanoseconds timeout) const {
+  SHMCAFFE_BLOCKS std::optional<std::uint64_t> wait_version_at_least(
+      Handle handle, std::uint64_t min_version, std::chrono::nanoseconds timeout) const {
     return server_->wait_version_at_least(handle, min_version, timeout);
   }
 
@@ -80,8 +79,8 @@ class SmbClient {
   }
   /// Zero-copy read: an epoch-pinned view into the service's storage (see
   /// SmbService::read_pinned).  Reads are idempotent, so no retry record.
-  [[nodiscard]] PinnedFloats read_pinned(Handle handle, std::size_t count,
-                                         std::size_t offset = 0) const {
+  [[nodiscard]] SHMCAFFE_PIN_ESCAPE PinnedFloats read_pinned(Handle handle, std::size_t count,
+                                                             std::size_t offset = 0) const {
     return server_->read_pinned(handle, count, offset);
   }
   [[nodiscard]] std::uint64_t version(Handle handle) const { return server_->version(handle); }

@@ -424,6 +424,11 @@ void SmbServer::accumulate_tagged(Handle src, Handle dst, OpTag tag) {
     prepare_write_locked(*d, lock);
     float* out = d->storage->data.data();
     const float* in = scratch.data();
+    // The accumulate is served *inside* the destination's write lock by
+    // design (the server-side op IS the critical section), and the pool
+    // rank (kParallelPool, 500) sits above every lock its workers could
+    // want — the workers themselves never touch SMB locks.
+    // lint:allow-next-line(no-blocking-under-lock)
     common::parallel::parallel_for(
         d->storage->data.size(), kAccumulateGrain,
         [&](std::size_t begin, std::size_t end) {

@@ -143,8 +143,8 @@ class SmbServer final : public SmbService {
   /// clone the storage (copy-on-write) or block until the unpin.  The
   /// corrupt_floats fault hook deliberately bypasses the policy: silent
   /// corruption does not announce itself to readers.
-  [[nodiscard]] PinnedFloats read_pinned(Handle handle, std::size_t count,
-                                         std::size_t offset = 0) const override;
+  [[nodiscard]] SHMCAFFE_PIN_ESCAPE PinnedFloats read_pinned(
+      Handle handle, std::size_t count, std::size_t offset = 0) const override;
 
   void write(Handle handle, std::span<const float> src, std::size_t offset = 0) override;
 
@@ -219,28 +219,35 @@ class SmbServer final : public SmbService {
 
   // --- counter segment ops -----------------------------------------------
 
-  [[nodiscard]] std::int64_t load(Handle handle, std::size_t index) const override;
-  void store(Handle handle, std::size_t index, std::int64_t value) override;
-  std::int64_t fetch_add(Handle handle, std::size_t index, std::int64_t delta) override;
+  // Lock-free atomics end to end: the progress board must never stall a
+  // worker, so the whole counter plane is contractually non-blocking.
+  [[nodiscard]] SHMCAFFE_NONBLOCKING std::int64_t load(Handle handle,
+                                                       std::size_t index) const override;
+  SHMCAFFE_NONBLOCKING void store(Handle handle, std::size_t index, std::int64_t value) override;
+  SHMCAFFE_NONBLOCKING std::int64_t fetch_add(Handle handle, std::size_t index,
+                                              std::int64_t delta) override;
   /// Snapshot reductions over the whole counter segment (progress criteria).
-  [[nodiscard]] std::int64_t min_value(Handle handle) const override;
-  [[nodiscard]] std::int64_t max_value(Handle handle) const override;
-  [[nodiscard]] std::int64_t sum(Handle handle) const override;
+  [[nodiscard]] SHMCAFFE_NONBLOCKING std::int64_t min_value(Handle handle) const override;
+  [[nodiscard]] SHMCAFFE_NONBLOCKING std::int64_t max_value(Handle handle) const override;
+  [[nodiscard]] SHMCAFFE_NONBLOCKING std::int64_t sum(Handle handle) const override;
 
   // --- update notification -------------------------------------------------
 
   /// Monotone version, bumped by every write/accumulate/copy to the segment.
-  [[nodiscard]] std::uint64_t version(Handle handle) const override;
+  /// Non-blocking by contract: pollers may call it at any rate, under any
+  /// caller-side lock.
+  [[nodiscard]] SHMCAFFE_NONBLOCKING std::uint64_t version(Handle handle) const override;
 
   /// Blocks until version(handle) >= min_version; returns the version seen.
   /// Thin forwarder over the deadline overload — prefer that one: an
   /// unbounded wait on a segment whose writer died never returns.
-  std::uint64_t wait_version_at_least(Handle handle, std::uint64_t min_version) const;
+  SHMCAFFE_BLOCKS std::uint64_t wait_version_at_least(Handle handle,
+                                                      std::uint64_t min_version) const;
 
   /// Blocks until version(handle) >= min_version or `timeout` elapses.
   /// Returns the version seen, or nullopt on timeout.  Throws SmbUnavailable
   /// (instead of burning the deadline) if the server fail-stops mid-wait.
-  std::optional<std::uint64_t> wait_version_at_least(
+  SHMCAFFE_BLOCKS std::optional<std::uint64_t> wait_version_at_least(
       Handle handle, std::uint64_t min_version,
       std::chrono::nanoseconds timeout) const override;
 
@@ -263,7 +270,7 @@ class SmbServer final : public SmbService {
     return failed_.load(std::memory_order_acquire);
   }
 
-  [[nodiscard]] SmbServerStats stats() const;
+  [[nodiscard]] SHMCAFFE_NONBLOCKING SmbServerStats stats() const;
   [[nodiscard]] std::int64_t capacity_bytes() const { return options_.capacity_bytes; }
 
  private:
@@ -274,7 +281,10 @@ class SmbServer final : public SmbService {
   /// retires the old epoch, which stays alive (and immutable) through the
   /// shared_ptr each outstanding PinnedFloats holds.
   struct SegmentStorage {
-    common::arena::Buffer data{"smb.segment"};
+    /// The owning backing slab of the epoch itself — not a view of someone
+    /// else's storage.  Its lifetime (shared_ptr from Segment::storage and
+    /// from every outstanding pin) IS the pin protocol.
+    common::arena::Buffer data SHMCAFFE_PIN_ESCAPE{"smb.segment"};
     /// Outstanding pinned views of this epoch.  Always modified under the
     /// owning segment's data_mutex (the kBlockWriters wakeup needs the
     /// mutex held between the decrement and the notify); atomic so the
@@ -321,7 +331,7 @@ class SmbServer final : public SmbService {
   static const char* kind_name(Kind kind);
   /// Blocks the calling thread while a freeze window is active; throws
   /// SmbUnavailable if the server fail-stops during the wait.
-  void block_while_frozen() const;
+  SHMCAFFE_BLOCKS void block_while_frozen() const;
   void throw_if_failed() const;
   /// True (under the segment's data_mutex) if `tag` was already applied to
   /// `segment`; records it otherwise.
@@ -332,8 +342,8 @@ class SmbServer final : public SmbService {
   /// retired one stays alive and immutable via the pinned views' refs);
   /// kBlockWriters waits on `lock` until every pin is released (throws
   /// SmbUnavailable if the server fail-stops mid-wait).
-  void prepare_write_locked(Segment& segment,
-                            std::unique_lock<common::OrderedMutex>& lock)
+  SHMCAFFE_BLOCKS void prepare_write_locked(Segment& segment,
+                                            std::unique_lock<common::OrderedMutex>& lock)
       SHMCAFFE_REQUIRES(segment.data_mutex);
 
   [[nodiscard]] bool maintain_checksums() const { return options_.integrity.maintain(); }

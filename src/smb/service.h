@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/ordered_mutex.h"
+
 namespace shmcaffe::smb {
 
 /// Application-chosen name of a segment (the "SHM key" the master worker
@@ -113,13 +115,14 @@ class PinnedFloats {
   PinnedFloats(const PinnedFloats&) = delete;
   PinnedFloats& operator=(const PinnedFloats&) = delete;
   PinnedFloats(PinnedFloats&& other) noexcept { *this = std::move(other); }
+  /// Self-move safe: without the identity guard the release() would unpin
+  /// the very epoch `other` is about to hand over, leaving a dangling span
+  /// and a double-unpin at destruction.
   PinnedFloats& operator=(PinnedFloats&& other) noexcept {
     if (this != &other) {
       release();
-      view_ = other.view_;
-      unpin_ = std::move(other.unpin_);
-      other.view_ = {};
-      other.unpin_ = nullptr;
+      view_ = std::exchange(other.view_, {});
+      unpin_ = std::exchange(other.unpin_, nullptr);
     }
     return *this;
   }
@@ -175,8 +178,9 @@ class SmbService {
   /// so passive implementations keep working — only implementations that
   /// can actually hand out stable views (SmbServer, ReplicatedSmb, the sim
   /// client) override this with a genuinely zero-copy path.
-  [[nodiscard]] virtual PinnedFloats read_pinned(Handle handle, std::size_t count,
-                                                 std::size_t offset = 0) const {
+  /// The view escapes to the caller by design — that is the whole contract.
+  [[nodiscard]] virtual SHMCAFFE_PIN_ESCAPE PinnedFloats read_pinned(
+      Handle handle, std::size_t count, std::size_t offset = 0) const {
     auto owned = std::make_shared<std::vector<float>>(count);
     read(handle, {owned->data(), owned->size()}, offset);
     std::span<const float> view{owned->data(), owned->size()};
@@ -222,7 +226,7 @@ class SmbService {
   /// Returns the version seen, or nullopt on timeout.  An implementation
   /// with replicas resumes the wait on a survivor after a failover instead
   /// of burning the deadline on a dead primary.
-  virtual std::optional<std::uint64_t> wait_version_at_least(
+  SHMCAFFE_BLOCKS virtual std::optional<std::uint64_t> wait_version_at_least(
       Handle handle, std::uint64_t min_version, std::chrono::nanoseconds timeout) const = 0;
 };
 

@@ -870,6 +870,232 @@ TEST(CoverageReport, ReportsAccessAndDeterminismCounters) {
   EXPECT_NE(json.find("\"tainted\": 0"), std::string::npos) << json;
 }
 
+// --- no-blocking-under-lock ----------------------------------------------
+
+TEST(BlockingUnderLockRule, FlagsAnnotatedBlockingCallUnderAHeldGuard) {
+  const std::string source =
+      "class Box {\n"
+      " public:\n"
+      "  SHMCAFFE_BLOCKS void drain();\n"
+      "  void bad() {\n"
+      "    std::scoped_lock lock(mu_);\n"
+      "    drain();\n"
+      "  }\n"
+      "  void good() { drain(); }\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"box\", 100};\n"
+      "  int hits_ SHMCAFFE_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  const std::vector<Finding> findings = lint_repo({{"src/core/box.cc", source}});
+  int blocking = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "no-blocking-under-lock") {
+      ++blocking;
+      EXPECT_EQ(finding.line, 6);  // only the locked call site fires
+    }
+  }
+  EXPECT_EQ(blocking, 1);
+}
+
+TEST(BlockingUnderLockRule, PropagatesBlockingnessThroughTheCallIndex) {
+  // No annotation anywhere: nap()'s literal sleep is the root, and the
+  // lock-held call reaches it two hops away.
+  const std::string source =
+      "class Pipe {\n"
+      " public:\n"
+      "  void nap() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }\n"
+      "  void relay() { nap(); }\n"
+      "  void bad() {\n"
+      "    std::scoped_lock lock(mu_);\n"
+      "    relay();\n"
+      "  }\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"pipe\", 100};\n"
+      "};\n";
+  EXPECT_TRUE(repo_fires({{"src/core/pipe.cc", source}}, "no-blocking-under-lock"));
+}
+
+TEST(BlockingUnderLockRule, WaitOnTheHeldGuardReleasesItsMutex) {
+  // cv.wait(lock) names the guard it releases: the canonical shape must
+  // stay silent even though the wait sits lexically inside the lock region.
+  const std::string source =
+      "class Gate {\n"
+      " public:\n"
+      "  void pass() {\n"
+      "    std::unique_lock lock(mu_);\n"
+      "    cv_.wait(lock);\n"
+      "  }\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"gate\", 100};\n"
+      "  std::condition_variable_any cv_;\n"
+      "};\n";
+  EXPECT_FALSE(repo_fires({{"src/core/gate.cc", source}}, "no-blocking-under-lock"));
+}
+
+TEST(BlockingUnderLockRule, FlagsLiteralSleepInsideALockRegion) {
+  const std::string source =
+      "class Nap {\n"
+      " public:\n"
+      "  void bad() {\n"
+      "    std::scoped_lock lock(mu_);\n"
+      "    std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+      "  }\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"nap\", 100};\n"
+      "};\n";
+  EXPECT_TRUE(repo_fires({{"src/core/nap.cc", source}}, "no-blocking-under-lock"));
+}
+
+TEST(BlockingUnderLockRule, VerifiesNonblockingContracts) {
+  const std::string broken =
+      "class Probe {\n"
+      " public:\n"
+      "  SHMCAFFE_NONBLOCKING void peek() { nap(); }\n"
+      "  void nap() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }\n"
+      "};\n";
+  EXPECT_TRUE(repo_fires({{"src/core/probe.cc", broken}}, "no-blocking-under-lock"));
+  const std::string honest =
+      "class Probe {\n"
+      " public:\n"
+      "  SHMCAFFE_NONBLOCKING int peek() const { return hits_; }\n"
+      " private:\n"
+      "  int hits_ = 0;\n"
+      "};\n";
+  EXPECT_FALSE(repo_fires({{"src/core/probe.cc", honest}}, "no-blocking-under-lock"));
+}
+
+TEST(BlockingUnderLockRule, HonoursTheAllowEscapeHatch) {
+  const std::string source =
+      "class Box {\n"
+      " public:\n"
+      "  SHMCAFFE_BLOCKS void drain();\n"
+      "  void deliberate() {\n"
+      "    std::scoped_lock lock(mu_);\n"
+      "    drain();  // lint:" "allow(no-blocking-under-lock) drain owns the stall\n"
+      "  }\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"box\", 100};\n"
+      "};\n";
+  EXPECT_FALSE(repo_fires({{"src/core/box.cc", source}}, "no-blocking-under-lock"));
+  EXPECT_FALSE(repo_fires({{"src/core/box.cc", source}}, "stale-allow"));
+}
+
+// --- pin-lifetime --------------------------------------------------------
+
+TEST(PinLifetimeRule, FlagsPinTypedFieldsWithoutEscapeAnnotation) {
+  const std::string bad =
+      "struct Cache {\n"
+      "  smb::PinnedFloats view;\n"
+      "};\n";
+  EXPECT_TRUE(repo_fires({{"src/core/cache.h", bad}}, "pin-lifetime"));
+  const std::string annotated =
+      "struct Cache {\n"
+      "  smb::PinnedFloats view SHMCAFFE_PIN_ESCAPE;\n"
+      "};\n";
+  EXPECT_FALSE(repo_fires({{"src/core/cache.h", annotated}}, "pin-lifetime"));
+  // Pointers/references to pin types are fine: they do not own the pin.
+  const std::string pointer =
+      "struct Cursor {\n"
+      "  const smb::PinnedFloats* view = nullptr;\n"
+      "};\n";
+  EXPECT_FALSE(repo_fires({{"src/core/cursor.h", pointer}}, "pin-lifetime"));
+}
+
+TEST(PinLifetimeRule, FlagsPinReturnsWithoutEscapeAnnotation) {
+  EXPECT_TRUE(repo_fires({{"src/core/grab.h", "smb::PinnedFloats grab();\n"}}, "pin-lifetime"));
+  EXPECT_FALSE(repo_fires(
+      {{"src/core/grab.h", "SHMCAFFE_PIN_ESCAPE smb::PinnedFloats grab();\n"}}, "pin-lifetime"));
+  // Returning a reference hands out no new pin.
+  EXPECT_FALSE(
+      repo_fires({{"src/core/grab.h", "const smb::PinnedFloats& peek();\n"}}, "pin-lifetime"));
+}
+
+TEST(PinLifetimeRule, FlagsPinLocalsCapturedByEscapingLambdas) {
+  const std::string bad =
+      "SHMCAFFE_PIN_ESCAPE smb::PinnedFloats grab();\n"
+      "void ship() {\n"
+      "  smb::PinnedFloats view = grab();\n"
+      "  defer([view] { consume(view); });\n"
+      "}\n";
+  EXPECT_TRUE(repo_fires({{"src/core/ship.cc", bad}}, "pin-lifetime"));
+  const std::string frame_local =
+      "SHMCAFFE_PIN_ESCAPE smb::PinnedFloats grab();\n"
+      "void use() {\n"
+      "  smb::PinnedFloats view = grab();\n"
+      "  consume(view.span());\n"
+      "}\n";
+  EXPECT_FALSE(repo_fires({{"src/core/use.cc", frame_local}}, "pin-lifetime"));
+}
+
+TEST(PinLifetimeRule, FlagsPinAcquisitionWhileHoldingAMutex) {
+  const std::string source =
+      "class Table {\n"
+      " public:\n"
+      "  SHMCAFFE_PIN_ESCAPE smb::PinnedFloats grab();\n"
+      "  void bad() {\n"
+      "    std::scoped_lock lock(mu_);\n"
+      "    smb::PinnedFloats view = grab();\n"
+      "  }\n"
+      "  void good() { smb::PinnedFloats view = grab(); }\n"
+      " private:\n"
+      "  common::OrderedMutex mu_{\"table\", 100};\n"
+      "};\n";
+  const std::vector<Finding> findings = lint_repo({{"src/core/table.cc", source}});
+  int pin = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "pin-lifetime") {
+      ++pin;
+      EXPECT_EQ(finding.line, 6);  // pin-then-lock inversion, locked site only
+    }
+  }
+  EXPECT_EQ(pin, 1);
+}
+
+TEST(StaleAllowRule, CoversTheBlockingAndPinRules) {
+  const std::string stale =
+      "int x = 0;  // lint:" "allow(no-blocking-under-lock) obsolete\n"
+      "int y = 0;  // lint:" "allow(pin-lifetime) obsolete\n";
+  const std::vector<Finding> findings = lint_repo({{"src/core/a.cc", stale}});
+  int stale_count = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "stale-allow") ++stale_count;
+  }
+  EXPECT_EQ(stale_count, 2);
+}
+
+TEST(CoverageReport, ReportsBlockingAndPinCounters) {
+  const std::string source =
+      "#pragma once\n"
+      "SHMCAFFE_BLOCKS void drain();\n"
+      "SHMCAFFE_NONBLOCKING int peek();\n"
+      "struct Cache {\n"
+      "  smb::PinnedFloats view SHMCAFFE_PIN_ESCAPE;\n"
+      "};\n"
+      "SHMCAFFE_PIN_ESCAPE smb::PinnedFloats grab();\n";
+  const std::string json = coverage_json({{"src/core/pins.h", source}});
+  EXPECT_NE(json.find("\"blocking_roots\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nonblocking_contracts\": 1"), std::string::npos) << json;
+  // One field escape + one function escape.
+  EXPECT_NE(json.find("\"pin_escapes\": 2"), std::string::npos) << json;
+}
+
+TEST(JsonOutput, EscapesControlCharactersAndNonAsciiBytes) {
+  std::vector<Finding> findings;
+  findings.push_back(Finding{"src/core/a.cc", 1, "rng-source",
+                             std::string("ctrl\x01 tab\t byte\xc3\xa9")});
+  const std::string json = to_json(findings);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\t"), std::string::npos) << json;
+  // Non-ASCII bytes are escaped byte-wise: apart from the structural
+  // newlines of the pretty-printer, the output is pure ASCII.
+  EXPECT_NE(json.find("\\u00c3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u00a9"), std::string::npos) << json;
+  for (const char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(c, 0x20) << "raw control/8-bit byte in JSON output";
+  }
+}
+
 TEST(RuleIds, EveryRuleIsListed) {
   const std::vector<std::string>& ids = rule_ids();
   for (const char* expected : {"rng-source", "wall-clock", "sim-wall-clock", "raii-lock",

@@ -147,6 +147,28 @@ TEST(SmbPinnedRead, FinalReleaseWithOutstandingPinIsRefused) {
   EXPECT_THROW((void)server.size(handle), smb::SmbError);
 }
 
+TEST(SmbPinnedRead, SelfMoveAssignmentKeepsPinLive) {
+  SmbServer server;
+  const Handle handle = server.create_floats(7, 64);
+  const std::vector<float> data = iota_floats(64);
+  server.write(handle, data);
+
+  PinnedFloats view = server.read_pinned(handle, 64);
+  // Through an alias so the self-move survives -Wself-move; a naive move
+  // assignment would release() first and hand back a dead span.
+  PinnedFloats* alias = &view;
+  *alias = std::move(view);
+
+  // The view still aliases the pinned epoch...
+  ASSERT_EQ(view.size(), 64U);
+  EXPECT_EQ(std::memcmp(view.data(), data.data(), 64 * sizeof(float)), 0);
+  // ...and exactly one pin is still outstanding: the final release is
+  // refused now and accepted after the (single) unpin.
+  EXPECT_THROW(server.release(handle), smb::SmbError);
+  view.release();
+  EXPECT_NO_THROW(server.release(handle));
+}
+
 TEST(SmbPinnedRead, ReleaseIsIdempotentAndMoveSafe) {
   SmbServer server;
   const Handle handle = server.create_floats(7, 64);

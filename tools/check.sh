@@ -11,8 +11,12 @@
 #   tools/check.sh asan       # just the ASan/UBSan build + full ctest
 #   tools/check.sh lint       # `ctest -L lint` + `shmcaffe-lint --coverage`
 #                             # gated against LINT_coverage.json: unannotated
-#                             # fields fail, and per-class unguarded counts
-#                             # must not grow (--force overrides)
+#                             # fields fail, per-class unguarded counts and
+#                             # pin_escapes must not grow, and the root/
+#                             # contract counters (deterministic_roots,
+#                             # hot_kernel_roots, blocking_roots,
+#                             # nonblocking_contracts) must not shrink
+#                             # (--force overrides)
 #   tools/check.sh recovery   # `ctest -L recovery` in the plain AND TSan trees
 #   tools/check.sh elastic    # `ctest -L elastic` in the plain AND TSan trees,
 #                             # then the Release bench_ext_elastic snapshot into
@@ -77,6 +81,12 @@ run_stage() {
 lint_coverage_gate() {
   local build_dir=$1
   echo "==> [lint] shmcaffe-lint --coverage gate"
+  if [[ ! -x "./$build_dir/tools/lint/shmcaffe-lint" ]]; then
+    echo "==> [lint] ./$build_dir/tools/lint/shmcaffe-lint is missing — the $build_dir tree" \
+         "is stale; run 'tools/check.sh plain' (or: cmake --build $build_dir" \
+         "--target shmcaffe-lint) and retry" >&2
+    exit 1
+  fi
   local new_json
   new_json=$(mktemp)
   "./$build_dir/tools/lint/shmcaffe-lint" . --coverage > "$new_json"
@@ -160,12 +170,51 @@ lint_coverage_gate() {
       rm -f "$new_json"
       exit 1
     fi
+    # The blocking-contract counters follow the same grow/shrink discipline:
+    # `blocking_roots` (annotated SHMCAFFE_BLOCKS groups) and
+    # `nonblocking_contracts` (SHMCAFFE_NONBLOCKING groups, each lint-verified
+    # to never reach a blocking root) must not shrink — dropping either kind
+    # of annotation silently weakens the no-blocking-under-lock pass — and
+    # `pin_escapes` (fields + functions annotated SHMCAFFE_PIN_ESCAPE) must
+    # not grow: every new escaped pinned view is a reviewed lifetime hazard.
+    local extract_blocking='s/.*"blocking_roots": \([0-9]*\).*/\1/p'
+    local old_blk new_blk
+    old_blk=$(sed -n "$extract_blocking" LINT_coverage.json | head -1)
+    new_blk=$(sed -n "$extract_blocking" "$new_json" | head -1)
+    if [[ -n "$old_blk" && -n "$new_blk" && "$new_blk" -lt "$old_blk" ]]; then
+      echo "==> [lint] SHMCAFFE_BLOCKS root count shrank vs LINT_coverage.json" \
+           "($old_blk -> $new_blk); baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
+    local extract_contracts='s/.*"nonblocking_contracts": \([0-9]*\).*/\1/p'
+    local old_nbc new_nbc
+    old_nbc=$(sed -n "$extract_contracts" LINT_coverage.json | head -1)
+    new_nbc=$(sed -n "$extract_contracts" "$new_json" | head -1)
+    if [[ -n "$old_nbc" && -n "$new_nbc" && "$new_nbc" -lt "$old_nbc" ]]; then
+      echo "==> [lint] SHMCAFFE_NONBLOCKING contract count shrank vs LINT_coverage.json" \
+           "($old_nbc -> $new_nbc); baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
+    local extract_escapes='s/.*"pin_escapes": \([0-9]*\).*/\1/p'
+    local old_esc new_esc
+    old_esc=$(sed -n "$extract_escapes" LINT_coverage.json | head -1)
+    new_esc=$(sed -n "$extract_escapes" "$new_json" | head -1)
+    if [[ -n "$old_esc" && -n "$new_esc" && "$new_esc" -gt "$old_esc" ]]; then
+      echo "==> [lint] SHMCAFFE_PIN_ESCAPE count grew vs LINT_coverage.json" \
+           "($old_esc -> $new_esc); baseline kept (rerun with --force after review)" >&2
+      rm -f "$new_json"
+      exit 1
+    fi
   fi
   mv "$new_json" LINT_coverage.json
   echo "==> [lint] snapshot written to LINT_coverage.json"
 }
 
+MATRIX_START=$(date +%s)
 for stage in "${STAGES[@]}"; do
+  STAGE_START=$(date +%s)
   case "$stage" in
     plain)
       # The plain tree runs everything: unit + integration suites, the
@@ -326,6 +375,7 @@ for stage in "${STAGES[@]}"; do
       exit 2
       ;;
   esac
+  echo "==> [$stage] stage wall clock: $(( $(date +%s) - STAGE_START ))s"
 done
 
-echo "==> all stages passed"
+echo "==> all stages passed ($(( $(date +%s) - MATRIX_START ))s total)"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdio>
 #include <map>
 #include <regex>
 #include <set>
@@ -339,12 +340,17 @@ std::size_t top_level_pos(std::string_view s, char wanted) {
   return std::string_view::npos;
 }
 
-/// Extracts and removes SHMCAFFE_GUARDED_BY(...) / SHMCAFFE_UNGUARDED from a
-/// declaration statement.
+/// Extracts and removes SHMCAFFE_GUARDED_BY(...) / SHMCAFFE_UNGUARDED /
+/// SHMCAFFE_PIN_ESCAPE from a declaration statement.
 void extract_annotations(std::string& stmt, bool& guarded, std::string& guard,
-                         bool& unguarded) {
+                         bool& unguarded, bool& pin_escape) {
   static const std::string kGuardedBy = "SHMCAFFE_GUARDED_BY";
   static const std::string kUnguarded = "SHMCAFFE_UNGUARDED";
+  static const std::string kPinEscape = "SHMCAFFE_PIN_ESCAPE";
+  for (std::size_t at; (at = stmt.find(kPinEscape)) != std::string::npos;) {
+    pin_escape = true;
+    stmt.erase(at, kPinEscape.size());
+  }
   std::size_t at = stmt.find(kGuardedBy);
   if (at != std::string::npos) {
     std::size_t open = stmt.find('(', at + kGuardedBy.size());
@@ -401,12 +407,19 @@ std::size_t top_level_paren_pos(std::string_view s) {
 }
 
 /// Extracts and removes SHMCAFFE_REQUIRES(...) / SHMCAFFE_DETERMINISTIC /
-/// SHMCAFFE_HOT_KERNEL from a function head.
+/// SHMCAFFE_HOT_KERNEL / SHMCAFFE_NONBLOCKING / SHMCAFFE_BLOCKS /
+/// SHMCAFFE_PIN_ESCAPE from a function head.
 void extract_function_annotations(std::string& head, std::vector<std::string>& requires_locks,
-                                  bool& deterministic, bool& hot_kernel) {
+                                  bool& deterministic, bool& hot_kernel, bool& blocks,
+                                  bool& nonblocking, bool& pin_escape) {
   static const std::string kRequires = "SHMCAFFE_REQUIRES";
   static const std::string kDeterministic = "SHMCAFFE_DETERMINISTIC";
   static const std::string kHotKernel = "SHMCAFFE_HOT_KERNEL";
+  // NONBLOCKING before BLOCKS: neither is a substring of the other, but the
+  // order makes the intent explicit.
+  static const std::string kNonblocking = "SHMCAFFE_NONBLOCKING";
+  static const std::string kBlocks = "SHMCAFFE_BLOCKS";
+  static const std::string kPinEscape = "SHMCAFFE_PIN_ESCAPE";
   std::size_t at;
   while ((at = head.find(kRequires)) != std::string::npos) {
     const std::size_t open = head.find('(', at + kRequires.size());
@@ -428,6 +441,18 @@ void extract_function_annotations(std::string& head, std::vector<std::string>& r
   while ((at = head.find(kHotKernel)) != std::string::npos) {
     hot_kernel = true;
     head.erase(at, kHotKernel.size());
+  }
+  while ((at = head.find(kNonblocking)) != std::string::npos) {
+    nonblocking = true;
+    head.erase(at, kNonblocking.size());
+  }
+  while ((at = head.find(kBlocks)) != std::string::npos) {
+    blocks = true;
+    head.erase(at, kBlocks.size());
+  }
+  while ((at = head.find(kPinEscape)) != std::string::npos) {
+    pin_escape = true;
+    head.erase(at, kPinEscape.size());
   }
 }
 
@@ -673,7 +698,11 @@ class ClassIndexer {
     std::vector<std::string> requires_locks;
     bool deterministic = false;
     bool hot_kernel = false;
-    extract_function_annotations(head, requires_locks, deterministic, hot_kernel);
+    bool blocks = false;
+    bool nonblocking = false;
+    bool pin_escape = false;
+    extract_function_annotations(head, requires_locks, deterministic, hot_kernel, blocks,
+                                 nonblocking, pin_escape);
     const std::vector<std::string> tokens = identifier_tokens(head);
     static const std::array<std::string_view, 6> kSkipLead = {
         "using", "typedef", "friend", "template", "enum", "namespace"};
@@ -703,6 +732,9 @@ class ClassIndexer {
     info.requires_locks = std::move(requires_locks);
     info.deterministic = deterministic;
     info.hot_kernel = hot_kernel;
+    info.blocks = blocks;
+    info.nonblocking = nonblocking;
+    info.pin_escape = pin_escape;
     funcs_->push_back(std::move(info));
     return true;
   }
@@ -710,8 +742,9 @@ class ClassIndexer {
   void handle_field(std::string stmt, int line, int class_index) {
     bool guarded = false;
     bool unguarded = false;
+    bool pin_escape = false;
     std::string guard;
-    extract_annotations(stmt, guarded, guard, unguarded);
+    extract_annotations(stmt, guarded, guard, unguarded, pin_escape);
     stmt = trim(strip_attributes(stmt));
     // Strip access-specifier labels glued to the first declaration.
     static const std::regex kAccess(R"(^\s*(public|private|protected)\s*:)");
@@ -762,6 +795,7 @@ class ClassIndexer {
     field.guarded = guarded;
     field.guard = guard;
     field.unguarded = unguarded;
+    field.pin_escape = pin_escape;
     const bool value_type = type.find('*') == std::string::npos &&
                             type.find('&') == std::string::npos;
     field.is_mutex = value_type && std::regex_search(type, kOrderedMutexType);
@@ -873,7 +907,8 @@ FunctionGroups group_functions(const std::vector<FunctionInfo>& funcs) {
   return groups;
 }
 
-/// Unifies SHMCAFFE_REQUIRES / SHMCAFFE_DETERMINISTIC / SHMCAFFE_HOT_KERNEL
+/// Unifies SHMCAFFE_REQUIRES / SHMCAFFE_DETERMINISTIC / SHMCAFFE_HOT_KERNEL /
+/// SHMCAFFE_BLOCKS / SHMCAFFE_NONBLOCKING / SHMCAFFE_PIN_ESCAPE
 /// between declarations and definitions of the same (class, name) whose
 /// files are related through the include closure: annotating either site
 /// annotates both.
@@ -894,6 +929,18 @@ void merge_function_annotations(std::vector<FunctionInfo>& funcs, const IncludeC
           }
           if (from.hot_kernel && !into.hot_kernel) {
             into.hot_kernel = true;
+            changed = true;
+          }
+          if (from.blocks && !into.blocks) {
+            into.blocks = true;
+            changed = true;
+          }
+          if (from.nonblocking && !into.nonblocking) {
+            into.nonblocking = true;
+            changed = true;
+          }
+          if (from.pin_escape && !into.pin_escape) {
+            into.pin_escape = true;
             changed = true;
           }
           for (const std::string& req : from.requires_locks) {
@@ -1242,7 +1289,36 @@ struct RepoAnalysis {
   int tainted = 0;
   int hot_kernel_roots = 0;
   int hot_allocs = 0;
+  int blocking_roots = 0;        ///< SHMCAFFE_BLOCKS function groups in src/
+  int nonblocking_contracts = 0; ///< SHMCAFFE_NONBLOCKING function groups in src/
+  int pin_escapes = 0;           ///< SHMCAFFE_PIN_ESCAPE fields + function groups in src/
 };
+
+/// Pin-view types the pin-lifetime pass tracks: the SMB zero-copy views and
+/// the arena slab RAII handle.  Matched against declared types, return types
+/// and local-declaration statements.
+const std::regex& pin_type_pattern() {
+  static const std::regex kPinType(R"(\b(?:PinnedFloats|PinnedShard)\b|\barena\s*::\s*Buffer\b)");
+  return kPinType;
+}
+
+/// The arena implementation is the sanctioned home of arena::Buffer itself:
+/// its internals necessarily store, return and hand out the views the rule
+/// polices everywhere else.
+bool pin_exempt_file(const std::string& file) {
+  return starts_with(file, "src/common/arena.");
+}
+
+/// True if the function's declared return type mentions a pin view *by
+/// value* (a `PinnedFloats&` accessor aliases an existing pin and creates no
+/// new escape).
+bool returns_pin_by_value(const FunctionInfo& func) {
+  const std::size_t paren = top_level_paren_pos(func.head);
+  if (paren == std::string::npos) return false;
+  const std::string before = func.head.substr(0, paren);
+  return before.find('&') == std::string::npos &&
+         std::regex_search(before, pin_type_pattern());
+}
 
 /// Guarded fields a member function of `class_name` can touch without an
 /// object qualifier or through sibling objects: the class itself, its nested
@@ -1340,6 +1416,224 @@ RepoAnalysis analyze_repo(const std::vector<SourceFile>& files,
     return allows_by_file[file];
   };
 
+  // The object-insensitive class family of a function (its class plus the
+  // lexically enclosing chain), shared by every call-resolving pass.
+  const auto family_of = [&](const FunctionInfo& func) {
+    std::set<std::string> family;
+    if (!func.class_name.empty()) {
+      family.insert(func.class_name);
+      const ClassInfo* cls = find_class(classes, func.class_name, func.file, closure);
+      while (cls != nullptr && !cls->enclosing.empty()) {
+        family.insert(cls->enclosing);
+        cls = find_class(classes, cls->enclosing, func.file, closure);
+      }
+    }
+    return family;
+  };
+
+  // ---- blocking classification (no-blocking-under-lock) --------------------
+  // Roots are SHMCAFFE_BLOCKS annotations plus intrinsically blocking bodies
+  // (a literal condition-variable / future wait or a thread sleep).
+  // Blocking-ness then propagates caller-ward over the resolved call edges to
+  // a fixpoint, and is unified across each (class, name) group so a
+  // declaration carries its definition's classification.
+  static const std::regex kIntrinsicWait(R"((?:\.|->)\s*wait(?:_for|_until)?\s*\()");
+  static const std::regex kIntrinsicWaitArg(
+      R"((?:\.|->)\s*wait(?:_for|_until)?\s*\(\s*([A-Za-z_]\w*))");
+  static const std::regex kIntrinsicSleep(R"(\b(?:sleep_for|sleep_until)\b)");
+
+  // Resolved callee edges, computed once: the fixpoint iterates them and the
+  // lock-region walk re-resolves per statement for line-accurate reporting.
+  std::vector<std::vector<std::size_t>> callees(funcs.size());
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    if (!funcs[i].has_body) continue;
+    const std::set<std::string> family = family_of(funcs[i]);
+    for (const BodyStatement& stmt : body_statements(funcs[i].body, funcs[i].body_line)) {
+      for (const Token& token : tokens_with_pos(stmt.text)) {
+        std::size_t after = token.pos + token.text.size();
+        while (after < stmt.text.size() &&
+               std::isspace(static_cast<unsigned char>(stmt.text[after])) != 0) {
+          ++after;
+        }
+        if (after >= stmt.text.size() || stmt.text[after] != '(') continue;
+        std::string qualifier;
+        const CallForm form = call_form(stmt.text, token.pos, qualifier);
+        for (const std::size_t idx : resolve_call(token.text, form, qualifier, funcs[i], family)) {
+          callees[i].push_back(idx);
+        }
+      }
+    }
+  }
+
+  std::vector<char> blocking(funcs.size(), 0);
+  std::vector<std::string> blocking_why(funcs.size());
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    if (funcs[i].blocks) {
+      blocking[i] = 1;
+      blocking_why[i] = "is annotated SHMCAFFE_BLOCKS";
+    } else if (funcs[i].has_body && std::regex_search(funcs[i].body, kIntrinsicWait)) {
+      blocking[i] = 1;
+      blocking_why[i] = "contains a condition-variable wait";
+    } else if (funcs[i].has_body && std::regex_search(funcs[i].body, kIntrinsicSleep)) {
+      blocking[i] = 1;
+      blocking_why[i] = "contains a thread sleep";
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      if (blocking[i]) continue;
+      for (const std::size_t callee : callees[i]) {
+        if (!blocking[callee]) continue;
+        blocking[i] = 1;
+        blocking_why[i] = "calls '" + funcs[callee].name + "', which " + blocking_why[callee];
+        changed = true;
+        break;
+      }
+    }
+    // Decl <-> def unification, scoped like the annotation merge.
+    for (const auto& [key, members] : groups) {
+      std::size_t from = members.size();
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        if (blocking[members[k]]) {
+          from = k;
+          break;
+        }
+      }
+      if (from == members.size()) continue;
+      for (const std::size_t member : members) {
+        if (blocking[member] ||
+            !closure_related(closure, funcs[member].file, funcs[members[from]].file)) {
+          continue;
+        }
+        blocking[member] = 1;
+        blocking_why[member] = blocking_why[members[from]];
+        changed = true;
+      }
+    }
+  }
+
+  {
+    std::set<std::pair<std::string, std::string>> block_keys;
+    std::set<std::pair<std::string, std::string>> nonblock_keys;
+    for (const FunctionInfo& func : funcs) {
+      if (!starts_with(func.file, "src/")) continue;
+      if (func.blocks) block_keys.insert({func.class_name, func.name});
+      if (func.nonblocking) nonblock_keys.insert({func.class_name, func.name});
+    }
+    result.blocking_roots = static_cast<int>(block_keys.size());
+    result.nonblocking_contracts = static_cast<int>(nonblock_keys.size());
+  }
+
+  // SHMCAFFE_NONBLOCKING verification: the contract is violated when the
+  // function can reach a blocking root (or carries both annotations).
+  // Reported once per (class, name) group, at the definition when one exists.
+  for (const auto& [key, members] : groups) {
+    const FunctionInfo* site = nullptr;
+    bool any_nonblocking = false;
+    bool any_blocks_annotation = false;
+    bool any_blocking = false;
+    std::string why;
+    bool suppressed = false;
+    for (const std::size_t member : members) {
+      const FunctionInfo& func = funcs[member];
+      if (!starts_with(func.file, "src/")) continue;
+      any_nonblocking = any_nonblocking || func.nonblocking;
+      any_blocks_annotation = any_blocks_annotation || func.blocks;
+      if (blocking[member] && !any_blocking) {
+        any_blocking = true;
+        why = blocking_why[member];
+      }
+      if (site == nullptr || (func.has_body && !site->has_body)) site = &func;
+      if (allowed(allows_of(func.file), func.line, "no-blocking-under-lock")) suppressed = true;
+    }
+    if (site == nullptr || !any_nonblocking || suppressed) continue;
+    if (any_blocks_annotation) {
+      result.findings.push_back(Finding{
+          site->file, site->line, "no-blocking-under-lock",
+          "'" + site->name + "' carries both SHMCAFFE_NONBLOCKING and SHMCAFFE_BLOCKS; "
+          "the contracts are contradictory"});
+    } else if (any_blocking) {
+      result.findings.push_back(Finding{
+          site->file, site->line, "no-blocking-under-lock",
+          "'" + site->name + "' is annotated SHMCAFFE_NONBLOCKING but can block: " + why});
+    }
+  }
+
+  // ---- pin-lifetime classification ------------------------------------------
+  // A (class, name) group returns a pin if any member's return type names a
+  // pin view by value; SHMCAFFE_PIN_ESCAPE on any member annotates the group.
+  std::vector<char> pin_return(funcs.size(), 0);
+  std::vector<char> pin_escape_fn(funcs.size(), 0);
+  for (const auto& [key, members] : groups) {
+    bool returns = false;
+    bool escape = false;
+    for (const std::size_t member : members) {
+      returns = returns || returns_pin_by_value(funcs[member]);
+      escape = escape || funcs[member].pin_escape;
+    }
+    for (const std::size_t member : members) {
+      pin_return[member] = returns ? 1 : 0;
+      pin_escape_fn[member] = escape ? 1 : 0;
+    }
+  }
+
+  {
+    int escapes = 0;
+    for (const ClassInfo& cls : classes) {
+      if (!starts_with(cls.file, "src/")) continue;
+      for (const FieldInfo& field : cls.fields) {
+        if (field.pin_escape) ++escapes;
+      }
+    }
+    std::set<std::pair<std::string, std::string>> fn_keys;
+    for (const FunctionInfo& func : funcs) {
+      if (func.pin_escape && starts_with(func.file, "src/")) {
+        fn_keys.insert({func.class_name, func.name});
+      }
+    }
+    result.pin_escapes = escapes + static_cast<int>(fn_keys.size());
+  }
+
+  // Declarative pin-lifetime findings: pin-typed fields and pin-returning
+  // functions without SHMCAFFE_PIN_ESCAPE.
+  for (const ClassInfo& cls : classes) {
+    if (!starts_with(cls.file, "src/") || pin_exempt_file(cls.file)) continue;
+    for (const FieldInfo& field : cls.fields) {
+      if (field.pin_escape || !std::regex_search(field.type, pin_type_pattern())) continue;
+      if (field.type.find('&') != std::string::npos ||
+          field.type.find('*') != std::string::npos) {
+        continue;  // non-owning alias, not a stored view
+      }
+      if (allowed(allows_of(cls.file), field.line, "pin-lifetime")) continue;
+      result.findings.push_back(Finding{
+          cls.file, field.line, "pin-lifetime",
+          "pin-typed field '" + field.name + "' ('" + field.type + "') of '" + cls.name +
+              "' stores a pinned view beyond its frame; annotate SHMCAFFE_PIN_ESCAPE "
+              "with a justification or keep the view frame-local"});
+    }
+  }
+  for (const auto& [key, members] : groups) {
+    const FunctionInfo* site = nullptr;
+    bool returns = false;
+    bool escape = false;
+    bool suppressed = false;
+    for (const std::size_t member : members) {
+      const FunctionInfo& func = funcs[member];
+      if (!starts_with(func.file, "src/") || pin_exempt_file(func.file)) continue;
+      returns = returns || pin_return[member] != 0;
+      escape = escape || pin_escape_fn[member] != 0;
+      if (site == nullptr || (func.has_body && !site->has_body)) site = &func;
+      if (allowed(allows_of(func.file), func.line, "pin-lifetime")) suppressed = true;
+    }
+    if (site == nullptr || !returns || escape || suppressed) continue;
+    result.findings.push_back(Finding{
+        site->file, site->line, "pin-lifetime",
+        "'" + site->name + "' returns a pinned view by value without "
+        "SHMCAFFE_PIN_ESCAPE; pinned views must stay frame-local unless the "
+        "escape is annotated and justified"});
+  }
+
   // ---- lock-region pass ----------------------------------------------------
   static const std::regex kAssertHeld(R"(\bSHMCAFFE_ASSERT_HELD\s*\(([^)]*)\))");
   static const std::regex kVarLockOp(R"(\b([A-Za-z_]\w*)\s*\.\s*(unlock|lock)\s*\(\s*\))");
@@ -1348,16 +1642,7 @@ RepoAnalysis analyze_repo(const std::vector<SourceFile>& files,
     if (!func.has_body || !starts_with(func.file, "src/")) continue;
     const std::map<std::string, GuardedField> fields =
         family_guarded_fields(classes, func.class_name, func.file, closure);
-
-    std::set<std::string> caller_family;
-    if (!func.class_name.empty()) {
-      caller_family.insert(func.class_name);
-      const ClassInfo* cls = find_class(classes, func.class_name, func.file, closure);
-      while (cls != nullptr && !cls->enclosing.empty()) {
-        caller_family.insert(cls->enclosing);
-        cls = find_class(classes, cls->enclosing, func.file, closure);
-      }
-    }
+    const std::set<std::string> caller_family = family_of(func);
 
     // `_locked` contract: no annotation and no unique mutex to infer it from.
     // The contract only binds classes that own several ordered mutexes: with
@@ -1401,7 +1686,22 @@ RepoAnalysis analyze_repo(const std::vector<SourceFile>& files,
       }
       return false;
     };
+    // Every mutex currently held, resolved with the same last-entry-wins
+    // semantics as holds(): the blocking/pin checks test the whole set.
+    const auto held_mutexes = [&]() {
+      std::map<std::string, bool> state;
+      for (const Frame& scope : stack) {
+        for (const auto& entry : scope.held) state[entry.first] = entry.second;
+      }
+      std::vector<std::string> held;
+      for (const auto& [mutex, is_held] : state) {
+        if (is_held) held.push_back(mutex);
+      }
+      return held;
+    };
 
+    const bool pin_rules = !pin_exempt_file(func.file);
+    std::set<std::string> pin_locals;  // pin-typed locals declared so far
     std::set<std::pair<int, std::string>> reported;  // (line, token) dedupe
     for (const BodyStatement& stmt : body_statements(func.body, func.body_line)) {
       if (stmt.term == '{') stack.emplace_back();
@@ -1431,6 +1731,78 @@ RepoAnalysis analyze_repo(const std::vector<SourceFile>& files,
           if (lock_var == scope.lock_vars.end()) continue;
           for (const std::string& mutex : lock_var->second) {
             frame.held.emplace_back(mutex, is_lock);
+          }
+        }
+      }
+
+      // pin-lifetime: track pin-typed locals (explicit pin declarations and
+      // `auto x = ...read_pinned(...)` initialisers) and flag explicit lambda
+      // captures of them.  Blanket [&] / [=] captures are not resolved.
+      if (pin_rules) {
+        const bool pin_stmt = std::regex_search(stmt.text, pin_type_pattern()) ||
+                              stmt.text.find("read_pinned") != std::string::npos;
+        if (pin_stmt) {
+          const std::size_t assign = top_level_pos(stmt.text, '=');
+          std::string declared;
+          if (assign != std::string::npos) {
+            declared = last_identifier(stmt.text.substr(0, assign));
+          } else if (stmt.term == ';' && !has_top_level_paren(stmt.text) &&
+                     std::regex_search(stmt.text, pin_type_pattern())) {
+            declared = last_identifier(stmt.text);
+          }
+          if (!declared.empty() && !keyword_token(declared)) pin_locals.insert(declared);
+        }
+        static const std::regex kCapture(
+            R"(\[([^\[\]]*)\]\s*(?:\(|\{|mutable\b|noexcept\b|->|$))");
+        for (auto it = std::sregex_iterator(stmt.text.begin(), stmt.text.end(), kCapture);
+             it != std::sregex_iterator(); ++it) {
+          for (const std::string& ident : identifier_tokens((*it)[1].str())) {
+            if (ident == "this" || pin_locals.count(ident) == 0) continue;
+            if (allowed(allows_of(func.file), stmt.line, "pin-lifetime")) continue;
+            if (reported.emplace(stmt.line, "pin-capture/" + ident).second) {
+              result.findings.push_back(Finding{
+                  func.file, stmt.line, "pin-lifetime",
+                  "pinned view '" + ident + "' captured by a lambda in '" + func.name +
+                      "'; pinned views must stay frame-local — release before the "
+                      "lambda outlives the frame or justify with "
+                      "lint:allow(pin-lifetime)"});
+            }
+          }
+        }
+      }
+
+      // no-blocking-under-lock: a literal wait/sleep in this statement while
+      // a guard is held.  A cv wait over a guard declared in scope releases
+      // that guard's mutexes for the duration of the wait; a wait over an
+      // unresolvable guard variable (a unique_lock parameter) releases the
+      // function's own SHMCAFFE_REQUIRES mutexes by convention.
+      const bool waits = std::regex_search(stmt.text, kIntrinsicWait);
+      const bool sleeps = !waits && std::regex_search(stmt.text, kIntrinsicSleep);
+      if (waits || sleeps) {
+        std::set<std::string> released;
+        std::smatch wait_arg;
+        if (waits && std::regex_search(stmt.text, wait_arg, kIntrinsicWaitArg)) {
+          const std::string guard_var = wait_arg[1].str();
+          for (const Frame& scope : stack) {
+            const auto lock_var = scope.lock_vars.find(guard_var);
+            if (lock_var == scope.lock_vars.end()) continue;
+            released.insert(lock_var->second.begin(), lock_var->second.end());
+          }
+          if (released.empty()) {
+            for (const std::string& req : func.requires_locks) {
+              released.insert(last_identifier(req));
+            }
+          }
+        }
+        for (const std::string& mutex : held_mutexes()) {
+          if (released.count(mutex) != 0) continue;
+          if (allowed(allows_of(func.file), stmt.line, "no-blocking-under-lock")) continue;
+          if (reported.emplace(stmt.line, "block/" + mutex).second) {
+            result.findings.push_back(Finding{
+                func.file, stmt.line, "no-blocking-under-lock",
+                std::string(waits ? "blocking wait" : "thread sleep") + " in '" +
+                    func.name + "' while holding '" + mutex +
+                    "'; hoist the wait out of the lock region"});
           }
         }
       }
@@ -1476,6 +1848,47 @@ RepoAnalysis analyze_repo(const std::vector<SourceFile>& files,
                   func.file, stmt.line, "lock-region",
                   "call to '" + callee.name + "' which SHMCAFFE_REQUIRES(" + req +
                       ") while not holding '" + mutex + "'"});
+            }
+          }
+          // no-blocking-under-lock: a call into the blocking set while a
+          // guard is held.  A mutex the callee SHMCAFFE_REQUIRES is exempt:
+          // the callee waits *on* the caller's lock and releases it (the
+          // prepare_write_locked idiom).
+          if (blocking[idx] != 0) {
+            for (const std::string& mutex : held_mutexes()) {
+              bool callee_releases = false;
+              for (const std::string& req : callee.requires_locks) {
+                if (last_identifier(req) == mutex) {
+                  callee_releases = true;
+                  break;
+                }
+              }
+              if (callee_releases) continue;
+              if (allowed(allows_of(func.file), stmt.line, "no-blocking-under-lock")) {
+                continue;
+              }
+              if (reported.emplace(stmt.line, token.text + "/block/" + mutex).second) {
+                result.findings.push_back(Finding{
+                    func.file, stmt.line, "no-blocking-under-lock",
+                    "call to '" + callee.name + "', which " + blocking_why[idx] +
+                        ", while holding '" + mutex +
+                        "'; hoist the blocking call out of the lock region"});
+              }
+            }
+          }
+          // pin-lifetime: pin acquisition while any guard is held inverts
+          // the pin-then-lock retirement protocol.
+          if (pin_rules && pin_return[idx] != 0) {
+            const std::vector<std::string> held = held_mutexes();
+            if (!held.empty() &&
+                !allowed(allows_of(func.file), stmt.line, "pin-lifetime") &&
+                reported.emplace(stmt.line, token.text + "/pin").second) {
+              result.findings.push_back(Finding{
+                  func.file, stmt.line, "pin-lifetime",
+                  "pin acquired via '" + callee.name + "' in '" + func.name +
+                      "' while holding '" + held.front() +
+                      "'; the retirement protocol is pin-then-lock — take the pin "
+                      "before locking or justify with lint:allow(pin-lifetime)"});
             }
           }
         }
@@ -1721,7 +2134,8 @@ const std::vector<std::string>& rule_ids() {
       "rng-source",       "wall-clock",  "sim-wall-clock",  "raii-lock",
       "sim-ptr-container", "pragma-once", "include-hygiene", "no-naked-epoch",
       "no-raw-thread",     "guarded-by",  "include-layering", "lock-region",
-      "determinism",       "no-hot-alloc", "stale-allow"};
+      "determinism",       "no-hot-alloc", "no-blocking-under-lock",
+      "pin-lifetime",      "stale-allow"};
   return ids;
 }
 
@@ -2175,7 +2589,10 @@ std::string coverage_json(const std::vector<SourceFile>& files) {
       << ", \"deterministic_roots\": " << analysis.deterministic_roots
       << ", \"tainted\": " << analysis.tainted
       << ", \"hot_kernel_roots\": " << analysis.hot_kernel_roots
-      << ", \"hot_allocs\": " << analysis.hot_allocs << "}\n}\n";
+      << ", \"hot_allocs\": " << analysis.hot_allocs
+      << ", \"blocking_roots\": " << analysis.blocking_roots
+      << ", \"nonblocking_contracts\": " << analysis.nonblocking_contracts
+      << ", \"pin_escapes\": " << analysis.pin_escapes << "}\n}\n";
   return out.str();
 }
 
@@ -2188,16 +2605,28 @@ std::string to_text(const std::vector<Finding>& findings) {
 }
 
 std::string to_json(const std::vector<Finding>& findings) {
+  // Control characters and non-ASCII bytes are \u-escaped so the output is
+  // always parseable ASCII JSON, whatever a finding message or path carries
+  // (multi-byte UTF-8 sequences come out as one \u00XX escape per byte —
+  // lossy as text, but the check.sh gates only need well-formed JSON).
   auto escape = [](const std::string& s) {
     std::string out;
-    for (const char c : s) {
-      if (c == '"' || c == '\\') {
-        out.push_back('\\');
-        out.push_back(c);
-      } else if (c == '\n') {
-        out += "\\n";
-      } else {
-        out.push_back(c);
+    char buf[8];
+    for (const char raw : s) {
+      const auto c = static_cast<unsigned char>(raw);
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (c < 0x20 || c >= 0x7f) {
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(raw);
+          }
       }
     }
     return out;

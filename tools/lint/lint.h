@@ -90,6 +90,35 @@
 //                     kernels must recycle storage through common::arena —
 //                     statements that route through it (`arena::`,
 //                     `global_arena`) are exempt.
+//   no-blocking-under-lock
+//                     interprocedural blocking-contract pass: SHMCAFFE_BLOCKS
+//                     annotations plus intrinsically blocking bodies (a
+//                     literal condition-variable / future wait or a thread
+//                     sleep) are roots, blocking-ness propagates caller-ward
+//                     through the pass-1 call index, and the lock-region
+//                     scope walk reports any blocking statement or call
+//                     issued while a mutex guard is lexically held.  Two
+//                     shapes are exempt because the wait *releases* the lock
+//                     it names: `cv.wait(lock)` over a guard declared in
+//                     scope (or, for a unique_lock parameter, the function's
+//                     own SHMCAFFE_REQUIRES mutexes), and a call into a
+//                     SHMCAFFE_REQUIRES(mu) callee while holding `mu` (the
+//                     prepare_write_locked idiom).  A SHMCAFFE_NONBLOCKING
+//                     function that can reach a BLOCKS root — or carries
+//                     both annotations — is itself a finding.
+//   pin-lifetime      pinned/arena views (PinnedFloats, PinnedShard,
+//                     arena::Buffer) must stay frame-local: a pin-typed
+//                     field, a function returning a pin type by value, or a
+//                     lambda explicitly capturing a pin-typed local is a
+//                     finding unless the holder carries SHMCAFFE_PIN_ESCAPE
+//                     (trailing on fields, before the return type on
+//                     functions).  The lock-region walk also flags pin
+//                     *acquisition* (a call to a pin-returning function)
+//                     while any mutex guard is held: the COW retirement
+//                     protocol is pin-then-lock only.  Blanket `[&]` / `[=]`
+//                     captures are not resolved (documented limitation); the
+//                     arena implementation itself (src/common/arena.*) is
+//                     exempt.
 //   stale-allow       a `lint:allow` / `lint:allow-next-line` annotation that
 //                     suppressed no finding in the whole-repo run: the escape
 //                     hatch is stale (or the rule id is misspelled) and must
@@ -133,6 +162,7 @@ struct FieldInfo {
   bool exempt = false;   ///< not subject to guarded-by (atomic, const, cv, ...)
   bool guarded = false;  ///< carries SHMCAFFE_GUARDED_BY(...)
   bool unguarded = false;///< carries SHMCAFFE_UNGUARDED
+  bool pin_escape = false;  ///< carries SHMCAFFE_PIN_ESCAPE (pin-lifetime)
   std::string guard;     ///< the expression inside SHMCAFFE_GUARDED_BY
 };
 
@@ -165,6 +195,9 @@ struct FunctionInfo {
   std::vector<std::string> requires_locks;  ///< SHMCAFFE_REQUIRES expressions
   bool deterministic = false;               ///< carries SHMCAFFE_DETERMINISTIC
   bool hot_kernel = false;                  ///< carries SHMCAFFE_HOT_KERNEL
+  bool blocks = false;                      ///< carries SHMCAFFE_BLOCKS
+  bool nonblocking = false;                 ///< carries SHMCAFFE_NONBLOCKING
+  bool pin_escape = false;                  ///< carries SHMCAFFE_PIN_ESCAPE
 };
 
 /// All rule ids, in reporting order (for docs and tests).
@@ -207,9 +240,13 @@ struct FunctionInfo {
 /// lock-region access counters (`accesses`: guarded-field access sites the
 /// flow pass checked; `unguarded_access`: sites it found outside the lock,
 /// net of justified suppressions), and a summary that also carries the
-/// determinism counters (`deterministic_roots`, `tainted`) and the hot-path
-/// allocation counters (`hot_kernel_roots`, `hot_allocs`).  tools/check.sh
-/// snapshots this as LINT_coverage.json and fails on regressions.
+/// determinism counters (`deterministic_roots`, `tainted`), the hot-path
+/// allocation counters (`hot_kernel_roots`, `hot_allocs`), and the
+/// blocking/pin-contract counters (`blocking_roots`: SHMCAFFE_BLOCKS
+/// function groups; `nonblocking_contracts`: SHMCAFFE_NONBLOCKING function
+/// groups; `pin_escapes`: SHMCAFFE_PIN_ESCAPE annotations on fields and
+/// function groups).  tools/check.sh snapshots this as LINT_coverage.json
+/// and fails on regressions.
 [[nodiscard]] std::string coverage_json(const std::vector<SourceFile>& files);
 
 /// The declared src/ directory DAG of the include-layering rule: the
